@@ -1,0 +1,307 @@
+package sigmund
+
+// The benchmark harness regenerates every quantitative artifact of the
+// paper — Figure 6 and claims C1-C12 (see DESIGN.md's experiment index) —
+// and reports each experiment's headline numbers as benchmark metrics:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks are macro-benchmarks (each iteration runs the full
+// experiment, typically 0.1-30s); the Benchmark*Micro* group measures the
+// hot kernels (affinity dot products, SGD steps, whole-catalog scoring,
+// serving lookups).
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/eval"
+	"sigmund/internal/experiments"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+	"sigmund/internal/synth"
+)
+
+// benchExperiment runs one registered experiment per iteration and reports
+// its metrics.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := r.Run(66)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	for name, v := range last.Metrics {
+		b.ReportMetric(v, name)
+	}
+}
+
+// BenchmarkFig6CTRByPopularity regenerates Figure 6: relative CTR vs item
+// popularity, Sigmund vs co-occurrence baseline.
+func BenchmarkFig6CTRByPopularity(b *testing.B) { benchExperiment(b, "FIG6") }
+
+// BenchmarkC1GridSearchSpread regenerates C1: the MAP spread across a
+// hyper-parameter grid (paper: up to ~100x best/worst).
+func BenchmarkC1GridSearchSpread(b *testing.B) { benchExperiment(b, "C1") }
+
+// BenchmarkC2SampledMAP regenerates C2: 10%-sampled MAP preserves model
+// selection.
+func BenchmarkC2SampledMAP(b *testing.B) { benchExperiment(b, "C2") }
+
+// BenchmarkC3IncrementalTraining regenerates C3: warm-started incremental
+// training converges in fewer epochs.
+func BenchmarkC3IncrementalTraining(b *testing.B) { benchExperiment(b, "C3") }
+
+// BenchmarkC4AdagradVsSGD regenerates C4: Adagrad converges faster than
+// plain SGD.
+func BenchmarkC4AdagradVsSGD(b *testing.B) { benchExperiment(b, "C4") }
+
+// BenchmarkC5LCACandidates regenerates C5: the LCA candidate radius
+// precision/coverage trade-off.
+func BenchmarkC5LCACandidates(b *testing.B) { benchExperiment(b, "C5") }
+
+// BenchmarkC6PreemptibleCost regenerates C6: pre-emptible VM economics
+// across preemption rates.
+func BenchmarkC6PreemptibleCost(b *testing.B) { benchExperiment(b, "C6") }
+
+// BenchmarkC7CheckpointPolicy regenerates C7: wall-clock vs per-iteration
+// checkpointing.
+func BenchmarkC7CheckpointPolicy(b *testing.B) { benchExperiment(b, "C7") }
+
+// BenchmarkC8BinPacking regenerates C8: greedy first-fit bin-packing vs
+// baselines for inference makespan.
+func BenchmarkC8BinPacking(b *testing.B) { benchExperiment(b, "C8") }
+
+// BenchmarkC9HogwildScaling regenerates C9: Hogwild thread scaling and the
+// one-retailer-per-machine memory discipline.
+func BenchmarkC9HogwildScaling(b *testing.B) { benchExperiment(b, "C9") }
+
+// BenchmarkC10HybridCoverage regenerates C10: co-occurrence vs hybrid
+// quality and coverage by popularity regime.
+func BenchmarkC10HybridCoverage(b *testing.B) { benchExperiment(b, "C10") }
+
+// BenchmarkC11NegativeSampling regenerates C11: heuristic vs uniform
+// negative sampling.
+func BenchmarkC11NegativeSampling(b *testing.B) { benchExperiment(b, "C11") }
+
+// BenchmarkC12FeatureSelection regenerates C12: per-retailer feature
+// selection vs brand coverage.
+func BenchmarkC12FeatureSelection(b *testing.B) { benchExperiment(b, "C12") }
+
+// BenchmarkC13MigrationEconomics regenerates C13: migrate-data-to-compute
+// vs per-epoch remote reads.
+func BenchmarkC13MigrationEconomics(b *testing.B) { benchExperiment(b, "C13") }
+
+// BenchmarkA1SolverSwap regenerates ablation A1: BPR vs WALS on identical
+// data.
+func BenchmarkA1SolverSwap(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkA2ContextDesign regenerates ablation A2: context length/decay.
+func BenchmarkA2ContextDesign(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkA3TierConstraints regenerates ablation A3: interaction tiers
+// on/off.
+func BenchmarkA3TierConstraints(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkA4SearchStrategies regenerates ablation A4: grid vs random vs
+// successive-halving hyper-parameter search.
+func BenchmarkA4SearchStrategies(b *testing.B) { benchExperiment(b, "A4") }
+
+// --- Micro-benchmarks: the hot kernels -------------------------------
+
+func benchRetailer(b *testing.B, items, users int) (*synth.Retailer, interactions.Split, *bpr.Dataset, *cooccur.Model) {
+	b.Helper()
+	r := synth.GenerateRetailer(synth.RetailerSpec{
+		NumItems: items, NumUsers: users, EventsPerUserMean: 12,
+		NumBrands: 10, BrandCoverage: 0.7, Seed: 9,
+	})
+	split := interactions.HoldoutSplit(r.Log, 25)
+	ds := bpr.NewDataset(split.Train, r.Catalog)
+	cooc := cooccur.FromLog(split.Train, r.Catalog.NumItems(), cooccur.DefaultWindow)
+	return r, split, ds, cooc
+}
+
+func trainedModel(b *testing.B, r *synth.Retailer, ds *bpr.Dataset, cooc *cooccur.Model) *bpr.Model {
+	b.Helper()
+	h := bpr.DefaultHyperparams()
+	h.Factors = 16
+	h.UseBrand, h.UsePrice = true, true
+	m, err := bpr.NewModel(h, r.Catalog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := bpr.Train(context.Background(), m, ds, bpr.TrainOptions{Epochs: 3, Threads: 1, Cooc: cooc}); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkMicroDot measures the affinity kernel at production dimension.
+func BenchmarkMicroDot(b *testing.B) {
+	rng := linalg.NewRNG(1)
+	x := make([]float32, 64)
+	y := make([]float32, 64)
+	rng.FillNormal(x, 1)
+	rng.FillNormal(y, 1)
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += linalg.Dot(x, y)
+	}
+	_ = sink
+}
+
+// BenchmarkMicroTrainEpoch measures one full SGD epoch (base + tier
+// examples, heuristic negative sampling, Adagrad) on a mid-size retailer.
+func BenchmarkMicroTrainEpoch(b *testing.B) {
+	r, _, ds, cooc := benchRetailer(b, 500, 400)
+	h := bpr.DefaultHyperparams()
+	h.Factors = 16
+	h.UseBrand, h.UsePrice = true, true
+	m, err := bpr.NewModel(h, r.Catalog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(ds.NumPositions()), "positions/epoch")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bpr.Train(context.Background(), m, ds, bpr.TrainOptions{Epochs: 1, Threads: 1, Cooc: cooc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroScoreAll measures whole-catalog scoring for one context —
+// the inner loop of both evaluation and inference.
+func BenchmarkMicroScoreAll(b *testing.B) {
+	r, split, ds, cooc := benchRetailer(b, 2000, 800)
+	m := trainedModel(b, r, ds, cooc)
+	ctx := split.Holdout[0].Context
+	out := make([]float64, r.Catalog.NumItems())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreAll(ctx, out)
+	}
+}
+
+// BenchmarkMicroEvaluateMAP measures a full holdout evaluation (exact
+// MAP@10) on a mid-size retailer.
+func BenchmarkMicroEvaluateMAP(b *testing.B) {
+	r, split, ds, cooc := benchRetailer(b, 500, 400)
+	m := trainedModel(b, r, ds, cooc)
+	b.ReportMetric(float64(len(split.Holdout)), "holdout_users")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Evaluate(m, split.Holdout, r.Catalog.NumItems(), eval.DefaultOptions())
+	}
+}
+
+// BenchmarkMicroSampledEvaluateMAP is the 10%-sampled variant the paper
+// uses for very large retailers; compare ns/op with the exact version.
+func BenchmarkMicroSampledEvaluateMAP(b *testing.B) {
+	r, split, ds, cooc := benchRetailer(b, 500, 400)
+	m := trainedModel(b, r, ds, cooc)
+	opts := eval.DefaultOptions()
+	opts.SampleFraction = 0.10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Evaluate(m, split.Holdout, r.Catalog.NumItems(), opts)
+	}
+}
+
+// BenchmarkMicroCheckpoint measures model serialization — the recurring
+// cost of the wall-clock checkpoint policy.
+func BenchmarkMicroCheckpoint(b *testing.B) {
+	r, _, ds, cooc := benchRetailer(b, 2000, 800)
+	m := trainedModel(b, r, ds, cooc)
+	b.ReportMetric(float64(m.NumParams()), "params")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Save(discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkMicroServingRecommend measures one serving request against a
+// published snapshot — the latency-critical path.
+func BenchmarkMicroServingRecommend(b *testing.B) {
+	svc := NewService(DemoConfig())
+	shop := GenerateRetailer(RetailerSpec{NumItems: 300, NumUsers: 200, Seed: 3})
+	svc.AddRetailer(shop.Catalog, shop.Log)
+	if _, err := svc.RunDay(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	ctx := Context{{Type: View, Item: 1}, {Type: Search, Item: 2}, {Type: Cart, Item: 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if recs := svc.Recommend(shop.Catalog.Retailer, ctx, 10); len(recs) == 0 {
+			b.Fatal("no recommendations")
+		}
+	}
+}
+
+// BenchmarkMicroCooccurObserve measures the instant-update path of the
+// co-occurrence model.
+func BenchmarkMicroCooccurObserve(b *testing.B) {
+	m := cooccur.NewModel(10000, cooccur.DefaultWindow)
+	rng := linalg.NewRNG(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(interactions.Event{
+			User: interactions.UserID(rng.Intn(1000)),
+			Item: catalog.ItemID(rng.Intn(10000)),
+			Type: interactions.View,
+			Time: int64(i),
+		})
+	}
+}
+
+// BenchmarkMicroDailyCycle measures one complete multi-tenant daily cycle
+// (sweep, train, select, infer, publish) at demo scale.
+func BenchmarkMicroDailyCycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc := NewService(DemoConfig())
+		fleet := GenerateFleet(FleetSpec{NumRetailers: 4, MinItems: 40, MaxItems: 150, Seed: uint64(i)})
+		for _, r := range fleet {
+			svc.AddRetailer(r.Catalog, r.Log)
+		}
+		b.StartTimer()
+		report, err := svc.RunDay(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(report.BestMAP(), "fleet_mean_MAP@10")
+		}
+	}
+}
+
+// Example of wiring the facade into docs tests: keep the public API honest.
+func ExampleService() {
+	svc := NewService(DemoConfig())
+	shop := GenerateRetailer(RetailerSpec{ID: "shop", NumItems: 120, NumUsers: 100, Seed: 5})
+	svc.AddRetailer(shop.Catalog, shop.Log)
+	if _, err := svc.RunDay(context.Background()); err != nil {
+		panic(err)
+	}
+	recs := svc.Recommend("shop", Context{{Type: View, Item: 0}}, 3)
+	fmt.Println(len(recs) > 0)
+	// Output: true
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's quantitative artifacts —
+// Figure 6 and the claims C1-C13 indexed in DESIGN.md — plus the ablations
+// A1-A4. Output is markdown,
+// suitable for pasting into EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-run FIG6,C1,...] [-seed N] [-o out.md]
+//
+// With no -run flag every experiment runs in order. Each experiment is
+// deterministic for a given seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"sigmund/internal/experiments"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiment ids (FIG6, C1..C13, A1..A4) or 'all'")
+	seed := flag.Uint64("seed", 66, "experiment seed")
+	out := flag.String("o", "", "write markdown to this file instead of stdout")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var runners []experiments.Runner
+	if *runList == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", r.ID, r.Name)
+		start := time.Now()
+		tb, err := r.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "  %s FAILED: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  done in %s\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(w, tb.Markdown())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,138 @@
+// Command sigmundd runs the full Sigmund service on a synthetic fleet: it
+// generates retailers with power-law sizes, runs the requested number of
+// daily cycles (full grid sweep on day one, incremental top-K sweeps
+// afterwards), and optionally serves the resulting recommendations over
+// HTTP.
+//
+// Usage:
+//
+//	sigmundd [-retailers 10] [-days 3] [-grid small|default] [-addr :8080] [-seed 1]
+//	sigmundd -catalog products.jsonl -events clicks.csv -id my-shop [-days 1] [-addr :8080]
+//
+// With -catalog/-events set, sigmundd hosts YOUR retailer from the JSONL
+// catalog and CSV interaction-log interchange formats instead of a
+// synthetic fleet.
+//
+// With -addr set, the process keeps serving after the last cycle:
+//
+//	curl 'localhost:8080/recommend?retailer=retailer-000&context=view:3,cart:5&k=10'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"sigmund"
+)
+
+func main() {
+	nRetailers := flag.Int("retailers", 10, "number of synthetic retailers")
+	days := flag.Int("days", 2, "daily cycles to run")
+	grid := flag.String("grid", "small", "hyper-parameter grid: small or default")
+	addr := flag.String("addr", "", "serve HTTP on this address after the last cycle (empty = exit)")
+	seed := flag.Uint64("seed", 1, "fleet seed")
+	minItems := flag.Int("min-items", 40, "smallest retailer inventory")
+	maxItems := flag.Int("max-items", 400, "largest retailer inventory")
+	catalogPath := flag.String("catalog", "", "host a real retailer: JSONL catalog file")
+	eventsPath := flag.String("events", "", "host a real retailer: CSV interaction log")
+	retailerID := flag.String("id", "my-shop", "retailer id for -catalog/-events mode")
+	flag.Parse()
+
+	cfg := sigmund.DemoConfig()
+	if *grid == "default" {
+		cfg = sigmund.DefaultConfig()
+	}
+	cfg.Seed = *seed
+	svc := sigmund.NewService(cfg)
+
+	var firstRetailer sigmund.RetailerID
+	if *catalogPath != "" || *eventsPath != "" {
+		if *catalogPath == "" || *eventsPath == "" {
+			fmt.Fprintln(os.Stderr, "sigmundd: -catalog and -events must be set together")
+			os.Exit(2)
+		}
+		cat, log, err := loadRetailer(*catalogPath, *eventsPath, sigmund.RetailerID(*retailerID))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigmundd:", err)
+			os.Exit(1)
+		}
+		svc.AddRetailer(cat, log)
+		firstRetailer = cat.Retailer
+		fmt.Printf("hosting %s: %d items, %d events\n\n", cat.Retailer, cat.NumItems(), log.Len())
+	} else {
+		fmt.Printf("generating %d synthetic retailers (%d-%d items)...\n", *nRetailers, *minItems, *maxItems)
+		fleet := sigmund.GenerateFleet(sigmund.FleetSpec{
+			NumRetailers: *nRetailers,
+			MinItems:     *minItems, MaxItems: *maxItems,
+			Days: *days, Seed: *seed,
+		})
+		var totalItems, totalEvents int
+		for _, r := range fleet {
+			svc.AddRetailer(r.Catalog, r.Log)
+			totalItems += r.Catalog.NumItems()
+			totalEvents += r.Log.Len()
+		}
+		firstRetailer = fleet[0].Catalog.Retailer
+		fmt.Printf("fleet ready: %d items, %d events\n\n", totalItems, totalEvents)
+	}
+
+	for day := 0; day < *days; day++ {
+		start := time.Now()
+		report, err := svc.RunDay(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigmundd: daily cycle failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== day %d (%s) ===\n", report.Day, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  train: %s  infer: %s  map-attempts: %d (failures: %d)\n",
+			report.TrainWall.Round(time.Millisecond), report.InferWall.Round(time.Millisecond),
+			report.TrainCounters.MapAttempts, report.TrainCounters.MapFailures)
+		for _, rr := range report.Retailers {
+			kind := "incremental"
+			if rr.FullSweep {
+				kind = "FULL sweep"
+			}
+			fmt.Printf("  %-14s %-11s configs %2d/%2d  best MAP@10 %.4f  items served %4d  (%s)\n",
+				rr.Retailer, kind, rr.ConfigsOK, rr.ConfigsPlaned, rr.BestMAP, rr.ItemsServed, rr.BestModelID)
+		}
+		fmt.Printf("  fleet mean best MAP@10: %.4f\n\n", report.BestMAP())
+	}
+
+	if *addr == "" {
+		return
+	}
+	fmt.Printf("serving snapshot v%d on %s\n", svc.SnapshotVersion(), *addr)
+	fmt.Printf("try: curl 'http://%s/recommend?retailer=%s&context=view:0&k=5'\n",
+		*addr, firstRetailer)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "sigmundd:", err)
+		os.Exit(1)
+	}
+}
+
+// loadRetailer reads the interchange files for -catalog/-events mode.
+func loadRetailer(catalogPath, eventsPath string, id sigmund.RetailerID) (*sigmund.Catalog, *sigmund.Log, error) {
+	cf, err := os.Open(catalogPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cf.Close()
+	cat, err := sigmund.LoadCatalogJSONL(cf, id)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading catalog: %w", err)
+	}
+	ef, err := os.Open(eventsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ef.Close()
+	log, err := sigmund.LoadEventsCSV(ef, cat.NumItems())
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading events: %w", err)
+	}
+	return cat, log, nil
+}

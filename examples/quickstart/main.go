@@ -1,0 +1,60 @@
+// Quickstart: host one retailer on the Sigmund service, run one daily
+// cycle (grid search -> training -> offline inference -> serving push),
+// and ask for recommendations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sigmund"
+)
+
+func main() {
+	// A synthetic retailer stands in for a real interaction log: 200
+	// items, 150 shoppers, implicit feedback only (views, searches,
+	// cart-adds, conversions).
+	shop := sigmund.GenerateRetailer(sigmund.RetailerSpec{
+		ID:       "demo-shop",
+		NumItems: 200, NumUsers: 150,
+		NumBrands: 8, BrandCoverage: 0.7,
+		Seed: 42,
+	})
+	fmt.Printf("catalog: %d items, %d brands; log: %d events\n",
+		shop.Catalog.NumItems(), shop.Catalog.NumBrands(), shop.Log.Len())
+
+	// The service owns the daily pipeline. DemoConfig uses a small
+	// hyper-parameter grid so this finishes in seconds.
+	svc := sigmund.NewService(sigmund.DemoConfig())
+	svc.AddRetailer(shop.Catalog, shop.Log)
+
+	report, err := svc.RunDay(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rr := report.Retailers[0]
+	fmt.Printf("daily cycle done: trained %d configs, best MAP@10 %.4f, %d items materialized\n\n",
+		rr.ConfigsOK, rr.BestMAP, rr.ItemsServed)
+
+	// Recommendations for a user who viewed item 3 and then added item 7
+	// to their cart. No user account needed: the context IS the user.
+	userCtx := sigmund.Context{
+		{Type: sigmund.View, Item: 3},
+		{Type: sigmund.Cart, Item: 7},
+	}
+	fmt.Println("recommendations for context [view:3, cart:7]:")
+	for i, rec := range svc.Recommend("demo-shop", userCtx, 5) {
+		it := shop.Catalog.Item(rec.Item)
+		fmt.Printf("  %d. %-22s %-28s score %.2f\n",
+			i+1, it.Name, shop.Catalog.Tax.Path(it.Category), rec.Score)
+	}
+
+	// A brand-new user with no history gets the popularity fallback.
+	fmt.Println("\nrecommendations for an empty context (new user):")
+	for i, rec := range svc.Recommend("demo-shop", nil, 3) {
+		fmt.Printf("  %d. %s\n", i+1, shop.Catalog.Item(rec.Item).Name)
+	}
+}

@@ -1,0 +1,112 @@
+// Storefront reproduces Figure 1 of the paper with a hand-built phone
+// store: before the purchase decision a user sees substitutes (other
+// phones); after adding to cart / buying they see accessories (cases,
+// chargers, ear phones).
+//
+//	go run ./examples/storefront
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sigmund"
+)
+
+func main() {
+	// Taxonomy (Figure 3): Cell Phones > {Smart Phones > {Android, Apple},
+	// Accessories > {Cases, Chargers, Audio}}.
+	tb := sigmund.NewTaxonomy("Cell Phones")
+	smart := tb.AddChild(sigmund.RootCategory, "Smart Phones")
+	android := tb.AddChild(smart, "Android Phones")
+	apple := tb.AddChild(smart, "Apple Phones")
+	acc := tb.AddChild(sigmund.RootCategory, "Accessories")
+	cases := tb.AddChild(acc, "Cases")
+	chargers := tb.AddChild(acc, "Chargers")
+	audio := tb.AddChild(acc, "Audio")
+
+	cat := sigmund.NewCatalog("phone-store", tb.Build())
+	google := cat.AddBrand("Google")
+	apl := cat.AddBrand("Apple")
+	generic := cat.AddBrand("Generic")
+
+	nexus5x := cat.AddItem(sigmund.Item{Name: "Nexus 5X", Category: android, Brand: google, Price: 34900, InStock: true})
+	nexus6p := cat.AddItem(sigmund.Item{Name: "Nexus 6P", Category: android, Brand: google, Price: 49900, InStock: true})
+	nexus6 := cat.AddItem(sigmund.Item{Name: "Nexus 6", Category: android, Brand: google, Price: 29900, InStock: true})
+	iphone6 := cat.AddItem(sigmund.Item{Name: "iPhone 6", Category: apple, Brand: apl, Price: 64900, InStock: true})
+	iphone6s := cat.AddItem(sigmund.Item{Name: "iPhone 6s", Category: apple, Brand: apl, Price: 74900, InStock: true})
+	case5x := cat.AddItem(sigmund.Item{Name: "Nexus 5X Case", Category: cases, Brand: generic, Price: 1900, InStock: true})
+	caseIP := cat.AddItem(sigmund.Item{Name: "iPhone Case", Category: cases, Brand: generic, Price: 2400, InStock: true})
+	charger := cat.AddItem(sigmund.Item{Name: "USB-C Charging Cable", Category: chargers, Brand: generic, Price: 1200, InStock: true})
+	earphones := cat.AddItem(sigmund.Item{Name: "Ear Phones", Category: audio, Brand: generic, Price: 2900, InStock: true})
+
+	// Shopper behaviour: phone buyers browse phones, then buy one, then
+	// pick up accessories — the structure that teaches Sigmund both the
+	// substitute (co-view) and accessory (co-buy) relations.
+	log_ := sigmund.NewLog()
+	t := int64(0)
+	add := func(u sigmund.UserID, it sigmund.ItemID, et sigmund.EventType) {
+		log_.Append(sigmund.Event{User: u, Item: it, Type: et, Time: t})
+		t++
+	}
+	for u := 0; u < 60; u++ {
+		uid := sigmund.UserID(u)
+		switch u % 4 {
+		case 0: // Android shopper
+			add(uid, nexus6, sigmund.View)
+			add(uid, nexus5x, sigmund.View)
+			add(uid, nexus6p, sigmund.Search)
+			add(uid, nexus5x, sigmund.Cart)
+			add(uid, nexus5x, sigmund.Conversion)
+			add(uid, case5x, sigmund.View)
+			add(uid, case5x, sigmund.Conversion)
+			add(uid, charger, sigmund.Conversion)
+		case 1: // Apple shopper
+			add(uid, iphone6, sigmund.View)
+			add(uid, iphone6s, sigmund.View)
+			add(uid, iphone6, sigmund.Conversion)
+			add(uid, caseIP, sigmund.Conversion)
+			add(uid, earphones, sigmund.View)
+		case 2: // browser comparing android phones
+			add(uid, nexus5x, sigmund.View)
+			add(uid, nexus6p, sigmund.View)
+			add(uid, nexus6, sigmund.View)
+			add(uid, nexus5x, sigmund.Search)
+		default: // browser comparing across brands
+			add(uid, nexus5x, sigmund.View)
+			add(uid, iphone6, sigmund.View)
+			add(uid, nexus6p, sigmund.View)
+			add(uid, earphones, sigmund.View)
+		}
+	}
+
+	svc := sigmund.NewService(sigmund.DemoConfig())
+	svc.AddRetailer(cat, log_)
+	if _, err := svc.RunDay(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(title string, ctx sigmund.Context) {
+		fmt.Println(title)
+		recs := svc.Recommend("phone-store", ctx, 4)
+		if len(recs) == 0 {
+			fmt.Println("  (none)")
+		}
+		for i, rec := range recs {
+			fmt.Printf("  %d. %s\n", i+1, cat.Item(rec.Item).Name)
+		}
+		fmt.Println()
+	}
+
+	// Before the purchase decision: substitutes for the viewed phone.
+	show("user is VIEWING the Nexus 5X — substitutes:",
+		sigmund.Context{{Type: sigmund.View, Item: nexus5x}})
+
+	// After the purchase decision: accessories and complements.
+	show("user BOUGHT the Nexus 5X — accessories:",
+		sigmund.Context{{Type: sigmund.Conversion, Item: nexus5x}})
+
+	show("user bought an iPhone 6 — accessories:",
+		sigmund.Context{{Type: sigmund.Conversion, Item: iphone6}})
+}

@@ -1,0 +1,3 @@
+module sigmund
+
+go 1.22

@@ -1,0 +1,251 @@
+package catalog
+
+import (
+	"testing"
+
+	"sigmund/internal/linalg"
+	"sigmund/internal/taxonomy"
+)
+
+// fixture builds the Figure-3 phone taxonomy with items attached to leaf
+// categories (android / apple / other).
+func fixture(t *testing.T) (*Catalog, map[string]ItemID, map[string]taxonomy.NodeID) {
+	t.Helper()
+	b := taxonomy.NewBuilder("Cell Phones")
+	cats := map[string]taxonomy.NodeID{}
+	cats["smart"] = b.AddChild(taxonomy.Root, "Smart Phones")
+	cats["other"] = b.AddChild(taxonomy.Root, "Other")
+	cats["android"] = b.AddChild(cats["smart"], "Android Phones")
+	cats["apple"] = b.AddChild(cats["smart"], "Apple Phones")
+	tx := b.Build()
+
+	c := New("shop-1", tx)
+	google := c.AddBrand("Google")
+	apple := c.AddBrand("Apple")
+	items := map[string]ItemID{}
+	items["nexus5x"] = c.AddItem(Item{Name: "Nexus 5X", Category: cats["android"], Brand: google, Price: 34900, InStock: true})
+	items["nexus6p"] = c.AddItem(Item{Name: "Nexus 6P", Category: cats["android"], Brand: google, Price: 49900, InStock: true})
+	items["iphone6"] = c.AddItem(Item{Name: "iPhone 6", Category: cats["apple"], Brand: apple, Price: 64900, InStock: true})
+	items["burner"] = c.AddItem(Item{Name: "Feature Phone", Category: cats["other"], Brand: NoBrand, Price: 0, InStock: true})
+	return c, items, cats
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c, items, _ := fixture(t)
+	if c.NumItems() != 4 {
+		t.Fatalf("NumItems = %d, want 4", c.NumItems())
+	}
+	it := c.Item(items["nexus5x"])
+	if it.Name != "Nexus 5X" || it.ID != items["nexus5x"] {
+		t.Fatalf("Item lookup returned %+v", it)
+	}
+	if got := c.BrandName(it.Brand); got != "Google" {
+		t.Errorf("BrandName = %q, want Google", got)
+	}
+	if got := c.BrandName(NoBrand); got != "" {
+		t.Errorf("BrandName(NoBrand) = %q, want empty", got)
+	}
+	if c.NumBrands() != 2 {
+		t.Errorf("NumBrands = %d, want 2", c.NumBrands())
+	}
+}
+
+func TestAddItemValidation(t *testing.T) {
+	c, _, _ := fixture(t)
+	t.Run("unknown category", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic on unknown category")
+			}
+		}()
+		c.AddItem(Item{Name: "bad", Category: taxonomy.NodeID(999)})
+	})
+	t.Run("unknown brand", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic on unknown brand")
+			}
+		}()
+		c.AddItem(Item{Name: "bad", Category: taxonomy.Root, Brand: BrandID(57)})
+	})
+}
+
+func TestLCAkSets(t *testing.T) {
+	c, items, _ := fixture(t)
+	// lca_0: the item alone.
+	got := c.LCAk(items["nexus5x"], 0)
+	if len(got) != 1 || got[0] != items["nexus5x"] {
+		t.Fatalf("lca_0(nexus5x) = %v, want just the item", got)
+	}
+	// lca_1: same-category items — "other Android phones" in the paper.
+	got = c.LCAk(items["nexus5x"], 1)
+	if len(got) != 2 {
+		t.Fatalf("lca_1(nexus5x) = %v, want the two android phones", got)
+	}
+	// lca_2: all smart phones.
+	got = c.LCAk(items["nexus5x"], 2)
+	if len(got) != 3 {
+		t.Fatalf("lca_2(nexus5x) = %v, want 3 smart phones", got)
+	}
+	// lca_3: everything (the feature phone sits one level shallower, at
+	// item-level distance 3).
+	got = c.LCAk(items["nexus5x"], 3)
+	if len(got) != 4 {
+		t.Fatalf("lca_3(nexus5x) = %v, want all 4 items", got)
+	}
+}
+
+func TestItemLCADistance(t *testing.T) {
+	c, items, _ := fixture(t)
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"nexus5x", "nexus5x", 0},
+		{"nexus5x", "nexus6p", 1},
+		{"nexus5x", "iphone6", 2},
+		{"nexus5x", "burner", 3},
+	}
+	for _, tt := range tests {
+		if got := c.ItemLCADistance(items[tt.a], items[tt.b]); got != tt.want {
+			t.Errorf("ItemLCADistance(%s, %s) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLCAkAsymmetricDepth(t *testing.T) {
+	// An item attached high in the tree must not absorb deep items within
+	// small k: Distance is governed by the deeper side.
+	b := taxonomy.NewBuilder("root")
+	mid := b.AddChild(taxonomy.Root, "mid")
+	deep := b.AddChild(mid, "deep")
+	deeper := b.AddChild(deep, "deeper")
+	tx := b.Build()
+	c := New("r", tx)
+	hi := c.AddItem(Item{Name: "hi", Category: mid})
+	lo := c.AddItem(Item{Name: "lo", Category: deeper})
+	// Distance(mid, deeper) = 2 (deeper must climb two levels to mid).
+	if got := tx.Distance(mid, deeper); got != 2 {
+		t.Fatalf("sanity: Distance = %d, want 2", got)
+	}
+	got := c.LCAk(hi, 2)
+	for _, id := range got {
+		if id == lo {
+			t.Fatal("lca_2 of the shallow item wrongly includes the deep item (item distance 3)")
+		}
+	}
+	got = c.LCAk(hi, 3)
+	found := false
+	for _, id := range got {
+		if id == lo {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lca_3 of the shallow item should include the deep item")
+	}
+}
+
+func TestBrandAndPriceCoverage(t *testing.T) {
+	c, _, _ := fixture(t)
+	if got := c.BrandCoverage(); got != 0.75 {
+		t.Errorf("BrandCoverage = %v, want 0.75", got)
+	}
+	if got := c.PriceCoverage(); got != 0.75 {
+		t.Errorf("PriceCoverage = %v, want 0.75", got)
+	}
+	empty := New("e", c.Tax)
+	if empty.BrandCoverage() != 0 || empty.PriceCoverage() != 0 {
+		t.Error("empty catalog coverage should be 0")
+	}
+}
+
+func TestPriceBucket(t *testing.T) {
+	c, items, _ := fixture(t)
+	tests := []struct {
+		item string
+		want int
+	}{
+		{"nexus5x", 8}, // $349 -> floor(log2(349)) = 8
+		{"iphone6", 9}, // $649 -> 9
+		{"burner", -1}, // unknown price
+	}
+	for _, tt := range tests {
+		if got := c.PriceBucket(items[tt.item], 16); got != tt.want {
+			t.Errorf("PriceBucket(%s) = %d, want %d", tt.item, got, tt.want)
+		}
+	}
+	// Clamped at nBuckets-1.
+	id := c.AddItem(Item{Name: "yacht", Category: taxonomy.Root, Brand: NoBrand, Price: 1 << 40})
+	if got := c.PriceBucket(id, 8); got != 7 {
+		t.Errorf("PriceBucket(yacht, 8) = %d, want clamp to 7", got)
+	}
+}
+
+func TestStockAndPriceUpdates(t *testing.T) {
+	c, items, _ := fixture(t)
+	c.SetStock(items["nexus5x"], false)
+	if c.Item(items["nexus5x"]).InStock {
+		t.Error("SetStock(false) did not stick")
+	}
+	c.SetPrice(items["nexus5x"], 29900)
+	if got := c.Item(items["nexus5x"]).Price; got != 29900 {
+		t.Errorf("SetPrice: got %d", got)
+	}
+}
+
+func TestItemsInSubtreeAndCategory(t *testing.T) {
+	c, items, cats := fixture(t)
+	inAndroid := c.ItemsInCategory(cats["android"])
+	if len(inAndroid) != 2 {
+		t.Fatalf("ItemsInCategory(android) = %v", inAndroid)
+	}
+	all := c.ItemsInSubtree(taxonomy.Root, nil)
+	if len(all) != 4 {
+		t.Fatalf("ItemsInSubtree(root) = %v", all)
+	}
+	smart := c.ItemsInSubtree(cats["smart"], nil)
+	if len(smart) != 3 {
+		t.Fatalf("ItemsInSubtree(smart) = %v", smart)
+	}
+	_ = items
+}
+
+func TestIndexInvalidatedByAdd(t *testing.T) {
+	c, _, cats := fixture(t)
+	before := len(c.ItemsInCategory(cats["android"]))
+	c.AddItem(Item{Name: "Pixel", Category: cats["android"], Brand: NoBrand})
+	after := len(c.ItemsInCategory(cats["android"]))
+	if after != before+1 {
+		t.Fatalf("index stale after AddItem: before=%d after=%d", before, after)
+	}
+}
+
+func TestLCAkOnGeneratedCatalog(t *testing.T) {
+	// Property-style check on a random catalog: every member of LCAk(i, k)
+	// has Distance <= k, and LCAk is monotone in k.
+	rng := linalg.NewRNG(17)
+	tx := taxonomy.Generate(taxonomy.GenSpec{Depth: 3, MinFanout: 2, MaxFanout: 3}, rng)
+	c := New("r", tx)
+	leaves := tx.Leaves()
+	for i := 0; i < 200; i++ {
+		leaf := leaves[rng.Intn(len(leaves))]
+		c.AddItem(Item{Name: "it", Category: leaf, Brand: NoBrand})
+	}
+	for trial := 0; trial < 20; trial++ {
+		i := ItemID(rng.Intn(c.NumItems()))
+		prevLen := -1
+		for k := 0; k <= 4; k++ {
+			set := c.LCAk(i, k)
+			if len(set) < prevLen {
+				t.Fatalf("LCAk not monotone in k at k=%d", k)
+			}
+			prevLen = len(set)
+			for _, j := range set {
+				if d := c.ItemLCADistance(i, j); d > k {
+					t.Fatalf("LCAk(%d, %d) contains item at distance %d", i, k, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package catalog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"sigmund/internal/taxonomy"
+)
+
+// JSONL catalog interchange format. Each line is one record:
+//
+//	{"type":"root","name":"Cell Phones"}                       (optional, once, first)
+//	{"type":"category","name":"Smart Phones","parent":"Cell Phones"}
+//	{"type":"item","name":"Nexus 5X","category":"Smart Phones",
+//	 "brand":"Google","price_cents":34900,"in_stock":true,
+//	 "facets":{"color":"black"}}
+//
+// Categories must appear before they are referenced; names are unique per
+// kind. Brands are created on first use. This is the format a retailer
+// would export their product feed into.
+
+type catalogLine struct {
+	Type       string            `json:"type"`
+	Name       string            `json:"name"`
+	Parent     string            `json:"parent,omitempty"`
+	Category   string            `json:"category,omitempty"`
+	Brand      string            `json:"brand,omitempty"`
+	PriceCents int64             `json:"price_cents,omitempty"`
+	InStock    *bool             `json:"in_stock,omitempty"`
+	Facets     map[string]string `json:"facets,omitempty"`
+}
+
+// LoadJSONL reads a catalog in the JSONL interchange format.
+func LoadJSONL(r io.Reader, retailer RetailerID) (*Catalog, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	type pendingItem struct {
+		line catalogLine
+		n    int
+	}
+	var rootName string
+	type catDef struct {
+		name, parent string
+		n            int
+	}
+	var cats []catDef
+	var items []pendingItem
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		var l catalogLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			return nil, fmt.Errorf("catalog: line %d: %w", lineNo, err)
+		}
+		switch l.Type {
+		case "root":
+			if rootName != "" {
+				return nil, fmt.Errorf("catalog: line %d: duplicate root", lineNo)
+			}
+			if len(cats) > 0 || len(items) > 0 {
+				return nil, fmt.Errorf("catalog: line %d: root must come first", lineNo)
+			}
+			rootName = l.Name
+		case "category":
+			if l.Name == "" {
+				return nil, fmt.Errorf("catalog: line %d: category without name", lineNo)
+			}
+			cats = append(cats, catDef{name: l.Name, parent: l.Parent, n: lineNo})
+		case "item":
+			if l.Name == "" {
+				return nil, fmt.Errorf("catalog: line %d: item without name", lineNo)
+			}
+			items = append(items, pendingItem{line: l, n: lineNo})
+		default:
+			return nil, fmt.Errorf("catalog: line %d: unknown record type %q", lineNo, l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	if rootName == "" {
+		rootName = "All Products"
+	}
+	b := taxonomy.NewBuilder(rootName)
+	nodeByName := map[string]taxonomy.NodeID{rootName: taxonomy.Root}
+	for _, c := range cats {
+		parent := taxonomy.Root
+		if c.parent != "" {
+			p, ok := nodeByName[c.parent]
+			if !ok {
+				return nil, fmt.Errorf("catalog: line %d: category %q references unknown parent %q", c.n, c.name, c.parent)
+			}
+			parent = p
+		}
+		if _, dup := nodeByName[c.name]; dup {
+			return nil, fmt.Errorf("catalog: line %d: duplicate category %q", c.n, c.name)
+		}
+		nodeByName[c.name] = b.AddChild(parent, c.name)
+	}
+
+	cat := New(retailer, b.Build())
+	brandByName := map[string]BrandID{}
+	for _, p := range items {
+		l := p.line
+		node := taxonomy.Root
+		if l.Category != "" {
+			n, ok := nodeByName[l.Category]
+			if !ok {
+				return nil, fmt.Errorf("catalog: line %d: item %q references unknown category %q", p.n, l.Name, l.Category)
+			}
+			node = n
+		}
+		brand := NoBrand
+		if l.Brand != "" {
+			id, ok := brandByName[l.Brand]
+			if !ok {
+				id = cat.AddBrand(l.Brand)
+				brandByName[l.Brand] = id
+			}
+			brand = id
+		}
+		inStock := true
+		if l.InStock != nil {
+			inStock = *l.InStock
+		}
+		cat.AddItem(Item{
+			Name:     l.Name,
+			Category: node,
+			Brand:    brand,
+			Price:    l.PriceCents,
+			Facets:   l.Facets,
+			InStock:  inStock,
+		})
+	}
+	return cat, nil
+}
+
+// SaveJSONL writes the catalog in the interchange format; LoadJSONL on the
+// output reconstructs an equivalent catalog.
+func (c *Catalog) SaveJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	tx := c.Tax
+	if err := enc.Encode(catalogLine{Type: "root", Name: tx.Node(taxonomy.Root).Name}); err != nil {
+		return err
+	}
+	// Categories in id order: parents always precede children.
+	for i := 1; i < tx.NumNodes(); i++ {
+		n := tx.Node(taxonomy.NodeID(i))
+		parent := ""
+		if n.Parent != taxonomy.Root {
+			parent = tx.Node(n.Parent).Name
+		} else {
+			parent = tx.Node(taxonomy.Root).Name
+		}
+		if err := enc.Encode(catalogLine{Type: "category", Name: n.Name, Parent: parent}); err != nil {
+			return err
+		}
+	}
+	for _, it := range c.Items() {
+		inStock := it.InStock
+		l := catalogLine{
+			Type:       "item",
+			Name:       it.Name,
+			Category:   tx.Node(it.Category).Name,
+			Brand:      c.BrandName(it.Brand),
+			PriceCents: it.Price,
+			InStock:    &inStock,
+			Facets:     it.Facets,
+		}
+		if err := enc.Encode(l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,117 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sigmund/internal/taxonomy"
+)
+
+const sampleJSONL = `
+{"type":"root","name":"Cell Phones"}
+{"type":"category","name":"Smart Phones","parent":"Cell Phones"}
+{"type":"category","name":"Android Phones","parent":"Smart Phones"}
+{"type":"category","name":"Accessories"}
+# comment lines and blanks are skipped
+
+{"type":"item","name":"Nexus 5X","category":"Android Phones","brand":"Google","price_cents":34900,"in_stock":true,"facets":{"color":"black"}}
+{"type":"item","name":"Case","category":"Accessories","price_cents":1900}
+{"type":"item","name":"Mystery","in_stock":false}
+`
+
+func TestLoadJSONL(t *testing.T) {
+	c, err := LoadJSONL(strings.NewReader(sampleJSONL), "shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Retailer != "shop" || c.NumItems() != 3 {
+		t.Fatalf("catalog: %s, %d items", c.Retailer, c.NumItems())
+	}
+	if got := c.Tax.Node(taxonomy.Root).Name; got != "Cell Phones" {
+		t.Fatalf("root = %q", got)
+	}
+	nexus := c.Item(0)
+	if nexus.Name != "Nexus 5X" || nexus.Price != 34900 || !nexus.InStock {
+		t.Fatalf("nexus: %+v", nexus)
+	}
+	if c.BrandName(nexus.Brand) != "Google" {
+		t.Fatalf("brand = %q", c.BrandName(nexus.Brand))
+	}
+	if nexus.Facets["color"] != "black" {
+		t.Fatalf("facets: %v", nexus.Facets)
+	}
+	if got := c.Tax.Path(nexus.Category); got != "Cell Phones > Smart Phones > Android Phones" {
+		t.Fatalf("category path = %q", got)
+	}
+	// Accessories has no parent -> child of root.
+	caseItem := c.Item(1)
+	if c.Tax.Depth(caseItem.Category) != 1 {
+		t.Fatalf("Accessories depth = %d", c.Tax.Depth(caseItem.Category))
+	}
+	// Item with no category attaches to the root; in_stock=false honored.
+	mystery := c.Item(2)
+	if mystery.Category != taxonomy.Root || mystery.InStock || mystery.Brand != NoBrand {
+		t.Fatalf("mystery: %+v", mystery)
+	}
+}
+
+func TestLoadJSONLErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":          `{"type":"item"`,
+		"unknown type":      `{"type":"widget","name":"x"}`,
+		"unknown parent":    `{"type":"category","name":"a","parent":"ghost"}`,
+		"duplicate cat":     "{\"type\":\"category\",\"name\":\"a\"}\n{\"type\":\"category\",\"name\":\"a\"}",
+		"unknown category":  `{"type":"item","name":"x","category":"ghost"}`,
+		"nameless category": `{"type":"category"}`,
+		"nameless item":     `{"type":"item"}`,
+		"late root":         "{\"type\":\"category\",\"name\":\"a\"}\n{\"type\":\"root\",\"name\":\"r\"}",
+		"duplicate root":    "{\"type\":\"root\",\"name\":\"r\"}\n{\"type\":\"root\",\"name\":\"r2\"}",
+	}
+	for name, in := range cases {
+		if _, err := LoadJSONL(strings.NewReader(in), "s"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	orig, err := LoadJSONL(strings.NewReader(sampleJSONL), "shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSONL(&buf, "shop")
+	if err != nil {
+		t.Fatalf("reloading saved catalog: %v\n%s", err, buf.String())
+	}
+	if got.NumItems() != orig.NumItems() || got.Tax.NumNodes() != orig.Tax.NumNodes() {
+		t.Fatalf("round trip changed shape: %d/%d items, %d/%d nodes",
+			got.NumItems(), orig.NumItems(), got.Tax.NumNodes(), orig.Tax.NumNodes())
+	}
+	for i := 0; i < orig.NumItems(); i++ {
+		a, b := orig.Item(ItemID(i)), got.Item(ItemID(i))
+		if a.Name != b.Name || a.Price != b.Price || a.InStock != b.InStock {
+			t.Fatalf("item %d differs: %+v vs %+v", i, a, b)
+		}
+		if orig.BrandName(a.Brand) != got.BrandName(b.Brand) {
+			t.Fatalf("item %d brand differs", i)
+		}
+		if orig.Tax.Path(a.Category) != got.Tax.Path(b.Category) {
+			t.Fatalf("item %d category differs", i)
+		}
+	}
+}
+
+func TestLoadJSONLDefaultRoot(t *testing.T) {
+	c, err := LoadJSONL(strings.NewReader(`{"type":"item","name":"x"}`), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tax.Node(taxonomy.Root).Name != "All Products" {
+		t.Fatal("default root name missing")
+	}
+}

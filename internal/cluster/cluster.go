@@ -1,0 +1,503 @@
+// Package cluster is a discrete-event simulator of the Borg-like cluster
+// infrastructure Sigmund runs on (Section II-B): cells (data centers) of
+// machines, regular and pre-emptible task priorities, preemption of
+// low-priority work when high-priority demand arrives, and per-VM-second
+// cost accounting in which pre-emptible capacity costs ~30% of regular
+// capacity ("the cost advantage ... can be nearly 70%").
+//
+// The simulator reproduces the paper's systems trade-offs without real
+// hardware: fault-tolerance overhead (checkpoint writes, lost work on
+// preemption, re-execution) competes against the pre-emptible discount, so
+// experiments C6/C7/C9 in EXPERIMENTS.md can sweep preemption rates and
+// checkpoint policies and measure cost and makespan. It also models the
+// memory-oversubscription failure mode from Section IV-B2: tasks declare a
+// memory request for scheduling, but their actual model footprint may be
+// larger; when the actual usage on a machine exceeds its capacity, every
+// task on the machine is OOM-killed — exactly why Sigmund trains one
+// retailer per machine.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"sigmund/internal/linalg"
+)
+
+// Priority is a task's scheduling class.
+type Priority uint8
+
+const (
+	// Preemptible tasks run at a steep discount but can be torn down at
+	// any moment. Sigmund's training and inference use these.
+	Preemptible Priority = iota
+	// Regular tasks are never preempted and pay full price.
+	Regular
+)
+
+func (p Priority) String() string {
+	if p == Preemptible {
+		return "preemptible"
+	}
+	return "regular"
+}
+
+// MachineSpec describes one machine's capacity.
+type MachineSpec struct {
+	CPUs  int
+	MemMB int64
+}
+
+// Options configures a simulated cluster.
+type Options struct {
+	Cells           int
+	MachinesPerCell int
+	Machine         MachineSpec
+	// PreemptionRate is the expected number of preemption events per
+	// second of pre-emptible task runtime (exponential inter-arrivals).
+	PreemptionRate float64
+	// PreemptibleDiscount is the price of pre-emptible capacity relative
+	// to regular (paper: ~0.3).
+	PreemptibleDiscount float64
+	// RegularRate is the cost of one CPU-second at regular priority.
+	RegularRate float64
+	Seed        uint64
+}
+
+// Defaulted fills zero fields with usable values.
+func (o Options) Defaulted() Options {
+	if o.Cells <= 0 {
+		o.Cells = 1
+	}
+	if o.MachinesPerCell <= 0 {
+		o.MachinesPerCell = 4
+	}
+	if o.Machine.CPUs <= 0 {
+		o.Machine.CPUs = 4
+	}
+	if o.Machine.MemMB <= 0 {
+		o.Machine.MemMB = 32 << 10
+	}
+	if o.PreemptibleDiscount <= 0 {
+		o.PreemptibleDiscount = 0.3
+	}
+	if o.RegularRate <= 0 {
+		o.RegularRate = 1.0
+	}
+	return o
+}
+
+// AnyCell places a task in whichever cell has room.
+const AnyCell = -1
+
+// Task is one unit of work submitted to the cluster.
+type Task struct {
+	Name     string
+	CPUs     int
+	Priority Priority
+	// DeclaredMemMB is the scheduler-visible memory request.
+	DeclaredMemMB int64
+	// ActualMemMB is the true peak usage (0 = same as declared). The gap
+	// between the two is what makes naive co-scheduling dangerous.
+	ActualMemMB int64
+	// WorkSeconds is the wall-clock compute the task needs.
+	WorkSeconds float64
+	// CheckpointEvery, when > 0, checkpoints progress on this wall-clock
+	// interval; on preemption the task resumes from the last checkpoint.
+	CheckpointEvery float64
+	// CheckpointCost is the seconds each checkpoint write adds.
+	CheckpointCost float64
+	// MaxAttempts bounds placements (0 = 100).
+	MaxAttempts int
+	// Cell pins the task to a cell, or AnyCell.
+	Cell int
+}
+
+func (t *Task) actualMem() int64 {
+	if t.ActualMemMB > 0 {
+		return t.ActualMemMB
+	}
+	return t.DeclaredMemMB
+}
+
+func (t *Task) maxAttempts() int {
+	if t.MaxAttempts > 0 {
+		return t.MaxAttempts
+	}
+	return 100
+}
+
+// TaskResult reports one task's fate.
+type TaskResult struct {
+	Name      string
+	Completed bool
+	// Start is when the task first began executing; End is completion (or
+	// the time of final failure).
+	Start, End float64
+	// BilledSeconds is total machine occupancy across attempts.
+	BilledSeconds float64
+	Cost          float64
+	Preemptions   int
+	OOMKills      int
+	// LostWorkSeconds is work done but rolled back at preemptions.
+	LostWorkSeconds float64
+	// CheckpointSeconds is the overhead spent writing checkpoints.
+	CheckpointSeconds float64
+	Cell              int
+}
+
+// Summary aggregates a simulation run.
+type Summary struct {
+	Makespan         float64
+	TotalCost        float64
+	TotalPreemptions int
+	TotalOOMKills    int
+	TotalLostWork    float64
+	Unplaceable      int
+	Results          []TaskResult
+	// BilledCPUSeconds is total CPU occupancy billed across all tasks.
+	BilledCPUSeconds float64
+	// Machines is the fleet size, for utilization math.
+	Machines int
+	// MachineCPUs is the per-machine CPU capacity.
+	MachineCPUs int
+}
+
+// Utilization returns billed CPU-seconds over the fleet's CPU-seconds of
+// wall time (makespan) — how busy the cluster was. Low utilization on a
+// dedicated fleet is the economic argument for using shared pre-emptible
+// capacity instead.
+func (s Summary) Utilization() float64 {
+	denom := s.Makespan * float64(s.Machines*s.MachineCPUs)
+	if denom == 0 {
+		return 0
+	}
+	return s.BilledCPUSeconds / denom
+}
+
+// Failed returns the number of tasks that did not complete.
+func (s Summary) Failed() int {
+	n := 0
+	for _, r := range s.Results {
+		if !r.Completed {
+			n++
+		}
+	}
+	return n
+}
+
+type machine struct {
+	cell     int
+	spec     MachineSpec
+	freeCPUs int
+	freeMem  int64
+	running  map[*taskState]struct{}
+}
+
+type taskState struct {
+	task      *Task
+	remaining float64
+	attempts  int
+	result    TaskResult
+	started   bool
+
+	// Current placement.
+	machine      *machine
+	attemptStart float64
+	attemptDur   float64
+	attemptCkpts float64 // checkpoint overhead included in attemptDur
+	epoch        int     // invalidates stale heap events
+}
+
+type event struct {
+	at    float64
+	kind  eventKind
+	ts    *taskState
+	epoch int
+	seq   int
+}
+
+type eventKind uint8
+
+const (
+	evFinish eventKind = iota
+	evPreempt
+)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// Cluster is a simulated fleet. Create with New, submit with Run.
+type Cluster struct {
+	opts     Options
+	machines []*machine
+	rng      *linalg.RNG
+}
+
+// New builds a cluster per opts.
+func New(opts Options) *Cluster {
+	opts = opts.Defaulted()
+	c := &Cluster{opts: opts, rng: linalg.NewRNG(opts.Seed ^ 0xc1a5)}
+	for cell := 0; cell < opts.Cells; cell++ {
+		for m := 0; m < opts.MachinesPerCell; m++ {
+			c.machines = append(c.machines, &machine{
+				cell:     cell,
+				spec:     opts.Machine,
+				freeCPUs: opts.Machine.CPUs,
+				freeMem:  opts.Machine.MemMB,
+				running:  make(map[*taskState]struct{}),
+			})
+		}
+	}
+	return c
+}
+
+// NumMachines returns the fleet size.
+func (c *Cluster) NumMachines() int { return len(c.machines) }
+
+// Run simulates the given tasks to completion (or failure) and returns the
+// summary. Run may be called repeatedly; each call starts from an idle
+// cluster and time zero.
+func (c *Cluster) Run(tasks []*Task) Summary {
+	for _, m := range c.machines {
+		m.freeCPUs = m.spec.CPUs
+		m.freeMem = m.spec.MemMB
+		for ts := range m.running {
+			delete(m.running, ts)
+		}
+	}
+	states := make([]*taskState, len(tasks))
+	queue := make([]*taskState, 0, len(tasks))
+	var sum Summary
+	for i, t := range tasks {
+		ts := &taskState{task: t, remaining: t.WorkSeconds}
+		ts.result.Name = t.Name
+		ts.result.Cell = -1
+		states[i] = ts
+		if t.CPUs > c.opts.Machine.CPUs || t.DeclaredMemMB > c.opts.Machine.MemMB {
+			sum.Unplaceable++
+			continue
+		}
+		queue = append(queue, ts)
+	}
+
+	var events eventHeap
+	seq := 0
+	now := 0.0
+
+	schedule := func() {
+		// Alternate placement and OOM detection until a fixed point:
+		// OOM kills requeue tasks that may then fit elsewhere. The loop
+		// terminates because every kill consumes a bounded attempt.
+		for {
+			placed := false
+			remaining := queue[:0]
+			for _, ts := range queue {
+				m := c.place(ts)
+				if m == nil {
+					remaining = append(remaining, ts)
+					continue
+				}
+				c.start(ts, m, now, &events, &seq)
+				placed = true
+			}
+			queue = append([]*taskState(nil), remaining...)
+
+			// OOM detection: actual memory oversubscription kills every
+			// task on the machine (Section IV-B2's failure mode).
+			oomed := false
+			for _, m := range c.machines {
+				var actual int64
+				for ts := range m.running {
+					actual += ts.task.actualMem()
+				}
+				if actual <= m.spec.MemMB || len(m.running) == 0 {
+					continue
+				}
+				victims := make([]*taskState, 0, len(m.running))
+				for ts := range m.running {
+					victims = append(victims, ts)
+				}
+				// Deterministic order.
+				for i := 0; i < len(victims); i++ {
+					for j := i + 1; j < len(victims); j++ {
+						if victims[j].task.Name < victims[i].task.Name {
+							victims[i], victims[j] = victims[j], victims[i]
+						}
+					}
+				}
+				for _, ts := range victims {
+					c.interrupt(ts, now, true)
+					oomed = true
+					if ts.attempts >= ts.task.maxAttempts() {
+						ts.result.End = now
+					} else {
+						queue = append(queue, ts)
+					}
+				}
+			}
+			if !oomed && !placed {
+				return
+			}
+			if !oomed {
+				return
+			}
+		}
+	}
+
+	schedule()
+	for !events.empty() {
+		e := events.pop()
+		if e.epoch != e.ts.epoch || e.ts.machine == nil {
+			continue // stale
+		}
+		now = e.at
+		ts := e.ts
+		switch e.kind {
+		case evFinish:
+			c.bill(ts, ts.attemptDur, now)
+			ts.result.CheckpointSeconds += ts.attemptCkpts
+			ts.remaining = 0
+			ts.result.Completed = true
+			ts.result.End = now
+			c.free(ts)
+		case evPreempt:
+			c.interrupt(ts, now, false)
+			if ts.attempts >= ts.task.maxAttempts() {
+				ts.result.End = now
+			} else {
+				queue = append(queue, ts)
+			}
+		}
+		schedule()
+	}
+
+	for _, ts := range states {
+		sum.Results = append(sum.Results, ts.result)
+		sum.TotalCost += ts.result.Cost
+		sum.TotalPreemptions += ts.result.Preemptions
+		sum.TotalOOMKills += ts.result.OOMKills
+		sum.TotalLostWork += ts.result.LostWorkSeconds
+		sum.BilledCPUSeconds += ts.result.BilledSeconds * float64(ts.task.CPUs)
+		if ts.result.End > sum.Makespan {
+			sum.Makespan = ts.result.End
+		}
+	}
+	sum.Machines = len(c.machines)
+	sum.MachineCPUs = c.opts.Machine.CPUs
+	return sum
+}
+
+// place finds a machine (first fit, honoring cell pinning) or nil.
+func (c *Cluster) place(ts *taskState) *machine {
+	for _, m := range c.machines {
+		if ts.task.Cell != AnyCell && ts.task.Cell != m.cell {
+			continue
+		}
+		if m.freeCPUs >= ts.task.CPUs && m.freeMem >= ts.task.DeclaredMemMB {
+			return m
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) start(ts *taskState, m *machine, now float64, events *eventHeap, seq *int) {
+	m.freeCPUs -= ts.task.CPUs
+	m.freeMem -= ts.task.DeclaredMemMB
+	m.running[ts] = struct{}{}
+	ts.machine = m
+	ts.attempts++
+	ts.epoch++
+	ts.attemptStart = now
+	if !ts.started {
+		ts.started = true
+		ts.result.Start = now
+		ts.result.Cell = m.cell
+	}
+	ckptOverhead := 0.0
+	if ts.task.CheckpointEvery > 0 {
+		ckptOverhead = math.Floor(ts.remaining/ts.task.CheckpointEvery) * ts.task.CheckpointCost
+	}
+	ts.attemptDur = ts.remaining + ckptOverhead
+	ts.attemptCkpts = ckptOverhead
+
+	*seq++
+	events.push(event{at: now + ts.attemptDur, kind: evFinish, ts: ts, epoch: ts.epoch, seq: *seq})
+	if ts.task.Priority == Preemptible && c.opts.PreemptionRate > 0 {
+		dt := c.rng.Exp(1 / c.opts.PreemptionRate)
+		if dt < ts.attemptDur {
+			*seq++
+			events.push(event{at: now + dt, kind: evPreempt, ts: ts, epoch: ts.epoch, seq: *seq})
+		}
+	}
+}
+
+// interrupt rolls a running task back to its last checkpoint and frees its
+// machine. oom marks the interruption as an OOM kill rather than a
+// preemption.
+func (c *Cluster) interrupt(ts *taskState, now float64, oom bool) {
+	elapsed := now - ts.attemptStart
+	c.bill(ts, elapsed, now)
+	// Split elapsed time into real work and checkpoint overhead
+	// proportionally, then roll back to the last completed checkpoint.
+	workFrac := 1.0
+	if ts.attemptDur > 0 {
+		workFrac = ts.remaining / ts.attemptDur
+	}
+	workDone := elapsed * workFrac
+	saved := 0.0
+	if ts.task.CheckpointEvery > 0 {
+		saved = math.Floor(workDone/ts.task.CheckpointEvery) * ts.task.CheckpointEvery
+		ts.result.CheckpointSeconds += math.Floor(workDone/ts.task.CheckpointEvery) * ts.task.CheckpointCost
+	}
+	ts.result.LostWorkSeconds += workDone - saved
+	ts.remaining -= saved
+	if oom {
+		ts.result.OOMKills++
+	} else {
+		ts.result.Preemptions++
+	}
+	c.free(ts)
+	ts.epoch++ // invalidate any outstanding finish event
+}
+
+func (c *Cluster) free(ts *taskState) {
+	m := ts.machine
+	if m == nil {
+		return
+	}
+	m.freeCPUs += ts.task.CPUs
+	m.freeMem += ts.task.DeclaredMemMB
+	delete(m.running, ts)
+	ts.machine = nil
+}
+
+func (c *Cluster) bill(ts *taskState, seconds, _ float64) {
+	rate := c.opts.RegularRate
+	if ts.task.Priority == Preemptible {
+		rate *= c.opts.PreemptibleDiscount
+	}
+	ts.result.BilledSeconds += seconds
+	ts.result.Cost += seconds * float64(ts.task.CPUs) * rate
+}
+
+// String summarizes the fleet for logs.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{cells=%d machines=%d cpus=%d mem=%dMB rate=%g/%g}",
+		c.opts.Cells, len(c.machines), c.opts.Machine.CPUs, c.opts.Machine.MemMB,
+		c.opts.RegularRate, c.opts.RegularRate*c.opts.PreemptibleDiscount)
+}

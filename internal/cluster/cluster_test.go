@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func opts() Options {
+	return Options{
+		Cells: 2, MachinesPerCell: 2,
+		Machine:             MachineSpec{CPUs: 4, MemMB: 32 << 10},
+		PreemptibleDiscount: 0.3,
+		RegularRate:         1.0,
+		Seed:                1,
+	}
+}
+
+func TestSingleTaskCompletes(t *testing.T) {
+	c := New(opts())
+	sum := c.Run([]*Task{{
+		Name: "t1", CPUs: 2, DeclaredMemMB: 1024, Priority: Regular,
+		WorkSeconds: 100, Cell: AnyCell,
+	}})
+	if sum.Failed() != 0 {
+		t.Fatalf("task failed: %+v", sum.Results)
+	}
+	r := sum.Results[0]
+	if !r.Completed || r.End != 100 || r.Start != 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	// Regular price: 100s * 2 CPUs * 1.0.
+	if r.Cost != 200 {
+		t.Fatalf("cost = %v, want 200", r.Cost)
+	}
+	if sum.Makespan != 100 {
+		t.Fatalf("makespan = %v", sum.Makespan)
+	}
+}
+
+func TestPreemptibleDiscountWithoutPreemptions(t *testing.T) {
+	o := opts()
+	o.PreemptionRate = 0
+	c := New(o)
+	sum := c.Run([]*Task{{
+		Name: "t", CPUs: 1, DeclaredMemMB: 100, Priority: Preemptible,
+		WorkSeconds: 100, Cell: AnyCell,
+	}})
+	if got := sum.Results[0].Cost; math.Abs(got-30) > 1e-9 {
+		t.Fatalf("preemptible cost = %v, want 30 (70%% discount)", got)
+	}
+}
+
+func TestQueueingWhenClusterFull(t *testing.T) {
+	o := opts()
+	o.Cells, o.MachinesPerCell = 1, 1
+	o.Machine = MachineSpec{CPUs: 1, MemMB: 1024}
+	c := New(o)
+	tasks := []*Task{
+		{Name: "a", CPUs: 1, DeclaredMemMB: 512, Priority: Regular, WorkSeconds: 10, Cell: AnyCell},
+		{Name: "b", CPUs: 1, DeclaredMemMB: 512, Priority: Regular, WorkSeconds: 10, Cell: AnyCell},
+	}
+	sum := c.Run(tasks)
+	if sum.Failed() != 0 {
+		t.Fatal("tasks failed")
+	}
+	// One CPU: tasks serialize; makespan 20.
+	if sum.Makespan != 20 {
+		t.Fatalf("makespan = %v, want 20", sum.Makespan)
+	}
+	if sum.Results[1].Start != 10 {
+		t.Fatalf("second task started at %v, want 10", sum.Results[1].Start)
+	}
+}
+
+func TestUnplaceableTask(t *testing.T) {
+	c := New(opts())
+	sum := c.Run([]*Task{{
+		Name: "huge", CPUs: 64, DeclaredMemMB: 1, Priority: Regular, WorkSeconds: 1, Cell: AnyCell,
+	}})
+	if sum.Unplaceable != 1 || sum.Failed() != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestCellPinning(t *testing.T) {
+	c := New(opts())
+	sum := c.Run([]*Task{
+		{Name: "c0", CPUs: 1, DeclaredMemMB: 10, Priority: Regular, WorkSeconds: 5, Cell: 0},
+		{Name: "c1", CPUs: 1, DeclaredMemMB: 10, Priority: Regular, WorkSeconds: 5, Cell: 1},
+	})
+	if sum.Failed() != 0 {
+		t.Fatal("pinned tasks failed")
+	}
+	if sum.Results[0].Cell != 0 || sum.Results[1].Cell != 1 {
+		t.Fatalf("cells = %d, %d", sum.Results[0].Cell, sum.Results[1].Cell)
+	}
+}
+
+func TestPreemptionWithCheckpointsMakesProgress(t *testing.T) {
+	o := opts()
+	o.PreemptionRate = 1.0 / 50 // expected preemption every 50s
+	o.Seed = 7
+	c := New(o)
+	sum := c.Run([]*Task{{
+		Name: "train", CPUs: 1, DeclaredMemMB: 100, Priority: Preemptible,
+		WorkSeconds: 200, CheckpointEvery: 10, CheckpointCost: 0.1,
+		Cell: AnyCell,
+	}})
+	r := sum.Results[0]
+	if !r.Completed {
+		t.Fatalf("task with checkpoints failed: %+v", r)
+	}
+	if r.Preemptions == 0 {
+		t.Fatal("expected preemptions at this rate")
+	}
+	// Lost work per preemption is bounded by the checkpoint interval.
+	if r.LostWorkSeconds > float64(r.Preemptions)*10+1e-6 {
+		t.Fatalf("lost work %v exceeds interval bound for %d preemptions", r.LostWorkSeconds, r.Preemptions)
+	}
+	// Wall time = work + overhead + lost work, so End >= 200.
+	if r.End < 200 {
+		t.Fatalf("completed before doing the work: end=%v", r.End)
+	}
+}
+
+func TestCheckpointIntervalBoundsLostWork(t *testing.T) {
+	// Same workload, two checkpoint intervals: the finer interval must
+	// lose less work per preemption on average.
+	run := func(interval float64) float64 {
+		o := opts()
+		o.PreemptionRate = 1.0 / 30
+		o.Seed = 11
+		c := New(o)
+		var tasks []*Task
+		for i := 0; i < 20; i++ {
+			tasks = append(tasks, &Task{
+				Name: "t", CPUs: 1, DeclaredMemMB: 10, Priority: Preemptible,
+				WorkSeconds: 100, CheckpointEvery: interval, CheckpointCost: 0.05,
+				Cell: AnyCell,
+			})
+		}
+		sum := c.Run(tasks)
+		if sum.TotalPreemptions == 0 {
+			t.Fatal("no preemptions in lost-work comparison")
+		}
+		return sum.TotalLostWork / float64(sum.TotalPreemptions)
+	}
+	fine := run(5)
+	coarse := run(50)
+	if fine >= coarse {
+		t.Fatalf("finer checkpoints lost more work: fine=%v coarse=%v", fine, coarse)
+	}
+}
+
+func TestNoCheckpointLosesAllProgress(t *testing.T) {
+	o := opts()
+	o.PreemptionRate = 1.0 / 40
+	o.Seed = 3
+	c := New(o)
+	sum := c.Run([]*Task{{
+		Name: "naked", CPUs: 1, DeclaredMemMB: 10, Priority: Preemptible,
+		WorkSeconds: 60, Cell: AnyCell,
+	}})
+	r := sum.Results[0]
+	if r.Preemptions > 0 && r.LostWorkSeconds == 0 {
+		t.Fatal("preempted checkpoint-less task lost no work?")
+	}
+	if r.Completed && r.End < 60 {
+		t.Fatalf("impossible completion time %v", r.End)
+	}
+}
+
+func TestOOMKillsCoScheduledTasks(t *testing.T) {
+	// Two tasks declare 1GB each but actually use 20GB; machine has 32GB.
+	// Co-scheduled they blow the machine; the simulator must OOM-kill and
+	// (with attempts left) eventually finish them on separate machines...
+	// except first-fit keeps co-placing them, so with MaxAttempts=2 they
+	// fail — demonstrating the paper's point that declared-memory
+	// scheduling cannot be trusted for model training.
+	o := opts()
+	o.Cells, o.MachinesPerCell = 1, 2
+	c := New(o)
+	mk := func(name string) *Task {
+		return &Task{
+			Name: name, CPUs: 1, DeclaredMemMB: 1 << 10, ActualMemMB: 20 << 10,
+			Priority: Preemptible, WorkSeconds: 50, MaxAttempts: 2, Cell: AnyCell,
+		}
+	}
+	sum := c.Run([]*Task{mk("big-a"), mk("big-b")})
+	if sum.TotalOOMKills == 0 {
+		t.Fatal("oversubscribed machine did not OOM")
+	}
+	// One-retailer-per-machine (declare the real footprint): no OOM.
+	honest := func(name string) *Task {
+		t := mk(name)
+		t.DeclaredMemMB = 20 << 10
+		return t
+	}
+	sum = c.Run([]*Task{honest("big-a"), honest("big-b")})
+	if sum.TotalOOMKills != 0 || sum.Failed() != 0 {
+		t.Fatalf("honest declarations still OOMed: %+v", sum)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Summary {
+		o := opts()
+		o.PreemptionRate = 1.0 / 20
+		o.Seed = 42
+		c := New(o)
+		var tasks []*Task
+		for i := 0; i < 10; i++ {
+			tasks = append(tasks, &Task{
+				Name: "t", CPUs: 1, DeclaredMemMB: 10, Priority: Preemptible,
+				WorkSeconds: 30, CheckpointEvery: 5, Cell: AnyCell,
+			})
+		}
+		return c.Run(tasks)
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || a.TotalCost != b.TotalCost || a.TotalPreemptions != b.TotalPreemptions {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestPreemptibleCheaperDespiteRework(t *testing.T) {
+	// The paper's core economics claim (C6): at moderate preemption rates,
+	// pre-emptible + checkpointing beats regular price even counting lost
+	// work and checkpoint overhead.
+	mkTasks := func(p Priority) []*Task {
+		var tasks []*Task
+		for i := 0; i < 30; i++ {
+			tasks = append(tasks, &Task{
+				Name: "t", CPUs: 2, DeclaredMemMB: 100, Priority: p,
+				WorkSeconds: 100, CheckpointEvery: 10, CheckpointCost: 0.2,
+				Cell: AnyCell,
+			})
+		}
+		return tasks
+	}
+	o := opts()
+	o.PreemptionRate = 1.0 / 200
+	o.Seed = 5
+	pre := New(o).Run(mkTasks(Preemptible))
+	reg := New(o).Run(mkTasks(Regular))
+	if pre.Failed() != 0 || reg.Failed() != 0 {
+		t.Fatal("tasks failed")
+	}
+	if pre.TotalCost >= reg.TotalCost {
+		t.Fatalf("preemptible cost %v >= regular %v", pre.TotalCost, reg.TotalCost)
+	}
+}
+
+func TestPriorityAndClusterString(t *testing.T) {
+	if Preemptible.String() != "preemptible" || Regular.String() != "regular" {
+		t.Fatal("Priority strings")
+	}
+	c := New(opts())
+	if c.String() == "" || c.NumMachines() != 4 {
+		t.Fatal("cluster description")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	o := opts()
+	o.Cells, o.MachinesPerCell = 1, 1
+	o.Machine = MachineSpec{CPUs: 2, MemMB: 1024}
+	c := New(o)
+	// One task using 1 of 2 CPUs for the whole run: utilization 0.5.
+	sum := c.Run([]*Task{{
+		Name: "t", CPUs: 1, DeclaredMemMB: 100, Priority: Regular,
+		WorkSeconds: 100, Cell: AnyCell,
+	}})
+	if got := sum.Utilization(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Utilization = %v, want 0.5", got)
+	}
+	if (Summary{}).Utilization() != 0 {
+		t.Fatal("empty summary utilization should be 0")
+	}
+}

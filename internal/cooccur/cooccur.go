@@ -1,0 +1,269 @@
+// Package cooccur implements the item-item co-occurrence recommender from
+// Section III-E of the paper: PMI-scored co-view and co-buy associations,
+// the simple/scalable family of methods behind Amazon's and YouTube's
+// classic recommenders.
+//
+// Sigmund uses co-occurrence two ways: as the production recommender for
+// popular (head) items — where it is hard to beat — and as the source of
+// co-view/co-buy sets for factorization candidate selection and negative
+// sampling. Unlike the factorization model it updates instantly as events
+// arrive, so the Model supports both bulk construction from a log and
+// incremental Observe calls.
+package cooccur
+
+import (
+	"math"
+	"sort"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+)
+
+// Kind selects which association class a query refers to.
+type Kind uint8
+
+const (
+	// CoView associates items viewed/searched near each other in one
+	// user's history — substitute-flavoured associations.
+	CoView Kind = iota
+	// CoBuy associates items cart-added/purchased by the same user —
+	// complement-flavoured associations.
+	CoBuy
+)
+
+// Neighbor is an associated item with its co-occurrence support and PMI
+// score.
+type Neighbor struct {
+	Item  catalog.ItemID
+	Count int
+	PMI   float64
+}
+
+// Model holds co-occurrence counts for one retailer.
+type Model struct {
+	numItems int
+	window   int
+
+	// adjacency[kind][i] maps neighbor -> pair count. Symmetric.
+	adj [2]map[catalog.ItemID]map[catalog.ItemID]int
+	// itemCount[kind][i] counts events of the kind's classes on item i.
+	itemCount [2][]int
+	// totalPairs[kind] is the number of (unordered) pair observations.
+	totalPairs [2]int
+	// totalEvents[kind] is the sum of itemCount[kind], kept incrementally so
+	// marginal probabilities are O(1).
+	totalEvents [2]int
+
+	// hist[u] is the user's recent items per kind, for windowed pairing.
+	hist map[interactions.UserID]*userHist
+}
+
+type userHist struct {
+	items [2][]catalog.ItemID // ring of most recent items per kind
+}
+
+// DefaultWindow is how many recent same-kind items a new event is paired
+// with. Small windows keep associations tight (same shopping mission).
+const DefaultWindow = 5
+
+// NewModel returns an empty model for a catalog of numItems items.
+func NewModel(numItems, window int) *Model {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	m := &Model{
+		numItems: numItems,
+		window:   window,
+		hist:     make(map[interactions.UserID]*userHist),
+	}
+	for k := range m.adj {
+		m.adj[k] = make(map[catalog.ItemID]map[catalog.ItemID]int)
+		m.itemCount[k] = make([]int, numItems)
+	}
+	return m
+}
+
+// FromLog builds a model from a complete log (events are replayed in time
+// order).
+func FromLog(l *interactions.Log, numItems, window int) *Model {
+	m := NewModel(numItems, window)
+	for _, e := range l.Events() {
+		m.Observe(e)
+	}
+	return m
+}
+
+func kindOf(t interactions.EventType) Kind {
+	if t >= interactions.Cart {
+		return CoBuy
+	}
+	return CoView
+}
+
+// Observe incorporates one event, pairing the item with the user's recent
+// items of the same kind. Cart/conversion events also count as views for
+// co-view purposes (a purchased item was certainly examined).
+func (m *Model) Observe(e interactions.Event) {
+	if int(e.Item) < 0 || int(e.Item) >= m.numItems {
+		return
+	}
+	m.observeKind(e.User, e.Item, kindOf(e.Type))
+	if kindOf(e.Type) == CoBuy {
+		m.observeKind(e.User, e.Item, CoView)
+	}
+}
+
+func (m *Model) observeKind(u interactions.UserID, item catalog.ItemID, k Kind) {
+	h := m.hist[u]
+	if h == nil {
+		h = &userHist{}
+		m.hist[u] = h
+	}
+	m.itemCount[k][item]++
+	m.totalEvents[k]++
+	for _, prev := range h.items[k] {
+		if prev == item {
+			continue
+		}
+		m.addPair(k, item, prev)
+	}
+	h.items[k] = append(h.items[k], item)
+	if len(h.items[k]) > m.window {
+		h.items[k] = h.items[k][len(h.items[k])-m.window:]
+	}
+}
+
+func (m *Model) addPair(k Kind, a, b catalog.ItemID) {
+	for _, pair := range [2][2]catalog.ItemID{{a, b}, {b, a}} {
+		row := m.adj[k][pair[0]]
+		if row == nil {
+			row = make(map[catalog.ItemID]int)
+			m.adj[k][pair[0]] = row
+		}
+		row[pair[1]]++
+	}
+	m.totalPairs[k]++
+}
+
+// Count returns the number of times items a and b co-occurred under kind k.
+func (m *Model) Count(k Kind, a, b catalog.ItemID) int {
+	return m.adj[k][a][b]
+}
+
+// ItemCount returns how many kind-k events item i has received.
+func (m *Model) ItemCount(k Kind, i catalog.ItemID) int {
+	return m.itemCount[k][i]
+}
+
+// PMI returns the (smoothed) pointwise mutual information between a and b
+// under kind k:
+//
+//	log( P(a,b) / (P(a) P(b)) )
+//
+// with add-one smoothing on the pair count so unseen pairs score very low
+// rather than -Inf. Returns 0 when marginals are missing.
+func (m *Model) PMI(k Kind, a, b catalog.ItemID) float64 {
+	ca, cb := m.itemCount[k][a], m.itemCount[k][b]
+	if ca == 0 || cb == 0 || m.totalPairs[k] == 0 {
+		return 0
+	}
+	pair := float64(m.adj[k][a][b]) + 1e-3
+	n := float64(m.totalPairs[k])
+	total := float64(m.totalEvents[k])
+	pa := float64(ca) / total
+	pb := float64(cb) / total
+	return math.Log(pair / n / (pa * pb))
+}
+
+// Neighbors returns items co-occurring with i under kind k, holding at
+// least minSupport joint observations, sorted by descending PMI. A
+// minSupport of >= 2 suppresses flukes; the hybrid recommender uses higher
+// thresholds for head items where data is plentiful.
+func (m *Model) Neighbors(k Kind, i catalog.ItemID, minSupport int) []Neighbor {
+	row := m.adj[k][i]
+	if len(row) == 0 {
+		return nil
+	}
+	total := float64(m.totalEvents[k])
+	n := float64(m.totalPairs[k])
+	pi := float64(m.itemCount[k][i]) / total
+	out := make([]Neighbor, 0, len(row))
+	for j, c := range row {
+		if c < minSupport {
+			continue
+		}
+		pj := float64(m.itemCount[k][j]) / total
+		pmi := math.Log((float64(c) + 1e-3) / n / (pi * pj))
+		out = append(out, Neighbor{Item: j, Count: c, PMI: pmi})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].PMI != out[b].PMI {
+			return out[a].PMI > out[b].PMI
+		}
+		return out[a].Item < out[b].Item
+	})
+	return out
+}
+
+// TopK returns the k best neighbors of i under kind kd (by PMI, with
+// minSupport filtering).
+func (m *Model) TopK(kd Kind, i catalog.ItemID, k, minSupport int) []Neighbor {
+	ns := m.Neighbors(kd, i, minSupport)
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}
+
+// TopKByCount returns the k neighbors of i with the highest raw pair
+// counts — the classic "customers who viewed X also viewed Y" frequency
+// ranking. Count ranking favours popular partners and cannot distinguish
+// among the ubiquitous count-1 pairs of the long tail, which is exactly the
+// behaviour of the simple co-occurrence baselines the paper compares
+// against.
+func (m *Model) TopKByCount(kd Kind, i catalog.ItemID, k, minSupport int) []Neighbor {
+	ns := m.Neighbors(kd, i, minSupport)
+	sort.SliceStable(ns, func(a, b int) bool {
+		if ns[a].Count != ns[b].Count {
+			return ns[a].Count > ns[b].Count
+		}
+		return ns[a].Item < ns[b].Item
+	})
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}
+
+// CoViewed returns the ids of items co-viewed with i (the paper's cv(i)),
+// with at least minSupport joint observations.
+func (m *Model) CoViewed(i catalog.ItemID, minSupport int) []catalog.ItemID {
+	return m.ids(CoView, i, minSupport)
+}
+
+// CoBought returns the ids of items co-bought with i (the paper's cb(i)).
+func (m *Model) CoBought(i catalog.ItemID, minSupport int) []catalog.ItemID {
+	return m.ids(CoBuy, i, minSupport)
+}
+
+func (m *Model) ids(k Kind, i catalog.ItemID, minSupport int) []catalog.ItemID {
+	row := m.adj[k][i]
+	out := make([]catalog.ItemID, 0, len(row))
+	for j, c := range row {
+		if c >= minSupport {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// HighlyAssociated reports whether a and b are strongly co-viewed or
+// co-bought. Negative sampling uses this to exclude items that merely look
+// like negatives but are actually related (Section III-B3).
+func (m *Model) HighlyAssociated(a, b catalog.ItemID, minSupport int) bool {
+	return m.adj[CoView][a][b] >= minSupport || m.adj[CoBuy][a][b] >= minSupport
+}
+
+// NumItems returns the catalog size this model was built for.
+func (m *Model) NumItems() int { return m.numItems }

@@ -1,0 +1,249 @@
+package cooccur
+
+import (
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/synth"
+)
+
+func view(u interactions.UserID, i catalog.ItemID, t int64) interactions.Event {
+	return interactions.Event{User: u, Item: i, Type: interactions.View, Time: t}
+}
+
+func buy(u interactions.UserID, i catalog.ItemID, t int64) interactions.Event {
+	return interactions.Event{User: u, Item: i, Type: interactions.Conversion, Time: t}
+}
+
+func TestObservePairsWithinWindow(t *testing.T) {
+	m := NewModel(10, 3)
+	// User views 0,1,2,3 in order with window 3: pairs (0,1),(0,2),(1,2),(1,3),(2,3),(0,3).
+	for i, it := range []catalog.ItemID{0, 1, 2, 3} {
+		m.Observe(view(1, it, int64(i)))
+	}
+	if got := m.Count(CoView, 0, 1); got != 1 {
+		t.Errorf("Count(0,1) = %d, want 1", got)
+	}
+	if got := m.Count(CoView, 0, 3); got != 1 {
+		t.Errorf("Count(0,3) = %d, want 1 (0 still within window of 3)", got)
+	}
+	// Symmetry.
+	if m.Count(CoView, 3, 0) != m.Count(CoView, 0, 3) {
+		t.Error("pair counts not symmetric")
+	}
+	// Add item 4: window now holds {1(evicted? no: 1,2,3)} — after inserting
+	// 4, pairs with 1,2,3 but not 0.
+	m.Observe(view(1, 4, 5))
+	if got := m.Count(CoView, 0, 4); got != 0 {
+		t.Errorf("Count(0,4) = %d, want 0 (0 evicted from window)", got)
+	}
+	if got := m.Count(CoView, 1, 4); got != 1 {
+		t.Errorf("Count(1,4) = %d, want 1", got)
+	}
+}
+
+func TestWindowAcrossUsers(t *testing.T) {
+	m := NewModel(10, 5)
+	m.Observe(view(1, 0, 0))
+	m.Observe(view(2, 1, 1)) // different user — must not pair with item 0
+	if got := m.Count(CoView, 0, 1); got != 0 {
+		t.Fatalf("cross-user pairing: Count = %d, want 0", got)
+	}
+}
+
+func TestRepeatedItemDoesNotSelfPair(t *testing.T) {
+	m := NewModel(10, 5)
+	m.Observe(view(1, 3, 0))
+	m.Observe(view(1, 3, 1))
+	if got := m.Count(CoView, 3, 3); got != 0 {
+		t.Fatalf("self pair count = %d, want 0", got)
+	}
+}
+
+func TestCoBuyVsCoView(t *testing.T) {
+	m := NewModel(10, 5)
+	m.Observe(view(1, 0, 0))
+	m.Observe(buy(1, 1, 1))
+	m.Observe(buy(1, 2, 2))
+	// Purchases pair under CoBuy.
+	if got := m.Count(CoBuy, 1, 2); got != 1 {
+		t.Errorf("CoBuy(1,2) = %d, want 1", got)
+	}
+	// The viewed item 0 never pairs under CoBuy.
+	if got := m.Count(CoBuy, 0, 1); got != 0 {
+		t.Errorf("CoBuy(0,1) = %d, want 0", got)
+	}
+	// Purchases also register as views, so CoView(0,1) exists.
+	if got := m.Count(CoView, 0, 1); got != 1 {
+		t.Errorf("CoView(0,1) = %d, want 1 (purchase implies view)", got)
+	}
+}
+
+func TestPMIFavorsGenuineAssociation(t *testing.T) {
+	m := NewModel(20, 2)
+	// Items 0,1 always co-occur (10 users). Item 2 is globally popular —
+	// co-viewed once with 0 but mostly with unrelated items — so its
+	// marginal is large and PMI(0,2) must come out low.
+	for u := 0; u < 10; u++ {
+		m.Observe(view(interactions.UserID(u), 0, int64(3*u)))
+		m.Observe(view(interactions.UserID(u), 1, int64(3*u+1)))
+	}
+	m.Observe(view(0, 2, 100)) // one fluke (1,2)+(0,2 within window? window=2: pairs with 0? no: user 0 history [0,1] -> pairs (2,0),(2,1))
+	for u := 50; u < 80; u++ {
+		m.Observe(view(interactions.UserID(u), 2, int64(200+2*u)))
+		m.Observe(view(interactions.UserID(u), catalog.ItemID(5+u%10), int64(201+2*u)))
+	}
+	if m.PMI(CoView, 0, 1) <= m.PMI(CoView, 0, 2) {
+		t.Fatalf("PMI(0,1)=%v should exceed PMI(0,2)=%v: 2 is popular noise",
+			m.PMI(CoView, 0, 1), m.PMI(CoView, 0, 2))
+	}
+	// Missing marginals -> 0.
+	if got := m.PMI(CoView, 0, 19); got != 0 {
+		t.Errorf("PMI with unseen item = %v, want 0", got)
+	}
+}
+
+func TestNeighborsSortedAndFiltered(t *testing.T) {
+	m := NewModel(20, 3)
+	for u := 0; u < 6; u++ {
+		m.Observe(view(interactions.UserID(u), 0, int64(10*u)))
+		m.Observe(view(interactions.UserID(u), 1, int64(10*u+1)))
+	}
+	m.Observe(view(99, 0, 1000))
+	m.Observe(view(99, 5, 1001)) // single fluke pair (0,5)
+	ns := m.Neighbors(CoView, 0, 2)
+	for _, nb := range ns {
+		if nb.Item == 5 {
+			t.Fatal("minSupport=2 did not filter the fluke pair")
+		}
+	}
+	if len(ns) == 0 || ns[0].Item != 1 {
+		t.Fatalf("Neighbors = %+v, want item 1 first", ns)
+	}
+	// Sorted descending by PMI.
+	for i := 1; i < len(ns); i++ {
+		if ns[i].PMI > ns[i-1].PMI {
+			t.Fatal("Neighbors not sorted by PMI")
+		}
+	}
+	// TopK truncation.
+	all := m.Neighbors(CoView, 0, 1)
+	if len(all) >= 2 {
+		top := m.TopK(CoView, 0, 1, 1)
+		if len(top) != 1 || top[0] != all[0] {
+			t.Fatalf("TopK(1) = %+v, want first of %+v", top, all)
+		}
+	}
+}
+
+func TestCoViewedCoBoughtIDs(t *testing.T) {
+	m := NewModel(10, 5)
+	m.Observe(view(1, 0, 0))
+	m.Observe(view(1, 2, 1))
+	m.Observe(buy(2, 0, 2))
+	m.Observe(buy(2, 4, 3))
+	cv := m.CoViewed(0, 1)
+	if len(cv) != 2 || cv[0] != 2 || cv[1] != 4 {
+		// item 4's purchase also registered a view pairing with 0's view? No:
+		// different users. But user 2's purchases register views (0,4).
+		t.Fatalf("CoViewed(0) = %v", cv)
+	}
+	cb := m.CoBought(0, 1)
+	if len(cb) != 1 || cb[0] != 4 {
+		t.Fatalf("CoBought(0) = %v", cb)
+	}
+	if !m.HighlyAssociated(0, 4, 1) {
+		t.Error("HighlyAssociated(0,4) should hold")
+	}
+	if m.HighlyAssociated(0, 9, 1) {
+		t.Error("HighlyAssociated(0,9) should not hold")
+	}
+}
+
+func TestObserveIgnoresOutOfRange(t *testing.T) {
+	m := NewModel(5, 3)
+	m.Observe(view(1, 99, 0)) // silently ignored
+	m.Observe(view(1, -1, 1))
+	if m.ItemCount(CoView, 0) != 0 {
+		t.Fatal("out-of-range events mutated state")
+	}
+}
+
+func TestFromLogEquivalentToObserve(t *testing.T) {
+	r := synth.GenerateRetailer(synth.RetailerSpec{NumItems: 100, NumUsers: 60, EventsPerUserMean: 10, Seed: 21})
+	a := FromLog(r.Log, 100, 5)
+	b := NewModel(100, 5)
+	for _, e := range r.Log.Events() {
+		b.Observe(e)
+	}
+	for i := 0; i < 100; i++ {
+		ii := catalog.ItemID(i)
+		if a.ItemCount(CoView, ii) != b.ItemCount(CoView, ii) {
+			t.Fatalf("item %d: FromLog and Observe disagree", i)
+		}
+		na, nb := a.Neighbors(CoView, ii, 1), b.Neighbors(CoView, ii, 1)
+		if len(na) != len(nb) {
+			t.Fatalf("item %d: neighbor counts differ: %d vs %d", i, len(na), len(nb))
+		}
+	}
+}
+
+func TestIncrementalUpdateChangesRecommendations(t *testing.T) {
+	// The paper values co-occurrence models because they update instantly.
+	m := NewModel(10, 5)
+	for u := 0; u < 5; u++ {
+		m.Observe(view(interactions.UserID(u), 0, int64(2*u)))
+		m.Observe(view(interactions.UserID(u), 1, int64(2*u+1)))
+	}
+	before := m.TopK(CoView, 0, 1, 1)
+	if len(before) != 1 || before[0].Item != 1 {
+		t.Fatalf("setup: TopK = %+v", before)
+	}
+	// New evidence arrives: (0,2) co-views appear, while item 1 turns out to
+	// be globally popular (viewed with many unrelated items), which dilutes
+	// PMI(0,1). The model must reflect this instantly, no retraining.
+	for u := 10; u < 20; u++ {
+		m.Observe(view(interactions.UserID(u), 0, int64(100+2*u)))
+		m.Observe(view(interactions.UserID(u), 2, int64(101+2*u)))
+	}
+	for u := 30; u < 60; u++ {
+		m.Observe(view(interactions.UserID(u), 1, int64(300+2*u)))
+		m.Observe(view(interactions.UserID(u), catalog.ItemID(3+u%6), int64(301+2*u)))
+	}
+	after := m.TopK(CoView, 0, 1, 1)
+	if len(after) != 1 || after[0].Item != 2 {
+		t.Fatalf("after new evidence: TopK = %+v, want item 2", after)
+	}
+}
+
+func TestTopKByCount(t *testing.T) {
+	m := NewModel(20, 3)
+	// (0,1) x5, (0,2) x2, (0,3) x1 — count ranking puts 1 first even though
+	// PMI might prefer the rarer pairs.
+	for u := 0; u < 5; u++ {
+		m.Observe(view(interactions.UserID(u), 0, int64(10*u)))
+		m.Observe(view(interactions.UserID(u), 1, int64(10*u+1)))
+	}
+	for u := 10; u < 12; u++ {
+		m.Observe(view(interactions.UserID(u), 0, int64(10*u)))
+		m.Observe(view(interactions.UserID(u), 2, int64(10*u+1)))
+	}
+	m.Observe(view(30, 0, 900))
+	m.Observe(view(30, 3, 901))
+
+	got := m.TopKByCount(CoView, 0, 2, 1)
+	if len(got) != 2 || got[0].Item != 1 || got[0].Count != 5 || got[1].Item != 2 {
+		t.Fatalf("TopKByCount = %+v", got)
+	}
+	// minSupport filters the singleton pair.
+	all := m.TopKByCount(CoView, 0, 10, 2)
+	for _, n := range all {
+		if n.Item == 3 {
+			t.Fatal("minSupport not applied")
+		}
+	}
+	if m.NumItems() != 20 {
+		t.Fatal("NumItems wrong")
+	}
+}

@@ -1,0 +1,287 @@
+package bpr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/taxonomy"
+)
+
+// Checkpoint format: a compact self-contained binary encoding of the model
+// — hyper-parameters, learned arrays, optimizer state, and the item->feature
+// lookup tables — so an inference task on another machine can load and score
+// without the catalog, and a preempted training task can resume exactly.
+//
+// Layout (little endian):
+//
+//	magic "SGM1"
+//	u32 len + hyperparams JSON
+//	u32 numItems, u32 numNodes, u32 numBrands
+//	u64 steps
+//	u8 flags (bit0 T, bit1 B, bit2 P, bit3 adagrad)
+//	float32 arrays: V, VC, [T], [B], [P], [GV, GVC, [GT], [GB], [GP]]
+//	i32 itemCat[numItems], i32 brandOf[numItems], i16 priceBucket[numItems]
+//	per node: u16 count + i32 ancestors
+const checkpointMagic = "SGM1"
+
+const (
+	flagT uint8 = 1 << iota
+	flagB
+	flagP
+	flagAdagrad
+)
+
+// Save serializes the model to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	hj, err := json.Marshal(m.Hyper)
+	if err != nil {
+		return fmt.Errorf("bpr: encoding hyperparams: %w", err)
+	}
+	writeU32(bw, uint32(len(hj)))
+	bw.Write(hj)
+	writeU32(bw, uint32(m.NumItems))
+	writeU32(bw, uint32(m.NumNodes))
+	writeU32(bw, uint32(m.NumBrands))
+	writeU64(bw, uint64(m.Steps))
+	var flags uint8
+	if m.T != nil {
+		flags |= flagT
+	}
+	if m.B != nil {
+		flags |= flagB
+	}
+	if m.P != nil {
+		flags |= flagP
+	}
+	if m.GV != nil {
+		flags |= flagAdagrad
+	}
+	bw.WriteByte(flags)
+	for _, arr := range [][]float32{m.V, m.VC, m.T, m.B, m.P, m.GV, m.GVC, m.GT, m.GB, m.GP} {
+		writeFloats(bw, arr)
+	}
+	for _, c := range m.itemCat {
+		writeU32(bw, uint32(c))
+	}
+	for _, b := range m.brandOf {
+		writeU32(bw, uint32(int32(b)))
+	}
+	for _, p := range m.priceBucket {
+		writeU16(bw, uint16(p))
+	}
+	for _, anc := range m.catAncestors {
+		writeU16(bw, uint16(len(anc)))
+		for _, a := range anc {
+			writeU32(bw, uint32(a))
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes a model previously written with WriteTo. The result is
+// immediately usable for scoring and for resumed/incremental training.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("bpr: reading magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("bpr: bad checkpoint magic %q", magic)
+	}
+	hlen, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	hj := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hj); err != nil {
+		return nil, err
+	}
+	m := &Model{}
+	if err := json.Unmarshal(hj, &m.Hyper); err != nil {
+		return nil, fmt.Errorf("bpr: decoding hyperparams: %w", err)
+	}
+	var ni, nn, nb uint32
+	if ni, err = readU32(br); err != nil {
+		return nil, err
+	}
+	if nn, err = readU32(br); err != nil {
+		return nil, err
+	}
+	if nb, err = readU32(br); err != nil {
+		return nil, err
+	}
+	steps, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	m.NumItems, m.NumNodes, m.NumBrands = int(ni), int(nn), int(nb)
+	m.Steps = int64(steps)
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	F := m.Hyper.Factors
+	if F < 1 {
+		return nil, fmt.Errorf("bpr: checkpoint has invalid Factors %d", F)
+	}
+	readArr := func(rows int) ([]float32, error) {
+		arr := make([]float32, rows*F)
+		return arr, readFloats(br, arr)
+	}
+	if m.V, err = readArr(m.NumItems); err != nil {
+		return nil, err
+	}
+	if m.VC, err = readArr(m.NumItems); err != nil {
+		return nil, err
+	}
+	if flags&flagT != 0 {
+		if m.T, err = readArr(m.NumNodes); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagB != 0 {
+		if m.B, err = readArr(m.NumBrands + 1); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagP != 0 {
+		if m.P, err = readArr(NumPriceBuckets); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagAdagrad != 0 {
+		if m.GV, err = readArr(m.NumItems); err != nil {
+			return nil, err
+		}
+		if m.GVC, err = readArr(m.NumItems); err != nil {
+			return nil, err
+		}
+		if flags&flagT != 0 {
+			if m.GT, err = readArr(m.NumNodes); err != nil {
+				return nil, err
+			}
+		}
+		if flags&flagB != 0 {
+			if m.GB, err = readArr(m.NumBrands + 1); err != nil {
+				return nil, err
+			}
+		}
+		if flags&flagP != 0 {
+			if m.GP, err = readArr(NumPriceBuckets); err != nil {
+				return nil, err
+			}
+		}
+	}
+	m.itemCat = make([]taxonomy.NodeID, m.NumItems)
+	for i := range m.itemCat {
+		v, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		m.itemCat[i] = taxonomy.NodeID(int32(v))
+	}
+	m.brandOf = make([]catalog.BrandID, m.NumItems)
+	for i := range m.brandOf {
+		v, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		m.brandOf[i] = catalog.BrandID(int32(v))
+	}
+	m.priceBucket = make([]int16, m.NumItems)
+	for i := range m.priceBucket {
+		v, err := readU16(br)
+		if err != nil {
+			return nil, err
+		}
+		m.priceBucket[i] = int16(v)
+	}
+	m.catAncestors = make([][]taxonomy.NodeID, m.NumNodes)
+	for i := range m.catAncestors {
+		cnt, err := readU16(br)
+		if err != nil {
+			return nil, err
+		}
+		anc := make([]taxonomy.NodeID, cnt)
+		for j := range anc {
+			v, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			anc[j] = taxonomy.NodeID(int32(v))
+		}
+		m.catAncestors[i] = anc
+	}
+	return m, nil
+}
+
+func writeU16(w *bufio.Writer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeFloats(w *bufio.Writer, xs []float32) {
+	var b [4]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(x))
+		w.Write(b[:])
+	}
+}
+
+func readU16(r io.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func readFloats(r io.Reader, dst []float32) error {
+	buf := make([]byte, 4*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}

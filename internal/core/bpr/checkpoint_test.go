@@ -1,0 +1,133 @@
+package bpr
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := testCatalog(t)
+	m, _ := NewModel(allFeaturesHyper(), c)
+	m.Steps = 12345
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hyper != m.Hyper {
+		t.Fatalf("hyperparams differ: %+v vs %+v", got.Hyper, m.Hyper)
+	}
+	if got.NumItems != m.NumItems || got.NumNodes != m.NumNodes || got.NumBrands != m.NumBrands {
+		t.Fatal("dims differ")
+	}
+	if got.Steps != 12345 {
+		t.Fatalf("Steps = %d", got.Steps)
+	}
+	check := func(name string, a, b []float32) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d] differs", name, i)
+			}
+		}
+	}
+	check("V", m.V, got.V)
+	check("VC", m.VC, got.VC)
+	check("T", m.T, got.T)
+	check("B", m.B, got.B)
+	check("P", m.P, got.P)
+	check("GV", m.GV, got.GV)
+	check("GVC", m.GVC, got.GVC)
+
+	// A loaded model scores identically without any catalog rebinding.
+	ctx := interactions.Context{{Type: interactions.View, Item: 1}, {Type: interactions.Cart, Item: 3}}
+	for i := 0; i < m.NumItems; i++ {
+		a, b := m.Score(ctx, catalog.ItemID(i)), got.Score(ctx, catalog.ItemID(i))
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("scores differ for item %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestCheckpointRoundTripMinimalModel(t *testing.T) {
+	c := testCatalog(t)
+	h := DefaultHyperparams()
+	h.UseTaxonomy, h.UseBrand, h.UsePrice = false, false, false
+	h.Optimizer = PlainSGD
+	m, _ := NewModel(h, c)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T != nil || got.B != nil || got.P != nil || got.GV != nil {
+		t.Fatal("optional arrays materialized from nothing")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	// Truncated: valid prefix then EOF.
+	c := testCatalog(t)
+	m, _ := NewModel(DefaultHyperparams(), c)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated checkpoint")
+	}
+}
+
+func TestResumeTrainingFromCheckpoint(t *testing.T) {
+	// The preemption-recovery path: train, checkpoint, load, keep training.
+	r := synthRetailer(t, 41)
+	split := interactions.HoldoutSplit(r.Log, 25)
+	ds := NewDataset(split.Train, r.Catalog)
+	h := DefaultHyperparams()
+	h.Factors = 8
+	m, _ := NewModel(h, r.Catalog)
+	if _, err := Train(context.Background(), m, ds, TrainOptions{Epochs: 5, Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pairwiseAccuracy(restored, split.Holdout, restored.NumItems, 7)
+	if _, err := Train(context.Background(), restored, ds, TrainOptions{Epochs: 15, Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := pairwiseAccuracy(restored, split.Holdout, restored.NumItems, 7)
+	if after < before-0.05 {
+		t.Fatalf("resumed training regressed: %.3f -> %.3f", before, after)
+	}
+	if restored.Steps <= m.Steps {
+		t.Fatal("resumed model did not accumulate steps")
+	}
+}

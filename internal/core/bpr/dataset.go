@@ -1,0 +1,145 @@
+package bpr
+
+import (
+	"sort"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+)
+
+// Dataset is the training view of one retailer's interaction log, organized
+// the way BPR sampling needs it:
+//
+//   - per-user event sequences, so each positive event carries the user
+//     context that preceded it (Figure 2 in the paper);
+//   - per-user "max interaction level" per item, so base negatives can be
+//     drawn from unseen items;
+//   - per-user per-level item lists, so the tier constraints
+//     (search > view, cart > search, conversion > cart) can sample their
+//     negatives from exactly the tier below (Section III-B1).
+type Dataset struct {
+	Cat       *catalog.Catalog
+	Sequences []interactions.UserSequence
+
+	// positions flattens every usable training position: event index >= 1
+	// within its sequence (index 0 has an empty context and produces a zero
+	// gradient).
+	positions []position
+
+	// maxLevel[s] maps item -> strongest interaction the user of sequence s
+	// had with it.
+	maxLevel []map[catalog.ItemID]interactions.EventType
+	// levelItems[s][l] lists items whose max level for sequence s is
+	// exactly l.
+	levelItems [][interactions.NumEventTypes][]catalog.ItemID
+}
+
+type position struct {
+	seq int32
+	idx int32
+}
+
+// NewDataset builds the training structures from a log. Events for items
+// outside the catalog are dropped defensively.
+func NewDataset(log *interactions.Log, cat *catalog.Catalog) *Dataset {
+	d := &Dataset{Cat: cat, Sequences: log.BySequence()}
+	n := cat.NumItems()
+	d.maxLevel = make([]map[catalog.ItemID]interactions.EventType, len(d.Sequences))
+	d.levelItems = make([][interactions.NumEventTypes][]catalog.ItemID, len(d.Sequences))
+	for s, seq := range d.Sequences {
+		ml := make(map[catalog.ItemID]interactions.EventType, len(seq.Events))
+		for idx, e := range seq.Events {
+			if int(e.Item) < 0 || int(e.Item) >= n {
+				continue
+			}
+			if idx >= 1 {
+				d.positions = append(d.positions, position{seq: int32(s), idx: int32(idx)})
+			}
+			if cur, ok := ml[e.Item]; !ok || e.Type > cur {
+				ml[e.Item] = e.Type
+			}
+		}
+		d.maxLevel[s] = ml
+		for item, lvl := range ml {
+			d.levelItems[s][lvl] = append(d.levelItems[s][lvl], item)
+		}
+		// Map iteration order is randomized per process; sorted pools keep
+		// tier-negative sampling — and therefore training — bit-identical
+		// across runs for a given seed.
+		for lvl := range d.levelItems[s] {
+			pool := d.levelItems[s][lvl]
+			sort.Slice(pool, func(a, b int) bool { return pool[a] < pool[b] })
+		}
+	}
+	return d
+}
+
+// NumPositions returns how many (context, positive) training positions the
+// dataset yields per epoch.
+func (d *Dataset) NumPositions() int { return len(d.positions) }
+
+// NumUsers returns the number of distinct users.
+func (d *Dataset) NumUsers() int { return len(d.Sequences) }
+
+// Example is one sampled BPR training instance: maximize
+// score(Context, Pos) - score(Context, Neg).
+type Example struct {
+	// SeqIdx identifies the user (sequence index, not UserID).
+	SeqIdx int
+	// Context is the slice of events preceding the positive, already
+	// truncated to the model's context length. It aliases the dataset; do
+	// not modify.
+	Context []interactions.Event
+	Pos     catalog.ItemID
+	Neg     catalog.ItemID
+	// Tier is the event type whose constraint this example encodes: View
+	// means the base interacted-vs-unseen constraint; Search/Cart/Conversion
+	// mean the corresponding tier-above-tier-below constraint.
+	Tier interactions.EventType
+}
+
+// SamplePosition draws a uniform training position and returns the sequence
+// index, the positive event, and the preceding context window (capped at
+// maxCtx events).
+func (d *Dataset) SamplePosition(rng *linalg.RNG, maxCtx int) (seqIdx int, pos interactions.Event, context []interactions.Event) {
+	p := d.positions[rng.Intn(len(d.positions))]
+	seq := d.Sequences[p.seq]
+	start := 0
+	if int(p.idx) > maxCtx {
+		start = int(p.idx) - maxCtx
+	}
+	return int(p.seq), seq.Events[p.idx], seq.Events[start:p.idx]
+}
+
+// Interacted reports whether the user of sequence s has interacted with
+// item i at any level.
+func (d *Dataset) Interacted(s int, i catalog.ItemID) bool {
+	_, ok := d.maxLevel[s][i]
+	return ok
+}
+
+// MaxLevel returns the strongest interaction the user of sequence s had
+// with item i, and whether any exists.
+func (d *Dataset) MaxLevel(s int, i catalog.ItemID) (interactions.EventType, bool) {
+	l, ok := d.maxLevel[s][i]
+	return l, ok
+}
+
+// TierNegatives returns the items whose strongest interaction for sequence
+// s is exactly level l — the pool the tier constraint for level l+1 samples
+// its negatives from. The returned slice aliases the dataset.
+func (d *Dataset) TierNegatives(s int, l interactions.EventType) []catalog.ItemID {
+	return d.levelItems[s][l]
+}
+
+// ContextOf converts an event window into an interactions.Context (used at
+// evaluation boundaries; the training hot path consumes event slices
+// directly).
+func ContextOf(events []interactions.Event) interactions.Context {
+	ctx := make(interactions.Context, len(events))
+	for i, e := range events {
+		ctx[i] = interactions.Action{Type: e.Type, Item: e.Item}
+	}
+	return ctx
+}

@@ -1,0 +1,96 @@
+package bpr
+
+import (
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+)
+
+func TestDatasetStructures(t *testing.T) {
+	c := testCatalog(t)
+	log := interactions.NewLog()
+	add := func(u interactions.UserID, i catalog.ItemID, et interactions.EventType, tm int64) {
+		log.Append(interactions.Event{User: u, Item: i, Type: et, Time: tm})
+	}
+	// User 0: view 0, search 0, view 1, cart 2  -> maxLevel {0:search, 1:view, 2:cart}
+	add(0, 0, interactions.View, 1)
+	add(0, 0, interactions.Search, 2)
+	add(0, 1, interactions.View, 3)
+	add(0, 2, interactions.Cart, 4)
+	// User 1: single event -> no positions (idx 0 skipped).
+	add(1, 3, interactions.View, 5)
+
+	ds := NewDataset(log, c)
+	if ds.NumUsers() != 2 {
+		t.Fatalf("NumUsers = %d", ds.NumUsers())
+	}
+	// Positions: user 0 indices 1,2,3 = 3 positions; user 1 none.
+	if ds.NumPositions() != 3 {
+		t.Fatalf("NumPositions = %d, want 3", ds.NumPositions())
+	}
+	if !ds.Interacted(0, 0) || ds.Interacted(0, 5) {
+		t.Fatal("Interacted wrong")
+	}
+	if lvl, ok := ds.MaxLevel(0, 0); !ok || lvl != interactions.Search {
+		t.Fatalf("MaxLevel(0,0) = %v,%v", lvl, ok)
+	}
+	// Tier pools: items whose max level is exactly View for user 0 -> {1}.
+	pool := ds.TierNegatives(0, interactions.View)
+	if len(pool) != 1 || pool[0] != 1 {
+		t.Fatalf("TierNegatives(View) = %v", pool)
+	}
+	pool = ds.TierNegatives(0, interactions.Search)
+	if len(pool) != 1 || pool[0] != 0 {
+		t.Fatalf("TierNegatives(Search) = %v", pool)
+	}
+	if got := ds.TierNegatives(0, interactions.Conversion); len(got) != 0 {
+		t.Fatalf("TierNegatives(Conversion) = %v", got)
+	}
+}
+
+func TestDatasetDropsUnknownItems(t *testing.T) {
+	c := testCatalog(t)
+	log := interactions.NewLog()
+	log.Append(interactions.Event{User: 0, Item: 500, Type: interactions.View, Time: 1})
+	log.Append(interactions.Event{User: 0, Item: 0, Type: interactions.View, Time: 2})
+	ds := NewDataset(log, c)
+	if ds.Interacted(0, 500) {
+		t.Fatal("out-of-catalog item recorded")
+	}
+}
+
+func TestSamplePositionContextWindow(t *testing.T) {
+	c := testCatalog(t)
+	log := interactions.NewLog()
+	for i := int64(0); i < 6; i++ {
+		log.Append(interactions.Event{User: 0, Item: catalog.ItemID(i % 8), Type: interactions.View, Time: i})
+	}
+	ds := NewDataset(log, c)
+	rng := linalg.NewRNG(5)
+	for trial := 0; trial < 100; trial++ {
+		seqIdx, pos, ctx := ds.SamplePosition(rng, 3)
+		if seqIdx != 0 {
+			t.Fatalf("seqIdx = %d", seqIdx)
+		}
+		if len(ctx) == 0 || len(ctx) > 3 {
+			t.Fatalf("context window size %d out of [1,3]", len(ctx))
+		}
+		// The context must immediately precede the positive.
+		if ctx[len(ctx)-1].Time != pos.Time-1 {
+			t.Fatalf("context not contiguous with positive: %v then %v", ctx[len(ctx)-1], pos)
+		}
+	}
+}
+
+func TestContextOf(t *testing.T) {
+	evs := []interactions.Event{
+		{User: 0, Item: 4, Type: interactions.Search, Time: 9},
+		{User: 0, Item: 5, Type: interactions.Cart, Time: 10},
+	}
+	ctx := ContextOf(evs)
+	if len(ctx) != 2 || ctx[0].Item != 4 || ctx[1].Type != interactions.Cart {
+		t.Fatalf("ContextOf = %+v", ctx)
+	}
+}

@@ -1,0 +1,165 @@
+// Package bpr implements Sigmund's per-retailer recommendation model: BPR
+// (Bayesian Personalized Ranking, Rendle et al.) matrix factorization over
+// implicit feedback, extended exactly the way Section III of the paper
+// describes:
+//
+//   - users are represented by their context — a decayed linear combination
+//     of context-item embeddings (Equation 1) — so new users need no
+//     retraining;
+//   - interaction strengths are tiered (view < search < cart < conversion)
+//     and each tier contributes pairwise constraints against the tier below;
+//   - item embeddings are hierarchically smoothed over the taxonomy and
+//     augmented with brand and price-bucket features;
+//   - negatives are sampled with taxonomy/co-occurrence/adaptive heuristics;
+//   - learning rates are per-coordinate Adagrad (plain SGD is retained as an
+//     ablation baseline);
+//   - training is single-machine, optionally Hogwild multi-threaded;
+//   - models checkpoint to a shared filesystem and support incremental
+//     (warm-start) retraining with Adagrad norms reset.
+package bpr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Optimizer selects the learning-rate schedule.
+type Optimizer uint8
+
+const (
+	// Adagrad is the paper's choice: per-coordinate adaptive rates that
+	// damp frequently updated items and boost rare ones.
+	Adagrad Optimizer = iota
+	// PlainSGD is the constant-rate baseline the paper compares against
+	// ("Adagrad converges faster and is more reliable than the basic SGD").
+	PlainSGD
+)
+
+func (o Optimizer) String() string {
+	switch o {
+	case Adagrad:
+		return "adagrad"
+	case PlainSGD:
+		return "sgd"
+	}
+	return fmt.Sprintf("Optimizer(%d)", uint8(o))
+}
+
+// SamplerKind selects the negative-sampling strategy.
+type SamplerKind uint8
+
+const (
+	// SampleUniform draws negatives uniformly from unseen items — the
+	// baseline BPR sampler.
+	SampleUniform SamplerKind = iota
+	// SampleHeuristic applies Section III-B3: prefer items far away in the
+	// taxonomy, exclude highly co-viewed/co-bought items, and pick the
+	// highest-scoring of a small candidate set (adaptive, Rendle &
+	// Freudenthaler 2014).
+	SampleHeuristic
+)
+
+func (s SamplerKind) String() string {
+	switch s {
+	case SampleUniform:
+		return "uniform"
+	case SampleHeuristic:
+		return "heuristic"
+	}
+	return fmt.Sprintf("SamplerKind(%d)", uint8(s))
+}
+
+// NumPriceBuckets is the number of log-scale price-bucket embeddings when
+// the price feature is enabled.
+const NumPriceBuckets = 16
+
+// Hyperparams is one point in Sigmund's grid-search space (Section III-C1).
+// The feature switches exist because feature usefulness varies by retailer:
+// brand coverage under ~10% makes the brand feature actively harmful, so
+// feature selection must be per-retailer.
+type Hyperparams struct {
+	Factors      int     `json:"factors"`       // F: 5..200 in the paper's grid
+	LearningRate float64 `json:"learning_rate"` // Adagrad base rate / SGD rate
+	RegItem      float64 `json:"reg_item"`      // λ_V
+	RegContext   float64 `json:"reg_context"`   // λ_VC
+	RegFeature   float64 `json:"reg_feature"`   // regularization for taxonomy/brand/price embeddings
+
+	UseTaxonomy bool `json:"use_taxonomy"`
+	UseBrand    bool `json:"use_brand"`
+	UsePrice    bool `json:"use_price"`
+
+	// ContextLen is K, the number of past actions kept in the user context
+	// (~25 in production).
+	ContextLen int `json:"context_len"`
+	// ContextDecay in (0, 1]: the weight of a context action j steps in the
+	// past is ContextDecay^j (normalized). 1 = no decay.
+	ContextDecay float64 `json:"context_decay"`
+
+	// InitStdDev is the stddev of the random embedding initialization (the
+	// paper's "prior variance" knob).
+	InitStdDev float64 `json:"init_std_dev"`
+	// Seed is the RNG seed — explicitly part of the grid in the paper.
+	Seed uint64 `json:"seed"`
+
+	Optimizer Optimizer   `json:"optimizer"`
+	Sampler   SamplerKind `json:"sampler"`
+}
+
+// DefaultHyperparams returns a sane mid-grid starting point.
+func DefaultHyperparams() Hyperparams {
+	return Hyperparams{
+		Factors:      16,
+		LearningRate: 0.1,
+		RegItem:      0.01,
+		RegContext:   0.01,
+		RegFeature:   0.01,
+		UseTaxonomy:  true,
+		UseBrand:     false,
+		UsePrice:     false,
+		ContextLen:   25,
+		ContextDecay: 0.85,
+		InitStdDev:   0.1,
+		Seed:         1,
+		Optimizer:    Adagrad,
+		Sampler:      SampleHeuristic,
+	}
+}
+
+// Validate reports the first problem with h, or nil.
+func (h Hyperparams) Validate() error {
+	switch {
+	case h.Factors < 1:
+		return errors.New("bpr: Factors must be >= 1")
+	case h.LearningRate <= 0:
+		return errors.New("bpr: LearningRate must be > 0")
+	case h.RegItem < 0 || h.RegContext < 0 || h.RegFeature < 0:
+		return errors.New("bpr: regularization must be >= 0")
+	case h.ContextLen < 1:
+		return errors.New("bpr: ContextLen must be >= 1")
+	case h.ContextDecay <= 0 || h.ContextDecay > 1:
+		return errors.New("bpr: ContextDecay must be in (0, 1]")
+	case h.InitStdDev <= 0:
+		return errors.New("bpr: InitStdDev must be > 0")
+	}
+	return nil
+}
+
+// Key returns a short deterministic identifier for the combination, used in
+// config records and checkpoint paths.
+func (h Hyperparams) Key() string {
+	feat := ""
+	if h.UseTaxonomy {
+		feat += "T"
+	}
+	if h.UseBrand {
+		feat += "B"
+	}
+	if h.UsePrice {
+		feat += "P"
+	}
+	if feat == "" {
+		feat = "-"
+	}
+	return fmt.Sprintf("F%d_lr%g_rv%g_rc%g_%s_%s_%s_s%d",
+		h.Factors, h.LearningRate, h.RegItem, h.RegContext, feat, h.Optimizer, h.Sampler, h.Seed)
+}

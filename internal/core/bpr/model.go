@@ -1,0 +1,403 @@
+package bpr
+
+import (
+	"fmt"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+	"sigmund/internal/taxonomy"
+)
+
+// Model is one trained (or in-training) BPR factorization model for one
+// retailer. A model always fits in the memory of a single machine — the
+// paper's key simplifying assumption (Section IV) — so all parameters live
+// in flat float32 slices.
+//
+// Scoring is safe for concurrent use; training mutates the model and must
+// go through a Trainer.
+type Model struct {
+	Hyper Hyperparams
+
+	NumItems  int
+	NumNodes  int // taxonomy nodes
+	NumBrands int
+
+	// Learned parameters (flat, Factors-strided).
+	V  []float32 // item embeddings v_i (the ranked side)
+	VC []float32 // context embeddings v^C_i (Equation 1)
+	T  []float32 // taxonomy node embeddings (nil unless UseTaxonomy)
+	B  []float32 // brand embeddings, 1-based by BrandID (nil unless UseBrand)
+	P  []float32 // price-bucket embeddings (nil unless UsePrice)
+
+	// Adagrad per-coordinate squared-gradient accumulators, parallel to the
+	// parameter slices (nil for PlainSGD).
+	GV, GVC, GT, GB, GP []float32
+
+	// Catalog-derived lookup tables, serialized with the model so inference
+	// tasks can score without reloading the catalog.
+	itemCat     []taxonomy.NodeID // category of each item
+	brandOf     []catalog.BrandID
+	priceBucket []int16 // -1 = unknown price
+	// catAncestors[node] lists node's ancestors including itself; shared
+	// across items of one category.
+	catAncestors [][]taxonomy.NodeID
+
+	// Steps counts SGD updates applied, for logging and checkpoint naming.
+	Steps int64
+}
+
+// NewModel allocates and randomly initializes a model for the catalog.
+func NewModel(h Hyperparams, cat *catalog.Catalog) (*Model, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Hyper:     h,
+		NumItems:  cat.NumItems(),
+		NumNodes:  cat.Tax.NumNodes(),
+		NumBrands: cat.NumBrands(),
+	}
+	m.bindCatalog(cat)
+	F := h.Factors
+	rng := linalg.NewRNG(h.Seed)
+	m.V = make([]float32, m.NumItems*F)
+	m.VC = make([]float32, m.NumItems*F)
+	// Under the hierarchical additive model the item vector v_i is a
+	// deviation from the summed category-path embedding, so it starts at
+	// zero: an item with no training data then scores purely by its
+	// features, which is exactly the cold-start behaviour the taxonomy
+	// smoothing exists to provide. Without features, v_i is the whole
+	// representation and needs random symmetry breaking.
+	if !h.UseTaxonomy {
+		rng.FillNormal(m.V, h.InitStdDev)
+	}
+	rng.FillNormal(m.VC, h.InitStdDev)
+	if h.UseTaxonomy {
+		m.T = make([]float32, m.NumNodes*F)
+		rng.FillNormal(m.T, h.InitStdDev*0.5)
+	}
+	if h.UseBrand {
+		m.B = make([]float32, (m.NumBrands+1)*F)
+		rng.FillNormal(m.B, h.InitStdDev*0.5)
+		linalg.Zero(m.B[:F]) // NoBrand contributes nothing
+	}
+	if h.UsePrice {
+		m.P = make([]float32, NumPriceBuckets*F)
+		rng.FillNormal(m.P, h.InitStdDev*0.5)
+	}
+	if h.Optimizer == Adagrad {
+		m.allocAdagrad()
+	}
+	return m, nil
+}
+
+// AdagradInitAccumulator is the initial per-coordinate squared-gradient
+// accumulator. A non-zero floor keeps the very first steps at roughly the
+// base learning rate instead of the wildly overscaled lr/|g| that a zero
+// accumulator produces (the standard initial_accumulator_value
+// stabilization).
+const AdagradInitAccumulator = 0.1
+
+func (m *Model) allocAdagrad() {
+	fill := func(n int) []float32 {
+		a := make([]float32, n)
+		for i := range a {
+			a[i] = AdagradInitAccumulator
+		}
+		return a
+	}
+	m.GV = fill(len(m.V))
+	m.GVC = fill(len(m.VC))
+	if m.T != nil {
+		m.GT = fill(len(m.T))
+	}
+	if m.B != nil {
+		m.GB = fill(len(m.B))
+	}
+	if m.P != nil {
+		m.GP = fill(len(m.P))
+	}
+}
+
+// bindCatalog (re)derives the item -> feature lookup tables from a catalog.
+func (m *Model) bindCatalog(cat *catalog.Catalog) {
+	n := cat.NumItems()
+	m.itemCat = make([]taxonomy.NodeID, n)
+	m.brandOf = make([]catalog.BrandID, n)
+	m.priceBucket = make([]int16, n)
+	for i := 0; i < n; i++ {
+		it := cat.Item(catalog.ItemID(i))
+		m.itemCat[i] = it.Category
+		m.brandOf[i] = it.Brand
+		m.priceBucket[i] = int16(cat.PriceBucket(catalog.ItemID(i), NumPriceBuckets))
+	}
+	m.catAncestors = make([][]taxonomy.NodeID, cat.Tax.NumNodes())
+	for node := 0; node < cat.Tax.NumNodes(); node++ {
+		m.catAncestors[node] = cat.Tax.Ancestors(taxonomy.NodeID(node))
+	}
+}
+
+// F returns the embedding dimensionality.
+func (m *Model) F() int { return m.Hyper.Factors }
+
+// ItemVec returns item i's base embedding v_i (a live sub-slice).
+func (m *Model) ItemVec(i catalog.ItemID) []float32 {
+	F := m.Hyper.Factors
+	return m.V[int(i)*F : (int(i)+1)*F]
+}
+
+// ContextVec returns item i's context embedding v^C_i (a live sub-slice).
+func (m *Model) ContextVec(i catalog.ItemID) []float32 {
+	F := m.Hyper.Factors
+	return m.VC[int(i)*F : (int(i)+1)*F]
+}
+
+func (m *Model) nodeVec(n taxonomy.NodeID) []float32 {
+	F := m.Hyper.Factors
+	return m.T[int(n)*F : (int(n)+1)*F]
+}
+
+func (m *Model) brandVec(b catalog.BrandID) []float32 {
+	F := m.Hyper.Factors
+	return m.B[int(b)*F : (int(b)+1)*F]
+}
+
+func (m *Model) priceVec(bucket int) []float32 {
+	F := m.Hyper.Factors
+	return m.P[bucket*F : (bucket+1)*F]
+}
+
+// Composite writes item i's full feature-augmented embedding
+//
+//	φ(i) = v_i [+ Σ_{a ∈ ancestors(cat(i))} t_a] [+ b_{brand(i)}] [+ p_{bucket(i)}]
+//
+// into dst (length F) and returns dst. This hierarchical additive form is
+// the Kanagal et al. taxonomy model referenced in Section III-B4: items in
+// nearby categories share ancestor terms, which smooths embeddings across
+// the taxonomy and gives cold items a sensible representation.
+func (m *Model) Composite(i catalog.ItemID, dst []float32) []float32 {
+	copy(dst, m.ItemVec(i))
+	if m.T != nil {
+		for _, a := range m.catAncestors[m.itemCat[i]] {
+			linalg.AddTo(m.nodeVec(a), dst)
+		}
+	}
+	if m.B != nil {
+		if b := m.brandOf[i]; b != catalog.NoBrand {
+			linalg.AddTo(m.brandVec(b), dst)
+		}
+	}
+	if m.P != nil {
+		if pb := m.priceBucket[i]; pb >= 0 {
+			linalg.AddTo(m.priceVec(int(pb)), dst)
+		}
+	}
+	return dst
+}
+
+// ContextWeights returns the normalized decay weights for a context of
+// length n: weight[j] ∝ decay^(n-1-j) (newest action has weight ∝ 1).
+func (m *Model) ContextWeights(n int, dst []float64) []float64 {
+	dst = dst[:0]
+	decay := m.Hyper.ContextDecay
+	var sum float64
+	w := 1.0
+	// Compute newest-to-oldest then reverse via indexing.
+	tmp := make([]float64, n)
+	for j := n - 1; j >= 0; j-- {
+		tmp[j] = w
+		sum += w
+		w *= decay
+	}
+	for j := 0; j < n; j++ {
+		dst = append(dst, tmp[j]/sum)
+	}
+	return dst
+}
+
+// UserEmbedding computes Equation 1 — the decayed, normalized linear
+// combination of the context items' context embeddings — into dst (length
+// F) and returns dst. Context actions referencing items outside the model
+// (possible when serving with a stale model) are skipped.
+func (m *Model) UserEmbedding(ctx interactions.Context, dst []float32) []float32 {
+	linalg.Zero(dst)
+	ctx = ctx.Truncate(m.Hyper.ContextLen)
+	n := len(ctx)
+	if n == 0 {
+		return dst
+	}
+	decay := m.Hyper.ContextDecay
+	// Weights newest->oldest: 1, d, d^2, ...; normalize by the sum.
+	var sum float64
+	w := 1.0
+	for j := 0; j < n; j++ {
+		sum += w
+		w *= decay
+	}
+	w = 1.0
+	for j := n - 1; j >= 0; j-- {
+		it := ctx[j].Item
+		if int(it) >= 0 && int(it) < m.NumItems {
+			linalg.Axpy(float32(w/sum), m.ContextVec(it), dst)
+		}
+		w *= decay
+	}
+	return dst
+}
+
+// Score returns the affinity x_ui between a user context and an item.
+func (m *Model) Score(ctx interactions.Context, i catalog.ItemID) float64 {
+	F := m.Hyper.Factors
+	u := make([]float32, F)
+	phi := make([]float32, F)
+	m.UserEmbedding(ctx, u)
+	m.Composite(i, phi)
+	return float64(linalg.Dot(u, phi))
+}
+
+// ScoreAll writes the affinity of every item for the given context into
+// out (length NumItems). It exploits the additive structure: feature terms
+// are shared across items, so their dot products with the user embedding
+// are computed once per category/brand/bucket instead of once per item.
+func (m *Model) ScoreAll(ctx interactions.Context, out []float64) {
+	F := m.Hyper.Factors
+	u := make([]float32, F)
+	m.UserEmbedding(ctx, u)
+	m.ScoreAllWithUser(u, out)
+}
+
+// ScoreSubset scores only the given candidate items for one context. For
+// small subsets this is far cheaper than ScoreAll — it is the fast path
+// behind the paper's 10%-sampled MAP evaluation (eval.SubsetScorer).
+func (m *Model) ScoreSubset(ctx interactions.Context, items []catalog.ItemID, out []float64) {
+	F := m.Hyper.Factors
+	u := make([]float32, F)
+	phi := make([]float32, F)
+	m.UserEmbedding(ctx, u)
+	for idx, i := range items {
+		m.Composite(i, phi)
+		out[idx] = float64(linalg.Dot(u, phi))
+	}
+}
+
+// ScoreAllWithUser is ScoreAll with a precomputed user embedding, for
+// callers that score several candidate sets under one context.
+func (m *Model) ScoreAllWithUser(u []float32, out []float64) {
+	var catDot []float64
+	if m.T != nil {
+		catDot = make([]float64, m.NumNodes)
+		for node := 0; node < m.NumNodes; node++ {
+			var s float64
+			for _, a := range m.catAncestors[node] {
+				s += float64(linalg.Dot(u, m.nodeVec(a)))
+			}
+			catDot[node] = s
+		}
+	}
+	var brandDot []float64
+	if m.B != nil {
+		brandDot = make([]float64, m.NumBrands+1)
+		for b := 1; b <= m.NumBrands; b++ {
+			brandDot[b] = float64(linalg.Dot(u, m.brandVec(catalog.BrandID(b))))
+		}
+	}
+	var priceDot []float64
+	if m.P != nil {
+		priceDot = make([]float64, NumPriceBuckets)
+		for p := 0; p < NumPriceBuckets; p++ {
+			priceDot[p] = float64(linalg.Dot(u, m.priceVec(p)))
+		}
+	}
+	for i := 0; i < m.NumItems; i++ {
+		s := float64(linalg.Dot(u, m.ItemVec(catalog.ItemID(i))))
+		if catDot != nil {
+			s += catDot[m.itemCat[i]]
+		}
+		if brandDot != nil {
+			if b := m.brandOf[i]; b != catalog.NoBrand {
+				s += brandDot[b]
+			}
+		}
+		if priceDot != nil {
+			if pb := m.priceBucket[i]; pb >= 0 {
+				s += priceDot[pb]
+			}
+		}
+		out[i] = s
+	}
+}
+
+// NumParams returns the number of learned float32 parameters.
+func (m *Model) NumParams() int {
+	return len(m.V) + len(m.VC) + len(m.T) + len(m.B) + len(m.P)
+}
+
+// MemoryBytes estimates the resident size of the model's learned state
+// (parameters plus optimizer state). The training scheduler uses this to
+// size VMs: one retailer per machine, memory proportional to the model.
+func (m *Model) MemoryBytes() int64 {
+	opt := 0
+	if m.GV != nil {
+		opt = m.NumParams()
+	}
+	return int64(4 * (m.NumParams() + opt))
+}
+
+// ResetAdagradNorms resets the Adagrad accumulators to their initial
+// value. The paper resets all stored norms before each incremental
+// (day-over-day) run so the warm-started model can still move: yesterday's
+// large accumulated norms would otherwise freeze the embeddings.
+func (m *Model) ResetAdagradNorms() {
+	for _, g := range [][]float32{m.GV, m.GVC, m.GT, m.GB, m.GP} {
+		for i := range g {
+			g[i] = AdagradInitAccumulator
+		}
+	}
+}
+
+// ExpandToCatalog grows the model to cover items added to the catalog since
+// the model was trained: existing embeddings are copied over (preserved for
+// warm-start), new items get random embeddings, and the lookup tables are
+// rebound. This is the incremental-training entry point from Section
+// III-C3. It returns an error if the catalog shrank or changed identity.
+func (m *Model) ExpandToCatalog(cat *catalog.Catalog, rng *linalg.RNG) error {
+	if cat.NumItems() < m.NumItems {
+		return fmt.Errorf("bpr: catalog has %d items, model has %d — catalogs only grow", cat.NumItems(), m.NumItems)
+	}
+	if cat.Tax.NumNodes() < m.NumNodes {
+		return fmt.Errorf("bpr: taxonomy shrank from %d to %d nodes", m.NumNodes, cat.Tax.NumNodes())
+	}
+	F := m.Hyper.Factors
+	oldItems := m.NumItems
+	m.NumItems = cat.NumItems()
+	m.NumNodes = cat.Tax.NumNodes()
+	m.NumBrands = cat.NumBrands()
+
+	grow := func(s []float32, oldRows, newRows int, std float64) []float32 {
+		ns := make([]float32, newRows*F)
+		copy(ns, s)
+		if newRows > oldRows {
+			rng.FillNormal(ns[oldRows*F:], std)
+		}
+		return ns
+	}
+	vStd := m.Hyper.InitStdDev
+	if m.Hyper.UseTaxonomy {
+		vStd = 0 // new items start at the category prior (see NewModel)
+	}
+	m.V = grow(m.V, oldItems, m.NumItems, vStd)
+	m.VC = grow(m.VC, oldItems, m.NumItems, m.Hyper.InitStdDev)
+	if m.T != nil {
+		m.T = grow(m.T, len(m.T)/F, m.NumNodes, m.Hyper.InitStdDev*0.5)
+	}
+	if m.B != nil {
+		m.B = grow(m.B, len(m.B)/F, m.NumBrands+1, m.Hyper.InitStdDev*0.5)
+	}
+	// Price buckets are fixed-size; nothing to grow.
+	if m.GV != nil {
+		m.allocAdagrad() // fresh zero accumulators sized to the new arrays
+	}
+	m.bindCatalog(cat)
+	return nil
+}

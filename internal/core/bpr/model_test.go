@@ -1,0 +1,395 @@
+package bpr
+
+import (
+	"math"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+	"sigmund/internal/synth"
+	"sigmund/internal/taxonomy"
+)
+
+// testCatalog builds a small two-department catalog with brands and prices.
+func testCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	b := taxonomy.NewBuilder("root")
+	d1 := b.AddChild(taxonomy.Root, "electronics")
+	d2 := b.AddChild(taxonomy.Root, "apparel")
+	phones := b.AddChild(d1, "phones")
+	laptops := b.AddChild(d1, "laptops")
+	shirts := b.AddChild(d2, "shirts")
+	tx := b.Build()
+	c := catalog.New("t", tx)
+	acme := c.AddBrand("acme")
+	zeta := c.AddBrand("zeta")
+	cats := []taxonomy.NodeID{phones, phones, laptops, laptops, shirts, shirts, shirts, phones}
+	brands := []catalog.BrandID{acme, zeta, acme, catalog.NoBrand, zeta, catalog.NoBrand, acme, zeta}
+	for i := 0; i < 8; i++ {
+		c.AddItem(catalog.Item{
+			Name: "item", Category: cats[i], Brand: brands[i],
+			Price: int64(1000 * (i + 1)), InStock: true,
+		})
+	}
+	return c
+}
+
+func allFeaturesHyper() Hyperparams {
+	h := DefaultHyperparams()
+	h.Factors = 6
+	h.UseTaxonomy = true
+	h.UseBrand = true
+	h.UsePrice = true
+	return h
+}
+
+func TestNewModelShapes(t *testing.T) {
+	c := testCatalog(t)
+	m, err := NewModel(allFeaturesHyper(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	F := 6
+	if len(m.V) != 8*F || len(m.VC) != 8*F {
+		t.Fatalf("item arrays wrong: %d, %d", len(m.V), len(m.VC))
+	}
+	if len(m.T) != c.Tax.NumNodes()*F {
+		t.Fatalf("taxonomy array wrong: %d", len(m.T))
+	}
+	if len(m.B) != (c.NumBrands()+1)*F {
+		t.Fatalf("brand array wrong: %d", len(m.B))
+	}
+	if len(m.P) != NumPriceBuckets*F {
+		t.Fatalf("price array wrong: %d", len(m.P))
+	}
+	if m.GV == nil {
+		t.Fatal("adagrad accumulators missing")
+	}
+	// NoBrand row must be zero so brandless items get no brand term.
+	for k := 0; k < F; k++ {
+		if m.B[k] != 0 {
+			t.Fatal("NoBrand embedding row not zeroed")
+		}
+	}
+	if m.MemoryBytes() != int64(8*m.NumParams()) {
+		t.Fatalf("MemoryBytes = %d, want %d (params + adagrad)", m.MemoryBytes(), 8*m.NumParams())
+	}
+}
+
+func TestNewModelValidates(t *testing.T) {
+	c := testCatalog(t)
+	h := DefaultHyperparams()
+	h.Factors = 0
+	if _, err := NewModel(h, c); err == nil {
+		t.Fatal("expected validation error for Factors=0")
+	}
+	bad := []func(*Hyperparams){
+		func(h *Hyperparams) { h.LearningRate = 0 },
+		func(h *Hyperparams) { h.RegItem = -1 },
+		func(h *Hyperparams) { h.ContextLen = 0 },
+		func(h *Hyperparams) { h.ContextDecay = 0 },
+		func(h *Hyperparams) { h.ContextDecay = 1.5 },
+		func(h *Hyperparams) { h.InitStdDev = 0 },
+	}
+	for i, mut := range bad {
+		h := DefaultHyperparams()
+		mut(&h)
+		if h.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := DefaultHyperparams().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+}
+
+func TestCompositeAdditiveStructure(t *testing.T) {
+	c := testCatalog(t)
+	m, _ := NewModel(allFeaturesHyper(), c)
+	F := m.F()
+	i := catalog.ItemID(0) // phones, brand acme, price 1000
+	got := m.Composite(i, make([]float32, F))
+
+	want := make([]float32, F)
+	copy(want, m.ItemVec(i))
+	for _, a := range c.Tax.Ancestors(c.Item(i).Category) {
+		linalg.AddTo(m.T[int(a)*F:(int(a)+1)*F], want)
+	}
+	linalg.AddTo(m.B[int(c.Item(i).Brand)*F:(int(c.Item(i).Brand)+1)*F], want)
+	pb := c.PriceBucket(i, NumPriceBuckets)
+	linalg.AddTo(m.P[pb*F:(pb+1)*F], want)
+	for k := range want {
+		if math.Abs(float64(got[k]-want[k])) > 1e-6 {
+			t.Fatalf("Composite[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestCompositeWithoutFeatures(t *testing.T) {
+	c := testCatalog(t)
+	h := DefaultHyperparams()
+	h.Factors = 6
+	h.UseTaxonomy, h.UseBrand, h.UsePrice = false, false, false
+	m, _ := NewModel(h, c)
+	got := m.Composite(0, make([]float32, 6))
+	v := m.ItemVec(0)
+	for k := range got {
+		if got[k] != v[k] {
+			t.Fatal("featureless composite must equal the raw item vector")
+		}
+	}
+}
+
+func TestUserEmbeddingDecayAndNormalization(t *testing.T) {
+	c := testCatalog(t)
+	h := allFeaturesHyper()
+	h.ContextDecay = 0.5
+	m, _ := NewModel(h, c)
+	F := m.F()
+
+	// Single-item context: u == VC[item] exactly (weight normalizes to 1).
+	u := m.UserEmbedding(interactions.Context{{Type: interactions.View, Item: 2}}, make([]float32, F))
+	vc := m.ContextVec(2)
+	for k := range u {
+		if math.Abs(float64(u[k]-vc[k])) > 1e-6 {
+			t.Fatalf("single-item context: u != VC; k=%d", k)
+		}
+	}
+
+	// Two-item context with decay 0.5: weights 1/3 (old), 2/3 (new).
+	ctx := interactions.Context{
+		{Type: interactions.View, Item: 1},
+		{Type: interactions.View, Item: 2},
+	}
+	u = m.UserEmbedding(ctx, make([]float32, F))
+	for k := 0; k < F; k++ {
+		want := float32(1.0/3)*m.ContextVec(1)[k] + float32(2.0/3)*m.ContextVec(2)[k]
+		if math.Abs(float64(u[k]-want)) > 1e-5 {
+			t.Fatalf("two-item context weight wrong at k=%d: got %v want %v", k, u[k], want)
+		}
+	}
+
+	// Empty context: zero vector.
+	u = m.UserEmbedding(nil, make([]float32, F))
+	for _, x := range u {
+		if x != 0 {
+			t.Fatal("empty context must give zero embedding")
+		}
+	}
+
+	// Out-of-range items are skipped, not crashed on.
+	u = m.UserEmbedding(interactions.Context{{Type: interactions.View, Item: 999}}, make([]float32, F))
+	for _, x := range u {
+		if x != 0 {
+			t.Fatal("unknown item contributed to embedding")
+		}
+	}
+}
+
+func TestUserEmbeddingTruncatesToContextLen(t *testing.T) {
+	c := testCatalog(t)
+	h := allFeaturesHyper()
+	h.ContextLen = 2
+	m, _ := NewModel(h, c)
+	long := interactions.Context{
+		{Type: interactions.View, Item: 0},
+		{Type: interactions.View, Item: 1},
+		{Type: interactions.View, Item: 2},
+	}
+	short := long[1:]
+	a := m.UserEmbedding(long, make([]float32, m.F()))
+	b := m.UserEmbedding(short, make([]float32, m.F()))
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatal("context not truncated to ContextLen")
+		}
+	}
+}
+
+func TestScoreAllMatchesScore(t *testing.T) {
+	c := testCatalog(t)
+	m, _ := NewModel(allFeaturesHyper(), c)
+	ctx := interactions.Context{
+		{Type: interactions.View, Item: 0},
+		{Type: interactions.Search, Item: 3},
+	}
+	all := make([]float64, m.NumItems)
+	m.ScoreAll(ctx, all)
+	for i := 0; i < m.NumItems; i++ {
+		want := m.Score(ctx, catalog.ItemID(i))
+		if math.Abs(all[i]-want) > 1e-5 {
+			t.Fatalf("ScoreAll[%d] = %v, Score = %v", i, all[i], want)
+		}
+	}
+}
+
+func TestContextWeights(t *testing.T) {
+	c := testCatalog(t)
+	h := allFeaturesHyper()
+	h.ContextDecay = 0.5
+	m, _ := NewModel(h, c)
+	w := m.ContextWeights(3, nil)
+	// Oldest->newest: 0.25, 0.5, 1 normalized by 1.75.
+	want := []float64{0.25 / 1.75, 0.5 / 1.75, 1 / 1.75}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("ContextWeights[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+}
+
+func TestResetAdagradNorms(t *testing.T) {
+	c := testCatalog(t)
+	m, _ := NewModel(allFeaturesHyper(), c)
+	for i := range m.GV {
+		m.GV[i] = 3
+	}
+	m.GT[0] = 7
+	m.ResetAdagradNorms()
+	for _, g := range [][]float32{m.GV, m.GVC, m.GT, m.GB, m.GP} {
+		for _, x := range g {
+			if x != AdagradInitAccumulator {
+				t.Fatal("ResetAdagradNorms did not restore the initial accumulator")
+			}
+		}
+	}
+}
+
+func TestExpandToCatalog(t *testing.T) {
+	c := testCatalog(t)
+	m, _ := NewModel(allFeaturesHyper(), c)
+	oldVec := make([]float32, m.F())
+	copy(oldVec, m.ItemVec(3))
+
+	// Grow the catalog: two new items, one new brand.
+	nb := c.AddBrand("newbrand")
+	c.AddItem(catalog.Item{Name: "new1", Category: taxonomy.Root, Brand: nb, Price: 500, InStock: true})
+	c.AddItem(catalog.Item{Name: "new2", Category: taxonomy.Root, Brand: catalog.NoBrand, InStock: true})
+
+	if err := m.ExpandToCatalog(c, linalg.NewRNG(99)); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumItems != 10 {
+		t.Fatalf("NumItems = %d, want 10", m.NumItems)
+	}
+	// Existing embeddings preserved (warm start).
+	for k, v := range m.ItemVec(3) {
+		if v != oldVec[k] {
+			t.Fatal("expansion clobbered existing embedding")
+		}
+	}
+	// New items' context embeddings initialized (non-zero with
+	// overwhelming probability); item-side deviations start at zero under
+	// the taxonomy prior.
+	var norm float32
+	for _, v := range m.ContextVec(9) {
+		norm += v * v
+	}
+	if norm == 0 {
+		t.Fatal("new item context embedding not initialized")
+	}
+	for _, v := range m.ItemVec(9) {
+		if v != 0 {
+			t.Fatal("new item deviation should start at the category prior (zero)")
+		}
+	}
+	// Accumulators re-allocated to new sizes and zeroed.
+	if len(m.GV) != len(m.V) {
+		t.Fatal("adagrad accumulator size mismatch after expansion")
+	}
+	// Scoring covers the new item.
+	s := make([]float64, m.NumItems)
+	m.ScoreAll(interactions.Context{{Type: interactions.View, Item: 0}}, s)
+
+	// Shrinking is rejected.
+	small := catalog.New("t2", c.Tax)
+	if err := m.ExpandToCatalog(small, linalg.NewRNG(1)); err == nil {
+		t.Fatal("expected error when catalog shrinks")
+	}
+}
+
+func TestHyperKeyDistinguishesConfigs(t *testing.T) {
+	a := DefaultHyperparams()
+	b := a
+	b.Factors = 32
+	if a.Key() == b.Key() {
+		t.Fatal("different configs share a Key")
+	}
+	c := a
+	c.UseBrand = true
+	if a.Key() == c.Key() {
+		t.Fatal("feature switch not reflected in Key")
+	}
+}
+
+func TestModelDeterministicInit(t *testing.T) {
+	c := testCatalog(t)
+	h := allFeaturesHyper()
+	m1, _ := NewModel(h, c)
+	m2, _ := NewModel(h, c)
+	for i := range m1.VC {
+		if m1.VC[i] != m2.VC[i] {
+			t.Fatal("same seed produced different initialization")
+		}
+	}
+	h.Seed = 77
+	m3, _ := NewModel(h, c)
+	same := true
+	for i := range m1.VC {
+		if m1.VC[i] != m3.VC[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical initialization")
+	}
+	// With the taxonomy feature on, item deviations start at zero; without
+	// it they are random.
+	for _, v := range m1.V {
+		if v != 0 {
+			t.Fatal("taxonomy model should zero-init item deviations")
+		}
+	}
+	h2 := DefaultHyperparams()
+	h2.UseTaxonomy = false
+	m4, _ := NewModel(h2, c)
+	var norm float32
+	for _, v := range m4.V {
+		norm += v * v
+	}
+	if norm == 0 {
+		t.Fatal("featureless model needs random item init")
+	}
+}
+
+// synthRetailer is shared by training tests.
+func synthRetailer(tb testing.TB, seed uint64) *synth.Retailer {
+	tb.Helper()
+	return synth.GenerateRetailer(synth.RetailerSpec{
+		NumItems: 150, NumUsers: 120, EventsPerUserMean: 14,
+		NumBrands: 8, BrandCoverage: 0.7, Seed: seed,
+	})
+}
+
+func TestScoreSubsetMatchesScore(t *testing.T) {
+	c := testCatalog(t)
+	m, _ := NewModel(allFeaturesHyper(), c)
+	ctx := interactions.Context{{Type: interactions.View, Item: 1}, {Type: interactions.Cart, Item: 4}}
+	items := []catalog.ItemID{0, 3, 7}
+	out := make([]float64, len(items))
+	m.ScoreSubset(ctx, items, out)
+	for idx, it := range items {
+		if want := m.Score(ctx, it); math.Abs(out[idx]-want) > 1e-9 {
+			t.Fatalf("ScoreSubset[%d] = %v, Score = %v", it, out[idx], want)
+		}
+	}
+}

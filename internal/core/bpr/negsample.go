@@ -1,0 +1,123 @@
+package bpr
+
+import (
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/linalg"
+)
+
+// NegSampler draws the negative item j for a BPR triple (u, i, j). BPR is
+// sensitive to this choice (Section III-B3), so the sampler is pluggable
+// and part of the hyper-parameter grid.
+type NegSampler interface {
+	// SampleBase draws a negative for positive pos: an item the user has
+	// not interacted with. interacted reports user history membership;
+	// score returns the model's current affinity of the user to an item
+	// (used by adaptive samplers to pick hard negatives). Returns
+	// catalog.NoItem when no acceptable negative is found within budget.
+	SampleBase(rng *linalg.RNG, pos catalog.ItemID,
+		interacted func(catalog.ItemID) bool,
+		score func(catalog.ItemID) float64) catalog.ItemID
+}
+
+// maxDraws bounds rejection sampling so degenerate users (who interacted
+// with nearly everything) cannot stall training.
+const maxDraws = 24
+
+// UniformSampler is baseline BPR: negatives uniform over unseen items.
+type UniformSampler struct {
+	NumItems int
+}
+
+// SampleBase implements NegSampler.
+func (s UniformSampler) SampleBase(rng *linalg.RNG, pos catalog.ItemID,
+	interacted func(catalog.ItemID) bool, score func(catalog.ItemID) float64) catalog.ItemID {
+	for t := 0; t < maxDraws; t++ {
+		j := catalog.ItemID(rng.Intn(s.NumItems))
+		if j != pos && !interacted(j) {
+			return j
+		}
+	}
+	return catalog.NoItem
+}
+
+// HeuristicSampler implements the paper's combined strategy:
+//
+//  1. taxonomy: prefer items far from the positive in LCA distance — near
+//     items are likely substitutes the user might well like;
+//  2. co-occurrence: exclude items highly co-viewed/co-bought with the
+//     positive;
+//  3. adaptive (Rendle & Freudenthaler 2014): among several acceptable
+//     candidates, pick the one the current model scores highest — a hard
+//     negative that yields a non-vanishing gradient.
+type HeuristicSampler struct {
+	Cat *catalog.Catalog
+	// Cooc may be nil (e.g. first run before any co-occurrence model
+	// exists); the exclusion rule is then skipped.
+	Cooc *cooccur.Model
+	// MinLCADistance rejects candidates closer than this to the positive
+	// (default 2: same-leaf and sibling-category items are spared).
+	MinLCADistance int
+	// AssocSupport is the co-occurrence count at which a candidate is
+	// considered "highly co-viewed/co-bought" and excluded (default 3).
+	AssocSupport int
+	// Candidates is how many acceptable items compete for highest score
+	// (default 3). 1 disables the adaptive part.
+	Candidates int
+}
+
+// NewHeuristicSampler returns a sampler with the defaults described above.
+func NewHeuristicSampler(cat *catalog.Catalog, cooc *cooccur.Model) *HeuristicSampler {
+	return &HeuristicSampler{Cat: cat, Cooc: cooc, MinLCADistance: 2, AssocSupport: 3, Candidates: 3}
+}
+
+// SampleBase implements NegSampler.
+func (s *HeuristicSampler) SampleBase(rng *linalg.RNG, pos catalog.ItemID,
+	interacted func(catalog.ItemID) bool, score func(catalog.ItemID) float64) catalog.ItemID {
+	n := s.Cat.NumItems()
+	posCat := s.Cat.Item(pos).Category
+	best := catalog.NoItem
+	bestScore := 0.0
+	found := 0
+	for t := 0; t < maxDraws && found < s.Candidates; t++ {
+		j := catalog.ItemID(rng.Intn(n))
+		if j == pos || interacted(j) {
+			continue
+		}
+		// Taxonomy rule: skip items too close to the positive. Relax the
+		// rule late in the draw budget so tiny or single-category catalogs
+		// still find negatives.
+		if t < maxDraws/2 && s.Cat.Tax.Distance(posCat, s.Cat.Item(j).Category) < s.MinLCADistance {
+			continue
+		}
+		// Co-occurrence rule: never use a strongly associated item as a
+		// negative — it is probably a complement or substitute, not noise.
+		if s.Cooc != nil && s.Cooc.HighlyAssociated(pos, j, s.AssocSupport) {
+			continue
+		}
+		sc := score(j)
+		if found == 0 || sc > bestScore {
+			best, bestScore = j, sc
+		}
+		found++
+	}
+	return best
+}
+
+// TierSampler draws tier-constraint negatives: for a positive at level L,
+// the negative comes from the user's items whose max level is exactly L-1
+// ("for every searched item, we sample a negative item that is viewed but
+// not searched"). It is not a NegSampler — the pool is per-user — so the
+// trainer calls it directly.
+func TierSampler(rng *linalg.RNG, pool []catalog.ItemID, pos catalog.ItemID) catalog.ItemID {
+	if len(pool) == 0 {
+		return catalog.NoItem
+	}
+	for t := 0; t < 8; t++ {
+		j := pool[rng.Intn(len(pool))]
+		if j != pos {
+			return j
+		}
+	}
+	return catalog.NoItem
+}

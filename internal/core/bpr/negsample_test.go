@@ -1,0 +1,122 @@
+package bpr
+
+import (
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+)
+
+func constScore(catalog.ItemID) float64 { return 0 }
+
+func TestUniformSamplerAvoidsInteracted(t *testing.T) {
+	s := UniformSampler{NumItems: 10}
+	rng := linalg.NewRNG(1)
+	interacted := func(j catalog.ItemID) bool { return j < 5 }
+	for trial := 0; trial < 500; trial++ {
+		j := s.SampleBase(rng, 7, interacted, constScore)
+		if j == catalog.NoItem {
+			t.Fatal("sampler gave up with half the catalog available")
+		}
+		if j == 7 || interacted(j) {
+			t.Fatalf("sampled invalid negative %d", j)
+		}
+	}
+}
+
+func TestUniformSamplerGivesUpWhenSaturated(t *testing.T) {
+	s := UniformSampler{NumItems: 3}
+	rng := linalg.NewRNG(2)
+	all := func(catalog.ItemID) bool { return true }
+	if j := s.SampleBase(rng, 0, all, constScore); j != catalog.NoItem {
+		t.Fatalf("expected NoItem, got %d", j)
+	}
+}
+
+func TestHeuristicSamplerTaxonomyRule(t *testing.T) {
+	c := testCatalog(t) // phones: 0,1,7; laptops: 2,3; shirts: 4,5,6
+	s := NewHeuristicSampler(c, nil)
+	rng := linalg.NewRNG(3)
+	none := func(catalog.ItemID) bool { return false }
+	// Positive is a phone (item 0). Distance(phones, phones)=0,
+	// (phones, laptops)=1, (phones, shirts)=2. With MinLCADistance=2 only
+	// shirts are acceptable in the strict phase; early draws must never be
+	// phones or laptops unless the relaxation kicked in — run many trials
+	// and require shirts to dominate.
+	shirts, other := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		j := s.SampleBase(rng, 0, none, constScore)
+		if j == catalog.NoItem {
+			t.Fatal("sampler failed with plenty of candidates")
+		}
+		cat := c.Item(j).Category
+		if c.Tax.Distance(c.Item(0).Category, cat) >= 2 {
+			shirts++
+		} else {
+			other++
+		}
+	}
+	if shirts < other*3 {
+		t.Fatalf("taxonomy rule weak: far=%d near=%d", shirts, other)
+	}
+}
+
+func TestHeuristicSamplerCooccurrenceExclusion(t *testing.T) {
+	c := testCatalog(t)
+	// Build strong co-view association between items 0 and 4.
+	cm := cooccur.NewModel(c.NumItems(), 5)
+	for u := 0; u < 10; u++ {
+		cm.Observe(interactions.Event{User: interactions.UserID(u), Item: 0, Type: interactions.View, Time: int64(2 * u)})
+		cm.Observe(interactions.Event{User: interactions.UserID(u), Item: 4, Type: interactions.View, Time: int64(2*u + 1)})
+	}
+	s := NewHeuristicSampler(c, cm)
+	rng := linalg.NewRNG(4)
+	none := func(catalog.ItemID) bool { return false }
+	for trial := 0; trial < 500; trial++ {
+		if j := s.SampleBase(rng, 0, none, constScore); j == 4 {
+			t.Fatal("highly co-viewed item sampled as negative")
+		}
+	}
+}
+
+func TestHeuristicSamplerAdaptive(t *testing.T) {
+	c := testCatalog(t)
+	s := NewHeuristicSampler(c, nil)
+	s.MinLCADistance = 0 // isolate the adaptive part
+	rng := linalg.NewRNG(5)
+	none := func(catalog.ItemID) bool { return false }
+	// Score ramps with id: the sampler should prefer high ids (hard
+	// negatives under the current model).
+	score := func(j catalog.ItemID) float64 { return float64(j) }
+	high, low := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		j := s.SampleBase(rng, 0, none, score)
+		if j >= 4 {
+			high++
+		} else {
+			low++
+		}
+	}
+	if high <= low {
+		t.Fatalf("adaptive sampling not preferring hard negatives: high=%d low=%d", high, low)
+	}
+}
+
+func TestTierSampler(t *testing.T) {
+	rng := linalg.NewRNG(6)
+	if j := TierSampler(rng, nil, 0); j != catalog.NoItem {
+		t.Fatal("empty pool must return NoItem")
+	}
+	pool := []catalog.ItemID{3}
+	if j := TierSampler(rng, pool, 3); j != catalog.NoItem {
+		t.Fatal("pool containing only the positive must return NoItem")
+	}
+	pool = []catalog.ItemID{3, 4}
+	for trial := 0; trial < 50; trial++ {
+		if j := TierSampler(rng, pool, 3); j != 4 {
+			t.Fatalf("got %d, want 4", j)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package bpr
+
+import (
+	"context"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+)
+
+// exampleLoss computes the BPR loss -ln sigma(x_u,pos - x_u,neg) for a
+// worker's current context embedding.
+func exampleLoss(w *worker, pos, neg catalog.ItemID) float64 {
+	m := w.m
+	m.Composite(pos, w.phiI)
+	m.Composite(neg, w.phiJ)
+	d := float64(linalg.Dot(w.u, w.phiI)) - float64(linalg.Dot(w.u, w.phiJ))
+	return softplus(-d)
+}
+
+// TestUpdateDecreasesExampleLoss verifies the paper's Section III-B1
+// statement: "Following the update step, the loss is guaranteed to be
+// strictly smaller for the example" — for plain SGD with a small step and
+// no regularization, one update must reduce that example's own loss.
+func TestUpdateDecreasesExampleLoss(t *testing.T) {
+	c := testCatalog(t)
+	f := func(seed uint64) bool {
+		rng := linalg.NewRNG(seed)
+		h := DefaultHyperparams()
+		h.Factors = 6
+		h.Optimizer = PlainSGD
+		h.LearningRate = 0.01 // small step: first-order decrease applies
+		h.RegItem, h.RegContext, h.RegFeature = 0, 0, 0
+		h.UseTaxonomy = rng.Intn(2) == 0
+		h.UseBrand = rng.Intn(2) == 0
+		h.UsePrice = rng.Intn(2) == 0
+		h.Seed = seed
+		m, err := NewModel(h, c)
+		if err != nil {
+			return false
+		}
+		// Random single-step dataset so worker scratch buffers exist.
+		log := interactions.NewLog()
+		log.Append(interactions.Event{User: 0, Item: 0, Type: interactions.View, Time: 1})
+		log.Append(interactions.Event{User: 0, Item: 1, Type: interactions.View, Time: 2})
+		d := NewDataset(log, c)
+		w := newWorker(m, d, UniformSampler{NumItems: m.NumItems}, rng.Split())
+
+		for trial := 0; trial < 10; trial++ {
+			// Random non-empty context and a (pos, neg) pair.
+			n := 1 + rng.Intn(3)
+			events := make([]interactions.Event, n)
+			for i := range events {
+				events[i] = interactions.Event{
+					User: 0, Item: catalog.ItemID(rng.Intn(m.NumItems)),
+					Type: interactions.EventType(rng.Intn(4)), Time: int64(i),
+				}
+			}
+			w.buildUser(events)
+			pos := catalog.ItemID(rng.Intn(m.NumItems))
+			neg := catalog.ItemID(rng.Intn(m.NumItems))
+			if pos == neg {
+				continue
+			}
+			before := exampleLoss(w, pos, neg)
+			w.update(pos, neg)
+			// Recompute the user embedding: the update changed the context
+			// items' VC rows too.
+			w.buildUser(events)
+			after := exampleLoss(w, pos, neg)
+			if after >= before {
+				t.Logf("seed %d trial %d: loss %.6f -> %.6f (pos=%d neg=%d)", seed, trial, before, after, pos, neg)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrainingLeavesParamsFinite guards against gradient blow-ups across
+// random hyper-parameters: after training, every parameter must be finite.
+func TestTrainingLeavesParamsFinite(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := linalg.NewRNG(seed)
+		r := synthRetailer(t, seed%7)
+		h := DefaultHyperparams()
+		h.Factors = 4 + rng.Intn(12)
+		h.LearningRate = 0.01 + rng.Float64()*0.4
+		h.RegItem = rng.Float64() * 0.2
+		h.UseBrand = rng.Intn(2) == 0
+		h.UsePrice = rng.Intn(2) == 0
+		if rng.Intn(2) == 0 {
+			h.Optimizer = PlainSGD
+		}
+		h.Seed = seed
+		m, err := NewModel(h, r.Catalog)
+		if err != nil {
+			return false
+		}
+		ds := NewDataset(r.Log, r.Catalog)
+		if _, err := Train(context.Background(), m, ds, TrainOptions{Epochs: 2, Threads: 2}); err != nil {
+			return false
+		}
+		for _, arr := range [][]float32{m.V, m.VC, m.T, m.B, m.P} {
+			for _, v := range arr {
+				if v != v || v > 1e20 || v < -1e20 { // NaN or blow-up
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckpointRoundTripProperty: Save/Load is the identity on scoring for
+// random models and contexts.
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	c := testCatalog(t)
+	f := func(seed uint64) bool {
+		rng := linalg.NewRNG(seed)
+		h := DefaultHyperparams()
+		h.Factors = 1 + rng.Intn(16)
+		h.UseTaxonomy = rng.Intn(2) == 0
+		h.UseBrand = rng.Intn(2) == 0
+		h.UsePrice = rng.Intn(2) == 0
+		if rng.Intn(2) == 0 {
+			h.Optimizer = PlainSGD
+		}
+		h.Seed = seed
+		m, err := NewModel(h, c)
+		if err != nil {
+			return false
+		}
+		var buf writeBuffer
+		if err := m.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		ctx := interactions.Context{{Type: interactions.View, Item: catalog.ItemID(rng.Intn(c.NumItems()))}}
+		for i := 0; i < c.NumItems(); i++ {
+			if m.Score(ctx, catalog.ItemID(i)) != got.Score(ctx, catalog.ItemID(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+type writeBuffer struct {
+	data []byte
+	pos  int
+}
+
+func (b *writeBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *writeBuffer) Read(p []byte) (int, error) {
+	if b.pos >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.pos:])
+	b.pos += n
+	return n, nil
+}

@@ -1,0 +1,390 @@
+package bpr
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+)
+
+// TrainOptions configures one training run.
+type TrainOptions struct {
+	// Epochs is the number of passes; each epoch performs
+	// Dataset.NumPositions() SGD positions (each yielding one base example
+	// and possibly one tier example). 0 means 10.
+	Epochs int
+	// Threads is the Hogwild parallelism (Section IV-B2). Updates are
+	// intentionally lock-free and racy, as in Niu et al.; with Threads=1
+	// training is fully deterministic. 0 means 1.
+	Threads int
+	// StepsPerEpoch overrides the number of training positions per epoch
+	// (default: Dataset.NumPositions(), one nominal pass). Experiments use
+	// it to observe sub-epoch convergence.
+	StepsPerEpoch int
+	// Sampler overrides the negative sampler; nil builds one from
+	// Hyper.Sampler (heuristic samplers use Cooc when provided).
+	Sampler NegSampler
+	// Cooc supplies co-occurrence data to the heuristic sampler.
+	Cooc *cooccur.Model
+	// DisableTierConstraints turns off the search>view / cart>search /
+	// conversion>cart pairwise constraints, leaving only the base
+	// interacted>unseen constraint (ablation A3).
+	DisableTierConstraints bool
+
+	// CheckpointEvery triggers asynchronous checkpoints on a fixed
+	// wall-clock interval — the paper's policy, chosen over per-N-iteration
+	// checkpoints because iteration time varies enormously across retailers
+	// (Section IV-B3). 0 disables checkpointing.
+	CheckpointEvery time.Duration
+	// Checkpoint persists the model; called from a separate goroutine while
+	// training continues (async checkpointing). Must be non-nil when
+	// CheckpointEvery > 0.
+	Checkpoint func(m *Model) error
+
+	// OnEpoch, when non-nil, observes progress after each epoch and may
+	// stop training early by returning true. avgLoss is the mean BPR loss
+	// -ln sigma(x_ui - x_uj) over the epoch's examples.
+	OnEpoch func(epoch int, avgLoss float64) (stop bool)
+}
+
+// TrainStats summarizes a completed (or interrupted) run.
+type TrainStats struct {
+	EpochsRun    int
+	Steps        int64 // SGD examples applied (base + tier)
+	BaseExamples int64
+	TierExamples int64
+	FinalLoss    float64 // avg loss of the last completed epoch
+	Checkpoints  int
+}
+
+// Train runs BPR SGD on the model. It honors ctx cancellation between
+// small step batches — on pre-emptible VMs the cluster delivers preemption
+// as cancellation, and recovery resumes from the last checkpoint. The
+// returned stats are valid even when err != nil.
+func Train(ctx context.Context, m *Model, d *Dataset, opts TrainOptions) (TrainStats, error) {
+	var stats TrainStats
+	if d.NumPositions() == 0 {
+		return stats, nil
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 10
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 1
+	}
+	sampler := opts.Sampler
+	if sampler == nil {
+		switch m.Hyper.Sampler {
+		case SampleHeuristic:
+			sampler = NewHeuristicSampler(d.Cat, opts.Cooc)
+		default:
+			sampler = UniformSampler{NumItems: m.NumItems}
+		}
+	}
+
+	// Asynchronous wall-clock checkpointer.
+	var ckptWG sync.WaitGroup
+	var ckptCount int64
+	ckptDone := make(chan struct{})
+	if opts.CheckpointEvery > 0 && opts.Checkpoint != nil {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			ticker := time.NewTicker(opts.CheckpointEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ckptDone:
+					return
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := opts.Checkpoint(m); err == nil {
+						atomic.AddInt64(&ckptCount, 1)
+					}
+				}
+			}
+		}()
+	}
+
+	rootRNG := linalg.NewRNG(m.Hyper.Seed ^ 0xabcdef12345)
+	workers := make([]*worker, opts.Threads)
+	for i := range workers {
+		workers[i] = newWorker(m, d, sampler, rootRNG.Split())
+		workers[i].noTiers = opts.DisableTierConstraints
+	}
+
+	stepsPerEpoch := d.NumPositions()
+	if opts.StepsPerEpoch > 0 {
+		stepsPerEpoch = opts.StepsPerEpoch
+	}
+	var err error
+epochs:
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		var wg sync.WaitGroup
+		per := stepsPerEpoch / opts.Threads
+		for i, w := range workers {
+			n := per
+			if i == 0 {
+				n += stepsPerEpoch % opts.Threads
+			}
+			wg.Add(1)
+			go func(w *worker, n int) {
+				defer wg.Done()
+				w.runSteps(ctx, n)
+			}(w, n)
+		}
+		wg.Wait()
+		var lossSum float64
+		var examples, base, tier int64
+		for _, w := range workers {
+			lossSum += w.lossSum
+			examples += w.examples
+			base += w.base
+			tier += w.tier
+			w.lossSum, w.examples, w.base, w.tier = 0, 0, 0, 0
+		}
+		stats.EpochsRun = epoch + 1
+		stats.Steps += examples
+		stats.BaseExamples += base
+		stats.TierExamples += tier
+		if examples > 0 {
+			stats.FinalLoss = lossSum / float64(examples)
+		}
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		if opts.OnEpoch != nil && opts.OnEpoch(epoch, stats.FinalLoss) {
+			break epochs
+		}
+	}
+	atomic.AddInt64(&m.Steps, stats.Steps)
+
+	close(ckptDone)
+	ckptWG.Wait()
+	stats.Checkpoints = int(atomic.LoadInt64(&ckptCount))
+	return stats, err
+}
+
+// worker holds one Hogwild thread's scratch state so the hot loop performs
+// no allocation.
+type worker struct {
+	m       *Model
+	d       *Dataset
+	sampler NegSampler
+	rng     *linalg.RNG
+
+	u, phiI, phiJ, gradU, phiTmp []float32
+	ctxItems                     []catalog.ItemID
+	ctxW                         []float32
+
+	noTiers bool
+
+	lossSum  float64
+	examples int64
+	base     int64
+	tier     int64
+}
+
+func newWorker(m *Model, d *Dataset, s NegSampler, rng *linalg.RNG) *worker {
+	F := m.Hyper.Factors
+	return &worker{
+		m: m, d: d, sampler: s, rng: rng,
+		u: make([]float32, F), phiI: make([]float32, F), phiJ: make([]float32, F),
+		gradU: make([]float32, F), phiTmp: make([]float32, F),
+	}
+}
+
+// runSteps performs n training positions, checking for cancellation every
+// batch so preemption interrupts promptly.
+func (w *worker) runSteps(ctx context.Context, n int) {
+	const batch = 256
+	for done := 0; done < n; {
+		if ctx.Err() != nil {
+			return
+		}
+		end := done + batch
+		if end > n {
+			end = n
+		}
+		for ; done < end; done++ {
+			w.step()
+		}
+	}
+}
+
+func (w *worker) step() {
+	m := w.m
+	seqIdx, posEvent, ctxEvents := w.d.SamplePosition(w.rng, m.Hyper.ContextLen)
+	w.buildUser(ctxEvents)
+
+	interacted := func(j catalog.ItemID) bool { return w.d.Interacted(seqIdx, j) }
+	score := func(j catalog.ItemID) float64 {
+		m.Composite(j, w.phiTmp)
+		return float64(linalg.Dot(w.u, w.phiTmp))
+	}
+
+	// Base constraint: interacted > unseen.
+	if neg := w.sampler.SampleBase(w.rng, posEvent.Item, interacted, score); neg != catalog.NoItem {
+		w.update(posEvent.Item, neg)
+		w.base++
+	}
+
+	// Tier constraint: this event's level > the level below
+	// (search > view, cart > search, conversion > cart). Implicit feedback
+	// is sparse — a user may convert without ever carting — so when the
+	// adjacent tier is empty we fall through to the nearest non-empty lower
+	// tier, preserving the intended ordering without starving the
+	// constraint.
+	if posEvent.Type > interactions.View && !w.noTiers {
+		for lvl := posEvent.Type - 1; ; lvl-- {
+			pool := w.d.TierNegatives(seqIdx, lvl)
+			if neg := TierSampler(w.rng, pool, posEvent.Item); neg != catalog.NoItem {
+				w.update(posEvent.Item, neg)
+				w.tier++
+				break
+			}
+			if lvl == interactions.View {
+				break
+			}
+		}
+	}
+}
+
+// buildUser computes the user embedding (Equation 1) into w.u and records
+// the context items and their normalized weights for the VC update.
+func (w *worker) buildUser(ctxEvents []interactions.Event) {
+	m := w.m
+	linalg.Zero(w.u)
+	w.ctxItems = w.ctxItems[:0]
+	w.ctxW = w.ctxW[:0]
+	n := len(ctxEvents)
+	if n == 0 {
+		return
+	}
+	decay := m.Hyper.ContextDecay
+	var sum float64
+	wt := 1.0
+	for j := 0; j < n; j++ {
+		sum += wt
+		wt *= decay
+	}
+	wt = 1.0
+	for j := n - 1; j >= 0; j-- {
+		it := ctxEvents[j].Item
+		wj := float32(wt / sum)
+		wt *= decay
+		if int(it) < 0 || int(it) >= m.NumItems {
+			continue
+		}
+		w.ctxItems = append(w.ctxItems, it)
+		w.ctxW = append(w.ctxW, wj)
+		linalg.Axpy(wj, m.ContextVec(it), w.u)
+	}
+}
+
+// update applies one BPR step for the triple (u, pos, neg): gradient ascent
+// on ln sigma(x_u,pos - x_u,neg) with L2 regularization on every touched
+// parameter row.
+func (w *worker) update(pos, neg catalog.ItemID) {
+	m := w.m
+	m.Composite(pos, w.phiI)
+	m.Composite(neg, w.phiJ)
+	xui := float64(linalg.Dot(w.u, w.phiI))
+	xuj := float64(linalg.Dot(w.u, w.phiJ))
+	d := xui - xuj
+	g := float32(linalg.Sigmoid(-d))
+	w.lossSum += softplus(-d)
+	w.examples++
+
+	// Context side: each context item's VC row moves toward (phiI - phiJ)
+	// scaled by its context weight.
+	for k := range w.gradU {
+		w.gradU[k] = w.phiI[k] - w.phiJ[k]
+	}
+	regC := float32(m.Hyper.RegContext)
+	for idx, c := range w.ctxItems {
+		w.apply(m.ContextVec(c), accRow(m.GVC, c, m.Hyper.Factors), g*w.ctxW[idx], w.gradU, regC)
+	}
+
+	// Item side: positive toward u, negative away from u.
+	regV := float32(m.Hyper.RegItem)
+	w.apply(m.ItemVec(pos), accRow(m.GV, pos, m.Hyper.Factors), g, w.u, regV)
+	w.apply(m.ItemVec(neg), accRow(m.GV, neg, m.Hyper.Factors), -g, w.u, regV)
+
+	// Feature side: the positive's feature rows share the +g*u gradient,
+	// the negative's share -g*u (hierarchical additive model).
+	regF := float32(m.Hyper.RegFeature)
+	w.updateFeatures(pos, g, regF)
+	w.updateFeatures(neg, -g, regF)
+}
+
+func (w *worker) updateFeatures(i catalog.ItemID, scale, regF float32) {
+	m := w.m
+	F := m.Hyper.Factors
+	if m.T != nil {
+		for _, a := range m.catAncestors[m.itemCat[i]] {
+			w.apply(m.nodeVec(a), accRow(m.GT, catalog.ItemID(a), F), scale, w.u, regF)
+		}
+	}
+	if m.B != nil {
+		if b := m.brandOf[i]; b != catalog.NoBrand {
+			w.apply(m.brandVec(b), accRow(m.GB, catalog.ItemID(b), F), scale, w.u, regF)
+		}
+	}
+	if m.P != nil {
+		if pb := m.priceBucket[i]; pb >= 0 {
+			w.apply(m.priceVec(int(pb)), accRow(m.GP, catalog.ItemID(pb), F), scale, w.u, regF)
+		}
+	}
+}
+
+// accRow returns the Adagrad accumulator row for index i, or nil when the
+// optimizer is plain SGD.
+func accRow(acc []float32, i catalog.ItemID, f int) []float32 {
+	if acc == nil {
+		return nil
+	}
+	return acc[int(i)*f : (int(i)+1)*f]
+}
+
+// apply performs param[k] += lr * grad_k (with the Adagrad per-coordinate
+// rate when acc != nil), where grad_k = scale*dir[k] - reg*param[k].
+func (w *worker) apply(param, acc []float32, scale float32, dir []float32, reg float32) {
+	lr := float32(w.m.Hyper.LearningRate)
+	if acc != nil {
+		for k := range param {
+			gk := scale*dir[k] - reg*param[k]
+			acc[k] += gk * gk
+			param[k] += lr * gk / (sqrt32(acc[k]) + 1e-6)
+		}
+		return
+	}
+	for k := range param {
+		gk := scale*dir[k] - reg*param[k]
+		param[k] += lr * gk
+	}
+}
+
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// softplus returns ln(1 + e^z) computed stably; softplus(-d) is the BPR
+// loss -ln sigma(d).
+func softplus(z float64) float64 {
+	if z > 30 {
+		return z
+	}
+	if z < -30 {
+		return 0
+	}
+	return math.Log1p(math.Exp(z))
+}

@@ -1,0 +1,275 @@
+package bpr
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+	"sigmund/internal/taxonomy"
+)
+
+// pairwiseAccuracy measures, over the holdout, how often the model ranks
+// the held-out item above a random unseen item — a cheap AUC proxy the
+// training tests use before the eval package enters the picture.
+func pairwiseAccuracy(m *Model, holdout []interactions.HoldoutExample, numItems int, seed uint64) float64 {
+	rng := linalg.NewRNG(seed)
+	correct, total := 0, 0
+	scores := make([]float64, numItems)
+	for _, h := range holdout {
+		m.ScoreAll(h.Context, scores)
+		pos := scores[h.Item]
+		for trial := 0; trial < 20; trial++ {
+			j := catalog.ItemID(rng.Intn(numItems))
+			if j == h.Item || h.Context.Contains(j) {
+				continue
+			}
+			total++
+			if pos > scores[j] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestTrainingImprovesRanking(t *testing.T) {
+	r := synthRetailer(t, 31)
+	split := interactions.HoldoutSplit(r.Log, 25)
+	ds := NewDataset(split.Train, r.Catalog)
+
+	h := DefaultHyperparams()
+	h.Factors = 8
+	h.UseBrand = true
+	h.UsePrice = true
+	m, err := NewModel(h, r.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pairwiseAccuracy(m, split.Holdout, m.NumItems, 1)
+
+	stats, err := Train(context.Background(), m, ds, TrainOptions{Epochs: 20, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps == 0 || stats.EpochsRun != 20 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	after := pairwiseAccuracy(m, split.Holdout, m.NumItems, 1)
+	t.Logf("pairwise accuracy: before=%.3f after=%.3f (loss %.4f)", before, after, stats.FinalLoss)
+	if after < before+0.1 || after < 0.6 {
+		t.Fatalf("training did not improve ranking: before=%.3f after=%.3f", before, after)
+	}
+}
+
+func TestTrainingLossDecreases(t *testing.T) {
+	r := synthRetailer(t, 32)
+	ds := NewDataset(r.Log, r.Catalog)
+	h := DefaultHyperparams()
+	h.Factors = 8
+	m, _ := NewModel(h, r.Catalog)
+	var losses []float64
+	_, err := Train(context.Background(), m, ds, TrainOptions{
+		Epochs: 12, Threads: 1,
+		OnEpoch: func(epoch int, avgLoss float64) bool {
+			losses = append(losses, avgLoss)
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 12 {
+		t.Fatalf("OnEpoch called %d times", len(losses))
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: first=%.4f last=%.4f", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestTierConstraintOrdersLevels(t *testing.T) {
+	// Toy retailer: one user repeatedly views items 0 and 1 but converts
+	// only on 0. The tier constraint (conversion > view... through the
+	// chain) should leave item 0 scored above item 1 for that user context.
+	b := taxonomy.NewBuilder("root")
+	c1 := b.AddChild(taxonomy.Root, "a")
+	c2 := b.AddChild(taxonomy.Root, "b")
+	tx := b.Build()
+	c := catalog.New("toy", tx)
+	for i := 0; i < 6; i++ {
+		cat := c1
+		if i >= 3 {
+			cat = c2
+		}
+		c.AddItem(catalog.Item{Name: "x", Category: cat, InStock: true})
+	}
+	log := interactions.NewLog()
+	tm := int64(0)
+	for u := 0; u < 30; u++ {
+		uid := interactions.UserID(u)
+		// Context seeds: view item 2.
+		log.Append(interactions.Event{User: uid, Item: 2, Type: interactions.View, Time: tm})
+		tm++
+		log.Append(interactions.Event{User: uid, Item: 1, Type: interactions.View, Time: tm})
+		tm++
+		log.Append(interactions.Event{User: uid, Item: 0, Type: interactions.Conversion, Time: tm})
+		tm++
+	}
+	ds := NewDataset(log, c)
+	h := DefaultHyperparams()
+	h.Factors = 4
+	h.Sampler = SampleUniform
+	h.UseTaxonomy = false
+	m, _ := NewModel(h, c)
+	stats, err := Train(context.Background(), m, ds, TrainOptions{Epochs: 40, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TierExamples == 0 {
+		t.Fatal("no tier examples were generated for conversion events")
+	}
+	ctx := interactions.Context{{Type: interactions.View, Item: 2}}
+	s0 := m.Score(ctx, 0)
+	s1 := m.Score(ctx, 1)
+	s5 := m.Score(ctx, 5) // never interacted
+	if s0 <= s1 {
+		t.Errorf("converted item (%.3f) not above viewed-only item (%.3f)", s0, s1)
+	}
+	if s1 <= s5 {
+		t.Errorf("viewed item (%.3f) not above unseen item (%.3f)", s1, s5)
+	}
+}
+
+func TestTrainDeterministicSingleThread(t *testing.T) {
+	r := synthRetailer(t, 33)
+	ds := NewDataset(r.Log, r.Catalog)
+	h := DefaultHyperparams()
+	h.Factors = 4
+	run := func() *Model {
+		m, _ := NewModel(h, r.Catalog)
+		if _, err := Train(context.Background(), m, ds, TrainOptions{Epochs: 3, Threads: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	for i := range a.V {
+		if a.V[i] != b.V[i] {
+			t.Fatalf("single-threaded training not deterministic at V[%d]", i)
+		}
+	}
+}
+
+func TestTrainHogwildMultithreaded(t *testing.T) {
+	r := synthRetailer(t, 34)
+	split := interactions.HoldoutSplit(r.Log, 25)
+	ds := NewDataset(split.Train, r.Catalog)
+	h := DefaultHyperparams()
+	h.Factors = 8
+	m, _ := NewModel(h, r.Catalog)
+	stats, err := Train(context.Background(), m, ds, TrainOptions{Epochs: 15, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps == 0 {
+		t.Fatal("no steps applied")
+	}
+	acc := pairwiseAccuracy(m, split.Holdout, m.NumItems, 2)
+	if acc < 0.6 {
+		t.Fatalf("hogwild training quality too low: %.3f", acc)
+	}
+}
+
+func TestTrainHonorsCancellation(t *testing.T) {
+	r := synthRetailer(t, 35)
+	ds := NewDataset(r.Log, r.Catalog)
+	h := DefaultHyperparams()
+	h.Factors = 32
+	m, _ := NewModel(h, r.Catalog)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-empted before the first epoch
+	stats, err := Train(ctx, m, ds, TrainOptions{Epochs: 1000, Threads: 2})
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if stats.EpochsRun >= 1000 {
+		t.Fatal("cancellation ignored")
+	}
+}
+
+func TestTrainEarlyStopViaOnEpoch(t *testing.T) {
+	r := synthRetailer(t, 36)
+	ds := NewDataset(r.Log, r.Catalog)
+	h := DefaultHyperparams()
+	h.Factors = 4
+	m, _ := NewModel(h, r.Catalog)
+	stats, err := Train(context.Background(), m, ds, TrainOptions{
+		Epochs: 50, Threads: 1,
+		OnEpoch: func(epoch int, _ float64) bool { return epoch == 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EpochsRun != 3 {
+		t.Fatalf("EpochsRun = %d, want 3 (early stop)", stats.EpochsRun)
+	}
+}
+
+func TestTrainCheckpointing(t *testing.T) {
+	r := synthRetailer(t, 37)
+	ds := NewDataset(r.Log, r.Catalog)
+	h := DefaultHyperparams()
+	h.Factors = 8
+	m, _ := NewModel(h, r.Catalog)
+	var ckpts int
+	_, err := Train(context.Background(), m, ds, TrainOptions{
+		Epochs: 60, Threads: 2,
+		CheckpointEvery: 20 * time.Millisecond,
+		Checkpoint: func(m *Model) error {
+			ckpts++
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpts == 0 {
+		t.Fatal("no checkpoints taken during a multi-epoch run")
+	}
+}
+
+func TestTrainEmptyDataset(t *testing.T) {
+	c := testCatalog(t)
+	ds := NewDataset(interactions.NewLog(), c)
+	m, _ := NewModel(DefaultHyperparams(), c)
+	stats, err := Train(context.Background(), m, ds, TrainOptions{Epochs: 5})
+	if err != nil || stats.Steps != 0 {
+		t.Fatalf("empty dataset: stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestPlainSGDTrains(t *testing.T) {
+	r := synthRetailer(t, 38)
+	split := interactions.HoldoutSplit(r.Log, 25)
+	ds := NewDataset(split.Train, r.Catalog)
+	h := DefaultHyperparams()
+	h.Factors = 8
+	h.Optimizer = PlainSGD
+	h.LearningRate = 0.05
+	m, _ := NewModel(h, r.Catalog)
+	if m.GV != nil {
+		t.Fatal("PlainSGD should not allocate accumulators")
+	}
+	if _, err := Train(context.Background(), m, ds, TrainOptions{Epochs: 15, Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	acc := pairwiseAccuracy(m, split.Holdout, m.NumItems, 3)
+	if acc < 0.55 {
+		t.Fatalf("plain SGD failed to learn: %.3f", acc)
+	}
+}

@@ -1,0 +1,236 @@
+// Package candidates implements Sigmund's inference-time candidate
+// selection (Section III-D1). Scoring every item in a multi-million item
+// catalog for every context is infeasible, so inference first narrows to
+// roughly a thousand plausible items and only ranks those. The paper's
+// recipes:
+//
+//	view-based      C = ∪_{j ∈ cv(i)} lca_k(j)            (k = 2 works best)
+//	purchase-based  C = ∪_{j ∈ cb(i)} lca_1(j) \ lca_1(i) (k = 1 works best)
+//
+// i.e. expand the co-viewed (resp. co-bought) items through the taxonomy,
+// and for purchases remove the query item's own near-substitutes — the user
+// already bought one. Repurchasable categories (diapers, water) skip the
+// subtraction and instead get periodic re-recommendation; late-funnel users
+// get candidates further constrained to matching item facets.
+package candidates
+
+import (
+	"sort"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/interactions"
+	"sigmund/internal/taxonomy"
+)
+
+// Selector produces candidate sets for one retailer.
+type Selector struct {
+	Cat  *catalog.Catalog
+	Cooc *cooccur.Model
+	// ViewLCA is the taxonomy expansion radius for view-based candidates.
+	// The paper found k=2 the best precision/coverage trade-off.
+	ViewLCA int
+	// BuyLCA is the radius for purchase-based candidates (paper: k=1).
+	BuyLCA int
+	// MinSupport filters weak co-occurrence edges.
+	MinSupport int
+	// MaxCandidates caps the returned set (paper: "about a thousand").
+	MaxCandidates int
+	// Repurchase, when set, disables substitute-subtraction for
+	// repurchasable categories.
+	Repurchase *RepurchaseStats
+	// InStockOnly drops out-of-stock items from candidate sets.
+	InStockOnly bool
+}
+
+// NewSelector returns a selector with the paper's settings.
+func NewSelector(cat *catalog.Catalog, cooc *cooccur.Model) *Selector {
+	return &Selector{
+		Cat: cat, Cooc: cooc,
+		ViewLCA: 2, BuyLCA: 1,
+		MinSupport: 2, MaxCandidates: 1000,
+		InStockOnly: true,
+	}
+}
+
+// ForView returns candidates to show a user who viewed item i but has not
+// purchased — substitute-flavoured recommendations. Cold items with no
+// co-view data fall back to the item's own taxonomy neighbourhood, which is
+// what keeps coverage on the long tail.
+func (s *Selector) ForView(i catalog.ItemID) []catalog.ItemID {
+	set := make(map[catalog.ItemID]struct{})
+	seeds := s.Cooc.CoViewed(i, s.MinSupport)
+	for _, j := range seeds {
+		s.addLCAk(set, j, s.ViewLCA)
+	}
+	if len(set) == 0 {
+		s.addLCAk(set, i, s.ViewLCA)
+	}
+	delete(set, i)
+	return s.finish(set)
+}
+
+// ForPurchase returns candidates to show a user who purchased item i —
+// complement/accessory-flavoured recommendations. The item's own
+// near-substitutes (lca_1(i)) are removed unless its category is
+// repurchasable.
+func (s *Selector) ForPurchase(i catalog.ItemID) []catalog.ItemID {
+	set := make(map[catalog.ItemID]struct{})
+	seeds := s.Cooc.CoBought(i, s.MinSupport)
+	for _, j := range seeds {
+		s.addLCAk(set, j, s.BuyLCA)
+	}
+	if len(set) == 0 {
+		// Cold item: fall back to co-viewed expansion, then taxonomy.
+		for _, j := range s.Cooc.CoViewed(i, s.MinSupport) {
+			s.addLCAk(set, j, s.BuyLCA)
+		}
+	}
+	if len(set) == 0 {
+		s.addLCAk(set, i, s.ViewLCA)
+	}
+	cat := s.Cat.Item(i).Category
+	if s.Repurchase == nil || !s.Repurchase.IsRepurchasable(cat) {
+		for _, sub := range s.Cat.LCAk(i, s.BuyLCA) {
+			delete(set, sub)
+		}
+	}
+	delete(set, i)
+	return s.finish(set)
+}
+
+func (s *Selector) addLCAk(set map[catalog.ItemID]struct{}, j catalog.ItemID, k int) {
+	for _, c := range s.Cat.LCAk(j, k) {
+		set[c] = struct{}{}
+	}
+}
+
+// finish applies the stock filter, sorts deterministically, and truncates.
+func (s *Selector) finish(set map[catalog.ItemID]struct{}) []catalog.ItemID {
+	out := make([]catalog.ItemID, 0, len(set))
+	for id := range set {
+		if s.InStockOnly && !s.Cat.Item(id).InStock {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	if s.MaxCandidates > 0 && len(out) > s.MaxCandidates {
+		out = out[:s.MaxCandidates]
+	}
+	return out
+}
+
+// FilterByFacets restricts cands to items sharing the query item's values
+// for the given facet keys — the late-funnel tightening from the paper
+// ("for late funnel users ... we select candidates that are further
+// constrained to have the same item facets"). Facets absent on the query
+// item are not constrained.
+func FilterByFacets(cat *catalog.Catalog, query catalog.ItemID, cands []catalog.ItemID, keys []string) []catalog.ItemID {
+	q := cat.Item(query).Facets
+	if len(q) == 0 || len(keys) == 0 {
+		return cands
+	}
+	out := cands[:0:0]
+	for _, id := range cands {
+		f := cat.Item(id).Facets
+		ok := true
+		for _, k := range keys {
+			want, has := q[k]
+			if !has {
+				continue
+			}
+			if f[k] != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RepurchaseStats estimates which categories are habitually repurchased
+// and at what cadence, by counting users with repeat conversions in the
+// same category.
+type RepurchaseStats struct {
+	// repeatRate[node] = users with >= 2 conversions in the category /
+	// users with >= 1.
+	repeatRate map[taxonomy.NodeID]float64
+	// meanInterval[node] = average time between a user's consecutive
+	// conversions in the category (event-time ticks).
+	meanInterval map[taxonomy.NodeID]float64
+	// Threshold above which a category counts as repurchasable.
+	Threshold float64
+}
+
+// ComputeRepurchase scans the log's conversions once.
+func ComputeRepurchase(log *interactions.Log, cat *catalog.Catalog, threshold float64) *RepurchaseStats {
+	type userCat struct {
+		u interactions.UserID
+		c taxonomy.NodeID
+	}
+	times := make(map[userCat][]int64)
+	for _, e := range log.Events() {
+		if e.Type != interactions.Conversion {
+			continue
+		}
+		if int(e.Item) < 0 || int(e.Item) >= cat.NumItems() {
+			continue
+		}
+		k := userCat{e.User, cat.Item(e.Item).Category}
+		times[k] = append(times[k], e.Time)
+	}
+	buyers := make(map[taxonomy.NodeID]int)
+	repeaters := make(map[taxonomy.NodeID]int)
+	gapSum := make(map[taxonomy.NodeID]float64)
+	gapN := make(map[taxonomy.NodeID]int)
+	for k, ts := range times {
+		buyers[k.c]++
+		if len(ts) >= 2 {
+			repeaters[k.c]++
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			for i := 1; i < len(ts); i++ {
+				gapSum[k.c] += float64(ts[i] - ts[i-1])
+				gapN[k.c]++
+			}
+		}
+	}
+	rs := &RepurchaseStats{
+		repeatRate:   make(map[taxonomy.NodeID]float64),
+		meanInterval: make(map[taxonomy.NodeID]float64),
+		Threshold:    threshold,
+	}
+	for c, b := range buyers {
+		rs.repeatRate[c] = float64(repeaters[c]) / float64(b)
+		if gapN[c] > 0 {
+			rs.meanInterval[c] = gapSum[c] / float64(gapN[c])
+		}
+	}
+	return rs
+}
+
+// IsRepurchasable reports whether the category's repeat-purchase rate
+// clears the threshold.
+func (r *RepurchaseStats) IsRepurchasable(c taxonomy.NodeID) bool {
+	return r.repeatRate[c] >= r.Threshold && r.Threshold > 0
+}
+
+// RepeatRate returns the fraction of the category's buyers who repurchased.
+func (r *RepurchaseStats) RepeatRate(c taxonomy.NodeID) float64 { return r.repeatRate[c] }
+
+// MeanInterval returns the average gap between repeat purchases in the
+// category (0 when unknown) — the cadence for periodic re-recommendation.
+func (r *RepurchaseStats) MeanInterval(c taxonomy.NodeID) float64 { return r.meanInterval[c] }
+
+// DuePeriodicRecommendation reports whether a repurchasable-category item
+// bought at lastPurchase should be re-recommended at now.
+func (r *RepurchaseStats) DuePeriodicRecommendation(c taxonomy.NodeID, lastPurchase, now int64) bool {
+	if !r.IsRepurchasable(c) {
+		return false
+	}
+	iv := r.meanInterval[c]
+	return iv > 0 && float64(now-lastPurchase) >= iv
+}

@@ -1,0 +1,233 @@
+package candidates
+
+import (
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/interactions"
+	"sigmund/internal/taxonomy"
+)
+
+// fixture: electronics with phones/cases/laptops and a grocery department.
+//
+//	root
+//	├── electronics
+//	│   ├── phones    (0, 1)
+//	│   ├── cases     (2, 3)
+//	│   └── laptops   (4)
+//	└── grocery
+//	    └── water     (5, 6)
+type fx struct {
+	cat    *catalog.Catalog
+	cooc   *cooccur.Model
+	phones taxonomy.NodeID
+	cases  taxonomy.NodeID
+	water  taxonomy.NodeID
+}
+
+func buildFx(t *testing.T) *fx {
+	t.Helper()
+	b := taxonomy.NewBuilder("root")
+	elec := b.AddChild(taxonomy.Root, "electronics")
+	groc := b.AddChild(taxonomy.Root, "grocery")
+	phones := b.AddChild(elec, "phones")
+	cases := b.AddChild(elec, "cases")
+	laptops := b.AddChild(elec, "laptops")
+	water := b.AddChild(groc, "water")
+	c := catalog.New("s", b.Build())
+	for i, cat := range []taxonomy.NodeID{phones, phones, cases, cases, laptops, water, water} {
+		it := catalog.Item{Name: "it", Category: cat, InStock: true}
+		if i == 0 || i == 2 {
+			it.Facets = map[string]string{"color": "black"}
+		}
+		if i == 3 {
+			it.Facets = map[string]string{"color": "red"}
+		}
+		c.AddItem(it)
+	}
+	return &fx{cat: c, cooc: cooccur.NewModel(c.NumItems(), 5), phones: phones, cases: cases, water: water}
+}
+
+func (f *fx) coview(u interactions.UserID, items ...catalog.ItemID) {
+	for i, it := range items {
+		f.cooc.Observe(interactions.Event{User: u, Item: it, Type: interactions.View, Time: int64(i)})
+	}
+}
+
+func (f *fx) cobuy(u interactions.UserID, items ...catalog.ItemID) {
+	for i, it := range items {
+		f.cooc.Observe(interactions.Event{User: u, Item: it, Type: interactions.Conversion, Time: int64(i)})
+	}
+}
+
+func has(ids []catalog.ItemID, want catalog.ItemID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestForViewExpandsCoViewedThroughTaxonomy(t *testing.T) {
+	f := buildFx(t)
+	// Item 0 (phone) is co-viewed with item 1 (phone) by several users.
+	for u := 0; u < 4; u++ {
+		f.coview(interactions.UserID(u), 0, 1)
+	}
+	s := NewSelector(f.cat, f.cooc)
+	got := s.ForView(0)
+	// lca_2(1) covers all of electronics: items 1,2,3,4 (and 0, removed as query).
+	for _, want := range []catalog.ItemID{1, 2, 3, 4} {
+		if !has(got, want) {
+			t.Fatalf("ForView(0) = %v, missing %d", got, want)
+		}
+	}
+	if has(got, 0) {
+		t.Fatal("query item included in its own candidates")
+	}
+	if has(got, 5) || has(got, 6) {
+		t.Fatal("grocery leaked into electronics candidates")
+	}
+}
+
+func TestForViewColdItemFallsBackToTaxonomy(t *testing.T) {
+	f := buildFx(t)
+	// No co-occurrence data at all.
+	s := NewSelector(f.cat, f.cooc)
+	got := s.ForView(4) // the lone laptop
+	// Fallback is lca_2(4) = electronics.
+	if len(got) == 0 {
+		t.Fatal("cold item received no candidates")
+	}
+	for _, id := range got {
+		if id == 5 || id == 6 {
+			t.Fatal("fallback crossed departments")
+		}
+	}
+}
+
+func TestForPurchaseRemovesSubstitutes(t *testing.T) {
+	f := buildFx(t)
+	// Users buy phone 0 together with case 2.
+	for u := 0; u < 4; u++ {
+		f.cobuy(interactions.UserID(u), 0, 2)
+	}
+	s := NewSelector(f.cat, f.cooc)
+	got := s.ForPurchase(0)
+	// Candidates come from lca_1(2) = cases {2,3}; lca_1(0) = phones {0,1}
+	// is subtracted: the user already owns a phone.
+	if !has(got, 2) || !has(got, 3) {
+		t.Fatalf("ForPurchase(0) = %v, want the cases", got)
+	}
+	if has(got, 0) || has(got, 1) {
+		t.Fatalf("ForPurchase(0) = %v, substitutes not removed", got)
+	}
+}
+
+func TestForPurchaseRepurchasableKeepsOwnCategory(t *testing.T) {
+	f := buildFx(t)
+	// Users repeatedly buy water 5 and water 6 together.
+	log := interactions.NewLog()
+	for u := 0; u < 6; u++ {
+		uid := interactions.UserID(u)
+		log.Append(interactions.Event{User: uid, Item: 5, Type: interactions.Conversion, Time: int64(10 * u)})
+		log.Append(interactions.Event{User: uid, Item: 5, Type: interactions.Conversion, Time: int64(10*u + 5)})
+		f.cobuy(uid, 5, 6)
+	}
+	rs := ComputeRepurchase(log, f.cat, 0.5)
+	if !rs.IsRepurchasable(f.water) {
+		t.Fatal("water category should be repurchasable")
+	}
+	s := NewSelector(f.cat, f.cooc)
+	s.Repurchase = rs
+	got := s.ForPurchase(5)
+	if !has(got, 6) {
+		t.Fatalf("ForPurchase(5) = %v: repurchasable category lost its own items", got)
+	}
+	// Without repurchase stats the same query subtracts water.
+	s.Repurchase = nil
+	got = s.ForPurchase(5)
+	if has(got, 6) {
+		t.Fatalf("ForPurchase(5) without repurchase stats = %v: substitutes kept", got)
+	}
+}
+
+func TestInStockFilterAndCap(t *testing.T) {
+	f := buildFx(t)
+	for u := 0; u < 4; u++ {
+		f.coview(interactions.UserID(u), 0, 1)
+	}
+	f.cat.SetStock(3, false)
+	s := NewSelector(f.cat, f.cooc)
+	got := s.ForView(0)
+	if has(got, 3) {
+		t.Fatal("out-of-stock item in candidates")
+	}
+	s.InStockOnly = false
+	if got = s.ForView(0); !has(got, 3) {
+		t.Fatal("stock filter applied when disabled")
+	}
+	s.MaxCandidates = 2
+	if got = s.ForView(0); len(got) != 2 {
+		t.Fatalf("cap not applied: %v", got)
+	}
+}
+
+func TestFilterByFacets(t *testing.T) {
+	f := buildFx(t)
+	// Query item 0 is black; candidates: 2 (black case), 3 (red case).
+	got := FilterByFacets(f.cat, 0, []catalog.ItemID{2, 3}, []string{"color"})
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("FilterByFacets = %v, want [2]", got)
+	}
+	// Query without facets: unconstrained.
+	got = FilterByFacets(f.cat, 1, []catalog.ItemID{2, 3}, []string{"color"})
+	if len(got) != 2 {
+		t.Fatalf("facetless query filtered: %v", got)
+	}
+	// No keys: unchanged.
+	got = FilterByFacets(f.cat, 0, []catalog.ItemID{2, 3}, nil)
+	if len(got) != 2 {
+		t.Fatalf("no-keys call filtered: %v", got)
+	}
+}
+
+func TestRepurchaseStats(t *testing.T) {
+	f := buildFx(t)
+	log := interactions.NewLog()
+	// 4 water buyers, 2 repeat (50%); gaps of 10 and 20.
+	log.Append(interactions.Event{User: 0, Item: 5, Type: interactions.Conversion, Time: 0})
+	log.Append(interactions.Event{User: 0, Item: 5, Type: interactions.Conversion, Time: 10})
+	log.Append(interactions.Event{User: 1, Item: 6, Type: interactions.Conversion, Time: 0})
+	log.Append(interactions.Event{User: 1, Item: 6, Type: interactions.Conversion, Time: 20})
+	log.Append(interactions.Event{User: 2, Item: 5, Type: interactions.Conversion, Time: 5})
+	log.Append(interactions.Event{User: 3, Item: 6, Type: interactions.Conversion, Time: 7})
+	// One phone buyer, no repeats. Views never count.
+	log.Append(interactions.Event{User: 0, Item: 0, Type: interactions.Conversion, Time: 3})
+	log.Append(interactions.Event{User: 1, Item: 0, Type: interactions.View, Time: 4})
+
+	rs := ComputeRepurchase(log, f.cat, 0.4)
+	if got := rs.RepeatRate(f.water); got != 0.5 {
+		t.Fatalf("water repeat rate = %v, want 0.5", got)
+	}
+	if !rs.IsRepurchasable(f.water) {
+		t.Fatal("water not repurchasable at threshold 0.4")
+	}
+	if rs.IsRepurchasable(f.phones) {
+		t.Fatal("phones repurchasable?")
+	}
+	if got := rs.MeanInterval(f.water); got != 15 {
+		t.Fatalf("water mean interval = %v, want 15", got)
+	}
+	if !rs.DuePeriodicRecommendation(f.water, 0, 15) {
+		t.Fatal("periodic recommendation not due at the mean interval")
+	}
+	if rs.DuePeriodicRecommendation(f.water, 0, 5) {
+		t.Fatal("periodic recommendation due too early")
+	}
+	if rs.DuePeriodicRecommendation(f.phones, 0, 1000) {
+		t.Fatal("non-repurchasable category due for periodic recommendation")
+	}
+}

@@ -1,0 +1,214 @@
+// Package eval implements the ranking goodness metrics from Section III-C2
+// of the paper. The evaluation protocol: for every user with more than two
+// interactions, the final item of their sequence is held out; the model
+// ranks all items for that user's context, and the metric rewards placing
+// the held-out item near the top.
+//
+// Sigmund selects models by MAP@10 — it weights the top of the list, where
+// the (at most ~10) recommendation slots are. AUC is computed but
+// deliberately not used for selection: it treats all rank positions
+// equally, and for large retailers the AUC gap between a good and a
+// mediocre model hides in the fourth decimal. For very large catalogs the
+// package supports estimating metrics on a sampled subset of items (the
+// paper samples 10%) to save CPU.
+package eval
+
+import (
+	"math"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+)
+
+// Scorer produces affinity scores for every item under a user context.
+// *bpr.Model implements it; so do the co-occurrence and hybrid adapters.
+type Scorer interface {
+	ScoreAll(ctx interactions.Context, out []float64)
+}
+
+// SubsetScorer is the optional fast path for sampled evaluation: score only
+// a candidate subset instead of the whole catalog. This is where the
+// paper's 10% sampling actually saves CPU — without it, sampling only skips
+// comparisons, not scoring. *bpr.Model implements it.
+type SubsetScorer interface {
+	ScoreSubset(ctx interactions.Context, items []catalog.ItemID, out []float64)
+}
+
+// Options configures an evaluation pass.
+type Options struct {
+	// K is the ranking cutoff (10 in production: "most recommender
+	// applications are constrained to show fewer than 10 items").
+	K int
+	// SampleFraction estimates ranks on a uniform item sample when < 1
+	// (the paper uses 0.10 for very large retailers). 0 or 1 = exact.
+	SampleFraction float64
+	// Seed drives the item sampling.
+	Seed uint64
+	// ExcludeContext removes items present in the user's context from the
+	// candidate ranking (they were used for training; recommending them
+	// back is trivial). Default true via DefaultOptions.
+	ExcludeContext bool
+}
+
+// DefaultOptions returns the production settings: MAP@10, exact ranks,
+// context items excluded.
+func DefaultOptions() Options {
+	return Options{K: 10, SampleFraction: 1.0, ExcludeContext: true}
+}
+
+// Result aggregates metrics over a holdout set.
+type Result struct {
+	MAP       float64 // MAP@K — the model-selection metric
+	Precision float64 // Precision@K
+	Recall    float64 // Recall@K
+	NDCG      float64 // NDCG@K
+	AUC       float64
+	Examples  int // holdout examples evaluated
+}
+
+// Evaluate scores every holdout example and aggregates the metrics.
+// numItems must match the scorer's item space.
+func Evaluate(s Scorer, holdout []interactions.HoldoutExample, numItems int, opts Options) Result {
+	var r Result
+	if len(holdout) == 0 || numItems == 0 {
+		return r
+	}
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	sampled := opts.SampleFraction > 0 && opts.SampleFraction < 1
+	subsetScorer, fastSample := s.(SubsetScorer)
+	fastSample = fastSample && sampled
+	rng := linalg.NewRNG(opts.Seed ^ 0x5eed)
+	scores := make([]float64, numItems)
+	var sampleIDs []catalog.ItemID
+	var sampleScores []float64
+	var sumAP, sumP, sumRec, sumNDCG, sumAUC float64
+	for _, h := range holdout {
+		if int(h.Item) < 0 || int(h.Item) >= numItems {
+			continue
+		}
+		var rank, total int
+		if fastSample {
+			// Fast path: draw ~fraction*n candidate items (with
+			// replacement) and score ONLY those plus the positive — this is
+			// how sampling cuts CPU on huge catalogs.
+			k := int(opts.SampleFraction * float64(numItems))
+			if k < 1 {
+				k = 1
+			}
+			sampleIDs = sampleIDs[:0]
+			sampleIDs = append(sampleIDs, h.Item)
+			for d := 0; d < k; d++ {
+				j := catalog.ItemID(rng.Intn(numItems))
+				if j == h.Item {
+					continue
+				}
+				if opts.ExcludeContext && h.Context.Contains(j) {
+					continue
+				}
+				sampleIDs = append(sampleIDs, j)
+			}
+			if cap(sampleScores) < len(sampleIDs) {
+				sampleScores = make([]float64, len(sampleIDs))
+			}
+			sampleScores = sampleScores[:len(sampleIDs)]
+			subsetScorer.ScoreSubset(h.Context, sampleIDs, sampleScores)
+			pos := sampleScores[0]
+			higher := 0.0
+			for _, sc := range sampleScores[1:] {
+				if sc > pos {
+					higher++
+				} else if sc == pos {
+					higher += 0.5 // ties count half: no optimistic tie-break
+				}
+			}
+			drawn := len(sampleIDs) - 1
+			eligibleTotal := numItems - 1 // approximate; context overlap is tiny
+			if drawn > 0 {
+				rank = 1 + int(higher*float64(eligibleTotal)/float64(drawn))
+			} else {
+				rank = 1
+			}
+			total = numItems
+		} else {
+			s.ScoreAll(h.Context, scores)
+			pos := scores[h.Item]
+
+			// rank = 1 + competitors scoring strictly higher + half the
+			// exact ties. Counting ties half matters: a weak model that
+			// gives whole groups of items identical scores must not get
+			// credit for ranking the positive "first" within its group.
+			var higher float64
+			eligible := 0
+			for j := 0; j < numItems; j++ {
+				if j == int(h.Item) {
+					continue
+				}
+				if opts.ExcludeContext && h.Context.Contains(catalog.ItemID(j)) {
+					continue
+				}
+				if sampled && rng.Float64() >= opts.SampleFraction {
+					continue
+				}
+				eligible++
+				if scores[j] > pos {
+					higher++
+				} else if scores[j] == pos {
+					higher += 0.5
+				}
+			}
+			rank = 1 + int(higher)
+			total = eligible + 1
+			if sampled && opts.SampleFraction > 0 {
+				// Scale the sampled counts back to the full catalog.
+				rank = 1 + int(higher/opts.SampleFraction)
+				total = 1 + int(float64(eligible)/opts.SampleFraction)
+			}
+		}
+
+		if rank <= opts.K {
+			// One relevant item: AP@K = 1/rank.
+			sumAP += 1 / float64(rank)
+			sumP += 1 / float64(opts.K)
+			sumRec += 1
+			sumNDCG += 1 / math.Log2(float64(rank)+1)
+		}
+		if total > 1 {
+			sumAUC += float64(total-rank) / float64(total-1)
+		}
+		r.Examples++
+	}
+	if r.Examples == 0 {
+		return r
+	}
+	n := float64(r.Examples)
+	r.MAP = sumAP / n
+	r.Precision = sumP / n
+	r.Recall = sumRec / n
+	r.NDCG = sumNDCG / n
+	r.AUC = sumAUC / n
+	return r
+}
+
+// RankOf returns the exact rank (1-based) the scorer assigns to item in the
+// given context, with context items excluded. Used by diagnostics and
+// tests.
+func RankOf(s Scorer, ctx interactions.Context, item catalog.ItemID, numItems int) int {
+	scores := make([]float64, numItems)
+	s.ScoreAll(ctx, scores)
+	pos := scores[item]
+	var higher float64
+	for j := 0; j < numItems; j++ {
+		if catalog.ItemID(j) == item || ctx.Contains(catalog.ItemID(j)) {
+			continue
+		}
+		if scores[j] > pos {
+			higher++
+		} else if scores[j] == pos {
+			higher += 0.5
+		}
+	}
+	return 1 + int(higher)
+}

@@ -1,0 +1,262 @@
+// Package hybrid combines the two recommenders the way Section III-E (and
+// the paper's conclusion) prescribes: co-occurrence recommendations for
+// popular items — with lots of data they are very hard to beat — and
+// factorization-derived recommendations to cover the long tail, where
+// co-occurrence has no support. The blend is what lets Sigmund "cover a
+// much larger fraction of the inventory with good recommendations".
+package hybrid
+
+import (
+	"sort"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/candidates"
+	"sigmund/internal/interactions"
+)
+
+// Source identifies which model produced a recommendation.
+type Source uint8
+
+const (
+	// FromCooccurrence marks a co-occurrence (PMI) recommendation.
+	FromCooccurrence Source = iota
+	// FromFactorization marks a BPR model recommendation.
+	FromFactorization
+)
+
+func (s Source) String() string {
+	if s == FromCooccurrence {
+		return "cooc"
+	}
+	return "mf"
+}
+
+// Scored is one recommended item with its score and provenance.
+type Scored struct {
+	Item   catalog.ItemID
+	Score  float64
+	Source Source
+}
+
+// Recommender materializes item-to-item recommendations for one retailer.
+type Recommender struct {
+	Cooc  *cooccur.Model
+	Model *bpr.Model
+	Sel   *candidates.Selector
+	Stats *interactions.ItemStats
+
+	// HeadMinEvents is the popularity threshold: items with at least this
+	// many interactions are "head" and served from co-occurrence.
+	HeadMinEvents int
+	// MinSupport for co-occurrence neighbors.
+	MinSupport int
+	// TopK recommendations per item.
+	TopK int
+}
+
+// NewRecommender wires the pieces with production-ish defaults.
+func NewRecommender(cooc *cooccur.Model, m *bpr.Model, sel *candidates.Selector, stats *interactions.ItemStats) *Recommender {
+	return &Recommender{
+		Cooc: cooc, Model: m, Sel: sel, Stats: stats,
+		HeadMinEvents: 30, MinSupport: 3, TopK: 10,
+	}
+}
+
+// IsHead reports whether item i is in the data-rich head.
+func (r *Recommender) IsHead(i catalog.ItemID) bool {
+	return r.Stats != nil && r.Stats.Total[i] >= r.HeadMinEvents
+}
+
+// RecommendForView returns recommendations for a user who viewed item i
+// (substitutes). Head items use co-occurrence; the remainder — and any
+// unfilled slots — come from the factorization model over the candidate
+// set.
+func (r *Recommender) RecommendForView(i catalog.ItemID) []Scored {
+	return r.recommend(i, cooccur.CoView)
+}
+
+// RecommendForPurchase returns recommendations for a user who purchased
+// item i (complements/accessories).
+func (r *Recommender) RecommendForPurchase(i catalog.ItemID) []Scored {
+	return r.recommend(i, cooccur.CoBuy)
+}
+
+// LateFunnelFacets, when non-empty, enables the late-funnel view surface:
+// candidates constrained to share the query item's values for these facet
+// keys (Section III-D1: "for late funnel users ... we select candidates
+// that are further constrained to have the same item facets").
+var DefaultLateFunnelFacets = []string{"color", "size"}
+
+// RecommendForViewLateFunnel returns the tightened view-surface list for a
+// user deep in the purchase funnel: the regular view recommendations
+// filtered to items matching the query item's facets. When the filter
+// leaves fewer than two items (sparse facet data) it returns nil — the
+// serving layer then falls through to the broad view surface, so
+// late-funnel users never see an empty shelf.
+func (r *Recommender) RecommendForViewLateFunnel(i catalog.ItemID, facetKeys []string) []Scored {
+	full := r.RecommendForView(i)
+	if len(facetKeys) == 0 {
+		return full
+	}
+	ids := make([]catalog.ItemID, len(full))
+	for idx, s := range full {
+		ids[idx] = s.Item
+	}
+	kept := candidates.FilterByFacets(r.Sel.Cat, i, ids, facetKeys)
+	if len(kept) < 2 {
+		return nil
+	}
+	keep := make(map[catalog.ItemID]bool, len(kept))
+	for _, id := range kept {
+		keep[id] = true
+	}
+	out := make([]Scored, 0, len(kept))
+	for _, s := range full {
+		if keep[s.Item] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (r *Recommender) recommend(i catalog.ItemID, kind cooccur.Kind) []Scored {
+	var out []Scored
+	seen := map[catalog.ItemID]bool{i: true}
+	if r.IsHead(i) {
+		// Count-ranked, like the production co-occurrence recommender the
+		// paper keeps for popular items ("customers also viewed", by
+		// frequency): Sigmund's head behaviour deliberately matches it.
+		for _, n := range r.Cooc.TopKByCount(kind, i, r.TopK, r.MinSupport) {
+			out = append(out, Scored{Item: n.Item, Score: float64(n.Count), Source: FromCooccurrence})
+			seen[n.Item] = true
+		}
+	}
+	if len(out) >= r.TopK {
+		return out[:r.TopK]
+	}
+	// Fill the remaining slots from factorization over the candidate set.
+	var cands []catalog.ItemID
+	var ctx interactions.Context
+	if kind == cooccur.CoBuy {
+		cands = r.Sel.ForPurchase(i)
+		ctx = interactions.Context{{Type: interactions.Conversion, Item: i}}
+	} else {
+		cands = r.Sel.ForView(i)
+		ctx = interactions.Context{{Type: interactions.View, Item: i}}
+	}
+	scored := make([]Scored, 0, len(cands))
+	u := make([]float32, r.Model.F())
+	r.Model.UserEmbedding(ctx, u)
+	phi := make([]float32, r.Model.F())
+	for _, c := range cands {
+		if seen[c] {
+			continue
+		}
+		r.Model.Composite(c, phi)
+		scored = append(scored, Scored{Item: c, Score: dot64(u, phi), Source: FromFactorization})
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].Score != scored[b].Score {
+			return scored[a].Score > scored[b].Score
+		}
+		return scored[a].Item < scored[b].Item
+	})
+	for _, s := range scored {
+		if len(out) >= r.TopK {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func dot64(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// CoocScorer adapts a co-occurrence model to the eval.Scorer interface so
+// the baseline can be evaluated with the same MAP@10 protocol as the
+// factorization model. The score of item j is the decay-weighted sum of
+// its PMI with each context item (unassociated pairs contribute nothing).
+type CoocScorer struct {
+	Model      *cooccur.Model
+	Kind       cooccur.Kind
+	MinSupport int
+	// Decay matches the BPR context decay so comparisons are fair.
+	Decay float64
+}
+
+// ScoreAll implements eval.Scorer.
+func (c CoocScorer) ScoreAll(ctx interactions.Context, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	decay := c.Decay
+	if decay <= 0 || decay > 1 {
+		decay = 0.85
+	}
+	w := 1.0
+	for j := len(ctx) - 1; j >= 0; j-- {
+		it := ctx[j].Item
+		if int(it) >= 0 && int(it) < c.Model.NumItems() {
+			for _, n := range c.Model.Neighbors(c.Kind, it, c.MinSupport) {
+				out[n.Item] += w * n.PMI
+			}
+		}
+		w *= decay
+	}
+}
+
+// Scorer blends the two models for whole-catalog ranking the way the paper
+// prescribes: co-occurrence evidence decides only for *popular* items —
+// where its counts are trustworthy — and the factorization model orders
+// everything else. A blanket cooc-first rule would inherit the
+// co-occurrence model's noise on sparse items, which is exactly what the
+// popularity gate avoids.
+type Scorer struct {
+	Cooc CoocScorer
+	MF   *bpr.Model
+	// Stats supplies item popularity; nil disables the gate (all items
+	// eligible for the co-occurrence boost).
+	Stats *interactions.ItemStats
+	// HeadMinEvents is the popularity threshold for the gate.
+	HeadMinEvents int
+}
+
+// ScoreAll implements eval.Scorer.
+func (h Scorer) ScoreAll(ctx interactions.Context, out []float64) {
+	mf := make([]float64, len(out))
+	h.MF.ScoreAll(ctx, mf)
+	h.Cooc.ScoreAll(ctx, out)
+	// Normalize MF scores into (0, 1); head items with positive
+	// co-occurrence evidence rank above all pure-MF items, ordered by PMI
+	// with MF as a tiny tie-break.
+	lo, hi := mf[0], mf[0]
+	for _, v := range mf {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	for i := range out {
+		norm := (mf[i] - lo) / span
+		isHead := h.Stats == nil || h.Stats.Total[i] >= h.HeadMinEvents
+		if out[i] > 0 && isHead {
+			out[i] += 2 + 1e-3*norm
+		} else {
+			out[i] = norm
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package hybrid
+
+import (
+	"context"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/candidates"
+	"sigmund/internal/core/eval"
+	"sigmund/internal/interactions"
+	"sigmund/internal/synth"
+)
+
+// env builds a trained environment over a synthetic retailer.
+type env struct {
+	r     *synth.Retailer
+	cooc  *cooccur.Model
+	model *bpr.Model
+	sel   *candidates.Selector
+	stats *interactions.ItemStats
+	split interactions.Split
+}
+
+func buildEnv(t testing.TB, seed uint64) *env {
+	t.Helper()
+	r := synth.GenerateRetailer(synth.RetailerSpec{
+		NumItems: 150, NumUsers: 150, EventsPerUserMean: 14, NumBrands: 6, BrandCoverage: 0.6, Seed: seed,
+	})
+	split := interactions.HoldoutSplit(r.Log, 25)
+	cooc := cooccur.FromLog(split.Train, r.Catalog.NumItems(), 5)
+	stats := interactions.ComputeItemStats(split.Train, r.Catalog.NumItems())
+	h := bpr.DefaultHyperparams()
+	h.Factors = 8
+	m, err := bpr.NewModel(h, r.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := bpr.NewDataset(split.Train, r.Catalog)
+	if _, err := bpr.Train(context.Background(), m, ds, bpr.TrainOptions{Epochs: 12, Threads: 2, Cooc: cooc}); err != nil {
+		t.Fatal(err)
+	}
+	sel := candidates.NewSelector(r.Catalog, cooc)
+	return &env{r: r, cooc: cooc, model: m, sel: sel, stats: stats, split: split}
+}
+
+func TestRecommendHeadUsesCooccurrence(t *testing.T) {
+	e := buildEnv(t, 51)
+	rec := NewRecommender(e.cooc, e.model, e.sel, e.stats)
+	rec.HeadMinEvents = 10
+
+	// Find a genuinely popular item.
+	order := e.stats.PopularityOrder()
+	head := order[0]
+	if !rec.IsHead(head) {
+		t.Fatalf("most popular item (%d events) not head", e.stats.Total[head])
+	}
+	got := rec.RecommendForView(head)
+	if len(got) == 0 {
+		t.Fatal("no recommendations for head item")
+	}
+	coocCount := 0
+	for _, s := range got {
+		if s.Item == head {
+			t.Fatal("item recommends itself")
+		}
+		if s.Source == FromCooccurrence {
+			coocCount++
+		}
+	}
+	if coocCount == 0 {
+		t.Fatal("head item got no co-occurrence recommendations")
+	}
+}
+
+func TestRecommendTailUsesFactorization(t *testing.T) {
+	e := buildEnv(t, 52)
+	rec := NewRecommender(e.cooc, e.model, e.sel, e.stats)
+	rec.HeadMinEvents = 10
+
+	order := e.stats.PopularityOrder()
+	tail := order[len(order)-1]
+	if rec.IsHead(tail) {
+		t.Skip("no tail item in this sample")
+	}
+	got := rec.RecommendForView(tail)
+	if len(got) == 0 {
+		t.Fatal("tail item got no recommendations — the coverage claim fails")
+	}
+	for _, s := range got {
+		if s.Source != FromFactorization {
+			t.Fatalf("tail item served from %v", s.Source)
+		}
+	}
+}
+
+func TestRecommendFillsUpToTopK(t *testing.T) {
+	e := buildEnv(t, 53)
+	rec := NewRecommender(e.cooc, e.model, e.sel, e.stats)
+	rec.HeadMinEvents = 10
+	rec.TopK = 8
+	order := e.stats.PopularityOrder()
+	for _, probe := range []catalog.ItemID{order[0], order[len(order)/2]} {
+		got := rec.RecommendForView(probe)
+		if len(got) > 8 {
+			t.Fatalf("TopK exceeded: %d", len(got))
+		}
+		seen := map[catalog.ItemID]bool{}
+		for _, s := range got {
+			if seen[s.Item] {
+				t.Fatalf("duplicate recommendation %d", s.Item)
+			}
+			seen[s.Item] = true
+		}
+	}
+}
+
+func TestRecommendForPurchaseExcludesSubstitutes(t *testing.T) {
+	e := buildEnv(t, 54)
+	rec := NewRecommender(e.cooc, e.model, e.sel, e.stats)
+	rec.HeadMinEvents = 1 << 30 // force the factorization path for determinism
+	probe := catalog.ItemID(0)
+	got := rec.RecommendForPurchase(probe)
+	for _, s := range got {
+		if e.r.Catalog.ItemLCADistance(probe, s.Item) <= e.sel.BuyLCA {
+			t.Fatalf("purchase recs include near-substitute %d", s.Item)
+		}
+	}
+}
+
+func TestCoocScorerRanksAssociatedItems(t *testing.T) {
+	e := buildEnv(t, 55)
+	s := CoocScorer{Model: e.cooc, Kind: cooccur.CoView, MinSupport: 2, Decay: 0.85}
+	// Pick a holdout example whose held-out item is associated with the
+	// context; the scorer should give it a positive score.
+	out := make([]float64, e.r.Catalog.NumItems())
+	anyPositive := false
+	for _, h := range e.split.Holdout {
+		s.ScoreAll(h.Context, out)
+		for _, v := range out {
+			if v > 0 {
+				anyPositive = true
+				break
+			}
+		}
+		if anyPositive {
+			break
+		}
+	}
+	if !anyPositive {
+		t.Fatal("cooc scorer produced no positive scores on any holdout context")
+	}
+}
+
+func TestHybridScorerCoversBothRegimes(t *testing.T) {
+	e := buildEnv(t, 56)
+	hs := Scorer{
+		Cooc:          CoocScorer{Model: e.cooc, Kind: cooccur.CoView, MinSupport: 2, Decay: 0.85},
+		MF:            e.model,
+		Stats:         e.stats,
+		HeadMinEvents: 30,
+	}
+	n := e.r.Catalog.NumItems()
+	res := eval.Evaluate(hs, e.split.Holdout, n, eval.DefaultOptions())
+	if res.Examples == 0 {
+		t.Fatal("no examples evaluated")
+	}
+	// The hybrid must be a usable ranker: clearly better than random
+	// (random MAP@10 for ~150 items is about 10/150 * avg precision ~ small).
+	if res.MAP < 0.02 {
+		t.Fatalf("hybrid MAP implausibly low: %v", res.MAP)
+	}
+	// And it should not lose badly to either component.
+	mf := eval.Evaluate(e.model, e.split.Holdout, n, eval.DefaultOptions())
+	cooc := eval.Evaluate(hs.Cooc, e.split.Holdout, n, eval.DefaultOptions())
+	best := mf.MAP
+	if cooc.MAP > best {
+		best = cooc.MAP
+	}
+	if res.MAP < best*0.5 {
+		t.Fatalf("hybrid MAP %.4f collapses vs components (mf %.4f cooc %.4f)", res.MAP, mf.MAP, cooc.MAP)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if FromCooccurrence.String() != "cooc" || FromFactorization.String() != "mf" {
+		t.Fatal("Source strings wrong")
+	}
+}
+
+func TestRecommendForViewLateFunnel(t *testing.T) {
+	e := buildEnv(t, 57)
+	rec := NewRecommender(e.cooc, e.model, e.sel, e.stats)
+	rec.TopK = 10
+	// Attach facets: half the catalog is "black", half "red"; probe is black.
+	for i := 0; i < e.r.Catalog.NumItems(); i++ {
+		it := e.r.Catalog.Items()[i]
+		color := "black"
+		if i%2 == 1 {
+			color = "red"
+		}
+		it.Facets = map[string]string{"color": color}
+		e.r.Catalog.Items()[i] = it
+	}
+	probe := catalog.ItemID(0) // black
+	full := rec.RecommendForView(probe)
+	lf := rec.RecommendForViewLateFunnel(probe, []string{"color"})
+	if len(lf) == 0 {
+		t.Fatal("late-funnel list empty")
+	}
+	if len(lf) > len(full) {
+		t.Fatal("late-funnel list longer than the full list")
+	}
+	for _, s := range lf {
+		if e.r.Catalog.Item(s.Item).Facets["color"] != "black" {
+			t.Fatalf("late-funnel rec %d has wrong facet", s.Item)
+		}
+	}
+	// No facet keys: identical to the full list.
+	same := rec.RecommendForViewLateFunnel(probe, nil)
+	if len(same) != len(full) {
+		t.Fatal("nil keys changed the list")
+	}
+	// Facet that filters to almost nothing: nil signals "no constrained
+	// surface" and serving falls through to the broad view list.
+	it := e.r.Catalog.Items()[0]
+	it.Facets = map[string]string{"color": "unique-shade"}
+	e.r.Catalog.Items()[0] = it
+	if fb := rec.RecommendForViewLateFunnel(probe, []string{"color"}); fb != nil {
+		t.Fatalf("sparse facets should yield nil, got %d recs", len(fb))
+	}
+}

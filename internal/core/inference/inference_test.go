@@ -1,0 +1,200 @@
+package inference
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/candidates"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+	"sigmund/internal/synth"
+)
+
+func buildRecommender(t testing.TB, seed uint64) (*hybrid.Recommender, *catalog.Catalog) {
+	t.Helper()
+	r := synth.GenerateRetailer(synth.RetailerSpec{
+		NumItems: 120, NumUsers: 100, EventsPerUserMean: 12, NumBrands: 5, BrandCoverage: 0.6, Seed: seed,
+	})
+	cooc := cooccur.FromLog(r.Log, r.Catalog.NumItems(), 5)
+	stats := interactions.ComputeItemStats(r.Log, r.Catalog.NumItems())
+	h := bpr.DefaultHyperparams()
+	h.Factors = 6
+	m, err := bpr.NewModel(h, r.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := bpr.NewDataset(r.Log, r.Catalog)
+	if _, err := bpr.Train(context.Background(), m, ds, bpr.TrainOptions{Epochs: 6, Threads: 2, Cooc: cooc}); err != nil {
+		t.Fatal(err)
+	}
+	sel := candidates.NewSelector(r.Catalog, cooc)
+	return hybrid.NewRecommender(cooc, m, sel, stats), r.Catalog
+}
+
+func TestMaterializeCoversCatalog(t *testing.T) {
+	rec, cat := buildRecommender(t, 61)
+	out, err := Materialize(context.Background(), rec, cat, Options{TopK: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != cat.NumItems() {
+		t.Fatalf("materialized %d of %d items", len(out), cat.NumItems())
+	}
+	seen := map[catalog.ItemID]bool{}
+	withRecs := 0
+	for _, ir := range out {
+		if seen[ir.Item] {
+			t.Fatalf("item %d materialized twice", ir.Item)
+		}
+		seen[ir.Item] = true
+		if len(ir.View) > 5 || len(ir.Purchase) > 5 {
+			t.Fatalf("TopK exceeded for item %d", ir.Item)
+		}
+		for _, s := range ir.View {
+			if s.Item == ir.Item {
+				t.Fatalf("item %d recommends itself", ir.Item)
+			}
+		}
+		if len(ir.View) > 0 {
+			withRecs++
+		}
+	}
+	// The coverage claim: nearly every item gets view recommendations.
+	if withRecs < cat.NumItems()*8/10 {
+		t.Fatalf("only %d/%d items have view recs", withRecs, cat.NumItems())
+	}
+}
+
+func TestMaterializeSkipsOutOfStock(t *testing.T) {
+	rec, cat := buildRecommender(t, 62)
+	cat.SetStock(0, false)
+	cat.SetStock(5, false)
+	out, err := Materialize(context.Background(), rec, cat, Options{TopK: 5, Workers: 2, SkipOutOfStock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != cat.NumItems()-2 {
+		t.Fatalf("materialized %d, want %d", len(out), cat.NumItems()-2)
+	}
+	for _, ir := range out {
+		if ir.Item == 0 || ir.Item == 5 {
+			t.Fatal("out-of-stock query item materialized")
+		}
+	}
+}
+
+func TestMaterializeHonorsCancellation(t *testing.T) {
+	rec, cat := buildRecommender(t, 63)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Materialize(ctx, rec, cat, Options{}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestItemKeyRoundTrip(t *testing.T) {
+	k := itemKey(17, 345)
+	ord, id, err := parseItemKey(k)
+	if err != nil || ord != 17 || id != 345 {
+		t.Fatalf("roundtrip: %d %d %v", ord, id, err)
+	}
+	for _, bad := range []string{"", "nocolon", "x:1", "1:y"} {
+		if _, _, err := parseItemKey(bad); err == nil {
+			t.Fatalf("parseItemKey(%q) succeeded", bad)
+		}
+	}
+}
+
+func powerLawWeights(n int, seed uint64) []float64 {
+	rng := linalg.NewRNG(seed)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(rng.Intn(1000)+1), 1.5)
+	}
+	return w
+}
+
+func TestPartitionAssignsAll(t *testing.T) {
+	w := powerLawWeights(50, 1)
+	for _, s := range []Strategy{GreedyFirstFit, RoundRobin, InOrderFirstFit} {
+		a := Partition(w, 4, s)
+		if len(a.Bin) != 50 || len(a.Load) != 4 {
+			t.Fatalf("%v: shape wrong", s)
+		}
+		var total float64
+		loads := make([]float64, 4)
+		for i, b := range a.Bin {
+			if b < 0 || b >= 4 {
+				t.Fatalf("%v: bin %d out of range", s, b)
+			}
+			loads[b] += w[i]
+			total += w[i]
+		}
+		for b := range loads {
+			if math.Abs(loads[b]-a.Load[b]) > 1e-9 {
+				t.Fatalf("%v: reported load mismatch bin %d", s, b)
+			}
+		}
+	}
+}
+
+func TestGreedyBeatsRoundRobinOnSkewedInput(t *testing.T) {
+	// The paper's C8 claim at unit-test scale: on power-law weights the
+	// greedy largest-first heuristic yields a lower makespan.
+	w := powerLawWeights(60, 7)
+	greedy := Partition(w, 5, GreedyFirstFit)
+	rr := Partition(w, 5, RoundRobin)
+	if greedy.Makespan() >= rr.Makespan() {
+		t.Fatalf("greedy makespan %v >= round-robin %v", greedy.Makespan(), rr.Makespan())
+	}
+	if greedy.Imbalance() > 1.35 {
+		t.Fatalf("greedy imbalance %v exceeds LPT bound regime", greedy.Imbalance())
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	a := Partition(nil, 3, GreedyFirstFit)
+	if len(a.Bin) != 0 || a.Makespan() != 0 {
+		t.Fatal("empty input")
+	}
+	if a.Imbalance() != 1 {
+		t.Fatal("empty imbalance should be 1")
+	}
+	a = Partition([]float64{5}, 0, GreedyFirstFit) // bins clamped to 1
+	if a.Bin[0] != 0 || a.Load[0] != 5 {
+		t.Fatal("single-bin clamp")
+	}
+	if GreedyFirstFit.String() == "" || RoundRobin.String() == "" || InOrderFirstFit.String() == "" || Strategy(9).String() != "unknown" {
+		t.Fatal("strategy strings")
+	}
+}
+
+func TestGreedyWithinLPTBound(t *testing.T) {
+	// LPT guarantee: makespan <= (4/3 - 1/(3m)) * OPT, and OPT >= total/m,
+	// OPT >= max weight. Check against the lower bound.
+	w := powerLawWeights(40, 3)
+	m := 4
+	a := Partition(w, m, GreedyFirstFit)
+	var total, maxW float64
+	for _, x := range w {
+		total += x
+		if x > maxW {
+			maxW = x
+		}
+	}
+	lower := total / float64(m)
+	if maxW > lower {
+		lower = maxW
+	}
+	bound := (4.0/3.0 - 1.0/(3.0*float64(m))) * lower
+	// a.Makespan() <= 4/3*OPT and OPT >= lower, so this is conservative
+	// only when OPT == lower; allow small slack.
+	if a.Makespan() > bound*1.34 {
+		t.Fatalf("greedy makespan %v way above LPT regime (lower bound %v)", a.Makespan(), lower)
+	}
+}

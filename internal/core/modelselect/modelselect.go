@@ -1,0 +1,269 @@
+// Package modelselect implements Sigmund's automated per-retailer model
+// selection (Sections III-C and IV-A): a hyper-parameter grid, the config
+// records that flow through the training MapReduce, and the full/incremental
+// sweep planners.
+//
+// The grid matters because retailers are heterogeneous: the paper reports
+// that a model with randomly chosen hyper-parameters can be a hundred times
+// worse on hold-out metrics than the best model, and that the best
+// combination differs per retailer. A full sweep trains every combination
+// (~100 per retailer); the daily incremental sweep re-trains only the top-K
+// (typically 3) combinations from the previous run, warm-started from
+// yesterday's models.
+package modelselect
+
+import (
+	"fmt"
+	"sort"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/eval"
+)
+
+// FeatureSwitch is one setting of the per-retailer feature-selection
+// switches.
+type FeatureSwitch struct {
+	Taxonomy bool `json:"taxonomy"`
+	Brand    bool `json:"brand"`
+	Price    bool `json:"price"`
+}
+
+// Grid enumerates candidate values per hyper-parameter; Expand crosses
+// them. Empty fields fall back to the base config's value.
+type Grid struct {
+	Factors         []int
+	LearningRates   []float64
+	RegItems        []float64
+	RegContexts     []float64
+	FeatureSwitches []FeatureSwitch
+	Seeds           []uint64
+	Samplers        []bpr.SamplerKind
+	Optimizers      []bpr.Optimizer
+}
+
+// DefaultGrid returns a grid of about a hundred combinations, mirroring the
+// paper's production setting ("we typically restrict to around a hundred
+// for each retailer").
+func DefaultGrid() Grid {
+	return Grid{
+		Factors:       []int{8, 16, 32, 64},
+		LearningRates: []float64{0.05, 0.1},
+		RegItems:      []float64{0.003, 0.01, 0.1},
+		RegContexts:   []float64{0.01},
+		FeatureSwitches: []FeatureSwitch{
+			{Taxonomy: false, Brand: false, Price: false},
+			{Taxonomy: true, Brand: false, Price: false},
+			{Taxonomy: true, Brand: true, Price: false},
+			{Taxonomy: true, Brand: true, Price: true},
+		},
+		Seeds: []uint64{1},
+	}
+}
+
+// SmallGrid returns a compact grid for tests and examples.
+func SmallGrid() Grid {
+	return Grid{
+		Factors:       []int{4, 8},
+		LearningRates: []float64{0.1},
+		RegItems:      []float64{0.01},
+		FeatureSwitches: []FeatureSwitch{
+			{Taxonomy: true},
+		},
+		Seeds: []uint64{1},
+	}
+}
+
+// Size returns the number of combinations Expand will produce.
+func (g Grid) Size() int {
+	n := 1
+	mul := func(k int) {
+		if k > 0 {
+			n *= k
+		}
+	}
+	mul(len(g.Factors))
+	mul(len(g.LearningRates))
+	mul(len(g.RegItems))
+	mul(len(g.RegContexts))
+	mul(len(g.FeatureSwitches))
+	mul(len(g.Seeds))
+	mul(len(g.Samplers))
+	mul(len(g.Optimizers))
+	return n
+}
+
+// Expand crosses every grid dimension over the base config and returns the
+// resulting hyper-parameter combinations in deterministic order.
+func (g Grid) Expand(base bpr.Hyperparams) []bpr.Hyperparams {
+	out := []bpr.Hyperparams{base}
+	cross := func(apply func(h *bpr.Hyperparams, idx int), n int) {
+		if n == 0 {
+			return
+		}
+		next := make([]bpr.Hyperparams, 0, len(out)*n)
+		for _, h := range out {
+			for i := 0; i < n; i++ {
+				hc := h
+				apply(&hc, i)
+				next = append(next, hc)
+			}
+		}
+		out = next
+	}
+	cross(func(h *bpr.Hyperparams, i int) { h.Factors = g.Factors[i] }, len(g.Factors))
+	cross(func(h *bpr.Hyperparams, i int) { h.LearningRate = g.LearningRates[i] }, len(g.LearningRates))
+	cross(func(h *bpr.Hyperparams, i int) { h.RegItem = g.RegItems[i] }, len(g.RegItems))
+	cross(func(h *bpr.Hyperparams, i int) { h.RegContext = g.RegContexts[i] }, len(g.RegContexts))
+	cross(func(h *bpr.Hyperparams, i int) {
+		fs := g.FeatureSwitches[i]
+		h.UseTaxonomy, h.UseBrand, h.UsePrice = fs.Taxonomy, fs.Brand, fs.Price
+	}, len(g.FeatureSwitches))
+	cross(func(h *bpr.Hyperparams, i int) { h.Seed = g.Seeds[i] }, len(g.Seeds))
+	cross(func(h *bpr.Hyperparams, i int) { h.Sampler = g.Samplers[i] }, len(g.Samplers))
+	cross(func(h *bpr.Hyperparams, i int) { h.Optimizer = g.Optimizers[i] }, len(g.Optimizers))
+	return out
+}
+
+// PruneForRetailer applies the paper's per-retailer feature-selection rule
+// of thumb before expansion: a feature whose coverage in the catalog is
+// below minCoverage is detrimental ("in many retailers we found the brand
+// coverage to be less than 10%, which makes it detrimental to add it in as
+// a feature"), so grid points enabling it are dropped.
+func (g Grid) PruneForRetailer(cat *catalog.Catalog, minCoverage float64) Grid {
+	brandOK := cat.BrandCoverage() >= minCoverage
+	priceOK := cat.PriceCoverage() >= minCoverage
+	if brandOK && priceOK {
+		return g
+	}
+	pruned := g
+	pruned.FeatureSwitches = nil
+	seen := map[FeatureSwitch]bool{}
+	for _, fs := range g.FeatureSwitches {
+		if !brandOK {
+			fs.Brand = false
+		}
+		if !priceOK {
+			fs.Price = false
+		}
+		if !seen[fs] {
+			seen[fs] = true
+			pruned.FeatureSwitches = append(pruned.FeatureSwitches, fs)
+		}
+	}
+	return pruned
+}
+
+// ConfigRecord is the unit of work flowing through the training pipeline
+// (Section IV-A): the sweep emits one per (retailer, hyper-parameter
+// combination); the training job fills in the metrics; the inference job
+// reads them back to find each retailer's best model.
+type ConfigRecord struct {
+	Retailer catalog.RetailerID `json:"retailer"`
+	// ModelID uniquely names this (retailer, config) pair.
+	ModelID string          `json:"model_id"`
+	Hyper   bpr.Hyperparams `json:"hyper"`
+
+	// TrainDataPath and ModelPath are shared-filesystem locations.
+	TrainDataPath string `json:"train_data_path"`
+	ModelPath     string `json:"model_path"`
+	// WarmStartPath, when set, points at the previous run's model for this
+	// config: incremental training loads it instead of random init.
+	WarmStartPath string `json:"warm_start_path,omitempty"`
+	// Epochs requested for this run (incremental runs need fewer).
+	Epochs int `json:"epochs"`
+
+	// Outputs, filled by the training job.
+	Trained bool        `json:"trained"`
+	Metrics eval.Result `json:"metrics"`
+	Err     string      `json:"err,omitempty"`
+}
+
+// MAP returns the model-selection metric for the record (0 if untrained).
+func (c ConfigRecord) MAP() float64 {
+	if !c.Trained {
+		return 0
+	}
+	return c.Metrics.MAP
+}
+
+// ModelIDFor builds the canonical model identifier.
+func ModelIDFor(r catalog.RetailerID, h bpr.Hyperparams) string {
+	return fmt.Sprintf("%s/%s", r, h.Key())
+}
+
+// PlanFull emits config records for every combination in the grid — the
+// full sweep used at service bootstrap, after catastrophic model loss, or
+// for a newly signed-up retailer.
+func PlanFull(r catalog.RetailerID, grid Grid, base bpr.Hyperparams, trainDataPath string, epochs int) []ConfigRecord {
+	combos := grid.Expand(base)
+	out := make([]ConfigRecord, len(combos))
+	for i, h := range combos {
+		id := ModelIDFor(r, h)
+		out[i] = ConfigRecord{
+			Retailer:      r,
+			ModelID:       id,
+			Hyper:         h,
+			TrainDataPath: trainDataPath,
+			ModelPath:     "models/" + id,
+			Epochs:        epochs,
+		}
+	}
+	return out
+}
+
+// PlanIncremental emits records for the top-K configurations from the
+// previous run, warm-started from their existing models. The paper uses
+// K=3-5 and notes incremental runs need far fewer iterations to converge.
+func PlanIncremental(previous []ConfigRecord, topK, epochs int) []ConfigRecord {
+	best := BestK(previous, topK)
+	out := make([]ConfigRecord, 0, len(best))
+	for _, rec := range best {
+		rec.WarmStartPath = rec.ModelPath
+		rec.Epochs = epochs
+		rec.Trained = false
+		rec.Metrics = eval.Result{}
+		rec.Err = ""
+		out = append(out, rec)
+	}
+	return out
+}
+
+// BestK returns the k records with the highest MAP@10 (trained records
+// only), in descending order. Ties break by ModelID for determinism.
+func BestK(records []ConfigRecord, k int) []ConfigRecord {
+	trained := make([]ConfigRecord, 0, len(records))
+	for _, r := range records {
+		if r.Trained && r.Err == "" {
+			trained = append(trained, r)
+		}
+	}
+	sort.Slice(trained, func(i, j int) bool {
+		if trained[i].Metrics.MAP != trained[j].Metrics.MAP {
+			return trained[i].Metrics.MAP > trained[j].Metrics.MAP
+		}
+		return trained[i].ModelID < trained[j].ModelID
+	})
+	if len(trained) > k {
+		trained = trained[:k]
+	}
+	return trained
+}
+
+// Best returns the single best record, or false when none trained.
+func Best(records []ConfigRecord) (ConfigRecord, bool) {
+	b := BestK(records, 1)
+	if len(b) == 0 {
+		return ConfigRecord{}, false
+	}
+	return b[0], true
+}
+
+// GroupByRetailer partitions records per retailer, preserving order.
+func GroupByRetailer(records []ConfigRecord) map[catalog.RetailerID][]ConfigRecord {
+	out := make(map[catalog.RetailerID][]ConfigRecord)
+	for _, r := range records {
+		out[r.Retailer] = append(out[r.Retailer], r)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package modelselect
+
+import (
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/eval"
+	"sigmund/internal/taxonomy"
+)
+
+func TestGridExpandSizeAndCoverage(t *testing.T) {
+	g := Grid{
+		Factors:       []int{4, 8},
+		LearningRates: []float64{0.05, 0.1},
+		RegItems:      []float64{0.01},
+		FeatureSwitches: []FeatureSwitch{
+			{Taxonomy: true}, {Taxonomy: true, Brand: true},
+		},
+		Seeds: []uint64{1, 2},
+	}
+	combos := g.Expand(bpr.DefaultHyperparams())
+	if len(combos) != g.Size() {
+		t.Fatalf("Expand produced %d, Size says %d", len(combos), g.Size())
+	}
+	if len(combos) != 2*2*1*2*2 {
+		t.Fatalf("combo count = %d, want 16", len(combos))
+	}
+	// Every combination is distinct.
+	seen := map[string]bool{}
+	for _, h := range combos {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("invalid combo %+v: %v", h, err)
+		}
+		k := h.Key()
+		if seen[k] {
+			t.Fatalf("duplicate combo key %s", k)
+		}
+		seen[k] = true
+	}
+	// Base values survive for unlisted dimensions.
+	for _, h := range combos {
+		if h.RegContext != bpr.DefaultHyperparams().RegContext {
+			t.Fatal("unlisted dimension modified")
+		}
+	}
+}
+
+func TestDefaultGridIsAboutAHundred(t *testing.T) {
+	n := DefaultGrid().Size()
+	if n < 50 || n > 200 {
+		t.Fatalf("DefaultGrid size %d; the paper restricts to ~100", n)
+	}
+}
+
+func prunableCatalog(t *testing.T, brandCov float64) *catalog.Catalog {
+	t.Helper()
+	b := taxonomy.NewBuilder("r")
+	leaf := b.AddChild(taxonomy.Root, "leaf")
+	c := catalog.New("shop", b.Build())
+	br := c.AddBrand("b")
+	n := 20
+	for i := 0; i < n; i++ {
+		item := catalog.Item{Name: "x", Category: leaf, Price: 1000, InStock: true}
+		if float64(i) < brandCov*float64(n) {
+			item.Brand = br
+		}
+		c.AddItem(item)
+	}
+	return c
+}
+
+func TestPruneForRetailer(t *testing.T) {
+	g := Grid{
+		Factors: []int{8},
+		FeatureSwitches: []FeatureSwitch{
+			{}, {Taxonomy: true}, {Taxonomy: true, Brand: true}, {Taxonomy: true, Brand: true, Price: true},
+		},
+	}
+	// 5% brand coverage: brand grid points collapse away.
+	low := prunableCatalog(t, 0.05)
+	pruned := g.PruneForRetailer(low, 0.1)
+	for _, fs := range pruned.FeatureSwitches {
+		if fs.Brand {
+			t.Fatal("brand switch survived pruning at 5% coverage")
+		}
+	}
+	if len(pruned.FeatureSwitches) != 3 { // {}, {T}, {T,P} after dedup
+		t.Fatalf("pruned switches = %+v", pruned.FeatureSwitches)
+	}
+	// 90% coverage: untouched.
+	high := prunableCatalog(t, 0.9)
+	same := g.PruneForRetailer(high, 0.1)
+	if len(same.FeatureSwitches) != len(g.FeatureSwitches) {
+		t.Fatal("grid pruned despite good coverage")
+	}
+}
+
+func rec(id string, trained bool, mapv float64) ConfigRecord {
+	return ConfigRecord{
+		Retailer: "r", ModelID: id, Trained: trained,
+		Metrics: eval.Result{MAP: mapv},
+	}
+}
+
+func TestBestK(t *testing.T) {
+	records := []ConfigRecord{
+		rec("a", true, 0.10),
+		rec("b", true, 0.30),
+		rec("c", false, 0.99), // untrained: ignored
+		rec("d", true, 0.20),
+		{Retailer: "r", ModelID: "e", Trained: true, Err: "boom", Metrics: eval.Result{MAP: 0.9}}, // failed: ignored
+	}
+	best := BestK(records, 2)
+	if len(best) != 2 || best[0].ModelID != "b" || best[1].ModelID != "d" {
+		t.Fatalf("BestK = %+v", best)
+	}
+	b, ok := Best(records)
+	if !ok || b.ModelID != "b" {
+		t.Fatalf("Best = %+v, %v", b, ok)
+	}
+	if _, ok := Best(nil); ok {
+		t.Fatal("Best on empty should report !ok")
+	}
+	// Deterministic tie-break.
+	ties := []ConfigRecord{rec("z", true, 0.5), rec("a", true, 0.5)}
+	if got := BestK(ties, 2); got[0].ModelID != "a" {
+		t.Fatalf("tie-break = %+v", got)
+	}
+}
+
+func TestPlanFull(t *testing.T) {
+	g := SmallGrid()
+	recs := PlanFull("shop-1", g, bpr.DefaultHyperparams(), "data/shop-1/train", 10)
+	if len(recs) != g.Size() {
+		t.Fatalf("PlanFull emitted %d records, want %d", len(recs), g.Size())
+	}
+	ids := map[string]bool{}
+	for _, r := range recs {
+		if r.Retailer != "shop-1" || r.TrainDataPath != "data/shop-1/train" || r.Epochs != 10 {
+			t.Fatalf("bad record %+v", r)
+		}
+		if r.ModelPath == "" || r.WarmStartPath != "" || r.Trained {
+			t.Fatalf("bad record defaults %+v", r)
+		}
+		if ids[r.ModelID] {
+			t.Fatalf("duplicate ModelID %s", r.ModelID)
+		}
+		ids[r.ModelID] = true
+	}
+}
+
+func TestPlanIncremental(t *testing.T) {
+	prev := []ConfigRecord{
+		func() ConfigRecord { r := rec("m1", true, 0.4); r.ModelPath = "models/m1"; return r }(),
+		func() ConfigRecord { r := rec("m2", true, 0.6); r.ModelPath = "models/m2"; return r }(),
+		func() ConfigRecord { r := rec("m3", true, 0.5); r.ModelPath = "models/m3"; return r }(),
+		func() ConfigRecord { r := rec("m4", true, 0.1); r.ModelPath = "models/m4"; return r }(),
+	}
+	inc := PlanIncremental(prev, 3, 4)
+	if len(inc) != 3 {
+		t.Fatalf("incremental plan size = %d", len(inc))
+	}
+	if inc[0].ModelID != "m2" || inc[1].ModelID != "m3" || inc[2].ModelID != "m1" {
+		t.Fatalf("incremental order: %+v", inc)
+	}
+	for _, r := range inc {
+		if r.WarmStartPath != r.ModelPath {
+			t.Fatalf("warm start not set: %+v", r)
+		}
+		if r.Trained || r.Metrics.MAP != 0 || r.Epochs != 4 {
+			t.Fatalf("outputs not reset: %+v", r)
+		}
+	}
+}
+
+func TestGroupByRetailer(t *testing.T) {
+	records := []ConfigRecord{
+		{Retailer: "a", ModelID: "1"},
+		{Retailer: "b", ModelID: "2"},
+		{Retailer: "a", ModelID: "3"},
+	}
+	g := GroupByRetailer(records)
+	if len(g) != 2 || len(g["a"]) != 2 || g["a"][1].ModelID != "3" {
+		t.Fatalf("GroupByRetailer = %+v", g)
+	}
+}
+
+func TestModelIDFor(t *testing.T) {
+	h := bpr.DefaultHyperparams()
+	id := ModelIDFor("shop", h)
+	if id != "shop/"+h.Key() {
+		t.Fatalf("ModelIDFor = %q", id)
+	}
+}
+
+func TestConfigRecordMAP(t *testing.T) {
+	r := ConfigRecord{Trained: true, Metrics: eval.Result{MAP: 0.4}}
+	if r.MAP() != 0.4 {
+		t.Fatal("trained MAP wrong")
+	}
+	r.Trained = false
+	if r.MAP() != 0 {
+		t.Fatal("untrained record must report 0")
+	}
+}

@@ -1,0 +1,189 @@
+package modelselect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/linalg"
+)
+
+// The paper runs a self-managed grid search and notes (Section III-C1)
+// that a black-box optimization service like Vizier "hold[s] promise to
+// improve on simple grid-search based techniques ... If we were to rebuild
+// the hyperparameter search today, we would design it to integrate deeply
+// with such a service." This file provides the two standard black-box
+// strategies such services are built from, expressed over the same
+// ConfigRecord plumbing as the grid, so a pipeline can swap them in:
+//
+//   - random search over a continuous SearchSpace (Bergstra & Bengio), and
+//   - successive halving (the core of Hyperband / Vizier early stopping):
+//     run many configs briefly, keep the best fraction, train survivors
+//     longer.
+
+// SearchSpace bounds the continuous hyper-parameters for random search.
+// Numeric dimensions sample log-uniformly — the natural scale for factor
+// counts, learning rates, and regularization.
+type SearchSpace struct {
+	FactorsMin, FactorsMax           int
+	LearningRateMin, LearningRateMax float64
+	RegMin, RegMax                   float64
+	FeatureSwitches                  []FeatureSwitch
+}
+
+// DefaultSearchSpace covers the paper's grid ranges (factors 5-200).
+func DefaultSearchSpace() SearchSpace {
+	return SearchSpace{
+		FactorsMin: 5, FactorsMax: 200,
+		LearningRateMin: 0.005, LearningRateMax: 0.5,
+		RegMin: 1e-4, RegMax: 0.3,
+		FeatureSwitches: []FeatureSwitch{
+			{Taxonomy: true},
+			{Taxonomy: true, Brand: true, Price: true},
+		},
+	}
+}
+
+// Validate reports the first problem with the space.
+func (sp SearchSpace) Validate() error {
+	switch {
+	case sp.FactorsMin < 1 || sp.FactorsMax < sp.FactorsMin:
+		return fmt.Errorf("modelselect: bad factor range [%d, %d]", sp.FactorsMin, sp.FactorsMax)
+	case sp.LearningRateMin <= 0 || sp.LearningRateMax < sp.LearningRateMin:
+		return fmt.Errorf("modelselect: bad learning-rate range")
+	case sp.RegMin <= 0 || sp.RegMax < sp.RegMin:
+		return fmt.Errorf("modelselect: bad regularization range")
+	}
+	return nil
+}
+
+func logUniform(rng *linalg.RNG, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+}
+
+// Sample draws one configuration from the space over the base config.
+func (sp SearchSpace) Sample(rng *linalg.RNG, base bpr.Hyperparams) bpr.Hyperparams {
+	h := base
+	h.Factors = int(logUniform(rng, float64(sp.FactorsMin), float64(sp.FactorsMax)) + 0.5)
+	if h.Factors < sp.FactorsMin {
+		h.Factors = sp.FactorsMin
+	}
+	if h.Factors > sp.FactorsMax {
+		h.Factors = sp.FactorsMax
+	}
+	h.LearningRate = logUniform(rng, sp.LearningRateMin, sp.LearningRateMax)
+	h.RegItem = logUniform(rng, sp.RegMin, sp.RegMax)
+	h.RegContext = logUniform(rng, sp.RegMin, sp.RegMax)
+	if len(sp.FeatureSwitches) > 0 {
+		fs := sp.FeatureSwitches[rng.Intn(len(sp.FeatureSwitches))]
+		h.UseTaxonomy, h.UseBrand, h.UsePrice = fs.Taxonomy, fs.Brand, fs.Price
+	}
+	return h
+}
+
+// PlanRandom emits n randomly sampled config records for the retailer —
+// the drop-in alternative to PlanFull for the full sweep.
+func PlanRandom(r catalog.RetailerID, sp SearchSpace, base bpr.Hyperparams, n int, trainDataPath string, epochs int, seed uint64) ([]ConfigRecord, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	rng := linalg.NewRNG(seed ^ 0x5a3c4)
+	out := make([]ConfigRecord, 0, n)
+	seen := map[string]bool{}
+	for len(out) < n {
+		h := sp.Sample(rng, base)
+		id := ModelIDFor(r, h)
+		if seen[id] {
+			continue // resample duplicates (possible at small n)
+		}
+		seen[id] = true
+		out = append(out, ConfigRecord{
+			Retailer:      r,
+			ModelID:       id,
+			Hyper:         h,
+			TrainDataPath: trainDataPath,
+			ModelPath:     "models/" + id,
+			Epochs:        epochs,
+		})
+	}
+	return out, nil
+}
+
+// TrialRunner trains one configuration for the given number of epochs
+// (resuming from earlier rungs when the implementation supports warm
+// starts) and returns the holdout MAP@10.
+type TrialRunner func(rec ConfigRecord, epochs int) (float64, error)
+
+// HalvingResult reports one successive-halving run.
+type HalvingResult struct {
+	// Best is the surviving records of the final rung, MAP-descending.
+	Best []ConfigRecord
+	// TrialsRun counts (config, rung) training invocations.
+	TrialsRun int
+	// EpochsSpent is the total epochs consumed — compare against
+	// len(configs) * finalEpochs for a full sweep.
+	EpochsSpent int
+	// Rungs records how many configs entered each rung.
+	Rungs []int
+}
+
+// SuccessiveHalving runs the configs through rungs of increasing training
+// budget, keeping the top `keep` fraction after each rung. rungs lists the
+// epoch budget of each rung (e.g. [1, 3, 9]); keep is in (0, 1).
+func SuccessiveHalving(configs []ConfigRecord, runner TrialRunner, rungs []int, keep float64) (HalvingResult, error) {
+	var res HalvingResult
+	if len(configs) == 0 {
+		return res, fmt.Errorf("modelselect: no configs to search")
+	}
+	if len(rungs) == 0 {
+		return res, fmt.Errorf("modelselect: no rungs")
+	}
+	if keep <= 0 || keep >= 1 {
+		return res, fmt.Errorf("modelselect: keep fraction %v out of (0,1)", keep)
+	}
+	type scored struct {
+		rec ConfigRecord
+		m   float64
+	}
+	cur := make([]scored, len(configs))
+	for i, c := range configs {
+		cur[i] = scored{rec: c}
+	}
+	for rung, epochs := range rungs {
+		res.Rungs = append(res.Rungs, len(cur))
+		for i := range cur {
+			m, err := runner(cur[i].rec, epochs)
+			if err != nil {
+				return res, fmt.Errorf("modelselect: rung %d config %s: %w", rung, cur[i].rec.ModelID, err)
+			}
+			cur[i].m = m
+			res.TrialsRun++
+			res.EpochsSpent += epochs
+		}
+		sort.SliceStable(cur, func(a, b int) bool {
+			if cur[a].m != cur[b].m {
+				return cur[a].m > cur[b].m
+			}
+			return cur[a].rec.ModelID < cur[b].rec.ModelID
+		})
+		if rung < len(rungs)-1 {
+			next := int(math.Ceil(float64(len(cur)) * keep))
+			if next < 1 {
+				next = 1
+			}
+			cur = cur[:next]
+		}
+	}
+	for _, s := range cur {
+		rec := s.rec
+		rec.Trained = true
+		rec.Metrics.MAP = s.m
+		res.Best = append(res.Best, rec)
+	}
+	return res, nil
+}

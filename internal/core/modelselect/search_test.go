@@ -1,0 +1,208 @@
+package modelselect
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"sigmund/internal/cooccur"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/eval"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+	"sigmund/internal/synth"
+)
+
+func TestSearchSpaceValidate(t *testing.T) {
+	if err := DefaultSearchSpace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SearchSpace{
+		{FactorsMin: 0, FactorsMax: 10, LearningRateMin: 0.1, LearningRateMax: 0.2, RegMin: 0.1, RegMax: 0.2},
+		{FactorsMin: 10, FactorsMax: 5, LearningRateMin: 0.1, LearningRateMax: 0.2, RegMin: 0.1, RegMax: 0.2},
+		{FactorsMin: 1, FactorsMax: 10, LearningRateMin: 0, LearningRateMax: 0.2, RegMin: 0.1, RegMax: 0.2},
+		{FactorsMin: 1, FactorsMax: 10, LearningRateMin: 0.1, LearningRateMax: 0.2, RegMin: 0, RegMax: 0.2},
+	}
+	for i, sp := range bad {
+		if sp.Validate() == nil {
+			t.Errorf("bad space %d accepted", i)
+		}
+	}
+}
+
+func TestSampleStaysInBounds(t *testing.T) {
+	sp := DefaultSearchSpace()
+	rng := linalg.NewRNG(3)
+	for i := 0; i < 500; i++ {
+		h := sp.Sample(rng, bpr.DefaultHyperparams())
+		if h.Factors < sp.FactorsMin || h.Factors > sp.FactorsMax {
+			t.Fatalf("factors %d out of bounds", h.Factors)
+		}
+		if h.LearningRate < sp.LearningRateMin || h.LearningRate > sp.LearningRateMax {
+			t.Fatalf("lr %v out of bounds", h.LearningRate)
+		}
+		if h.RegItem < sp.RegMin || h.RegItem > sp.RegMax {
+			t.Fatalf("reg %v out of bounds", h.RegItem)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("sampled invalid config: %v", err)
+		}
+	}
+}
+
+func TestSampleIsLogUniformish(t *testing.T) {
+	// Log-uniform sampling of lr over [0.005, 0.5] puts ~half the mass
+	// below the geometric mean (0.05); a linear-uniform sampler would put
+	// ~90% above it.
+	sp := DefaultSearchSpace()
+	rng := linalg.NewRNG(4)
+	below := 0
+	const n = 2000
+	geoMean := math.Sqrt(sp.LearningRateMin * sp.LearningRateMax)
+	for i := 0; i < n; i++ {
+		if sp.Sample(rng, bpr.DefaultHyperparams()).LearningRate < geoMean {
+			below++
+		}
+	}
+	if below < n*4/10 || below > n*6/10 {
+		t.Fatalf("log-uniform check: %d/%d below geometric mean", below, n)
+	}
+}
+
+func TestPlanRandomDistinctConfigs(t *testing.T) {
+	recs, err := PlanRandom("shop", DefaultSearchSpace(), bpr.DefaultHyperparams(), 30, "data/train", 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 30 {
+		t.Fatalf("planned %d", len(recs))
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if seen[r.ModelID] {
+			t.Fatalf("duplicate config %s", r.ModelID)
+		}
+		seen[r.ModelID] = true
+		if r.Epochs != 8 || r.TrainDataPath != "data/train" {
+			t.Fatalf("bad record %+v", r)
+		}
+	}
+	// Invalid space rejected.
+	if _, err := PlanRandom("shop", SearchSpace{}, bpr.DefaultHyperparams(), 3, "p", 1, 1); err == nil {
+		t.Fatal("invalid space accepted")
+	}
+}
+
+func TestSuccessiveHalvingSyntheticObjective(t *testing.T) {
+	// Synthetic objective: the "true" quality of a config is known, and
+	// short rungs observe it with noise that shrinks as epochs grow.
+	recs, err := PlanRandom("shop", DefaultSearchSpace(), bpr.DefaultHyperparams(), 32, "p", 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[string]float64, len(recs))
+	rng := linalg.NewRNG(6)
+	bestTrue, bestID := -1.0, ""
+	for _, r := range recs {
+		q := rng.Float64()
+		truth[r.ModelID] = q
+		if q > bestTrue {
+			bestTrue, bestID = q, r.ModelID
+		}
+	}
+	runner := func(rec ConfigRecord, epochs int) (float64, error) {
+		noise := (linalg.NewRNG(uint64(len(rec.ModelID))*uint64(epochs)).Float64() - 0.5) * 0.2 / float64(epochs)
+		return truth[rec.ModelID] + noise, nil
+	}
+	res, err := SuccessiveHalving(recs, runner, []int{1, 3, 9}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) == 0 {
+		t.Fatal("no survivors")
+	}
+	// The winner must be among the truly-top configs.
+	if truth[res.Best[0].ModelID] < bestTrue-0.15 {
+		t.Fatalf("halving picked %s (true %.3f), best was %s (%.3f)",
+			res.Best[0].ModelID, truth[res.Best[0].ModelID], bestID, bestTrue)
+	}
+	// Budget saving vs full sweep: 32 configs * 9 epochs = 288.
+	if res.EpochsSpent >= 32*9 {
+		t.Fatalf("halving spent %d epochs, full sweep costs %d", res.EpochsSpent, 32*9)
+	}
+	if res.Rungs[0] != 32 || res.Rungs[1] != 8 || res.Rungs[2] != 2 {
+		t.Fatalf("rung sizes %v", res.Rungs)
+	}
+}
+
+func TestSuccessiveHalvingValidation(t *testing.T) {
+	runner := func(ConfigRecord, int) (float64, error) { return 0, nil }
+	if _, err := SuccessiveHalving(nil, runner, []int{1}, 0.5); err == nil {
+		t.Fatal("empty configs accepted")
+	}
+	recs, _ := PlanRandom("s", DefaultSearchSpace(), bpr.DefaultHyperparams(), 2, "p", 1, 1)
+	if _, err := SuccessiveHalving(recs, runner, nil, 0.5); err == nil {
+		t.Fatal("no rungs accepted")
+	}
+	if _, err := SuccessiveHalving(recs, runner, []int{1}, 1.5); err == nil {
+		t.Fatal("bad keep accepted")
+	}
+	failing := func(ConfigRecord, int) (float64, error) { return 0, errors.New("boom") }
+	if _, err := SuccessiveHalving(recs, failing, []int{1}, 0.5); err == nil {
+		t.Fatal("runner errors swallowed")
+	}
+}
+
+func TestSuccessiveHalvingOnRealTraining(t *testing.T) {
+	// End-to-end: halving over real BPR training finds a config whose MAP
+	// is close to the best of an exhaustive pass at full budget.
+	r := synth.GenerateRetailer(synth.RetailerSpec{
+		NumItems: 120, NumUsers: 120, EventsPerUserMean: 12, NumBrands: 6, BrandCoverage: 0.7, Seed: 31,
+	})
+	split := interactions.HoldoutSplit(r.Log, 25)
+	ds := bpr.NewDataset(split.Train, r.Catalog)
+	cooc := cooccur.FromLog(split.Train, r.Catalog.NumItems(), cooccur.DefaultWindow)
+
+	sp := DefaultSearchSpace()
+	sp.FactorsMax = 32 // keep the test fast
+	recs, err := PlanRandom(r.Catalog.Retailer, sp, bpr.DefaultHyperparams(), 8, "p", 6, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := func(rec ConfigRecord, epochs int) (float64, error) {
+		m, err := bpr.NewModel(rec.Hyper, r.Catalog)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := bpr.Train(context.Background(), m, ds, bpr.TrainOptions{Epochs: epochs, Threads: 1, Cooc: cooc}); err != nil {
+			return 0, err
+		}
+		return eval.Evaluate(m, split.Holdout, r.Catalog.NumItems(), eval.DefaultOptions()).MAP, nil
+	}
+
+	res, err := SuccessiveHalving(recs, train, []int{2, 6}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive full-budget baseline.
+	bestFull := 0.0
+	for _, rec := range recs {
+		m, err := train(rec, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m > bestFull {
+			bestFull = m
+		}
+	}
+	got := res.Best[0].Metrics.MAP
+	t.Logf("halving best %.4f vs exhaustive best %.4f (%d trials, %d epochs vs %d)",
+		got, bestFull, res.TrialsRun, res.EpochsSpent, len(recs)*6)
+	if got < bestFull*0.7 {
+		t.Fatalf("halving result %.4f far below exhaustive %.4f", got, bestFull)
+	}
+	if res.EpochsSpent >= len(recs)*6 {
+		t.Fatal("halving spent more than the exhaustive sweep")
+	}
+}

@@ -1,0 +1,255 @@
+// Package wals implements the weighted alternating-least-squares
+// factorization for implicit feedback (Hu, Koren & Volinsky, "Collaborative
+// Filtering for Implicit Feedback Datasets", ICDM 2008) — the second of the
+// two implicit-feedback families the paper surveys in Section III-B.
+// Sigmund chose BPR, but the related-work section states the least-squares
+// approach could be substituted "easily"; this package makes that claim
+// concrete: the model trains from the same interaction logs and implements
+// the same eval.Scorer interface, so every evaluation and serving path can
+// run either solver.
+//
+// The model: preferences p_ui = 1 for observed (u, i) pairs, confidences
+// c_ui = 1 + alpha * r_ui where r_ui accumulates interaction strength
+// (view=1 ... conversion=4). Alternating ridge regressions solve
+//
+//	x_u = (YᵀY + Yᵀ(Cᵘ−I)Y + λI)⁻¹ Yᵀ Cᵘ p_u
+//
+// and symmetrically for items, using the YᵀY precomputation trick so each
+// pass is O(nnz·F² + (|U|+|I|)·F³).
+//
+// New users (the cold-start case Sigmund solves with contexts) are handled
+// by fold-in: a user vector is computed on the fly from a context by one
+// ridge solve against the trained item factors.
+package wals
+
+import (
+	"errors"
+	"fmt"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+)
+
+// Options configures training.
+type Options struct {
+	Factors    int     // F
+	Alpha      float64 // confidence scale: c = 1 + Alpha * r
+	Reg        float64 // ridge λ
+	Iterations int     // alternating sweeps
+	Seed       uint64
+}
+
+// DefaultOptions mirrors the common implicit-ALS settings.
+func DefaultOptions() Options {
+	return Options{Factors: 16, Alpha: 20, Reg: 0.1, Iterations: 8, Seed: 1}
+}
+
+// Validate reports the first problem with o.
+func (o Options) Validate() error {
+	switch {
+	case o.Factors < 1:
+		return errors.New("wals: Factors must be >= 1")
+	case o.Alpha <= 0:
+		return errors.New("wals: Alpha must be > 0")
+	case o.Reg <= 0:
+		return errors.New("wals: Reg must be > 0 (the ridge keeps solves well-posed)")
+	case o.Iterations < 1:
+		return errors.New("wals: Iterations must be >= 1")
+	}
+	return nil
+}
+
+// strength maps event types to the r_ui increments (the same ordering the
+// BPR tiers encode).
+func strength(t interactions.EventType) float64 {
+	return float64(t) + 1 // view=1, search=2, cart=3, conversion=4
+}
+
+// Model holds the factorization. It implements eval.Scorer (via fold-in)
+// and eval.SubsetScorer.
+type Model struct {
+	Opts     Options
+	NumItems int
+
+	// Y holds item factors (flat, Factors-strided). X holds the training
+	// users' factors, kept for diagnostics; scoring uses fold-in.
+	Y []float32
+	X []float32
+
+	// users maps UserID -> row in X.
+	users map[interactions.UserID]int
+}
+
+// obs is one (user, item) observation with accumulated confidence weight.
+type obs struct {
+	row  int // user row or item id depending on orientation
+	col  int
+	conf float64 // c_ui
+}
+
+// Train fits a model on the log. Events referencing items outside the
+// catalog are ignored.
+func Train(log *interactions.Log, cat *catalog.Catalog, opts Options) (*Model, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := cat.NumItems()
+	m := &Model{Opts: opts, NumItems: n, users: make(map[interactions.UserID]int)}
+
+	// Aggregate r_ui over the log.
+	type key struct {
+		u interactions.UserID
+		i catalog.ItemID
+	}
+	r := make(map[key]float64)
+	for _, e := range log.Events() {
+		if int(e.Item) < 0 || int(e.Item) >= n {
+			continue
+		}
+		r[key{e.User, e.Item}] += strength(e.Type)
+		if _, ok := m.users[e.User]; !ok {
+			m.users[e.User] = len(m.users)
+		}
+	}
+	nu := len(m.users)
+	if nu == 0 {
+		return nil, fmt.Errorf("wals: empty training log")
+	}
+
+	// Observation lists per user and per item.
+	byUser := make([][]obs, nu)
+	byItem := make([][]obs, n)
+	for k, v := range r {
+		urow := m.users[k.u]
+		conf := 1 + opts.Alpha*v
+		byUser[urow] = append(byUser[urow], obs{row: urow, col: int(k.i), conf: conf})
+		byItem[k.i] = append(byItem[k.i], obs{row: int(k.i), col: urow, conf: conf})
+	}
+
+	F := opts.Factors
+	rng := linalg.NewRNG(opts.Seed)
+	m.X = make([]float32, nu*F)
+	m.Y = make([]float32, n*F)
+	rng.FillNormal(m.X, 0.1)
+	rng.FillNormal(m.Y, 0.1)
+
+	for it := 0; it < opts.Iterations; it++ {
+		if err := alternate(m.X, m.Y, byUser, F, opts.Reg); err != nil {
+			return nil, fmt.Errorf("wals: user sweep %d: %w", it, err)
+		}
+		if err := alternate(m.Y, m.X, byItem, F, opts.Reg); err != nil {
+			return nil, fmt.Errorf("wals: item sweep %d: %w", it, err)
+		}
+	}
+	return m, nil
+}
+
+// alternate solves one side: for every row in `solve`, ridge-regress
+// against the fixed factors using that row's observations.
+func alternate(solve, fixed []float32, rows [][]obs, F int, reg float64) error {
+	// Precompute G = FixedᵀFixed once per sweep (the HKV trick: the dense
+	// "all items are weak negatives" term).
+	g := linalg.NewMat(F)
+	g.GramUpdate(fixed, F, 1)
+
+	b := make([]float64, F)
+	for row, observations := range rows {
+		a := g.Copy()
+		a.AddDiagonal(reg)
+		for i := range b {
+			b[i] = 0
+		}
+		for _, o := range observations {
+			fv := fixed[o.col*F : (o.col+1)*F]
+			// (C - I) correction for observed entries plus the Cᵀp term.
+			a.AddOuterScaled(o.conf-1, fv)
+			for k := 0; k < F; k++ {
+				b[k] += o.conf * float64(fv[k])
+			}
+		}
+		x, err := linalg.CholeskySolve(a, b)
+		if err != nil {
+			return err
+		}
+		dst := solve[row*F : (row+1)*F]
+		for k := 0; k < F; k++ {
+			dst[k] = float32(x[k])
+		}
+	}
+	return nil
+}
+
+// ItemVec returns item i's factor vector.
+func (m *Model) ItemVec(i catalog.ItemID) []float32 {
+	F := m.Opts.Factors
+	return m.Y[int(i)*F : (int(i)+1)*F]
+}
+
+// UserVec returns the trained factor vector for a known user (nil if the
+// user was not in the training log).
+func (m *Model) UserVec(u interactions.UserID) []float32 {
+	row, ok := m.users[u]
+	if !ok {
+		return nil
+	}
+	F := m.Opts.Factors
+	return m.X[row*F : (row+1)*F]
+}
+
+// NumUsers returns the number of users the model was trained on.
+func (m *Model) NumUsers() int { return len(m.users) }
+
+// FoldIn computes a user vector from a context by one ridge solve: the
+// context's items act as that pseudo-user's observations, with confidence
+// from the action strengths and recency decay. This is how a WALS-backed
+// Sigmund would serve brand-new users without retraining.
+func (m *Model) FoldIn(ctx interactions.Context) []float32 {
+	F := m.Opts.Factors
+	out := make([]float32, F)
+	if len(ctx) == 0 {
+		return out
+	}
+	g := linalg.NewMat(F)
+	g.GramUpdate(m.Y, F, 1)
+	g.AddDiagonal(m.Opts.Reg)
+	b := make([]float64, F)
+	const decay = 0.85
+	w := 1.0
+	for j := len(ctx) - 1; j >= 0; j-- {
+		it := ctx[j].Item
+		if int(it) >= 0 && int(it) < m.NumItems {
+			conf := (1 + m.Opts.Alpha*strength(ctx[j].Type)) * w
+			fv := m.ItemVec(it)
+			g.AddOuterScaled(conf-1, fv)
+			for k := 0; k < F; k++ {
+				b[k] += conf * float64(fv[k])
+			}
+		}
+		w *= decay
+	}
+	x, err := linalg.CholeskySolve(g, b)
+	if err != nil {
+		return out // degenerate context: zero vector
+	}
+	for k := 0; k < F; k++ {
+		out[k] = float32(x[k])
+	}
+	return out
+}
+
+// ScoreAll implements eval.Scorer via fold-in.
+func (m *Model) ScoreAll(ctx interactions.Context, out []float64) {
+	u := m.FoldIn(ctx)
+	for i := 0; i < m.NumItems && i < len(out); i++ {
+		out[i] = float64(linalg.Dot(u, m.ItemVec(catalog.ItemID(i))))
+	}
+}
+
+// ScoreSubset implements eval.SubsetScorer.
+func (m *Model) ScoreSubset(ctx interactions.Context, items []catalog.ItemID, out []float64) {
+	u := m.FoldIn(ctx)
+	for idx, i := range items {
+		out[idx] = float64(linalg.Dot(u, m.ItemVec(i)))
+	}
+}

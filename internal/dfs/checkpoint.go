@@ -1,0 +1,134 @@
+package dfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Checkpointer implements the paper's checkpoint discipline (Section
+// IV-B3): checkpoints are written asynchronously on a wall-clock interval,
+// committed atomically (write temp, then rename), and only the latest is
+// kept — "as soon as a new checkpoint is written, we garbage-collect the
+// previous checkpoint".
+//
+// Checkpoint paths look like <base>/ckpt.<seq>; the temp file is
+// <base>/ckpt.<seq>.tmp and is renamed into place so a reader never
+// observes a torn checkpoint.
+type Checkpointer struct {
+	fs   *FS
+	base string
+
+	mu   sync.Mutex
+	seq  int
+	last string
+}
+
+// NewCheckpointer returns a checkpointer rooted at base. If checkpoints
+// already exist under base (a restarted task), the sequence continues from
+// the highest existing one.
+func NewCheckpointer(fs *FS, base string) *Checkpointer {
+	c := &Checkpointer{fs: fs, base: strings.TrimSuffix(base, "/")}
+	if path, seq, ok := c.scanLatest(); ok {
+		c.seq = seq + 1
+		c.last = path
+	}
+	return c
+}
+
+func (c *Checkpointer) prefix() string { return c.base + "/ckpt." }
+
+func (c *Checkpointer) scanLatest() (path string, seq int, ok bool) {
+	best := -1
+	for _, p := range c.fs.List(c.prefix()) {
+		if strings.HasSuffix(p, ".tmp") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(p, c.prefix()))
+		if err != nil {
+			continue
+		}
+		if n > best {
+			best = n
+			path = p
+		}
+	}
+	return path, best, best >= 0
+}
+
+// Save writes a new checkpoint produced by write, commits it atomically,
+// and garbage-collects the previous one. It returns the committed path.
+func (c *Checkpointer) Save(write func(w io.Writer) error) (string, error) {
+	c.mu.Lock()
+	seq := c.seq
+	c.seq++
+	prev := c.last
+	c.mu.Unlock()
+
+	final := fmt.Sprintf("%s%d", c.prefix(), seq)
+	tmp := final + ".tmp"
+	w := c.fs.Create(tmp)
+	if err := write(w); err != nil {
+		return "", fmt.Errorf("dfs: producing checkpoint %s: %w", final, err)
+	}
+	if err := w.Close(); err != nil {
+		return "", err
+	}
+	if err := c.fs.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	// Another Save may have committed a later checkpoint concurrently;
+	// only advance "last" forward.
+	if c.last == prev {
+		c.last = final
+	}
+	c.mu.Unlock()
+	if prev != "" && prev != final {
+		// Best effort GC: a concurrent reader may have already deleted it.
+		_ = c.fs.Delete(prev)
+	}
+	return final, nil
+}
+
+// Latest returns the newest committed checkpoint path.
+func (c *Checkpointer) Latest() (string, bool) {
+	path, _, ok := c.scanLatest()
+	return path, ok
+}
+
+// Clean removes every checkpoint (and temp file) under the base — called
+// after a task completes successfully and its final model is persisted.
+func (c *Checkpointer) Clean() {
+	c.fs.DeletePrefix(c.prefix())
+	c.mu.Lock()
+	c.last = ""
+	c.mu.Unlock()
+}
+
+// LatestCheckpoint is a package-level convenience for recovery code that
+// has only the base path.
+func LatestCheckpoint(fs *FS, base string) (string, bool) {
+	return NewCheckpointer(fs, base).Latest()
+}
+
+// SortedCheckpoints lists committed checkpoints under base in sequence
+// order (diagnostics; production keeps at most one).
+func SortedCheckpoints(fs *FS, base string) []string {
+	prefix := strings.TrimSuffix(base, "/") + "/ckpt."
+	var out []string
+	for _, p := range fs.List(prefix) {
+		if !strings.HasSuffix(p, ".tmp") {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ni, _ := strconv.Atoi(strings.TrimPrefix(out[i], prefix))
+		nj, _ := strconv.Atoi(strings.TrimPrefix(out[j], prefix))
+		return ni < nj
+	})
+	return out
+}

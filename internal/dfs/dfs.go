@@ -1,0 +1,213 @@
+// Package dfs simulates the shared distributed filesystem (GFS in the
+// paper) that every Sigmund pipeline stage reads and writes: training data,
+// model checkpoints, trained models, config records, and materialized
+// recommendations.
+//
+// The simulation provides exactly the contract the pipeline depends on —
+// whole-file writes with atomic visibility, atomic rename, list-by-prefix,
+// and shared access from concurrently running tasks — plus failure
+// injection so fault-tolerance paths can be tested deterministically.
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNotExist is returned when a path has no file.
+var ErrNotExist = errors.New("dfs: file does not exist")
+
+// ErrInjectedFailure is returned by operations killed by failure injection.
+var ErrInjectedFailure = errors.New("dfs: injected failure")
+
+// FS is an in-memory shared filesystem. All methods are safe for
+// concurrent use.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+
+	// failEvery, when > 0, fails every Nth write (deterministic injection).
+	failEvery int64
+	writeOps  int64
+
+	bytesWritten int64
+	bytesRead    int64
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{files: make(map[string][]byte)}
+}
+
+// FailEveryNthWrite arranges for every nth Write/Rename to fail with
+// ErrInjectedFailure (0 disables). Deterministic, for tests.
+func (f *FS) FailEveryNthWrite(n int) {
+	atomic.StoreInt64(&f.failEvery, int64(n))
+}
+
+func (f *FS) injectWriteFailure() bool {
+	n := atomic.LoadInt64(&f.failEvery)
+	if n <= 0 {
+		return false
+	}
+	return atomic.AddInt64(&f.writeOps, 1)%n == 0
+}
+
+// Write stores data at path atomically, replacing any existing file.
+func (f *FS) Write(path string, data []byte) error {
+	if f.injectWriteFailure() {
+		return fmt.Errorf("writing %s: %w", path, ErrInjectedFailure)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	f.mu.Lock()
+	f.files[path] = cp
+	f.mu.Unlock()
+	atomic.AddInt64(&f.bytesWritten, int64(len(data)))
+	return nil
+}
+
+// Read returns a copy of the file at path.
+func (f *FS) Read(path string) ([]byte, error) {
+	f.mu.RLock()
+	data, ok := f.files[path]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("reading %s: %w", path, ErrNotExist)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	atomic.AddInt64(&f.bytesRead, int64(len(data)))
+	return cp, nil
+}
+
+// Open returns a reader over the file's contents at open time (snapshot
+// semantics: later writes do not affect the reader).
+func (f *FS) Open(path string) (io.Reader, error) {
+	data, err := f.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+// Create returns a writer whose content becomes visible atomically at
+// Close — the write-then-commit discipline MapReduce output relies on.
+func (f *FS) Create(path string) io.WriteCloser {
+	return &fileWriter{fs: f, path: path}
+}
+
+type fileWriter struct {
+	fs   *FS
+	path string
+	buf  bytes.Buffer
+	done bool
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, errors.New("dfs: write after close")
+	}
+	return w.buf.Write(p)
+}
+
+func (w *fileWriter) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	return w.fs.Write(w.path, w.buf.Bytes())
+}
+
+// Exists reports whether path holds a file.
+func (f *FS) Exists(path string) bool {
+	f.mu.RLock()
+	_, ok := f.files[path]
+	f.mu.RUnlock()
+	return ok
+}
+
+// Size returns the file's length in bytes.
+func (f *FS) Size(path string) (int64, error) {
+	f.mu.RLock()
+	data, ok := f.files[path]
+	f.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("stat %s: %w", path, ErrNotExist)
+	}
+	return int64(len(data)), nil
+}
+
+// Delete removes the file at path; deleting a missing file is an error.
+func (f *FS) Delete(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[path]; !ok {
+		return fmt.Errorf("deleting %s: %w", path, ErrNotExist)
+	}
+	delete(f.files, path)
+	return nil
+}
+
+// Rename atomically moves a file, replacing any existing destination. This
+// is the primitive checkpointing builds on.
+func (f *FS) Rename(from, to string) error {
+	if f.injectWriteFailure() {
+		return fmt.Errorf("renaming %s: %w", from, ErrInjectedFailure)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.files[from]
+	if !ok {
+		return fmt.Errorf("renaming %s: %w", from, ErrNotExist)
+	}
+	f.files[to] = data
+	delete(f.files, from)
+	return nil
+}
+
+// List returns the paths with the given prefix, sorted.
+func (f *FS) List(prefix string) []string {
+	f.mu.RLock()
+	out := make([]string, 0, 8)
+	for p := range f.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	f.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// DeletePrefix removes every file under prefix and returns the count.
+func (f *FS) DeletePrefix(prefix string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for p := range f.files {
+		if strings.HasPrefix(p, prefix) {
+			delete(f.files, p)
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports cumulative traffic counters.
+func (f *FS) Stats() (bytesWritten, bytesRead int64) {
+	return atomic.LoadInt64(&f.bytesWritten), atomic.LoadInt64(&f.bytesRead)
+}
+
+// NumFiles returns the number of stored files.
+func (f *FS) NumFiles() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.files)
+}

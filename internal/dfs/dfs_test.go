@@ -1,0 +1,260 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New()
+	if err := fs.Write("a/b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("Read = %q", got)
+	}
+	// Mutating the returned slice must not affect the stored file.
+	got[0] = 'X'
+	again, _ := fs.Read("a/b")
+	if string(again) != "hello" {
+		t.Fatal("Read returned aliased storage")
+	}
+	// Writes copy their input too.
+	data := []byte("mut")
+	fs.Write("m", data)
+	data[0] = 'X'
+	if got, _ := fs.Read("m"); string(got) != "mut" {
+		t.Fatal("Write aliased caller buffer")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	if _, err := fs.Read("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+	if _, err := fs.Open("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Open err = %v", err)
+	}
+	if _, err := fs.Size("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Size err = %v", err)
+	}
+	if err := fs.Delete("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Delete err = %v", err)
+	}
+	if err := fs.Rename("nope", "x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Rename err = %v", err)
+	}
+}
+
+func TestCreateCommitsOnClose(t *testing.T) {
+	fs := New()
+	w := fs.Create("out")
+	io.WriteString(w, "part1 ")
+	if fs.Exists("out") {
+		t.Fatal("file visible before Close")
+	}
+	io.WriteString(w, "part2")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.Read("out")
+	if string(got) != "part1 part2" {
+		t.Fatalf("content = %q", got)
+	}
+	// Double close is fine; write-after-close is not.
+	if err := w.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestRenameAtomicReplace(t *testing.T) {
+	fs := New()
+	fs.Write("src", []byte("new"))
+	fs.Write("dst", []byte("old"))
+	if err := fs.Rename("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("src") {
+		t.Fatal("source survived rename")
+	}
+	got, _ := fs.Read("dst")
+	if string(got) != "new" {
+		t.Fatalf("dst = %q", got)
+	}
+}
+
+func TestListAndDeletePrefix(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"models/a", "models/b", "data/c", "models/a/sub"} {
+		fs.Write(p, []byte("x"))
+	}
+	got := fs.List("models/")
+	if len(got) != 3 || got[0] != "models/a" || got[1] != "models/a/sub" {
+		t.Fatalf("List = %v", got)
+	}
+	if n := fs.DeletePrefix("models/"); n != 3 {
+		t.Fatalf("DeletePrefix removed %d", n)
+	}
+	if fs.NumFiles() != 1 {
+		t.Fatalf("NumFiles = %d", fs.NumFiles())
+	}
+}
+
+func TestStats(t *testing.T) {
+	fs := New()
+	fs.Write("a", make([]byte, 100))
+	fs.Read("a")
+	fs.Read("a")
+	w, r := fs.Stats()
+	if w != 100 || r != 200 {
+		t.Fatalf("Stats = %d, %d", w, r)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	fs := New()
+	fs.FailEveryNthWrite(3)
+	var failures int
+	for i := 0; i < 9; i++ {
+		if err := fs.Write(fmt.Sprintf("f%d", i), []byte("x")); err != nil {
+			if !errors.Is(err, ErrInjectedFailure) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3", failures)
+	}
+	fs.FailEveryNthWrite(0)
+	if err := fs.Write("ok", []byte("x")); err != nil {
+		t.Fatal("injection not disabled")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p := fmt.Sprintf("g%d/f%d", g, i)
+				fs.Write(p, []byte{byte(i)})
+				if got, err := fs.Read(p); err != nil || got[0] != byte(i) {
+					t.Errorf("concurrent read mismatch at %s", p)
+					return
+				}
+				fs.List(fmt.Sprintf("g%d/", g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fs.NumFiles() != 800 {
+		t.Fatalf("NumFiles = %d", fs.NumFiles())
+	}
+}
+
+func TestCheckpointerKeepsOnlyLatest(t *testing.T) {
+	fs := New()
+	c := NewCheckpointer(fs, "train/model-7")
+	for i := 0; i < 5; i++ {
+		payload := fmt.Sprintf("state-%d", i)
+		path, err := c.Save(func(w io.Writer) error {
+			_, err := w.Write([]byte(payload))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.Read(path)
+		if err != nil || string(got) != payload {
+			t.Fatalf("checkpoint %d content %q err %v", i, got, err)
+		}
+		// Only one committed checkpoint at any time (keep-latest-only GC).
+		if cks := SortedCheckpoints(fs, "train/model-7"); len(cks) != 1 {
+			t.Fatalf("after save %d: %d checkpoints live: %v", i, len(cks), cks)
+		}
+	}
+	latest, ok := c.Latest()
+	if !ok || latest != "train/model-7/ckpt.4" {
+		t.Fatalf("Latest = %q, %v", latest, ok)
+	}
+}
+
+func TestCheckpointerResumesSequence(t *testing.T) {
+	fs := New()
+	a := NewCheckpointer(fs, "base")
+	a.Save(func(w io.Writer) error { w.Write([]byte("one")); return nil })
+	// A restarted task constructs a fresh Checkpointer over the same base.
+	b := NewCheckpointer(fs, "base")
+	latest, ok := b.Latest()
+	if !ok {
+		t.Fatal("restart lost the checkpoint")
+	}
+	if got, _ := fs.Read(latest); string(got) != "one" {
+		t.Fatalf("restart sees %q", got)
+	}
+	p, err := b.Save(func(w io.Writer) error { w.Write([]byte("two")); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != "base/ckpt.1" {
+		t.Fatalf("sequence did not resume: %s", p)
+	}
+	if cks := SortedCheckpoints(fs, "base"); len(cks) != 1 || cks[0] != "base/ckpt.1" {
+		t.Fatalf("old checkpoint not GCed: %v", cks)
+	}
+}
+
+func TestCheckpointerWriteFailureLeavesPreviousIntact(t *testing.T) {
+	fs := New()
+	c := NewCheckpointer(fs, "b")
+	if _, err := c.Save(func(w io.Writer) error { w.Write([]byte("good")); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Producer error: no new checkpoint, old one stays.
+	_, err := c.Save(func(w io.Writer) error { return errors.New("producer died") })
+	if err == nil {
+		t.Fatal("expected producer error")
+	}
+	latest, ok := c.Latest()
+	if !ok {
+		t.Fatal("previous checkpoint lost")
+	}
+	if got, _ := fs.Read(latest); string(got) != "good" {
+		t.Fatalf("latest = %q", got)
+	}
+}
+
+func TestCheckpointerClean(t *testing.T) {
+	fs := New()
+	c := NewCheckpointer(fs, "x")
+	c.Save(func(w io.Writer) error { w.Write([]byte("s")); return nil })
+	c.Clean()
+	if _, ok := c.Latest(); ok {
+		t.Fatal("Clean left checkpoints")
+	}
+	if fs.NumFiles() != 0 {
+		t.Fatal("Clean left files")
+	}
+}
+
+func TestLatestCheckpointHelper(t *testing.T) {
+	fs := New()
+	if _, ok := LatestCheckpoint(fs, "none"); ok {
+		t.Fatal("found checkpoint in empty fs")
+	}
+}

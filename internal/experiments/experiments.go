@@ -1,0 +1,140 @@
+// Package experiments regenerates every quantitative artifact of the paper:
+// Figure 6 (the only quantitative figure — Figures 1-5 are illustrations)
+// and the thirteen numbered quantitative claims C1-C13 indexed in DESIGN.md,
+// plus the ablations A1-A4.
+// Each experiment returns a Table that cmd/experiments renders to markdown
+// and bench_test.go wraps in a testing.B benchmark.
+//
+// Every experiment trains single-threaded so results are bit-identical for
+// a given seed (C9 sweeps Hogwild threads deliberately and is the one
+// exception on multi-core hosts).
+//
+// Scales are chosen so the full suite runs on a laptop in minutes; the
+// paper's absolute numbers came from Google production and are not
+// reproducible, but each experiment's *shape* — who wins, by what factor,
+// where the crossover sits — is asserted in EXPERIMENTS.md.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/candidates"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/interactions"
+	"sigmund/internal/synth"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "FIG6", "C1"
+	Title  string
+	Note   string // shape expectation and commentary
+	Header []string
+	Rows   [][]string
+	// Metrics carries headline numbers for benchmarks (name -> value).
+	Metrics map[string]float64
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown section.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+func f(format string, v float64) string { return fmt.Sprintf(format, v) }
+
+// trainedEnv is a single retailer with a trained model and the associated
+// co-occurrence structures — the shared fixture for the modeling
+// experiments.
+type trainedEnv struct {
+	r       *synth.Retailer
+	split   interactions.Split
+	cooc    *cooccur.Model
+	stats   *interactions.ItemStats
+	model   *bpr.Model
+	sel     *candidates.Selector
+	recHyb  *hybrid.Recommender
+	holdout []interactions.HoldoutExample
+}
+
+type envSpec struct {
+	items, users     int
+	eventsMean       float64
+	brands           int
+	brandCov         float64
+	brandAffinity    float64
+	priceSensitivity float64
+	seed             uint64
+	hyper            bpr.Hyperparams
+	epochs           int
+	threads          int
+}
+
+func defaultEnvSpec(seed uint64) envSpec {
+	h := bpr.DefaultHyperparams()
+	h.Factors = 12
+	h.UseBrand = true
+	h.UsePrice = true
+	return envSpec{
+		items: 250, users: 250, eventsMean: 14,
+		brands: 10, brandCov: 0.7, seed: seed,
+		hyper: h, epochs: 12, threads: 1,
+	}
+}
+
+func buildEnv(spec envSpec) (*trainedEnv, error) {
+	r := synth.GenerateRetailer(synth.RetailerSpec{
+		NumItems: spec.items, NumUsers: spec.users, EventsPerUserMean: spec.eventsMean,
+		NumBrands: spec.brands, BrandCoverage: spec.brandCov,
+		BrandAffinity: spec.brandAffinity, PriceSensitivity: spec.priceSensitivity,
+		Seed: spec.seed,
+	})
+	split := interactions.HoldoutSplit(r.Log, spec.hyper.ContextLen)
+	cooc := cooccur.FromLog(split.Train, r.Catalog.NumItems(), cooccur.DefaultWindow)
+	stats := interactions.ComputeItemStats(split.Train, r.Catalog.NumItems())
+	m, err := bpr.NewModel(spec.hyper, r.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	ds := bpr.NewDataset(split.Train, r.Catalog)
+	if _, err := bpr.Train(context.Background(), m, ds, bpr.TrainOptions{
+		Epochs: spec.epochs, Threads: spec.threads, Cooc: cooc,
+	}); err != nil {
+		return nil, err
+	}
+	sel := candidates.NewSelector(r.Catalog, cooc)
+	return &trainedEnv{
+		r: r, split: split, cooc: cooc, stats: stats, model: m, sel: sel,
+		recHyb:  hybrid.NewRecommender(cooc, m, sel, stats),
+		holdout: split.Holdout,
+	}, nil
+}
+
+// trainConfig trains one hyper-parameter combination on a pre-split
+// dataset and returns the model.
+func trainConfig(h bpr.Hyperparams, cat *catalog.Catalog, ds *bpr.Dataset, cooc *cooccur.Model, epochs, threads int) (*bpr.Model, error) {
+	m, err := bpr.NewModel(h, cat)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := bpr.Train(context.Background(), m, ds, bpr.TrainOptions{
+		Epochs: epochs, Threads: threads, Cooc: cooc,
+	}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

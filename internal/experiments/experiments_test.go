@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the paper's qualitative shapes, not absolute
+// numbers: who wins, in which regime, and by roughly what kind of factor.
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet training in -short mode")
+	}
+	tb, err := Fig6(DefaultFig6Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	tail := tb.Metrics["tail_ctr_ratio"]
+	head := tb.Metrics["head_ctr_ratio"]
+	t.Logf("tail ratio %.2f, head ratio %.2f", tail, head)
+	// Paper shape: big lift on the tail, near-parity on the head.
+	if tail < 1.05 {
+		t.Errorf("no tail lift: sigmund/baseline = %.2f", tail)
+	}
+	if head > 0 && (head < 0.6 || head > 1.7) {
+		t.Errorf("head ratio %.2f strays far from parity", head)
+	}
+	if tail <= head {
+		t.Errorf("tail lift (%.2f) should exceed head lift (%.2f)", tail, head)
+	}
+}
+
+func TestC1Shape(t *testing.T) {
+	tb, err := C1GridSearchSpread(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := tb.Metrics["best_worst_ratio"]
+	t.Logf("best/worst = %.0fx (best %.4f, worst %.6f)", ratio, tb.Metrics["best"], tb.Metrics["worst"])
+	// Paper: "can be a hundred times worse". Require at least an order of
+	// magnitude at this scale.
+	if ratio < 10 {
+		t.Errorf("grid spread only %.1fx", ratio)
+	}
+	if tb.Metrics["best"] <= tb.Metrics["median"] || tb.Metrics["median"] < tb.Metrics["worst"] {
+		t.Error("ordering best >= median >= worst violated")
+	}
+}
+
+func TestC2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large retailer in -short mode")
+	}
+	tb, err := C2SampledMAP(102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either the same model is selected, or the sampled pick is a
+	// near-tie: the regret must be a small fraction of the best MAP.
+	if tb.Metrics["selection_regret"] > 0.15*tb.Metrics["best_exact"] {
+		t.Errorf("sampled selection regret %.4f too large (best %.4f)",
+			tb.Metrics["selection_regret"], tb.Metrics["best_exact"])
+	}
+}
+
+func TestC3Shape(t *testing.T) {
+	tb, err := C3IncrementalTraining(103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := tb.Metrics["cold_work_to_target"]
+	warm := tb.Metrics["warm_work_to_target"]
+	t.Logf("work to target: cold %.0f%%, warm %.0f%%; start MAP cold %.4f warm %.4f",
+		cold, warm, tb.Metrics["cold_start_map"], tb.Metrics["warm_start_map"])
+	if warm > cold {
+		t.Errorf("warm start (%.0f%% work) slower than cold (%.0f%%)", warm, cold)
+	}
+	// The warm model must start far ahead of the cold model before any
+	// day-2 training — that is what makes incremental sweeps cheap.
+	if tb.Metrics["warm_start_map"] < tb.Metrics["cold_start_map"]*2 {
+		t.Errorf("warm start MAP %.4f not clearly ahead of cold %.4f",
+			tb.Metrics["warm_start_map"], tb.Metrics["cold_start_map"])
+	}
+}
+
+func TestC4Shape(t *testing.T) {
+	tb, err := C4AdagradVsSGD(104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim is convergence speed and reliability, not final
+	// quality: Adagrad must be clearly ahead after one epoch, must not be
+	// more erratic across seeds, and must not end far behind.
+	if tb.Metrics["adagrad_epoch1"] < tb.Metrics["sgd_epoch1"] {
+		t.Errorf("adagrad slower after 1 epoch: %.4f vs %.4f",
+			tb.Metrics["adagrad_epoch1"], tb.Metrics["sgd_epoch1"])
+	}
+	if tb.Metrics["adagrad_final"] < tb.Metrics["sgd_final"]*0.85 {
+		t.Errorf("adagrad final %.4f far below sgd %.4f",
+			tb.Metrics["adagrad_final"], tb.Metrics["sgd_final"])
+	}
+}
+
+func TestC5Shape(t *testing.T) {
+	tb, err := C5LCACandidates(105)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recall grows with k; candidate cost grows with k.
+	if tb.Metrics["recall_k1"] > tb.Metrics["recall_k2"] || tb.Metrics["recall_k2"] > tb.Metrics["recall_k3"] {
+		t.Errorf("recall not monotone in k: %.3f %.3f %.3f",
+			tb.Metrics["recall_k1"], tb.Metrics["recall_k2"], tb.Metrics["recall_k3"])
+	}
+	if tb.Metrics["avg_k1"] >= tb.Metrics["avg_k3"] {
+		t.Error("candidate cost not growing with k")
+	}
+}
+
+func TestC6Shape(t *testing.T) {
+	tb, err := C6PreemptibleCost(106)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tb.Metrics["cost_ratio_at_600s"]; r >= 1 {
+		t.Errorf("preemptible not cheaper at 600s mtbp: ratio %.2f", r)
+	}
+	if r := tb.Metrics["cost_ratio_at_600s"]; r > 0.6 {
+		t.Errorf("discount mostly eaten by rework at moderate rate: %.2f", r)
+	}
+}
+
+func TestC7Shape(t *testing.T) {
+	tb, err := C7CheckpointPolicy(107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Metrics["time_total_lost"] >= tb.Metrics["iter_total_lost"] {
+		t.Errorf("wall-clock policy lost more work (%.0f) than per-iterations (%.0f)",
+			tb.Metrics["time_total_lost"], tb.Metrics["iter_total_lost"])
+	}
+}
+
+func TestC8Shape(t *testing.T) {
+	tb, err := C8BinPacking(108)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tb.Metrics["greedy-first-fit_makespan"]
+	rr := tb.Metrics["round-robin_makespan"]
+	if g >= rr {
+		t.Errorf("greedy makespan %.0f not below round-robin %.0f", g, rr)
+	}
+}
+
+func TestC9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thread sweep in -short mode")
+	}
+	tb, err := C9HogwildScaling(109)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOMAXPROCS(0) >= 4 {
+		if tb.Metrics["speedup_4"] < 1.3 {
+			t.Errorf("4-thread speedup only %.2fx", tb.Metrics["speedup_4"])
+		}
+	} else if tb.Metrics["speedup_4"] < 0.5 {
+		// Single-core host: Hogwild cannot speed up, but must not collapse.
+		t.Errorf("threads cost %.2fx on a single core", tb.Metrics["speedup_4"])
+	}
+	if tb.Metrics["map_4"] < tb.Metrics["map_1"]*0.85 {
+		t.Errorf("hogwild races destroyed quality: %.4f vs %.4f", tb.Metrics["map_4"], tb.Metrics["map_1"])
+	}
+	if tb.Metrics["naive_oom"] == 0 {
+		t.Error("naive co-scheduling did not OOM")
+	}
+	if tb.Metrics["honest_oom"] != 0 {
+		t.Error("one-retailer-per-machine OOMed")
+	}
+}
+
+func TestC10Shape(t *testing.T) {
+	tb, err := C10HybridCoverage(110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Metrics["hybrid_coverage"] <= tb.Metrics["cooc_coverage"] {
+		t.Errorf("hybrid coverage %.3f not above cooccurrence %.3f",
+			tb.Metrics["hybrid_coverage"], tb.Metrics["cooc_coverage"])
+	}
+	// Tail coverage is the headline gap: co-occurrence cannot recommend
+	// for most tail items, the hybrid covers them all.
+	if tb.Metrics["hybrid_tail_cov"] < 0.95 || tb.Metrics["cooc_tail_cov"] > 0.9 {
+		t.Errorf("tail coverage: hybrid %.3f, cooc %.3f", tb.Metrics["hybrid_tail_cov"], tb.Metrics["cooc_tail_cov"])
+	}
+	// The hybrid's tail recommendations must be genuinely similar items,
+	// clearly above the random-pair floor.
+	floor := tb.Metrics["rand_sim"]
+	headSig := tb.Metrics["cooc_head_sim"] - floor
+	if tb.Metrics["hybrid_tail_sim"]-floor < headSig*0.3 {
+		t.Errorf("hybrid tail similarity %.3f barely above random floor %.3f (head signal %.3f)",
+			tb.Metrics["hybrid_tail_sim"], floor, tb.Metrics["cooc_head_sim"])
+	}
+}
+
+func TestC11Shape(t *testing.T) {
+	tb, err := C11NegativeSampling(111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Metrics["heuristic"] < tb.Metrics["uniform"]*0.95 {
+		t.Errorf("heuristic sampler %.4f clearly below uniform %.4f",
+			tb.Metrics["heuristic"], tb.Metrics["uniform"])
+	}
+}
+
+func TestC12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage sweep in -short mode")
+	}
+	tb, err := C12FeatureSelection(112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := tb.Metrics["delta_at_5"]
+	high := tb.Metrics["delta_at_90"]
+	t.Logf("brand delta: 5%% coverage %+.4f, 90%% coverage %+.4f", low, high)
+	// Shape: the brand feature helps more (or hurts less) with high
+	// coverage than with 5% coverage.
+	if high <= low {
+		t.Errorf("brand feature delta not improving with coverage: low=%+.4f high=%+.4f", low, high)
+	}
+}
+
+func TestC13Shape(t *testing.T) {
+	tb, err := C13MigrationEconomics(117)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{100, 400, 1600} {
+		saving := tb.Metrics[fmt.Sprintf("saving_%d", n)]
+		if saving <= 0 {
+			t.Errorf("migration not a net benefit at %d items: saving %.3f", n, saving)
+		}
+		// CPU must dominate total cost ("the cost of training is dominated
+		// by the CPU cost of making SGD steps").
+		if frac := tb.Metrics[fmt.Sprintf("wan_frac_%d", n)]; frac > 0.5 {
+			t.Errorf("WAN dominates at %d items: %.3f of total", n, frac)
+		}
+	}
+}
+
+func TestA1Shape(t *testing.T) {
+	tb, err := A1SolverSwap(113)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bprMAP, walsMAP := tb.Metrics["bpr_map"], tb.Metrics["wals_map"]
+	t.Logf("BPR MAP %.4f, WALS MAP %.4f", bprMAP, walsMAP)
+	if bprMAP < 0.05 || walsMAP < 0.05 {
+		t.Errorf("a solver failed to learn: bpr=%.4f wals=%.4f", bprMAP, walsMAP)
+	}
+	// "Easily substitutable": same order of magnitude.
+	lo, hi := bprMAP, walsMAP
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > lo*3 {
+		t.Errorf("solvers not comparable: %.4f vs %.4f", bprMAP, walsMAP)
+	}
+}
+
+func TestA2Shape(t *testing.T) {
+	tb, err := A2ContextDesign(114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := tb.Metrics["map_k1_d85"]
+	k25 := tb.Metrics["map_k25_d85"]
+	t.Logf("K=1: %.4f  K=25: %.4f", k1, k25)
+	if k25 < k1*0.9 {
+		t.Errorf("long contexts hurt: K=25 %.4f vs K=1 %.4f", k25, k1)
+	}
+}
+
+func TestA3Shape(t *testing.T) {
+	tb, err := A3TierConstraints(115)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tier acc with=%.3f without=%.3f; MAP with=%.4f without=%.4f",
+		tb.Metrics["with_acc"], tb.Metrics["without_acc"],
+		tb.Metrics["with_map"], tb.Metrics["without_map"])
+	// The constraints' direct objective: strong items above weak ones.
+	if tb.Metrics["with_acc"] <= tb.Metrics["without_acc"] {
+		t.Errorf("tier constraints did not improve tier ordering: %.3f vs %.3f",
+			tb.Metrics["with_acc"], tb.Metrics["without_acc"])
+	}
+	if tb.Metrics["with_map"] < tb.Metrics["without_map"]*0.85 {
+		t.Errorf("tier constraints badly hurt MAP: %.4f vs %.4f",
+			tb.Metrics["with_map"], tb.Metrics["without_map"])
+	}
+}
+
+func TestA4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid in -short mode")
+	}
+	tb, err := A4SearchStrategies(116)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("grid %.4f (%.0f epochs) vs halving %.4f (%.0f epochs)",
+		tb.Metrics["grid_best"], tb.Metrics["grid_epochs"],
+		tb.Metrics["halving_best"], tb.Metrics["halving_epochs"])
+	// Halving must be much cheaper than the grid...
+	if tb.Metrics["halving_epochs"] >= tb.Metrics["grid_epochs"]*0.7 {
+		t.Errorf("halving spent %.0f epochs vs grid %.0f", tb.Metrics["halving_epochs"], tb.Metrics["grid_epochs"])
+	}
+	// ...while finding a model in the same quality class.
+	if tb.Metrics["halving_best"] < tb.Metrics["grid_best"]*0.75 {
+		t.Errorf("halving best %.4f far below grid best %.4f",
+			tb.Metrics["halving_best"], tb.Metrics["grid_best"])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{ID: "X", Title: "T", Note: "n", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	md := tb.Markdown()
+	for _, want := range []string{"## X — T", "| a | b |", "| 1 | 2 |", "n"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if r.Run == nil || r.ID == "" || seen[r.ID] {
+			t.Fatalf("bad registry entry %+v", r)
+		}
+		seen[r.ID] = true
+	}
+	if _, ok := ByID("C5"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID found a ghost")
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/linalg"
+	"sigmund/internal/serving"
+	"sigmund/internal/synth"
+)
+
+// Fig6Config sizes the Figure 6 reproduction.
+type Fig6Config struct {
+	Retailers int
+	MinItems  int
+	MaxItems  int
+	// RecsPerRequest is the slate size shown per request (paper: <10).
+	RecsPerRequest int
+	Seed           uint64
+	Epochs         int
+}
+
+// DefaultFig6Config returns the scale used in EXPERIMENTS.md.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{Retailers: 6, MinItems: 80, MaxItems: 400, RecsPerRequest: 5, Seed: 66, Epochs: 12}
+}
+
+// Fig6 reproduces the paper's Figure 6: relative CTR of recommendations as
+// a function of the recommended item's popularity (impressions/day),
+// Sigmund (co-occurrence head + factorization tail) versus the plain
+// co-occurrence baseline.
+//
+// Methodology (the substitution for the paper's 7-day production A/B
+// measurement): a fleet of synthetic retailers is trained exactly like
+// production; every holdout context is replayed as a serving request
+// against both systems; the ground-truth click model decides clicks; and
+// impressions are bucketed by the shown item's interaction count in the
+// training log. CTRs are scaled by the baseline's overall CTR, mirroring
+// the paper's scaled presentation.
+func Fig6(cfg Fig6Config) (Table, error) {
+	// clicks accumulates *expected* clicks (the click model's exact
+	// probabilities) so bucket CTRs carry no Bernoulli sampling noise and
+	// the figure is fully deterministic.
+	type tally struct {
+		impressions [2]int
+		clicks      [2]float64 // index 0 = baseline, 1 = sigmund
+	}
+	const nBuckets = 6
+	buckets := make([]tally, nBuckets)
+	rng := linalg.NewRNG(cfg.Seed ^ 0xf16)
+
+	fleetRNG := linalg.NewRNG(cfg.Seed)
+	for ri := 0; ri < cfg.Retailers; ri++ {
+		nItems := cfg.MinItems + fleetRNG.Intn(cfg.MaxItems-cfg.MinItems+1)
+		spec := defaultEnvSpec(fleetRNG.Uint64())
+		spec.brandAffinity = 1.5 // strongly brand-aware shoppers (Section III-B4)
+		spec.priceSensitivity = 0.5
+		spec.items = nItems
+		// Sparse traffic relative to inventory: the long tail the paper
+		// studies is a sparsity phenomenon, so each item averages only a
+		// handful of events and the bottom of the catalog gets 0-2.
+		spec.users = nItems / 2
+		spec.eventsMean = 8
+		spec.epochs = cfg.Epochs
+		env, err := buildEnv(spec)
+		if err != nil {
+			return Table{}, err
+		}
+		click := synth.CalibratedClickModel(env.r.Truth, env.r.Catalog, env.r.Spec.NumUsers, rng.Split())
+		baseline := coocOnlyRecs(env.cooc, env.r.Catalog, cfg.RecsPerRequest)
+		sigmundRecs := hybridRecs(env.recHyb, env.r.Catalog, cfg.RecsPerRequest)
+
+		// Serve each system through the real serving layer so requests
+		// blend the user's whole context, exactly as production does.
+		servers := [2]*serving.Server{newStoreServer(env, baseline), newStoreServer(env, sigmundRecs)}
+		for _, h := range env.holdout {
+			if len(h.Context) == 0 {
+				continue
+			}
+			for sys, srv := range servers {
+				recs := srv.Recommend(env.r.Catalog.Retailer, h.Context, cfg.RecsPerRequest)
+				for pos, rec := range recs {
+					b := popBucket(env.stats.Total[rec.Item], nBuckets)
+					buckets[b].impressions[sys]++
+					buckets[b].clicks[sys] += click.ClickProb(env.r.Truth, env.r.Catalog, h.User, rec.Item, pos)
+				}
+			}
+		}
+	}
+
+	// Scale CTRs by the baseline's overall CTR (the paper scales CTR "to
+	// accurately represent the relative improvements without disclosing
+	// absolute numbers").
+	var bImp int
+	var bClk float64
+	for _, t := range buckets {
+		bImp += t.impressions[0]
+		bClk += t.clicks[0]
+	}
+	scale := 1.0
+	if bClk > 0 {
+		scale = float64(bImp) / bClk
+	}
+
+	table := Table{
+		ID:    "FIG6",
+		Title: "Relative CTR vs item popularity (impressions/day): Sigmund vs co-occurrence baseline",
+		Note: "Shape expectation (paper): Sigmund's CTR is significantly higher on the long tail " +
+			"(low-popularity buckets) and converges to the baseline on the most popular items.",
+		Header:  []string{"popularity bucket (train events)", "baseline impressions", "baseline CTR (scaled)", "sigmund impressions", "sigmund CTR (scaled)", "sigmund/baseline"},
+		Metrics: map[string]float64{},
+	}
+	var tailRatio, headRatio float64
+	for b, t := range buckets {
+		ctr := func(sys int) float64 {
+			if t.impressions[sys] == 0 {
+				return 0
+			}
+			return t.clicks[sys] / float64(t.impressions[sys]) * scale
+		}
+		c0, c1 := ctr(0), ctr(1)
+		ratio := math.NaN()
+		if c0 > 0 {
+			ratio = c1 / c0
+		}
+		if b == 0 && !math.IsNaN(ratio) {
+			tailRatio = ratio
+		}
+		if b == nBuckets-1 && !math.IsNaN(ratio) {
+			headRatio = ratio
+		}
+		table.Rows = append(table.Rows, []string{
+			bucketLabel(b, nBuckets),
+			fmt.Sprintf("%d", t.impressions[0]),
+			f("%.3f", c0),
+			fmt.Sprintf("%d", t.impressions[1]),
+			f("%.3f", c1),
+			f("%.2f", ratio),
+		})
+	}
+	table.Metrics["tail_ctr_ratio"] = tailRatio
+	table.Metrics["head_ctr_ratio"] = headRatio
+	return table, nil
+}
+
+// popBucket maps a training-interaction count to a log-scale bucket:
+// 0: <=2, 1: 3-5, 2: 6-11, 3: 12-23, 4: 24-47, 5: >=48.
+func popBucket(events, n int) int {
+	b := 0
+	for threshold := 2; events > threshold && b < n-1; threshold = threshold*2 + 1 {
+		b++
+	}
+	return b
+}
+
+func bucketLabel(b, n int) string {
+	lo, hi := 0, 2
+	for i := 0; i < b; i++ {
+		lo = hi + 1
+		hi = hi*2 + 1
+	}
+	if b == n-1 {
+		return fmt.Sprintf(">=%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// coocOnlyRecs materializes the baseline: pure co-occurrence top-K per
+// item ranked by raw pair count ("customers who viewed X also viewed Y"),
+// no support floor, no factorization fill — the "simple co-occurrence
+// model" the paper compares against.
+func coocOnlyRecs(c *cooccur.Model, cat *catalog.Catalog, k int) map[catalog.ItemID][]hybrid.Scored {
+	out := make(map[catalog.ItemID][]hybrid.Scored, cat.NumItems())
+	for i := 0; i < cat.NumItems(); i++ {
+		id := catalog.ItemID(i)
+		for _, n := range c.TopKByCount(cooccur.CoView, id, k, 1) {
+			out[id] = append(out[id], hybrid.Scored{Item: n.Item, Score: float64(n.Count), Source: hybrid.FromCooccurrence})
+		}
+	}
+	return out
+}
+
+// newStoreServer wraps a materialized per-item store in a serving.Server
+// (no top-seller fallback: a request either gets targeted recommendations
+// or nothing, so CTR compares targeting quality).
+func newStoreServer(env *trainedEnv, store map[catalog.ItemID][]hybrid.Scored) *serving.Server {
+	items := make([]inference.ItemRecs, 0, len(store))
+	for id, recs := range store {
+		items = append(items, inference.ItemRecs{Item: id, View: recs, Purchase: recs})
+	}
+	srv := serving.NewServer()
+	srv.Publish(serving.BuildSnapshot(1, map[catalog.RetailerID][]inference.ItemRecs{
+		env.r.Catalog.Retailer: items,
+	}, nil))
+	return srv
+}
+
+// hybridRecs materializes the Sigmund system's view-surface lists.
+func hybridRecs(r *hybrid.Recommender, cat *catalog.Catalog, k int) map[catalog.ItemID][]hybrid.Scored {
+	r.TopK = k
+	out := make(map[catalog.ItemID][]hybrid.Scored, cat.NumItems())
+	for i := 0; i < cat.NumItems(); i++ {
+		id := catalog.ItemID(i)
+		out[id] = r.RecommendForView(id)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package experiments
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(seed uint64) (Table, error)
+}
+
+// All returns every experiment in presentation order: the paper's Figure 6
+// first, then the quantitative claims C1-C12.
+func All() []Runner {
+	return []Runner{
+		{ID: "FIG6", Name: "Relative CTR vs item popularity", Run: func(seed uint64) (Table, error) {
+			cfg := DefaultFig6Config()
+			cfg.Seed = seed
+			return Fig6(cfg)
+		}},
+		{ID: "C1", Name: "Grid-search MAP spread", Run: C1GridSearchSpread},
+		{ID: "C2", Name: "Sampled MAP preserves selection", Run: C2SampledMAP},
+		{ID: "C3", Name: "Incremental training convergence", Run: C3IncrementalTraining},
+		{ID: "C4", Name: "Adagrad vs plain SGD", Run: C4AdagradVsSGD},
+		{ID: "C5", Name: "LCA candidate radius trade-off", Run: C5LCACandidates},
+		{ID: "C6", Name: "Pre-emptible VM economics", Run: C6PreemptibleCost},
+		{ID: "C7", Name: "Checkpoint policy", Run: C7CheckpointPolicy},
+		{ID: "C8", Name: "Inference bin-packing", Run: C8BinPacking},
+		{ID: "C9", Name: "Hogwild scaling & memory scheduling", Run: C9HogwildScaling},
+		{ID: "C10", Name: "Hybrid head/tail & coverage", Run: C10HybridCoverage},
+		{ID: "C11", Name: "Negative sampling heuristics", Run: C11NegativeSampling},
+		{ID: "C12", Name: "Per-retailer feature selection", Run: C12FeatureSelection},
+		{ID: "C13", Name: "Data-migration economics", Run: C13MigrationEconomics},
+		// Ablations: design choices the paper asserts but does not quantify.
+		{ID: "A1", Name: "Solver swap: BPR vs WALS", Run: A1SolverSwap},
+		{ID: "A2", Name: "User-context length & decay", Run: A2ContextDesign},
+		{ID: "A3", Name: "Interaction-strength tiers on/off", Run: A3TierConstraints},
+		{ID: "A4", Name: "Search strategies: grid vs random vs halving", Run: A4SearchStrategies},
+	}
+}
+
+// ByID returns the registered experiment with the given id, or false.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,299 @@
+// Package interactions models the implicit-feedback interaction log that is
+// Sigmund's training input: views, searches, cart-adds, and conversions,
+// ordered by increasing strength (Section III-A of the paper). There are no
+// explicit ratings anywhere in the system.
+//
+// The package also implements the user-context representation from Section
+// III-B2: a user is not an identifier with its own embedding but the
+// sequence of their last K actions, so the model generalizes to brand-new
+// users without retraining.
+package interactions
+
+import (
+	"fmt"
+	"sort"
+
+	"sigmund/internal/catalog"
+)
+
+// UserID identifies a user within one retailer's log. Like item ids they
+// are dense and retailer-local.
+type UserID int32
+
+// EventType is the kind of user interaction. The declared order IS the
+// strength order from the paper: View < Search < Cart < Conversion.
+type EventType uint8
+
+const (
+	View EventType = iota
+	Search
+	Cart
+	Conversion
+	numEventTypes
+)
+
+// NumEventTypes is the number of distinct interaction strengths.
+const NumEventTypes = int(numEventTypes)
+
+// String returns the lowercase name used in logs and config records.
+func (e EventType) String() string {
+	switch e {
+	case View:
+		return "view"
+	case Search:
+		return "search"
+	case Cart:
+		return "cart"
+	case Conversion:
+		return "conversion"
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(e))
+}
+
+// Stronger reports whether e carries more intent than o
+// (conversion > cart > search > view).
+func (e EventType) Stronger(o EventType) bool { return e > o }
+
+// Event is one user interaction. Time is an abstract non-decreasing tick
+// (the synthetic generator uses one tick per simulated action; a production
+// loader would use epoch seconds).
+type Event struct {
+	User UserID
+	Item catalog.ItemID
+	Type EventType
+	Time int64
+}
+
+// Action is an (EventType, ItemID) pair inside a user context.
+type Action struct {
+	Type EventType
+	Item catalog.ItemID
+}
+
+// Context is the sequence of a user's most recent actions, oldest first.
+// Per the paper the user embedding is a decayed linear combination of the
+// context items' embeddings (Equation 1), with K ≈ 25.
+type Context []Action
+
+// DefaultContextLength is the K from the paper ("usually about 25").
+const DefaultContextLength = 25
+
+// Truncate returns the context restricted to its most recent k actions.
+func (c Context) Truncate(k int) Context {
+	if len(c) <= k {
+		return c
+	}
+	return c[len(c)-k:]
+}
+
+// Contains reports whether the context includes item id with any action
+// type.
+func (c Context) Contains(id catalog.ItemID) bool {
+	for _, a := range c {
+		if a.Item == id {
+			return true
+		}
+	}
+	return false
+}
+
+// LastOfType returns the most recent item the user touched with the given
+// event type, or NoItem.
+func (c Context) LastOfType(t EventType) catalog.ItemID {
+	for i := len(c) - 1; i >= 0; i-- {
+		if c[i].Type == t {
+			return c[i].Item
+		}
+	}
+	return catalog.NoItem
+}
+
+// Log is a retailer's full interaction history. Events append in time
+// order per user; across users the builder sorts on demand.
+type Log struct {
+	events []Event
+	sorted bool
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{sorted: true} }
+
+// Append adds an event to the log.
+func (l *Log) Append(e Event) {
+	if n := len(l.events); n > 0 && l.sorted {
+		last := l.events[n-1]
+		if e.Time < last.Time || (e.Time == last.Time && e.User < last.User) {
+			l.sorted = false
+		}
+	}
+	l.events = append(l.events, e)
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns the events sorted by (time, user). The slice must not be
+// modified.
+func (l *Log) Events() []Event {
+	l.ensureSorted()
+	return l.events
+}
+
+func (l *Log) ensureSorted() {
+	if l.sorted {
+		return
+	}
+	sort.SliceStable(l.events, func(i, j int) bool {
+		if l.events[i].Time != l.events[j].Time {
+			return l.events[i].Time < l.events[j].Time
+		}
+		return l.events[i].User < l.events[j].User
+	})
+	l.sorted = true
+}
+
+// CountByType returns per-EventType event counts. In realistic logs
+// conversions and cart events are orders of magnitude rarer than views.
+func (l *Log) CountByType() [NumEventTypes]int {
+	var out [NumEventTypes]int
+	for i := range l.events {
+		out[l.events[i].Type]++
+	}
+	return out
+}
+
+// Window returns a new Log holding only events with from <= Time < to.
+// The daily pipeline uses windows both for incremental training (today's
+// events) and for the periodic full restart that drops long-term history,
+// a terms-of-service constraint described in Section III-C3.
+func (l *Log) Window(from, to int64) *Log {
+	l.ensureSorted()
+	out := NewLog()
+	for _, e := range l.events {
+		if e.Time >= from && e.Time < to {
+			out.Append(e)
+		}
+	}
+	return out
+}
+
+// UserSequence is one user's events in time order.
+type UserSequence struct {
+	User   UserID
+	Events []Event
+}
+
+// BySequence groups the log into per-user sequences ordered by user id;
+// each sequence is in time order. This is the unit from which training
+// examples and holdout sets are built.
+func (l *Log) BySequence() []UserSequence {
+	l.ensureSorted()
+	byUser := make(map[UserID][]Event)
+	for _, e := range l.events {
+		byUser[e.User] = append(byUser[e.User], e)
+	}
+	users := make([]UserID, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	out := make([]UserSequence, len(users))
+	for i, u := range users {
+		out[i] = UserSequence{User: u, Events: byUser[u]}
+	}
+	return out
+}
+
+// ContextBefore returns the user context induced by the first n events of
+// seq, truncated to the most recent maxLen actions.
+func ContextBefore(seq UserSequence, n, maxLen int) Context {
+	if n > len(seq.Events) {
+		n = len(seq.Events)
+	}
+	start := 0
+	if n > maxLen {
+		start = n - maxLen
+	}
+	ctx := make(Context, 0, n-start)
+	for _, e := range seq.Events[start:n] {
+		ctx = append(ctx, Action{Type: e.Type, Item: e.Item})
+	}
+	return ctx
+}
+
+// Split is a train/holdout division of a log.
+type Split struct {
+	Train *Log
+	// Holdout has one entry per eligible user: the user's context at the
+	// moment of their final interaction, plus the held-out item itself.
+	Holdout []HoldoutExample
+}
+
+// HoldoutExample is a single evaluation case: given Context, the model
+// should rank Item highly.
+type HoldoutExample struct {
+	User    UserID
+	Context Context
+	Item    catalog.ItemID
+}
+
+// HoldoutSplit implements the paper's evaluation protocol (Section III-C2):
+// for every user with more than 2 interactions, the last item in their
+// sequence is withheld from training and becomes an evaluation example; all
+// other events train. Contexts are truncated to maxCtx actions.
+func HoldoutSplit(l *Log, maxCtx int) Split {
+	train := NewLog()
+	var holdout []HoldoutExample
+	for _, seq := range l.BySequence() {
+		n := len(seq.Events)
+		if n <= 2 {
+			for _, e := range seq.Events {
+				train.Append(e)
+			}
+			continue
+		}
+		for _, e := range seq.Events[:n-1] {
+			train.Append(e)
+		}
+		holdout = append(holdout, HoldoutExample{
+			User:    seq.User,
+			Context: ContextBefore(seq, n-1, maxCtx),
+			Item:    seq.Events[n-1].Item,
+		})
+	}
+	return Split{Train: train, Holdout: holdout}
+}
+
+// ItemStats aggregates per-item interaction counts from a log.
+type ItemStats struct {
+	// Count[t][i] is the number of events of type t on item i.
+	Count [NumEventTypes][]int
+	// Total[i] is the number of events of any type on item i.
+	Total []int
+}
+
+// ComputeItemStats scans the log once; numItems must cover every item id
+// present.
+func ComputeItemStats(l *Log, numItems int) *ItemStats {
+	s := &ItemStats{}
+	for t := range s.Count {
+		s.Count[t] = make([]int, numItems)
+	}
+	s.Total = make([]int, numItems)
+	for _, e := range l.Events() {
+		s.Count[e.Type][e.Item]++
+		s.Total[e.Item]++
+	}
+	return s
+}
+
+// PopularityOrder returns item ids sorted by descending total interaction
+// count. The hybrid recommender uses the head/tail division of this order.
+func (s *ItemStats) PopularityOrder() []catalog.ItemID {
+	ids := make([]catalog.ItemID, len(s.Total))
+	for i := range ids {
+		ids[i] = catalog.ItemID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return s.Total[ids[a]] > s.Total[ids[b]] })
+	return ids
+}

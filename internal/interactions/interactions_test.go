@@ -1,0 +1,225 @@
+package interactions
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/linalg"
+)
+
+func ev(u UserID, it catalog.ItemID, t EventType, tm int64) Event {
+	return Event{User: u, Item: it, Type: t, Time: tm}
+}
+
+func TestEventTypeOrdering(t *testing.T) {
+	if !Search.Stronger(View) || !Cart.Stronger(Search) || !Conversion.Stronger(Cart) {
+		t.Fatal("strength order view < search < cart < conversion broken")
+	}
+	if View.Stronger(View) {
+		t.Fatal("an event type is not stronger than itself")
+	}
+	names := map[EventType]string{View: "view", Search: "search", Cart: "cart", Conversion: "conversion"}
+	for et, want := range names {
+		if et.String() != want {
+			t.Errorf("String(%d) = %q, want %q", et, et.String(), want)
+		}
+	}
+	if EventType(9).String() != "EventType(9)" {
+		t.Errorf("unknown event type String = %q", EventType(9).String())
+	}
+}
+
+func TestLogSorting(t *testing.T) {
+	l := NewLog()
+	l.Append(ev(2, 0, View, 10))
+	l.Append(ev(1, 1, View, 5)) // out of order
+	l.Append(ev(1, 2, Search, 7))
+	events := l.Events()
+	if events[0].Time != 5 || events[1].Time != 7 || events[2].Time != 10 {
+		t.Fatalf("Events not time-sorted: %+v", events)
+	}
+	// Ties broken by user.
+	l2 := NewLog()
+	l2.Append(ev(5, 0, View, 1))
+	l2.Append(ev(3, 1, View, 1))
+	es := l2.Events()
+	if es[0].User != 3 || es[1].User != 5 {
+		t.Fatalf("tie-break by user failed: %+v", es)
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	l := NewLog()
+	l.Append(ev(0, 0, View, 1))
+	l.Append(ev(0, 1, View, 2))
+	l.Append(ev(0, 1, Cart, 3))
+	l.Append(ev(0, 1, Conversion, 4))
+	c := l.CountByType()
+	if c[View] != 2 || c[Search] != 0 || c[Cart] != 1 || c[Conversion] != 1 {
+		t.Fatalf("CountByType = %v", c)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	l := NewLog()
+	for i := int64(0); i < 10; i++ {
+		l.Append(ev(0, catalog.ItemID(i), View, i))
+	}
+	w := l.Window(3, 7)
+	if w.Len() != 4 {
+		t.Fatalf("Window(3,7) has %d events, want 4", w.Len())
+	}
+	for _, e := range w.Events() {
+		if e.Time < 3 || e.Time >= 7 {
+			t.Fatalf("event outside window: %+v", e)
+		}
+	}
+}
+
+func TestBySequence(t *testing.T) {
+	l := NewLog()
+	l.Append(ev(1, 0, View, 1))
+	l.Append(ev(0, 1, View, 2))
+	l.Append(ev(1, 2, Search, 3))
+	seqs := l.BySequence()
+	if len(seqs) != 2 {
+		t.Fatalf("got %d sequences, want 2", len(seqs))
+	}
+	if seqs[0].User != 0 || seqs[1].User != 1 {
+		t.Fatalf("sequences not ordered by user: %+v", seqs)
+	}
+	if len(seqs[1].Events) != 2 || seqs[1].Events[0].Item != 0 || seqs[1].Events[1].Item != 2 {
+		t.Fatalf("user 1 sequence wrong: %+v", seqs[1].Events)
+	}
+}
+
+func TestContextBefore(t *testing.T) {
+	seq := UserSequence{User: 0, Events: []Event{
+		ev(0, 10, View, 1), ev(0, 11, Search, 2), ev(0, 12, Cart, 3), ev(0, 13, Conversion, 4),
+	}}
+	ctx := ContextBefore(seq, 3, 25)
+	if len(ctx) != 3 || ctx[0].Item != 10 || ctx[2].Item != 12 {
+		t.Fatalf("ContextBefore(3) = %+v", ctx)
+	}
+	// Truncation keeps the most recent actions.
+	ctx = ContextBefore(seq, 4, 2)
+	if len(ctx) != 2 || ctx[0].Item != 12 || ctx[1].Item != 13 {
+		t.Fatalf("truncated context = %+v", ctx)
+	}
+	// n beyond sequence length clamps.
+	ctx = ContextBefore(seq, 99, 25)
+	if len(ctx) != 4 {
+		t.Fatalf("clamped context = %+v", ctx)
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	ctx := Context{{View, 1}, {Search, 2}, {View, 3}}
+	if !ctx.Contains(2) || ctx.Contains(9) {
+		t.Error("Contains wrong")
+	}
+	if got := ctx.LastOfType(View); got != 3 {
+		t.Errorf("LastOfType(View) = %d, want 3", got)
+	}
+	if got := ctx.LastOfType(Conversion); got != catalog.NoItem {
+		t.Errorf("LastOfType(missing) = %d, want NoItem", got)
+	}
+	if got := ctx.Truncate(2); len(got) != 2 || got[0].Item != 2 {
+		t.Errorf("Truncate = %+v", got)
+	}
+	if got := ctx.Truncate(10); len(got) != 3 {
+		t.Errorf("Truncate beyond length = %+v", got)
+	}
+}
+
+func TestHoldoutSplitProtocol(t *testing.T) {
+	l := NewLog()
+	// User 0: 4 interactions -> eligible, last item (13) held out.
+	l.Append(ev(0, 10, View, 1))
+	l.Append(ev(0, 11, View, 2))
+	l.Append(ev(0, 12, Search, 3))
+	l.Append(ev(0, 13, Conversion, 4))
+	// User 1: exactly 2 interactions -> NOT eligible ("more than 2").
+	l.Append(ev(1, 20, View, 1))
+	l.Append(ev(1, 21, View, 2))
+	// User 2: 1 interaction -> not eligible.
+	l.Append(ev(2, 30, View, 5))
+
+	s := HoldoutSplit(l, 25)
+	if len(s.Holdout) != 1 {
+		t.Fatalf("holdout size = %d, want 1", len(s.Holdout))
+	}
+	h := s.Holdout[0]
+	if h.User != 0 || h.Item != 13 {
+		t.Fatalf("holdout example = %+v", h)
+	}
+	if len(h.Context) != 3 || h.Context[2].Item != 12 {
+		t.Fatalf("holdout context = %+v", h.Context)
+	}
+	// Train keeps everything except user 0's last event.
+	if s.Train.Len() != 6 {
+		t.Fatalf("train size = %d, want 6", s.Train.Len())
+	}
+	for _, e := range s.Train.Events() {
+		if e.User == 0 && e.Item == 13 {
+			t.Fatal("held-out event leaked into training data")
+		}
+	}
+}
+
+func TestHoldoutSplitContextTruncation(t *testing.T) {
+	l := NewLog()
+	for i := int64(0); i < 40; i++ {
+		l.Append(ev(0, catalog.ItemID(i), View, i))
+	}
+	s := HoldoutSplit(l, 25)
+	if len(s.Holdout) != 1 {
+		t.Fatalf("holdout size = %d", len(s.Holdout))
+	}
+	if got := len(s.Holdout[0].Context); got != 25 {
+		t.Fatalf("context length = %d, want 25 (K from the paper)", got)
+	}
+	// Most recent context action is event 38 (event 39 held out).
+	if got := s.Holdout[0].Context[24].Item; got != 38 {
+		t.Fatalf("newest context item = %d, want 38", got)
+	}
+}
+
+func TestItemStats(t *testing.T) {
+	l := NewLog()
+	l.Append(ev(0, 0, View, 1))
+	l.Append(ev(1, 0, View, 2))
+	l.Append(ev(0, 1, Conversion, 3))
+	s := ComputeItemStats(l, 3)
+	if s.Count[View][0] != 2 || s.Count[Conversion][1] != 1 || s.Total[2] != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	order := s.PopularityOrder()
+	if order[0] != 0 {
+		t.Fatalf("PopularityOrder = %v, want item 0 first", order)
+	}
+}
+
+// Property: HoldoutSplit conserves events — every input event is either in
+// Train or is the single held-out final event of an eligible user.
+func TestHoldoutSplitConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := linalg.NewRNG(seed)
+		l := NewLog()
+		nUsers := 1 + rng.Intn(10)
+		total := 0
+		for u := 0; u < nUsers; u++ {
+			n := rng.Intn(8)
+			for i := 0; i < n; i++ {
+				l.Append(ev(UserID(u), catalog.ItemID(rng.Intn(20)), EventType(rng.Intn(4)), int64(total)))
+				total++
+			}
+		}
+		s := HoldoutSplit(l, 25)
+		return s.Train.Len()+len(s.Holdout) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

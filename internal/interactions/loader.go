@@ -1,0 +1,107 @@
+package interactions
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sigmund/internal/catalog"
+)
+
+// CSV interaction-log interchange format: a header row then
+//
+//	user_id,item_id,type,time
+//	17,3,view,1690000000
+//
+// Types are view/search/cart/conversion (or buy). The format is what a
+// retailer would export from their clickstream warehouse.
+
+// LoadCSV reads an interaction log from CSV. Item ids are validated
+// against numItems when numItems > 0.
+func LoadCSV(r io.Reader, numItems int) (*Log, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("interactions: reading CSV header: %w", err)
+	}
+	if header[0] != "user_id" || header[1] != "item_id" || header[2] != "type" || header[3] != "time" {
+		return nil, fmt.Errorf("interactions: unexpected CSV header %v", header)
+	}
+	log := NewLog()
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("interactions: line %d: %w", line, err)
+		}
+		user, err := strconv.ParseInt(rec[0], 10, 32)
+		if err != nil || user < 0 {
+			return nil, fmt.Errorf("interactions: line %d: bad user_id %q", line, rec[0])
+		}
+		item, err := strconv.ParseInt(rec[1], 10, 32)
+		if err != nil || item < 0 {
+			return nil, fmt.Errorf("interactions: line %d: bad item_id %q", line, rec[1])
+		}
+		if numItems > 0 && item >= int64(numItems) {
+			return nil, fmt.Errorf("interactions: line %d: item_id %d outside catalog of %d items", line, item, numItems)
+		}
+		et, err := ParseEventType(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("interactions: line %d: %w", line, err)
+		}
+		ts, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("interactions: line %d: bad time %q", line, rec[3])
+		}
+		log.Append(Event{
+			User: UserID(user),
+			Item: catalog.ItemID(item),
+			Type: et,
+			Time: ts,
+		})
+	}
+	return log, nil
+}
+
+// SaveCSV writes the log in the interchange format.
+func (l *Log) SaveCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user_id", "item_id", "type", "time"}); err != nil {
+		return err
+	}
+	for _, e := range l.Events() {
+		rec := []string{
+			strconv.FormatInt(int64(e.User), 10),
+			strconv.FormatInt(int64(e.Item), 10),
+			e.Type.String(),
+			strconv.FormatInt(e.Time, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseEventType parses the lowercase names used in logs and APIs ("buy"
+// is accepted as an alias for conversion).
+func ParseEventType(s string) (EventType, error) {
+	switch s {
+	case "view":
+		return View, nil
+	case "search":
+		return Search, nil
+	case "cart":
+		return Cart, nil
+	case "conversion", "buy":
+		return Conversion, nil
+	}
+	return 0, fmt.Errorf("interactions: unknown event type %q", s)
+}

@@ -1,0 +1,94 @@
+package interactions
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `user_id,item_id,type,time
+0,3,view,100
+0,3,search,101
+1,7,cart,102
+1,7,buy,103
+2,5,conversion,104
+`
+
+func TestLoadCSV(t *testing.T) {
+	l, err := LoadCSV(strings.NewReader(sampleCSV), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("loaded %d events", l.Len())
+	}
+	events := l.Events()
+	if events[0].User != 0 || events[0].Item != 3 || events[0].Type != View || events[0].Time != 100 {
+		t.Fatalf("first event: %+v", events[0])
+	}
+	// "buy" is an alias for conversion.
+	if events[3].Type != Conversion || events[4].Type != Conversion {
+		t.Fatalf("buy alias: %+v %+v", events[3], events[4])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":    "a,b,c,d\n0,1,view,2\n",
+		"bad user":      "user_id,item_id,type,time\nx,1,view,2\n",
+		"negative user": "user_id,item_id,type,time\n-1,1,view,2\n",
+		"bad item":      "user_id,item_id,type,time\n0,x,view,2\n",
+		"bad type":      "user_id,item_id,type,time\n0,1,swipe,2\n",
+		"bad time":      "user_id,item_id,type,time\n0,1,view,x\n",
+		"wrong fields":  "user_id,item_id,type,time\n0,1,view\n",
+		"out of range":  "user_id,item_id,type,time\n0,99,view,2\n",
+		"empty":         "",
+	}
+	for name, in := range cases {
+		if _, err := LoadCSV(strings.NewReader(in), 10); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// numItems=0 disables range validation.
+	if _, err := LoadCSV(strings.NewReader("user_id,item_id,type,time\n0,99,view,2\n"), 0); err != nil {
+		t.Errorf("range validation not disabled: %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := LoadCSV(strings.NewReader(sampleCSV), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := orig.Events(), got.Events()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParseEventType(t *testing.T) {
+	for name, want := range map[string]EventType{
+		"view": View, "search": Search, "cart": Cart, "conversion": Conversion, "buy": Conversion,
+	} {
+		got, err := ParseEventType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseEventType(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseEventType("VIEW"); err == nil {
+		t.Error("case-sensitive parse accepted uppercase")
+	}
+}

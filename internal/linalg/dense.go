@@ -1,0 +1,117 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense linear algebra for the alternating-least-squares solver: small
+// symmetric positive-definite systems (F x F, with F the factor count) are
+// solved by Cholesky decomposition. Matrices are row-major flat float64
+// slices.
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	N    int // rows == cols; the solver only needs square matrices
+	Data []float64
+}
+
+// NewMat allocates an N x N zero matrix.
+func NewMat(n int) *Mat {
+	return &Mat{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add increments element (i, j).
+func (m *Mat) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Copy returns a deep copy.
+func (m *Mat) Copy() *Mat {
+	c := NewMat(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// AddDiagonal adds v to every diagonal element (ridge regularization).
+func (m *Mat) AddDiagonal(v float64) {
+	for i := 0; i < m.N; i++ {
+		m.Data[i*m.N+i] += v
+	}
+}
+
+// AddOuterScaled performs m += scale * x xᵀ for a float32 vector x — the
+// rank-one update that accumulates YᵀCY terms in ALS.
+func (m *Mat) AddOuterScaled(scale float64, x []float32) {
+	n := m.N
+	for i := 0; i < n; i++ {
+		xi := scale * float64(x[i])
+		row := m.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] += xi * float64(x[j])
+		}
+	}
+}
+
+// GramUpdate performs m += scale * xᵀx over a set of float32 row vectors
+// laid out flat with the given stride (m must be stride x stride).
+func (m *Mat) GramUpdate(flat []float32, stride int, scale float64) {
+	for off := 0; off+stride <= len(flat); off += stride {
+		m.AddOuterScaled(scale, flat[off:off+stride])
+	}
+}
+
+// CholeskySolve solves A x = b for symmetric positive-definite A,
+// overwriting neither input. It returns an error when A is not (numerically)
+// positive definite — callers should increase regularization.
+func CholeskySolve(a *Mat, b []float64) ([]float64, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: CholeskySolve dimension mismatch: %d vs %d", n, len(b))
+	}
+	// Decompose A = L Lᵀ into a scratch copy.
+	l := a.Copy()
+	for j := 0; j < n; j++ {
+		d := l.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 1e-12 {
+			return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		dj := sqrt64(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := l.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+func sqrt64(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At = %v", m.At(0, 1))
+	}
+	m.AddDiagonal(1)
+	for i := 0; i < 3; i++ {
+		if m.At(i, i) != 1 {
+			t.Fatal("AddDiagonal wrong")
+		}
+	}
+	c := m.Copy()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Copy aliases")
+	}
+}
+
+func TestAddOuterScaled(t *testing.T) {
+	m := NewMat(2)
+	m.AddOuterScaled(2, []float32{1, 3})
+	// 2 * [1,3][1,3]^T = [[2,6],[6,18]]
+	want := []float64{2, 6, 6, 18}
+	for i, w := range want {
+		if math.Abs(m.Data[i]-w) > 1e-12 {
+			t.Fatalf("outer[%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+}
+
+func TestGramUpdate(t *testing.T) {
+	m := NewMat(2)
+	// Rows (1,0) and (0,2): gram = [[1,0],[0,4]].
+	m.GramUpdate([]float32{1, 0, 0, 2}, 2, 1)
+	if m.At(0, 0) != 1 || m.At(1, 1) != 4 || m.At(0, 1) != 0 {
+		t.Fatalf("gram = %+v", m.Data)
+	}
+}
+
+func TestCholeskySolveKnownSystem(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+	a := NewMat(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	x, err := CholeskySolve(a, []float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.75) > 1e-12 || math.Abs(x[1]-1.5) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+	// Inputs untouched.
+	if a.At(0, 0) != 4 {
+		t.Fatal("CholeskySolve mutated A")
+	}
+}
+
+func TestCholeskySolveRejectsIndefinite(t *testing.T) {
+	a := NewMat(2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := CholeskySolve(a, []float64{1, 1}); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+	if _, err := CholeskySolve(NewMat(2), []float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// Property: for random SPD systems A = GᵀG + I, CholeskySolve returns x
+// with A x ≈ b.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 1 + rng.Intn(8)
+		// Build A = sum of outer products + ridge (guaranteed SPD).
+		a := NewMat(n)
+		for r := 0; r < n+2; r++ {
+			v := make([]float32, n)
+			rng.FillNormal(v, 1)
+			a.AddOuterScaled(1, v)
+		}
+		a.AddDiagonal(0.5)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := CholeskySolve(a, b)
+		if err != nil {
+			return false
+		}
+		// Residual check.
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-8*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

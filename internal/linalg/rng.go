@@ -1,0 +1,141 @@
+package linalg
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64-based). Sigmund's grid search includes the RNG seed as a
+// hyper-parameter, incremental training must reproduce yesterday's
+// initialization, and Hogwild training threads each need an independent
+// stream — so every randomized component in this repository takes an
+// explicit *RNG rather than using the global math/rand source.
+//
+// RNG is not safe for concurrent use; derive one per goroutine with Split.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds yield
+// decorrelated streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{state: seed}
+	// Warm up so that small seeds (0, 1, 2...) do not produce correlated
+	// first outputs.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// Split derives an independent generator from r. The derived stream is
+// decorrelated from r's future output, which makes it suitable for seeding
+// per-thread Hogwild samplers from one model seed.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next value in the stream (SplitMix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("linalg: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	// Draw u1 in (0,1] to avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates). The training
+// pipeline uses it to randomly permute config records so work is balanced
+// across MapReduce shards (Section IV-B1 of the paper).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// FillNormal fills x with N(0, stddev^2) variates — the random-embedding
+// initializer for new items.
+func (r *RNG) FillNormal(x []float32, stddev float64) {
+	for i := range x {
+		x[i] = float32(r.NormFloat64() * stddev)
+	}
+}
+
+// Exp returns an exponential variate with the given mean. The cluster
+// simulator uses it for preemption inter-arrival times.
+func (r *RNG) Exp(mean float64) float64 {
+	u := 1 - r.Float64()
+	return -mean * math.Log(u)
+}
+
+// Zipf returns a value in [0, n) drawn from a Zipf-like distribution with
+// exponent s (larger s = heavier head). Item popularity in the synthetic
+// workload follows this distribution, which is what produces the long tail
+// studied in Figure 6 of the paper.
+//
+// The implementation uses inverse-CDF sampling over the harmonic weights
+// via rejection-free approximation: P(k) ∝ (k+1)^-s.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Approximate inverse CDF of the continuous analogue, then clamp.
+	// For s != 1 the CDF of p(x) ∝ x^-s on [1, n+1] inverts in closed form.
+	u := r.Float64()
+	if s == 1 {
+		k := int(math.Pow(float64(n+1), u)) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		return k
+	}
+	oneMinusS := 1 - s
+	nf := math.Pow(float64(n+1), oneMinusS)
+	x := math.Pow(u*(nf-1)+1, 1/oneMinusS) - 1
+	k := int(x)
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}

@@ -1,0 +1,204 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s := r.Split()
+	// The split stream must not replay the parent stream.
+	matches := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == s.Uint64() {
+			matches++
+		}
+	}
+	if matches > 1 {
+		t.Fatalf("split stream matched parent %d/64 times", matches)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3)
+	const n = 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(200)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillNormal(t *testing.T) {
+	r := NewRNG(4)
+	x := make([]float32, 10000)
+	r.FillNormal(x, 0.1)
+	var sumsq float64
+	for _, v := range x {
+		sumsq += float64(v) * float64(v)
+	}
+	sd := math.Sqrt(sumsq / float64(len(x)))
+	if math.Abs(sd-0.1) > 0.01 {
+		t.Fatalf("FillNormal stddev = %v, want ~0.1", sd)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(5)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(3.0)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ~3", mean)
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	r := NewRNG(6)
+	const n, draws = 1000, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := r.Zipf(n, 1.1)
+		if k < 0 || k >= n {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// The head must be far more popular than the mid/tail.
+	head := counts[0] + counts[1] + counts[2]
+	tail := counts[n-3] + counts[n-2] + counts[n-1]
+	if head <= tail*10 {
+		t.Fatalf("Zipf not skewed: head=%d tail=%d", head, tail)
+	}
+	// Degenerate sizes.
+	if got := r.Zipf(1, 1.1); got != 0 {
+		t.Fatalf("Zipf(1) = %d, want 0", got)
+	}
+	if got := r.Zipf(0, 1.1); got != 0 {
+		t.Fatalf("Zipf(0) = %d, want 0", got)
+	}
+}
+
+func TestZipfExponentOne(t *testing.T) {
+	r := NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		if k := r.Zipf(100, 1.0); k < 0 || k >= 100 {
+			t.Fatalf("Zipf s=1 out of range: %d", k)
+		}
+	}
+}
+
+func TestShuffleCoversOrders(t *testing.T) {
+	r := NewRNG(9)
+	seen := map[[3]int]bool{}
+	for i := 0; i < 600; i++ {
+		x := [3]int{0, 1, 2}
+		r.Shuffle(3, func(i, j int) { x[i], x[j] = x[j], x[i] })
+		seen[x] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("Shuffle reached %d/6 permutations of 3 elements", len(seen))
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := NewRNG(10)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 = %v out of [0,1)", v)
+		}
+		sum += float64(v)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float32 mean = %v", mean)
+	}
+}

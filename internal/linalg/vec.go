@@ -1,0 +1,99 @@
+// Package linalg provides the small dense-vector kernels and deterministic
+// random-number utilities used by the factorization core.
+//
+// Embeddings in Sigmund are short float32 vectors (5-200 dimensions, the
+// grid-search range from the paper). All kernels operate on flat slices so
+// models can store every embedding in one contiguous allocation and hand out
+// sub-slices; this keeps per-retailer model memory compact and makes
+// checkpoint serialization a single bulk write.
+package linalg
+
+import "math"
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length; this is the affinity kernel x_ui = <u, v_i> from the paper and is
+// the hottest function in training and inference.
+func Dot(a, b []float32) float32 {
+	_ = b[len(a)-1] // eliminate bounds checks in the loop
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst[k] += alpha * x[k] for all k. It is the embedding
+// update primitive for SGD steps and for accumulating weighted context
+// vectors (Equation 1 in the paper).
+func Axpy(alpha float32, x, dst []float32) {
+	_ = dst[len(x)-1]
+	for i := range x {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// AddTo computes dst[k] += x[k] for all k.
+func AddTo(x, dst []float32) {
+	_ = dst[len(x)-1]
+	for i := range x {
+		dst[i] += x[i]
+	}
+}
+
+// Zero clears x in place.
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Copy copies src into dst (lengths must match) and returns dst.
+func Copy(dst, src []float32) []float32 {
+	copy(dst, src)
+	return dst
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float32) float32 {
+	return float32(math.Sqrt(float64(Dot(x, x))))
+}
+
+// SquaredNorm returns <x, x>.
+func SquaredNorm(x []float32) float32 { return Dot(x, x) }
+
+// Sigmoid returns the logistic function 1/(1+exp(-z)), clamped so that
+// extreme inputs cannot produce NaN gradients.
+func Sigmoid(z float64) float64 {
+	switch {
+	case z > 35:
+		return 1
+	case z < -35:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// CosineSim returns the cosine similarity of a and b, or 0 when either
+// vector is all-zero (a fresh cold-start embedding).
+func CosineSim(a, b []float32) float32 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}

@@ -1,0 +1,140 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float32
+		want float32
+	}{
+		{"empty-ish single", []float32{2}, []float32{3}, 6},
+		{"orthogonal", []float32{1, 0, 0, 1}, []float32{0, 1, 1, 0}, 0},
+		{"len5 crosses unrolled boundary", []float32{1, 2, 3, 4, 5}, []float32{5, 4, 3, 2, 1}, 35},
+		{"negative values", []float32{-1, 2, -3}, []float32{4, -5, 6}, -32},
+		{"len8 exact unroll", []float32{1, 1, 1, 1, 1, 1, 1, 1}, []float32{1, 2, 3, 4, 5, 6, 7, 8}, 36},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dot(tt.a, tt.b); got != tt.want {
+				t.Errorf("Dot(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		// Clamp generated values to the embedding-magnitude regime;
+		// quick generates float32 extremes that overflow accumulation.
+		a := make([]float32, len(vals))
+		for i, v := range vals {
+			a[i] = float32(math.Mod(float64(v), 100))
+			if math.IsNaN(float64(a[i])) {
+				a[i] = 0
+			}
+		}
+		b := make([]float32, len(a))
+		for i := range b {
+			b[i] = float32(i%7) - 3
+		}
+		var naive float64
+		for i := range a {
+			naive += float64(a[i]) * float64(b[i])
+		}
+		got := float64(Dot(a, b))
+		// float32 accumulation differs slightly from float64 naive sum.
+		scale := math.Abs(naive) + 1
+		return almostEq(got, naive, 1e-3*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	dst := []float32{1, 2, 3}
+	Axpy(2, []float32{10, 20, 30}, dst)
+	want := []float32{21, 42, 63}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Axpy result[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestScaleZeroCopy(t *testing.T) {
+	x := []float32{2, -4, 8}
+	Scale(0.5, x)
+	if x[0] != 1 || x[1] != -2 || x[2] != 4 {
+		t.Fatalf("Scale produced %v", x)
+	}
+	Zero(x)
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("Zero left x[%d] = %v", i, v)
+		}
+	}
+	src := []float32{7, 8}
+	dst := make([]float32, 2)
+	if got := Copy(dst, src); got[0] != 7 || got[1] != 8 {
+		t.Fatalf("Copy produced %v", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float32{3, 4}
+	if got := Norm2(x); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := SquaredNorm(x); got != 25 {
+		t.Errorf("SquaredNorm = %v, want 25", got)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Errorf("Sigmoid(0) = %v, want 0.5", got)
+	}
+	if got := Sigmoid(100); got != 1 {
+		t.Errorf("Sigmoid(100) = %v, want clamp to 1", got)
+	}
+	if got := Sigmoid(-100); got != 0 {
+		t.Errorf("Sigmoid(-100) = %v, want clamp to 0", got)
+	}
+	// Symmetry: sigma(z) + sigma(-z) == 1.
+	for _, z := range []float64{0.1, 1, 3, 10} {
+		if !almostEq(Sigmoid(z)+Sigmoid(-z), 1, 1e-12) {
+			t.Errorf("Sigmoid symmetry broken at z=%v", z)
+		}
+	}
+}
+
+func TestCosineSim(t *testing.T) {
+	if got := CosineSim([]float32{1, 0}, []float32{2, 0}); !almostEq(float64(got), 1, 1e-6) {
+		t.Errorf("parallel vectors: got %v, want 1", got)
+	}
+	if got := CosineSim([]float32{1, 0}, []float32{0, 5}); got != 0 {
+		t.Errorf("orthogonal vectors: got %v, want 0", got)
+	}
+	if got := CosineSim([]float32{0, 0}, []float32{1, 1}); got != 0 {
+		t.Errorf("zero vector must yield 0, got %v", got)
+	}
+}
+
+func TestAddTo(t *testing.T) {
+	dst := []float32{1, 1}
+	AddTo([]float32{2, 3}, dst)
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("AddTo produced %v", dst)
+	}
+}

@@ -1,0 +1,405 @@
+// Package mapreduce is a small MapReduce framework with the execution
+// semantics Sigmund's pipelines rely on (Section IV):
+//
+//   - the input is divided into contiguous splits — the inference job
+//     depends on per-retailer data being contiguous so one map task rarely
+//     loads more than one model;
+//   - each task processes its records sequentially on a single framework
+//     thread; parallelism inside a record (Hogwild training, multi-threaded
+//     scoring) is managed by user code, exactly the arrangement Sections
+//     IV-B2 and IV-C2 describe;
+//   - tasks are retried on failure with attempt-isolated output buffers
+//     that commit atomically on success, so re-execution never duplicates
+//     output — the property that makes running on pre-emptible VMs safe;
+//   - a pluggable fault plan kills task attempts by cancelling their
+//     context after a delay, which exercises the user code's real
+//     checkpoint/recover paths.
+//
+// The framework executes real Go code with goroutine workers; the cluster
+// package separately models the economics of running such jobs on
+// pre-emptible machines.
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record is a key/value pair flowing through a job.
+type Record struct {
+	Key   string
+	Value []byte
+}
+
+// Emit adds an output pair from user code. Implementations provided by the
+// framework are not safe for concurrent use within a task unless stated —
+// matching real MapReduce, where emission happens from the task thread.
+type Emit func(key string, value []byte)
+
+// Mapper processes one input record.
+type Mapper interface {
+	Map(ctx context.Context, rec Record, emit Emit) error
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(ctx context.Context, rec Record, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(ctx context.Context, rec Record, emit Emit) error {
+	return f(ctx, rec, emit)
+}
+
+// Reducer processes one key and all its values.
+type Reducer interface {
+	Reduce(ctx context.Context, key string, values [][]byte, emit Emit) error
+}
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(ctx context.Context, key string, values [][]byte, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(ctx context.Context, key string, values [][]byte, emit Emit) error {
+	return f(ctx, key, values, emit)
+}
+
+// IdentityReducer re-emits every value under its key.
+var IdentityReducer = ReducerFunc(func(_ context.Context, key string, values [][]byte, emit Emit) error {
+	for _, v := range values {
+		emit(key, v)
+	}
+	return nil
+})
+
+// Phase identifies the job phase for fault plans and counters.
+type Phase uint8
+
+const (
+	// MapPhase is the map side of the job.
+	MapPhase Phase = iota
+	// ReducePhase is the reduce side.
+	ReducePhase
+)
+
+func (p Phase) String() string {
+	if p == MapPhase {
+		return "map"
+	}
+	return "reduce"
+}
+
+// FaultPlan decides whether a given task attempt gets killed (its context
+// cancelled) and how long after it starts. Deterministic plans make
+// fault-tolerance tests reproducible.
+type FaultPlan func(phase Phase, task, attempt int) (kill bool, after time.Duration)
+
+// Spec configures a job.
+type Spec struct {
+	Name string
+	// NumMapTasks splits the input into this many contiguous ranges
+	// (default: one task per 1 record, capped at 64).
+	NumMapTasks int
+	// NumReduceTasks partitions the key space (default 1). 0 with a nil
+	// reducer produces a map-only job.
+	NumReduceTasks int
+	// Workers is the number of concurrently executing tasks — the
+	// simulated machine pool (default 4).
+	Workers int
+	// MaxAttempts per task (default 3).
+	MaxAttempts int
+	// Faults optionally injects attempt kills.
+	Faults FaultPlan
+}
+
+func (s Spec) defaulted(inputLen int) Spec {
+	if s.NumMapTasks <= 0 {
+		s.NumMapTasks = inputLen
+		if s.NumMapTasks > 64 {
+			s.NumMapTasks = 64
+		}
+		if s.NumMapTasks == 0 {
+			s.NumMapTasks = 1
+		}
+	}
+	if s.NumMapTasks > inputLen && inputLen > 0 {
+		s.NumMapTasks = inputLen
+	}
+	if s.NumReduceTasks <= 0 {
+		s.NumReduceTasks = 1
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	if s.MaxAttempts <= 0 {
+		s.MaxAttempts = 3
+	}
+	return s
+}
+
+// Counters reports execution statistics.
+type Counters struct {
+	MapAttempts     int64
+	MapFailures     int64
+	ReduceAttempts  int64
+	ReduceFailures  int64
+	RecordsMapped   int64
+	PairsShuffled   int64
+	RecordsReduced  int64
+	OutputRecords   int64
+	WorkersObserved int64 // max concurrently running tasks seen
+}
+
+// Result is a completed job's output.
+type Result struct {
+	Output   []Record // sorted by key, then by emission order
+	Counters Counters
+}
+
+// ErrTaskFailed wraps a task that exhausted its attempts.
+var ErrTaskFailed = errors.New("mapreduce: task exhausted attempts")
+
+// Run executes the job. The returned output is sorted by key (stable in
+// emission order within a key).
+func Run(ctx context.Context, spec Spec, input []Record, m Mapper, r Reducer) (Result, error) {
+	spec = spec.defaulted(len(input))
+	var res Result
+
+	// --- Map phase ---
+	splits := contiguousSplits(len(input), spec.NumMapTasks)
+	mapOut := make([][]Record, len(splits)) // committed per task
+	runTask := func(taskCtx context.Context, phase Phase, task int, body func(context.Context, Emit) error, commit func([]Record)) error {
+		for attempt := 0; ; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if phase == MapPhase {
+				atomic.AddInt64(&res.Counters.MapAttempts, 1)
+			} else {
+				atomic.AddInt64(&res.Counters.ReduceAttempts, 1)
+			}
+			attemptCtx := taskCtx
+			var cancel context.CancelFunc
+			if spec.Faults != nil {
+				if kill, after := spec.Faults(phase, task, attempt); kill {
+					attemptCtx, cancel = context.WithCancel(taskCtx)
+					timer := time.AfterFunc(after, cancel)
+					defer timer.Stop()
+				}
+			}
+			var buf []Record
+			emit := func(k string, v []byte) {
+				cp := make([]byte, len(v))
+				copy(cp, v)
+				buf = append(buf, Record{Key: k, Value: cp})
+			}
+			err := body(attemptCtx, emit)
+			if cancel != nil {
+				cancel()
+			}
+			if err == nil {
+				commit(buf)
+				return nil
+			}
+			if phase == MapPhase {
+				atomic.AddInt64(&res.Counters.MapFailures, 1)
+			} else {
+				atomic.AddInt64(&res.Counters.ReduceFailures, 1)
+			}
+			if attempt+1 >= spec.MaxAttempts {
+				return fmt.Errorf("%s %s task %d: %w (last error: %v)", spec.Name, phase, task, ErrTaskFailed, err)
+			}
+		}
+	}
+
+	var running, maxRunning int64
+	trackStart := func() {
+		cur := atomic.AddInt64(&running, 1)
+		for {
+			prev := atomic.LoadInt64(&maxRunning)
+			if cur <= prev || atomic.CompareAndSwapInt64(&maxRunning, prev, cur) {
+				break
+			}
+		}
+	}
+	trackEnd := func() { atomic.AddInt64(&running, -1) }
+
+	err := runPool(ctx, spec.Workers, len(splits), func(task int) error {
+		trackStart()
+		defer trackEnd()
+		split := splits[task]
+		return runTask(ctx, MapPhase, task, func(actx context.Context, emit Emit) error {
+			for _, rec := range input[split.lo:split.hi] {
+				if err := actx.Err(); err != nil {
+					return err
+				}
+				if err := m.Map(actx, rec, emit); err != nil {
+					return err
+				}
+				atomic.AddInt64(&res.Counters.RecordsMapped, 1)
+			}
+			return nil
+		}, func(buf []Record) { mapOut[task] = buf })
+	})
+	if err != nil {
+		return res, err
+	}
+
+	if r == nil {
+		// Map-only job.
+		for _, buf := range mapOut {
+			res.Output = append(res.Output, buf...)
+		}
+		sortRecords(res.Output)
+		res.Counters.OutputRecords = int64(len(res.Output))
+		res.Counters.WorkersObserved = maxRunning
+		return res, nil
+	}
+
+	// --- Shuffle ---
+	type keyVals struct {
+		key  string
+		vals [][]byte
+	}
+	partitions := make([]map[string][][]byte, spec.NumReduceTasks)
+	for i := range partitions {
+		partitions[i] = make(map[string][][]byte)
+	}
+	for _, buf := range mapOut { // deterministic: task order, then emit order
+		for _, rec := range buf {
+			p := int(keyHash(rec.Key) % uint32(spec.NumReduceTasks))
+			partitions[p][rec.Key] = append(partitions[p][rec.Key], rec.Value)
+			atomic.AddInt64(&res.Counters.PairsShuffled, 1)
+		}
+	}
+	partKeys := make([][]keyVals, spec.NumReduceTasks)
+	for p := range partitions {
+		keys := make([]string, 0, len(partitions[p]))
+		for k := range partitions[p] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			partKeys[p] = append(partKeys[p], keyVals{key: k, vals: partitions[p][k]})
+		}
+	}
+
+	// --- Reduce phase ---
+	redOut := make([][]Record, spec.NumReduceTasks)
+	err = runPool(ctx, spec.Workers, spec.NumReduceTasks, func(task int) error {
+		trackStart()
+		defer trackEnd()
+		return runTask(ctx, ReducePhase, task, func(actx context.Context, emit Emit) error {
+			for _, kv := range partKeys[task] {
+				if err := actx.Err(); err != nil {
+					return err
+				}
+				if err := r.Reduce(actx, kv.key, kv.vals, emit); err != nil {
+					return err
+				}
+				atomic.AddInt64(&res.Counters.RecordsReduced, 1)
+			}
+			return nil
+		}, func(buf []Record) { redOut[task] = buf })
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, buf := range redOut {
+		res.Output = append(res.Output, buf...)
+	}
+	sortRecords(res.Output)
+	res.Counters.OutputRecords = int64(len(res.Output))
+	res.Counters.WorkersObserved = maxRunning
+	return res, nil
+}
+
+type split struct{ lo, hi int }
+
+// contiguousSplits divides [0, n) into k contiguous ranges of near-equal
+// size (never splitting below 1 record except when n < k).
+func contiguousSplits(n, k int) []split {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		k = 1
+	}
+	out := make([]split, 0, k)
+	base := n / k
+	rem := n % k
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, split{lo: lo, hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+func keyHash(k string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(k))
+	return h.Sum32()
+}
+
+func sortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+}
+
+// runPool executes fn(0..n-1) over `workers` goroutines, stopping at the
+// first error.
+func runPool(ctx context.Context, workers, n int, fn func(task int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 0 {
+		return nil
+	}
+	tasks := make(chan int)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				if err := fn(t); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for t := 0; t < n; t++ {
+		select {
+		case tasks <- t:
+		case err := <-errCh:
+			close(tasks)
+			wg.Wait()
+			return err
+		case <-ctx.Done():
+			close(tasks)
+			wg.Wait()
+			return ctx.Err()
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return ctx.Err()
+}

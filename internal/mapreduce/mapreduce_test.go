@@ -1,0 +1,271 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// wordCount is the canonical smoke test.
+func wordCountJob(t *testing.T, spec Spec, docs []string) Result {
+	t.Helper()
+	input := make([]Record, len(docs))
+	for i, d := range docs {
+		input[i] = Record{Key: fmt.Sprintf("doc%d", i), Value: []byte(d)}
+	}
+	m := MapperFunc(func(_ context.Context, rec Record, emit Emit) error {
+		for _, w := range strings.Fields(string(rec.Value)) {
+			emit(w, []byte("1"))
+		}
+		return nil
+	})
+	r := ReducerFunc(func(_ context.Context, key string, values [][]byte, emit Emit) error {
+		emit(key, []byte(strconv.Itoa(len(values))))
+		return nil
+	})
+	res, err := Run(context.Background(), spec, input, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWordCount(t *testing.T) {
+	res := wordCountJob(t, Spec{Name: "wc", NumMapTasks: 3, NumReduceTasks: 4, Workers: 4},
+		[]string{"a b a", "b c", "a"})
+	want := map[string]string{"a": "3", "b": "2", "c": "1"}
+	if len(res.Output) != 3 {
+		t.Fatalf("output = %+v", res.Output)
+	}
+	for _, rec := range res.Output {
+		if want[rec.Key] != string(rec.Value) {
+			t.Fatalf("%s = %s, want %s", rec.Key, rec.Value, want[rec.Key])
+		}
+	}
+	// Output sorted by key.
+	if res.Output[0].Key != "a" || res.Output[2].Key != "c" {
+		t.Fatalf("output not sorted: %+v", res.Output)
+	}
+	if res.Counters.RecordsMapped != 3 || res.Counters.PairsShuffled != 6 {
+		t.Fatalf("counters = %+v", res.Counters)
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	input := []Record{{Key: "x", Value: []byte("1")}, {Key: "y", Value: []byte("2")}}
+	m := MapperFunc(func(_ context.Context, rec Record, emit Emit) error {
+		emit(rec.Key+"!", rec.Value)
+		return nil
+	})
+	res, err := Run(context.Background(), Spec{Name: "mo"}, input, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 2 || res.Output[0].Key != "x!" {
+		t.Fatalf("map-only output: %+v", res.Output)
+	}
+}
+
+func TestIdentityReducer(t *testing.T) {
+	input := []Record{{Key: "k", Value: []byte("v1")}, {Key: "k", Value: []byte("v2")}}
+	m := MapperFunc(func(_ context.Context, rec Record, emit Emit) error {
+		emit(rec.Key, rec.Value)
+		return nil
+	})
+	res, err := Run(context.Background(), Spec{Name: "id"}, input, m, IdentityReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 2 {
+		t.Fatalf("output: %+v", res.Output)
+	}
+}
+
+func TestContiguousSplits(t *testing.T) {
+	tests := []struct {
+		n, k    int
+		wantLen int
+	}{
+		{10, 3, 3}, {3, 10, 3}, {0, 5, 1}, {64, 64, 64},
+	}
+	for _, tt := range tests {
+		splits := contiguousSplits(tt.n, tt.k)
+		if len(splits) != tt.wantLen {
+			t.Fatalf("contiguousSplits(%d,%d) len = %d, want %d", tt.n, tt.k, len(splits), tt.wantLen)
+		}
+		// Contiguity and coverage.
+		pos := 0
+		for _, s := range splits {
+			if s.lo != pos {
+				t.Fatalf("gap at %d: %+v", pos, splits)
+			}
+			pos = s.hi
+		}
+		if pos != tt.n {
+			t.Fatalf("splits cover %d of %d", pos, tt.n)
+		}
+	}
+}
+
+func TestRetryOnTransientError(t *testing.T) {
+	var calls int64
+	m := MapperFunc(func(_ context.Context, rec Record, emit Emit) error {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			return errors.New("transient")
+		}
+		emit(rec.Key, rec.Value)
+		return nil
+	})
+	input := []Record{{Key: "a", Value: []byte("v")}}
+	res, err := Run(context.Background(), Spec{Name: "retry", MaxAttempts: 3}, input, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("output: %+v", res.Output)
+	}
+	if res.Counters.MapFailures != 1 || res.Counters.MapAttempts != 2 {
+		t.Fatalf("counters: %+v", res.Counters)
+	}
+}
+
+func TestNoDuplicateOutputAcrossRetries(t *testing.T) {
+	// The mapper emits, THEN fails on its first attempt: the attempt's
+	// output must be discarded, not duplicated.
+	var attempts int64
+	m := MapperFunc(func(_ context.Context, rec Record, emit Emit) error {
+		emit(rec.Key, rec.Value)
+		if atomic.AddInt64(&attempts, 1) == 1 {
+			return errors.New("die after emitting")
+		}
+		return nil
+	})
+	input := []Record{{Key: "a", Value: []byte("v")}}
+	res, err := Run(context.Background(), Spec{Name: "dup", MaxAttempts: 3}, input, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("retry duplicated output: %+v", res.Output)
+	}
+}
+
+func TestTaskFailsAfterMaxAttempts(t *testing.T) {
+	m := MapperFunc(func(_ context.Context, _ Record, _ Emit) error {
+		return errors.New("always broken")
+	})
+	input := []Record{{Key: "a"}}
+	_, err := Run(context.Background(), Spec{Name: "fail", MaxAttempts: 2}, input, m, nil)
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("err = %v, want ErrTaskFailed", err)
+	}
+}
+
+func TestFaultInjectionKillsAndRecovers(t *testing.T) {
+	// Attempt 0 of map task 0 is killed shortly after start; the retry
+	// succeeds. This is the pre-emptible-VM path.
+	slowMapper := MapperFunc(func(ctx context.Context, rec Record, emit Emit) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(30 * time.Millisecond):
+		}
+		emit(rec.Key, rec.Value)
+		return nil
+	})
+	faults := func(phase Phase, task, attempt int) (bool, time.Duration) {
+		return phase == MapPhase && task == 0 && attempt == 0, 5 * time.Millisecond
+	}
+	input := []Record{{Key: "a", Value: []byte("v")}}
+	res, err := Run(context.Background(), Spec{Name: "faulty", Faults: faults, MaxAttempts: 3}, input, slowMapper, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.MapFailures != 1 {
+		t.Fatalf("expected exactly one injected failure: %+v", res.Counters)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("output after recovery: %+v", res.Output)
+	}
+}
+
+func TestJobContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := MapperFunc(func(ctx context.Context, rec Record, emit Emit) error {
+		return ctx.Err()
+	})
+	input := make([]Record, 100)
+	_, err := Run(ctx, Spec{Name: "cancelled"}, input, m, nil)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestWorkerLimitRespected(t *testing.T) {
+	var running, maxSeen int64
+	m := MapperFunc(func(_ context.Context, rec Record, emit Emit) error {
+		cur := atomic.AddInt64(&running, 1)
+		for {
+			prev := atomic.LoadInt64(&maxSeen)
+			if cur <= prev || atomic.CompareAndSwapInt64(&maxSeen, prev, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		atomic.AddInt64(&running, -1)
+		return nil
+	})
+	input := make([]Record, 20)
+	for i := range input {
+		input[i] = Record{Key: fmt.Sprintf("%d", i)}
+	}
+	_, err := Run(context.Background(), Spec{Name: "limit", NumMapTasks: 20, Workers: 3}, input, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&maxSeen); got > 3 {
+		t.Fatalf("observed %d concurrent tasks, limit 3", got)
+	}
+}
+
+func TestDeterministicOutputOrder(t *testing.T) {
+	docs := []string{"z y x", "c b a", "m n o p"}
+	a := wordCountJob(t, Spec{Name: "d", NumMapTasks: 3, NumReduceTasks: 2, Workers: 4}, docs)
+	b := wordCountJob(t, Spec{Name: "d", NumMapTasks: 3, NumReduceTasks: 2, Workers: 1}, docs)
+	if len(a.Output) != len(b.Output) {
+		t.Fatal("lengths differ across worker counts")
+	}
+	for i := range a.Output {
+		if a.Output[i].Key != b.Output[i].Key || string(a.Output[i].Value) != string(b.Output[i].Value) {
+			t.Fatalf("output %d differs: %+v vs %+v", i, a.Output[i], b.Output[i])
+		}
+	}
+}
+
+func TestEmitCopiesValues(t *testing.T) {
+	buf := []byte("abc")
+	m := MapperFunc(func(_ context.Context, rec Record, emit Emit) error {
+		emit("k", buf)
+		buf[0] = 'X' // mutation after emit must not corrupt output
+		return nil
+	})
+	res, err := Run(context.Background(), Spec{Name: "copy"}, []Record{{Key: "r"}}, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output[0].Value) != "abc" {
+		t.Fatalf("emit aliased caller buffer: %q", res.Output[0].Value)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if MapPhase.String() != "map" || ReducePhase.String() != "reduce" {
+		t.Fatal("phase strings")
+	}
+}

@@ -1,0 +1,157 @@
+// Package pipeline orchestrates Sigmund's daily production cycle (Section
+// IV, Figures 4 and 5): sweep planning emits config records; the training
+// MapReduce trains and evaluates one model per config record on
+// pre-emptible workers with wall-clock checkpointing; model selection picks
+// each retailer's best model; the inference MapReduce materializes top-K
+// recommendations with retailers bin-packed across cells; and the serving
+// snapshot is swapped in one batch update.
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/interactions"
+)
+
+// Training data and holdout sets are materialized into the shared
+// filesystem — the paper migrates training data to whichever data center
+// runs the job — using a compact binary encoding.
+
+const logMagic = "SLOG"
+
+// EncodeLog serializes a log's events.
+func EncodeLog(l *interactions.Log) []byte {
+	events := l.Events()
+	var buf bytes.Buffer
+	buf.Grow(8 + 17*len(events))
+	buf.WriteString(logMagic)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(events)))
+	buf.Write(b8[:4])
+	for _, e := range events {
+		binary.LittleEndian.PutUint32(b8[:4], uint32(e.User))
+		buf.Write(b8[:4])
+		binary.LittleEndian.PutUint32(b8[:4], uint32(e.Item))
+		buf.Write(b8[:4])
+		buf.WriteByte(byte(e.Type))
+		binary.LittleEndian.PutUint64(b8[:], uint64(e.Time))
+		buf.Write(b8[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodeLog reverses EncodeLog.
+func DecodeLog(data []byte) (*interactions.Log, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != logMagic {
+		return nil, fmt.Errorf("pipeline: bad log encoding (magic %q, err %v)", magic, err)
+	}
+	var b8 [8]byte
+	if _, err := io.ReadFull(r, b8[:4]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(b8[:4]))
+	l := interactions.NewLog()
+	for i := 0; i < n; i++ {
+		var e interactions.Event
+		if _, err := io.ReadFull(r, b8[:4]); err != nil {
+			return nil, fmt.Errorf("pipeline: truncated log at event %d: %w", i, err)
+		}
+		e.User = interactions.UserID(binary.LittleEndian.Uint32(b8[:4]))
+		if _, err := io.ReadFull(r, b8[:4]); err != nil {
+			return nil, err
+		}
+		e.Item = catalog.ItemID(binary.LittleEndian.Uint32(b8[:4]))
+		t, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		e.Type = interactions.EventType(t)
+		if _, err := io.ReadFull(r, b8[:]); err != nil {
+			return nil, err
+		}
+		e.Time = int64(binary.LittleEndian.Uint64(b8[:]))
+		l.Append(e)
+	}
+	return l, nil
+}
+
+// EncodeHoldout serializes holdout examples as JSON lines (they are small
+// and diagnosable; the hot path is training data, not holdout).
+func EncodeHoldout(h []interactions.HoldoutExample) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ex := range h {
+		enc.Encode(ex)
+	}
+	return buf.Bytes()
+}
+
+// DecodeHoldout reverses EncodeHoldout.
+func DecodeHoldout(data []byte) ([]interactions.HoldoutExample, error) {
+	var out []interactions.HoldoutExample
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ex interactions.HoldoutExample
+		if err := json.Unmarshal(sc.Bytes(), &ex); err != nil {
+			return nil, fmt.Errorf("pipeline: decoding holdout: %w", err)
+		}
+		out = append(out, ex)
+	}
+	return out, sc.Err()
+}
+
+// EncodeConfigRecord / DecodeConfigRecord move config records through
+// MapReduce values and filesystem files as JSON.
+func EncodeConfigRecord(c modelselect.ConfigRecord) []byte {
+	data, err := json.Marshal(c)
+	if err != nil {
+		// ConfigRecord contains only marshalable fields; this is a bug.
+		panic(fmt.Sprintf("pipeline: encoding config record: %v", err))
+	}
+	return data
+}
+
+// DecodeConfigRecord reverses EncodeConfigRecord.
+func DecodeConfigRecord(data []byte) (modelselect.ConfigRecord, error) {
+	var c modelselect.ConfigRecord
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("pipeline: decoding config record: %w", err)
+	}
+	return c, nil
+}
+
+// Shared-filesystem layout helpers. All paths are rooted per day so a
+// failed day can be debugged and GCed wholesale.
+
+func trainDataPath(day int, r catalog.RetailerID) string {
+	return fmt.Sprintf("days/%d/data/%s/train", day, r)
+}
+
+func holdoutPath(day int, r catalog.RetailerID) string {
+	return fmt.Sprintf("days/%d/data/%s/holdout", day, r)
+}
+
+func modelPath(day int, modelID string) string {
+	return fmt.Sprintf("days/%d/models/%s", day, modelID)
+}
+
+func checkpointBase(day int, modelID string) string {
+	return fmt.Sprintf("days/%d/ckpt/%s", day, modelID)
+}
+
+func recordsPath(day int, cell int) string {
+	return fmt.Sprintf("days/%d/records/cell-%d", day, cell)
+}

@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/core/candidates"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/interactions"
+	"sigmund/internal/serving"
+)
+
+// runInference materializes recommendations for every retailer with a
+// trained model and publishes one batch snapshot (Figure 5's schematic).
+// Retailers are bin-packed across cells by inventory size — greedy
+// first-fit, the paper's heuristic — and cells run concurrently.
+func (p *Pipeline) runInference(
+	ctx context.Context,
+	day int,
+	ids []catalog.RetailerID,
+	tenants []*Tenant,
+	byRetailer map[catalog.RetailerID][]modelselect.ConfigRecord,
+	reports map[catalog.RetailerID]*RetailerReport,
+) error {
+	// Only retailers with a usable best model are materialized.
+	type job struct {
+		id     catalog.RetailerID
+		tenant *Tenant
+		best   modelselect.ConfigRecord
+	}
+	var jobs []job
+	var weights []float64
+	for i, id := range ids {
+		best, ok := modelselect.Best(byRetailer[id])
+		if !ok {
+			continue
+		}
+		jobs = append(jobs, job{id: id, tenant: tenants[i], best: best})
+		weights = append(weights, float64(tenants[i].Catalog.NumItems()))
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	assign := inference.Partition(weights, p.opts.Cells, inference.GreedyFirstFit)
+
+	perRetailer := make(map[catalog.RetailerID][]inference.ItemRecs, len(jobs))
+	pop := make(map[catalog.RetailerID][]catalog.ItemID, len(jobs))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for cell := 0; cell < p.opts.Cells; cell++ {
+		var mine []job
+		for i, j := range jobs {
+			if assign.Bin[i] == cell {
+				mine = append(mine, j)
+			}
+		}
+		if len(mine) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(cell int, mine []job) {
+			defer wg.Done()
+			for _, j := range mine {
+				recs, sellers, err := p.inferRetailer(ctx, j.tenant, j.best)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("inference for %s (cell %d): %w", j.id, cell, err)
+					}
+					mu.Unlock()
+					return
+				}
+				perRetailer[j.id] = recs
+				pop[j.id] = sellers
+				if rep := reports[j.id]; rep != nil {
+					rep.ItemsServed = len(recs)
+				}
+				mu.Unlock()
+			}
+		}(cell, mine)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	snap := serving.BuildSnapshot(int64(day+1), perRetailer, pop)
+	p.server.Publish(snap)
+	return nil
+}
+
+// inferRetailer materializes one retailer: load the best model, assemble
+// the hybrid recommender over fresh co-occurrence/stats/candidates, and run
+// the per-item job.
+func (p *Pipeline) inferRetailer(ctx context.Context, t *Tenant, best modelselect.ConfigRecord) ([]inference.ItemRecs, []catalog.ItemID, error) {
+	model, err := p.loadModelFrom(best.ModelPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cat := t.Catalog
+	if model.NumItems < cat.NumItems() {
+		// Items added after training still need serving coverage: grow the
+		// model with cold random embeddings (features carry them).
+		if err := model.ExpandToCatalog(cat, warmStartRNG(best)); err != nil {
+			return nil, nil, err
+		}
+	}
+	cooc := cooccur.FromLog(t.Log, cat.NumItems(), cooccur.DefaultWindow)
+	stats := interactions.ComputeItemStats(t.Log, cat.NumItems())
+	sel := candidates.NewSelector(cat, cooc)
+	sel.Repurchase = candidates.ComputeRepurchase(t.Log, cat, 0.3)
+	rec := hybrid.NewRecommender(cooc, model, sel, stats)
+	rec.HeadMinEvents = p.opts.HeadMinEvents
+	rec.TopK = p.opts.InferTopK
+
+	items, err := inference.Materialize(ctx, rec, cat, inference.Options{
+		TopK:             p.opts.InferTopK,
+		Workers:          p.opts.InferWorkers,
+		SkipOutOfStock:   true,
+		LateFunnelFacets: p.opts.LateFunnelFacets,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Popularity fallback list for contextless users.
+	var sellers []catalog.ItemID
+	for _, id := range stats.PopularityOrder() {
+		if !cat.Item(id).InStock {
+			continue
+		}
+		sellers = append(sellers, id)
+		if len(sellers) == 50 {
+			break
+		}
+	}
+	return items, sellers, nil
+}

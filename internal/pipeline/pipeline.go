@@ -1,0 +1,366 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/eval"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/dfs"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+	"sigmund/internal/mapreduce"
+	"sigmund/internal/serving"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	// Grid is the hyper-parameter search space (pruned per retailer by
+	// feature coverage before expansion).
+	Grid modelselect.Grid
+	// BaseHyper supplies values for dimensions the grid does not sweep.
+	BaseHyper bpr.Hyperparams
+
+	// FullEpochs / IncrementalEpochs: training lengths for full sweeps and
+	// warm-started incremental runs (incremental converges much faster).
+	FullEpochs        int
+	IncrementalEpochs int
+	// TopKIncremental is how many of yesterday's best configs the
+	// incremental sweep re-trains (paper: 3-5).
+	TopKIncremental int
+	// FullRestartEvery forces a periodic full sweep (in days) so models
+	// only reflect recent history — the terms-of-service constraint from
+	// Section III-C3. 0 disables.
+	FullRestartEvery int
+
+	// TrainWorkers is the number of concurrent training tasks per cell
+	// ("machines"); TrainThreads is Hogwild parallelism within one model.
+	TrainWorkers int
+	TrainThreads int
+	// Cells splits training and inference work across simulated data
+	// centers.
+	Cells int
+
+	// CheckpointEvery is the wall-clock checkpoint interval during
+	// training (Section IV-B3). 0 disables checkpointing.
+	CheckpointEvery time.Duration
+
+	// SampleMAPOverItems switches holdout evaluation to 10%-sampled MAP
+	// for retailers with more items than this (paper Section III-C2).
+	SampleMAPOverItems int
+
+	// InferTopK is the number of recommendations materialized per item.
+	InferTopK int
+	// InferWorkers is the parallelism of each retailer's inference job.
+	InferWorkers int
+	// HeadMinEvents is the hybrid recommender's popularity threshold.
+	HeadMinEvents int
+	// LateFunnelFacets enables materializing the facet-constrained
+	// late-funnel surface (nil = off).
+	LateFunnelFacets []string
+
+	// Faults optionally injects preemptions into the training MapReduce.
+	Faults mapreduce.FaultPlan
+
+	// MinFeatureCoverage is the feature-selection pruning threshold
+	// (paper: ~0.1 for brand coverage).
+	MinFeatureCoverage float64
+
+	// KeepDays garbage-collects a day's staged data, checkpoints, models,
+	// and records from the shared filesystem once it is this many days old
+	// (the paper's terms-of-service posture: only recent history is
+	// retained). Incremental warm starts only ever read yesterday's
+	// models, so KeepDays >= 2 is always safe. 0 keeps everything.
+	KeepDays int
+
+	Seed uint64
+}
+
+// Defaulted fills zero fields.
+func (o Options) Defaulted() Options {
+	if o.Grid.Size() <= 1 && len(o.Grid.Factors) == 0 {
+		o.Grid = modelselect.DefaultGrid()
+	}
+	if o.BaseHyper.Factors == 0 {
+		o.BaseHyper = bpr.DefaultHyperparams()
+	}
+	if o.FullEpochs <= 0 {
+		o.FullEpochs = 10
+	}
+	if o.IncrementalEpochs <= 0 {
+		o.IncrementalEpochs = 3
+	}
+	if o.TopKIncremental <= 0 {
+		o.TopKIncremental = 3
+	}
+	if o.TrainWorkers <= 0 {
+		o.TrainWorkers = 4
+	}
+	if o.TrainThreads <= 0 {
+		o.TrainThreads = 2
+	}
+	if o.Cells <= 0 {
+		o.Cells = 1
+	}
+	if o.SampleMAPOverItems <= 0 {
+		o.SampleMAPOverItems = 5000
+	}
+	if o.InferTopK <= 0 {
+		o.InferTopK = 10
+	}
+	if o.InferWorkers <= 0 {
+		o.InferWorkers = 4
+	}
+	if o.HeadMinEvents <= 0 {
+		o.HeadMinEvents = 30
+	}
+	if o.MinFeatureCoverage <= 0 {
+		o.MinFeatureCoverage = 0.1
+	}
+	return o
+}
+
+// Tenant is one retailer's registered state.
+type Tenant struct {
+	Catalog *catalog.Catalog
+	Log     *interactions.Log
+	// isNew marks retailers that have never been through a sweep; they get
+	// a full grid search regardless of the day (Section IV-A).
+	isNew bool
+}
+
+// Pipeline runs the daily cycle for a fleet of tenants.
+type Pipeline struct {
+	fs     *dfs.FS
+	server *serving.Server
+	opts   Options
+
+	mu      sync.Mutex
+	tenants map[catalog.RetailerID]*Tenant
+	order   []catalog.RetailerID // deterministic iteration
+	day     int
+	// lastRecords holds each retailer's trained config records from the
+	// previous sweep, for incremental planning.
+	lastRecords map[catalog.RetailerID][]modelselect.ConfigRecord
+}
+
+// New creates a pipeline writing to fs and publishing to server (server
+// may be nil if only training is wanted).
+func New(fs *dfs.FS, server *serving.Server, opts Options) *Pipeline {
+	return &Pipeline{
+		fs:          fs,
+		server:      server,
+		opts:        opts.Defaulted(),
+		tenants:     make(map[catalog.RetailerID]*Tenant),
+		lastRecords: make(map[catalog.RetailerID][]modelselect.ConfigRecord),
+	}
+}
+
+// AddRetailer registers a tenant. New retailers receive a full grid sweep
+// on their first cycle even when the fleet is running incrementally.
+func (p *Pipeline) AddRetailer(cat *catalog.Catalog, log *interactions.Log) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.tenants[cat.Retailer]; ok {
+		panic(fmt.Sprintf("pipeline: retailer %s already registered", cat.Retailer))
+	}
+	p.tenants[cat.Retailer] = &Tenant{Catalog: cat, Log: log, isNew: true}
+	p.order = append(p.order, cat.Retailer)
+	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+}
+
+// Tenant returns a registered tenant (nil if unknown).
+func (p *Pipeline) Tenant(r catalog.RetailerID) *Tenant {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tenants[r]
+}
+
+// NumTenants returns the number of registered retailers.
+func (p *Pipeline) NumTenants() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.tenants)
+}
+
+// Day returns the number of completed daily cycles.
+func (p *Pipeline) Day() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.day
+}
+
+// RetailerReport summarizes one retailer's daily cycle.
+type RetailerReport struct {
+	Retailer      catalog.RetailerID
+	FullSweep     bool
+	ConfigsPlaned int
+	ConfigsOK     int
+	BestMAP       float64
+	BestModelID   string
+	ItemsServed   int
+}
+
+// DayReport summarizes a full daily cycle.
+type DayReport struct {
+	Day            int
+	Retailers      []RetailerReport
+	TrainCounters  mapreduce.Counters
+	TrainWall      time.Duration
+	InferWall      time.Duration
+	SnapshotPushed bool
+}
+
+// BestMAP returns the fleet-average best MAP.
+func (d DayReport) BestMAP() float64 {
+	if len(d.Retailers) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range d.Retailers {
+		s += r.BestMAP
+	}
+	return s / float64(len(d.Retailers))
+}
+
+// RunDay executes one full cycle: sweep -> train -> select -> infer ->
+// publish. It is the programmatic equivalent of the daily production run.
+func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
+	p.mu.Lock()
+	day := p.day
+	tenants := make([]*Tenant, 0, len(p.tenants))
+	ids := append([]catalog.RetailerID(nil), p.order...)
+	for _, id := range ids {
+		tenants = append(tenants, p.tenants[id])
+	}
+	p.mu.Unlock()
+
+	report := DayReport{Day: day}
+	if len(tenants) == 0 {
+		p.mu.Lock()
+		p.day++
+		p.mu.Unlock()
+		return report, nil
+	}
+
+	// --- Stage data + plan sweeps ---
+	rng := linalg.NewRNG(p.opts.Seed ^ uint64(day)*0x9e37)
+	var allRecords []modelselect.ConfigRecord
+	perRetailer := map[catalog.RetailerID]*RetailerReport{}
+	for i, t := range tenants {
+		r := ids[i]
+		split := interactions.HoldoutSplit(t.Log, p.opts.BaseHyper.ContextLen)
+		if err := p.writeWithRetry(trainDataPath(day, r), EncodeLog(split.Train)); err != nil {
+			return report, fmt.Errorf("staging training data for %s: %w", r, err)
+		}
+		if err := p.writeWithRetry(holdoutPath(day, r), EncodeHoldout(split.Holdout)); err != nil {
+			return report, fmt.Errorf("staging holdout for %s: %w", r, err)
+		}
+
+		full := t.isNew || (p.opts.FullRestartEvery > 0 && day%p.opts.FullRestartEvery == 0) || len(p.lastRecords[r]) == 0
+		var recs []modelselect.ConfigRecord
+		if full {
+			grid := p.opts.Grid.PruneForRetailer(t.Catalog, p.opts.MinFeatureCoverage)
+			recs = modelselect.PlanFull(r, grid, p.opts.BaseHyper, trainDataPath(day, r), p.opts.FullEpochs)
+			for j := range recs {
+				recs[j].ModelPath = modelPath(day, recs[j].ModelID)
+			}
+		} else {
+			recs = modelselect.PlanIncremental(p.lastRecords[r], p.opts.TopKIncremental, p.opts.IncrementalEpochs)
+			for j := range recs {
+				recs[j].TrainDataPath = trainDataPath(day, r)
+				recs[j].WarmStartPath = recs[j].ModelPath // yesterday's model
+				recs[j].ModelPath = modelPath(day, recs[j].ModelID)
+			}
+		}
+		perRetailer[r] = &RetailerReport{Retailer: r, FullSweep: full, ConfigsPlaned: len(recs)}
+		allRecords = append(allRecords, recs...)
+		t.isNew = false
+	}
+
+	// Random permutation of config records balances work across shards
+	// (Section IV-B1).
+	rng.Shuffle(len(allRecords), func(i, j int) {
+		allRecords[i], allRecords[j] = allRecords[j], allRecords[i]
+	})
+
+	// --- Training: one MapReduce per cell ---
+	trainStart := time.Now()
+	outRecords, counters, err := p.runTraining(ctx, day, allRecords)
+	if err != nil {
+		return report, err
+	}
+	report.TrainCounters = counters
+	report.TrainWall = time.Since(trainStart)
+
+	// --- Model selection ---
+	byRetailer := modelselect.GroupByRetailer(outRecords)
+	p.mu.Lock()
+	for r, recs := range byRetailer {
+		p.lastRecords[r] = recs
+		rep := perRetailer[r]
+		for _, rec := range recs {
+			if rec.Trained && rec.Err == "" {
+				rep.ConfigsOK++
+			}
+		}
+		if best, ok := modelselect.Best(recs); ok {
+			rep.BestMAP = best.Metrics.MAP
+			rep.BestModelID = best.ModelID
+		}
+	}
+	p.mu.Unlock()
+
+	// --- Inference + serving push ---
+	inferStart := time.Now()
+	if p.server != nil {
+		if err := p.runInference(ctx, day, ids, tenants, byRetailer, perRetailer); err != nil {
+			return report, err
+		}
+		report.SnapshotPushed = true
+	}
+	report.InferWall = time.Since(inferStart)
+
+	for _, id := range ids {
+		report.Retailers = append(report.Retailers, *perRetailer[id])
+	}
+
+	// Storage GC: drop whole expired days (data, checkpoints, models,
+	// records live under one prefix per day, so this is a single sweep).
+	if p.opts.KeepDays > 0 && day-p.opts.KeepDays >= 0 {
+		p.fs.DeletePrefix(fmt.Sprintf("days/%d/", day-p.opts.KeepDays))
+	}
+
+	p.mu.Lock()
+	p.day++
+	p.mu.Unlock()
+	return report, nil
+}
+
+// writeWithRetry writes a file with a few attempts — the shared filesystem
+// is replicated and an individual write can fail transiently; staging the
+// day's inputs must ride through that.
+func (p *Pipeline) writeWithRetry(path string, data []byte) error {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if err = p.fs.Write(path, data); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// evalOptionsFor applies the paper's CPU-saving rule: approximate MAP on a
+// 10% item sample for very large retailers, exact for everyone else.
+func (p *Pipeline) evalOptionsFor(numItems int) eval.Options {
+	opts := eval.DefaultOptions()
+	if numItems > p.opts.SampleMAPOverItems {
+		opts.SampleFraction = 0.10
+	}
+	return opts
+}

@@ -1,0 +1,445 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/dfs"
+	"sigmund/internal/interactions"
+	"sigmund/internal/mapreduce"
+	"sigmund/internal/serving"
+	"sigmund/internal/synth"
+	"sigmund/internal/taxonomy"
+)
+
+func testOptions() Options {
+	return Options{
+		Grid:              modelselect.SmallGrid(),
+		BaseHyper:         bpr.DefaultHyperparams(),
+		FullEpochs:        4,
+		IncrementalEpochs: 2,
+		TopKIncremental:   2,
+		TrainWorkers:      4,
+		TrainThreads:      1,
+		Cells:             2,
+		InferTopK:         5,
+		InferWorkers:      2,
+		HeadMinEvents:     20,
+		Seed:              1,
+	}
+}
+
+func smallFleet(t testing.TB, n int, seed uint64) []*synth.Retailer {
+	t.Helper()
+	return synth.GenerateFleet(synth.FleetSpec{
+		NumRetailers: n, MinItems: 40, MaxItems: 120,
+		UsersPerItem: 1.0, EventsPerUserMean: 10, Seed: seed,
+	})
+}
+
+func TestEncodeDecodeLog(t *testing.T) {
+	r := synth.GenerateRetailer(synth.RetailerSpec{NumItems: 50, NumUsers: 30, Seed: 3})
+	data := EncodeLog(r.Log)
+	got, err := DecodeLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != r.Log.Len() {
+		t.Fatalf("lengths differ: %d vs %d", got.Len(), r.Log.Len())
+	}
+	a, b := r.Log.Events(), got.Events()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if _, err := DecodeLog([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := DecodeLog(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated log decoded")
+	}
+}
+
+func TestEncodeDecodeHoldout(t *testing.T) {
+	h := []interactions.HoldoutExample{
+		{User: 3, Item: 7, Context: interactions.Context{{Type: interactions.View, Item: 1}}},
+		{User: 4, Item: 9, Context: nil},
+	}
+	got, err := DecodeHoldout(EncodeHoldout(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Item != 7 || got[0].Context[0].Item != 1 || got[1].User != 4 {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	if _, err := DecodeHoldout([]byte("{bad json\n")); err == nil {
+		t.Fatal("bad holdout decoded")
+	}
+}
+
+func TestEncodeDecodeConfigRecord(t *testing.T) {
+	rec := modelselect.ConfigRecord{
+		Retailer: "r", ModelID: "r/x", Hyper: bpr.DefaultHyperparams(),
+		TrainDataPath: "p", ModelPath: "m", Epochs: 5,
+	}
+	got, err := DecodeConfigRecord(EncodeConfigRecord(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelID != rec.ModelID || got.Hyper != rec.Hyper {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	if _, err := DecodeConfigRecord([]byte("nope")); err == nil {
+		t.Fatal("bad record decoded")
+	}
+}
+
+func TestRunDayFullCycle(t *testing.T) {
+	fs := dfs.New()
+	server := serving.NewServer()
+	p := New(fs, server, testOptions())
+	fleet := smallFleet(t, 3, 71)
+	for _, r := range fleet {
+		p.AddRetailer(r.Catalog, r.Log)
+	}
+	if p.NumTenants() != 3 {
+		t.Fatalf("tenants = %d", p.NumTenants())
+	}
+
+	report, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Retailers) != 3 {
+		t.Fatalf("report covers %d retailers", len(report.Retailers))
+	}
+	grid := modelselect.SmallGrid().Size()
+	for _, rr := range report.Retailers {
+		if !rr.FullSweep {
+			t.Fatalf("%s: first day must be a full sweep", rr.Retailer)
+		}
+		if rr.ConfigsPlaned != grid || rr.ConfigsOK != grid {
+			t.Fatalf("%s: configs %d/%d, want %d trained", rr.Retailer, rr.ConfigsOK, rr.ConfigsPlaned, grid)
+		}
+		if rr.BestMAP <= 0 || rr.BestModelID == "" {
+			t.Fatalf("%s: no best model selected: %+v", rr.Retailer, rr)
+		}
+		if rr.ItemsServed == 0 {
+			t.Fatalf("%s: nothing materialized", rr.Retailer)
+		}
+	}
+	if !report.SnapshotPushed || server.Version() != 1 {
+		t.Fatalf("snapshot not pushed: %+v, version %d", report, server.Version())
+	}
+	if p.Day() != 1 {
+		t.Fatalf("Day = %d", p.Day())
+	}
+
+	// Models live in the shared filesystem.
+	if len(fs.List("days/0/models/")) != 3*grid {
+		t.Fatalf("models persisted: %v", fs.List("days/0/models/"))
+	}
+	// Checkpoints were cleaned after success.
+	for _, path := range fs.List("days/0/ckpt/") {
+		t.Fatalf("leftover checkpoint %s", path)
+	}
+
+	// The snapshot actually answers requests.
+	r0 := fleet[0]
+	stats := interactions.ComputeItemStats(r0.Log, r0.Catalog.NumItems())
+	popular := stats.PopularityOrder()[0]
+	recs := server.Recommend(r0.Catalog.Retailer, interactions.Context{{Type: interactions.View, Item: popular}}, 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations served for a popular item")
+	}
+}
+
+func TestSecondDayIsIncremental(t *testing.T) {
+	fs := dfs.New()
+	server := serving.NewServer()
+	opts := testOptions()
+	p := New(fs, server, opts)
+	fleet := smallFleet(t, 2, 72)
+	for _, r := range fleet {
+		p.AddRetailer(r.Catalog, r.Log)
+	}
+	if _, err := p.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	report, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range report.Retailers {
+		if rr.FullSweep {
+			t.Fatalf("%s: second day should be incremental", rr.Retailer)
+		}
+		if rr.ConfigsPlaned != opts.TopKIncremental {
+			t.Fatalf("%s: incremental planned %d configs, want %d", rr.Retailer, rr.ConfigsPlaned, opts.TopKIncremental)
+		}
+		if rr.BestMAP <= 0 {
+			t.Fatalf("%s: incremental produced no model", rr.Retailer)
+		}
+	}
+	if server.Version() != 2 {
+		t.Fatalf("snapshot version = %d", server.Version())
+	}
+}
+
+func TestNewRetailerGetsFullSweepMidFleet(t *testing.T) {
+	fs := dfs.New()
+	p := New(fs, serving.NewServer(), testOptions())
+	fleet := smallFleet(t, 2, 73)
+	p.AddRetailer(fleet[0].Catalog, fleet[0].Log)
+	if _, err := p.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Second retailer signs up after day 0.
+	p.AddRetailer(fleet[1].Catalog, fleet[1].Log)
+	report, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldRep, newRep *RetailerReport
+	for i := range report.Retailers {
+		if report.Retailers[i].Retailer == fleet[0].Catalog.Retailer {
+			oldRep = &report.Retailers[i]
+		} else {
+			newRep = &report.Retailers[i]
+		}
+	}
+	if oldRep == nil || newRep == nil {
+		t.Fatal("missing reports")
+	}
+	if oldRep.FullSweep {
+		t.Fatal("existing retailer re-swept")
+	}
+	if !newRep.FullSweep {
+		t.Fatal("new retailer did not get a full sweep")
+	}
+}
+
+func TestFullRestartEvery(t *testing.T) {
+	opts := testOptions()
+	opts.FullRestartEvery = 2
+	p := New(dfs.New(), serving.NewServer(), opts)
+	fleet := smallFleet(t, 1, 74)
+	p.AddRetailer(fleet[0].Catalog, fleet[0].Log)
+	sweeps := []bool{}
+	for day := 0; day < 4; day++ {
+		report, err := p.RunDay(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweeps = append(sweeps, report.Retailers[0].FullSweep)
+	}
+	// Day 0 full (new), day 1 incremental, day 2 full (restart), day 3 incremental.
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if sweeps[i] != want[i] {
+			t.Fatalf("sweep pattern = %v, want %v", sweeps, want)
+		}
+	}
+}
+
+func TestTrainingSurvivesInjectedPreemptions(t *testing.T) {
+	opts := testOptions()
+	opts.CheckpointEvery = 5 * time.Millisecond
+	opts.FullEpochs = 6
+	// Kill the first attempt of every third map task shortly after start.
+	opts.Faults = func(phase mapreduce.Phase, task, attempt int) (bool, time.Duration) {
+		return phase == mapreduce.MapPhase && task%3 == 0 && attempt == 0, 3 * time.Millisecond
+	}
+	p := New(dfs.New(), serving.NewServer(), opts)
+	fleet := smallFleet(t, 2, 75)
+	for _, r := range fleet {
+		p.AddRetailer(r.Catalog, r.Log)
+	}
+	report, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TrainCounters.MapFailures == 0 {
+		t.Fatal("fault plan injected no failures")
+	}
+	for _, rr := range report.Retailers {
+		if rr.ConfigsOK != rr.ConfigsPlaned {
+			t.Fatalf("%s: %d/%d configs trained despite retries", rr.Retailer, rr.ConfigsOK, rr.ConfigsPlaned)
+		}
+		if rr.BestMAP <= 0 {
+			t.Fatalf("%s: no model after preemptions", rr.Retailer)
+		}
+	}
+}
+
+func TestCatalogGrowthBetweenDays(t *testing.T) {
+	p := New(dfs.New(), serving.NewServer(), testOptions())
+	fleet := smallFleet(t, 1, 76)
+	r := fleet[0]
+	p.AddRetailer(r.Catalog, r.Log)
+	if _, err := p.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Retailer adds items overnight.
+	before := r.Catalog.NumItems()
+	leaf := r.Catalog.Tax.Leaves()[0]
+	for i := 0; i < 5; i++ {
+		r.Catalog.AddItem(catalog.Item{Name: "new", Category: leaf, InStock: true})
+	}
+	report, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Retailers[0].ItemsServed != before+5 {
+		t.Fatalf("served %d items, want %d", report.Retailers[0].ItemsServed, before+5)
+	}
+}
+
+func TestRunDayEmptyFleet(t *testing.T) {
+	p := New(dfs.New(), serving.NewServer(), testOptions())
+	report, err := p.RunDay(context.Background())
+	if err != nil || len(report.Retailers) != 0 {
+		t.Fatalf("empty fleet: %+v, %v", report, err)
+	}
+	if p.Day() != 1 {
+		t.Fatal("day did not advance")
+	}
+}
+
+func TestAddRetailerDuplicatePanics(t *testing.T) {
+	p := New(dfs.New(), nil, testOptions())
+	b := taxonomy.NewBuilder("r")
+	cat := catalog.New("dup", b.Build())
+	p.AddRetailer(cat, interactions.NewLog())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	p.AddRetailer(cat, interactions.NewLog())
+}
+
+func TestDayReportBestMAP(t *testing.T) {
+	d := DayReport{Retailers: []RetailerReport{{BestMAP: 0.2}, {BestMAP: 0.4}}}
+	if got := d.BestMAP(); got < 0.299 || got > 0.301 {
+		t.Fatalf("BestMAP = %v", got)
+	}
+	if (DayReport{}).BestMAP() != 0 {
+		t.Fatal("empty report BestMAP")
+	}
+}
+
+func TestPathsAreDayScoped(t *testing.T) {
+	if !strings.HasPrefix(trainDataPath(3, "r"), "days/3/") ||
+		!strings.HasPrefix(modelPath(3, "m"), "days/3/") ||
+		!strings.HasPrefix(checkpointBase(3, "m"), "days/3/") ||
+		!strings.HasPrefix(holdoutPath(3, "r"), "days/3/") ||
+		!strings.HasPrefix(recordsPath(3, 1), "days/3/") {
+		t.Fatal("paths not day-scoped")
+	}
+}
+
+func TestPipelineSurvivesFilesystemFailures(t *testing.T) {
+	// Every 6th shared-filesystem write fails (a flaky replica). Staging
+	// retries ride through it; training tasks whose model save fails turn
+	// into error records and the MapReduce retries the task; the day must
+	// still complete with models for every retailer.
+	fs := dfs.New()
+	fs.FailEveryNthWrite(6)
+	server := serving.NewServer()
+	opts := testOptions()
+	opts.CheckpointEvery = 10 * time.Millisecond
+	p := New(fs, server, opts)
+	fleet := smallFleet(t, 2, 77)
+	for _, r := range fleet {
+		p.AddRetailer(r.Catalog, r.Log)
+	}
+	report, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatalf("day failed under write faults: %v", err)
+	}
+	for _, rr := range report.Retailers {
+		if rr.BestMAP <= 0 {
+			t.Fatalf("%s: no model survived the flaky filesystem", rr.Retailer)
+		}
+	}
+	if !report.SnapshotPushed {
+		t.Fatal("no snapshot pushed")
+	}
+}
+
+func TestPipelineLateFunnelMaterialization(t *testing.T) {
+	opts := testOptions()
+	opts.LateFunnelFacets = []string{"color"}
+	server := serving.NewServer()
+	p := New(dfs.New(), server, opts)
+	r := smallFleet(t, 1, 78)[0]
+	// Give items facets so the constrained surface is non-trivial.
+	for i := 0; i < r.Catalog.NumItems(); i++ {
+		it := r.Catalog.Items()[i]
+		color := "black"
+		if i%2 == 1 {
+			color = "red"
+		}
+		it.Facets = map[string]string{"color": color}
+		r.Catalog.Items()[i] = it
+	}
+	p.AddRetailer(r.Catalog, r.Log)
+	if _, err := p.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := server.Snapshot()
+	rr := snap.Retailers[r.Catalog.Retailer]
+	if rr == nil {
+		t.Fatal("retailer missing from snapshot")
+	}
+	withLF := 0
+	for _, ir := range rr.Recs {
+		for _, s := range ir.LateFunnel {
+			if r.Catalog.Item(s.Item).Facets["color"] != r.Catalog.Item(ir.Item).Facets["color"] {
+				t.Fatalf("late-funnel rec %d facet mismatch for query %d", s.Item, ir.Item)
+			}
+		}
+		if len(ir.LateFunnel) > 0 {
+			withLF++
+		}
+	}
+	if withLF == 0 {
+		t.Fatal("no late-funnel surfaces materialized")
+	}
+}
+
+func TestKeepDaysGarbageCollection(t *testing.T) {
+	fs := dfs.New()
+	opts := testOptions()
+	opts.KeepDays = 2
+	p := New(fs, serving.NewServer(), opts)
+	r := smallFleet(t, 1, 79)[0]
+	p.AddRetailer(r.Catalog, r.Log)
+	for day := 0; day < 3; day++ {
+		if _, err := p.RunDay(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After day 2 completes, day 0 is expired; days 1 and 2 remain (day 1
+	// holds the warm-start models day 3 would load).
+	if got := fs.List("days/0/"); len(got) != 0 {
+		t.Fatalf("day 0 not GCed: %v", got)
+	}
+	if got := fs.List("days/1/models/"); len(got) == 0 {
+		t.Fatal("day 1 models GCed too early")
+	}
+	if got := fs.List("days/2/models/"); len(got) == 0 {
+		t.Fatal("current day GCed")
+	}
+	// The next incremental day still works (warm starts come from day 2).
+	if report, err := p.RunDay(context.Background()); err != nil || report.Retailers[0].BestMAP <= 0 {
+		t.Fatalf("day after GC failed: %+v, %v", report, err)
+	}
+}

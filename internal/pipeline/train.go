@@ -1,0 +1,283 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/cooccur"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/eval"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/dfs"
+	"sigmund/internal/linalg"
+	"sigmund/internal/mapreduce"
+)
+
+// runTraining executes the training stage: config records are divided
+// round-robin across cells (after the random permutation), each cell runs
+// an independent MapReduce whose map phase calls Train() on each record,
+// and the output config records are gathered (Figure 4's schematic).
+func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelselect.ConfigRecord) ([]modelselect.ConfigRecord, mapreduce.Counters, error) {
+	cells := p.opts.Cells
+	perCell := make([][]modelselect.ConfigRecord, cells)
+	for i, rec := range records {
+		perCell[i%cells] = append(perCell[i%cells], rec)
+	}
+
+	// Per-day co-occurrence model cache: many configs share one retailer's
+	// training data, and the heuristic negative sampler wants the same
+	// co-occurrence structure for all of them.
+	coocCache := &coocCache{fs: p.fs, day: day, models: map[catalog.RetailerID]*cooccur.Model{}}
+
+	var (
+		mu       sync.Mutex
+		out      []modelselect.ConfigRecord
+		counters mapreduce.Counters
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for cell := 0; cell < cells; cell++ {
+		if len(perCell[cell]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(cell int, recs []modelselect.ConfigRecord) {
+			defer wg.Done()
+			cellOut, c, err := p.runTrainingCell(ctx, day, cell, recs, coocCache)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("training cell %d: %w", cell, err)
+				return
+			}
+			out = append(out, cellOut...)
+			counters.MapAttempts += c.MapAttempts
+			counters.MapFailures += c.MapFailures
+			counters.RecordsMapped += c.RecordsMapped
+			counters.OutputRecords += c.OutputRecords
+		}(cell, perCell[cell])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, counters, firstErr
+	}
+	return out, counters, nil
+}
+
+func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []modelselect.ConfigRecord, cache *coocCache) ([]modelselect.ConfigRecord, mapreduce.Counters, error) {
+	input := make([]mapreduce.Record, len(recs))
+	for i, rec := range recs {
+		input[i] = mapreduce.Record{Key: rec.ModelID, Value: EncodeConfigRecord(rec)}
+	}
+	mapper := mapreduce.MapperFunc(func(mctx context.Context, r mapreduce.Record, emit mapreduce.Emit) error {
+		rec, err := DecodeConfigRecord(r.Value)
+		if err != nil {
+			return err
+		}
+		outRec, err := p.trainOne(mctx, day, rec, cache)
+		if err != nil {
+			// Context/injected-preemption errors propagate so the framework
+			// re-executes the task (resuming from the checkpoint). Anything
+			// else becomes an error record: one broken config must not sink
+			// the fleet's day.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			outRec = rec
+			outRec.Trained = false
+			outRec.Err = err.Error()
+		}
+		emit(string(outRec.Retailer), EncodeConfigRecord(outRec))
+		return nil
+	})
+	spec := mapreduce.Spec{
+		Name: fmt.Sprintf("train/day-%d/cell-%d", day, cell),
+		// One config record per map task: a model trains on one "machine"
+		// at a time (Section IV-B2), with Hogwild threads inside.
+		NumMapTasks:    len(input),
+		NumReduceTasks: 4,
+		Workers:        p.opts.TrainWorkers,
+		Faults:         p.opts.Faults,
+		MaxAttempts:    5,
+	}
+	res, err := mapreduce.Run(ctx, spec, input, mapper, mapreduce.IdentityReducer)
+	if err != nil {
+		return nil, res.Counters, err
+	}
+	out := make([]modelselect.ConfigRecord, 0, len(res.Output))
+	var persist bytes.Buffer
+	for _, kv := range res.Output {
+		rec, err := DecodeConfigRecord(kv.Value)
+		if err != nil {
+			return nil, res.Counters, err
+		}
+		out = append(out, rec)
+		persist.Write(kv.Value)
+		persist.WriteByte('\n')
+	}
+	// Persist the cell's output records for inspection and recovery.
+	if err := p.writeWithRetry(recordsPath(day, cell), persist.Bytes()); err != nil {
+		return nil, res.Counters, err
+	}
+	return out, res.Counters, nil
+}
+
+// trainOne is the body of one training map task: the Train() function from
+// Section IV-B. It reads the staged data, builds or restores the model
+// (checkpoint first — preemption recovery — then warm start, then fresh),
+// trains with asynchronous wall-clock checkpointing, evaluates on the
+// holdout, and persists the final model.
+func (p *Pipeline) trainOne(ctx context.Context, day int, rec modelselect.ConfigRecord, cache *coocCache) (modelselect.ConfigRecord, error) {
+	tenant := p.Tenant(rec.Retailer)
+	if tenant == nil {
+		return rec, fmt.Errorf("unknown retailer %s", rec.Retailer)
+	}
+	cat := tenant.Catalog
+
+	raw, err := p.fs.Read(rec.TrainDataPath)
+	if err != nil {
+		return rec, fmt.Errorf("reading training data: %w", err)
+	}
+	trainLog, err := DecodeLog(raw)
+	if err != nil {
+		return rec, err
+	}
+	rawH, err := p.fs.Read(holdoutPath(day, rec.Retailer))
+	if err != nil {
+		return rec, fmt.Errorf("reading holdout: %w", err)
+	}
+	holdout, err := DecodeHoldout(rawH)
+	if err != nil {
+		return rec, err
+	}
+
+	ds := bpr.NewDataset(trainLog, cat)
+	cooc, err := cache.get(rec.Retailer, rec.TrainDataPath, cat.NumItems())
+	if err != nil {
+		return rec, err
+	}
+
+	ckptBase := checkpointBase(day, rec.ModelID)
+	var model *bpr.Model
+	switch {
+	case p.hasCheckpoint(ckptBase):
+		// A previous attempt of this task was preempted: resume from its
+		// checkpoint rather than starting over.
+		model, err = p.loadModelFrom(mustLatest(p.fs, ckptBase))
+	case rec.WarmStartPath != "" && p.fs.Exists(rec.WarmStartPath):
+		// Incremental run: warm-start from yesterday's model, grow to
+		// cover new items, and reset the Adagrad norms (Section III-C3).
+		model, err = p.loadModelFrom(rec.WarmStartPath)
+		if err == nil {
+			if err = model.ExpandToCatalog(cat, warmStartRNG(rec)); err == nil {
+				model.ResetAdagradNorms()
+			}
+		}
+	default:
+		model, err = bpr.NewModel(rec.Hyper, cat)
+	}
+	if err != nil {
+		return rec, err
+	}
+
+	ckpt := dfs.NewCheckpointer(p.fs, ckptBase)
+	topts := bpr.TrainOptions{
+		Epochs:  rec.Epochs,
+		Threads: p.opts.TrainThreads,
+		Cooc:    cooc,
+	}
+	if p.opts.CheckpointEvery > 0 {
+		topts.CheckpointEvery = p.opts.CheckpointEvery
+		topts.Checkpoint = func(m *bpr.Model) error {
+			_, err := ckpt.Save(func(w io.Writer) error { return m.Save(w) })
+			return err
+		}
+	}
+	if _, err := bpr.Train(ctx, model, ds, topts); err != nil {
+		return rec, err
+	}
+
+	rec.Metrics = eval.Evaluate(model, holdout, cat.NumItems(), p.evalOptionsFor(cat.NumItems()))
+	rec.Trained = true
+
+	// Persist the final model with write-then-rename visibility, then GC
+	// the checkpoints.
+	tmp := rec.ModelPath + ".tmp"
+	w := p.fs.Create(tmp)
+	if err := model.Save(w); err != nil {
+		return rec, fmt.Errorf("saving model: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return rec, err
+	}
+	if err := p.fs.Rename(tmp, rec.ModelPath); err != nil {
+		return rec, err
+	}
+	ckpt.Clean()
+	return rec, nil
+}
+
+func (p *Pipeline) hasCheckpoint(base string) bool {
+	_, ok := dfs.LatestCheckpoint(p.fs, base)
+	return ok
+}
+
+func mustLatest(fs *dfs.FS, base string) string {
+	path, _ := dfs.LatestCheckpoint(fs, base)
+	return path
+}
+
+func (p *Pipeline) loadModelFrom(path string) (*bpr.Model, error) {
+	r, err := p.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := bpr.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("loading model %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// warmStartRNG derives the RNG used to initialize embeddings for items that
+// appeared since yesterday's model.
+func warmStartRNG(rec modelselect.ConfigRecord) *linalg.RNG {
+	return linalg.NewRNG(rec.Hyper.Seed ^ 0xfeed)
+}
+
+// coocCache builds one co-occurrence model per retailer per day (all grid
+// points share it).
+type coocCache struct {
+	fs  *dfs.FS
+	day int
+
+	mu     sync.Mutex
+	models map[catalog.RetailerID]*cooccur.Model
+}
+
+func (c *coocCache) get(r catalog.RetailerID, trainPath string, numItems int) (*cooccur.Model, error) {
+	c.mu.Lock()
+	m, ok := c.models[r]
+	c.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	raw, err := c.fs.Read(trainPath)
+	if err != nil {
+		return nil, err
+	}
+	log, err := DecodeLog(raw)
+	if err != nil {
+		return nil, err
+	}
+	m = cooccur.FromLog(log, numItems, cooccur.DefaultWindow)
+	c.mu.Lock()
+	c.models[r] = m
+	c.mu.Unlock()
+	return m, nil
+}

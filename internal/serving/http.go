@@ -1,0 +1,95 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+)
+
+// NewHandler exposes the server over HTTP:
+//
+//	GET /recommend?retailer=shop-1&context=view:3,search:17,cart:9&k=10
+//	GET /healthz
+//	GET /statz
+//
+// The context parameter lists the user's recent actions oldest-first as
+// type:itemID pairs (types: view, search, cart, conversion). Responses are
+// JSON.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
+		retailer := catalog.RetailerID(r.URL.Query().Get("retailer"))
+		if retailer == "" {
+			http.Error(w, "missing retailer parameter", http.StatusBadRequest)
+			return
+		}
+		ctx, err := ParseContext(r.URL.Query().Get("context"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		k := 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			k, err = strconv.Atoi(ks)
+			if err != nil || k < 1 || k > 100 {
+				http.Error(w, "k must be an integer in [1,100]", http.StatusBadRequest)
+				return
+			}
+		}
+		recs := s.Recommend(retailer, ctx, k)
+		if recs == nil {
+			recs = []Recommendation{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Retailer catalog.RetailerID `json:"retailer"`
+			Version  int64              `json:"version"`
+			Recs     []Recommendation   `json:"recommendations"`
+		}{retailer, s.Version(), recs})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, _ *http.Request) {
+		req, fb, miss := s.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Version   int64 `json:"version"`
+			Requests  int64 `json:"requests"`
+			Fallbacks int64 `json:"fallbacks"`
+			Misses    int64 `json:"misses"`
+		}{s.Version(), req, fb, miss})
+	})
+	return mux
+}
+
+// ParseContext parses "view:3,search:17" into a Context. An empty string
+// is a valid empty context.
+func ParseContext(s string) (interactions.Context, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ctx := make(interactions.Context, 0, len(parts))
+	for _, p := range parts {
+		colon := strings.IndexByte(p, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("serving: malformed context action %q (want type:item)", p)
+		}
+		et, err := interactions.ParseEventType(p[:colon])
+		if err != nil {
+			return nil, fmt.Errorf("serving: unknown action type %q", p[:colon])
+		}
+		id, err := strconv.Atoi(p[colon+1:])
+		if err != nil {
+			return nil, fmt.Errorf("serving: bad item id in %q", p)
+		}
+		ctx = append(ctx, interactions.Action{Type: et, Item: catalog.ItemID(id)})
+	}
+	return ctx, nil
+}

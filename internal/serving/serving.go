@@ -1,0 +1,229 @@
+// Package serving implements Sigmund's serving system: materialized
+// recommendations loaded into memory and swapped atomically in batch after
+// each inference run (Section V: the serving infrastructure "can now be
+// optimized for batch-updates every time we have the inference job
+// complete"), answering low-latency requests that blend the per-item
+// recommendation lists of the user's recent context.
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/interactions"
+)
+
+// RetailerRecs is one retailer's materialized recommendation data.
+type RetailerRecs struct {
+	// Recs maps a query item to its two ranked lists.
+	Recs map[catalog.ItemID]inference.ItemRecs
+	// TopSellers is the popularity-ordered fallback for empty/unknown
+	// contexts (new users with no history at all).
+	TopSellers []catalog.ItemID
+}
+
+// Snapshot is an immutable generation of the whole store. Requests read
+// whichever snapshot was current when they arrived; Publish swaps
+// generations atomically.
+type Snapshot struct {
+	Version   int64
+	Retailers map[catalog.RetailerID]*RetailerRecs
+}
+
+// Server answers recommendation requests from the current snapshot. The
+// zero value is not usable; call NewServer.
+type Server struct {
+	snap atomic.Pointer[Snapshot]
+
+	requests atomic.Int64
+	fallback atomic.Int64
+	misses   atomic.Int64
+}
+
+// NewServer returns a server with an empty snapshot.
+func NewServer() *Server {
+	s := &Server{}
+	s.snap.Store(&Snapshot{Retailers: map[catalog.RetailerID]*RetailerRecs{}})
+	return s
+}
+
+// Publish atomically replaces the serving snapshot — the batch update at
+// the end of the daily pipeline. In-flight requests keep reading the old
+// generation.
+func (s *Server) Publish(snap *Snapshot) {
+	if snap.Retailers == nil {
+		snap.Retailers = map[catalog.RetailerID]*RetailerRecs{}
+	}
+	s.snap.Store(snap)
+}
+
+// Snapshot returns the current generation (for inspection; treat as
+// read-only).
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Version returns the current snapshot's version.
+func (s *Server) Version() int64 { return s.snap.Load().Version }
+
+// Stats reports request counters: total requests, fallback answers
+// (top-sellers), and misses (unknown retailer / nothing to return).
+func (s *Server) Stats() (requests, fallbacks, misses int64) {
+	return s.requests.Load(), s.fallback.Load(), s.misses.Load()
+}
+
+// Recommendation is one served item.
+type Recommendation struct {
+	Item  catalog.ItemID `json:"item"`
+	Score float64        `json:"score"`
+}
+
+// Recommend returns up to k recommendations for a user context at the
+// given retailer. The context's items vote with their materialized lists —
+// purchase-surface lists for cart/conversion actions, view-surface lists
+// otherwise — with recency-decayed weights; items already in the context
+// are never recommended back.
+func (s *Server) Recommend(r catalog.RetailerID, ctx interactions.Context, k int) []Recommendation {
+	s.requests.Add(1)
+	if k <= 0 {
+		k = 10
+	}
+	snap := s.snap.Load()
+	rr := snap.Retailers[r]
+	if rr == nil {
+		s.misses.Add(1)
+		return nil
+	}
+	if len(ctx) > interactions.DefaultContextLength {
+		ctx = ctx.Truncate(interactions.DefaultContextLength)
+	}
+
+	inCtx := make(map[catalog.ItemID]bool, len(ctx))
+	for _, a := range ctx {
+		inCtx[a.Item] = true
+	}
+
+	scores := make(map[catalog.ItemID]float64)
+	lateFunnel := IsLateFunnel(ctx)
+	const decay = 0.8
+	w := 1.0
+	for j := len(ctx) - 1; j >= 0; j-- {
+		a := ctx[j]
+		ir, ok := rr.Recs[a.Item]
+		if ok {
+			list := ir.View
+			if lateFunnel && len(ir.LateFunnel) > 0 {
+				// Deep-funnel users get the facet-constrained surface
+				// (Section III-D1's late-funnel tightening).
+				list = ir.LateFunnel
+			}
+			if a.Type >= interactions.Cart {
+				list = ir.Purchase
+			}
+			for pos, rec := range list {
+				if inCtx[rec.Item] {
+					continue
+				}
+				// Positional vote: earlier slots in a list count more.
+				scores[rec.Item] += w * float64(len(list)-pos)
+			}
+		}
+		w *= decay
+	}
+
+	if len(scores) == 0 {
+		s.fallback.Add(1)
+		out := make([]Recommendation, 0, k)
+		for _, it := range rr.TopSellers {
+			if inCtx[it] {
+				continue
+			}
+			out = append(out, Recommendation{Item: it})
+			if len(out) == k {
+				break
+			}
+		}
+		if len(out) == 0 {
+			s.misses.Add(1)
+		}
+		return out
+	}
+
+	out := make([]Recommendation, 0, len(scores))
+	for it, sc := range scores {
+		out = append(out, Recommendation{Item: it, Score: sc})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Item < out[b].Item
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// IsLateFunnel classifies a context as deep in the purchase funnel: the
+// user's recent actions show focused intent — a search or cart among the
+// last three actions, with repeated attention to the same item. Early
+// browsers get the broad view surface; late-funnel users get candidates
+// "constrained to have the same item facets" (Section III-D1).
+func IsLateFunnel(ctx interactions.Context) bool {
+	if len(ctx) < 2 {
+		return false
+	}
+	tail := ctx
+	if len(tail) > 3 {
+		tail = tail[len(tail)-3:]
+	}
+	intent := false
+	for _, a := range tail {
+		if a.Type >= interactions.Search {
+			intent = true
+			break
+		}
+	}
+	if !intent {
+		return false
+	}
+	// Repeated attention: some item appears twice in the recent context.
+	seen := map[catalog.ItemID]int{}
+	recent := ctx
+	if len(recent) > 5 {
+		recent = recent[len(recent)-5:]
+	}
+	for _, a := range recent {
+		seen[a.Item]++
+		if seen[a.Item] >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildSnapshot assembles a snapshot from per-retailer materialized
+// outputs and popularity stats.
+func BuildSnapshot(version int64, per map[catalog.RetailerID][]inference.ItemRecs, pop map[catalog.RetailerID][]catalog.ItemID) *Snapshot {
+	snap := &Snapshot{Version: version, Retailers: map[catalog.RetailerID]*RetailerRecs{}}
+	for r, items := range per {
+		rr := &RetailerRecs{Recs: make(map[catalog.ItemID]inference.ItemRecs, len(items))}
+		for _, ir := range items {
+			rr.Recs[ir.Item] = ir
+		}
+		rr.TopSellers = pop[r]
+		snap.Retailers[r] = rr
+	}
+	return snap
+}
+
+// String describes the snapshot for logs.
+func (sn *Snapshot) String() string {
+	items := 0
+	for _, rr := range sn.Retailers {
+		items += len(rr.Recs)
+	}
+	return fmt.Sprintf("snapshot{v%d retailers=%d items=%d}", sn.Version, len(sn.Retailers), items)
+}

@@ -1,0 +1,349 @@
+package serving
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/interactions"
+)
+
+func scored(items ...catalog.ItemID) []hybrid.Scored {
+	out := make([]hybrid.Scored, len(items))
+	for i, it := range items {
+		out[i] = hybrid.Scored{Item: it, Score: float64(len(items) - i)}
+	}
+	return out
+}
+
+// snapshotFixture: retailer "shop" with recs for items 1 and 2.
+//
+//	item 1: view -> [10, 11, 12], purchase -> [20, 21]
+//	item 2: view -> [11, 13],     purchase -> [22]
+func snapshotFixture() *Snapshot {
+	return BuildSnapshot(7,
+		map[catalog.RetailerID][]inference.ItemRecs{
+			"shop": {
+				{Item: 1, View: scored(10, 11, 12), Purchase: scored(20, 21)},
+				{Item: 2, View: scored(11, 13), Purchase: scored(22)},
+			},
+		},
+		map[catalog.RetailerID][]catalog.ItemID{
+			"shop": {1, 2, 10},
+		})
+}
+
+func TestRecommendSingleViewContext(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	recs := s.Recommend("shop", interactions.Context{{Type: interactions.View, Item: 1}}, 10)
+	if len(recs) != 3 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Item != 10 || recs[1].Item != 11 || recs[2].Item != 12 {
+		t.Fatalf("view list order broken: %+v", recs)
+	}
+}
+
+func TestRecommendPurchaseSurface(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	recs := s.Recommend("shop", interactions.Context{{Type: interactions.Conversion, Item: 1}}, 10)
+	if len(recs) != 2 || recs[0].Item != 20 {
+		t.Fatalf("purchase surface: %+v", recs)
+	}
+	// Cart also routes to the purchase surface.
+	recs = s.Recommend("shop", interactions.Context{{Type: interactions.Cart, Item: 1}}, 10)
+	if len(recs) != 2 || recs[0].Item != 20 {
+		t.Fatalf("cart surface: %+v", recs)
+	}
+}
+
+func TestRecommendBlendsContext(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	// Context: viewed 1 (older), then 2 (newer). Item 11 appears in both
+	// lists and should rank first.
+	ctx := interactions.Context{
+		{Type: interactions.View, Item: 1},
+		{Type: interactions.View, Item: 2},
+	}
+	recs := s.Recommend("shop", ctx, 10)
+	if len(recs) == 0 || recs[0].Item != 11 {
+		t.Fatalf("blend: %+v", recs)
+	}
+	// Context items themselves are excluded even if recommended elsewhere.
+	for _, r := range recs {
+		if r.Item == 1 || r.Item == 2 {
+			t.Fatalf("context item recommended back: %+v", recs)
+		}
+	}
+}
+
+func TestRecommendKLimit(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	recs := s.Recommend("shop", interactions.Context{{Type: interactions.View, Item: 1}}, 2)
+	if len(recs) != 2 {
+		t.Fatalf("k limit: %+v", recs)
+	}
+	// k <= 0 defaults to 10.
+	recs = s.Recommend("shop", interactions.Context{{Type: interactions.View, Item: 1}}, 0)
+	if len(recs) != 3 {
+		t.Fatalf("default k: %+v", recs)
+	}
+}
+
+func TestRecommendFallbackToTopSellers(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	// Unknown context item -> popularity fallback, minus context items.
+	recs := s.Recommend("shop", interactions.Context{{Type: interactions.View, Item: 999}}, 2)
+	if len(recs) != 2 || recs[0].Item != 1 || recs[1].Item != 2 {
+		t.Fatalf("fallback: %+v", recs)
+	}
+	// Empty context -> same fallback.
+	recs = s.Recommend("shop", nil, 1)
+	if len(recs) != 1 || recs[0].Item != 1 {
+		t.Fatalf("empty-context fallback: %+v", recs)
+	}
+	_, fb, _ := s.Stats()
+	if fb != 2 {
+		t.Fatalf("fallback counter = %d", fb)
+	}
+}
+
+func TestRecommendUnknownRetailer(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	if recs := s.Recommend("nope", nil, 5); recs != nil {
+		t.Fatalf("unknown retailer: %+v", recs)
+	}
+	_, _, misses := s.Stats()
+	if misses != 1 {
+		t.Fatalf("miss counter = %d", misses)
+	}
+}
+
+func TestPublishSwapsAtomically(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	if s.Version() != 7 {
+		t.Fatalf("version = %d", s.Version())
+	}
+	// Concurrent readers while publishing new generations.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recs := s.Recommend("shop", interactions.Context{{Type: interactions.View, Item: 1}}, 10)
+				// Either generation is fine; a torn read is not.
+				if len(recs) != 0 && len(recs) != 3 {
+					t.Errorf("torn read: %+v", recs)
+					return
+				}
+			}
+		}()
+	}
+	for v := int64(8); v < 40; v++ {
+		snap := snapshotFixture()
+		snap.Version = v
+		s.Publish(snap)
+	}
+	close(stop)
+	wg.Wait()
+	if s.Version() != 39 {
+		t.Fatalf("final version = %d", s.Version())
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	if snapshotFixture().String() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestParseContext(t *testing.T) {
+	ctx, err := ParseContext("view:3,search:17,cart:9,conversion:2,buy:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx) != 5 || ctx[0].Item != 3 || ctx[0].Type != interactions.View ||
+		ctx[3].Type != interactions.Conversion || ctx[4].Type != interactions.Conversion {
+		t.Fatalf("ParseContext = %+v", ctx)
+	}
+	if got, err := ParseContext(""); err != nil || got != nil {
+		t.Fatal("empty context should parse to nil")
+	}
+	for _, bad := range []string{"view", "look:3", "view:x", "view:1,"} {
+		if _, err := ParseContext(bad); err == nil {
+			t.Fatalf("ParseContext(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestHTTPRecommend(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	h := NewHandler(s)
+
+	req := httptest.NewRequest("GET", "/recommend?retailer=shop&context=view:1&k=2", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Retailer string           `json:"retailer"`
+		Version  int64            `json:"version"`
+		Recs     []Recommendation `json:"recommendations"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Retailer != "shop" || resp.Version != 7 || len(resp.Recs) != 2 || resp.Recs[0].Item != 10 {
+		t.Fatalf("response: %+v", resp)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	h := NewHandler(s)
+	cases := []string{
+		"/recommend",                                // missing retailer
+		"/recommend?retailer=shop&context=bogus",    // bad context
+		"/recommend?retailer=shop&k=0",              // bad k
+		"/recommend?retailer=shop&k=101",            // k too large
+		"/recommend?retailer=shop&context=view:abc", // bad item id
+	}
+	for _, url := range cases {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+		if w.Code != 400 {
+			t.Fatalf("%s -> %d, want 400", url, w.Code)
+		}
+	}
+}
+
+func TestHTTPHealthAndStats(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	h := NewHandler(s)
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+	if w.Code != 200 || w.Body.String() != "ok\n" {
+		t.Fatalf("healthz: %d %q", w.Code, w.Body.String())
+	}
+
+	// Generate a request, then check counters.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/recommend?retailer=shop&context=view:1", nil))
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/statz", nil))
+	var stats struct {
+		Version  int64 `json:"version"`
+		Requests int64 `json:"requests"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Version != 7 || stats.Requests != 1 {
+		t.Fatalf("statz: %+v", stats)
+	}
+}
+
+func TestIsLateFunnel(t *testing.T) {
+	cases := []struct {
+		name string
+		ctx  interactions.Context
+		want bool
+	}{
+		{"empty", nil, false},
+		{"single view", interactions.Context{{Type: interactions.View, Item: 1}}, false},
+		{"browsing different items", interactions.Context{
+			{Type: interactions.View, Item: 1}, {Type: interactions.View, Item: 2}, {Type: interactions.View, Item: 3},
+		}, false},
+		{"searched and revisited", interactions.Context{
+			{Type: interactions.View, Item: 1}, {Type: interactions.Search, Item: 1},
+		}, true},
+		{"cart plus repeat views", interactions.Context{
+			{Type: interactions.View, Item: 5}, {Type: interactions.View, Item: 5}, {Type: interactions.Cart, Item: 5},
+		}, true},
+		{"repeat views without intent", interactions.Context{
+			{Type: interactions.View, Item: 5}, {Type: interactions.View, Item: 5},
+		}, false},
+		{"old search scrolled out of the intent window", interactions.Context{
+			{Type: interactions.Search, Item: 1}, {Type: interactions.View, Item: 2},
+			{Type: interactions.View, Item: 3}, {Type: interactions.View, Item: 4},
+		}, false},
+	}
+	for _, tt := range cases {
+		if got := IsLateFunnel(tt.ctx); got != tt.want {
+			t.Errorf("%s: IsLateFunnel = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestRecommendLateFunnelSurface(t *testing.T) {
+	s := NewServer()
+	snap := BuildSnapshot(1,
+		map[catalog.RetailerID][]inference.ItemRecs{
+			"shop": {
+				{Item: 1,
+					View:       scored(10, 11, 12),
+					Purchase:   scored(20),
+					LateFunnel: scored(12)},
+			},
+		}, nil)
+	s.Publish(snap)
+	// Early funnel (single view): broad surface.
+	recs := s.Recommend("shop", interactions.Context{{Type: interactions.View, Item: 1}}, 10)
+	if len(recs) != 3 {
+		t.Fatalf("early funnel got %+v", recs)
+	}
+	// Late funnel (search + repeat on item 1): constrained surface.
+	ctx := interactions.Context{
+		{Type: interactions.View, Item: 1},
+		{Type: interactions.Search, Item: 1},
+	}
+	recs = s.Recommend("shop", ctx, 10)
+	if len(recs) != 1 || recs[0].Item != 12 {
+		t.Fatalf("late funnel got %+v", recs)
+	}
+	// Cart actions still use the purchase surface even in late funnel.
+	ctx = interactions.Context{
+		{Type: interactions.Cart, Item: 1},
+		{Type: interactions.Cart, Item: 1},
+	}
+	recs = s.Recommend("shop", ctx, 10)
+	if len(recs) != 1 || recs[0].Item != 20 {
+		t.Fatalf("purchase surface got %+v", recs)
+	}
+}
+
+func TestSnapshotAccessor(t *testing.T) {
+	s := NewServer()
+	snap := snapshotFixture()
+	s.Publish(snap)
+	if s.Snapshot() != snap {
+		t.Fatal("Snapshot accessor returned a different generation")
+	}
+	// Publishing a snapshot with nil retailers must not panic requests.
+	s.Publish(&Snapshot{Version: 9})
+	if got := s.Recommend("shop", nil, 3); got != nil {
+		t.Fatalf("empty snapshot served %v", got)
+	}
+}

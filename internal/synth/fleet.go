@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+)
+
+// FleetSpec describes a population of retailers with power-law size skew —
+// the heterogeneity that drives most of Sigmund's systems design (Section
+// IV): "the largest retailer in our system has tens of millions of items
+// ... the smallest retailer only has a few dozen items".
+type FleetSpec struct {
+	NumRetailers int
+	// MinItems/MaxItems bound inventory sizes; sizes follow a power law
+	// between them (many small retailers, few large ones).
+	MinItems int
+	MaxItems int
+	// SizeExponent shapes the power law (larger = more skew). Typical: 1.2.
+	SizeExponent float64
+	// UsersPerItem and EventsPerUserMean scale traffic with inventory.
+	UsersPerItem      float64
+	EventsPerUserMean float64
+	Days              int
+	Seed              uint64
+}
+
+// Defaulted returns spec with zero fields replaced by usable defaults.
+func (s FleetSpec) Defaulted() FleetSpec {
+	if s.NumRetailers <= 0 {
+		s.NumRetailers = 10
+	}
+	if s.MinItems <= 0 {
+		s.MinItems = 40
+	}
+	if s.MaxItems < s.MinItems {
+		s.MaxItems = s.MinItems * 50
+	}
+	if s.SizeExponent <= 0 {
+		s.SizeExponent = 1.2
+	}
+	if s.UsersPerItem <= 0 {
+		s.UsersPerItem = 0.5
+	}
+	if s.EventsPerUserMean <= 0 {
+		s.EventsPerUserMean = 12
+	}
+	if s.Days <= 0 {
+		s.Days = 1
+	}
+	return s
+}
+
+// GenerateFleet builds NumRetailers synthetic retailers. Retailer i is
+// reproducible independently: its seed derives from (fleet seed, i).
+func GenerateFleet(spec FleetSpec) []*Retailer {
+	spec = spec.Defaulted()
+	rng := linalg.NewRNG(spec.Seed)
+	out := make([]*Retailer, spec.NumRetailers)
+	for i := range out {
+		// Power-law size: invert CDF of p(x) ∝ x^-a on [min, max].
+		u := rng.Float64()
+		a := spec.SizeExponent
+		lo, hi := float64(spec.MinItems), float64(spec.MaxItems)
+		var size float64
+		if a == 1 {
+			size = lo * math.Pow(hi/lo, u)
+		} else {
+			oneMinusA := 1 - a
+			size = math.Pow(u*(math.Pow(hi, oneMinusA)-math.Pow(lo, oneMinusA))+math.Pow(lo, oneMinusA), 1/oneMinusA)
+		}
+		nItems := int(size)
+		if nItems < spec.MinItems {
+			nItems = spec.MinItems
+		}
+		nUsers := int(float64(nItems) * spec.UsersPerItem)
+		if nUsers < 10 {
+			nUsers = 10
+		}
+		rs := RetailerSpec{
+			ID:                catalog.RetailerID(fmt.Sprintf("retailer-%03d", i)),
+			NumItems:          nItems,
+			NumUsers:          nUsers,
+			EventsPerUserMean: spec.EventsPerUserMean,
+			Days:              spec.Days,
+			NumBrands:         5 + rng.Intn(20),
+			BrandCoverage:     rng.Float64(), // deliberately spans 0..1: some retailers have poor brand data
+			PriceCoverage:     0.5 + 0.5*rng.Float64(),
+			Seed:              rng.Uint64(),
+		}
+		out[i] = GenerateRetailer(rs)
+	}
+	return out
+}
+
+// ClickModel converts ground-truth affinity into click behaviour for the
+// serving simulation that regenerates Figure 6. A recommendation shown at
+// position p (0-based) to user u is clicked with probability
+//
+//	examine(p) * sigmoid(scale * (affinity - threshold))
+//
+// where examine is a position-discount (users look at the top slots more),
+// matching standard cascade-style click models.
+type ClickModel struct {
+	Threshold float64 // affinity at which click probability is 50% (pre-discount)
+	Scale     float64 // steepness
+	// PosDiscount[p] multiplies the click probability at position p; the
+	// last entry applies to all deeper positions.
+	PosDiscount []float64
+}
+
+// DefaultClickModel returns the model used by the experiment harness.
+func DefaultClickModel() ClickModel {
+	return ClickModel{
+		Threshold:   1.0,
+		Scale:       1.5,
+		PosDiscount: []float64{1.0, 0.85, 0.7, 0.6, 0.5, 0.42, 0.36, 0.3, 0.26, 0.22},
+	}
+}
+
+// ClickProb returns the probability user u clicks item i shown at position
+// pos.
+func (m ClickModel) ClickProb(g *GroundTruth, c *catalog.Catalog, u interactions.UserID, i catalog.ItemID, pos int) float64 {
+	d := m.PosDiscount[len(m.PosDiscount)-1]
+	if pos < len(m.PosDiscount) {
+		d = m.PosDiscount[pos]
+	}
+	return d * linalg.Sigmoid(m.Scale*(g.Affinity(c, u, i)-m.Threshold))
+}
+
+// CalibratedClickModel fits the threshold and scale to a retailer's actual
+// affinity distribution, so click probabilities discriminate between good
+// and mediocre recommendations instead of saturating. The threshold sits
+// one standard deviation above the mean random user-item affinity; the
+// scale is inversely proportional to that deviation.
+func CalibratedClickModel(g *GroundTruth, c *catalog.Catalog, nUsers int, rng *linalg.RNG) ClickModel {
+	const samples = 2000
+	var sum, sumsq float64
+	for s := 0; s < samples; s++ {
+		u := interactions.UserID(rng.Intn(nUsers))
+		i := catalog.ItemID(rng.Intn(c.NumItems()))
+		a := g.Affinity(c, u, i)
+		sum += a
+		sumsq += a * a
+	}
+	mean := sum / samples
+	sd := math.Sqrt(sumsq/samples - mean*mean)
+	if sd < 1e-6 {
+		sd = 1
+	}
+	m := DefaultClickModel()
+	m.Threshold = mean + 1.2*sd
+	m.Scale = 1.5 / sd
+	return m
+}

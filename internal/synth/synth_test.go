@@ -1,0 +1,276 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+)
+
+func smallSpec(seed uint64) RetailerSpec {
+	return RetailerSpec{
+		ID:                "test-shop",
+		NumItems:          120,
+		NumUsers:          80,
+		EventsPerUserMean: 15,
+		NumBrands:         6,
+		BrandCoverage:     0.6,
+		Seed:              seed,
+	}
+}
+
+func TestGenerateRetailerBasics(t *testing.T) {
+	r := GenerateRetailer(smallSpec(1))
+	if r.Catalog.NumItems() != 120 {
+		t.Fatalf("NumItems = %d", r.Catalog.NumItems())
+	}
+	if r.Log.Len() == 0 {
+		t.Fatal("no events generated")
+	}
+	for _, e := range r.Log.Events() {
+		if int(e.Item) < 0 || int(e.Item) >= 120 {
+			t.Fatalf("event references unknown item %d", e.Item)
+		}
+		if int(e.User) < 0 || int(e.User) >= 80 {
+			t.Fatalf("event references unknown user %d", e.User)
+		}
+	}
+}
+
+func TestGenerateRetailerDeterministic(t *testing.T) {
+	a := GenerateRetailer(smallSpec(7))
+	b := GenerateRetailer(smallSpec(7))
+	if a.Log.Len() != b.Log.Len() {
+		t.Fatalf("same seed, different event counts: %d vs %d", a.Log.Len(), b.Log.Len())
+	}
+	ea, eb := a.Log.Events(), b.Log.Events()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	c := GenerateRetailer(smallSpec(8))
+	if c.Log.Len() == a.Log.Len() {
+		// Lengths colliding is possible but the full streams should differ.
+		same := true
+		ec := c.Log.Events()
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical logs")
+		}
+	}
+}
+
+func TestEventTypeSkew(t *testing.T) {
+	// Conversions must be much rarer than views (Section III-A: "orders of
+	// magnitude fewer"). At this small scale we require at least 5x.
+	r := GenerateRetailer(RetailerSpec{NumItems: 300, NumUsers: 400, EventsPerUserMean: 20, Seed: 3})
+	c := r.Log.CountByType()
+	if c[interactions.View] == 0 {
+		t.Fatal("no views generated")
+	}
+	if c[interactions.Conversion]*5 > c[interactions.View] {
+		t.Fatalf("conversion/view ratio too high: %v", c)
+	}
+	if c[interactions.Search] > c[interactions.View] {
+		t.Fatalf("searches exceed views: %v", c)
+	}
+}
+
+func TestPopularityLongTail(t *testing.T) {
+	r := GenerateRetailer(RetailerSpec{NumItems: 500, NumUsers: 600, EventsPerUserMean: 20, Seed: 4})
+	stats := interactions.ComputeItemStats(r.Log, r.Catalog.NumItems())
+	order := stats.PopularityOrder()
+	// Top 10% of items should dominate interactions; the tail half should
+	// still get some — that is the long tail Figure 6 studies.
+	head := 0
+	for _, id := range order[:50] {
+		head += stats.Total[id]
+	}
+	tail := 0
+	for _, id := range order[250:] {
+		tail += stats.Total[id]
+	}
+	if head <= tail {
+		t.Fatalf("no popularity skew: head=%d tail=%d", head, tail)
+	}
+	if head < r.Log.Len()/4 {
+		t.Fatalf("head too weak: %d of %d", head, r.Log.Len())
+	}
+}
+
+func TestTaxonomyCoherence(t *testing.T) {
+	// Items in the same leaf category must be more similar (ground truth)
+	// than items in different top-level departments, on average.
+	r := GenerateRetailer(RetailerSpec{NumItems: 300, NumUsers: 10, EventsPerUserMean: 1, Seed: 5})
+	tx := r.Catalog.Tax
+	var same, diff []float64
+	items := r.Catalog.Items()
+	for i := 0; i < 200; i++ {
+		a, b := items[i%len(items)], items[(i*7+3)%len(items)]
+		if a.ID == b.ID {
+			continue
+		}
+		sim := float64(linalg.CosineSim(r.Truth.Item(a.ID), r.Truth.Item(b.ID)))
+		if a.Category == b.Category {
+			same = append(same, sim)
+		} else if tx.Distance(a.Category, b.Category) >= 3 {
+			diff = append(diff, sim)
+		}
+	}
+	if len(same) == 0 || len(diff) == 0 {
+		t.Skip("sample did not produce both groups")
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(same) <= mean(diff) {
+		t.Fatalf("same-category similarity %.3f <= cross-department %.3f", mean(same), mean(diff))
+	}
+}
+
+func TestAffinityBrandAndPrice(t *testing.T) {
+	r := GenerateRetailer(smallSpec(9))
+	// Find a user with a preferred brand and an item of that brand.
+	for u := 0; u < r.Spec.NumUsers; u++ {
+		b := r.Truth.PreferredBrand[u]
+		if b == catalog.NoBrand {
+			continue
+		}
+		for _, it := range r.Catalog.Items() {
+			if it.Brand != b {
+				continue
+			}
+			uid := interactions.UserID(u)
+			base := float64(linalg.Dot(r.Truth.User(uid), r.Truth.Item(it.ID)))
+			aff := r.Truth.Affinity(r.Catalog, uid, it.ID)
+			// Brand bonus is +0.5 before any price penalty.
+			if aff < base-3 || aff > base+1 {
+				t.Fatalf("affinity %v implausibly far from base %v", aff, base)
+			}
+			if r.Truth.PriceTarget[u] < 0 && aff != base+0.5 { // default BrandAffinity
+				t.Fatalf("price-insensitive user: affinity %v != base+0.5 (%v)", aff, base+0.5)
+			}
+			return
+		}
+	}
+	t.Skip("no brand-affine user with matching item in sample")
+}
+
+func TestGenerateFleetSizes(t *testing.T) {
+	fleet := GenerateFleet(FleetSpec{NumRetailers: 12, MinItems: 30, MaxItems: 600, Seed: 10})
+	if len(fleet) != 12 {
+		t.Fatalf("fleet size = %d", len(fleet))
+	}
+	minSeen, maxSeen := math.MaxInt, 0
+	ids := map[catalog.RetailerID]bool{}
+	for _, r := range fleet {
+		n := r.Catalog.NumItems()
+		if n < 30 {
+			t.Fatalf("retailer below MinItems: %d", n)
+		}
+		if n < minSeen {
+			minSeen = n
+		}
+		if n > maxSeen {
+			maxSeen = n
+		}
+		if ids[r.Catalog.Retailer] {
+			t.Fatalf("duplicate retailer id %s", r.Catalog.Retailer)
+		}
+		ids[r.Catalog.Retailer] = true
+	}
+	if maxSeen <= 2*minSeen {
+		t.Fatalf("no size heterogeneity: min=%d max=%d", minSeen, maxSeen)
+	}
+}
+
+func TestClickModel(t *testing.T) {
+	r := GenerateRetailer(smallSpec(11))
+	m := DefaultClickModel()
+	u := interactions.UserID(0)
+	// Position monotonicity: same item, deeper position, lower click prob.
+	var prev float64 = 2
+	for pos := 0; pos < 12; pos++ {
+		p := m.ClickProb(r.Truth, r.Catalog, u, 0, pos)
+		if p < 0 || p > 1 {
+			t.Fatalf("click prob out of range: %v", p)
+		}
+		if p > prev {
+			t.Fatalf("click prob increased with position at %d", pos)
+		}
+		prev = p
+	}
+	// Affinity monotonicity: find two items with clearly different affinity.
+	var lo, hi catalog.ItemID = -1, -1
+	var loA, hiA float64
+	for i := 0; i < r.Catalog.NumItems(); i++ {
+		a := r.Truth.Affinity(r.Catalog, u, catalog.ItemID(i))
+		if lo == -1 || a < loA {
+			lo, loA = catalog.ItemID(i), a
+		}
+		if hi == -1 || a > hiA {
+			hi, hiA = catalog.ItemID(i), a
+		}
+	}
+	if hiA-loA > 0.5 {
+		if m.ClickProb(r.Truth, r.Catalog, u, hi, 0) <= m.ClickProb(r.Truth, r.Catalog, u, lo, 0) {
+			t.Fatal("higher affinity did not yield higher click probability")
+		}
+	}
+}
+
+func TestDefaultedSpec(t *testing.T) {
+	s := RetailerSpec{}.Defaulted()
+	if s.NumItems == 0 || s.NumUsers == 0 || s.TruthDim == 0 || s.PopularityExponent == 0 {
+		t.Fatalf("Defaulted left zeros: %+v", s)
+	}
+	f := FleetSpec{}.Defaulted()
+	if f.NumRetailers == 0 || f.MaxItems < f.MinItems {
+		t.Fatalf("FleetSpec.Defaulted bad: %+v", f)
+	}
+}
+
+func TestDaysSpreadEvents(t *testing.T) {
+	r := GenerateRetailer(RetailerSpec{NumItems: 100, NumUsers: 100, EventsPerUserMean: 10, Days: 3, Seed: 12})
+	daySeen := map[int64]bool{}
+	for _, e := range r.Log.Events() {
+		daySeen[e.Time/TicksPerDay] = true
+	}
+	if len(daySeen) != 3 {
+		t.Fatalf("events on %d days, want 3", len(daySeen))
+	}
+}
+
+func TestCalibratedClickModel(t *testing.T) {
+	r := GenerateRetailer(smallSpec(13))
+	m := CalibratedClickModel(r.Truth, r.Catalog, r.Spec.NumUsers, linalg.NewRNG(1))
+	if m.Scale <= 0 || m.Threshold == 0 {
+		t.Fatalf("degenerate calibration: %+v", m)
+	}
+	// Random-pair click probability at position 0 should be clearly below
+	// 50% (threshold sits above the mean affinity).
+	rng := linalg.NewRNG(2)
+	var sum float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		u := interactions.UserID(rng.Intn(r.Spec.NumUsers))
+		it := catalog.ItemID(rng.Intn(r.Catalog.NumItems()))
+		sum += m.ClickProb(r.Truth, r.Catalog, u, it, 0)
+	}
+	mean := sum / n
+	if mean > 0.4 || mean < 0.01 {
+		t.Fatalf("random-pair click prob %v outside the calibrated regime", mean)
+	}
+}

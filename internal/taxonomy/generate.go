@@ -1,0 +1,65 @@
+package taxonomy
+
+import (
+	"fmt"
+
+	"sigmund/internal/linalg"
+)
+
+// GenSpec describes a synthetic taxonomy. The synthetic workload generator
+// uses it to produce category trees that look like real retail taxonomies:
+// a few top-level departments, fanning out to leaf categories that hold the
+// actual items.
+type GenSpec struct {
+	Depth      int // levels below the root; e.g. 3 gives dept > family > leaf
+	MinFanout  int // minimum children per internal node
+	MaxFanout  int // maximum children per internal node (inclusive)
+	RootName   string
+	NamePrefix string // category names are "<prefix>-<level>-<ordinal>"
+}
+
+// DefaultGenSpec returns the tree shape used throughout the tests and
+// benchmarks: depth 3 with fanout 2-4, giving on the order of dozens of
+// leaf categories.
+func DefaultGenSpec() GenSpec {
+	return GenSpec{Depth: 3, MinFanout: 2, MaxFanout: 4, RootName: "All Products", NamePrefix: "cat"}
+}
+
+// Generate builds a random taxonomy according to spec using rng. The result
+// is deterministic for a given (spec, rng state) pair.
+func Generate(spec GenSpec, rng *linalg.RNG) *Taxonomy {
+	if spec.Depth < 1 {
+		spec.Depth = 1
+	}
+	if spec.MinFanout < 1 {
+		spec.MinFanout = 1
+	}
+	if spec.MaxFanout < spec.MinFanout {
+		spec.MaxFanout = spec.MinFanout
+	}
+	if spec.RootName == "" {
+		spec.RootName = "All Products"
+	}
+	if spec.NamePrefix == "" {
+		spec.NamePrefix = "cat"
+	}
+	b := NewBuilder(spec.RootName)
+	frontier := []NodeID{Root}
+	ordinal := 0
+	for level := 1; level <= spec.Depth; level++ {
+		var next []NodeID
+		for _, parent := range frontier {
+			fan := spec.MinFanout
+			if spec.MaxFanout > spec.MinFanout {
+				fan += rng.Intn(spec.MaxFanout - spec.MinFanout + 1)
+			}
+			for c := 0; c < fan; c++ {
+				name := fmt.Sprintf("%s-%d-%d", spec.NamePrefix, level, ordinal)
+				ordinal++
+				next = append(next, b.AddChild(parent, name))
+			}
+		}
+		frontier = next
+	}
+	return b.Build()
+}

@@ -1,0 +1,225 @@
+// Package taxonomy implements the product-category tree Sigmund uses for
+// feature smoothing, negative sampling, and candidate selection.
+//
+// A taxonomy is a tree of categories ("Cell Phones" > "Smart Phones" >
+// "Android Phones"); items attach to (usually leaf) categories. The paper
+// measures item similarity with the least-common-ancestor (LCA) distance
+// illustrated in its Figure 3: distance(Nexus 5X, Nexus 6P) = 1 because both
+// sit under "Android Phones", distance(Nexus 5X, iPhone 6) = 2 via "Smart
+// Phones", and so on. lca_k(i) is the set of items within LCA distance k of
+// item i; candidate selection unions these sets over co-occurring items.
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a category node within one Taxonomy. The root is always
+// node 0.
+type NodeID int32
+
+// Root is the NodeID of the taxonomy root.
+const Root NodeID = 0
+
+// None marks the absence of a node (e.g. the parent of the root).
+const None NodeID = -1
+
+// Node is one category in the tree.
+type Node struct {
+	ID       NodeID
+	Name     string
+	Parent   NodeID // None for the root
+	Depth    int    // 0 for the root
+	Children []NodeID
+}
+
+// Taxonomy is an immutable-after-Build category tree. Build it with a
+// Builder; the zero value is not usable.
+type Taxonomy struct {
+	nodes []Node
+	// subtree[n] records the half-open interval of an Euler-tour (preorder)
+	// numbering such that node m is in the subtree of n iff
+	// subtree[n].lo <= order[m] < subtree[n].hi. This makes "is descendant"
+	// and therefore lca_k membership O(1).
+	order   []int32
+	subtree []span
+}
+
+type span struct{ lo, hi int32 }
+
+// Builder accumulates categories and produces a Taxonomy.
+type Builder struct {
+	nodes []Node
+}
+
+// NewBuilder returns a Builder pre-populated with the root category.
+func NewBuilder(rootName string) *Builder {
+	return &Builder{nodes: []Node{{ID: Root, Name: rootName, Parent: None, Depth: 0}}}
+}
+
+// AddChild creates a category under parent and returns its id. It panics if
+// parent does not exist, since taxonomy construction is programmer-driven
+// (the synthetic generator or a catalog loader) and a bad parent is a bug.
+func (b *Builder) AddChild(parent NodeID, name string) NodeID {
+	if int(parent) < 0 || int(parent) >= len(b.nodes) {
+		panic(fmt.Sprintf("taxonomy: AddChild with unknown parent %d", parent))
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{
+		ID:     id,
+		Name:   name,
+		Parent: parent,
+		Depth:  b.nodes[parent].Depth + 1,
+	})
+	b.nodes[parent].Children = append(b.nodes[parent].Children, id)
+	return id
+}
+
+// Build freezes the builder into a Taxonomy. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *Taxonomy {
+	t := &Taxonomy{
+		nodes:   b.nodes,
+		order:   make([]int32, len(b.nodes)),
+		subtree: make([]span, len(b.nodes)),
+	}
+	// Iterative preorder DFS to compute Euler intervals.
+	var counter int32
+	type frame struct {
+		node  NodeID
+		child int
+	}
+	stack := []frame{{node: Root}}
+	t.order[Root] = counter
+	t.subtree[Root].lo = counter
+	counter++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		n := &t.nodes[f.node]
+		if f.child < len(n.Children) {
+			c := n.Children[f.child]
+			f.child++
+			t.order[c] = counter
+			t.subtree[c].lo = counter
+			counter++
+			stack = append(stack, frame{node: c})
+			continue
+		}
+		t.subtree[f.node].hi = counter
+		stack = stack[:len(stack)-1]
+	}
+	return t
+}
+
+// NumNodes returns the number of categories including the root.
+func (t *Taxonomy) NumNodes() int { return len(t.nodes) }
+
+// Node returns the category with the given id.
+func (t *Taxonomy) Node(id NodeID) Node {
+	return t.nodes[id]
+}
+
+// Depth returns the depth of node id (root = 0).
+func (t *Taxonomy) Depth(id NodeID) int { return t.nodes[id].Depth }
+
+// Parent returns the parent of id, or None for the root.
+func (t *Taxonomy) Parent(id NodeID) NodeID { return t.nodes[id].Parent }
+
+// Children returns the direct children of id. The returned slice must not
+// be modified.
+func (t *Taxonomy) Children(id NodeID) []NodeID { return t.nodes[id].Children }
+
+// IsDescendant reports whether node m lies in the subtree rooted at n
+// (a node is a descendant of itself).
+func (t *Taxonomy) IsDescendant(m, n NodeID) bool {
+	o := t.order[m]
+	return o >= t.subtree[n].lo && o < t.subtree[n].hi
+}
+
+// Ancestors returns the path from id up to and including the root,
+// starting with id itself. The hierarchical additive embedding model
+// (Kanagal et al., used in Section III-B4) sums embeddings along this path.
+func (t *Taxonomy) Ancestors(id NodeID) []NodeID {
+	var path []NodeID
+	for n := id; n != None; n = t.nodes[n].Parent {
+		path = append(path, n)
+	}
+	return path
+}
+
+// Ancestor returns the ancestor of id exactly k levels up, clamped at the
+// root. Ancestor(id, 0) == id.
+func (t *Taxonomy) Ancestor(id NodeID, k int) NodeID {
+	n := id
+	for i := 0; i < k && t.nodes[n].Parent != None; i++ {
+		n = t.nodes[n].Parent
+	}
+	return n
+}
+
+// LCA returns the least common ancestor of a and b.
+func (t *Taxonomy) LCA(a, b NodeID) NodeID {
+	for t.nodes[a].Depth > t.nodes[b].Depth {
+		a = t.nodes[a].Parent
+	}
+	for t.nodes[b].Depth > t.nodes[a].Depth {
+		b = t.nodes[b].Parent
+	}
+	for a != b {
+		a = t.nodes[a].Parent
+		b = t.nodes[b].Parent
+	}
+	return a
+}
+
+// Distance returns the paper's LCA distance between two category nodes:
+// the number of levels you must climb from the deeper node to reach the
+// least common ancestor. Items in the same category have distance 0 (their
+// categories coincide); siblings under one parent have distance 1.
+func (t *Taxonomy) Distance(a, b NodeID) int {
+	l := t.LCA(a, b)
+	da := t.nodes[a].Depth - t.nodes[l].Depth
+	db := t.nodes[b].Depth - t.nodes[l].Depth
+	if da > db {
+		return da
+	}
+	return db
+}
+
+// WithinLCA reports whether Distance(a, b) <= k without materializing a set:
+// b is within LCA distance k of a iff b lies in the subtree of a's k-th
+// ancestor AND a lies in the subtree of b's k-th ancestor (the distance is
+// symmetric and limited by the deeper side).
+func (t *Taxonomy) WithinLCA(a, b NodeID, k int) bool {
+	return t.IsDescendant(b, t.Ancestor(a, k)) && t.IsDescendant(a, t.Ancestor(b, k))
+}
+
+// Path returns a human-readable "Root > ... > Name" string for debugging
+// and example output.
+func (t *Taxonomy) Path(id NodeID) string {
+	anc := t.Ancestors(id)
+	parts := make([]string, len(anc))
+	for i, n := range anc {
+		parts[len(anc)-1-i] = t.nodes[n].Name
+	}
+	return strings.Join(parts, " > ")
+}
+
+// Leaves returns all nodes with no children, in id order. Synthetic
+// catalogs attach items to leaves.
+func (t *Taxonomy) Leaves() []NodeID {
+	var out []NodeID
+	for i := range t.nodes {
+		if len(t.nodes[i].Children) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// SubtreeSize returns the number of nodes (including id itself) under id.
+func (t *Taxonomy) SubtreeSize(id NodeID) int {
+	s := t.subtree[id]
+	return int(s.hi - s.lo)
+}

@@ -1,0 +1,227 @@
+package taxonomy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sigmund/internal/linalg"
+)
+
+// buildPhones reproduces Figure 3 of the paper:
+//
+//	Cell Phones
+//	├── Smart Phones
+//	│   ├── Android Phones   (Nexus 6P, Nexus 5X live here)
+//	│   └── Apple Phones     (iPhone 6 lives here)
+//	└── Other
+func buildPhones(t *testing.T) (*Taxonomy, map[string]NodeID) {
+	t.Helper()
+	b := NewBuilder("Cell Phones")
+	ids := map[string]NodeID{}
+	ids["smart"] = b.AddChild(Root, "Smart Phones")
+	ids["other"] = b.AddChild(Root, "Other")
+	ids["android"] = b.AddChild(ids["smart"], "Android Phones")
+	ids["apple"] = b.AddChild(ids["smart"], "Apple Phones")
+	// Items are represented as leaf categories one level below their family,
+	// matching the figure where items are leaves of the tree.
+	ids["nexus6p"] = b.AddChild(ids["android"], "Nexus 6P")
+	ids["nexus5x"] = b.AddChild(ids["android"], "Nexus 5X")
+	ids["iphone6"] = b.AddChild(ids["apple"], "iPhone 6")
+	ids["otherphone"] = b.AddChild(ids["other"], "Feature Phone")
+	return b.Build(), ids
+}
+
+func TestFigure3Distances(t *testing.T) {
+	tx, ids := buildPhones(t)
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"nexus5x", "nexus6p", 1},
+		{"nexus5x", "iphone6", 2},
+		{"nexus5x", "otherphone", 3},
+		{"nexus5x", "nexus5x", 0},
+		{"iphone6", "nexus6p", 2},
+	}
+	for _, tt := range tests {
+		if got := tx.Distance(ids[tt.a], ids[tt.b]); got != tt.want {
+			t.Errorf("Distance(%s, %s) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		// Symmetry.
+		if got := tx.Distance(ids[tt.b], ids[tt.a]); got != tt.want {
+			t.Errorf("Distance(%s, %s) = %d, want %d (symmetry)", tt.b, tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tx, ids := buildPhones(t)
+	if got := tx.LCA(ids["nexus5x"], ids["nexus6p"]); got != ids["android"] {
+		t.Errorf("LCA(nexus5x, nexus6p) = %v, want android", got)
+	}
+	if got := tx.LCA(ids["nexus5x"], ids["iphone6"]); got != ids["smart"] {
+		t.Errorf("LCA(nexus5x, iphone6) = %v, want smart", got)
+	}
+	if got := tx.LCA(ids["nexus5x"], ids["otherphone"]); got != Root {
+		t.Errorf("LCA across departments = %v, want root", got)
+	}
+	if got := tx.LCA(ids["smart"], ids["nexus5x"]); got != ids["smart"] {
+		t.Errorf("LCA(ancestor, descendant) = %v, want the ancestor", got)
+	}
+}
+
+func TestWithinLCAMatchesDistance(t *testing.T) {
+	tx, ids := buildPhones(t)
+	all := []string{"nexus5x", "nexus6p", "iphone6", "otherphone"}
+	for _, a := range all {
+		for _, b := range all {
+			for k := 0; k <= 4; k++ {
+				want := tx.Distance(ids[a], ids[b]) <= k
+				if got := tx.WithinLCA(ids[a], ids[b], k); got != want {
+					t.Errorf("WithinLCA(%s, %s, %d) = %v, want %v", a, b, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAncestorsAndPath(t *testing.T) {
+	tx, ids := buildPhones(t)
+	anc := tx.Ancestors(ids["nexus5x"])
+	if len(anc) != 4 || anc[0] != ids["nexus5x"] || anc[len(anc)-1] != Root {
+		t.Fatalf("Ancestors(nexus5x) = %v", anc)
+	}
+	if got := tx.Path(ids["nexus5x"]); got != "Cell Phones > Smart Phones > Android Phones > Nexus 5X" {
+		t.Errorf("Path = %q", got)
+	}
+	if got := tx.Ancestor(ids["nexus5x"], 2); got != ids["smart"] {
+		t.Errorf("Ancestor(nexus5x, 2) = %v, want smart", got)
+	}
+	// Clamped at root.
+	if got := tx.Ancestor(ids["nexus5x"], 99); got != Root {
+		t.Errorf("Ancestor overflow = %v, want root", got)
+	}
+}
+
+func TestIsDescendant(t *testing.T) {
+	tx, ids := buildPhones(t)
+	if !tx.IsDescendant(ids["nexus5x"], ids["smart"]) {
+		t.Error("nexus5x should descend from smart")
+	}
+	if !tx.IsDescendant(ids["smart"], ids["smart"]) {
+		t.Error("node should descend from itself")
+	}
+	if tx.IsDescendant(ids["smart"], ids["nexus5x"]) {
+		t.Error("ancestor is not a descendant")
+	}
+	if tx.IsDescendant(ids["iphone6"], ids["android"]) {
+		t.Error("iphone6 does not descend from android")
+	}
+}
+
+func TestLeavesAndSubtreeSize(t *testing.T) {
+	tx, ids := buildPhones(t)
+	leaves := tx.Leaves()
+	if len(leaves) != 4 {
+		t.Fatalf("got %d leaves, want 4", len(leaves))
+	}
+	if got := tx.SubtreeSize(ids["smart"]); got != 6 { // smart, android, apple, 3 phones
+		t.Errorf("SubtreeSize(smart) = %d, want 6", got)
+	}
+	if got := tx.SubtreeSize(Root); got != tx.NumNodes() {
+		t.Errorf("SubtreeSize(root) = %d, want %d", got, tx.NumNodes())
+	}
+}
+
+func TestBuilderPanicsOnBadParent(t *testing.T) {
+	b := NewBuilder("root")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddChild with unknown parent did not panic")
+		}
+	}()
+	b.AddChild(NodeID(99), "orphan")
+}
+
+func TestGenerateShape(t *testing.T) {
+	rng := linalg.NewRNG(11)
+	spec := GenSpec{Depth: 3, MinFanout: 2, MaxFanout: 4, RootName: "R", NamePrefix: "c"}
+	tx := Generate(spec, rng)
+	if tx.NumNodes() < 1+2+4+8 {
+		t.Fatalf("tree too small: %d nodes", tx.NumNodes())
+	}
+	for _, leaf := range tx.Leaves() {
+		if tx.Depth(leaf) != 3 {
+			t.Fatalf("leaf %d at depth %d, want 3", leaf, tx.Depth(leaf))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultGenSpec(), linalg.NewRNG(5))
+	b := Generate(DefaultGenSpec(), linalg.NewRNG(5))
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("same seed produced different trees: %d vs %d nodes", a.NumNodes(), b.NumNodes())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Node(NodeID(i)).Name != b.Node(NodeID(i)).Name {
+			t.Fatalf("node %d differs: %q vs %q", i, a.Node(NodeID(i)).Name, b.Node(NodeID(i)).Name)
+		}
+	}
+}
+
+func TestGenerateDegenerateSpec(t *testing.T) {
+	tx := Generate(GenSpec{}, linalg.NewRNG(1)) // all defaults clamped
+	if tx.NumNodes() < 2 {
+		t.Fatalf("degenerate spec produced %d nodes", tx.NumNodes())
+	}
+}
+
+// Property: on random trees, Distance is a metric restricted to tree
+// structure — symmetric, zero iff equal nodes at equal category, and
+// WithinLCA is monotone in k.
+func TestDistanceProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := linalg.NewRNG(seed)
+		tx := Generate(GenSpec{Depth: 1 + rng.Intn(4), MinFanout: 1, MaxFanout: 3}, rng)
+		n := tx.NumNodes()
+		for trial := 0; trial < 20; trial++ {
+			a := NodeID(rng.Intn(n))
+			b := NodeID(rng.Intn(n))
+			d := tx.Distance(a, b)
+			if d != tx.Distance(b, a) {
+				return false
+			}
+			if (d == 0) != (tx.LCA(a, b) == a && tx.LCA(a, b) == b) {
+				return false
+			}
+			// Monotone membership in k.
+			prev := false
+			for k := 0; k <= 6; k++ {
+				cur := tx.WithinLCA(a, b, k)
+				if prev && !cur {
+					return false
+				}
+				prev = cur
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParentAndChildren(t *testing.T) {
+	tx, ids := buildPhones(t)
+	if tx.Parent(ids["android"]) != ids["smart"] {
+		t.Fatal("Parent wrong")
+	}
+	if tx.Parent(Root) != None {
+		t.Fatal("root parent should be None")
+	}
+	kids := tx.Children(ids["smart"])
+	if len(kids) != 2 || kids[0] != ids["android"] || kids[1] != ids["apple"] {
+		t.Fatalf("Children = %v", kids)
+	}
+}

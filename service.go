@@ -1,0 +1,188 @@
+package sigmund
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/dfs"
+	"sigmund/internal/linalg"
+	"sigmund/internal/mapreduce"
+	"sigmund/internal/pipeline"
+	"sigmund/internal/serving"
+)
+
+// Config tunes a Service. Zero values take the production-style defaults
+// from DefaultConfig.
+type Config struct {
+	// GridSize selects the hyper-parameter search breadth: "default" is
+	// the paper's ~100-combination grid; "small" is a compact grid for
+	// demos and tests.
+	GridSize string
+	// FullEpochs / IncrementalEpochs are the training lengths for full and
+	// warm-started sweeps.
+	FullEpochs        int
+	IncrementalEpochs int
+	// TopKIncremental is how many of yesterday's best configs the daily
+	// incremental sweep re-trains (paper: 3-5).
+	TopKIncremental int
+	// FullRestartEvery forces a periodic full re-sweep (days, 0 = never) —
+	// the paper's terms-of-service constraint that models reflect only
+	// recent history.
+	FullRestartEvery int
+	// TrainWorkers is concurrent training tasks; TrainThreads is Hogwild
+	// parallelism inside one model; Cells splits work across simulated
+	// data centers.
+	TrainWorkers int
+	TrainThreads int
+	Cells        int
+	// CheckpointEvery is the wall-clock training checkpoint interval.
+	CheckpointEvery time.Duration
+	// InferTopK is the number of recommendations materialized per item.
+	InferTopK int
+	// ChaosKillProb injects simulated preemptions: each training task's
+	// first attempt is killed with this probability shortly after it
+	// starts, exercising the checkpoint/recover path the paper relies on
+	// for cheap pre-emptible VMs. 0 disables.
+	ChaosKillProb float64
+	// KeepDays garbage-collects a day's storage once it is this many days
+	// old (0 keeps everything; >= 2 is always safe for warm starts).
+	KeepDays int
+	// LateFunnelFacets enables the facet-constrained late-funnel serving
+	// surface with these facet keys (nil = off).
+	LateFunnelFacets []string
+	Seed             uint64
+}
+
+// DefaultConfig returns production-style settings scaled to a single
+// machine.
+func DefaultConfig() Config {
+	return Config{
+		GridSize:          "default",
+		FullEpochs:        10,
+		IncrementalEpochs: 3,
+		TopKIncremental:   3,
+		FullRestartEvery:  30,
+		KeepDays:          7,
+		TrainWorkers:      4,
+		TrainThreads:      2,
+		Cells:             2,
+		CheckpointEvery:   2 * time.Second,
+		InferTopK:         10,
+		Seed:              1,
+	}
+}
+
+// DemoConfig returns settings sized for examples: a small grid and short
+// training runs, finishing in seconds.
+func DemoConfig() Config {
+	c := DefaultConfig()
+	c.GridSize = "small"
+	c.FullEpochs = 6
+	c.IncrementalEpochs = 2
+	c.CheckpointEvery = 0
+	return c
+}
+
+// DayReport summarizes one daily cycle.
+type DayReport = pipeline.DayReport
+
+// RetailerReport summarizes one retailer's cycle.
+type RetailerReport = pipeline.RetailerReport
+
+// Recommendation is one served item.
+type Recommendation = serving.Recommendation
+
+// Service hosts many retailers and runs the daily Sigmund cycle for all of
+// them.
+type Service struct {
+	fs     *dfs.FS
+	server *serving.Server
+	pipe   *pipeline.Pipeline
+}
+
+// NewService creates a service with an in-memory shared filesystem and
+// serving store.
+func NewService(cfg Config) *Service {
+	grid := modelselect.DefaultGrid()
+	if cfg.GridSize == "small" {
+		grid = modelselect.SmallGrid()
+	}
+	fs := dfs.New()
+	server := serving.NewServer()
+	opts := pipeline.Options{
+		Grid:              grid,
+		BaseHyper:         bpr.DefaultHyperparams(),
+		FullEpochs:        cfg.FullEpochs,
+		IncrementalEpochs: cfg.IncrementalEpochs,
+		TopKIncremental:   cfg.TopKIncremental,
+		FullRestartEvery:  cfg.FullRestartEvery,
+		TrainWorkers:      cfg.TrainWorkers,
+		TrainThreads:      cfg.TrainThreads,
+		Cells:             cfg.Cells,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		InferTopK:         cfg.InferTopK,
+		KeepDays:          cfg.KeepDays,
+		LateFunnelFacets:  cfg.LateFunnelFacets,
+		Seed:              cfg.Seed,
+	}
+	if cfg.ChaosKillProb > 0 {
+		rng := linalg.NewRNG(cfg.Seed ^ 0xc4a05)
+		var mu sync.Mutex
+		opts.Faults = func(phase mapreduce.Phase, task, attempt int) (bool, time.Duration) {
+			if phase != mapreduce.MapPhase || attempt != 0 {
+				return false, 0
+			}
+			mu.Lock()
+			kill := rng.Float64() < cfg.ChaosKillProb
+			mu.Unlock()
+			return kill, 2 * time.Millisecond
+		}
+	}
+	return &Service{
+		fs:     fs,
+		server: server,
+		pipe:   pipeline.New(fs, server, opts),
+	}
+}
+
+// AddRetailer registers a tenant. The retailer receives a full
+// hyper-parameter sweep on its first daily cycle, incremental sweeps
+// afterwards. The catalog and log are referenced, not copied: append new
+// items/events to them between cycles and the next RunDay picks them up.
+func (s *Service) AddRetailer(cat *Catalog, log *Log) {
+	s.pipe.AddRetailer(cat, log)
+}
+
+// NumRetailers returns the number of registered tenants.
+func (s *Service) NumRetailers() int { return s.pipe.NumTenants() }
+
+// Day returns the number of completed daily cycles.
+func (s *Service) Day() int { return s.pipe.Day() }
+
+// RunDay executes one daily cycle: sweep -> train -> select -> infer ->
+// publish.
+func (s *Service) RunDay(ctx context.Context) (DayReport, error) {
+	return s.pipe.RunDay(ctx)
+}
+
+// Recommend answers a serving request from the latest published snapshot.
+func (s *Service) Recommend(r RetailerID, ctx Context, k int) []Recommendation {
+	return s.server.Recommend(r, ctx, k)
+}
+
+// Handler exposes the serving API over HTTP (GET /recommend, /healthz,
+// /statz).
+func (s *Service) Handler() http.Handler { return serving.NewHandler(s.server) }
+
+// SnapshotVersion returns the current serving snapshot version (one per
+// completed day).
+func (s *Service) SnapshotVersion() int64 { return s.server.Version() }
+
+// StorageStats reports cumulative shared-filesystem traffic (bytes
+// written, bytes read) — useful for observing checkpoint and data-staging
+// behaviour.
+func (s *Service) StorageStats() (written, read int64) { return s.fs.Stats() }

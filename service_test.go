@@ -1,0 +1,131 @@
+package sigmund
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestServiceEndToEnd(t *testing.T) {
+	svc := NewService(DemoConfig())
+	fleet := GenerateFleet(FleetSpec{NumRetailers: 2, MinItems: 40, MaxItems: 100, Seed: 81})
+	for _, r := range fleet {
+		svc.AddRetailer(r.Catalog, r.Log)
+	}
+	if svc.NumRetailers() != 2 {
+		t.Fatalf("NumRetailers = %d", svc.NumRetailers())
+	}
+	report, err := svc.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Retailers) != 2 || report.BestMAP() <= 0 {
+		t.Fatalf("report: %+v", report)
+	}
+	if svc.Day() != 1 || svc.SnapshotVersion() != 1 {
+		t.Fatalf("day=%d version=%d", svc.Day(), svc.SnapshotVersion())
+	}
+
+	// Serve through the facade.
+	r0 := fleet[0]
+	recs := svc.Recommend(r0.Catalog.Retailer, Context{{Type: View, Item: 0}}, 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+
+	// And over HTTP.
+	h := svc.Handler()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/recommend?retailer="+string(r0.Catalog.Retailer)+"&context=view:0", nil))
+	if w.Code != 200 {
+		t.Fatalf("http status %d: %s", w.Code, w.Body.String())
+	}
+
+	if wr, rd := svc.StorageStats(); wr == 0 || rd == 0 {
+		t.Fatal("no storage traffic recorded")
+	}
+}
+
+func TestServiceManualCatalog(t *testing.T) {
+	// Exercise the catalog-building surface of the public API (Figure 1's
+	// phone store).
+	tb := NewTaxonomy("Cell Phones")
+	smart := tb.AddChild(RootCategory, "Smart Phones")
+	android := tb.AddChild(smart, "Android Phones")
+	apple := tb.AddChild(smart, "Apple Phones")
+	cat := NewCatalog("phone-shop", tb.Build())
+	google := cat.AddBrand("Google")
+	nexus5x := cat.AddItem(Item{Name: "Nexus 5X", Category: android, Brand: google, Price: 34900, InStock: true})
+	nexus6p := cat.AddItem(Item{Name: "Nexus 6P", Category: android, Brand: google, Price: 49900, InStock: true})
+	iphone := cat.AddItem(Item{Name: "iPhone 6", Category: apple, Price: 64900, InStock: true})
+
+	log := NewLog()
+	for u := 0; u < 30; u++ {
+		uid := UserID(u)
+		log.Append(Event{User: uid, Item: nexus5x, Type: View, Time: int64(3 * u)})
+		log.Append(Event{User: uid, Item: nexus6p, Type: View, Time: int64(3*u + 1)})
+		log.Append(Event{User: uid, Item: iphone, Type: View, Time: int64(3*u + 2)})
+	}
+
+	svc := NewService(DemoConfig())
+	svc.AddRetailer(cat, log)
+	if _, err := svc.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	recs := svc.Recommend("phone-shop", Context{{Type: View, Item: nexus5x}}, 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations for the Figure 1 scenario")
+	}
+}
+
+func TestServiceFromInterchangeFormats(t *testing.T) {
+	// End to end from the data formats a real retailer would upload:
+	// catalog as JSONL, interactions as CSV.
+	catalogJSONL := `{"type":"root","name":"Shoes"}
+{"type":"category","name":"Running","parent":"Shoes"}
+{"type":"category","name":"Hiking","parent":"Shoes"}
+{"type":"item","name":"Roadrunner 2","category":"Running","brand":"Fleet","price_cents":12900}
+{"type":"item","name":"Trail Blazer","category":"Hiking","brand":"Summit","price_cents":15900}
+{"type":"item","name":"Roadrunner 1","category":"Running","brand":"Fleet","price_cents":9900}
+{"type":"item","name":"Peak Pro","category":"Hiking","brand":"Summit","price_cents":18900}
+`
+	cat, err := LoadCatalogJSONL(strings.NewReader(catalogJSONL), "shoe-shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var csvB strings.Builder
+	csvB.WriteString("user_id,item_id,type,time\n")
+	tm := 0
+	for u := 0; u < 30; u++ {
+		a, b := 0, 2 // runners co-browse the running shoes
+		if u%2 == 1 {
+			a, b = 1, 3 // hikers co-browse the hiking shoes
+		}
+		fmt.Fprintf(&csvB, "%d,%d,view,%d\n", u, a, tm)
+		fmt.Fprintf(&csvB, "%d,%d,view,%d\n", u, b, tm+1)
+		fmt.Fprintf(&csvB, "%d,%d,cart,%d\n", u, a, tm+2)
+		tm += 3
+	}
+	log, err := LoadEventsCSV(strings.NewReader(csvB.String()), cat.NumItems())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := NewService(DemoConfig())
+	svc.AddRetailer(cat, log)
+	if _, err := svc.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	recs := svc.Recommend("shoe-shop", Context{{Type: View, Item: 0}}, 2)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations from interchange-loaded data")
+	}
+	// A runner viewing Roadrunner 2 should see the other running shoe
+	// before hiking gear.
+	if recs[0].Item != 2 {
+		t.Fatalf("expected the co-browsed running shoe first, got %v", recs)
+	}
+}

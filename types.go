@@ -1,0 +1,125 @@
+// Package sigmund is the public API of this repository: an industrial-style
+// "recommendations as a service" system reproducing Kanagal & Tata,
+// "Recommendations for All: Solving Thousands of Recommendation Problems
+// Daily" (ICDE 2018).
+//
+// A Service hosts many retailers (tenants). Each retailer's data and models
+// are fully isolated — the paper's privacy guarantee. Every day the service
+// re-trains per-retailer BPR factorization models with automated grid
+// search, materializes item-to-item recommendations offline, and swaps the
+// serving snapshot in one batch update. Use it like this:
+//
+//	svc := sigmund.NewService(sigmund.DefaultConfig())
+//	svc.AddRetailer(cat, log)             // register a tenant
+//	report, err := svc.RunDay(ctx)        // one daily cycle
+//	recs := svc.Recommend("shop", userCtx, 10)
+//
+// The subsystems live under internal/ (see DESIGN.md for the inventory);
+// this package re-exports the types a consumer needs.
+package sigmund
+
+import (
+	"io"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/synth"
+	"sigmund/internal/taxonomy"
+)
+
+// Identity and catalog types.
+type (
+	// RetailerID identifies a tenant.
+	RetailerID = catalog.RetailerID
+	// ItemID identifies an item within one retailer's catalog.
+	ItemID = catalog.ItemID
+	// BrandID identifies a brand within one retailer's catalog.
+	BrandID = catalog.BrandID
+	// Item is one product in a retailer's inventory.
+	Item = catalog.Item
+	// Catalog is one retailer's inventory plus taxonomy.
+	Catalog = catalog.Catalog
+	// Taxonomy is a product category tree.
+	Taxonomy = taxonomy.Taxonomy
+	// TaxonomyBuilder constructs a Taxonomy.
+	TaxonomyBuilder = taxonomy.Builder
+	// CategoryID is a node in a Taxonomy.
+	CategoryID = taxonomy.NodeID
+)
+
+// Interaction types.
+type (
+	// UserID identifies a user within one retailer's log.
+	UserID = interactions.UserID
+	// EventType is the interaction strength: View < Search < Cart < Conversion.
+	EventType = interactions.EventType
+	// Event is one user interaction.
+	Event = interactions.Event
+	// Action is one (type, item) entry in a user context.
+	Action = interactions.Action
+	// Context is a user's recent action sequence — how Sigmund represents
+	// users (no per-user embeddings, so new users work immediately).
+	Context = interactions.Context
+	// Log is a retailer's interaction history.
+	Log = interactions.Log
+)
+
+// Re-exported interaction strengths.
+const (
+	View       = interactions.View
+	Search     = interactions.Search
+	Cart       = interactions.Cart
+	Conversion = interactions.Conversion
+)
+
+// NoItem marks the absence of an item.
+const NoItem = catalog.NoItem
+
+// NoBrand marks an item with unknown brand.
+const NoBrand = catalog.NoBrand
+
+// RootCategory is the root of every taxonomy.
+const RootCategory = taxonomy.Root
+
+// NewTaxonomy returns a builder for a category tree rooted at rootName.
+func NewTaxonomy(rootName string) *TaxonomyBuilder { return taxonomy.NewBuilder(rootName) }
+
+// NewCatalog returns an empty catalog for the retailer and taxonomy.
+func NewCatalog(r RetailerID, tax *Taxonomy) *Catalog { return catalog.New(r, tax) }
+
+// NewLog returns an empty interaction log.
+func NewLog() *Log { return interactions.NewLog() }
+
+// LoadCatalogJSONL reads a catalog from the JSONL interchange format (see
+// internal/catalog: root/category/item records, one JSON object per line).
+// Retailers export product feeds into this format to onboard.
+func LoadCatalogJSONL(r io.Reader, retailer RetailerID) (*Catalog, error) {
+	return catalog.LoadJSONL(r, retailer)
+}
+
+// LoadEventsCSV reads an interaction log from the CSV interchange format
+// (header user_id,item_id,type,time). Pass numItems > 0 to validate item
+// ids against the catalog size.
+func LoadEventsCSV(r io.Reader, numItems int) (*Log, error) {
+	return interactions.LoadCSV(r, numItems)
+}
+
+// Synthetic workloads (the stand-in for production traffic; see DESIGN.md).
+type (
+	// RetailerSpec parameterizes one synthetic retailer.
+	RetailerSpec = synth.RetailerSpec
+	// FleetSpec parameterizes a population of synthetic retailers.
+	FleetSpec = synth.FleetSpec
+	// SyntheticRetailer bundles a generated catalog, log, and ground truth.
+	SyntheticRetailer = synth.Retailer
+)
+
+// TicksPerDay is the width of one simulated day on the event-time axis;
+// Log.Window slices daily batches with it.
+const TicksPerDay = synth.TicksPerDay
+
+// GenerateRetailer builds one synthetic retailer with known ground truth.
+func GenerateRetailer(spec RetailerSpec) *SyntheticRetailer { return synth.GenerateRetailer(spec) }
+
+// GenerateFleet builds a power-law-sized population of synthetic retailers.
+func GenerateFleet(spec FleetSpec) []*SyntheticRetailer { return synth.GenerateFleet(spec) }
