@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The short-mode chaos suite: per-tenant fault injection, quarantine
+# lifecycle, checkpoint corruption, and stale-serving degradation.
+chaos:
+	$(GO) test -race -short -run 'Chaos|Quarantine|Garbled|CheckpointWrite|Degraded|Stale' ./internal/pipeline/ ./internal/serving/ ./internal/faults/ ./internal/retry/
+
+ci: vet build race chaos
+
+clean:
+	$(GO) clean ./...

@@ -33,7 +33,10 @@ func main() {
 		NumRetailers: *nRetailers, MinItems: 60, MaxItems: 200, Seed: *seed,
 	})
 	for _, r := range fleet {
-		svc.AddRetailer(r.Catalog, r.Log)
+		if err := svc.AddRetailer(r.Catalog, r.Log); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("training fleet (one daily cycle)...")
 	report, err := svc.RunDay(context.Background())

@@ -40,6 +40,8 @@ func main() {
 	catalogPath := flag.String("catalog", "", "host a real retailer: JSONL catalog file")
 	eventsPath := flag.String("events", "", "host a real retailer: CSV interaction log")
 	retailerID := flag.String("id", "my-shop", "retailer id for -catalog/-events mode")
+	chaos := flag.Bool("chaos", false, "inject deterministic faults (filesystem, training, inference) to exercise degradation paths")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos injector seed (0 = fleet seed)")
 	flag.Parse()
 
 	cfg := sigmund.DemoConfig()
@@ -47,6 +49,8 @@ func main() {
 		cfg = sigmund.DefaultConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Chaos = *chaos
+	cfg.ChaosSeed = *chaosSeed
 	svc := sigmund.NewService(cfg)
 
 	var firstRetailer sigmund.RetailerID
@@ -60,7 +64,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sigmundd:", err)
 			os.Exit(1)
 		}
-		svc.AddRetailer(cat, log)
+		if err := svc.AddRetailer(cat, log); err != nil {
+			fmt.Fprintln(os.Stderr, "sigmundd:", err)
+			os.Exit(1)
+		}
 		firstRetailer = cat.Retailer
 		fmt.Printf("hosting %s: %d items, %d events\n\n", cat.Retailer, cat.NumItems(), log.Len())
 	} else {
@@ -72,7 +79,10 @@ func main() {
 		})
 		var totalItems, totalEvents int
 		for _, r := range fleet {
-			svc.AddRetailer(r.Catalog, r.Log)
+			if err := svc.AddRetailer(r.Catalog, r.Log); err != nil {
+				fmt.Fprintln(os.Stderr, "sigmundd:", err)
+				os.Exit(1)
+			}
 			totalItems += r.Catalog.NumItems()
 			totalEvents += r.Log.Len()
 		}
@@ -92,12 +102,25 @@ func main() {
 			report.TrainWall.Round(time.Millisecond), report.InferWall.Round(time.Millisecond),
 			report.TrainCounters.MapAttempts, report.TrainCounters.MapFailures)
 		for _, rr := range report.Retailers {
+			if rr.Degraded {
+				state := "DEGRADED"
+				if rr.Quarantined {
+					state = "QUARANTINED"
+				}
+				fmt.Printf("  %-14s %s in %s (serving stale): %s\n",
+					rr.Retailer, state, rr.DegradedPhase, rr.Err)
+				continue
+			}
 			kind := "incremental"
 			if rr.FullSweep {
 				kind = "FULL sweep"
 			}
 			fmt.Printf("  %-14s %-11s configs %2d/%2d  best MAP@10 %.4f  items served %4d  (%s)\n",
 				rr.Retailer, kind, rr.ConfigsOK, rr.ConfigsPlaned, rr.BestMAP, rr.ItemsServed, rr.BestModelID)
+		}
+		if len(report.Degraded) > 0 {
+			fmt.Printf("  degraded: %d/%d tenants (%d quarantined)\n",
+				len(report.Degraded), len(report.Retailers), len(report.Quarantined))
 		}
 		fmt.Printf("  fleet mean best MAP@10: %.4f\n\n", report.BestMAP())
 	}

@@ -33,7 +33,9 @@ func main() {
 
 	svc := sigmund.NewService(sigmund.DemoConfig())
 	liveLog := sigmund.NewLog() // grows as days pass; the service references it
-	svc.AddRetailer(shop.Catalog, liveLog)
+	if err := svc.AddRetailer(shop.Catalog, liveLog); err != nil {
+		log.Fatal(err)
+	}
 
 	for d := 0; d < days; d++ {
 		// Overnight: new interactions arrive; occasionally the retailer

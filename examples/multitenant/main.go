@@ -32,7 +32,9 @@ func main() {
 	})
 	fmt.Println("tenant fleet:")
 	for _, r := range fleet {
-		svc.AddRetailer(r.Catalog, r.Log)
+		if err := svc.AddRetailer(r.Catalog, r.Log); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-14s %4d items %6d events  brand coverage %3.0f%%\n",
 			r.Catalog.Retailer, r.Catalog.NumItems(), r.Log.Len(), 100*r.Catalog.BrandCoverage())
 	}

@@ -29,7 +29,9 @@ func main() {
 	// The service owns the daily pipeline. DemoConfig uses a small
 	// hyper-parameter grid so this finishes in seconds.
 	svc := sigmund.NewService(sigmund.DemoConfig())
-	svc.AddRetailer(shop.Catalog, shop.Log)
+	if err := svc.AddRetailer(shop.Catalog, shop.Log); err != nil {
+		log.Fatal(err)
+	}
 
 	report, err := svc.RunDay(context.Background())
 	if err != nil {

@@ -82,7 +82,9 @@ func main() {
 	}
 
 	svc := sigmund.NewService(sigmund.DemoConfig())
-	svc.AddRetailer(cat, log_)
+	if err := svc.AddRetailer(cat, log_); err != nil {
+		log.Fatal(err)
+	}
 	if _, err := svc.RunDay(context.Background()); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,9 @@
+//go:build race
+
+package bpr
+
+// raceEnabled reports whether the binary was built with the race detector.
+// Hogwild training (Niu et al.) performs intentionally lock-free, racy
+// parameter updates; the detector flags those benign races as real ones,
+// so Train clamps to a single thread under -race.
+const raceEnabled = true

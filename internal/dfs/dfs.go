@@ -18,13 +18,17 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"sigmund/internal/faults"
 )
 
 // ErrNotExist is returned when a path has no file.
 var ErrNotExist = errors.New("dfs: file does not exist")
 
-// ErrInjectedFailure is returned by operations killed by failure injection.
-var ErrInjectedFailure = errors.New("dfs: injected failure")
+// ErrInjectedFailure is returned by operations killed by failure
+// injection. It aliases faults.ErrInjected so errors.Is matches through
+// either package's sentinel.
+var ErrInjectedFailure = faults.ErrInjected
 
 // FS is an in-memory shared filesystem. All methods are safe for
 // concurrent use.
@@ -32,9 +36,10 @@ type FS struct {
 	mu    sync.RWMutex
 	files map[string][]byte
 
-	// failEvery, when > 0, fails every Nth write (deterministic injection).
-	failEvery int64
-	writeOps  int64
+	// inj is the user-installed fault injector; legacy backs the
+	// FailEveryNthWrite convenience knob. Both are consulted.
+	inj    atomic.Pointer[faults.Injector]
+	legacy atomic.Pointer[faults.Injector]
 
 	bytesWritten int64
 	bytesRead    int64
@@ -45,27 +50,44 @@ func New() *FS {
 	return &FS{files: make(map[string][]byte)}
 }
 
-// FailEveryNthWrite arranges for every nth Write/Rename to fail with
-// ErrInjectedFailure (0 disables). Deterministic, for tests.
-func (f *FS) FailEveryNthWrite(n int) {
-	atomic.StoreInt64(&f.failEvery, int64(n))
+// SetInjector installs a fault injector consulted on Write, Rename, and
+// Read (nil removes it). Error rules fail the operation with
+// ErrInjectedFailure, Latency rules delay it, Corrupt rules garble the
+// stored (write) or returned (read) payload.
+func (f *FS) SetInjector(in *faults.Injector) {
+	f.inj.Store(in)
 }
 
-func (f *FS) injectWriteFailure() bool {
-	n := atomic.LoadInt64(&f.failEvery)
+// FailEveryNthWrite arranges for every nth Write/Rename to fail with
+// ErrInjectedFailure (0 disables). Deterministic, for tests; it is a thin
+// wrapper over a faults.Rule and composes with SetInjector.
+func (f *FS) FailEveryNthWrite(n int) {
 	if n <= 0 {
-		return false
+		f.legacy.Store(nil)
+		return
 	}
-	return atomic.AddInt64(&f.writeOps, 1)%n == 0
+	f.legacy.Store(faults.NewInjector(uint64(n), faults.Rule{
+		Ops:      []faults.Op{faults.OpWrite, faults.OpRename},
+		EveryNth: n,
+	}))
+}
+
+// inject consults both injectors before an operation.
+func (f *FS) inject(op faults.Op, path string) error {
+	if err := f.legacy.Load().Before(op, path); err != nil {
+		return err
+	}
+	return f.inj.Load().Before(op, path)
 }
 
 // Write stores data at path atomically, replacing any existing file.
 func (f *FS) Write(path string, data []byte) error {
-	if f.injectWriteFailure() {
-		return fmt.Errorf("writing %s: %w", path, ErrInjectedFailure)
+	if err := f.inject(faults.OpWrite, path); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	cp = f.inj.Load().CorruptData(faults.OpWrite, path, cp)
 	f.mu.Lock()
 	f.files[path] = cp
 	f.mu.Unlock()
@@ -75,6 +97,9 @@ func (f *FS) Write(path string, data []byte) error {
 
 // Read returns a copy of the file at path.
 func (f *FS) Read(path string) ([]byte, error) {
+	if err := f.inject(faults.OpRead, path); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
 	f.mu.RLock()
 	data, ok := f.files[path]
 	f.mu.RUnlock()
@@ -83,6 +108,7 @@ func (f *FS) Read(path string) ([]byte, error) {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	cp = f.inj.Load().CorruptData(faults.OpRead, path, cp)
 	atomic.AddInt64(&f.bytesRead, int64(len(data)))
 	return cp, nil
 }
@@ -158,8 +184,8 @@ func (f *FS) Delete(path string) error {
 // Rename atomically moves a file, replacing any existing destination. This
 // is the primitive checkpointing builds on.
 func (f *FS) Rename(from, to string) error {
-	if f.injectWriteFailure() {
-		return fmt.Errorf("renaming %s: %w", from, ErrInjectedFailure)
+	if err := f.inject(faults.OpRename, from); err != nil {
+		return fmt.Errorf("renaming %s: %w", from, err)
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()

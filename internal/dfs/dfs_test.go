@@ -6,6 +6,8 @@ import (
 	"io"
 	"sync"
 	"testing"
+
+	"sigmund/internal/faults"
 )
 
 func TestWriteReadRoundTrip(t *testing.T) {
@@ -140,6 +142,80 @@ func TestFailureInjection(t *testing.T) {
 	fs.FailEveryNthWrite(0)
 	if err := fs.Write("ok", []byte("x")); err != nil {
 		t.Fatal("injection not disabled")
+	}
+}
+
+func TestFailureInjectionOnRenamePath(t *testing.T) {
+	// FailEveryNthWrite counts Writes and Renames in one stream, so the
+	// write-then-rename commit discipline is exercised on both legs.
+	fs := New()
+	fs.Write("a", []byte("x"))
+	fs.Write("b", []byte("y"))
+	fs.FailEveryNthWrite(2)
+	if err := fs.Rename("a", "a2"); err != nil {
+		t.Fatalf("first op failed: %v", err) // op 1 of 2
+	}
+	err := fs.Rename("b", "b2")
+	if !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("second rename err = %v, want injected failure", err)
+	}
+	// A failed rename must leave the source intact and not create the
+	// destination: the commit either happens atomically or not at all.
+	if !fs.Exists("b") || fs.Exists("b2") {
+		t.Fatal("failed rename mutated the filesystem")
+	}
+	// The stream keeps counting: next op succeeds, the one after fails.
+	if err := fs.Rename("b", "b2"); err != nil {
+		t.Fatalf("third op failed: %v", err)
+	}
+	if err := fs.Write("c", []byte("z")); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("fourth op err = %v, want injected failure", err)
+	}
+}
+
+func TestSetInjectorScopedRules(t *testing.T) {
+	fs := New()
+	fs.Write("days/0/ckpt/m/ckpt.0.tmp", []byte("x"))
+	fs.Write("other", []byte("y"))
+	// Only checkpoint renames fail.
+	fs.SetInjector(faults.NewInjector(1, faults.Rule{
+		Ops: []faults.Op{faults.OpRename}, PathContains: "/ckpt/", EveryNth: 1,
+	}))
+	if err := fs.Rename("days/0/ckpt/m/ckpt.0.tmp", "days/0/ckpt/m/ckpt.0"); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("checkpoint rename err = %v", err)
+	}
+	if err := fs.Rename("other", "other2"); err != nil {
+		t.Fatalf("unrelated rename failed: %v", err)
+	}
+	if err := fs.Write("days/0/ckpt/m/ckpt.1.tmp", []byte("x")); err != nil {
+		t.Fatalf("write matched a rename-only rule: %v", err)
+	}
+	// Removing the injector restores normal operation.
+	fs.SetInjector(nil)
+	fs.Write("days/0/ckpt/m/ckpt.2.tmp", []byte("x"))
+	if err := fs.Rename("days/0/ckpt/m/ckpt.2.tmp", "days/0/ckpt/m/ckpt.2"); err != nil {
+		t.Fatalf("rename after removing injector: %v", err)
+	}
+}
+
+func TestInjectorCorruptsReadPayload(t *testing.T) {
+	fs := New()
+	fs.Write("model", []byte("pristine model bytes"))
+	fs.SetInjector(faults.NewInjector(1, faults.Rule{
+		Ops: []faults.Op{faults.OpRead}, Kind: faults.Corrupt, EveryNth: 1,
+	}))
+	got, err := fs.Read("model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == "pristine model bytes" {
+		t.Fatal("read payload not corrupted")
+	}
+	// The stored file itself is untouched.
+	fs.SetInjector(nil)
+	clean, _ := fs.Read("model")
+	if string(clean) != "pristine model bytes" {
+		t.Fatal("stored file corrupted")
 	}
 }
 

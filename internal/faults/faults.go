@@ -1,0 +1,288 @@
+// Package faults is Sigmund's unified, deterministic fault-injection
+// layer. The paper's operational premise (Sections IV-B2/IV-C) is that
+// thousands of per-retailer problems run daily on cheap pre-emptible
+// machines, so every layer must expect failure: shared-filesystem writes
+// drop, training tasks are preempted mid-epoch, whole jobs panic, and
+// stored payloads occasionally arrive garbled. This package expresses all
+// of those as one seedable schedule so fault-tolerance tests are exactly
+// reproducible:
+//
+//   - dfs.FS consults an Injector on Write/Rename/Read (subsuming the old
+//     FailEveryNthWrite knob, which is now a thin wrapper over a rule);
+//   - the pipeline consults it at the top of per-tenant training and
+//     inference work (OpTrain/OpInfer, keyed by "days/<day>/<retailer>");
+//   - Plan adapts OpMapTask/OpReduceTask rules into a mapreduce.FaultPlan
+//     that kills task attempts by cancelling their context.
+//
+// A Rule fires either deterministically (EveryNth matching operation) or
+// probabilistically from the injector's seeded RNG (Prob), optionally
+// skipping the first After matches and capping total firings at Times.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"sigmund/internal/linalg"
+	"sigmund/internal/mapreduce"
+)
+
+// Op identifies an injectable operation.
+type Op string
+
+const (
+	// OpAny matches every operation (the zero value of Rule.Ops).
+	OpAny Op = ""
+	// OpWrite / OpRename / OpRead are shared-filesystem operations.
+	OpWrite  Op = "write"
+	OpRename Op = "rename"
+	OpRead   Op = "read"
+	// OpTrain / OpInfer are per-tenant pipeline stages; the path the rule
+	// sees is "days/<day>/<retailer>".
+	OpTrain Op = "train"
+	OpInfer Op = "infer"
+	// OpMapTask / OpReduceTask are MapReduce task attempts, consumed via
+	// Plan; the path is "task-<task>/attempt-<attempt>".
+	OpMapTask    Op = "map-task"
+	OpReduceTask Op = "reduce-task"
+)
+
+// Kind is the failure mode a rule injects.
+type Kind uint8
+
+const (
+	// Error makes the operation return ErrInjected.
+	Error Kind = iota
+	// Latency sleeps for Rule.Delay before letting the operation proceed.
+	Latency
+	// Panic panics with a PanicValue (per-tenant pipeline work recovers
+	// panics into error records; anywhere else it is a real crash).
+	Panic
+	// Corrupt flips bytes in the operation's payload (CorruptData).
+	Corrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Latency:
+		return "latency"
+	case Panic:
+		return "panic"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// ErrInjected is the sentinel returned by Error-kind rules.
+var ErrInjected = errors.New("faults: injected failure")
+
+// PanicValue is the value thrown by Panic-kind rules, so recovery code can
+// distinguish injected panics in logs.
+type PanicValue struct {
+	Op   Op
+	Path string
+}
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faults: injected panic (%s %s)", p.Op, p.Path)
+}
+
+// Rule schedules one fault. The zero schedule never fires.
+type Rule struct {
+	// Ops restricts the rule to these operations (empty = every op).
+	Ops []Op
+	// PathContains restricts the rule to paths containing this substring
+	// ("" = every path).
+	PathContains string
+	// Kind is the failure mode.
+	Kind Kind
+	// EveryNth fires on every nth matching operation (deterministic).
+	// When 0, Prob fires with this probability from the seeded RNG.
+	EveryNth int
+	Prob     float64
+	// After skips the first After matching operations.
+	After int
+	// Times caps total firings (0 = unlimited).
+	Times int
+	// Delay is the sleep for Latency rules and the kill delay for
+	// OpMapTask/OpReduceTask rules consumed via Plan.
+	Delay time.Duration
+}
+
+type ruleState struct {
+	Rule
+	matched int64
+	fired   int64
+}
+
+func (rs *ruleState) appliesTo(op Op, path string) bool {
+	if len(rs.Ops) > 0 {
+		ok := false
+		for _, o := range rs.Ops {
+			if o == op || o == OpAny {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return rs.PathContains == "" || strings.Contains(path, rs.PathContains)
+}
+
+// Injector evaluates rules against operations. Safe for concurrent use;
+// with purely deterministic rules (EveryNth + PathContains on per-tenant
+// paths) the set of fired faults is independent of goroutine interleaving.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *linalg.RNG
+	rules []*ruleState
+}
+
+// NewInjector returns an injector whose probabilistic rules draw from a
+// generator seeded with seed.
+func NewInjector(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{rng: linalg.NewRNG(seed ^ 0xfa017)}
+	for _, r := range rules {
+		in.Add(r)
+	}
+	return in
+}
+
+// Add appends a rule.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	in.rules = append(in.rules, &ruleState{Rule: r})
+	in.mu.Unlock()
+}
+
+// match advances the schedule of every applicable rule (restricted to
+// kinds, or all kinds when empty) and returns the first that fires.
+func (in *Injector) match(op Op, path string, kinds ...Kind) *ruleState {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var hit *ruleState
+	for _, rs := range in.rules {
+		if len(kinds) > 0 {
+			ok := false
+			for _, k := range kinds {
+				if rs.Kind == k {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		if !rs.appliesTo(op, path) {
+			continue
+		}
+		rs.matched++
+		if rs.matched <= int64(rs.After) {
+			continue
+		}
+		if rs.Times > 0 && rs.fired >= int64(rs.Times) {
+			continue
+		}
+		fire := false
+		switch {
+		case rs.EveryNth > 0:
+			fire = (rs.matched-int64(rs.After))%int64(rs.EveryNth) == 0
+		case rs.Prob > 0:
+			fire = in.rng.Float64() < rs.Prob
+		}
+		if fire {
+			rs.fired++
+			if hit == nil {
+				hit = rs
+			}
+		}
+	}
+	return hit
+}
+
+// Before consults the schedule for (op, path) and applies the fault:
+// Error-kind rules return ErrInjected, Latency-kind rules sleep for their
+// Delay, Panic-kind rules panic with a PanicValue. Nil receivers and
+// non-firing schedules return nil. Corrupt-kind rules are not consulted
+// here — see CorruptData.
+func (in *Injector) Before(op Op, path string) error {
+	if in == nil {
+		return nil
+	}
+	rs := in.match(op, path, Error, Latency, Panic)
+	if rs == nil {
+		return nil
+	}
+	switch rs.Kind {
+	case Latency:
+		time.Sleep(rs.Delay)
+		return nil
+	case Panic:
+		panic(PanicValue{Op: op, Path: path})
+	default:
+		return ErrInjected
+	}
+}
+
+// CorruptData passes a payload through Corrupt-kind rules: when one fires,
+// a deterministic bit pattern is XORed over a copy of the payload. The
+// caller stores or returns the result in place of the original.
+func (in *Injector) CorruptData(op Op, path string, data []byte) []byte {
+	if in == nil {
+		return data
+	}
+	rs := in.match(op, path, Corrupt)
+	if rs == nil || len(data) == 0 {
+		return data
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	for i := 0; i < len(cp); i += 7 {
+		cp[i] ^= 0xa5
+	}
+	return cp
+}
+
+// Plan adapts the injector into a mapreduce.FaultPlan: OpMapTask and
+// OpReduceTask rules decide whether a task attempt gets killed (its
+// context cancelled) Delay after it starts. The path rules see is
+// "task-<task>/attempt-<attempt>". A nil injector yields a nil plan.
+func (in *Injector) Plan() mapreduce.FaultPlan {
+	if in == nil {
+		return nil
+	}
+	return func(phase mapreduce.Phase, task, attempt int) (bool, time.Duration) {
+		op := OpMapTask
+		if phase == mapreduce.ReducePhase {
+			op = OpReduceTask
+		}
+		rs := in.match(op, fmt.Sprintf("task-%d/attempt-%d", task, attempt))
+		if rs == nil {
+			return false, 0
+		}
+		return true, rs.Delay
+	}
+}
+
+// Fired reports the total number of faults fired across all rules.
+func (in *Injector) Fired() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int64
+	for _, rs := range in.rules {
+		n += rs.fired
+	}
+	return n
+}

@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sigmund/internal/mapreduce"
+)
+
+func TestEveryNthIsDeterministic(t *testing.T) {
+	in := NewInjector(1, Rule{Ops: []Op{OpWrite}, EveryNth: 3})
+	var failures int
+	for i := 0; i < 9; i++ {
+		if err := in.Before(OpWrite, "p"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("err = %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3", failures)
+	}
+	// Ops not named by the rule never fire.
+	if err := in.Before(OpRead, "p"); err != nil {
+		t.Fatal("read matched a write-only rule")
+	}
+}
+
+func TestPathContainsScopesRule(t *testing.T) {
+	in := NewInjector(1, Rule{Ops: []Op{OpTrain}, PathContains: "days/1/shop-a", EveryNth: 1})
+	if err := in.Before(OpTrain, "days/0/shop-a"); err != nil {
+		t.Fatal("wrong day matched")
+	}
+	if err := in.Before(OpTrain, "days/1/shop-b"); err != nil {
+		t.Fatal("wrong tenant matched")
+	}
+	if err := in.Before(OpTrain, "days/1/shop-a"); err == nil {
+		t.Fatal("target tenant did not fire")
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	in := NewInjector(1, Rule{EveryNth: 1, After: 2, Times: 3})
+	var failures int
+	for i := 0; i < 10; i++ {
+		if in.Before(OpWrite, "p") != nil {
+			failures++
+		}
+	}
+	// Skips the first 2 matches, then fires on every match, capped at 3.
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3", failures)
+	}
+	if in.Fired() != 3 {
+		t.Fatalf("Fired = %d", in.Fired())
+	}
+}
+
+func TestProbSeededDeterminism(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := NewInjector(seed, Rule{Prob: 0.5})
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = in.Before(OpWrite, "p") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	var any bool
+	for _, f := range a {
+		any = any || f
+	}
+	if !any {
+		t.Fatal("Prob 0.5 fired nothing in 40 draws")
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	in := NewInjector(1, Rule{Kind: Panic, EveryNth: 1})
+	defer func() {
+		v := recover()
+		pv, ok := v.(PanicValue)
+		if !ok || pv.Op != OpInfer || pv.Path != "days/2/shop" || pv.String() == "" {
+			t.Fatalf("recover = %#v", v)
+		}
+	}()
+	in.Before(OpInfer, "days/2/shop")
+	t.Fatal("did not panic")
+}
+
+func TestLatencyKind(t *testing.T) {
+	in := NewInjector(1, Rule{Kind: Latency, EveryNth: 1, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := in.Before(OpRead, "p"); err != nil {
+		t.Fatalf("latency returned error %v", err)
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("latency rule did not sleep")
+	}
+}
+
+func TestCorruptData(t *testing.T) {
+	in := NewInjector(1, Rule{Kind: Corrupt, EveryNth: 2})
+	orig := []byte("checkpoint payload bytes")
+	// First matching op: schedule does not fire; data passes untouched.
+	if got := in.CorruptData(OpWrite, "p", orig); string(got) != string(orig) {
+		t.Fatal("corrupted on non-firing match")
+	}
+	// Second: fires, returns a mutated copy, original intact.
+	got := in.CorruptData(OpWrite, "p", orig)
+	if string(got) == string(orig) {
+		t.Fatal("payload not corrupted")
+	}
+	if string(orig) != "checkpoint payload bytes" {
+		t.Fatal("original buffer mutated")
+	}
+	// Corrupt rules never fire through Before.
+	in2 := NewInjector(1, Rule{Kind: Corrupt, EveryNth: 1})
+	if err := in2.Before(OpWrite, "p"); err != nil {
+		t.Fatal("Corrupt rule fired as an error")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Before(OpWrite, "p"); err != nil {
+		t.Fatal("nil injector errored")
+	}
+	if got := in.CorruptData(OpWrite, "p", []byte("x")); string(got) != "x" {
+		t.Fatal("nil injector corrupted")
+	}
+	if in.Plan() != nil {
+		t.Fatal("nil injector produced a plan")
+	}
+	if in.Fired() != 0 {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestPlanKillsScheduledTasks(t *testing.T) {
+	in := NewInjector(1, Rule{
+		Ops: []Op{OpMapTask}, PathContains: "task-2/attempt-0",
+		EveryNth: 1, Delay: 3 * time.Millisecond,
+	})
+	plan := in.Plan()
+	kill, after := plan(mapreduce.MapPhase, 2, 0)
+	if !kill || after != 3*time.Millisecond {
+		t.Fatalf("kill=%v after=%v", kill, after)
+	}
+	if kill, _ := plan(mapreduce.MapPhase, 2, 1); kill {
+		t.Fatal("retry attempt killed")
+	}
+	if kill, _ := plan(mapreduce.MapPhase, 1, 0); kill {
+		t.Fatal("other task killed")
+	}
+	if kill, _ := plan(mapreduce.ReducePhase, 2, 0); kill {
+		t.Fatal("reduce task killed by map rule")
+	}
+}
+
+func TestAddRuleAtRuntime(t *testing.T) {
+	in := NewInjector(1)
+	if err := in.Before(OpWrite, "p"); err != nil {
+		t.Fatal("empty injector fired")
+	}
+	in.Add(Rule{EveryNth: 1})
+	if err := in.Before(OpWrite, "p"); err == nil {
+		t.Fatal("added rule did not fire")
+	}
+}

@@ -1,0 +1,329 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/serving"
+	"sigmund/internal/synth"
+)
+
+// chaosFleet builds a deterministic n-tenant fleet; generating it twice
+// with the same seed yields identical tenants, so a faulted run can be
+// compared against a fault-free control run.
+func chaosFleet(t testing.TB, n int) []*synth.Retailer {
+	t.Helper()
+	return synth.GenerateFleet(synth.FleetSpec{
+		NumRetailers: n, MinItems: 40, MaxItems: 80,
+		UsersPerItem: 1.0, EventsPerUserMean: 10, Seed: 1234,
+	})
+}
+
+func mustAdd(t testing.TB, p *Pipeline, r *synth.Retailer) {
+	t.Helper()
+	if err := p.AddRetailer(r.Catalog, r.Log); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiDayChaosPerTenantFaultDomains is the end-to-end degradation
+// scenario: over a multi-day run, faults are injected into exactly one
+// tenant's training and another tenant's inference on day 1. Exactly those
+// tenants must degrade — healthy tenants' published recommendations stay
+// byte-identical to a fault-free control run — and the degraded tenants
+// keep serving the previous day's recommendations, observable through the
+// /statz version metadata.
+func TestMultiDayChaosPerTenantFaultDomains(t *testing.T) {
+	run := func(inj *faults.Injector) (*Pipeline, *serving.Server) {
+		opts := testOptions()
+		opts.Injector = inj
+		server := serving.NewServer()
+		p := New(dfs.New(), server, opts)
+		for _, r := range chaosFleet(t, 3) {
+			mustAdd(t, p, r)
+		}
+		return p, server
+	}
+
+	fleet := chaosFleet(t, 3)
+	trainVictim := fleet[0].Catalog.Retailer
+	inferVictim := fleet[1].Catalog.Retailer
+	healthy := fleet[len(fleet)-1].Catalog.Retailer
+
+	inj := faults.NewInjector(42,
+		faults.Rule{Ops: []faults.Op{faults.OpTrain}, PathContains: "days/1/" + string(trainVictim), EveryNth: 1},
+		faults.Rule{Ops: []faults.Op{faults.OpInfer}, PathContains: "days/1/" + string(inferVictim), EveryNth: 1},
+	)
+	control, controlServer := run(nil)
+	chaos, chaosServer := run(inj)
+
+	// Day 0: fault-free everywhere (the rules are scoped to day 1), giving
+	// every tenant a good snapshot to fall back on.
+	for _, p := range []*Pipeline{control, chaos} {
+		rep, err := p.RunDay(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Degraded) != 0 {
+			t.Fatalf("day 0 degraded: %v", rep.Degraded)
+		}
+	}
+	day0Victim := chaosServer.Snapshot().Retailers[trainVictim]
+	day0InferVictim := chaosServer.Snapshot().Retailers[inferVictim]
+
+	// Day 1: chaos.
+	if _, err := control.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chaos.RunDay(context.Background())
+	if err != nil {
+		t.Fatalf("chaos day returned a fleet-level error: %v", err)
+	}
+
+	wantDegraded := map[catalog.RetailerID]string{
+		trainVictim: PhaseTrain,
+		inferVictim: PhaseInfer,
+	}
+	for _, rr := range rep.Retailers {
+		phase, want := wantDegraded[rr.Retailer]
+		if rr.Degraded != want {
+			t.Fatalf("%s: Degraded = %v, want %v (%+v)", rr.Retailer, rr.Degraded, want, rr)
+		}
+		if want && rr.DegradedPhase != phase {
+			t.Fatalf("%s: phase = %q, want %q (err: %s)", rr.Retailer, rr.DegradedPhase, phase, rr.Err)
+		}
+		if want && rr.Err == "" {
+			t.Fatalf("%s: degraded without an error", rr.Retailer)
+		}
+	}
+	if len(rep.Degraded) != len(wantDegraded) {
+		t.Fatalf("Degraded = %v", rep.Degraded)
+	}
+
+	// Healthy tenants are byte-identical to the fault-free control run.
+	chaosSnap := chaosServer.Snapshot()
+	controlSnap := controlServer.Snapshot()
+	if !reflect.DeepEqual(chaosSnap.Retailers[healthy], controlSnap.Retailers[healthy]) {
+		t.Fatalf("healthy tenant %s diverged from the fault-free run", healthy)
+	}
+
+	// Degraded tenants serve yesterday's recommendations: the carried
+	// forward RetailerRecs are the day-0 generation, and the snapshot
+	// metadata says so.
+	if chaosSnap.Retailers[trainVictim] != day0Victim {
+		t.Fatalf("%s: recs not carried forward from day 0", trainVictim)
+	}
+	if chaosSnap.Retailers[inferVictim] != day0InferVictim {
+		t.Fatalf("%s: recs not carried forward from day 0", inferVictim)
+	}
+	if got := chaosServer.SnapshotAge(trainVictim); got != 1 {
+		t.Fatalf("SnapshotAge(%s) = %d, want 1", trainVictim, got)
+	}
+	if got := chaosServer.SnapshotAge(healthy); got != 0 {
+		t.Fatalf("SnapshotAge(%s) = %d, want 0", healthy, got)
+	}
+
+	// Stale tenants still answer requests, and the serve is counted.
+	if recs := chaosServer.Recommend(trainVictim, nil, 5); len(recs) == 0 {
+		t.Fatalf("%s: no recommendations while degraded", trainVictim)
+	}
+	if chaosServer.StaleServes() == 0 {
+		t.Fatal("stale serve not counted")
+	}
+
+	// /statz exposes the degradation and the per-tenant staleness.
+	rr := httptest.NewRecorder()
+	serving.NewHandler(chaosServer).ServeHTTP(rr, httptest.NewRequest("GET", "/statz", nil))
+	var statz struct {
+		Version     int64    `json:"version"`
+		StaleServes int64    `json:"stale_serves"`
+		Degraded    []string `json:"degraded"`
+		Tenants     map[string]struct {
+			Degraded      bool   `json:"degraded"`
+			DegradedPhase string `json:"degraded_phase"`
+			RecsVersion   int64  `json:"recs_version"`
+			SnapshotAge   int64  `json:"snapshot_age"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &statz); err != nil {
+		t.Fatalf("statz: %v (%s)", err, rr.Body.String())
+	}
+	if statz.Version != 2 || len(statz.Degraded) != 2 {
+		t.Fatalf("statz = %+v", statz)
+	}
+	tv := statz.Tenants[string(trainVictim)]
+	if !tv.Degraded || tv.DegradedPhase != PhaseTrain || tv.RecsVersion != 1 || tv.SnapshotAge != 1 {
+		t.Fatalf("statz[%s] = %+v", trainVictim, tv)
+	}
+	if hv := statz.Tenants[string(healthy)]; hv.Degraded || hv.SnapshotAge != 0 {
+		t.Fatalf("statz[%s] = %+v", healthy, hv)
+	}
+	if statz.StaleServes == 0 {
+		t.Fatal("statz stale_serves = 0")
+	}
+
+	// Day 2: faults gone; the degraded tenants recover and serve fresh.
+	rep, err = chaos.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Fatalf("day 2 degraded: %v", rep.Degraded)
+	}
+	if got := chaosServer.SnapshotAge(trainVictim); got != 0 {
+		t.Fatalf("after recovery SnapshotAge(%s) = %d", trainVictim, got)
+	}
+	if _, err := control.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(chaosServer.Snapshot().Retailers[healthy], controlServer.Snapshot().Retailers[healthy]) {
+		t.Fatalf("healthy tenant %s diverged on the recovery day", healthy)
+	}
+}
+
+// TestQuarantineLifecycle drives one tenant through the full state
+// machine: consecutive failures -> quarantine -> skipped days -> failed
+// re-admission probe -> successful probe -> full re-admission. A healthy
+// tenant riding along must never be affected.
+func TestQuarantineLifecycle(t *testing.T) {
+	fleet := chaosFleet(t, 2)
+	victim := fleet[0].Catalog.Retailer
+	healthy := fleet[1].Catalog.Retailer
+
+	// Training fails on days 1, 2 (entering quarantine after the 2nd
+	// consecutive failure) and on day 4 (the first re-admission probe);
+	// the day-6 probe finds the tenant healthy again.
+	inj := faults.NewInjector(7,
+		faults.Rule{Ops: []faults.Op{faults.OpTrain}, PathContains: "days/1/" + string(victim), EveryNth: 1},
+		faults.Rule{Ops: []faults.Op{faults.OpTrain}, PathContains: "days/2/" + string(victim), EveryNth: 1},
+		faults.Rule{Ops: []faults.Op{faults.OpTrain}, PathContains: "days/4/" + string(victim), EveryNth: 1},
+	)
+	opts := testOptions()
+	opts.Injector = inj
+	opts.QuarantineAfter = 2
+	opts.QuarantineProbeEvery = 2
+	server := serving.NewServer()
+	p := New(dfs.New(), server, opts)
+	mustAdd(t, p, fleet[0])
+	mustAdd(t, p, fleet[1])
+
+	victimReport := func(rep DayReport) RetailerReport {
+		for _, rr := range rep.Retailers {
+			if rr.Retailer == victim {
+				return rr
+			}
+		}
+		t.Fatalf("day %d: victim missing from report", rep.Day)
+		return RetailerReport{}
+	}
+	type expect struct {
+		phase       string // "" = healthy
+		quarantined bool
+		consec      int
+	}
+	want := []expect{
+		{"", false, 0},             // day 0: baseline
+		{PhaseTrain, false, 1},     // day 1: first failure
+		{PhaseTrain, true, 2},      // day 2: second failure -> quarantined
+		{PhaseQuarantine, true, 2}, // day 3: skipped in quarantine
+		{PhaseTrain, true, 3},      // day 4: probe runs and fails
+		{PhaseQuarantine, true, 3}, // day 5: skipped again
+		{"", false, 0},             // day 6: probe succeeds -> readmitted
+	}
+	for day, w := range want {
+		rep, err := p.RunDay(context.Background())
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		got := victimReport(rep)
+		if (got.DegradedPhase != w.phase) || (got.Quarantined != w.quarantined) || (got.ConsecutiveFailures != w.consec) {
+			t.Fatalf("day %d: phase=%q quarantined=%v consec=%d, want %+v (err: %s)",
+				day, got.DegradedPhase, got.Quarantined, got.ConsecutiveFailures, w, got.Err)
+		}
+		for _, rr := range rep.Retailers {
+			if rr.Retailer == healthy && rr.Degraded {
+				t.Fatalf("day %d: healthy tenant degraded: %+v", day, rr)
+			}
+		}
+	}
+
+	// Throughout the quarantine the victim kept serving its day-0 recs;
+	// after re-admission it serves fresh ones.
+	if got := server.SnapshotAge(victim); got != 0 {
+		t.Fatalf("after re-admission SnapshotAge = %d", got)
+	}
+	if recs := server.Recommend(victim, nil, 5); len(recs) == 0 {
+		t.Fatal("victim serving nothing after re-admission")
+	}
+}
+
+// TestGarbledCheckpointFallsBack covers the non-fatal checkpoint-recovery
+// path: a training task that finds an unreadable checkpoint discards it
+// (counted), GCs it, and falls back to a fresh model instead of failing.
+func TestGarbledCheckpointFallsBack(t *testing.T) {
+	fs := dfs.New()
+	p := New(fs, nil, testOptions())
+	r := chaosFleet(t, 1)[0]
+	mustAdd(t, p, r)
+
+	base := checkpointBase(0, "m")
+	if err := fs.Write(base+"/ckpt.0", []byte("not a model")); err != nil {
+		t.Fatal(err)
+	}
+	rec := modelselect.ConfigRecord{
+		Retailer: r.Catalog.Retailer, ModelID: "m", Hyper: bpr.DefaultHyperparams(),
+	}
+	model, err := p.buildModel(rec, r.Catalog, base)
+	if err != nil {
+		t.Fatalf("garbled checkpoint sank the task: %v", err)
+	}
+	if model == nil {
+		t.Fatal("no model built")
+	}
+	if got := p.discardedCkpts.Load(); got != 1 {
+		t.Fatalf("discardedCkpts = %d, want 1", got)
+	}
+	if _, ok := dfs.LatestCheckpoint(fs, base); ok {
+		t.Fatal("garbled checkpoint not GCed")
+	}
+}
+
+// TestCheckpointWriteFailuresMidTraining verifies that a filesystem where
+// every checkpoint write fails does not sink training: checkpoint saves
+// are best-effort (the train loop drops the failed save and continues),
+// and the day completes with every tenant healthy.
+func TestCheckpointWriteFailuresMidTraining(t *testing.T) {
+	fs := dfs.New()
+	fs.SetInjector(faults.NewInjector(3, faults.Rule{
+		Ops: []faults.Op{faults.OpWrite, faults.OpRename}, PathContains: "/ckpt/", EveryNth: 1,
+	}))
+	opts := testOptions()
+	opts.CheckpointEvery = time.Millisecond
+	server := serving.NewServer()
+	p := New(fs, server, opts)
+	r := chaosFleet(t, 1)[0]
+	mustAdd(t, p, r)
+
+	rep, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Fatalf("degraded under checkpoint-write failures: %+v", rep.Retailers)
+	}
+	if rr := rep.Retailers[0]; rr.BestMAP <= 0 || rr.ItemsServed == 0 {
+		t.Fatalf("day did not complete normally: %+v", rr)
+	}
+	if got := fs.List("days/0/ckpt/"); len(got) != 0 {
+		t.Fatalf("checkpoints exist despite every write failing: %v", got)
+	}
+}

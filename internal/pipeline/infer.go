@@ -11,23 +11,32 @@ import (
 	"sigmund/internal/core/hybrid"
 	"sigmund/internal/core/inference"
 	"sigmund/internal/core/modelselect"
+	"sigmund/internal/faults"
 	"sigmund/internal/interactions"
 	"sigmund/internal/serving"
 )
 
-// runInference materializes recommendations for every retailer with a
-// trained model and publishes one batch snapshot (Figure 5's schematic).
-// Retailers are bin-packed across cells by inventory size — greedy
-// first-fit, the paper's heuristic — and cells run concurrently.
+// runInference materializes recommendations for every healthy retailer
+// with a trained model and builds one batch snapshot (Figure 5's
+// schematic). Retailers are bin-packed across cells by inventory size —
+// greedy first-fit, the paper's heuristic — and cells run concurrently.
+//
+// Each retailer's materialization is its own fault domain: a failure
+// (including a recovered panic) marks only that retailer degraded —
+// recorded in the degraded map — and the rest of the cell's retailers
+// still materialize. The returned snapshot contains recommendations for
+// the successful retailers; the caller marks degraded tenants on it before
+// publishing so serving carries their previous recommendations forward.
 func (p *Pipeline) runInference(
 	ctx context.Context,
 	day int,
 	ids []catalog.RetailerID,
-	tenants []*Tenant,
+	tenants map[catalog.RetailerID]*Tenant,
 	byRetailer map[catalog.RetailerID][]modelselect.ConfigRecord,
 	reports map[catalog.RetailerID]*RetailerReport,
-) error {
-	// Only retailers with a usable best model are materialized.
+	degraded map[catalog.RetailerID]*degradation,
+) *serving.Snapshot {
+	// Only healthy retailers with a usable best model are materialized.
 	type job struct {
 		id     catalog.RetailerID
 		tenant *Tenant
@@ -35,66 +44,83 @@ func (p *Pipeline) runInference(
 	}
 	var jobs []job
 	var weights []float64
-	for i, id := range ids {
+	for _, id := range ids {
+		if degraded[id] != nil {
+			continue
+		}
 		best, ok := modelselect.Best(byRetailer[id])
 		if !ok {
 			continue
 		}
-		jobs = append(jobs, job{id: id, tenant: tenants[i], best: best})
-		weights = append(weights, float64(tenants[i].Catalog.NumItems()))
+		t := tenants[id]
+		jobs = append(jobs, job{id: id, tenant: t, best: best})
+		weights = append(weights, float64(t.Catalog.NumItems()))
 	}
-	if len(jobs) == 0 {
-		return nil
-	}
-	assign := inference.Partition(weights, p.opts.Cells, inference.GreedyFirstFit)
 
 	perRetailer := make(map[catalog.RetailerID][]inference.ItemRecs, len(jobs))
 	pop := make(map[catalog.RetailerID][]catalog.ItemID, len(jobs))
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-	)
-	for cell := 0; cell < p.opts.Cells; cell++ {
-		var mine []job
-		for i, j := range jobs {
-			if assign.Bin[i] == cell {
-				mine = append(mine, j)
+	failed := map[catalog.RetailerID]error{}
+	if len(jobs) > 0 {
+		assign := inference.Partition(weights, p.opts.Cells, inference.GreedyFirstFit)
+		var (
+			mu sync.Mutex
+			wg sync.WaitGroup
+		)
+		for cell := 0; cell < p.opts.Cells; cell++ {
+			var mine []job
+			for i, j := range jobs {
+				if assign.Bin[i] == cell {
+					mine = append(mine, j)
+				}
 			}
-		}
-		if len(mine) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(cell int, mine []job) {
-			defer wg.Done()
-			for _, j := range mine {
-				recs, sellers, err := p.inferRetailer(ctx, j.tenant, j.best)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("inference for %s (cell %d): %w", j.id, cell, err)
+			if len(mine) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(cell int, mine []job) {
+				defer wg.Done()
+				for _, j := range mine {
+					recs, sellers, err := p.inferRetailerSafe(ctx, day, j.tenant, j.best)
+					mu.Lock()
+					if err != nil {
+						failed[j.id] = fmt.Errorf("inference for %s (cell %d): %w", j.id, cell, err)
+						mu.Unlock()
+						continue
+					}
+					perRetailer[j.id] = recs
+					pop[j.id] = sellers
+					if rep := reports[j.id]; rep != nil {
+						rep.ItemsServed = len(recs)
 					}
 					mu.Unlock()
-					return
 				}
-				perRetailer[j.id] = recs
-				pop[j.id] = sellers
-				if rep := reports[j.id]; rep != nil {
-					rep.ItemsServed = len(recs)
-				}
-				mu.Unlock()
-			}
-		}(cell, mine)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+			}(cell, mine)
+		}
+		wg.Wait()
 	}
 
-	snap := serving.BuildSnapshot(int64(day+1), perRetailer, pop)
-	p.server.Publish(snap)
-	return nil
+	for id, err := range failed {
+		if degraded[id] == nil {
+			degraded[id] = &degradation{phase: PhaseInfer, err: err}
+		}
+	}
+	return serving.BuildSnapshot(int64(day+1), perRetailer, pop)
+}
+
+// inferRetailerSafe runs one retailer's materialization behind the fault
+// injector and a panic barrier: a panicking inference job degrades only
+// its own retailer.
+func (p *Pipeline) inferRetailerSafe(ctx context.Context, day int, t *Tenant, best modelselect.ConfigRecord) (items []inference.ItemRecs, sellers []catalog.ItemID, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			items, sellers = nil, nil
+			err = fmt.Errorf("pipeline: inference for %s panicked: %v", best.Retailer, r)
+		}
+	}()
+	if err := p.opts.Injector.Before(faults.OpInfer, faultPath(day, best.Retailer)); err != nil {
+		return nil, nil, err
+	}
+	return p.inferRetailer(ctx, t, best)
 }
 
 // inferRetailer materializes one retailer: load the best model, assemble

@@ -2,9 +2,12 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sigmund/internal/catalog"
@@ -12,9 +15,11 @@ import (
 	"sigmund/internal/core/eval"
 	"sigmund/internal/core/modelselect"
 	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
 	"sigmund/internal/interactions"
 	"sigmund/internal/linalg"
 	"sigmund/internal/mapreduce"
+	"sigmund/internal/retry"
 	"sigmund/internal/serving"
 )
 
@@ -66,6 +71,27 @@ type Options struct {
 
 	// Faults optionally injects preemptions into the training MapReduce.
 	Faults mapreduce.FaultPlan
+
+	// Injector optionally injects deterministic faults into per-tenant
+	// pipeline stages: training and inference work consult it under the
+	// path "days/<day>/<retailer>" (OpTrain / OpInfer). Install the same
+	// injector on the dfs.FS to fault staging writes, checkpoints, and
+	// model saves too. nil disables.
+	Injector *faults.Injector
+
+	// Retry is the backoff policy for transient shared-filesystem writes
+	// (staging data, cell records). Zero fields take retry defaults;
+	// jitter is drawn from the pipeline seed so runs stay deterministic.
+	Retry retry.Policy
+
+	// QuarantineAfter is how many consecutive failed days a tenant may
+	// accumulate before it is quarantined: skipped on subsequent days
+	// (while its last good snapshot keeps serving) except for periodic
+	// re-admission probes. <= 0 defaults to 3.
+	QuarantineAfter int
+	// QuarantineProbeEvery is how often, in days, a quarantined tenant is
+	// probed for re-admission with a full cycle. <= 0 defaults to 2.
+	QuarantineProbeEvery int
 
 	// MinFeatureCoverage is the feature-selection pruning threshold
 	// (paper: ~0.1 for brand coverage).
@@ -122,6 +148,13 @@ func (o Options) Defaulted() Options {
 	if o.MinFeatureCoverage <= 0 {
 		o.MinFeatureCoverage = 0.1
 	}
+	if o.QuarantineAfter <= 0 {
+		o.QuarantineAfter = 3
+	}
+	if o.QuarantineProbeEvery <= 0 {
+		o.QuarantineProbeEvery = 2
+	}
+	o.Retry = o.Retry.Defaulted()
 	return o
 }
 
@@ -134,11 +167,24 @@ type Tenant struct {
 	isNew bool
 }
 
+// tenantHealth tracks one tenant's fault-domain state across days: how
+// many consecutive daily cycles have failed, and whether the tenant is
+// quarantined (skipped except for periodic re-admission probes).
+type tenantHealth struct {
+	consecFailures int
+	quarantined    bool
+	quarantinedDay int // day the tenant entered quarantine
+}
+
 // Pipeline runs the daily cycle for a fleet of tenants.
 type Pipeline struct {
 	fs     *dfs.FS
 	server *serving.Server
 	opts   Options
+
+	// discardedCkpts counts garbled or unreadable checkpoints that were
+	// discarded in favor of a warm or fresh start.
+	discardedCkpts atomic.Int64
 
 	mu      sync.Mutex
 	tenants map[catalog.RetailerID]*Tenant
@@ -147,6 +193,8 @@ type Pipeline struct {
 	// lastRecords holds each retailer's trained config records from the
 	// previous sweep, for incremental planning.
 	lastRecords map[catalog.RetailerID][]modelselect.ConfigRecord
+	// health holds each retailer's fault-domain state.
+	health map[catalog.RetailerID]*tenantHealth
 }
 
 // New creates a pipeline writing to fs and publishing to server (server
@@ -158,20 +206,24 @@ func New(fs *dfs.FS, server *serving.Server, opts Options) *Pipeline {
 		opts:        opts.Defaulted(),
 		tenants:     make(map[catalog.RetailerID]*Tenant),
 		lastRecords: make(map[catalog.RetailerID][]modelselect.ConfigRecord),
+		health:      make(map[catalog.RetailerID]*tenantHealth),
 	}
 }
 
 // AddRetailer registers a tenant. New retailers receive a full grid sweep
 // on their first cycle even when the fleet is running incrementally.
-func (p *Pipeline) AddRetailer(cat *catalog.Catalog, log *interactions.Log) {
+// Registering the same retailer twice is an error.
+func (p *Pipeline) AddRetailer(cat *catalog.Catalog, log *interactions.Log) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.tenants[cat.Retailer]; ok {
-		panic(fmt.Sprintf("pipeline: retailer %s already registered", cat.Retailer))
+		return fmt.Errorf("pipeline: retailer %s already registered", cat.Retailer)
 	}
 	p.tenants[cat.Retailer] = &Tenant{Catalog: cat, Log: log, isNew: true}
+	p.health[cat.Retailer] = &tenantHealth{}
 	p.order = append(p.order, cat.Retailer)
 	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+	return nil
 }
 
 // Tenant returns a registered tenant (nil if unknown).
@@ -195,6 +247,14 @@ func (p *Pipeline) Day() int {
 	return p.day
 }
 
+// Phase names used in degradation reports.
+const (
+	PhaseStaging    = "staging"
+	PhaseTrain      = "train"
+	PhaseInfer      = "infer"
+	PhaseQuarantine = "quarantine"
+)
+
 // RetailerReport summarizes one retailer's daily cycle.
 type RetailerReport struct {
 	Retailer      catalog.RetailerID
@@ -204,6 +264,25 @@ type RetailerReport struct {
 	BestMAP       float64
 	BestModelID   string
 	ItemsServed   int
+
+	// Degraded marks a tenant whose cycle failed this day; the serving
+	// layer keeps answering from its previous snapshot (stale-but-serving)
+	// instead of the fleet's day aborting.
+	Degraded bool
+	// DegradedPhase is the phase that failed: PhaseStaging, PhaseTrain,
+	// PhaseInfer, or PhaseQuarantine (skipped while quarantined).
+	DegradedPhase string
+	// Err is the first error observed in the failing phase.
+	Err string
+	// Attempts counts the attempts consumed in the failing phase: the
+	// retry budget for staging, failed config records for training, and
+	// inference tries for inference.
+	Attempts int
+	// Quarantined marks tenants in quarantine after this cycle.
+	Quarantined bool
+	// ConsecutiveFailures is the tenant's consecutive failed-day count
+	// after this cycle (0 for a healthy day).
+	ConsecutiveFailures int
 }
 
 // DayReport summarizes a full daily cycle.
@@ -214,52 +293,113 @@ type DayReport struct {
 	TrainWall      time.Duration
 	InferWall      time.Duration
 	SnapshotPushed bool
+
+	// Degraded lists tenants whose cycle failed (or was skipped in
+	// quarantine) this day; Quarantined lists the subset in quarantine.
+	Degraded    []catalog.RetailerID
+	Quarantined []catalog.RetailerID
+	// DiscardedCheckpoints counts garbled/missing checkpoints discarded in
+	// favor of a warm or fresh start during this cycle.
+	DiscardedCheckpoints int64
 }
 
-// BestMAP returns the fleet-average best MAP.
+// BestMAP returns the fleet-average best MAP over healthy tenants
+// (degraded tenants have no fresh model and would drag the average to 0).
 func (d DayReport) BestMAP() float64 {
-	if len(d.Retailers) == 0 {
+	var s float64
+	n := 0
+	for _, r := range d.Retailers {
+		if r.Degraded {
+			continue
+		}
+		s += r.BestMAP
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var s float64
-	for _, r := range d.Retailers {
-		s += r.BestMAP
-	}
-	return s / float64(len(d.Retailers))
+	return s / float64(n)
+}
+
+// degradation records why a tenant's cycle failed; it feeds the per-day
+// report and the quarantine bookkeeping.
+type degradation struct {
+	phase    string
+	err      error
+	attempts int
 }
 
 // RunDay executes one full cycle: sweep -> train -> select -> infer ->
 // publish. It is the programmatic equivalent of the daily production run.
+//
+// Each tenant is its own fault domain: a tenant whose staging writes,
+// training tasks, or inference job fail (including panics, which are
+// recovered into errors) is marked degraded in the DayReport and keeps
+// serving its previous snapshot, while every other tenant's day proceeds
+// untouched. Tenants failing QuarantineAfter consecutive days are
+// quarantined — skipped entirely except for a re-admission probe every
+// QuarantineProbeEvery days. RunDay itself only returns an error for
+// fleet-level failures (context cancellation).
 func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	p.mu.Lock()
 	day := p.day
-	tenants := make([]*Tenant, 0, len(p.tenants))
 	ids := append([]catalog.RetailerID(nil), p.order...)
+	tenants := make(map[catalog.RetailerID]*Tenant, len(ids))
 	for _, id := range ids {
-		tenants = append(tenants, p.tenants[id])
+		tenants[id] = p.tenants[id]
 	}
 	p.mu.Unlock()
 
 	report := DayReport{Day: day}
-	if len(tenants) == 0 {
+	ckptsBefore := p.discardedCkpts.Load()
+	if len(ids) == 0 {
 		p.mu.Lock()
 		p.day++
 		p.mu.Unlock()
 		return report, nil
 	}
 
-	// --- Stage data + plan sweeps ---
+	perRetailer := map[catalog.RetailerID]*RetailerReport{}
+	degraded := map[catalog.RetailerID]*degradation{}
+
+	// --- Quarantine gate ---
+	// Quarantined tenants are skipped wholesale (their last good snapshot
+	// keeps serving) unless this day is their periodic re-admission probe.
+	var admitted []catalog.RetailerID
+	p.mu.Lock()
+	for _, id := range ids {
+		perRetailer[id] = &RetailerReport{Retailer: id}
+		h := p.health[id]
+		if h.quarantined && (day-h.quarantinedDay)%p.opts.QuarantineProbeEvery != 0 {
+			degraded[id] = &degradation{
+				phase: PhaseQuarantine,
+				err:   fmt.Errorf("pipeline: tenant quarantined since day %d; next probe pending", h.quarantinedDay),
+			}
+			continue
+		}
+		admitted = append(admitted, id)
+	}
+	p.mu.Unlock()
+
+	// --- Stage data + plan sweeps (per-tenant fault domain) ---
 	rng := linalg.NewRNG(p.opts.Seed ^ uint64(day)*0x9e37)
 	var allRecords []modelselect.ConfigRecord
-	perRetailer := map[catalog.RetailerID]*RetailerReport{}
-	for i, t := range tenants {
-		r := ids[i]
+	for _, r := range admitted {
+		t := tenants[r]
 		split := interactions.HoldoutSplit(t.Log, p.opts.BaseHyper.ContextLen)
-		if err := p.writeWithRetry(trainDataPath(day, r), EncodeLog(split.Train)); err != nil {
-			return report, fmt.Errorf("staging training data for %s: %w", r, err)
+		if err := p.writeWithRetry(ctx, trainDataPath(day, r), EncodeLog(split.Train)); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return report, fmt.Errorf("staging training data for %s: %w", r, ctxErr)
+			}
+			degraded[r] = &degradation{phase: PhaseStaging, err: err, attempts: retryAttempts(err)}
+			continue
 		}
-		if err := p.writeWithRetry(holdoutPath(day, r), EncodeHoldout(split.Holdout)); err != nil {
-			return report, fmt.Errorf("staging holdout for %s: %w", r, err)
+		if err := p.writeWithRetry(ctx, holdoutPath(day, r), EncodeHoldout(split.Holdout)); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return report, fmt.Errorf("staging holdout for %s: %w", r, ctxErr)
+			}
+			degraded[r] = &degradation{phase: PhaseStaging, err: err, attempts: retryAttempts(err)}
+			continue
 		}
 
 		full := t.isNew || (p.opts.FullRestartEvery > 0 && day%p.opts.FullRestartEvery == 0) || len(p.lastRecords[r]) == 0
@@ -278,7 +418,8 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 				recs[j].ModelPath = modelPath(day, recs[j].ModelID)
 			}
 		}
-		perRetailer[r] = &RetailerReport{Retailer: r, FullSweep: full, ConfigsPlaned: len(recs)}
+		perRetailer[r].FullSweep = full
+		perRetailer[r].ConfigsPlaned = len(recs)
 		allRecords = append(allRecords, recs...)
 		t.isNew = false
 	}
@@ -291,44 +432,123 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 
 	// --- Training: one MapReduce per cell ---
 	trainStart := time.Now()
-	outRecords, counters, err := p.runTraining(ctx, day, allRecords)
+	outRecords, counters, trainFailed, err := p.runTraining(ctx, day, allRecords)
 	if err != nil {
 		return report, err
+	}
+	for r, ferr := range trainFailed {
+		if degraded[r] == nil {
+			degraded[r] = &degradation{phase: PhaseTrain, err: ferr}
+		}
 	}
 	report.TrainCounters = counters
 	report.TrainWall = time.Since(trainStart)
 
 	// --- Model selection ---
+	// A tenant only advances its sweep state when at least one config
+	// trained: a fully failed sweep keeps yesterday's records so the next
+	// probe can still warm-start.
 	byRetailer := modelselect.GroupByRetailer(outRecords)
 	p.mu.Lock()
 	for r, recs := range byRetailer {
-		p.lastRecords[r] = recs
+		if degraded[r] != nil {
+			continue
+		}
 		rep := perRetailer[r]
+		var firstErr string
 		for _, rec := range recs {
 			if rec.Trained && rec.Err == "" {
 				rep.ConfigsOK++
+			} else if firstErr == "" && rec.Err != "" {
+				firstErr = rec.Err
 			}
 		}
 		if best, ok := modelselect.Best(recs); ok {
 			rep.BestMAP = best.Metrics.MAP
 			rep.BestModelID = best.ModelID
+			p.lastRecords[r] = recs
+		} else {
+			degraded[r] = &degradation{
+				phase:    PhaseTrain,
+				err:      fmt.Errorf("pipeline: no config trained (first error: %s)", firstErr),
+				attempts: rep.ConfigsPlaned,
+			}
+		}
+	}
+	p.mu.Unlock()
+	for _, r := range admitted {
+		// Tenants whose records never came back (e.g. a sunk cell) are
+		// degraded too.
+		if degraded[r] == nil && perRetailer[r].ConfigsPlaned > 0 && len(byRetailer[r]) == 0 {
+			degraded[r] = &degradation{phase: PhaseTrain, err: errors.New("pipeline: training produced no records")}
+		}
+	}
+
+	// --- Inference (per-tenant fault domain) ---
+	inferStart := time.Now()
+	var snap *serving.Snapshot
+	if p.server != nil {
+		snap = p.runInference(ctx, day, ids, tenants, byRetailer, perRetailer, degraded)
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+	}
+	report.InferWall = time.Since(inferStart)
+
+	// --- Health bookkeeping: quarantine entries, exits, and counters ---
+	p.mu.Lock()
+	for _, id := range ids {
+		h := p.health[id]
+		rep := perRetailer[id]
+		if d := degraded[id]; d != nil {
+			rep.Degraded = true
+			rep.DegradedPhase = d.phase
+			if d.err != nil {
+				rep.Err = d.err.Error()
+			}
+			rep.Attempts = d.attempts
+			if d.phase != PhaseQuarantine {
+				// A real failed attempt (including a failed probe).
+				h.consecFailures++
+				if !h.quarantined && h.consecFailures >= p.opts.QuarantineAfter {
+					h.quarantined = true
+					h.quarantinedDay = day
+				}
+			}
+		} else {
+			// Healthy day (or successful probe): full re-admission.
+			h.consecFailures = 0
+			h.quarantined = false
+		}
+		rep.Quarantined = h.quarantined
+		rep.ConsecutiveFailures = h.consecFailures
+		if rep.Degraded {
+			report.Degraded = append(report.Degraded, id)
+		}
+		if h.quarantined {
+			report.Quarantined = append(report.Quarantined, id)
 		}
 	}
 	p.mu.Unlock()
 
-	// --- Inference + serving push ---
-	inferStart := time.Now()
-	if p.server != nil {
-		if err := p.runInference(ctx, day, ids, tenants, byRetailer, perRetailer); err != nil {
-			return report, err
+	// --- Publish: one batch snapshot, with stale carry-forward ---
+	// Degraded tenants are marked in the snapshot so the serving layer
+	// carries their previous recommendations forward (stale-but-serving)
+	// rather than dropping them.
+	if p.server != nil && snap != nil {
+		for _, id := range ids {
+			if degraded[id] != nil {
+				snap.MarkDegraded(id, perRetailer[id].DegradedPhase, perRetailer[id].Quarantined)
+			}
 		}
+		p.server.Publish(snap)
 		report.SnapshotPushed = true
 	}
-	report.InferWall = time.Since(inferStart)
 
 	for _, id := range ids {
 		report.Retailers = append(report.Retailers, *perRetailer[id])
 	}
+	report.DiscardedCheckpoints = p.discardedCkpts.Load() - ckptsBefore
 
 	// Storage GC: drop whole expired days (data, checkpoints, models,
 	// records live under one prefix per day, so this is a single sweep).
@@ -342,17 +562,46 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	return report, nil
 }
 
-// writeWithRetry writes a file with a few attempts — the shared filesystem
-// is replicated and an individual write can fail transiently; staging the
-// day's inputs must ride through that.
-func (p *Pipeline) writeWithRetry(path string, data []byte) error {
-	var err error
-	for attempt := 0; attempt < 4; attempt++ {
-		if err = p.fs.Write(path, data); err == nil {
-			return nil
-		}
+// writeWithRetry writes a file with exponential backoff — the shared
+// filesystem is replicated and an individual write can fail transiently;
+// staging the day's inputs must ride through that. Jitter derives from the
+// pipeline seed and the path, so retries are decorrelated across paths yet
+// deterministic across runs.
+func (p *Pipeline) writeWithRetry(ctx context.Context, path string, data []byte) error {
+	rng := linalg.NewRNG(p.opts.Seed ^ pathHash(path))
+	return retry.Do(ctx, p.opts.Retry, rng, func(int) error {
+		return p.fs.Write(path, data)
+	})
+}
+
+// renameWithRetry commits a temp file to its final name with the same
+// backoff schedule as writeWithRetry.
+func (p *Pipeline) renameWithRetry(ctx context.Context, from, to string) error {
+	rng := linalg.NewRNG(p.opts.Seed ^ pathHash(to))
+	return retry.Do(ctx, p.opts.Retry, rng, func(int) error {
+		return p.fs.Rename(from, to)
+	})
+}
+
+// retryAttempts extracts the attempt count from an exhausted retry budget.
+func retryAttempts(err error) int {
+	var ex *retry.ExhaustedError
+	if errors.As(err, &ex) {
+		return ex.Attempts
 	}
-	return err
+	return 1
+}
+
+func pathHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// faultPath is the label per-tenant pipeline stages present to the fault
+// injector: "days/<day>/<retailer>".
+func faultPath(day int, r catalog.RetailerID) string {
+	return fmt.Sprintf("days/%d/%s", day, r)
 }
 
 // evalOptionsFor applies the paper's CPU-saving rule: approximate MAP on a

@@ -312,17 +312,19 @@ func TestRunDayEmptyFleet(t *testing.T) {
 	}
 }
 
-func TestAddRetailerDuplicatePanics(t *testing.T) {
+func TestAddRetailerDuplicateIsError(t *testing.T) {
 	p := New(dfs.New(), nil, testOptions())
 	b := taxonomy.NewBuilder("r")
 	cat := catalog.New("dup", b.Build())
-	p.AddRetailer(cat, interactions.NewLog())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate registration did not panic")
-		}
-	}()
-	p.AddRetailer(cat, interactions.NewLog())
+	if err := p.AddRetailer(cat, interactions.NewLog()); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	if err := p.AddRetailer(cat, interactions.NewLog()); err == nil {
+		t.Fatal("duplicate registration did not error")
+	}
+	if p.NumTenants() != 1 {
+		t.Fatalf("NumTenants = %d after rejected duplicate", p.NumTenants())
+	}
 }
 
 func TestDayReportBestMAP(t *testing.T) {

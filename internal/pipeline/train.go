@@ -14,6 +14,7 @@ import (
 	"sigmund/internal/core/eval"
 	"sigmund/internal/core/modelselect"
 	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
 	"sigmund/internal/linalg"
 	"sigmund/internal/mapreduce"
 )
@@ -22,7 +23,12 @@ import (
 // round-robin across cells (after the random permutation), each cell runs
 // an independent MapReduce whose map phase calls Train() on each record,
 // and the output config records are gathered (Figure 4's schematic).
-func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelselect.ConfigRecord) ([]modelselect.ConfigRecord, mapreduce.Counters, error) {
+//
+// A sunk cell (its MapReduce exhausting all attempts) degrades exactly the
+// tenants whose configs it carried — reported in the returned map — while
+// the other cells' output is kept. Only fleet-level failures (context
+// cancellation) surface as the error.
+func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelselect.ConfigRecord) ([]modelselect.ConfigRecord, mapreduce.Counters, map[catalog.RetailerID]error, error) {
 	cells := p.opts.Cells
 	perCell := make([][]modelselect.ConfigRecord, cells)
 	for i, rec := range records {
@@ -39,7 +45,7 @@ func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelsele
 		out      []modelselect.ConfigRecord
 		counters mapreduce.Counters
 		wg       sync.WaitGroup
-		firstErr error
+		failed   = map[catalog.RetailerID]error{}
 	)
 	for cell := 0; cell < cells; cell++ {
 		if len(perCell[cell]) == 0 {
@@ -51,22 +57,26 @@ func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelsele
 			cellOut, c, err := p.runTrainingCell(ctx, day, cell, recs, coocCache)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("training cell %d: %w", cell, err)
-				return
-			}
-			out = append(out, cellOut...)
 			counters.MapAttempts += c.MapAttempts
 			counters.MapFailures += c.MapFailures
 			counters.RecordsMapped += c.RecordsMapped
 			counters.OutputRecords += c.OutputRecords
+			if err != nil {
+				for _, rec := range recs {
+					if failed[rec.Retailer] == nil {
+						failed[rec.Retailer] = fmt.Errorf("training cell %d: %w", cell, err)
+					}
+				}
+				return
+			}
+			out = append(out, cellOut...)
 		}(cell, perCell[cell])
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, counters, firstErr
+	if err := ctx.Err(); err != nil {
+		return nil, counters, nil, err
 	}
-	return out, counters, nil
+	return out, counters, failed, nil
 }
 
 func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []modelselect.ConfigRecord, cache *coocCache) ([]modelselect.ConfigRecord, mapreduce.Counters, error) {
@@ -79,7 +89,7 @@ func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []mo
 		if err != nil {
 			return err
 		}
-		outRec, err := p.trainOne(mctx, day, rec, cache)
+		outRec, err := p.trainOneSafe(mctx, day, rec, cache)
 		if err != nil {
 			// Context/injected-preemption errors propagate so the framework
 			// re-executes the task (resuming from the checkpoint). Anything
@@ -121,10 +131,23 @@ func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []mo
 		persist.WriteByte('\n')
 	}
 	// Persist the cell's output records for inspection and recovery.
-	if err := p.writeWithRetry(recordsPath(day, cell), persist.Bytes()); err != nil {
+	if err := p.writeWithRetry(ctx, recordsPath(day, cell), persist.Bytes()); err != nil {
 		return nil, res.Counters, err
 	}
 	return out, res.Counters, nil
+}
+
+// trainOneSafe runs trainOne with panic containment: a panicking training
+// task (bad data, injected chaos) is converted to an error record for its
+// own config instead of crashing the worker and sinking the cell's day.
+func (p *Pipeline) trainOneSafe(ctx context.Context, day int, rec modelselect.ConfigRecord, cache *coocCache) (out modelselect.ConfigRecord, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = rec
+			err = fmt.Errorf("pipeline: training %s panicked: %v", rec.ModelID, r)
+		}
+	}()
+	return p.trainOne(ctx, day, rec, cache)
 }
 
 // trainOne is the body of one training map task: the Train() function from
@@ -133,6 +156,9 @@ func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []mo
 // trains with asynchronous wall-clock checkpointing, evaluates on the
 // holdout, and persists the final model.
 func (p *Pipeline) trainOne(ctx context.Context, day int, rec modelselect.ConfigRecord, cache *coocCache) (modelselect.ConfigRecord, error) {
+	if err := p.opts.Injector.Before(faults.OpTrain, faultPath(day, rec.Retailer)); err != nil {
+		return rec, fmt.Errorf("training %s: %w", rec.ModelID, err)
+	}
 	tenant := p.Tenant(rec.Retailer)
 	if tenant == nil {
 		return rec, fmt.Errorf("unknown retailer %s", rec.Retailer)
@@ -163,24 +189,7 @@ func (p *Pipeline) trainOne(ctx context.Context, day int, rec modelselect.Config
 	}
 
 	ckptBase := checkpointBase(day, rec.ModelID)
-	var model *bpr.Model
-	switch {
-	case p.hasCheckpoint(ckptBase):
-		// A previous attempt of this task was preempted: resume from its
-		// checkpoint rather than starting over.
-		model, err = p.loadModelFrom(mustLatest(p.fs, ckptBase))
-	case rec.WarmStartPath != "" && p.fs.Exists(rec.WarmStartPath):
-		// Incremental run: warm-start from yesterday's model, grow to
-		// cover new items, and reset the Adagrad norms (Section III-C3).
-		model, err = p.loadModelFrom(rec.WarmStartPath)
-		if err == nil {
-			if err = model.ExpandToCatalog(cat, warmStartRNG(rec)); err == nil {
-				model.ResetAdagradNorms()
-			}
-		}
-	default:
-		model, err = bpr.NewModel(rec.Hyper, cat)
-	}
+	model, err := p.buildModel(rec, cat, ckptBase)
 	if err != nil {
 		return rec, err
 	}
@@ -206,30 +215,54 @@ func (p *Pipeline) trainOne(ctx context.Context, day int, rec modelselect.Config
 	rec.Trained = true
 
 	// Persist the final model with write-then-rename visibility, then GC
-	// the checkpoints.
-	tmp := rec.ModelPath + ".tmp"
-	w := p.fs.Create(tmp)
-	if err := model.Save(w); err != nil {
+	// the checkpoints. Both steps ride through transient filesystem
+	// failures with the same backoff schedule as staging: losing a
+	// finished model to one flaky replica write would waste the whole
+	// training run.
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
 		return rec, fmt.Errorf("saving model: %w", err)
 	}
-	if err := w.Close(); err != nil {
-		return rec, err
+	tmp := rec.ModelPath + ".tmp"
+	if err := p.writeWithRetry(ctx, tmp, buf.Bytes()); err != nil {
+		return rec, fmt.Errorf("saving model: %w", err)
 	}
-	if err := p.fs.Rename(tmp, rec.ModelPath); err != nil {
+	if err := p.renameWithRetry(ctx, tmp, rec.ModelPath); err != nil {
 		return rec, err
 	}
 	ckpt.Clean()
 	return rec, nil
 }
 
-func (p *Pipeline) hasCheckpoint(base string) bool {
-	_, ok := dfs.LatestCheckpoint(p.fs, base)
-	return ok
-}
-
-func mustLatest(fs *dfs.FS, base string) string {
-	path, _ := dfs.LatestCheckpoint(fs, base)
-	return path
+// buildModel constructs the model a training task starts from, in
+// preference order: a checkpoint from a preempted previous attempt, then a
+// warm start from yesterday's model (incremental runs), then a fresh
+// random initialization. A garbled or unreadable checkpoint is discarded —
+// counted in the day's DiscardedCheckpoints — and the task falls back to
+// the next source instead of failing outright.
+func (p *Pipeline) buildModel(rec modelselect.ConfigRecord, cat *catalog.Catalog, ckptBase string) (*bpr.Model, error) {
+	if path, ok := dfs.LatestCheckpoint(p.fs, ckptBase); ok {
+		model, err := p.loadModelFrom(path)
+		if err == nil {
+			return model, nil
+		}
+		p.discardedCkpts.Add(1)
+		dfs.NewCheckpointer(p.fs, ckptBase).Clean()
+	}
+	if rec.WarmStartPath != "" && p.fs.Exists(rec.WarmStartPath) {
+		// Incremental run: warm-start from yesterday's model, grow to
+		// cover new items, and reset the Adagrad norms (Section III-C3).
+		model, err := p.loadModelFrom(rec.WarmStartPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := model.ExpandToCatalog(cat, warmStartRNG(rec)); err != nil {
+			return nil, err
+		}
+		model.ResetAdagradNorms()
+		return model, nil
+	}
+	return bpr.NewModel(rec.Hyper, cat)
 }
 
 func (p *Pipeline) loadModelFrom(path string) (*bpr.Model, error) {

@@ -1,0 +1,141 @@
+// Package retry implements bounded exponential backoff with deterministic
+// jitter for the pipeline's transient-failure paths. The shared filesystem
+// is replicated and individual operations fail transiently (the dfs
+// simulation injects exactly such failures); staging the day's inputs must
+// ride through that without either hammering the filesystem in a tight
+// loop or sleeping forever. Jitter is drawn from the caller's seeded
+// linalg.RNG rather than a global source so fault-tolerance tests remain
+// exactly reproducible.
+package retry
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sigmund/internal/linalg"
+)
+
+// Policy describes a backoff schedule. The zero value takes the defaults
+// from DefaultPolicy at use.
+type Policy struct {
+	// Attempts is the total attempt budget (first try included).
+	Attempts int
+	// BaseDelay is the sleep before the first retry; each further retry
+	// multiplies it by Multiplier, capped at MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter spreads each delay uniformly in [1-Jitter, 1+Jitter] so
+	// concurrent retries against one hot replica decorrelate.
+	Jitter float64
+}
+
+// DefaultPolicy is sized for the simulated shared filesystem: four
+// attempts with millisecond-scale backoff, so tests stay fast while the
+// schedule still exercises real sleeps.
+func DefaultPolicy() Policy {
+	return Policy{
+		Attempts:   4,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   50 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     0.25,
+	}
+}
+
+// Defaulted fills zero fields from DefaultPolicy.
+func (p Policy) Defaulted() Policy {
+	d := DefaultPolicy()
+	if p.Attempts <= 0 {
+		p.Attempts = d.Attempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// Delay returns the backoff to sleep before retry number attempt (0-based:
+// attempt 0 is the delay between the first failure and the second try).
+// rng supplies jitter; nil disables it.
+func (p Policy) Delay(attempt int, rng *linalg.RNG) time.Duration {
+	p = p.Defaulted()
+	d := float64(p.BaseDelay)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if rng != nil && p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// ExhaustedError reports that every attempt failed; it unwraps to the last
+// attempt's error.
+type ExhaustedError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("retry: budget of %d attempts exhausted: %v", e.Attempts, e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// Do invokes fn until it returns nil, the attempt budget is exhausted
+// (*ExhaustedError), or ctx is cancelled (ctx.Err(), including while
+// sleeping between attempts). rng supplies deterministic jitter; nil
+// disables jitter.
+func Do(ctx context.Context, p Policy, rng *linalg.RNG, fn func(attempt int) error) error {
+	p = p.Defaulted()
+	var last error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			if err := sleep(ctx, p.Delay(attempt-1, rng)); err != nil {
+				return err
+			}
+		}
+		if last = fn(attempt); last == nil {
+			return nil
+		}
+	}
+	return &ExhaustedError{Attempts: p.Attempts, Last: last}
+}
+
+// sleep blocks for d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,106 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sigmund/internal/linalg"
+)
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 4, BaseDelay: time.Microsecond}, nil, func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt %d on call %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	sentinel := errors.New("still broken")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 3, BaseDelay: time.Microsecond}, nil, func(int) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 3 {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatal("exhausted error does not unwrap to the last failure")
+	}
+}
+
+func TestDoRespectsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, Policy{Attempts: 10, BaseDelay: time.Hour}, nil, func(int) error {
+		calls++
+		cancel() // cancel while the backoff sleep would block forever
+		return errors.New("fail")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+	// Already-cancelled context: fn never runs.
+	calls = 0
+	err = Do(ctx, Policy{}, nil, func(int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Attempts: 8, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterIsBoundedAndDeterministic(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	a := p.Delay(1, linalg.NewRNG(9))
+	b := p.Delay(1, linalg.NewRNG(9))
+	if a != b {
+		t.Fatalf("same seed, different jitter: %v vs %v", a, b)
+	}
+	base := 20 * time.Millisecond
+	for i := 0; i < 50; i++ {
+		d := p.Delay(1, linalg.NewRNG(uint64(i)))
+		if d < base/2 || d > base*3/2 {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, base/2, base*3/2)
+		}
+	}
+}
+
+func TestDefaultedFillsZeroFields(t *testing.T) {
+	p := Policy{}.Defaulted()
+	if p.Attempts != 4 || p.BaseDelay <= 0 || p.MaxDelay <= 0 || p.Multiplier < 1 {
+		t.Fatalf("Defaulted = %+v", p)
+	}
+	// Explicit fields survive.
+	p = Policy{Attempts: 7}.Defaulted()
+	if p.Attempts != 7 {
+		t.Fatalf("Attempts overridden: %+v", p)
+	}
+}

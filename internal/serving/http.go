@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -53,17 +54,72 @@ func NewHandler(s *Server) http.Handler {
 		}{retailer, s.Version(), recs})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		// Still 200 while degraded: the server keeps answering (from
+		// carried-forward snapshots), so it is alive — but the body names
+		// the tenants running stale so probes can alarm on partial health.
+		statuses := s.TenantStatuses()
+		var degraded, quarantined []string
+		for r, st := range statuses {
+			if st.Quarantined {
+				quarantined = append(quarantined, string(r))
+			} else if st.Degraded {
+				degraded = append(degraded, string(r))
+			}
+		}
+		if len(degraded) == 0 && len(quarantined) == 0 {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		fmt.Fprintln(w, "degraded")
+		sort.Strings(degraded)
+		sort.Strings(quarantined)
+		for _, r := range degraded {
+			fmt.Fprintf(w, "degraded: %s\n", r)
+		}
+		for _, r := range quarantined {
+			fmt.Fprintf(w, "quarantined: %s\n", r)
+		}
 	})
 	mux.HandleFunc("/statz", func(w http.ResponseWriter, _ *http.Request) {
 		req, fb, miss := s.Stats()
+		version := s.Version()
+		type tenantStatz struct {
+			Degraded      bool   `json:"degraded"`
+			Quarantined   bool   `json:"quarantined"`
+			DegradedPhase string `json:"degraded_phase,omitempty"`
+			RecsVersion   int64  `json:"recs_version"`
+			SnapshotAge   int64  `json:"snapshot_age"`
+		}
+		tenants := map[string]tenantStatz{}
+		var degraded, quarantined []string
+		for r, st := range s.TenantStatuses() {
+			tenants[string(r)] = tenantStatz{
+				Degraded:      st.Degraded,
+				Quarantined:   st.Quarantined,
+				DegradedPhase: st.DegradedPhase,
+				RecsVersion:   st.RecsVersion,
+				SnapshotAge:   version - st.RecsVersion,
+			}
+			if st.Degraded {
+				degraded = append(degraded, string(r))
+			}
+			if st.Quarantined {
+				quarantined = append(quarantined, string(r))
+			}
+		}
+		sort.Strings(degraded)
+		sort.Strings(quarantined)
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
-			Version   int64 `json:"version"`
-			Requests  int64 `json:"requests"`
-			Fallbacks int64 `json:"fallbacks"`
-			Misses    int64 `json:"misses"`
-		}{s.Version(), req, fb, miss})
+			Version     int64                  `json:"version"`
+			Requests    int64                  `json:"requests"`
+			Fallbacks   int64                  `json:"fallbacks"`
+			Misses      int64                  `json:"misses"`
+			StaleServes int64                  `json:"stale_serves"`
+			Degraded    []string               `json:"degraded,omitempty"`
+			Quarantined []string               `json:"quarantined,omitempty"`
+			Tenants     map[string]tenantStatz `json:"tenants"`
+		}{version, req, fb, miss, s.StaleServes(), degraded, quarantined, tenants})
 	})
 	return mux
 }

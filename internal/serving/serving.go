@@ -25,12 +25,51 @@ type RetailerRecs struct {
 	TopSellers []catalog.ItemID
 }
 
+// TenantStatus describes one retailer's health within a snapshot
+// generation: whether its daily cycle degraded, whether it is quarantined,
+// and which generation its recommendations were actually materialized in
+// (older than the snapshot's own version when they were carried forward).
+type TenantStatus struct {
+	// Degraded marks a retailer whose pipeline cycle failed this
+	// generation; its recommendations are carried forward from the last
+	// good generation (stale-but-serving).
+	Degraded bool
+	// Quarantined marks a retailer the pipeline has quarantined after
+	// repeated failures.
+	Quarantined bool
+	// DegradedPhase is the pipeline phase that failed ("staging",
+	// "train", "infer", "quarantine"); empty for healthy tenants.
+	DegradedPhase string
+	// RecsVersion is the snapshot version in which this retailer's
+	// recommendations were materialized. Equal to the snapshot's Version
+	// for fresh tenants; older for carried-forward ones.
+	RecsVersion int64
+}
+
 // Snapshot is an immutable generation of the whole store. Requests read
 // whichever snapshot was current when they arrived; Publish swaps
 // generations atomically.
 type Snapshot struct {
 	Version   int64
 	Retailers map[catalog.RetailerID]*RetailerRecs
+	// Status carries per-retailer health metadata alongside the recs.
+	// Entries may be absent for hand-built snapshots; Publish fills them.
+	Status map[catalog.RetailerID]*TenantStatus
+}
+
+// MarkDegraded flags a retailer as degraded in this snapshot. Publish uses
+// the mark to carry the retailer's previous recommendations forward
+// (stale-but-serving) instead of dropping it from service.
+func (sn *Snapshot) MarkDegraded(r catalog.RetailerID, phase string, quarantined bool) {
+	if sn.Status == nil {
+		sn.Status = map[catalog.RetailerID]*TenantStatus{}
+	}
+	sn.Status[r] = &TenantStatus{
+		Degraded:      true,
+		Quarantined:   quarantined,
+		DegradedPhase: phase,
+		RecsVersion:   sn.Version,
+	}
 }
 
 // Server answers recommendation requests from the current snapshot. The
@@ -38,24 +77,60 @@ type Snapshot struct {
 type Server struct {
 	snap atomic.Pointer[Snapshot]
 
-	requests atomic.Int64
-	fallback atomic.Int64
-	misses   atomic.Int64
+	requests    atomic.Int64
+	fallback    atomic.Int64
+	misses      atomic.Int64
+	staleServes atomic.Int64
 }
 
 // NewServer returns a server with an empty snapshot.
 func NewServer() *Server {
 	s := &Server{}
-	s.snap.Store(&Snapshot{Retailers: map[catalog.RetailerID]*RetailerRecs{}})
+	s.snap.Store(&Snapshot{
+		Retailers: map[catalog.RetailerID]*RetailerRecs{},
+		Status:    map[catalog.RetailerID]*TenantStatus{},
+	})
 	return s
 }
 
 // Publish atomically replaces the serving snapshot — the batch update at
 // the end of the daily pipeline. In-flight requests keep reading the old
 // generation.
+//
+// Graceful degradation happens here: a retailer marked degraded (see
+// Snapshot.MarkDegraded) that has no fresh recommendations inherits the
+// previous generation's RetailerRecs — including its original
+// materialization version, so staleness is observable — rather than
+// disappearing from service. RetailerRecs are immutable once published, so
+// sharing them across generations is safe.
 func (s *Server) Publish(snap *Snapshot) {
 	if snap.Retailers == nil {
 		snap.Retailers = map[catalog.RetailerID]*RetailerRecs{}
+	}
+	if snap.Status == nil {
+		snap.Status = map[catalog.RetailerID]*TenantStatus{}
+	}
+	for r := range snap.Retailers {
+		if snap.Status[r] == nil {
+			snap.Status[r] = &TenantStatus{RecsVersion: snap.Version}
+		}
+	}
+	if prev := s.snap.Load(); prev != nil {
+		for r, st := range snap.Status {
+			if !st.Degraded || snap.Retailers[r] != nil {
+				continue
+			}
+			old := prev.Retailers[r]
+			if old == nil {
+				continue
+			}
+			snap.Retailers[r] = old
+			if pst := prev.Status[r]; pst != nil {
+				st.RecsVersion = pst.RecsVersion
+			} else {
+				st.RecsVersion = prev.Version
+			}
+		}
 	}
 	s.snap.Store(snap)
 }
@@ -73,11 +148,52 @@ func (s *Server) Stats() (requests, fallbacks, misses int64) {
 	return s.requests.Load(), s.fallback.Load(), s.misses.Load()
 }
 
+// StaleServes reports how many requests were answered from carried-forward
+// (stale) recommendations of a degraded tenant.
+func (s *Server) StaleServes() int64 { return s.staleServes.Load() }
+
+// TenantStatuses returns a copy of the current snapshot's per-retailer
+// health metadata.
+func (s *Server) TenantStatuses() map[catalog.RetailerID]TenantStatus {
+	snap := s.snap.Load()
+	out := make(map[catalog.RetailerID]TenantStatus, len(snap.Status))
+	for r, st := range snap.Status {
+		out[r] = *st
+	}
+	return out
+}
+
+// SnapshotAge returns how many generations a retailer's served
+// recommendations lag the current snapshot (0 = fresh, -1 = unknown
+// retailer).
+func (s *Server) SnapshotAge(r catalog.RetailerID) int64 {
+	snap := s.snap.Load()
+	st := snap.Status[r]
+	if st == nil {
+		if snap.Retailers[r] == nil {
+			return -1
+		}
+		return 0
+	}
+	return snap.Version - st.RecsVersion
+}
+
 // Recommendation is one served item.
 type Recommendation struct {
 	Item  catalog.ItemID `json:"item"`
 	Score float64        `json:"score"`
 }
+
+// Source identifies which rung of the serving fallback chain produced an
+// answer: the materialized model lists, the top-sellers popularity
+// fallback, or nothing.
+type Source string
+
+const (
+	SourceModel      Source = "model"
+	SourceTopSellers Source = "top-sellers"
+	SourceNone       Source = "none"
+)
 
 // Recommend returns up to k recommendations for a user context at the
 // given retailer. The context's items vote with their materialized lists —
@@ -85,6 +201,16 @@ type Recommendation struct {
 // otherwise — with recency-decayed weights; items already in the context
 // are never recommended back.
 func (s *Server) Recommend(r catalog.RetailerID, ctx interactions.Context, k int) []Recommendation {
+	recs, _ := s.RecommendWithSource(r, ctx, k)
+	return recs
+}
+
+// RecommendWithSource is Recommend plus the fallback rung that answered:
+// the materialized model lists when any context item has one, then the
+// co-occurrence-seeded top-sellers list, then nothing. Degraded tenants are
+// served from their carried-forward snapshot transparently (counted in
+// StaleServes).
+func (s *Server) RecommendWithSource(r catalog.RetailerID, ctx interactions.Context, k int) ([]Recommendation, Source) {
 	s.requests.Add(1)
 	if k <= 0 {
 		k = 10
@@ -93,7 +219,10 @@ func (s *Server) Recommend(r catalog.RetailerID, ctx interactions.Context, k int
 	rr := snap.Retailers[r]
 	if rr == nil {
 		s.misses.Add(1)
-		return nil
+		return nil, SourceNone
+	}
+	if st := snap.Status[r]; st != nil && st.Degraded {
+		s.staleServes.Add(1)
 	}
 	if len(ctx) > interactions.DefaultContextLength {
 		ctx = ctx.Truncate(interactions.DefaultContextLength)
@@ -146,8 +275,9 @@ func (s *Server) Recommend(r catalog.RetailerID, ctx interactions.Context, k int
 		}
 		if len(out) == 0 {
 			s.misses.Add(1)
+			return out, SourceNone
 		}
-		return out
+		return out, SourceTopSellers
 	}
 
 	out := make([]Recommendation, 0, len(scores))
@@ -163,7 +293,7 @@ func (s *Server) Recommend(r catalog.RetailerID, ctx interactions.Context, k int
 	if len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, SourceModel
 }
 
 // IsLateFunnel classifies a context as deep in the purchase funnel: the
@@ -207,7 +337,11 @@ func IsLateFunnel(ctx interactions.Context) bool {
 // BuildSnapshot assembles a snapshot from per-retailer materialized
 // outputs and popularity stats.
 func BuildSnapshot(version int64, per map[catalog.RetailerID][]inference.ItemRecs, pop map[catalog.RetailerID][]catalog.ItemID) *Snapshot {
-	snap := &Snapshot{Version: version, Retailers: map[catalog.RetailerID]*RetailerRecs{}}
+	snap := &Snapshot{
+		Version:   version,
+		Retailers: map[catalog.RetailerID]*RetailerRecs{},
+		Status:    map[catalog.RetailerID]*TenantStatus{},
+	}
 	for r, items := range per {
 		rr := &RetailerRecs{Recs: make(map[catalog.ItemID]inference.ItemRecs, len(items))}
 		for _, ir := range items {
@@ -215,15 +349,21 @@ func BuildSnapshot(version int64, per map[catalog.RetailerID][]inference.ItemRec
 		}
 		rr.TopSellers = pop[r]
 		snap.Retailers[r] = rr
+		snap.Status[r] = &TenantStatus{RecsVersion: version}
 	}
 	return snap
 }
 
 // String describes the snapshot for logs.
 func (sn *Snapshot) String() string {
-	items := 0
+	items, degraded := 0, 0
 	for _, rr := range sn.Retailers {
 		items += len(rr.Recs)
 	}
-	return fmt.Sprintf("snapshot{v%d retailers=%d items=%d}", sn.Version, len(sn.Retailers), items)
+	for _, st := range sn.Status {
+		if st.Degraded {
+			degraded++
+		}
+	}
+	return fmt.Sprintf("snapshot{v%d retailers=%d items=%d degraded=%d}", sn.Version, len(sn.Retailers), items, degraded)
 }

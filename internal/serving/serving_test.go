@@ -347,3 +347,122 @@ func TestSnapshotAccessor(t *testing.T) {
 		t.Fatalf("empty snapshot served %v", got)
 	}
 }
+
+func TestPublishCarriesForwardDegradedTenant(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture()) // v7: fresh recs for "shop"
+	prevRecs := s.Snapshot().Retailers["shop"]
+
+	// Next generation has no fresh recs for "shop" (its cycle failed) but
+	// marks it degraded: Publish must carry the previous recs forward and
+	// keep the original materialization version visible.
+	next := BuildSnapshot(8, nil, nil)
+	next.MarkDegraded("shop", "train", false)
+	s.Publish(next)
+
+	if s.Snapshot().Retailers["shop"] != prevRecs {
+		t.Fatal("degraded tenant's recs not carried forward")
+	}
+	st := s.TenantStatuses()["shop"]
+	if !st.Degraded || st.DegradedPhase != "train" || st.RecsVersion != 7 {
+		t.Fatalf("status = %+v", st)
+	}
+	if got := s.SnapshotAge("shop"); got != 1 {
+		t.Fatalf("SnapshotAge = %d", got)
+	}
+
+	// Requests keep being answered, counted as stale serves.
+	recs := s.Recommend("shop", interactions.Context{{Type: interactions.View, Item: 1}}, 10)
+	if len(recs) != 3 {
+		t.Fatalf("stale serve returned %+v", recs)
+	}
+	if s.StaleServes() != 1 {
+		t.Fatalf("StaleServes = %d", s.StaleServes())
+	}
+
+	// Staleness compounds across generations until a fresh publish.
+	n2 := BuildSnapshot(9, nil, nil)
+	n2.MarkDegraded("shop", "train", true)
+	s.Publish(n2)
+	if got := s.SnapshotAge("shop"); got != 2 {
+		t.Fatalf("SnapshotAge after second degraded day = %d", got)
+	}
+	if st := s.TenantStatuses()["shop"]; !st.Quarantined {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// A healthy day restores fresh serving.
+	s.Publish(snapshotFixture())
+	if got := s.SnapshotAge("shop"); got != 0 {
+		t.Fatalf("SnapshotAge after recovery = %d", got)
+	}
+	if st := s.TenantStatuses()["shop"]; st.Degraded {
+		t.Fatalf("still degraded after recovery: %+v", st)
+	}
+}
+
+func TestPublishDropsNeverSeenDegradedTenant(t *testing.T) {
+	// A degraded tenant with no previous generation to fall back on simply
+	// has nothing to serve — no panic, a miss at request time.
+	s := NewServer()
+	snap := BuildSnapshot(1, nil, nil)
+	snap.MarkDegraded("ghost", "staging", false)
+	s.Publish(snap)
+	if got := s.Recommend("ghost", nil, 5); got != nil {
+		t.Fatalf("ghost tenant served %v", got)
+	}
+}
+
+func TestRecommendWithSourceFallbackChain(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+
+	// Context item with materialized lists -> model.
+	recs, src := s.RecommendWithSource("shop", interactions.Context{{Type: interactions.View, Item: 1}}, 5)
+	if src != SourceModel || len(recs) == 0 {
+		t.Fatalf("src = %q recs = %+v", src, recs)
+	}
+	// Unknown context item -> top-sellers fallback.
+	recs, src = s.RecommendWithSource("shop", interactions.Context{{Type: interactions.View, Item: 999}}, 5)
+	if src != SourceTopSellers || len(recs) == 0 {
+		t.Fatalf("src = %q recs = %+v", src, recs)
+	}
+	// Unknown retailer -> nothing.
+	if _, src = s.RecommendWithSource("nope", nil, 5); src != SourceNone {
+		t.Fatalf("src = %q", src)
+	}
+}
+
+func TestHealthzReportsDegradedTenants(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	snap := BuildSnapshot(8, nil, nil)
+	snap.MarkDegraded("shop", "train", false)
+	snap.MarkDegraded("other", "infer", true)
+	s.Publish(snap)
+
+	w := httptest.NewRecorder()
+	NewHandler(s).ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+	if w.Code != 200 {
+		t.Fatalf("healthz while degraded: %d", w.Code)
+	}
+	body := w.Body.String()
+	want := "degraded\ndegraded: shop\nquarantined: other\n"
+	if body != want {
+		t.Fatalf("healthz body = %q, want %q", body, want)
+	}
+
+	// /statz lists both, with quarantined tenants in both lists.
+	w = httptest.NewRecorder()
+	NewHandler(s).ServeHTTP(w, httptest.NewRequest("GET", "/statz", nil))
+	var statz struct {
+		Degraded    []string `json:"degraded"`
+		Quarantined []string `json:"quarantined"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &statz); err != nil {
+		t.Fatal(err)
+	}
+	if len(statz.Degraded) != 2 || len(statz.Quarantined) != 1 || statz.Quarantined[0] != "other" {
+		t.Fatalf("statz = %+v", statz)
+	}
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI entry point: vet, build, the full suite under the race detector, and
+# the short-mode chaos/degradation suite. Mirrors `make ci`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== chaos suite (short mode)"
+go test -race -short -run 'Chaos|Quarantine|Garbled|CheckpointWrite|Degraded|Stale' \
+	./internal/pipeline/ ./internal/serving/ ./internal/faults/ ./internal/retry/
+
+echo "CI OK"

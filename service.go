@@ -9,6 +9,7 @@ import (
 	"sigmund/internal/core/bpr"
 	"sigmund/internal/core/modelselect"
 	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
 	"sigmund/internal/linalg"
 	"sigmund/internal/mapreduce"
 	"sigmund/internal/pipeline"
@@ -48,6 +49,19 @@ type Config struct {
 	// starts, exercising the checkpoint/recover path the paper relies on
 	// for cheap pre-emptible VMs. 0 disables.
 	ChaosKillProb float64
+	// Chaos installs a deterministic fault injector across the stack:
+	// shared-filesystem writes/renames and per-tenant training/inference
+	// fail probabilistically, exercising retry, degradation, and
+	// stale-serving paths. Failures are seeded by ChaosSeed so runs
+	// reproduce exactly.
+	Chaos bool
+	// ChaosSeed seeds the chaos injector (0 falls back to Seed).
+	ChaosSeed uint64
+	// QuarantineAfter quarantines a tenant after this many consecutive
+	// failed daily cycles (0 = default 3); QuarantineProbeEvery is the
+	// re-admission probe interval in days (0 = default 2).
+	QuarantineAfter      int
+	QuarantineProbeEvery int
 	// KeepDays garbage-collects a day's storage once it is this many days
 	// old (0 keeps everything; >= 2 is always safe for warm starts).
 	KeepDays int
@@ -114,20 +128,38 @@ func NewService(cfg Config) *Service {
 	fs := dfs.New()
 	server := serving.NewServer()
 	opts := pipeline.Options{
-		Grid:              grid,
-		BaseHyper:         bpr.DefaultHyperparams(),
-		FullEpochs:        cfg.FullEpochs,
-		IncrementalEpochs: cfg.IncrementalEpochs,
-		TopKIncremental:   cfg.TopKIncremental,
-		FullRestartEvery:  cfg.FullRestartEvery,
-		TrainWorkers:      cfg.TrainWorkers,
-		TrainThreads:      cfg.TrainThreads,
-		Cells:             cfg.Cells,
-		CheckpointEvery:   cfg.CheckpointEvery,
-		InferTopK:         cfg.InferTopK,
-		KeepDays:          cfg.KeepDays,
-		LateFunnelFacets:  cfg.LateFunnelFacets,
-		Seed:              cfg.Seed,
+		Grid:                 grid,
+		BaseHyper:            bpr.DefaultHyperparams(),
+		FullEpochs:           cfg.FullEpochs,
+		IncrementalEpochs:    cfg.IncrementalEpochs,
+		TopKIncremental:      cfg.TopKIncremental,
+		FullRestartEvery:     cfg.FullRestartEvery,
+		TrainWorkers:         cfg.TrainWorkers,
+		TrainThreads:         cfg.TrainThreads,
+		Cells:                cfg.Cells,
+		CheckpointEvery:      cfg.CheckpointEvery,
+		InferTopK:            cfg.InferTopK,
+		KeepDays:             cfg.KeepDays,
+		LateFunnelFacets:     cfg.LateFunnelFacets,
+		QuarantineAfter:      cfg.QuarantineAfter,
+		QuarantineProbeEvery: cfg.QuarantineProbeEvery,
+		Seed:                 cfg.Seed,
+	}
+	if cfg.Chaos {
+		seed := cfg.ChaosSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		inj := faults.NewInjector(seed,
+			// Transient filesystem flakiness: sparse enough that the retry
+			// budget rides through most of it.
+			faults.Rule{Ops: []faults.Op{faults.OpWrite, faults.OpRename}, Kind: faults.Error, Prob: 0.02},
+			// Occasional whole-task failures in per-tenant stages.
+			faults.Rule{Ops: []faults.Op{faults.OpTrain}, Kind: faults.Error, Prob: 0.05},
+			faults.Rule{Ops: []faults.Op{faults.OpInfer}, Kind: faults.Error, Prob: 0.02},
+		)
+		fs.SetInjector(inj)
+		opts.Injector = inj
 	}
 	if cfg.ChaosKillProb > 0 {
 		rng := linalg.NewRNG(cfg.Seed ^ 0xc4a05)
@@ -149,12 +181,13 @@ func NewService(cfg Config) *Service {
 	}
 }
 
-// AddRetailer registers a tenant. The retailer receives a full
-// hyper-parameter sweep on its first daily cycle, incremental sweeps
-// afterwards. The catalog and log are referenced, not copied: append new
-// items/events to them between cycles and the next RunDay picks them up.
-func (s *Service) AddRetailer(cat *Catalog, log *Log) {
-	s.pipe.AddRetailer(cat, log)
+// AddRetailer registers a tenant; registering the same retailer twice is
+// an error. The retailer receives a full hyper-parameter sweep on its
+// first daily cycle, incremental sweeps afterwards. The catalog and log
+// are referenced, not copied: append new items/events to them between
+// cycles and the next RunDay picks them up.
+func (s *Service) AddRetailer(cat *Catalog, log *Log) error {
+	return s.pipe.AddRetailer(cat, log)
 }
 
 // NumRetailers returns the number of registered tenants.
@@ -181,6 +214,13 @@ func (s *Service) Handler() http.Handler { return serving.NewHandler(s.server) }
 // SnapshotVersion returns the current serving snapshot version (one per
 // completed day).
 func (s *Service) SnapshotVersion() int64 { return s.server.Version() }
+
+// TenantStatuses reports per-retailer serving health: degraded/quarantined
+// flags and which snapshot generation each retailer's recommendations were
+// materialized in (older than SnapshotVersion when serving stale).
+func (s *Service) TenantStatuses() map[RetailerID]serving.TenantStatus {
+	return s.server.TenantStatuses()
+}
 
 // StorageStats reports cumulative shared-filesystem traffic (bytes
 // written, bytes read) — useful for observing checkpoint and data-staging

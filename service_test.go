@@ -129,3 +129,54 @@ func TestServiceFromInterchangeFormats(t *testing.T) {
 		t.Fatalf("expected the co-browsed running shoe first, got %v", recs)
 	}
 }
+
+func TestServiceAddRetailerDuplicateIsError(t *testing.T) {
+	svc := NewService(DemoConfig())
+	r := GenerateFleet(FleetSpec{NumRetailers: 1, MinItems: 40, MaxItems: 60, Seed: 5})[0]
+	if err := svc.AddRetailer(r.Catalog, r.Log); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddRetailer(r.Catalog, r.Log); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if svc.NumRetailers() != 1 {
+		t.Fatalf("NumRetailers = %d", svc.NumRetailers())
+	}
+}
+
+func TestServiceChaosModeRunsWithoutFleetFailure(t *testing.T) {
+	// Chaos mode floods the stack with injected faults; the fleet-level
+	// contract is that RunDay still never fails — individual tenants may
+	// degrade (serving stale) but the day always completes.
+	cfg := DemoConfig()
+	cfg.Chaos = true
+	cfg.ChaosSeed = 99
+	svc := NewService(cfg)
+	fleet := GenerateFleet(FleetSpec{NumRetailers: 3, MinItems: 40, MaxItems: 80, Seed: 82})
+	for _, r := range fleet {
+		if err := svc.AddRetailer(r.Catalog, r.Log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	days := 3
+	if testing.Short() {
+		days = 2
+	}
+	for day := 0; day < days; day++ {
+		if _, err := svc.RunDay(context.Background()); err != nil {
+			t.Fatalf("day %d: chaos caused a fleet-level failure: %v", day, err)
+		}
+	}
+	// Every registered tenant has serving status, and staleness never
+	// exceeds the number of elapsed days.
+	statuses := svc.TenantStatuses()
+	for _, r := range fleet {
+		st, ok := statuses[r.Catalog.Retailer]
+		if !ok {
+			t.Fatalf("%s missing from tenant statuses", r.Catalog.Retailer)
+		}
+		if age := svc.SnapshotVersion() - st.RecsVersion; age < 0 || age >= int64(days) {
+			t.Fatalf("%s: implausible snapshot age %d", r.Catalog.Retailer, age)
+		}
+	}
+}
