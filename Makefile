@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos ci clean
+.PHONY: all build vet test race chaos chaos-workers ci clean
 
 all: ci
 
@@ -21,7 +21,14 @@ race:
 chaos:
 	$(GO) test -race -short -run 'Chaos|Quarantine|Garbled|CheckpointWrite|Degraded|Stale' ./internal/pipeline/ ./internal/serving/ ./internal/faults/ ./internal/retry/
 
-ci: vet build race chaos
+# The worker-preemption chaos suite: preemption recovery, lease expiry,
+# speculative execution, blacklisting, worker-scoped fault rules, the
+# byte-identical preempted pipeline day, and mid-job cancellation (fails
+# on goroutine leaks).
+chaos-workers:
+	$(GO) test -race -short -run 'Preempt|Lease|Speculative|Blacklist|WorkerPlan|Cancellation|NoWorkers' ./internal/mapreduce/ ./internal/faults/ ./internal/core/inference/ ./internal/pipeline/
+
+ci: vet build race chaos chaos-workers
 
 clean:
 	$(GO) clean ./...

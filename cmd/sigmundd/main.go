@@ -42,6 +42,7 @@ func main() {
 	retailerID := flag.String("id", "my-shop", "retailer id for -catalog/-events mode")
 	chaos := flag.Bool("chaos", false, "inject deterministic faults (filesystem, training, inference) to exercise degradation paths")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos injector seed (0 = fleet seed)")
+	chaosPreemptMTBP := flag.Duration("chaos-preempt-mtbp", 0, "run all MapReduce work on preemptible workers with this mean time between preemptions (0 = reliable workers)")
 	flag.Parse()
 
 	cfg := sigmund.DemoConfig()
@@ -51,6 +52,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Chaos = *chaos
 	cfg.ChaosSeed = *chaosSeed
+	cfg.ChaosPreemptMTBP = *chaosPreemptMTBP
 	svc := sigmund.NewService(cfg)
 
 	var firstRetailer sigmund.RetailerID
@@ -101,6 +103,13 @@ func main() {
 		fmt.Printf("  train: %s  infer: %s  map-attempts: %d (failures: %d)\n",
 			report.TrainWall.Round(time.Millisecond), report.InferWall.Round(time.Millisecond),
 			report.TrainCounters.MapAttempts, report.TrainCounters.MapFailures)
+		var jobs sigmund.JobCounters
+		jobs.Add(report.TrainCounters)
+		jobs.Add(report.InferCounters)
+		if jobs.Preemptions+jobs.LeaseExpiries+jobs.SpeculativeLaunches+jobs.WorkersBlacklisted > 0 {
+			fmt.Printf("  workers: preemptions %d  lease-expiries %d  speculative %d (wins %d)  blacklisted %d\n",
+				jobs.Preemptions, jobs.LeaseExpiries, jobs.SpeculativeLaunches, jobs.SpeculativeWins, jobs.WorkersBlacklisted)
+		}
 		for _, rr := range report.Retailers {
 			if rr.Degraded {
 				state := "DEGRADED"

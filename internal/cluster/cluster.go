@@ -22,7 +22,7 @@ import (
 	"fmt"
 	"math"
 
-	"sigmund/internal/linalg"
+	"sigmund/internal/preempt"
 )
 
 // Priority is a task's scheduling class.
@@ -245,13 +245,20 @@ func (h eventHeap) empty() bool   { return len(h) == 0 }
 type Cluster struct {
 	opts     Options
 	machines []*machine
-	rng      *linalg.RNG
+	// arrivals samples preemption inter-arrival times from the shared
+	// model in internal/preempt — the same process the live MapReduce
+	// worker substrate uses, so simulated economics and live chaos runs
+	// agree on what "a preemption rate" means. Nil when preemption is off.
+	arrivals *preempt.Stream
 }
 
 // New builds a cluster per opts.
 func New(opts Options) *Cluster {
 	opts = opts.Defaulted()
-	c := &Cluster{opts: opts, rng: linalg.NewRNG(opts.Seed ^ 0xc1a5)}
+	c := &Cluster{opts: opts}
+	if opts.PreemptionRate > 0 {
+		c.arrivals = preempt.Model{Rate: opts.PreemptionRate, Seed: opts.Seed ^ 0xc1a5}.Stream(0)
+	}
 	for cell := 0; cell < opts.Cells; cell++ {
 		for m := 0; m < opts.MachinesPerCell; m++ {
 			c.machines = append(c.machines, &machine{
@@ -437,8 +444,8 @@ func (c *Cluster) start(ts *taskState, m *machine, now float64, events *eventHea
 
 	*seq++
 	events.push(event{at: now + ts.attemptDur, kind: evFinish, ts: ts, epoch: ts.epoch, seq: *seq})
-	if ts.task.Priority == Preemptible && c.opts.PreemptionRate > 0 {
-		dt := c.rng.Exp(1 / c.opts.PreemptionRate)
+	if ts.task.Priority == Preemptible && c.arrivals != nil {
+		dt := c.arrivals.NextSeconds()
 		if dt < ts.attemptDur {
 			*seq++
 			events.push(event{at: now + dt, kind: evPreempt, ts: ts, epoch: ts.epoch, seq: *seq})

@@ -13,7 +13,9 @@ package inference
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,6 +51,9 @@ type Options struct {
 	// LateFunnelFacets enables materializing the facet-constrained
 	// late-funnel surface with these facet keys (nil = off).
 	LateFunnelFacets []string
+	// Substrate configures worker preemption/lease/speculation for the
+	// underlying MapReduce (zero value: reliable workers).
+	Substrate mapreduce.Substrate
 }
 
 // Defaulted fills zeros.
@@ -66,6 +71,13 @@ func (o Options) Defaulted() Options {
 // recommender. It runs as a map-only MapReduce over the item ids so the
 // fault-tolerance and parallelism semantics match the production job.
 func Materialize(ctx context.Context, rec *hybrid.Recommender, cat *catalog.Catalog, opts Options) ([]ItemRecs, error) {
+	out, _, err := MaterializeStats(ctx, rec, cat, opts)
+	return out, err
+}
+
+// MaterializeStats is Materialize exposing the underlying job's counters,
+// which the pipeline rolls into the day's report and /statz.
+func MaterializeStats(ctx context.Context, rec *hybrid.Recommender, cat *catalog.Catalog, opts Options) ([]ItemRecs, mapreduce.Counters, error) {
 	opts = opts.Defaulted()
 	input := make([]mapreduce.Record, 0, cat.NumItems())
 	for i := 0; i < cat.NumItems(); i++ {
@@ -74,12 +86,16 @@ func Materialize(ctx context.Context, rec *hybrid.Recommender, cat *catalog.Cata
 		}
 		input = append(input, mapreduce.Record{Key: itemKey(len(input), catalog.ItemID(i))})
 	}
-	out := make([]ItemRecs, len(input))
-	mapper := mapreduce.MapperFunc(func(mctx context.Context, r mapreduce.Record, _ mapreduce.Emit) error {
+	// Results flow through emit into attempt-isolated buffers rather than
+	// side-effect writes into a shared slice: with the worker substrate,
+	// two attempts of one task can be live at once (a zombie whose lease
+	// expired, or a speculative backup racing its primary), and only the
+	// committed attempt's output may count.
+	mapper := mapreduce.MapperFunc(func(mctx context.Context, r mapreduce.Record, emit mapreduce.Emit) error {
 		if err := mctx.Err(); err != nil {
 			return err
 		}
-		idx, id, err := parseItemKey(r.Key)
+		_, id, err := parseItemKey(r.Key)
 		if err != nil {
 			return err
 		}
@@ -89,18 +105,99 @@ func Materialize(ctx context.Context, rec *hybrid.Recommender, cat *catalog.Cata
 		if len(opts.LateFunnelFacets) > 0 {
 			ir.LateFunnel = truncate(rec.RecommendForViewLateFunnel(id, opts.LateFunnelFacets), opts.TopK)
 		}
-		out[idx] = ir
+		emit(r.Key, EncodeItemRecs(ir))
 		return nil
 	})
 	spec := mapreduce.Spec{
 		Name:        "inference/" + string(cat.Retailer),
 		NumMapTasks: opts.Workers * 4,
 		Workers:     opts.Workers,
+		Substrate:   opts.Substrate,
 	}
-	if _, err := mapreduce.Run(ctx, spec, input, mapper, nil); err != nil {
-		return nil, err
+	res, err := mapreduce.Run(ctx, spec, input, mapper, nil)
+	if err != nil {
+		return nil, res.Counters, err
 	}
-	return out, nil
+	out := make([]ItemRecs, len(input))
+	for _, kv := range res.Output {
+		idx, _, err := parseItemKey(kv.Key)
+		if err != nil {
+			return nil, res.Counters, err
+		}
+		if idx < 0 || idx >= len(out) {
+			return nil, res.Counters, fmt.Errorf("inference: ordinal %d out of range", idx)
+		}
+		ir, err := DecodeItemRecs(kv.Value)
+		if err != nil {
+			return nil, res.Counters, err
+		}
+		out[idx] = ir
+	}
+	return out, res.Counters, nil
+}
+
+// EncodeItemRecs serializes one item's recommendations into the compact
+// binary form shuffled through the materialization job.
+func EncodeItemRecs(ir ItemRecs) []byte {
+	buf := binary.AppendUvarint(nil, uint64(ir.Item))
+	for _, list := range [][]hybrid.Scored{ir.View, ir.Purchase, ir.LateFunnel} {
+		buf = binary.AppendUvarint(buf, uint64(len(list)))
+		for _, s := range list {
+			buf = binary.AppendUvarint(buf, uint64(s.Item))
+			buf = binary.AppendUvarint(buf, math.Float64bits(s.Score))
+			buf = append(buf, byte(s.Source))
+		}
+	}
+	return buf
+}
+
+// DecodeItemRecs inverts EncodeItemRecs.
+func DecodeItemRecs(b []byte) (ItemRecs, error) {
+	var ir ItemRecs
+	item, n := binary.Uvarint(b)
+	if n <= 0 {
+		return ir, fmt.Errorf("inference: truncated ItemRecs payload")
+	}
+	b = b[n:]
+	ir.Item = catalog.ItemID(item)
+	for i := 0; i < 3; i++ {
+		count, n := binary.Uvarint(b)
+		if n <= 0 {
+			return ir, fmt.Errorf("inference: truncated ItemRecs list header")
+		}
+		b = b[n:]
+		var list []hybrid.Scored
+		for j := uint64(0); j < count; j++ {
+			var s hybrid.Scored
+			id, n := binary.Uvarint(b)
+			if n <= 0 {
+				return ir, fmt.Errorf("inference: truncated scored item")
+			}
+			b = b[n:]
+			bits, n := binary.Uvarint(b)
+			if n <= 0 || len(b[n:]) < 1 {
+				return ir, fmt.Errorf("inference: truncated scored payload")
+			}
+			b = b[n:]
+			s.Item = catalog.ItemID(id)
+			s.Score = math.Float64frombits(bits)
+			s.Source = hybrid.Source(b[0])
+			b = b[1:]
+			list = append(list, s)
+		}
+		switch i {
+		case 0:
+			ir.View = list
+		case 1:
+			ir.Purchase = list
+		case 2:
+			ir.LateFunnel = list
+		}
+	}
+	if len(b) != 0 {
+		return ir, fmt.Errorf("inference: %d trailing bytes in ItemRecs payload", len(b))
+	}
+	return ir, nil
 }
 
 func truncate(s []hybrid.Scored, k int) []hybrid.Scored {

@@ -3,7 +3,10 @@ package inference
 import (
 	"context"
 	"math"
+	"reflect"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sigmund/internal/catalog"
 	"sigmund/internal/cooccur"
@@ -12,6 +15,8 @@ import (
 	"sigmund/internal/core/hybrid"
 	"sigmund/internal/interactions"
 	"sigmund/internal/linalg"
+	"sigmund/internal/mapreduce"
+	"sigmund/internal/preempt"
 	"sigmund/internal/synth"
 )
 
@@ -196,5 +201,65 @@ func TestGreedyWithinLPTBound(t *testing.T) {
 	// only when OPT == lower; allow small slack.
 	if a.Makespan() > bound*1.34 {
 		t.Fatalf("greedy makespan %v way above LPT regime (lower bound %v)", a.Makespan(), lower)
+	}
+}
+
+func TestItemRecsCodecRoundTrip(t *testing.T) {
+	ir := ItemRecs{
+		Item: 42,
+		View: []hybrid.Scored{
+			{Item: 7, Score: 1.5, Source: hybrid.FromCooccurrence},
+			{Item: 900000, Score: -0.25, Source: hybrid.FromFactorization},
+		},
+		Purchase:   []hybrid.Scored{{Item: 3, Score: math.Inf(1), Source: hybrid.FromFactorization}},
+		LateFunnel: nil,
+	}
+	got, err := DecodeItemRecs(EncodeItemRecs(ir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ir) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, ir)
+	}
+	if _, err := DecodeItemRecs([]byte{0x01}); err == nil {
+		t.Fatal("truncated payload decoded without error")
+	}
+	if _, err := DecodeItemRecs(append(EncodeItemRecs(ir), 0xff)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+}
+
+func TestMaterializeUnderPreemption(t *testing.T) {
+	// The emit-based output path must survive worker preemption with
+	// byte-identical results: attempts re-run but only one commits. A
+	// zero-delay injected crash guarantees at least one preemption
+	// (deterministic at attempt start) on top of the timed exponential
+	// arrivals, which may or may not fire on fast tasks.
+	rec, cat := buildRecommender(t, 62)
+	control, err := Materialize(context.Background(), rec, cat, Options{TopK: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashed atomic.Bool
+	chaotic, counters, err := MaterializeStats(context.Background(), rec, cat, Options{
+		TopK: 5, Workers: 4,
+		Substrate: mapreduce.Substrate{
+			Preemption: preempt.FromMeanBetween(500*time.Microsecond, 13),
+			WorkerFaults: func(_ mapreduce.Phase, _, _, _, _ int) (mapreduce.WorkerFault, time.Duration) {
+				if crashed.CompareAndSwap(false, true) {
+					return mapreduce.WorkerCrash, 0
+				}
+				return mapreduce.WorkerOK, 0
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Preemptions == 0 {
+		t.Fatal("expected at least the injected preemption")
+	}
+	if !reflect.DeepEqual(control, chaotic) {
+		t.Fatal("preempted materialization differs from fault-free control")
 	}
 }

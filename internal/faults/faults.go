@@ -48,6 +48,9 @@ const (
 	// Plan; the path is "task-<task>/attempt-<attempt>".
 	OpMapTask    Op = "map-task"
 	OpReduceTask Op = "reduce-task"
+	// OpWorker is a MapReduce worker attempt, consumed via WorkerPlan; the
+	// path is "worker-<worker>/inc-<incarnation>/<phase>/task-<task>/attempt-<attempt>".
+	OpWorker Op = "worker"
 )
 
 // Kind is the failure mode a rule injects.
@@ -63,6 +66,12 @@ const (
 	Panic
 	// Corrupt flips bytes in the operation's payload (CorruptData).
 	Corrupt
+	// Crash kills a MapReduce worker mid-attempt (counted as a
+	// preemption); consumed via WorkerPlan.
+	Crash
+	// Stall freezes a MapReduce worker's heartbeats so its lease expires
+	// and the task is reassigned; consumed via WorkerPlan.
+	Stall
 )
 
 func (k Kind) String() string {
@@ -75,6 +84,10 @@ func (k Kind) String() string {
 		return "panic"
 	case Corrupt:
 		return "corrupt"
+	case Crash:
+		return "crash"
+	case Stall:
+		return "stall"
 	}
 	return "unknown"
 }
@@ -270,6 +283,36 @@ func (in *Injector) Plan() mapreduce.FaultPlan {
 			return false, 0
 		}
 		return true, rs.Delay
+	}
+}
+
+// WorkerPlan adapts the injector into a mapreduce.WorkerFaultPlan for
+// worker-scoped chaos: Crash rules kill the worker Delay after the
+// attempt starts (a preemption — uncommitted output lost, worker
+// reincarnates), Stall rules freeze its heartbeats (the lease expires and
+// the task is reassigned), and Error rules fail the attempt with a
+// worker-attributed error (repeated firings drive blacklisting). The path
+// rules see is "worker-<worker>/inc-<incarnation>/<phase>/task-<task>/attempt-<attempt>",
+// so a rule can target one machine, one incarnation, or one phase. A nil
+// injector yields a nil plan.
+func (in *Injector) WorkerPlan() mapreduce.WorkerFaultPlan {
+	if in == nil {
+		return nil
+	}
+	return func(phase mapreduce.Phase, worker, incarnation, task, attempt int) (mapreduce.WorkerFault, time.Duration) {
+		path := fmt.Sprintf("worker-%d/inc-%d/%s/task-%d/attempt-%d", worker, incarnation, phase, task, attempt)
+		rs := in.match(OpWorker, path, Error, Crash, Stall)
+		if rs == nil {
+			return mapreduce.WorkerOK, 0
+		}
+		switch rs.Kind {
+		case Crash:
+			return mapreduce.WorkerCrash, rs.Delay
+		case Stall:
+			return mapreduce.WorkerStall, rs.Delay
+		default:
+			return mapreduce.WorkerFlake, rs.Delay
+		}
 	}
 }
 

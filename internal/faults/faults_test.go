@@ -1,7 +1,9 @@
 package faults
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -184,5 +186,74 @@ func TestAddRuleAtRuntime(t *testing.T) {
 	in.Add(Rule{EveryNth: 1})
 	if err := in.Before(OpWrite, "p"); err == nil {
 		t.Fatal("added rule did not fire")
+	}
+}
+
+func TestWorkerPlanScopesRules(t *testing.T) {
+	in := NewInjector(1,
+		Rule{Ops: []Op{OpWorker}, PathContains: "worker-0/", Kind: Crash, EveryNth: 1, Delay: 2 * time.Millisecond},
+		Rule{Ops: []Op{OpWorker}, PathContains: "worker-1/inc-0", Kind: Stall, EveryNth: 1},
+		Rule{Ops: []Op{OpWorker}, PathContains: "worker-2/", Kind: Error, EveryNth: 1},
+	)
+	plan := in.WorkerPlan()
+	if f, d := plan(mapreduce.MapPhase, 0, 0, 3, 0); f != mapreduce.WorkerCrash || d != 2*time.Millisecond {
+		t.Fatalf("worker 0: fault=%v delay=%v, want crash after 2ms", f, d)
+	}
+	if f, _ := plan(mapreduce.MapPhase, 1, 0, 3, 0); f != mapreduce.WorkerStall {
+		t.Fatalf("worker 1 inc 0: fault=%v, want stall", f)
+	}
+	// The stall rule is pinned to incarnation 0: the reincarnated worker
+	// is a fresh machine and must not inherit the fault.
+	if f, _ := plan(mapreduce.MapPhase, 1, 1, 3, 1); f != mapreduce.WorkerOK {
+		t.Fatalf("worker 1 inc 1: fault=%v, want ok", f)
+	}
+	if f, _ := plan(mapreduce.MapPhase, 2, 0, 3, 0); f != mapreduce.WorkerFlake {
+		t.Fatalf("worker 2: fault=%v, want flake", f)
+	}
+	if f, _ := plan(mapreduce.MapPhase, 3, 0, 3, 0); f != mapreduce.WorkerOK {
+		t.Fatalf("worker 3: fault=%v, want ok", f)
+	}
+	var nilInj *Injector
+	if nilInj.WorkerPlan() != nil {
+		t.Fatal("nil injector produced a worker plan")
+	}
+}
+
+func TestWorkerPlanEndToEnd(t *testing.T) {
+	// One crash on worker 0's first incarnation, injected through a real
+	// job: the task attempt is lost as a preemption, the worker
+	// reincarnates, and the job completes with exactly-once output.
+	in := NewInjector(7, Rule{
+		Ops: []Op{OpWorker}, PathContains: "worker-0/inc-0/map",
+		Kind: Crash, EveryNth: 1, Times: 1,
+	})
+	input := make([]mapreduce.Record, 4)
+	for i := range input {
+		input[i] = mapreduce.Record{Key: fmt.Sprintf("k%d", i), Value: []byte{byte(i)}}
+	}
+	mapper := mapreduce.MapperFunc(func(ctx context.Context, rec mapreduce.Record, emit mapreduce.Emit) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+		emit(rec.Key, rec.Value)
+		return nil
+	})
+	spec := mapreduce.Spec{
+		Name:        "worker-chaos",
+		NumMapTasks: len(input),
+		Workers:     2,
+		Substrate:   mapreduce.Substrate{WorkerFaults: in.WorkerPlan()},
+	}
+	res, err := mapreduce.Run(context.Background(), spec, input, mapper, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Counters.Preemptions != 1 {
+		t.Fatalf("Preemptions = %d, want 1", res.Counters.Preemptions)
+	}
+	if len(res.Output) != len(input) {
+		t.Fatalf("output records = %d, want %d", len(res.Output), len(input))
 	}
 }

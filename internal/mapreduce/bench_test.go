@@ -1,0 +1,125 @@
+package mapreduce
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"sigmund/internal/preempt"
+)
+
+// benchInput builds n records with fixed-size payloads.
+func benchInput(n, payload int) []Record {
+	in := make([]Record, n)
+	for i := range in {
+		v := make([]byte, payload)
+		binary.LittleEndian.PutUint64(v, uint64(i))
+		in[i] = Record{Key: fmt.Sprintf("k%06d", i), Value: v}
+	}
+	return in
+}
+
+// chew is the per-record CPU work for the map-heavy shape: enough mixing
+// that the framework overhead does not dominate the measurement.
+func chew(v []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for round := 0; round < 16; round++ {
+		for _, c := range v {
+			h = (h ^ uint64(c)) * 1099511628211
+		}
+	}
+	return h
+}
+
+// BenchmarkMapReduce measures the framework under its two load shapes —
+// map-heavy (map-only job, CPU in the mapper) and shuffle-heavy (high
+// pair fan-out through the sort/partition path) — plus the map-heavy
+// shape on the full worker substrate (heartbeats, lease monitor,
+// speculation armed, preemption mean far above task runtime), which
+// bounds the substrate's bookkeeping overhead.
+func BenchmarkMapReduce(b *testing.B) {
+	const records = 2048
+
+	mapHeavy := MapperFunc(func(_ context.Context, r Record, emit Emit) error {
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], chew(r.Value))
+		emit(r.Key, out[:])
+		return nil
+	})
+
+	b.Run("map-heavy", func(b *testing.B) {
+		in := benchInput(records, 256)
+		spec := Spec{Name: "bench/map-heavy", NumMapTasks: 32, Workers: 4}
+		b.SetBytes(int64(records * 256))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := Run(context.Background(), spec, in, mapHeavy, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Output) != records {
+				b.Fatalf("output %d, want %d", len(res.Output), records)
+			}
+		}
+	})
+
+	b.Run("shuffle-heavy", func(b *testing.B) {
+		in := benchInput(records, 64)
+		// Each record fans out to 8 of 64 shared keys: ~16k pairs per run
+		// through partitioning, key sort, and reduction.
+		mapper := MapperFunc(func(_ context.Context, r Record, emit Emit) error {
+			base := binary.LittleEndian.Uint64(r.Value)
+			var out [8]byte
+			for j := uint64(0); j < 8; j++ {
+				binary.LittleEndian.PutUint64(out[:], base+j)
+				emit(fmt.Sprintf("g%02d", (base+j)%64), out[:])
+			}
+			return nil
+		})
+		reducer := ReducerFunc(func(_ context.Context, key string, values [][]byte, emit Emit) error {
+			var sum uint64
+			for _, v := range values {
+				sum += binary.LittleEndian.Uint64(v)
+			}
+			var out [8]byte
+			binary.LittleEndian.PutUint64(out[:], sum)
+			emit(key, out[:])
+			return nil
+		})
+		spec := Spec{Name: "bench/shuffle-heavy", NumMapTasks: 32, NumReduceTasks: 8, Workers: 4}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := Run(context.Background(), spec, in, mapper, reducer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Output) != 64 {
+				b.Fatalf("output %d, want 64", len(res.Output))
+			}
+		}
+	})
+
+	b.Run("map-heavy-substrate", func(b *testing.B) {
+		in := benchInput(records, 256)
+		spec := Spec{
+			Name: "bench/map-heavy-substrate", NumMapTasks: 32, Workers: 4,
+			Substrate: Substrate{
+				Preemption:  preempt.FromMeanBetween(5*time.Second, 7),
+				Speculative: true,
+			},
+		}
+		b.SetBytes(int64(records * 256))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := Run(context.Background(), spec, in, mapHeavy, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Output) != records {
+				b.Fatalf("output %d, want %d", len(res.Output), records)
+			}
+		}
+	})
+}

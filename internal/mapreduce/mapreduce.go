@@ -11,22 +11,28 @@
 //   - tasks are retried on failure with attempt-isolated output buffers
 //     that commit atomically on success, so re-execution never duplicates
 //     output — the property that makes running on pre-emptible VMs safe;
+//   - tasks are leased to simulated workers that heartbeat and can be
+//     preempted mid-attempt by a seeded exponential arrival process (see
+//     worker.go): lost attempts are requeued, hung workers' leases expire
+//     and their tasks are reassigned, stragglers get speculative backup
+//     attempts (first commit wins), and repeatedly failing workers are
+//     blacklisted — the substrate that makes the paper's "entire fleet on
+//     pre-emptible VMs" claim testable end-to-end;
 //   - a pluggable fault plan kills task attempts by cancelling their
 //     context after a delay, which exercises the user code's real
 //     checkpoint/recover paths.
 //
 // The framework executes real Go code with goroutine workers; the cluster
 // package separately models the economics of running such jobs on
-// pre-emptible machines.
+// pre-emptible machines, sampling preemptions from the same
+// internal/preempt model this package uses.
 package mapreduce
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"hash/fnv"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -110,10 +116,14 @@ type Spec struct {
 	// Workers is the number of concurrently executing tasks — the
 	// simulated machine pool (default 4).
 	Workers int
-	// MaxAttempts per task (default 3).
+	// MaxAttempts per task (default 3). Only attempt errors count against
+	// it; preemptions are bounded by Substrate.MaxPreemptionsPerTask.
 	MaxAttempts int
 	// Faults optionally injects attempt kills.
 	Faults FaultPlan
+	// Substrate configures worker preemption, lease expiry, speculative
+	// execution, and blacklisting. The zero value is reliable workers.
+	Substrate Substrate
 }
 
 func (s Spec) defaulted(inputLen int) Spec {
@@ -138,6 +148,7 @@ func (s Spec) defaulted(inputLen int) Spec {
 	if s.MaxAttempts <= 0 {
 		s.MaxAttempts = 3
 	}
+	s.Substrate = s.Substrate.defaulted()
 	return s
 }
 
@@ -152,6 +163,36 @@ type Counters struct {
 	RecordsReduced  int64
 	OutputRecords   int64
 	WorkersObserved int64 // max concurrently running tasks seen
+
+	// Worker-substrate counters.
+	Preemptions         int64 // attempts lost to worker preemption (incl. injected crashes)
+	LeaseExpiries       int64 // leases revoked after missed heartbeats
+	SpeculativeLaunches int64 // backup attempts started for stragglers
+	SpeculativeWins     int64 // tasks whose backup committed first
+	WorkersBlacklisted  int64 // workers removed after repeated failures
+}
+
+// Add accumulates o into c, field by field — the aggregation the pipeline
+// uses to roll per-cell job counters into a DayReport and the serving
+// layer uses for /statz. WorkersObserved is a high-water mark, so the max
+// is kept rather than the sum.
+func (c *Counters) Add(o Counters) {
+	c.MapAttempts += o.MapAttempts
+	c.MapFailures += o.MapFailures
+	c.ReduceAttempts += o.ReduceAttempts
+	c.ReduceFailures += o.ReduceFailures
+	c.RecordsMapped += o.RecordsMapped
+	c.PairsShuffled += o.PairsShuffled
+	c.RecordsReduced += o.RecordsReduced
+	c.OutputRecords += o.OutputRecords
+	if o.WorkersObserved > c.WorkersObserved {
+		c.WorkersObserved = o.WorkersObserved
+	}
+	c.Preemptions += o.Preemptions
+	c.LeaseExpiries += o.LeaseExpiries
+	c.SpeculativeLaunches += o.SpeculativeLaunches
+	c.SpeculativeWins += o.SpeculativeWins
+	c.WorkersBlacklisted += o.WorkersBlacklisted
 }
 
 // Result is a completed job's output.
@@ -164,75 +205,20 @@ type Result struct {
 var ErrTaskFailed = errors.New("mapreduce: task exhausted attempts")
 
 // Run executes the job. The returned output is sorted by key (stable in
-// emission order within a key).
+// emission order within a key). When multiple tasks fail permanently the
+// returned error is the errors.Join of all of them (each matching
+// errors.Is(err, ErrTaskFailed)), not just the first.
 func Run(ctx context.Context, spec Spec, input []Record, m Mapper, r Reducer) (Result, error) {
 	spec = spec.defaulted(len(input))
 	var res Result
+	var gauge concurrencyGauge
 
 	// --- Map phase ---
 	splits := contiguousSplits(len(input), spec.NumMapTasks)
 	mapOut := make([][]Record, len(splits)) // committed per task
-	runTask := func(taskCtx context.Context, phase Phase, task int, body func(context.Context, Emit) error, commit func([]Record)) error {
-		for attempt := 0; ; attempt++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if phase == MapPhase {
-				atomic.AddInt64(&res.Counters.MapAttempts, 1)
-			} else {
-				atomic.AddInt64(&res.Counters.ReduceAttempts, 1)
-			}
-			attemptCtx := taskCtx
-			var cancel context.CancelFunc
-			if spec.Faults != nil {
-				if kill, after := spec.Faults(phase, task, attempt); kill {
-					attemptCtx, cancel = context.WithCancel(taskCtx)
-					timer := time.AfterFunc(after, cancel)
-					defer timer.Stop()
-				}
-			}
-			var buf []Record
-			emit := func(k string, v []byte) {
-				cp := make([]byte, len(v))
-				copy(cp, v)
-				buf = append(buf, Record{Key: k, Value: cp})
-			}
-			err := body(attemptCtx, emit)
-			if cancel != nil {
-				cancel()
-			}
-			if err == nil {
-				commit(buf)
-				return nil
-			}
-			if phase == MapPhase {
-				atomic.AddInt64(&res.Counters.MapFailures, 1)
-			} else {
-				atomic.AddInt64(&res.Counters.ReduceFailures, 1)
-			}
-			if attempt+1 >= spec.MaxAttempts {
-				return fmt.Errorf("%s %s task %d: %w (last error: %v)", spec.Name, phase, task, ErrTaskFailed, err)
-			}
-		}
-	}
-
-	var running, maxRunning int64
-	trackStart := func() {
-		cur := atomic.AddInt64(&running, 1)
-		for {
-			prev := atomic.LoadInt64(&maxRunning)
-			if cur <= prev || atomic.CompareAndSwapInt64(&maxRunning, prev, cur) {
-				break
-			}
-		}
-	}
-	trackEnd := func() { atomic.AddInt64(&running, -1) }
-
-	err := runPool(ctx, spec.Workers, len(splits), func(task int) error {
-		trackStart()
-		defer trackEnd()
-		split := splits[task]
-		return runTask(ctx, MapPhase, task, func(actx context.Context, emit Emit) error {
+	err := runPhase(ctx, spec, MapPhase, len(splits), &res.Counters, &gauge,
+		func(actx context.Context, task int, emit Emit) error {
+			split := splits[task]
 			for _, rec := range input[split.lo:split.hi] {
 				if err := actx.Err(); err != nil {
 					return err
@@ -243,8 +229,9 @@ func Run(ctx context.Context, spec Spec, input []Record, m Mapper, r Reducer) (R
 				atomic.AddInt64(&res.Counters.RecordsMapped, 1)
 			}
 			return nil
-		}, func(buf []Record) { mapOut[task] = buf })
-	})
+		},
+		func(task int, buf []Record) { mapOut[task] = buf })
+	res.Counters.WorkersObserved = gauge.observed()
 	if err != nil {
 		return res, err
 	}
@@ -256,7 +243,6 @@ func Run(ctx context.Context, spec Spec, input []Record, m Mapper, r Reducer) (R
 		}
 		sortRecords(res.Output)
 		res.Counters.OutputRecords = int64(len(res.Output))
-		res.Counters.WorkersObserved = maxRunning
 		return res, nil
 	}
 
@@ -290,10 +276,8 @@ func Run(ctx context.Context, spec Spec, input []Record, m Mapper, r Reducer) (R
 
 	// --- Reduce phase ---
 	redOut := make([][]Record, spec.NumReduceTasks)
-	err = runPool(ctx, spec.Workers, spec.NumReduceTasks, func(task int) error {
-		trackStart()
-		defer trackEnd()
-		return runTask(ctx, ReducePhase, task, func(actx context.Context, emit Emit) error {
+	err = runPhase(ctx, spec, ReducePhase, spec.NumReduceTasks, &res.Counters, &gauge,
+		func(actx context.Context, task int, emit Emit) error {
 			for _, kv := range partKeys[task] {
 				if err := actx.Err(); err != nil {
 					return err
@@ -304,8 +288,9 @@ func Run(ctx context.Context, spec Spec, input []Record, m Mapper, r Reducer) (R
 				atomic.AddInt64(&res.Counters.RecordsReduced, 1)
 			}
 			return nil
-		}, func(buf []Record) { redOut[task] = buf })
-	})
+		},
+		func(task int, buf []Record) { redOut[task] = buf })
+	res.Counters.WorkersObserved = gauge.observed()
 	if err != nil {
 		return res, err
 	}
@@ -314,7 +299,6 @@ func Run(ctx context.Context, spec Spec, input []Record, m Mapper, r Reducer) (R
 	}
 	sortRecords(res.Output)
 	res.Counters.OutputRecords = int64(len(res.Output))
-	res.Counters.WorkersObserved = maxRunning
 	return res, nil
 }
 
@@ -352,54 +336,4 @@ func keyHash(k string) uint32 {
 
 func sortRecords(recs []Record) {
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
-}
-
-// runPool executes fn(0..n-1) over `workers` goroutines, stopping at the
-// first error.
-func runPool(ctx context.Context, workers, n int, fn func(task int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 0 {
-		return nil
-	}
-	tasks := make(chan int)
-	errCh := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				if err := fn(t); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	for t := 0; t < n; t++ {
-		select {
-		case tasks <- t:
-		case err := <-errCh:
-			close(tasks)
-			wg.Wait()
-			return err
-		case <-ctx.Done():
-			close(tasks)
-			wg.Wait()
-			return ctx.Err()
-		}
-	}
-	close(tasks)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-	}
-	return ctx.Err()
 }

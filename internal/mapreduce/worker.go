@@ -1,0 +1,664 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigmund/internal/preempt"
+)
+
+// This file is the preemptible-worker substrate: tasks are leased to N
+// simulated workers, each leased attempt heartbeats, and three failure
+// processes can take an attempt down mid-flight —
+//
+//   - preemption: a seeded exponential arrival process (the same
+//     internal/preempt model the cluster cost simulator prices) kills the
+//     worker, losing its uncommitted attempt; the worker reincarnates as
+//     a fresh machine and the task returns to the queue without consuming
+//     its error budget;
+//   - lease expiry: a worker that stops heartbeating (hung, stalled) has
+//     its lease revoked by the monitor and the task is reassigned; the
+//     zombie attempt may still be running but can never commit;
+//   - worker faults: injected crash/stall/error rules from
+//     internal/faults, scoped to (worker, incarnation) rather than to an
+//     op.
+//
+// Near the end of a phase the monitor also launches speculative backup
+// attempts for stragglers (runtime above a percentile of completed
+// peers); attempt-isolated buffers make first-commit-wins safe, so a
+// backup can overtake a slow primary without duplicating output.
+
+// WorkerFault is a worker-scoped failure mode injected via
+// Substrate.WorkerFaults.
+type WorkerFault uint8
+
+const (
+	// WorkerOK leaves the attempt alone.
+	WorkerOK WorkerFault = iota
+	// WorkerCrash kills the worker mid-attempt (counted as a preemption):
+	// the attempt is lost and the worker reincarnates.
+	WorkerCrash
+	// WorkerStall freezes the worker's heartbeats: its lease expires and
+	// the task is reassigned to another worker.
+	WorkerStall
+	// WorkerFlake makes the attempt fail with ErrWorkerFailure — a
+	// worker-attributed error that drives blacklisting.
+	WorkerFlake
+)
+
+// WorkerFaultPlan decides the fate of one attempt on one worker
+// incarnation. The delay is how long after the attempt starts the fault
+// fires (crash/stall) or how long the attempt runs before erroring
+// (flake); a crash with zero delay fires synchronously at attempt start,
+// so it preempts deterministically even on very fast tasks. Deterministic
+// plans make chaos tests reproducible.
+type WorkerFaultPlan func(phase Phase, worker, incarnation, task, attempt int) (WorkerFault, time.Duration)
+
+// Substrate configures the worker-failure substrate for a job. The zero
+// value means reliable workers and no speculation — the original
+// framework behavior, with no monitor or heartbeat overhead.
+type Substrate struct {
+	// Preemption is the seeded kill-arrival process; each worker draws an
+	// independent stream from it.
+	Preemption preempt.Model
+	// WorkerFaults optionally injects worker-scoped crash/stall/error
+	// faults (see internal/faults.WorkerPlan).
+	WorkerFaults WorkerFaultPlan
+	// Speculative enables backup attempts for stragglers.
+	Speculative bool
+	// BlacklistAfter removes a worker from the pool after this many
+	// attempt failures attributed to it (0 = never blacklist).
+	BlacklistAfter int
+	// MaxPreemptionsPerTask bounds how many times one task may be lost to
+	// preemption before the job gives up on it (default 50). Preemptions
+	// intentionally do not consume Spec.MaxAttempts: at realistic rates
+	// they would exhaust a 3–5 attempt budget that exists to catch
+	// deterministic task bugs, not machine churn.
+	MaxPreemptionsPerTask int
+	// HeartbeatEvery is the worker heartbeat and monitor interval
+	// (default 2ms — the simulated fleet runs on a milliseconds-for-
+	// minutes clock).
+	HeartbeatEvery time.Duration
+	// LeaseTimeout revokes a lease after this long without a heartbeat
+	// (default 75 heartbeat intervals).
+	LeaseTimeout time.Duration
+	// SpeculativeAfter is the fraction of the phase's tasks that must be
+	// committed before backups launch (default 0.5).
+	SpeculativeAfter float64
+	// SpeculativeQuantile is the percentile of completed-task durations a
+	// straggler is compared against (default 0.75).
+	SpeculativeQuantile float64
+	// SpeculativeSlowdown is how many times that percentile a task must
+	// have been running to earn a backup (default 2).
+	SpeculativeSlowdown float64
+}
+
+// active reports whether any failure process or speculation is on; when
+// false the engine skips heartbeats and the monitor entirely.
+func (s Substrate) active() bool {
+	return s.Preemption.Enabled() || s.WorkerFaults != nil || s.Speculative
+}
+
+func (s Substrate) defaulted() Substrate {
+	if s.HeartbeatEvery <= 0 {
+		s.HeartbeatEvery = 2 * time.Millisecond
+	}
+	if s.LeaseTimeout <= 0 {
+		s.LeaseTimeout = 75 * s.HeartbeatEvery
+	}
+	if s.MaxPreemptionsPerTask <= 0 {
+		s.MaxPreemptionsPerTask = 50
+	}
+	if s.SpeculativeAfter <= 0 {
+		s.SpeculativeAfter = 0.5
+	}
+	if s.SpeculativeQuantile <= 0 {
+		s.SpeculativeQuantile = 0.75
+	}
+	if s.SpeculativeSlowdown <= 0 {
+		s.SpeculativeSlowdown = 2
+	}
+	return s
+}
+
+// ErrWorkerFailure is the attempt error produced by WorkerFlake faults.
+var ErrWorkerFailure = errors.New("mapreduce: worker failed attempt")
+
+// ErrNoWorkers reports a job whose entire worker pool was blacklisted
+// with tasks still outstanding.
+var ErrNoWorkers = errors.New("mapreduce: all workers blacklisted")
+
+// concurrencyGauge tracks the high-water mark of concurrently executing
+// attempts across both phases (Counters.WorkersObserved).
+type concurrencyGauge struct{ cur, max int64 }
+
+func (g *concurrencyGauge) inc() {
+	cur := atomic.AddInt64(&g.cur, 1)
+	for {
+		prev := atomic.LoadInt64(&g.max)
+		if cur <= prev || atomic.CompareAndSwapInt64(&g.max, prev, cur) {
+			return
+		}
+	}
+}
+
+func (g *concurrencyGauge) dec() { atomic.AddInt64(&g.cur, -1) }
+
+func (g *concurrencyGauge) observed() int64 { return atomic.LoadInt64(&g.max) }
+
+// attempt is one lease of one task to one worker incarnation.
+type attempt struct {
+	task    *taskState
+	worker  *workerState
+	ordinal int  // attempt index seen by fault plans
+	backup  bool // speculative backup
+	started time.Time
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	lastBeat atomic.Int64 // UnixNano of the last heartbeat
+	stalled  atomic.Bool  // injected stall: heartbeats freeze
+
+	// Guarded by phaseExec.mu.
+	preempted bool // the worker died under this attempt
+	expired   bool // the monitor revoked the lease
+	settled   bool
+}
+
+// taskState is the scheduler's view of one task. All fields are guarded
+// by phaseExec.mu.
+type taskState struct {
+	idx          int
+	failures     int // error attempts, counted against Spec.MaxAttempts
+	preempts     int // lost-to-preemption attempts, bounded separately
+	launched     int // attempts started (ordinal source)
+	live         []*attempt
+	queued       bool
+	backupQueued bool
+	committed    bool
+	failed       bool
+}
+
+func (t *taskState) detach(at *attempt) {
+	for i, a := range t.live {
+		if a == at {
+			t.live = append(t.live[:i], t.live[i+1:]...)
+			return
+		}
+	}
+}
+
+// workerState is one simulated machine. Mutable fields are written only
+// under phaseExec.mu, and only from the worker's own goroutine.
+type workerState struct {
+	id          int
+	incarnation int
+	failures    int
+	blacklisted bool
+	arrivals    *preempt.Stream
+}
+
+// phaseExec runs one phase's tasks over the worker pool.
+type phaseExec struct {
+	ctx      context.Context
+	spec     Spec
+	phase    Phase
+	n        int
+	body     func(ctx context.Context, task int, emit Emit) error
+	commit   func(task int, buf []Record)
+	counters *Counters
+	gauge    *concurrencyGauge
+
+	monitored bool
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	tasks       []*taskState
+	queue       []int // pending task indices, FIFO
+	backups     []int // speculative candidates, FIFO
+	terminal    int   // committed + failed
+	liveWorkers int
+	errs        []error
+	durations   []float64 // committed-attempt runtimes, seconds
+}
+
+// runPhase executes tasks 0..n-1 through the worker substrate and
+// returns nil, the job context's error, or the errors.Join of every task
+// that permanently failed (drain-all semantics: one sunk task does not
+// abandon the rest of the phase).
+func runPhase(ctx context.Context, spec Spec, phase Phase, n int, counters *Counters, gauge *concurrencyGauge,
+	body func(ctx context.Context, task int, emit Emit) error, commit func(task int, buf []Record)) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	workers := spec.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	e := &phaseExec{
+		ctx: ctx, spec: spec, phase: phase, n: n,
+		body: body, commit: commit, counters: counters, gauge: gauge,
+		monitored:   spec.Substrate.active(),
+		liveWorkers: workers,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.tasks = make([]*taskState, n)
+	for i := range e.tasks {
+		e.tasks[i] = &taskState{idx: i, queued: true}
+		e.queue = append(e.queue, i)
+	}
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := &workerState{id: w}
+		if spec.Substrate.Preemption.Enabled() {
+			ws.arrivals = spec.Substrate.Preemption.Stream(uint64(phase+1)<<32 | uint64(w))
+		}
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			e.workerLoop(ws)
+		}()
+	}
+
+	stop := make(chan struct{})
+	var auxWG sync.WaitGroup
+	if e.monitored {
+		auxWG.Add(1)
+		go func() {
+			defer auxWG.Done()
+			e.monitor(stop)
+		}()
+	}
+	auxWG.Add(1)
+	go func() { // wake idle workers when the job dies
+		defer auxWG.Done()
+		select {
+		case <-ctx.Done():
+			e.mu.Lock()
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	workerWG.Wait()
+	close(stop)
+	auxWG.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.errs) > 0 {
+		return errors.Join(e.errs...)
+	}
+	return nil
+}
+
+func (e *phaseExec) workerLoop(w *workerState) {
+	for {
+		at := e.next(w)
+		if at == nil {
+			return
+		}
+		e.runAttempt(at)
+	}
+}
+
+// next blocks until the worker gets a lease, or returns nil when the
+// phase is over, the job is cancelled, or the worker is blacklisted.
+func (e *phaseExec) next(w *workerState) *attempt {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.ctx.Err() != nil || e.terminal >= e.n || w.blacklisted {
+			e.workerExit()
+			return nil
+		}
+		if len(e.queue) > 0 {
+			t := e.tasks[e.queue[0]]
+			e.queue = e.queue[1:]
+			t.queued = false
+			return e.lease(w, t, false)
+		}
+		if len(e.backups) > 0 {
+			leased := e.nextBackup(w)
+			if leased != nil {
+				return leased
+			}
+			continue // queues changed; re-check exit conditions
+		}
+		e.cond.Wait()
+	}
+}
+
+func (e *phaseExec) nextBackup(w *workerState) *attempt {
+	for len(e.backups) > 0 {
+		t := e.tasks[e.backups[0]]
+		e.backups = e.backups[1:]
+		t.backupQueued = false
+		if t.committed || t.failed || len(t.live) != 1 {
+			continue // candidate went stale while queued
+		}
+		e.counters.SpeculativeLaunches++
+		return e.lease(w, t, true)
+	}
+	return nil
+}
+
+// workerExit retires the worker. If blacklisting emptied the pool with
+// work outstanding, the remaining tasks fail rather than wedging the job.
+func (e *phaseExec) workerExit() {
+	e.liveWorkers--
+	if e.liveWorkers > 0 || e.terminal >= e.n || e.ctx.Err() != nil {
+		return
+	}
+	for _, t := range e.tasks {
+		if !t.committed && !t.failed {
+			e.failTask(t, fmt.Errorf("%s %s task %d: %w", e.spec.Name, e.phase, t.idx, ErrNoWorkers))
+		}
+	}
+	e.cond.Broadcast()
+}
+
+// lease grants the task to the worker. Called with mu held.
+func (e *phaseExec) lease(w *workerState, t *taskState, backup bool) *attempt {
+	actx, cancel := context.WithCancel(e.ctx)
+	at := &attempt{
+		task: t, worker: w, ordinal: t.launched, backup: backup,
+		started: time.Now(), ctx: actx, cancel: cancel,
+	}
+	t.launched++
+	at.lastBeat.Store(at.started.UnixNano())
+	t.live = append(t.live, at)
+	return at
+}
+
+// runAttempt executes one leased attempt on the worker's goroutine: arms
+// fault timers and the preemption clock, heartbeats, runs the body into
+// an attempt-isolated buffer, and settles the outcome.
+func (e *phaseExec) runAttempt(at *attempt) {
+	t, w := at.task, at.worker
+	e.gauge.inc()
+	defer e.gauge.dec()
+	if e.phase == MapPhase {
+		atomic.AddInt64(&e.counters.MapAttempts, 1)
+	} else {
+		atomic.AddInt64(&e.counters.ReduceAttempts, 1)
+	}
+
+	var timers []*time.Timer
+	if e.spec.Faults != nil {
+		if kill, after := e.spec.Faults(e.phase, t.idx, at.ordinal); kill {
+			timers = append(timers, time.AfterFunc(after, at.cancel))
+		}
+	}
+	flake := false
+	var flakeAfter time.Duration
+	if plan := e.spec.Substrate.WorkerFaults; plan != nil {
+		fault, after := plan(e.phase, w.id, w.incarnation, t.idx, at.ordinal)
+		switch fault {
+		case WorkerCrash:
+			if after <= 0 {
+				// A zero-delay crash preempts deterministically at attempt
+				// start; a timer would race the body on fast tasks.
+				e.preempt(at)
+			} else {
+				timers = append(timers, time.AfterFunc(after, func() { e.preempt(at) }))
+			}
+		case WorkerStall:
+			timers = append(timers, time.AfterFunc(after, func() { at.stalled.Store(true) }))
+		case WorkerFlake:
+			flake, flakeAfter = true, after
+		}
+	}
+	if w.arrivals != nil {
+		// Fresh draw per attempt: exponential arrivals are memoryless, so
+		// this is the same process as one continuous preemption clock over
+		// the worker's busy time.
+		timers = append(timers, time.AfterFunc(w.arrivals.Next(), func() { e.preempt(at) }))
+	}
+	var hbStop chan struct{}
+	if e.monitored {
+		hbStop = make(chan struct{})
+		go heartbeat(at, e.spec.Substrate.HeartbeatEvery, hbStop)
+	}
+
+	var buf []Record
+	emit := func(k string, v []byte) {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		buf = append(buf, Record{Key: k, Value: cp})
+	}
+	var err error
+	if flake {
+		if flakeAfter > 0 {
+			select {
+			case <-at.ctx.Done():
+			case <-time.After(flakeAfter):
+			}
+		}
+		err = fmt.Errorf("%w (worker %d)", ErrWorkerFailure, w.id)
+	} else {
+		err = e.body(at.ctx, t.idx, emit)
+	}
+	// Each attempt stops its own timers as soon as its body returns (the
+	// old implementation deferred Stop inside the retry loop, keeping
+	// every dead attempt's timer alive until the whole task finished).
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	at.cancel()
+	if hbStop != nil {
+		close(hbStop)
+	}
+	e.settle(at, buf, err)
+}
+
+func heartbeat(at *attempt, every time.Duration, stop chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if !at.stalled.Load() {
+				at.lastBeat.Store(time.Now().UnixNano())
+			}
+		}
+	}
+}
+
+// preempt kills the worker under a live attempt (preemption arrival or
+// injected crash). Settlement on the worker's goroutine does the
+// bookkeeping; committed, expired, or already-preempted attempts are
+// beyond reach.
+func (e *phaseExec) preempt(at *attempt) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if at.settled || at.expired || at.preempted {
+		return
+	}
+	at.preempted = true
+	at.cancel()
+}
+
+// settle classifies a finished attempt: commit, discard, retry, or fail.
+// The priority order is what guarantees exactly-once output — an expired
+// lease can never commit, and a committed task discards every rival.
+func (e *phaseExec) settle(at *attempt, buf []Record, err error) {
+	e.mu.Lock()
+	defer e.cond.Broadcast()
+	defer e.mu.Unlock()
+	at.settled = true
+	t, w := at.task, at.worker
+
+	if at.expired {
+		// The monitor already revoked this lease and requeued the task; a
+		// zombie's output is discarded no matter how it finished.
+		return
+	}
+	t.detach(at)
+	if t.committed || t.failed {
+		return // settled by a rival attempt (first commit wins)
+	}
+	if at.preempted {
+		// The machine died under the attempt: output lost, worker
+		// reincarnates fresh, task goes back to the queue. Not charged
+		// against MaxAttempts — machine churn is not a task bug — but
+		// bounded so a pathological rate still terminates.
+		w.incarnation++
+		e.counters.Preemptions++
+		t.preempts++
+		if t.preempts > e.spec.Substrate.MaxPreemptionsPerTask {
+			e.failTask(t, fmt.Errorf("%s %s task %d: %w (lost to %d preemptions)",
+				e.spec.Name, e.phase, t.idx, ErrTaskFailed, t.preempts))
+			return
+		}
+		e.requeue(t)
+		return
+	}
+	if err == nil {
+		t.committed = true
+		e.terminal++
+		e.commit(t.idx, buf)
+		e.durations = append(e.durations, time.Since(at.started).Seconds())
+		if at.backup {
+			e.counters.SpeculativeWins++
+		}
+		for _, rival := range t.live {
+			rival.cancel()
+		}
+		return
+	}
+	if e.ctx.Err() != nil {
+		return // job-level cancellation, not a task failure
+	}
+	if e.phase == MapPhase {
+		e.counters.MapFailures++
+	} else {
+		e.counters.ReduceFailures++
+	}
+	t.failures++
+	w.failures++
+	if after := e.spec.Substrate.BlacklistAfter; after > 0 && !w.blacklisted && w.failures >= after {
+		w.blacklisted = true
+		e.counters.WorkersBlacklisted++
+	}
+	if t.failures >= e.spec.MaxAttempts {
+		e.failTask(t, fmt.Errorf("%s %s task %d: %w (last error: %v)",
+			e.spec.Name, e.phase, t.idx, ErrTaskFailed, err))
+		return
+	}
+	e.requeue(t)
+}
+
+// failTask permanently fails the task. Called with mu held.
+func (e *phaseExec) failTask(t *taskState, err error) {
+	t.failed = true
+	e.errs = append(e.errs, err)
+	e.terminal++
+	for _, rival := range t.live {
+		rival.cancel()
+	}
+}
+
+// requeue returns the task to the pending queue unless it is settled or
+// still has a live attempt (that attempt's settlement will requeue).
+// Called with mu held.
+func (e *phaseExec) requeue(t *taskState) {
+	if t.committed || t.failed || t.queued || len(t.live) > 0 {
+		return
+	}
+	t.queued = true
+	e.queue = append(e.queue, t.idx)
+}
+
+// monitor is the phase's lease supervisor: every heartbeat interval it
+// expires leases that missed heartbeats and nominates stragglers for
+// speculative backups.
+func (e *phaseExec) monitor(stop chan struct{}) {
+	sub := e.spec.Substrate
+	tick := time.NewTicker(sub.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		e.mu.Lock()
+		for _, t := range e.tasks {
+			if t.committed || t.failed {
+				continue
+			}
+			for i := 0; i < len(t.live); i++ {
+				at := t.live[i]
+				if now.UnixNano()-at.lastBeat.Load() <= int64(sub.LeaseTimeout) {
+					continue
+				}
+				at.expired = true
+				at.cancel()
+				t.live = append(t.live[:i], t.live[i+1:]...)
+				i--
+				e.counters.LeaseExpiries++
+			}
+			e.requeue(t)
+		}
+		if sub.Speculative {
+			e.scheduleBackups(now)
+		}
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// scheduleBackups nominates stragglers once enough of the phase has
+// committed to know what "slow" means. Called with mu held.
+func (e *phaseExec) scheduleBackups(now time.Time) {
+	sub := e.spec.Substrate
+	done := len(e.durations)
+	if done < 2 || float64(done) < sub.SpeculativeAfter*float64(e.n) {
+		return
+	}
+	threshold := sub.SpeculativeSlowdown * quantile(e.durations, sub.SpeculativeQuantile)
+	if floor := sub.HeartbeatEvery.Seconds(); threshold < floor {
+		threshold = floor
+	}
+	for _, t := range e.tasks {
+		if t.committed || t.failed || t.queued || t.backupQueued || len(t.live) != 1 {
+			continue
+		}
+		if now.Sub(t.live[0].started).Seconds() <= threshold {
+			continue
+		}
+		t.backupQueued = true
+		e.backups = append(e.backups, t.idx)
+	}
+}
+
+// quantile returns the q-th empirical quantile of xs (nearest rank).
+func quantile(xs []float64, q float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}

@@ -1,0 +1,362 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sigmund/internal/preempt"
+)
+
+// sleepCtx sleeps for d or until ctx is cancelled, returning ctx.Err() in
+// the latter case — a well-behaved task body.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// echoTaskMapper emits one record per input record after simulating work.
+func echoTaskMapper(work time.Duration) Mapper {
+	return MapperFunc(func(ctx context.Context, rec Record, emit Emit) error {
+		if err := sleepCtx(ctx, work); err != nil {
+			return err
+		}
+		emit(rec.Key, rec.Value)
+		return nil
+	})
+}
+
+func makeInput(n int) []Record {
+	input := make([]Record, n)
+	for i := range input {
+		input[i] = Record{Key: fmt.Sprintf("k%03d", i), Value: []byte{byte(i)}}
+	}
+	return input
+}
+
+// TestPreemptionRecovery runs a map-only job under an aggressive seeded
+// preemption process and checks the exactly-once guarantee: every input
+// record appears in the output exactly once, despite attempts being lost
+// mid-flight.
+func TestPreemptionRecovery(t *testing.T) {
+	input := makeInput(8)
+	spec := Spec{
+		Name:        "preempt",
+		NumMapTasks: len(input),
+		Workers:     3,
+		Substrate: Substrate{
+			Preemption: preempt.FromMeanBetween(6*time.Millisecond, 42),
+		},
+	}
+	res, err := Run(context.Background(), spec, input, echoTaskMapper(8*time.Millisecond), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Output) != len(input) {
+		t.Fatalf("output records = %d, want %d", len(res.Output), len(input))
+	}
+	seen := map[string]int{}
+	for _, rec := range res.Output {
+		seen[rec.Key]++
+	}
+	for _, rec := range input {
+		if seen[rec.Key] != 1 {
+			t.Fatalf("key %s appears %d times, want exactly once", rec.Key, seen[rec.Key])
+		}
+	}
+	// With a 6ms mean between preemptions and ~64ms of work per worker,
+	// the odds of zero arrivals are negligible.
+	if res.Counters.Preemptions == 0 {
+		t.Fatal("expected at least one preemption")
+	}
+	if res.Counters.MapFailures != 0 {
+		t.Fatalf("preemptions must not count as task failures, got MapFailures=%d", res.Counters.MapFailures)
+	}
+	if res.Counters.MapAttempts < int64(len(input))+res.Counters.Preemptions {
+		t.Fatalf("attempts=%d < tasks+preemptions=%d", res.Counters.MapAttempts,
+			int64(len(input))+res.Counters.Preemptions)
+	}
+}
+
+// TestLeaseExpiryReassignsTask stalls the first attempt's heartbeats; the
+// monitor must revoke the lease and reassign the task, and the zombie
+// attempt's output must be discarded even though its body finishes.
+func TestLeaseExpiryReassignsTask(t *testing.T) {
+	var stalls atomic.Int32
+	input := makeInput(3)
+	spec := Spec{
+		Name:        "expiry",
+		NumMapTasks: len(input),
+		Workers:     2,
+		Substrate: Substrate{
+			HeartbeatEvery: time.Millisecond,
+			LeaseTimeout:   8 * time.Millisecond,
+			WorkerFaults: func(phase Phase, worker, incarnation, task, attempt int) (WorkerFault, time.Duration) {
+				if phase == MapPhase && stalls.CompareAndSwap(0, 1) {
+					return WorkerStall, 0
+				}
+				return WorkerOK, 0
+			},
+		},
+	}
+	// The body ignores cancellation for a while: the zombie genuinely
+	// outlives its lease and still emits, which must not duplicate output.
+	mapper := MapperFunc(func(ctx context.Context, rec Record, emit Emit) error {
+		time.Sleep(20 * time.Millisecond)
+		emit(rec.Key, rec.Value)
+		return nil
+	})
+	res, err := Run(context.Background(), spec, input, mapper, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Counters.LeaseExpiries == 0 {
+		t.Fatal("expected at least one lease expiry")
+	}
+	if got := len(res.Output); got != len(input) {
+		t.Fatalf("output records = %d, want %d (zombie output must be rejected)", got, len(input))
+	}
+}
+
+// TestSpeculativeExecution makes one task's first attempt a straggler;
+// the monitor must launch a backup that commits first.
+func TestSpeculativeExecution(t *testing.T) {
+	const n = 8
+	input := makeInput(n)
+	var slowHits atomic.Int32
+	mapper := MapperFunc(func(ctx context.Context, rec Record, emit Emit) error {
+		d := 4 * time.Millisecond
+		// Input is one record per task, so the record key identifies the
+		// task. Only the straggler's first attempt is slow.
+		if rec.Key == "k007" && slowHits.Add(1) == 1 {
+			d = 500 * time.Millisecond
+		}
+		if err := sleepCtx(ctx, d); err != nil {
+			return err
+		}
+		emit(rec.Key, rec.Value)
+		return nil
+	})
+	spec := Spec{
+		Name:        "straggler",
+		NumMapTasks: n,
+		Workers:     4,
+		Substrate: Substrate{
+			Speculative:    true,
+			HeartbeatEvery: time.Millisecond,
+		},
+	}
+	res, err := Run(context.Background(), spec, input, mapper, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Counters.SpeculativeLaunches == 0 {
+		t.Fatal("expected a speculative backup to launch")
+	}
+	if res.Counters.SpeculativeWins == 0 {
+		t.Fatal("expected the backup to win against the straggler")
+	}
+	if got := len(res.Output); got != n {
+		t.Fatalf("output records = %d, want %d (first commit wins must not duplicate)", got, n)
+	}
+}
+
+// TestWorkerBlacklisting gives worker 1 a permanent flake: after
+// BlacklistAfter failures it must be retired and the job must still
+// complete on the healthy worker.
+func TestWorkerBlacklisting(t *testing.T) {
+	input := makeInput(6)
+	spec := Spec{
+		Name:        "blacklist",
+		NumMapTasks: len(input),
+		Workers:     2,
+		MaxAttempts: 5,
+		Substrate: Substrate{
+			BlacklistAfter: 2,
+			WorkerFaults: func(phase Phase, worker, incarnation, task, attempt int) (WorkerFault, time.Duration) {
+				if worker == 1 {
+					return WorkerFlake, 0
+				}
+				return WorkerOK, 0
+			},
+		},
+	}
+	res, err := Run(context.Background(), spec, input, echoTaskMapper(time.Millisecond), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Counters.WorkersBlacklisted != 1 {
+		t.Fatalf("WorkersBlacklisted = %d, want 1", res.Counters.WorkersBlacklisted)
+	}
+	if res.Counters.MapFailures != 2 {
+		t.Fatalf("MapFailures = %d, want exactly BlacklistAfter=2", res.Counters.MapFailures)
+	}
+	if len(res.Output) != len(input) {
+		t.Fatalf("output records = %d, want %d", len(res.Output), len(input))
+	}
+}
+
+// TestAllWorkersBlacklistedFailsJob drains the whole pool and expects a
+// prompt ErrNoWorkers failure instead of a wedged job.
+func TestAllWorkersBlacklistedFailsJob(t *testing.T) {
+	input := makeInput(4)
+	spec := Spec{
+		Name:        "drained",
+		NumMapTasks: len(input),
+		Workers:     2,
+		MaxAttempts: 100, // tasks never exhaust attempts; the pool dies first
+		Substrate: Substrate{
+			BlacklistAfter: 1,
+			WorkerFaults: func(Phase, int, int, int, int) (WorkerFault, time.Duration) {
+				return WorkerFlake, 0
+			},
+		},
+	}
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Run(context.Background(), spec, input, echoTaskMapper(0), nil)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job wedged after losing every worker")
+	}
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestMultiTaskErrorsAggregated verifies the errors.Join satellite: when
+// several tasks fail permanently, every one of them is reported.
+func TestMultiTaskErrorsAggregated(t *testing.T) {
+	input := makeInput(4)
+	mapper := MapperFunc(func(ctx context.Context, rec Record, emit Emit) error {
+		if rec.Key == "k001" || rec.Key == "k003" {
+			return fmt.Errorf("broken record %s", rec.Key)
+		}
+		emit(rec.Key, rec.Value)
+		return nil
+	})
+	spec := Spec{Name: "multi-err", NumMapTasks: len(input), Workers: 2, MaxAttempts: 2}
+	_, err := Run(context.Background(), spec, input, mapper, nil)
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("err = %v, want ErrTaskFailed", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"task 1", "task 3"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("aggregated error %q is missing %q", msg, want)
+		}
+	}
+}
+
+// TestJobCancellationMidMapNoLeaks cancels the job context mid-map with
+// the full substrate armed (monitor, heartbeats, preemption timers) and
+// checks Run returns promptly, leaks no goroutines, and leaves counters
+// internally consistent.
+func TestJobCancellationMidMapNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	firstTask := make(chan struct{})
+	var once atomic.Bool
+	mapper := MapperFunc(func(mctx context.Context, rec Record, emit Emit) error {
+		if once.CompareAndSwap(false, true) {
+			close(firstTask)
+		}
+		<-mctx.Done() // block until cancelled, like a long training step
+		return mctx.Err()
+	})
+	go func() {
+		<-firstTask
+		cancel()
+	}()
+
+	input := makeInput(32)
+	spec := Spec{
+		Name:        "cancelled",
+		NumMapTasks: len(input),
+		Workers:     4,
+		Substrate: Substrate{
+			Speculative: true,
+			Preemption:  preempt.FromMeanBetween(50*time.Millisecond, 7),
+		},
+	}
+	start := time.Now()
+	res, err := Run(ctx, spec, input, mapper, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Run took %v after cancellation, want prompt return", elapsed)
+	}
+	if len(res.Output) != 0 {
+		t.Fatalf("cancelled job produced %d output records, want 0", len(res.Output))
+	}
+	c := res.Counters
+	if c.MapAttempts < c.MapFailures {
+		t.Fatalf("counters inconsistent: attempts=%d < failures=%d", c.MapAttempts, c.MapFailures)
+	}
+	if c.MapAttempts == 0 {
+		t.Fatal("expected at least one attempt before cancellation")
+	}
+
+	// Every substrate goroutine (workers, monitor, heartbeats, watchers)
+	// must wind down; poll briefly to let deferred exits run.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: before=%d now=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubstrateDisabledNoOverheadPath ensures the zero-value substrate
+// keeps the original counter semantics (exercised heavily by the word
+// count tests) and never reports substrate activity.
+func TestSubstrateDisabledNoOverheadPath(t *testing.T) {
+	input := makeInput(10)
+	res, err := Run(context.Background(), Spec{Name: "plain", Workers: 4}, input, echoTaskMapper(0), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	c := res.Counters
+	if c.Preemptions+c.LeaseExpiries+c.SpeculativeLaunches+c.SpeculativeWins+c.WorkersBlacklisted != 0 {
+		t.Fatalf("substrate counters nonzero on a plain job: %+v", c)
+	}
+	if len(res.Output) != len(input) {
+		t.Fatalf("output records = %d, want %d", len(res.Output), len(input))
+	}
+}
+
+// TestCountersAdd covers the aggregation used by the pipeline and /statz.
+func TestCountersAdd(t *testing.T) {
+	a := Counters{MapAttempts: 3, Preemptions: 2, WorkersObserved: 4, SpeculativeWins: 1}
+	b := Counters{MapAttempts: 2, Preemptions: 1, WorkersObserved: 2, LeaseExpiries: 5}
+	a.Add(b)
+	if a.MapAttempts != 5 || a.Preemptions != 3 || a.LeaseExpiries != 5 || a.SpeculativeWins != 1 {
+		t.Fatalf("Add mismatch: %+v", a)
+	}
+	if a.WorkersObserved != 4 {
+		t.Fatalf("WorkersObserved should keep the max, got %d", a.WorkersObserved)
+	}
+}

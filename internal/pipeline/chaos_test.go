@@ -13,6 +13,8 @@ import (
 	"sigmund/internal/core/modelselect"
 	"sigmund/internal/dfs"
 	"sigmund/internal/faults"
+	"sigmund/internal/mapreduce"
+	"sigmund/internal/preempt"
 	"sigmund/internal/serving"
 	"sigmund/internal/synth"
 )
@@ -325,5 +327,82 @@ func TestCheckpointWriteFailuresMidTraining(t *testing.T) {
 	}
 	if got := fs.List("days/0/ckpt/"); len(got) != 0 {
 		t.Fatalf("checkpoints exist despite every write failing: %v", got)
+	}
+}
+
+// TestWorkerPreemptionChaosDay is the end-to-end acceptance scenario for
+// the preemptible-worker substrate: a full daily cycle where every
+// training and inference MapReduce runs on preemptible workers — a seeded
+// exponential arrival process with a mean well above the per-task runtime
+// (the C6 regime time-scaled to test speed), plus one deterministic
+// zero-delay crash per job so the preemption assertions never depend on
+// timing. Every tenant's day must complete with zero lost or duplicated
+// output: the published snapshot is byte-identical to a fault-free
+// control run, and the day's counters and /statz report the preemptions.
+func TestWorkerPreemptionChaosDay(t *testing.T) {
+	run := func(sub mapreduce.Substrate) (DayReport, *serving.Server) {
+		opts := testOptions()
+		opts.Substrate = sub
+		server := serving.NewServer()
+		p := New(dfs.New(), server, opts)
+		for _, r := range chaosFleet(t, 3) {
+			mustAdd(t, p, r)
+		}
+		rep, err := p.RunDay(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, server
+	}
+
+	controlRep, controlServer := run(mapreduce.Substrate{})
+	chaosRep, chaosServer := run(mapreduce.Substrate{
+		Preemption:  preempt.FromMeanBetween(250*time.Millisecond, 99),
+		Speculative: true,
+		WorkerFaults: func(phase mapreduce.Phase, _, _, task, attempt int) (mapreduce.WorkerFault, time.Duration) {
+			// Exactly one guaranteed preemption per job: the first attempt
+			// of map task 0 crashes at attempt start and is requeued.
+			if phase == mapreduce.MapPhase && task == 0 && attempt == 0 {
+				return mapreduce.WorkerCrash, 0
+			}
+			return mapreduce.WorkerOK, 0
+		},
+	})
+
+	// Every tenant completes its day despite the preemptions.
+	if len(chaosRep.Degraded) != 0 {
+		t.Fatalf("degraded under preemption: %v", chaosRep.Degraded)
+	}
+	var total mapreduce.Counters
+	total.Add(chaosRep.TrainCounters)
+	total.Add(chaosRep.InferCounters)
+	if total.Preemptions == 0 {
+		t.Fatal("no preemptions counted despite injected crashes")
+	}
+	if total.MapAttempts <= controlRep.TrainCounters.MapAttempts+controlRep.InferCounters.MapAttempts {
+		t.Fatalf("preempted attempts not re-executed: %d attempts vs control %d",
+			total.MapAttempts, controlRep.TrainCounters.MapAttempts+controlRep.InferCounters.MapAttempts)
+	}
+
+	// Exactly-once output: the published snapshot — every tenant's full
+	// recommendation store — is byte-identical to the fault-free control.
+	if !reflect.DeepEqual(chaosServer.Snapshot().Retailers, controlServer.Snapshot().Retailers) {
+		t.Fatal("preempted run's snapshot differs from fault-free control")
+	}
+
+	// The day's substrate counters surface on /statz.
+	rr := httptest.NewRecorder()
+	serving.NewHandler(chaosServer).ServeHTTP(rr, httptest.NewRequest("GET", "/statz", nil))
+	var statz struct {
+		MapReduce struct {
+			MapAttempts int64 `json:"map_attempts"`
+			Preemptions int64 `json:"preemptions"`
+		} `json:"mapreduce"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &statz); err != nil {
+		t.Fatalf("statz: %v (%s)", err, rr.Body.String())
+	}
+	if statz.MapReduce.Preemptions != total.Preemptions || statz.MapReduce.MapAttempts == 0 {
+		t.Fatalf("statz mapreduce block = %+v, want %d preemptions", statz.MapReduce, total.Preemptions)
 	}
 }

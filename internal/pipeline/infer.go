@@ -13,6 +13,7 @@ import (
 	"sigmund/internal/core/modelselect"
 	"sigmund/internal/faults"
 	"sigmund/internal/interactions"
+	"sigmund/internal/mapreduce"
 	"sigmund/internal/serving"
 )
 
@@ -27,6 +28,8 @@ import (
 // still materialize. The returned snapshot contains recommendations for
 // the successful retailers; the caller marks degraded tenants on it before
 // publishing so serving carries their previous recommendations forward.
+// The returned counters aggregate every materialization job's MapReduce
+// counters (including failed jobs' partial work).
 func (p *Pipeline) runInference(
 	ctx context.Context,
 	day int,
@@ -35,7 +38,7 @@ func (p *Pipeline) runInference(
 	byRetailer map[catalog.RetailerID][]modelselect.ConfigRecord,
 	reports map[catalog.RetailerID]*RetailerReport,
 	degraded map[catalog.RetailerID]*degradation,
-) *serving.Snapshot {
+) (*serving.Snapshot, mapreduce.Counters) {
 	// Only healthy retailers with a usable best model are materialized.
 	type job struct {
 		id     catalog.RetailerID
@@ -60,6 +63,7 @@ func (p *Pipeline) runInference(
 	perRetailer := make(map[catalog.RetailerID][]inference.ItemRecs, len(jobs))
 	pop := make(map[catalog.RetailerID][]catalog.ItemID, len(jobs))
 	failed := map[catalog.RetailerID]error{}
+	var counters mapreduce.Counters
 	if len(jobs) > 0 {
 		assign := inference.Partition(weights, p.opts.Cells, inference.GreedyFirstFit)
 		var (
@@ -80,8 +84,9 @@ func (p *Pipeline) runInference(
 			go func(cell int, mine []job) {
 				defer wg.Done()
 				for _, j := range mine {
-					recs, sellers, err := p.inferRetailerSafe(ctx, day, j.tenant, j.best)
+					recs, sellers, c, err := p.inferRetailerSafe(ctx, day, j.tenant, j.best)
 					mu.Lock()
+					counters.Add(c)
 					if err != nil {
 						failed[j.id] = fmt.Errorf("inference for %s (cell %d): %w", j.id, cell, err)
 						mu.Unlock()
@@ -104,13 +109,13 @@ func (p *Pipeline) runInference(
 			degraded[id] = &degradation{phase: PhaseInfer, err: err}
 		}
 	}
-	return serving.BuildSnapshot(int64(day+1), perRetailer, pop)
+	return serving.BuildSnapshot(int64(day+1), perRetailer, pop), counters
 }
 
 // inferRetailerSafe runs one retailer's materialization behind the fault
 // injector and a panic barrier: a panicking inference job degrades only
 // its own retailer.
-func (p *Pipeline) inferRetailerSafe(ctx context.Context, day int, t *Tenant, best modelselect.ConfigRecord) (items []inference.ItemRecs, sellers []catalog.ItemID, err error) {
+func (p *Pipeline) inferRetailerSafe(ctx context.Context, day int, t *Tenant, best modelselect.ConfigRecord) (items []inference.ItemRecs, sellers []catalog.ItemID, counters mapreduce.Counters, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			items, sellers = nil, nil
@@ -118,25 +123,26 @@ func (p *Pipeline) inferRetailerSafe(ctx context.Context, day int, t *Tenant, be
 		}
 	}()
 	if err := p.opts.Injector.Before(faults.OpInfer, faultPath(day, best.Retailer)); err != nil {
-		return nil, nil, err
+		return nil, nil, counters, err
 	}
-	return p.inferRetailer(ctx, t, best)
+	return p.inferRetailer(ctx, day, t, best)
 }
 
 // inferRetailer materializes one retailer: load the best model, assemble
 // the hybrid recommender over fresh co-occurrence/stats/candidates, and run
 // the per-item job.
-func (p *Pipeline) inferRetailer(ctx context.Context, t *Tenant, best modelselect.ConfigRecord) ([]inference.ItemRecs, []catalog.ItemID, error) {
+func (p *Pipeline) inferRetailer(ctx context.Context, day int, t *Tenant, best modelselect.ConfigRecord) ([]inference.ItemRecs, []catalog.ItemID, mapreduce.Counters, error) {
+	var counters mapreduce.Counters
 	model, err := p.loadModelFrom(best.ModelPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, counters, err
 	}
 	cat := t.Catalog
 	if model.NumItems < cat.NumItems() {
 		// Items added after training still need serving coverage: grow the
 		// model with cold random embeddings (features carry them).
 		if err := model.ExpandToCatalog(cat, warmStartRNG(best)); err != nil {
-			return nil, nil, err
+			return nil, nil, counters, err
 		}
 	}
 	cooc := cooccur.FromLog(t.Log, cat.NumItems(), cooccur.DefaultWindow)
@@ -147,14 +153,15 @@ func (p *Pipeline) inferRetailer(ctx context.Context, t *Tenant, best modelselec
 	rec.HeadMinEvents = p.opts.HeadMinEvents
 	rec.TopK = p.opts.InferTopK
 
-	items, err := inference.Materialize(ctx, rec, cat, inference.Options{
+	items, counters, err := inference.MaterializeStats(ctx, rec, cat, inference.Options{
 		TopK:             p.opts.InferTopK,
 		Workers:          p.opts.InferWorkers,
 		SkipOutOfStock:   true,
 		LateFunnelFacets: p.opts.LateFunnelFacets,
+		Substrate:        p.substrateFor(day, "infer/"+string(best.Retailer)),
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, counters, err
 	}
 
 	// Popularity fallback list for contextless users.
@@ -168,5 +175,5 @@ func (p *Pipeline) inferRetailer(ctx context.Context, t *Tenant, best modelselec
 			break
 		}
 	}
-	return items, sellers, nil
+	return items, sellers, counters, nil
 }

@@ -72,6 +72,13 @@ type Options struct {
 	// Faults optionally injects preemptions into the training MapReduce.
 	Faults mapreduce.FaultPlan
 
+	// Substrate configures the worker substrate — preemption, lease
+	// expiry, speculative execution, blacklisting — for every training and
+	// inference MapReduce the pipeline runs. The preemption seed is
+	// re-derived per day/cell/retailer so each job sees an independent (but
+	// deterministic) arrival process. The zero value is reliable workers.
+	Substrate mapreduce.Substrate
+
 	// Injector optionally injects deterministic faults into per-tenant
 	// pipeline stages: training and inference work consult it under the
 	// path "days/<day>/<retailer>" (OpTrain / OpInfer). Install the same
@@ -287,9 +294,14 @@ type RetailerReport struct {
 
 // DayReport summarizes a full daily cycle.
 type DayReport struct {
-	Day            int
-	Retailers      []RetailerReport
+	Day       int
+	Retailers []RetailerReport
+	// TrainCounters / InferCounters aggregate every cell's MapReduce
+	// counters for the day, including the worker-substrate counters
+	// (preemptions, lease expiries, speculative launches/wins, blacklisted
+	// workers).
 	TrainCounters  mapreduce.Counters
+	InferCounters  mapreduce.Counters
 	TrainWall      time.Duration
 	InferWall      time.Duration
 	SnapshotPushed bool
@@ -488,7 +500,7 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	inferStart := time.Now()
 	var snap *serving.Snapshot
 	if p.server != nil {
-		snap = p.runInference(ctx, day, ids, tenants, byRetailer, perRetailer, degraded)
+		snap, report.InferCounters = p.runInference(ctx, day, ids, tenants, byRetailer, perRetailer, degraded)
 		if err := ctx.Err(); err != nil {
 			return report, err
 		}
@@ -544,6 +556,12 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 		p.server.Publish(snap)
 		report.SnapshotPushed = true
 	}
+	if p.server != nil {
+		// Roll the day's job counters into the serving layer's running
+		// totals so /statz exposes fleet-wide MapReduce health.
+		p.server.AddJobCounters(report.TrainCounters)
+		p.server.AddJobCounters(report.InferCounters)
+	}
 
 	for _, id := range ids {
 		report.Retailers = append(report.Retailers, *perRetailer[id])
@@ -596,6 +614,20 @@ func pathHash(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	return h.Sum64()
+}
+
+// substrateFor returns the worker substrate for one job, with the
+// preemption seed decorrelated by a per-job label ("train/cell-<n>",
+// "infer/<retailer>") and the day: without this every cell's workers
+// would draw identical preemption arrival times. Exactly-once output is
+// independent of the seed; the mixing only keeps chaos runs from being
+// synchronized across jobs.
+func (p *Pipeline) substrateFor(day int, label string) mapreduce.Substrate {
+	sub := p.opts.Substrate
+	if sub.Preemption.Enabled() {
+		sub.Preemption.Seed ^= pathHash(fmt.Sprintf("day-%d/%s", day, label))
+	}
+	return sub
 }
 
 // faultPath is the label per-tenant pipeline stages present to the fault

@@ -57,10 +57,7 @@ func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelsele
 			cellOut, c, err := p.runTrainingCell(ctx, day, cell, recs, coocCache)
 			mu.Lock()
 			defer mu.Unlock()
-			counters.MapAttempts += c.MapAttempts
-			counters.MapFailures += c.MapFailures
-			counters.RecordsMapped += c.RecordsMapped
-			counters.OutputRecords += c.OutputRecords
+			counters.Add(c)
 			if err != nil {
 				for _, rec := range recs {
 					if failed[rec.Retailer] == nil {
@@ -113,6 +110,7 @@ func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []mo
 		NumReduceTasks: 4,
 		Workers:        p.opts.TrainWorkers,
 		Faults:         p.opts.Faults,
+		Substrate:      p.substrateFor(day, fmt.Sprintf("train/cell-%d", cell)),
 		MaxAttempts:    5,
 	}
 	res, err := mapreduce.Run(ctx, spec, input, mapper, mapreduce.IdentityReducer)

@@ -1,0 +1,83 @@
+// Package preempt models machine preemption as a Poisson process:
+// exponential inter-arrival times between kills, the standard model for
+// pre-emptible VM reclamation. The paper's central systems bet (Sections
+// II-B, IV-B) is that Sigmund's whole daily fleet runs on pre-emptible
+// machines and survives losing them mid-task; this package is the ONE
+// place that failure process is defined, so the cluster cost simulator
+// (internal/cluster, experiments C6/C7) and the live MapReduce worker
+// substrate (internal/mapreduce) sample machine deaths from the same
+// seeded model rather than each inventing their own.
+package preempt
+
+import (
+	"math"
+	"time"
+
+	"sigmund/internal/linalg"
+)
+
+// Model describes one preemption process. The zero Model never preempts.
+type Model struct {
+	// Rate is the expected number of preemptions per second of machine
+	// runtime (the Poisson intensity). <= 0 disables preemption.
+	Rate float64
+	// Seed seeds the arrival streams derived from this model; distinct
+	// stream ids give decorrelated per-machine streams.
+	Seed uint64
+}
+
+// FromMeanBetween builds a model from a mean time between preemptions
+// (the operator-facing knob: sigmundd's -chaos-preempt-mtbp).
+func FromMeanBetween(mean time.Duration, seed uint64) Model {
+	if mean <= 0 {
+		return Model{Seed: seed}
+	}
+	return Model{Rate: 1 / mean.Seconds(), Seed: seed}
+}
+
+// Enabled reports whether the model ever preempts.
+func (m Model) Enabled() bool { return m.Rate > 0 }
+
+// MeanBetween returns the mean time between preemptions of one machine.
+func (m Model) MeanBetween() time.Duration {
+	if m.Rate <= 0 {
+		return 0
+	}
+	return durationFromSeconds(1 / m.Rate)
+}
+
+// Stream returns the deterministic arrival stream for one machine. Stream
+// id 0 draws directly from the model seed (the cluster simulator's single
+// shared stream); nonzero ids derive decorrelated per-worker streams.
+func (m Model) Stream(id uint64) *Stream {
+	return &Stream{
+		rng:  linalg.NewRNG(m.Seed ^ id*0x9e3779b97f4a7c15),
+		mean: 1 / m.Rate,
+	}
+}
+
+// Stream is one machine's seeded sequence of preemption inter-arrival
+// times. Because the exponential distribution is memoryless, drawing a
+// fresh arrival at each attempt start and discarding it when the attempt
+// finishes first is statistically identical to running one continuous
+// process over the machine's busy time — which is how both consumers use
+// it. Not safe for concurrent use; derive one Stream per machine.
+type Stream struct {
+	rng  *linalg.RNG
+	mean float64 // seconds
+}
+
+// NextSeconds returns the time until the next preemption in seconds (the
+// discrete-event simulator's clock unit).
+func (s *Stream) NextSeconds() float64 { return s.rng.Exp(s.mean) }
+
+// Next returns the time until the next preemption as a wall-clock
+// duration (the live framework's clock unit).
+func (s *Stream) Next() time.Duration { return durationFromSeconds(s.NextSeconds()) }
+
+func durationFromSeconds(sec float64) time.Duration {
+	if sec >= math.MaxInt64/float64(2*time.Second) {
+		return math.MaxInt64 / 2 // effectively never; avoids overflow
+	}
+	return time.Duration(sec * float64(time.Second))
+}

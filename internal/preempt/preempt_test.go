@@ -1,0 +1,90 @@
+package preempt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sigmund/internal/linalg"
+)
+
+func TestStreamZeroMatchesRawRNG(t *testing.T) {
+	// Stream id 0 must reproduce the draw sequence the cluster simulator
+	// historically produced with linalg.NewRNG(seed).Exp(1/rate), so that
+	// extracting the model did not silently change experiment C6/C7
+	// results.
+	const seed, rate = 0xc1a5, 1.0 / 600
+	s := Model{Rate: rate, Seed: seed}.Stream(0)
+	rng := linalg.NewRNG(seed)
+	for i := 0; i < 100; i++ {
+		want := rng.Exp(1 / rate)
+		if got := s.NextSeconds(); got != want {
+			t.Fatalf("draw %d: got %g want %g", i, got, want)
+		}
+	}
+}
+
+func TestStreamsDeterministicAndDecorrelated(t *testing.T) {
+	m := Model{Rate: 0.5, Seed: 42}
+	a1, a2 := m.Stream(1), m.Stream(1)
+	b := m.Stream(2)
+	same, diff := 0, 0
+	for i := 0; i < 50; i++ {
+		x := a1.NextSeconds()
+		if x != a2.NextSeconds() {
+			t.Fatal("same stream id must replay identically")
+		}
+		if x == b.NextSeconds() {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("streams 1 and 2 identical: not decorrelated (same=%d)", same)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	mean := 250 * time.Millisecond
+	m := FromMeanBetween(mean, 7)
+	if !m.Enabled() {
+		t.Fatal("model should be enabled")
+	}
+	if got := m.MeanBetween(); got != mean {
+		t.Fatalf("MeanBetween = %v want %v", got, mean)
+	}
+	s := m.Stream(3)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.NextSeconds()
+	}
+	got := sum / n
+	if math.Abs(got-mean.Seconds()) > 0.05*mean.Seconds() {
+		t.Fatalf("empirical mean %.4fs, want ~%.4fs", got, mean.Seconds())
+	}
+}
+
+func TestDisabledModel(t *testing.T) {
+	if (Model{}).Enabled() {
+		t.Fatal("zero model must be disabled")
+	}
+	if FromMeanBetween(0, 1).Enabled() {
+		t.Fatal("zero mean must disable the model")
+	}
+	if got := (Model{}).MeanBetween(); got != 0 {
+		t.Fatalf("disabled MeanBetween = %v want 0", got)
+	}
+}
+
+func TestNextDurationFinite(t *testing.T) {
+	// Tiny rates produce enormous inter-arrival times; Next must clamp
+	// instead of overflowing time.Duration.
+	s := Model{Rate: 1e-300, Seed: 9}.Stream(0)
+	for i := 0; i < 10; i++ {
+		if d := s.Next(); d <= 0 {
+			t.Fatalf("Next returned non-positive duration %v", d)
+		}
+	}
+}

@@ -109,6 +109,18 @@ func NewHandler(s *Server) http.Handler {
 		}
 		sort.Strings(degraded)
 		sort.Strings(quarantined)
+		jc := s.JobCounters()
+		mr := mapreduceStatz{
+			MapAttempts:         jc.MapAttempts,
+			MapFailures:         jc.MapFailures,
+			ReduceAttempts:      jc.ReduceAttempts,
+			ReduceFailures:      jc.ReduceFailures,
+			Preemptions:         jc.Preemptions,
+			LeaseExpiries:       jc.LeaseExpiries,
+			SpeculativeLaunches: jc.SpeculativeLaunches,
+			SpeculativeWins:     jc.SpeculativeWins,
+			WorkersBlacklisted:  jc.WorkersBlacklisted,
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
 			Version     int64                  `json:"version"`
@@ -119,9 +131,24 @@ func NewHandler(s *Server) http.Handler {
 			Degraded    []string               `json:"degraded,omitempty"`
 			Quarantined []string               `json:"quarantined,omitempty"`
 			Tenants     map[string]tenantStatz `json:"tenants"`
-		}{version, req, fb, miss, s.StaleServes(), degraded, quarantined, tenants})
+			MapReduce   mapreduceStatz         `json:"mapreduce"`
+		}{version, req, fb, miss, s.StaleServes(), degraded, quarantined, tenants, mr})
 	})
 	return mux
+}
+
+// mapreduceStatz is the /statz view of the accumulated MapReduce job
+// counters, including the worker-substrate health signals.
+type mapreduceStatz struct {
+	MapAttempts         int64 `json:"map_attempts"`
+	MapFailures         int64 `json:"map_failures"`
+	ReduceAttempts      int64 `json:"reduce_attempts"`
+	ReduceFailures      int64 `json:"reduce_failures"`
+	Preemptions         int64 `json:"preemptions"`
+	LeaseExpiries       int64 `json:"lease_expiries"`
+	SpeculativeLaunches int64 `json:"speculative_launches"`
+	SpeculativeWins     int64 `json:"speculative_wins"`
+	WorkersBlacklisted  int64 `json:"workers_blacklisted"`
 }
 
 // ParseContext parses "view:3,search:17" into a Context. An empty string

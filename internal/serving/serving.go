@@ -9,11 +9,13 @@ package serving
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"sigmund/internal/catalog"
 	"sigmund/internal/core/inference"
 	"sigmund/internal/interactions"
+	"sigmund/internal/mapreduce"
 )
 
 // RetailerRecs is one retailer's materialized recommendation data.
@@ -81,6 +83,12 @@ type Server struct {
 	fallback    atomic.Int64
 	misses      atomic.Int64
 	staleServes atomic.Int64
+
+	// jobCounters accumulates MapReduce counters across every pipeline job
+	// that fed this server — exposed on /statz so operators can see worker
+	// preemptions, lease expiries, and speculative execution fleet-wide.
+	jobMu       sync.Mutex
+	jobCounters mapreduce.Counters
 }
 
 // NewServer returns a server with an empty snapshot.
@@ -151,6 +159,21 @@ func (s *Server) Stats() (requests, fallbacks, misses int64) {
 // StaleServes reports how many requests were answered from carried-forward
 // (stale) recommendations of a degraded tenant.
 func (s *Server) StaleServes() int64 { return s.staleServes.Load() }
+
+// AddJobCounters rolls one pipeline job's (or day's) MapReduce counters
+// into the server's running totals.
+func (s *Server) AddJobCounters(c mapreduce.Counters) {
+	s.jobMu.Lock()
+	s.jobCounters.Add(c)
+	s.jobMu.Unlock()
+}
+
+// JobCounters returns the accumulated MapReduce counters.
+func (s *Server) JobCounters() mapreduce.Counters {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return s.jobCounters
+}
 
 // TenantStatuses returns a copy of the current snapshot's per-retailer
 // health metadata.

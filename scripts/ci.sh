@@ -17,4 +17,12 @@ echo "== chaos suite (short mode)"
 go test -race -short -run 'Chaos|Quarantine|Garbled|CheckpointWrite|Degraded|Stale' \
 	./internal/pipeline/ ./internal/serving/ ./internal/faults/ ./internal/retry/
 
+echo "== worker-preemption chaos suite (short mode)"
+# Exercises the preemptible-worker substrate end to end: preemption
+# recovery, lease expiry, speculative execution, blacklisting, worker-
+# scoped fault rules, the byte-identical preempted pipeline day, and
+# mid-job cancellation (which fails on goroutine leaks).
+go test -race -short -run 'Preempt|Lease|Speculative|Blacklist|WorkerPlan|Cancellation|NoWorkers' \
+	./internal/mapreduce/ ./internal/faults/ ./internal/core/inference/ ./internal/pipeline/
+
 echo "CI OK"

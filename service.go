@@ -13,6 +13,7 @@ import (
 	"sigmund/internal/linalg"
 	"sigmund/internal/mapreduce"
 	"sigmund/internal/pipeline"
+	"sigmund/internal/preempt"
 	"sigmund/internal/serving"
 )
 
@@ -49,6 +50,12 @@ type Config struct {
 	// starts, exercising the checkpoint/recover path the paper relies on
 	// for cheap pre-emptible VMs. 0 disables.
 	ChaosKillProb float64
+	// ChaosPreemptMTBP runs every training and inference MapReduce on the
+	// preemptible-worker substrate with this mean time between preemptions
+	// per worker (a seeded exponential arrival process, like the cluster
+	// cost model's). Preempted attempts are requeued and re-executed
+	// exactly-once; speculative backups cover stragglers. 0 disables.
+	ChaosPreemptMTBP time.Duration
 	// Chaos installs a deterministic fault injector across the stack:
 	// shared-filesystem writes/renames and per-tenant training/inference
 	// fail probabilistically, exercising retry, degradation, and
@@ -110,6 +117,11 @@ type RetailerReport = pipeline.RetailerReport
 // Recommendation is one served item.
 type Recommendation = serving.Recommendation
 
+// JobCounters aggregates MapReduce execution counters, including the
+// worker-substrate health signals (preemptions, lease expiries,
+// speculative execution, blacklisting).
+type JobCounters = mapreduce.Counters
+
 // Service hosts many retailers and runs the daily Sigmund cycle for all of
 // them.
 type Service struct {
@@ -145,11 +157,18 @@ func NewService(cfg Config) *Service {
 		QuarantineProbeEvery: cfg.QuarantineProbeEvery,
 		Seed:                 cfg.Seed,
 	}
-	if cfg.Chaos {
-		seed := cfg.ChaosSeed
-		if seed == 0 {
-			seed = cfg.Seed
+	chaosSeed := cfg.ChaosSeed
+	if chaosSeed == 0 {
+		chaosSeed = cfg.Seed
+	}
+	if cfg.ChaosPreemptMTBP > 0 {
+		opts.Substrate = mapreduce.Substrate{
+			Preemption:  preempt.FromMeanBetween(cfg.ChaosPreemptMTBP, chaosSeed^0x9e17),
+			Speculative: true,
 		}
+	}
+	if cfg.Chaos {
+		seed := chaosSeed
 		inj := faults.NewInjector(seed,
 			// Transient filesystem flakiness: sparse enough that the retry
 			// budget rides through most of it.
@@ -160,6 +179,10 @@ func NewService(cfg Config) *Service {
 		)
 		fs.SetInjector(inj)
 		opts.Injector = inj
+		// Worker-scoped chaos rules (OpWorker: crash/stall/flake) reach the
+		// substrate through the same injector. The stock rules above never
+		// match OpWorker, so this is inert until such a rule is added.
+		opts.Substrate.WorkerFaults = inj.WorkerPlan()
 	}
 	if cfg.ChaosKillProb > 0 {
 		rng := linalg.NewRNG(cfg.Seed ^ 0xc4a05)
