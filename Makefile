@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-workers ci clean
+.PHONY: all build fmt-check vet test race chaos chaos-workers bench-check bench-update ci clean
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -28,7 +32,16 @@ chaos:
 chaos-workers:
 	$(GO) test -race -short -run 'Preempt|Lease|Speculative|Blacklist|WorkerPlan|Cancellation|NoWorkers' ./internal/mapreduce/ ./internal/faults/ ./internal/core/inference/ ./internal/pipeline/
 
-ci: vet build race chaos chaos-workers
+# Benchmark regression gate: BenchmarkMapReduce and BenchmarkRunDay vs the
+# committed BENCH_*.json baselines (>25% ns/op regression fails).
+bench-check:
+	$(GO) run ./scripts/benchcheck
+
+# Refresh the committed baselines (new hardware / intentional perf change).
+bench-update:
+	$(GO) run ./scripts/benchcheck -update
+
+ci: fmt-check vet build race chaos chaos-workers bench-check
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -43,6 +44,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "inject deterministic faults (filesystem, training, inference) to exercise degradation paths")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos injector seed (0 = fleet seed)")
 	chaosPreemptMTBP := flag.Duration("chaos-preempt-mtbp", 0, "run all MapReduce work on preemptible workers with this mean time between preemptions (0 = reliable workers)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /tracez, and /debug/pprof on this address for the whole run (empty = off)")
 	flag.Parse()
 
 	cfg := sigmund.DemoConfig()
@@ -54,6 +56,25 @@ func main() {
 	cfg.ChaosSeed = *chaosSeed
 	cfg.ChaosPreemptMTBP = *chaosPreemptMTBP
 	svc := sigmund.NewService(cfg)
+
+	// The debug listener starts before the day loop so a slow or degraded
+	// cycle can be profiled live: /metrics and /tracez from the service's
+	// observer, plus the stdlib pprof handlers.
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", svc.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "sigmundd: debug listener:", err)
+			}
+		}()
+		fmt.Printf("debug listener on %s (/metrics, /tracez, /debug/pprof)\n", *debugAddr)
+	}
 
 	var firstRetailer sigmund.RetailerID
 	if *catalogPath != "" || *eventsPath != "" {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"sigmund/internal/obs"
 	"sigmund/internal/preempt"
 )
 
@@ -63,6 +64,10 @@ type Options struct {
 	// RegularRate is the cost of one CPU-second at regular priority.
 	RegularRate float64
 	Seed        uint64
+
+	// Metrics optionally rolls each Run's summary into an obs.Registry
+	// (sigmund_cluster_* metrics). nil disables.
+	Metrics *obs.Registry
 }
 
 // Defaulted fills zero fields with usable values.
@@ -406,7 +411,29 @@ func (c *Cluster) Run(tasks []*Task) Summary {
 	}
 	sum.Machines = len(c.machines)
 	sum.MachineCPUs = c.opts.Machine.CPUs
+	c.report(sum)
 	return sum
+}
+
+// report rolls one Run's summary into the configured registry. Simulation
+// runs are discrete, so counters advance once per Run rather than per
+// simulated event.
+func (c *Cluster) report(sum Summary) {
+	reg := c.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("sigmund_cluster_runs_total", "Cluster simulation runs completed.").Inc()
+	reg.Counter("sigmund_cluster_tasks_total", "Simulated tasks, by outcome.",
+		obs.L("outcome", "completed")).Add(int64(len(sum.Results) - sum.Failed()))
+	reg.Counter("sigmund_cluster_tasks_total", "Simulated tasks, by outcome.",
+		obs.L("outcome", "failed")).Add(int64(sum.Failed()))
+	reg.Counter("sigmund_cluster_preemptions_total", "Simulated preemption events.").Add(int64(sum.TotalPreemptions))
+	reg.Counter("sigmund_cluster_oom_kills_total", "Simulated OOM kills from memory oversubscription.").Add(int64(sum.TotalOOMKills))
+	reg.Counter("sigmund_cluster_unplaceable_total", "Tasks that could never be placed.").Add(int64(sum.Unplaceable))
+	reg.Gauge("sigmund_cluster_last_makespan_seconds", "Makespan of the most recent simulation run.").Set(sum.Makespan)
+	reg.Gauge("sigmund_cluster_last_cost", "Total cost of the most recent simulation run.").Set(sum.TotalCost)
+	reg.Gauge("sigmund_cluster_last_utilization", "Fleet utilization of the most recent simulation run.").Set(sum.Utilization())
 }
 
 // place finds a machine (first fit, honoring cell pinning) or nil.

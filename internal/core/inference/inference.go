@@ -23,6 +23,7 @@ import (
 	"sigmund/internal/catalog"
 	"sigmund/internal/core/hybrid"
 	"sigmund/internal/mapreduce"
+	"sigmund/internal/obs"
 )
 
 // ItemRecs is the materialized output for one item: the ranked
@@ -54,6 +55,9 @@ type Options struct {
 	// Substrate configures worker preemption/lease/speculation for the
 	// underlying MapReduce (zero value: reliable workers).
 	Substrate mapreduce.Substrate
+	// Metrics optionally reports the underlying MapReduce's lifecycle into
+	// an obs.Registry. nil disables.
+	Metrics *obs.Registry
 }
 
 // Defaulted fills zeros.
@@ -113,6 +117,7 @@ func MaterializeStats(ctx context.Context, rec *hybrid.Recommender, cat *catalog
 		NumMapTasks: opts.Workers * 4,
 		Workers:     opts.Workers,
 		Substrate:   opts.Substrate,
+		Metrics:     opts.Metrics,
 	}
 	res, err := mapreduce.Run(ctx, spec, input, mapper, nil)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 
 	"sigmund/internal/linalg"
 	"sigmund/internal/mapreduce"
+	"sigmund/internal/obs"
 )
 
 // Op identifies an injectable operation.
@@ -154,9 +155,10 @@ func (rs *ruleState) appliesTo(op Op, path string) bool {
 // with purely deterministic rules (EveryNth + PathContains on per-tenant
 // paths) the set of fired faults is independent of goroutine interleaving.
 type Injector struct {
-	mu    sync.Mutex
-	rng   *linalg.RNG
-	rules []*ruleState
+	mu      sync.Mutex
+	rng     *linalg.RNG
+	rules   []*ruleState
+	metrics *obs.Registry
 }
 
 // NewInjector returns an injector whose probabilistic rules draw from a
@@ -173,6 +175,19 @@ func NewInjector(seed uint64, rules ...Rule) *Injector {
 func (in *Injector) Add(r Rule) {
 	in.mu.Lock()
 	in.rules = append(in.rules, &ruleState{Rule: r})
+	in.mu.Unlock()
+}
+
+// SetMetrics mirrors every fired fault into reg as
+// sigmund_faults_injected_total{op,kind}, so chaos pressure shows up on
+// /metrics alongside the retry and degradation counters it causes. Nil
+// receivers and registries are no-ops.
+func (in *Injector) SetMetrics(reg *obs.Registry) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.metrics = reg
 	in.mu.Unlock()
 }
 
@@ -214,6 +229,11 @@ func (in *Injector) match(op Op, path string, kinds ...Kind) *ruleState {
 		}
 		if fire {
 			rs.fired++
+			// The registry has its own lock and never calls back into the
+			// injector, so counting under in.mu cannot deadlock.
+			in.metrics.Counter("sigmund_faults_injected_total",
+				"Faults fired by the injector, by operation and kind.",
+				obs.L("op", string(op)), obs.L("kind", rs.Kind.String())).Inc()
 			if hit == nil {
 				hit = rs
 			}

@@ -1,0 +1,51 @@
+package mapreduce
+
+import (
+	"reflect"
+	"testing"
+)
+
+// highWaterFields are aggregated by max, not sum, in Counters.Add.
+var highWaterFields = map[string]bool{"WorkersObserved": true}
+
+// TestCountersAddCoversEveryField fails when a counter field is added to
+// Counters but not aggregated in Add — exactly the drift risk of the
+// field-by-field implementation. Every field gets a distinct nonzero
+// value; adding into a zero Counters must reproduce each one (true for
+// both sum and high-water semantics), and adding a second time must
+// double the summed fields while the high-water marks hold.
+func TestCountersAddCoversEveryField(t *testing.T) {
+	var o Counters
+	ov := reflect.ValueOf(&o).Elem()
+	typ := ov.Type()
+	for i := 0; i < ov.NumField(); i++ {
+		if ov.Field(i).Kind() != reflect.Int64 {
+			t.Fatalf("Counters.%s is a %s; this test (and probably Add) only understands int64 — extend both",
+				typ.Field(i).Name, ov.Field(i).Kind())
+		}
+		ov.Field(i).SetInt(int64(i + 1))
+	}
+
+	var c Counters
+	c.Add(o)
+	cv := reflect.ValueOf(c)
+	for i := 0; i < cv.NumField(); i++ {
+		if got, want := cv.Field(i).Int(), int64(i+1); got != want {
+			t.Errorf("after Add into zero, Counters.%s = %d, want %d — new field not aggregated in Add?",
+				typ.Field(i).Name, got, want)
+		}
+	}
+
+	c.Add(o)
+	cv = reflect.ValueOf(c)
+	for i := 0; i < cv.NumField(); i++ {
+		name := typ.Field(i).Name
+		want := int64(2 * (i + 1))
+		if highWaterFields[name] {
+			want = int64(i + 1) // max(x, x) = x
+		}
+		if got := cv.Field(i).Int(); got != want {
+			t.Errorf("after second Add, Counters.%s = %d, want %d", name, got, want)
+		}
+	}
+}

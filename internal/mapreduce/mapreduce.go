@@ -35,6 +35,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"sigmund/internal/obs"
 )
 
 // Record is a key/value pair flowing through a job.
@@ -124,6 +126,13 @@ type Spec struct {
 	// Substrate configures worker preemption, lease expiry, speculative
 	// execution, and blacklisting. The zero value is reliable workers.
 	Substrate Substrate
+	// Metrics optionally mirrors the job's execution into an obs.Registry:
+	// attempt/failure counters and the task-duration histogram stream live
+	// (per event, labeled by phase) and the bulk record counts roll up when
+	// the job finishes. The per-job Counters struct remains the job-scoped
+	// view; the registry accumulates fleet-wide totals across jobs. nil
+	// disables with zero overhead.
+	Metrics *obs.Registry
 }
 
 func (s Spec) defaulted(inputLen int) Spec {
@@ -152,7 +161,12 @@ func (s Spec) defaulted(inputLen int) Spec {
 	return s
 }
 
-// Counters reports execution statistics.
+// Counters reports one job's execution statistics — the per-job
+// compatibility view. The same events stream into the obs.Registry passed
+// via Spec.Metrics (fleet-wide, labeled by phase), which is the surface
+// /metrics exposes; Counters remains for job results, DayReports, and
+// /statz. Adding a field here requires extending Add — a reflection test
+// (counters_test.go) fails the build if the two drift.
 type Counters struct {
 	MapAttempts     int64
 	MapFailures     int64
@@ -209,6 +223,32 @@ var ErrTaskFailed = errors.New("mapreduce: task exhausted attempts")
 // returned error is the errors.Join of all of them (each matching
 // errors.Is(err, ErrTaskFailed)), not just the first.
 func Run(ctx context.Context, spec Spec, input []Record, m Mapper, r Reducer) (Result, error) {
+	res, err := run(ctx, spec, input, m, r)
+	if reg := spec.Metrics; reg != nil {
+		// Bulk record counts mirror once per job rather than per record, so
+		// the hot map/shuffle paths carry no registry overhead; lifecycle
+		// events (attempts, failures, preemptions, leases, speculation)
+		// stream live from the worker substrate.
+		mirrorRecordCounts(reg, res.Counters)
+		result := "ok"
+		if err != nil {
+			result = "failed"
+		}
+		reg.Counter("sigmund_mapreduce_jobs_total", "MapReduce jobs finished.",
+			obs.L("result", result)).Inc()
+	}
+	return res, err
+}
+
+func mirrorRecordCounts(reg *obs.Registry, c Counters) {
+	const name, help = "sigmund_mapreduce_records_total", "Records processed by MapReduce jobs, by stage."
+	reg.Counter(name, help, obs.L("stage", "mapped")).Add(c.RecordsMapped)
+	reg.Counter(name, help, obs.L("stage", "shuffled")).Add(c.PairsShuffled)
+	reg.Counter(name, help, obs.L("stage", "reduced")).Add(c.RecordsReduced)
+	reg.Counter(name, help, obs.L("stage", "output")).Add(c.OutputRecords)
+}
+
+func run(ctx context.Context, spec Spec, input []Record, m Mapper, r Reducer) (Result, error) {
 	spec = spec.defaulted(len(input))
 	var res Result
 	var gauge concurrencyGauge

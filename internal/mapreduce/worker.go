@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sigmund/internal/obs"
 	"sigmund/internal/preempt"
 )
 
@@ -203,6 +204,34 @@ type workerState struct {
 	arrivals    *preempt.Stream
 }
 
+// phaseMetrics are the registry handles one phase streams its lifecycle
+// through (Spec.Metrics). With a nil registry every handle is a nil
+// no-op, so event sites never guard.
+type phaseMetrics struct {
+	attempts      *obs.Counter
+	failures      *obs.Counter
+	preemptions   *obs.Counter
+	leaseExpiries *obs.Counter
+	specLaunches  *obs.Counter
+	specWins      *obs.Counter
+	blacklisted   *obs.Counter
+	taskSeconds   *obs.Histogram
+}
+
+func newPhaseMetrics(reg *obs.Registry, phase Phase) phaseMetrics {
+	pl := obs.L("phase", phase.String())
+	return phaseMetrics{
+		attempts:      reg.Counter("sigmund_mapreduce_attempts_total", "Task attempts started, by phase.", pl),
+		failures:      reg.Counter("sigmund_mapreduce_attempt_failures_total", "Task attempts failed with an error, by phase.", pl),
+		preemptions:   reg.Counter("sigmund_mapreduce_preemptions_total", "Attempts lost to worker preemption (incl. injected crashes), by phase.", pl),
+		leaseExpiries: reg.Counter("sigmund_mapreduce_lease_expiries_total", "Leases revoked after missed heartbeats, by phase.", pl),
+		specLaunches:  reg.Counter("sigmund_mapreduce_speculative_launches_total", "Backup attempts started for stragglers, by phase.", pl),
+		specWins:      reg.Counter("sigmund_mapreduce_speculative_wins_total", "Tasks whose speculative backup committed first, by phase.", pl),
+		blacklisted:   reg.Counter("sigmund_mapreduce_workers_blacklisted_total", "Workers removed after repeated failures, by phase.", pl),
+		taskSeconds:   reg.Histogram("sigmund_mapreduce_task_seconds", "Committed task attempt durations, by phase.", obs.DurationBuckets(), pl),
+	}
+}
+
 // phaseExec runs one phase's tasks over the worker pool.
 type phaseExec struct {
 	ctx      context.Context
@@ -213,6 +242,7 @@ type phaseExec struct {
 	commit   func(task int, buf []Record)
 	counters *Counters
 	gauge    *concurrencyGauge
+	pm       phaseMetrics
 
 	monitored bool
 
@@ -246,6 +276,7 @@ func runPhase(ctx context.Context, spec Spec, phase Phase, n int, counters *Coun
 	e := &phaseExec{
 		ctx: ctx, spec: spec, phase: phase, n: n,
 		body: body, commit: commit, counters: counters, gauge: gauge,
+		pm:          newPhaseMetrics(spec.Metrics, phase),
 		monitored:   spec.Substrate.active(),
 		liveWorkers: workers,
 	}
@@ -351,6 +382,7 @@ func (e *phaseExec) nextBackup(w *workerState) *attempt {
 			continue // candidate went stale while queued
 		}
 		e.counters.SpeculativeLaunches++
+		e.pm.specLaunches.Inc()
 		return e.lease(w, t, true)
 	}
 	return nil
@@ -396,6 +428,7 @@ func (e *phaseExec) runAttempt(at *attempt) {
 	} else {
 		atomic.AddInt64(&e.counters.ReduceAttempts, 1)
 	}
+	e.pm.attempts.Inc()
 
 	var timers []*time.Timer
 	if e.spec.Faults != nil {
@@ -520,6 +553,7 @@ func (e *phaseExec) settle(at *attempt, buf []Record, err error) {
 		// bounded so a pathological rate still terminates.
 		w.incarnation++
 		e.counters.Preemptions++
+		e.pm.preemptions.Inc()
 		t.preempts++
 		if t.preempts > e.spec.Substrate.MaxPreemptionsPerTask {
 			e.failTask(t, fmt.Errorf("%s %s task %d: %w (lost to %d preemptions)",
@@ -533,9 +567,12 @@ func (e *phaseExec) settle(at *attempt, buf []Record, err error) {
 		t.committed = true
 		e.terminal++
 		e.commit(t.idx, buf)
-		e.durations = append(e.durations, time.Since(at.started).Seconds())
+		dur := time.Since(at.started).Seconds()
+		e.durations = append(e.durations, dur)
+		e.pm.taskSeconds.Observe(dur)
 		if at.backup {
 			e.counters.SpeculativeWins++
+			e.pm.specWins.Inc()
 		}
 		for _, rival := range t.live {
 			rival.cancel()
@@ -550,11 +587,13 @@ func (e *phaseExec) settle(at *attempt, buf []Record, err error) {
 	} else {
 		e.counters.ReduceFailures++
 	}
+	e.pm.failures.Inc()
 	t.failures++
 	w.failures++
 	if after := e.spec.Substrate.BlacklistAfter; after > 0 && !w.blacklisted && w.failures >= after {
 		w.blacklisted = true
 		e.counters.WorkersBlacklisted++
+		e.pm.blacklisted.Inc()
 	}
 	if t.failures >= e.spec.MaxAttempts {
 		e.failTask(t, fmt.Errorf("%s %s task %d: %w (last error: %v)",
@@ -614,6 +653,7 @@ func (e *phaseExec) monitor(stop chan struct{}) {
 				t.live = append(t.live[:i], t.live[i+1:]...)
 				i--
 				e.counters.LeaseExpiries++
+				e.pm.leaseExpiries.Inc()
 			}
 			e.requeue(t)
 		}

@@ -1,0 +1,437 @@
+// Package obs is Sigmund's observability substrate: a stdlib-only metrics
+// registry (counters, gauges, fixed-bucket histograms with Prometheus text
+// exposition) and a lightweight span tracer (per-day → per-phase →
+// per-tenant pipeline traces, exportable as JSON).
+//
+// The operating premise of the paper — one team running thousands of
+// independent recommendation problems daily — is only credible if an
+// operator can see, per tenant and per phase, where time and failures go.
+// Every layer of the stack therefore reports here: the pipeline emits
+// spans and phase histograms, the MapReduce worker substrate and the retry
+// helper mirror their lifecycle counters, the fault injector counts what
+// it fired, and the serving layer exposes the whole registry on
+// GET /metrics and recent day traces on GET /tracez.
+//
+// Metric naming scheme (documented in DESIGN.md):
+//
+//   - every metric is prefixed "sigmund_" and then named
+//     <subsystem>_<what>_<unit|total>: sigmund_pipeline_phase_seconds,
+//     sigmund_mapreduce_preemptions_total, sigmund_serving_requests_total;
+//   - low-cardinality dimensions (phase, outcome, op) are labels;
+//   - per-tenant attribution is NEVER a metric label (thousands of tenants
+//     would blow up the time-series space) — it lives in span attributes
+//     on /tracez and in the DayReport phase breakdown.
+//
+// Everything is deterministic under test: counters and histograms are
+// plain atomics with no background goroutines, exposition output is fully
+// sorted, and the tracer's clock is injectable.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Keep cardinality low: phases, outcomes,
+// ops — never tenant IDs.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing int64. The nil Counter is a valid
+// no-op sink, so optional wiring needs no guards at increment sites.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. The nil Gauge is a valid
+// no-op sink.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments by delta (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into a fixed bucket layout. Buckets are
+// upper bounds with Prometheus le-semantics: an observation lands in the
+// first bucket whose bound is >= the value, so a value exactly on a
+// boundary belongs to that boundary's bucket. The layout is fixed at
+// registration, so exposition is deterministic. The nil Histogram is a
+// valid no-op sink.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds, +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    Gauge          // atomic float64 accumulator
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bound >= v: le-semantics puts boundary values in their own
+	// bucket; values above every bound land in +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// ExponentialBuckets returns n bounds starting at start, each factor times
+// the previous — the layout for latency-style metrics.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExponentialBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds starting at start, spaced width apart.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n <= 0 {
+		panic("obs: LinearBuckets needs width > 0, n > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start += width
+	}
+	return out
+}
+
+// DurationBuckets is the standard layout for wall-time histograms,
+// spanning 1ms to ~65s: the simulated fleet runs on a
+// milliseconds-for-minutes clock, and real daily cycles sit in the
+// seconds-to-minutes range.
+func DurationBuckets() []float64 {
+	return ExponentialBuckets(0.001, 2, 17) // 1ms .. 65.536s
+}
+
+// family is one named metric with all its labeled children.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	buckets []float64
+	mu      sync.Mutex
+	kids    map[string]any // label signature -> *Counter/*Gauge/*Histogram
+	sigs    []string       // sorted at exposition
+	labels  map[string][]Label
+}
+
+// Registry holds metric families. All methods are safe for concurrent
+// use. Registering the same (name, labels) twice returns the existing
+// metric; registering one name with two different types or bucket layouts
+// panics (a programming error, caught deterministically at startup).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.metric(name, help, typeCounter, nil, labels)
+	return m.(*Counter)
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.metric(name, help, typeGauge, nil, labels)
+	return m.(*Gauge)
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DurationBuckets()
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not strictly ascending", name))
+		}
+	}
+	m := r.metric(name, help, typeHistogram, buckets, labels)
+	return m.(*Histogram)
+}
+
+func (r *Registry) metric(name, help string, typ metricType, buckets []float64, labels []Label) any {
+	if r == nil {
+		// A nil registry hands out nil metrics, which are valid no-op
+		// sinks — optional wiring stays guard-free all the way down.
+		switch typ {
+		case typeCounter:
+			return (*Counter)(nil)
+		case typeGauge:
+			return (*Gauge)(nil)
+		default:
+			return (*Histogram)(nil)
+		}
+	}
+	checkName(name)
+	for _, l := range labels {
+		checkName(l.Key)
+	}
+	r.mu.Lock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{
+			name: name, help: help, typ: typ, buckets: buckets,
+			kids: map[string]any{}, labels: map[string][]Label{},
+		}
+		r.families[name] = fam
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	}
+	r.mu.Unlock()
+	if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, fam.typ, typ))
+	}
+	if typ == typeHistogram && !equalBuckets(fam.buckets, buckets) {
+		panic(fmt.Sprintf("obs: histogram %s registered with two bucket layouts", name))
+	}
+
+	sig := signature(labels)
+	fam.mu.Lock()
+	defer fam.mu.Unlock()
+	if m, ok := fam.kids[sig]; ok {
+		return m
+	}
+	var m any
+	switch typ {
+	case typeCounter:
+		m = &Counter{}
+	case typeGauge:
+		m = &Gauge{}
+	default:
+		h := &Histogram{bounds: buckets}
+		h.counts = make([]atomic.Int64, len(buckets)+1)
+		m = h
+	}
+	fam.kids[sig] = m
+	fam.labels[sig] = sortedLabels(labels)
+	fam.sigs = append(fam.sigs, sig)
+	sort.Strings(fam.sigs)
+	return m
+}
+
+func equalBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkName(s string) {
+	if s == "" {
+		panic("obs: empty metric or label name")
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric or label name %q", s))
+		}
+	}
+}
+
+func sortedLabels(labels []Label) []Label {
+	cp := append([]Label(nil), labels...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Key < cp[j].Key })
+	return cp
+}
+
+// signature renders sorted labels into the map key and exposition form.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	cp := sortedLabels(labels)
+	var b strings.Builder
+	for i, l := range cp {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus writes the whole registry in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children sorted by
+// label signature, histograms rendered with cumulative le-buckets plus
+// _sum and _count. The output is byte-deterministic for a given set of
+// metric values.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, fam := range fams {
+		fam.mu.Lock()
+		if fam.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam.name, strings.ReplaceAll(fam.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, sig := range fam.sigs {
+			switch m := fam.kids[sig].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", fam.name, braced(sig), m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", fam.name, braced(sig), formatFloat(m.Value()))
+			case *Histogram:
+				writeHistogram(w, fam.name, sig, m)
+			}
+		}
+		fam.mu.Unlock()
+	}
+}
+
+func writeHistogram(w io.Writer, name, sig string, h *Histogram) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bracedWith(sig, `le="`+formatFloat(bound)+`"`), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bracedWith(sig, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(sig), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(sig), h.Count())
+}
+
+func braced(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	return "{" + sig + "}"
+}
+
+func bracedWith(sig, extra string) string {
+	if sig == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + sig + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden locks down the exposition format byte for
+// byte: family ordering, label sorting and escaping, histogram cumulative
+// buckets, _sum/_count, and float rendering.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	req := r.Counter("sigmund_test_requests_total", "Total requests.", L("code", "200"))
+	req.Add(3)
+	r.Counter("sigmund_test_requests_total", "ignored duplicate help", L("code", "500")).Inc()
+	r.Gauge("sigmund_test_tenants", "Registered tenants.").Set(12)
+	// Labels are given out of key order and with characters needing
+	// escaping; exposition must sort and escape them.
+	r.Counter("sigmund_test_faults_total", "Injected faults.",
+		L("op", `write"x`), L("kind", "error")).Add(2)
+
+	h := r.Histogram("sigmund_test_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // first bucket
+	h.Observe(0.1)   // exactly on a boundary: belongs to le="0.1"
+	h.Observe(5)     // above every bound: +Inf only
+	h.Observe(0.25)  // le="1"
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `# HELP sigmund_test_faults_total Injected faults.
+# TYPE sigmund_test_faults_total counter
+sigmund_test_faults_total{kind="error",op="write\"x"} 2
+# HELP sigmund_test_latency_seconds Request latency.
+# TYPE sigmund_test_latency_seconds histogram
+sigmund_test_latency_seconds_bucket{le="0.01"} 1
+sigmund_test_latency_seconds_bucket{le="0.1"} 2
+sigmund_test_latency_seconds_bucket{le="1"} 3
+sigmund_test_latency_seconds_bucket{le="+Inf"} 4
+sigmund_test_latency_seconds_sum 5.355
+sigmund_test_latency_seconds_count 4
+# HELP sigmund_test_requests_total Total requests.
+# TYPE sigmund_test_requests_total counter
+sigmund_test_requests_total{code="200"} 3
+sigmund_test_requests_total{code="500"} 1
+# HELP sigmund_test_tenants Registered tenants.
+# TYPE sigmund_test_tenants gauge
+sigmund_test_tenants 12
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-semantics edge cases: values
+// exactly on a bound, below the first bound, above the last, negative,
+// and the cumulative rendering.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sigmund_test_h", "", []float64{1, 2, 4})
+
+	cases := []struct {
+		v          float64
+		wantBucket int // index into counts; 3 = +Inf
+	}{
+		{-5, 0},  // below first bound lands in first bucket
+		{0, 0},   // zero too
+		{1, 0},   // exactly on bound 1 → le="1"
+		{1.5, 1}, // between bounds → next bound up
+		{2, 1},   // exactly on bound 2 → le="2"
+		{4, 2},   // exactly on last bound → le="4", not +Inf
+		{4.0001, 3},
+		{1e12, 3},
+	}
+	for _, c := range cases {
+		before := make([]int64, 4)
+		for i := range before {
+			before[i] = h.counts[i].Load()
+		}
+		h.Observe(c.v)
+		for i := range before {
+			delta := h.counts[i].Load() - before[i]
+			want := int64(0)
+			if i == c.wantBucket {
+				want = 1
+			}
+			if delta != want {
+				t.Errorf("Observe(%v): bucket %d delta %d, want %d", c.v, i, delta, want)
+			}
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+
+	// Cumulative exposition: each le line is the sum of all buckets at or
+	// below it, and the +Inf line equals _count.
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	for _, line := range []string{
+		`sigmund_test_h_bucket{le="1"} 3`,
+		`sigmund_test_h_bucket{le="2"} 5`,
+		`sigmund_test_h_bucket{le="4"} 6`,
+		`sigmund_test_h_bucket{le="+Inf"} 8`,
+		`sigmund_test_h_count 8`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("exposition missing %q in:\n%s", line, b.String())
+		}
+	}
+}
+
+func TestRegistryReuseAndMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("sigmund_test_c", "h", L("x", "1"))
+	b := r.Counter("sigmund_test_c", "h", L("x", "1"))
+	if a != b {
+		t.Error("same name+labels must return the same counter")
+	}
+	if c := r.Counter("sigmund_test_c", "h", L("x", "2")); c == a {
+		t.Error("different labels must return a different child")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("registering one name with two types must panic")
+			}
+		}()
+		r.Gauge("sigmund_test_c", "h")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("two bucket layouts for one histogram must panic")
+			}
+		}()
+		r.Histogram("sigmund_test_h2", "", []float64{1, 2})
+		r.Histogram("sigmund_test_h2", "", []float64{1, 3})
+	}()
+}
+
+// TestNilSafety: every metric type and the registry itself are valid
+// no-op sinks when nil — optional wiring must not need guards.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram state")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil {
+		t.Error("nil registry must hand out nil (no-op) counters")
+	}
+	r.Histogram("x", "", nil).Observe(1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Error("nil registry exposition must be empty")
+	}
+	var o *Observer
+	o.Reg().Counter("x", "").Inc()
+	o.Trace().Start("x").Child("y").End()
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sigmund_test_conc_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Errorf("ExponentialBuckets[%d] = %v, want %v", i, exp[i], want[i])
+		}
+	}
+	lin := LinearBuckets(1, 2, 3)
+	wantLin := []float64{1, 3, 5}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Errorf("LinearBuckets[%d] = %v, want %v", i, lin[i], wantLin[i])
+		}
+	}
+}

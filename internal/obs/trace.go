@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records span trees for recent operations — the pipeline starts
+// one root span per day and hangs phase and tenant spans under it — and
+// keeps the most recent Keep finished roots for GET /tracez. The clock is
+// injectable so span trees are byte-deterministic under test.
+type Tracer struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	keep   int
+	recent []*Span // finished roots, oldest first
+}
+
+// NewTracer returns a tracer retaining the last keep finished root spans
+// (keep <= 0 defaults to 16).
+func NewTracer(keep int) *Tracer {
+	if keep <= 0 {
+		keep = 16
+	}
+	return &Tracer{now: time.Now, keep: keep}
+}
+
+// SetClock replaces the tracer's time source (tests pass a fake clock so
+// durations are deterministic). Not safe to call concurrently with
+// tracing.
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.now = now
+}
+
+// Span is one timed node in a trace tree. Spans are created by
+// Tracer.Start (roots) and Span.Child, annotated with SetAttr, and closed
+// with End (measured against the tracer's clock) or EndWith (an
+// externally measured duration — e.g. a tenant's summed training compute
+// across interleaved MapReduce tasks). The nil Span is a valid no-op, so
+// optional tracing needs no guards. A root span enters the tracer's
+// recent ring when it ends.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	duration time.Duration
+	ended    bool
+	attrs    map[string]string
+	children []*Span
+}
+
+// Start opens a root span. A nil tracer returns a nil (no-op) span.
+func (t *Tracer) Start(name string, attrs ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tracer: t, name: name, start: t.now(), attrs: attrMap(attrs)}
+}
+
+// Child opens a sub-span. Safe to call concurrently on one parent (tenant
+// spans are created from per-cell goroutines).
+func (s *Span) Child(name string, attrs ...Label) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, parent: s, name: name, start: s.tracer.now(), attrs: attrMap(attrs)}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr sets one attribute (outcome tags, attempt counts, error text).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span with wall time from the tracer's clock. Ending a
+// span twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.endWith(s.tracer.now().Sub(s.start))
+}
+
+// EndWith closes the span with an externally measured duration — used
+// when a span's time is accumulated across interleaved work rather than
+// bracketed by Start/End (per-tenant training compute inside a shared
+// MapReduce).
+func (s *Span) EndWith(d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.endWith(d)
+}
+
+func (s *Span) endWith(d time.Duration) {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.duration = d
+	root := s.parent == nil
+	s.mu.Unlock()
+	if root {
+		s.tracer.record(s)
+	}
+}
+
+func (t *Tracer) record(root *Span) {
+	t.mu.Lock()
+	t.recent = append(t.recent, root)
+	if len(t.recent) > t.keep {
+		t.recent = t.recent[len(t.recent)-t.keep:]
+	}
+	t.mu.Unlock()
+}
+
+// SpanJSON is the exported form of a span tree — what /tracez serves.
+type SpanJSON struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanJSON        `json:"children,omitempty"`
+}
+
+// Recent exports the retained root spans, oldest first. Children are
+// sorted by (start, name) so sequential phases read chronologically and
+// concurrently created tenant spans have a stable order. Nil tracers
+// export nothing.
+func (t *Tracer) Recent() []SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.recent...)
+	t.mu.Unlock()
+	out := make([]SpanJSON, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.export())
+	}
+	return out
+}
+
+func (s *Span) export() SpanJSON {
+	s.mu.Lock()
+	j := SpanJSON{
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(s.duration) / float64(time.Millisecond),
+	}
+	if len(s.attrs) > 0 {
+		j.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			j.Attrs[k] = v
+		}
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		j.Children = append(j.Children, c.export())
+	}
+	sort.SliceStable(j.Children, func(a, b int) bool {
+		if !j.Children[a].Start.Equal(j.Children[b].Start) {
+			return j.Children[a].Start.Before(j.Children[b].Start)
+		}
+		return j.Children[a].Name < j.Children[b].Name
+	})
+	return j
+}
+
+func attrMap(attrs []Label) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// Observer bundles the two observability surfaces every layer reports to.
+// A nil *Observer is safe everywhere: Reg and Trace return nil, and nil
+// registries, tracers, and spans are valid no-ops.
+type Observer struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// NewObserver returns an observer with a fresh registry and a tracer
+// keeping the default number of traces.
+func NewObserver() *Observer {
+	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(0)}
+}
+
+// Reg returns the registry (nil for a nil observer — itself a no-op sink).
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Trace returns the tracer (nil for a nil observer).
+func (o *Observer) Trace() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per call, making span durations exact.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+func TestSpanTreeDeterministic(t *testing.T) {
+	tr := NewTracer(4)
+	clock := newFakeClock(10 * time.Millisecond)
+	tr.SetClock(clock.Now)
+
+	day := tr.Start("day", L("day", "0"))
+	staging := day.Child("staging")
+	ta := staging.Child("tenant:retailer-a")
+	ta.SetAttr("outcome", "ok")
+	ta.End()
+	tb := staging.Child("tenant:retailer-b", L("outcome", "degraded"))
+	tb.SetAttr("err", "faults: injected failure")
+	tb.End()
+	staging.End()
+	train := day.Child("train")
+	// Externally measured duration (per-tenant compute accumulated across
+	// a shared MapReduce).
+	tc := train.Child("tenant:retailer-a")
+	tc.EndWith(1500 * time.Millisecond)
+	train.End()
+	day.SetAttr("degraded", "1")
+	day.End()
+
+	got := tr.Recent()
+	if len(got) != 1 {
+		t.Fatalf("Recent() returned %d roots, want 1", len(got))
+	}
+	root := got[0]
+	if root.Name != "day" || root.Attrs["day"] != "0" || root.Attrs["degraded"] != "1" {
+		t.Errorf("root span wrong: %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2 (staging, train)", len(root.Children))
+	}
+	if root.Children[0].Name != "staging" || root.Children[1].Name != "train" {
+		t.Errorf("phases out of order: %s, %s", root.Children[0].Name, root.Children[1].Name)
+	}
+	st := root.Children[0]
+	if len(st.Children) != 2 {
+		t.Fatalf("staging has %d children, want 2", len(st.Children))
+	}
+	if st.Children[0].Name != "tenant:retailer-a" || st.Children[1].Name != "tenant:retailer-b" {
+		t.Errorf("tenant order wrong: %s, %s", st.Children[0].Name, st.Children[1].Name)
+	}
+	if st.Children[1].Attrs["outcome"] != "degraded" || st.Children[1].Attrs["err"] == "" {
+		t.Errorf("degraded tenant attrs missing: %+v", st.Children[1].Attrs)
+	}
+	// Fake clock: tenant-a span brackets exactly one 10ms tick (Child
+	// then End each consume one).
+	if st.Children[0].DurationMS != 10 {
+		t.Errorf("tenant-a duration %v ms, want 10", st.Children[0].DurationMS)
+	}
+	if d := root.Children[1].Children[0].DurationMS; d != 1500 {
+		t.Errorf("EndWith duration %v ms, want 1500", d)
+	}
+
+	// The tree must round-trip through JSON (the /tracez wire format).
+	raw, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back []SpanJSON
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back[0].Children[0].Children[1].Attrs["outcome"] != "degraded" {
+		t.Error("attrs lost in JSON round trip")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		s := tr.Start("day", L("n", string(rune('a'+i))))
+		s.End()
+	}
+	got := tr.Recent()
+	if len(got) != 2 {
+		t.Fatalf("kept %d roots, want 2", len(got))
+	}
+	if got[0].Attrs["n"] != "d" || got[1].Attrs["n"] != "e" {
+		t.Errorf("wrong roots kept: %v, %v", got[0].Attrs, got[1].Attrs)
+	}
+}
+
+// TestConcurrentChildren: tenant spans are created from per-cell
+// goroutines; Child and SetAttr must be race-free and every child must be
+// exported.
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.Start("day")
+	phase := root.Child("infer")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := phase.Child("tenant")
+			c.SetAttr("outcome", "ok")
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	phase.End()
+	root.End()
+	got := tr.Recent()
+	if n := len(got[0].Children[0].Children); n != 16 {
+		t.Errorf("exported %d tenant spans, want 16", n)
+	}
+}
+
+func TestDoubleEndKeepsFirstDuration(t *testing.T) {
+	tr := NewTracer(1)
+	clock := newFakeClock(time.Second)
+	tr.SetClock(clock.Now)
+	s := tr.Start("x")
+	s.End() // 1s on the fake clock
+	s.End() // would be 2s; must be ignored
+	if d := tr.Recent()[0].DurationMS; d != 1000 {
+		t.Errorf("duration %v ms, want 1000", d)
+	}
+	if len(tr.Recent()) != 1 {
+		t.Error("double End must not record the root twice")
+	}
+}

@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"sigmund/internal/dfs"
+	"sigmund/internal/serving"
+)
+
+// BenchmarkRunDay measures one full daily cycle — staging, a full-sweep
+// training MapReduce, model selection, inference, publish — over a small
+// synthetic fleet. scripts/benchcheck compares its ns/op against the
+// committed baseline in BENCH_runday.json to catch pipeline-wide
+// regressions in CI.
+func BenchmarkRunDay(b *testing.B) {
+	b.Run("small-fleet", func(b *testing.B) {
+		fleet := smallFleet(b, 3, 21)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fs := dfs.New()
+			server := serving.NewServer()
+			p := New(fs, server, testOptions())
+			for _, r := range fleet {
+				if err := p.AddRetailer(r.Catalog, r.Log); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			report, err := p.RunDay(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(report.Degraded) != 0 {
+				b.Fatalf("degraded tenants in benchmark day: %v", report.Degraded)
+			}
+		}
+	})
+}

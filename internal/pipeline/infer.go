@@ -3,7 +3,9 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"sigmund/internal/catalog"
 	"sigmund/internal/cooccur"
@@ -14,6 +16,7 @@ import (
 	"sigmund/internal/faults"
 	"sigmund/internal/interactions"
 	"sigmund/internal/mapreduce"
+	"sigmund/internal/obs"
 	"sigmund/internal/serving"
 )
 
@@ -38,6 +41,7 @@ func (p *Pipeline) runInference(
 	byRetailer map[catalog.RetailerID][]modelselect.ConfigRecord,
 	reports map[catalog.RetailerID]*RetailerReport,
 	degraded map[catalog.RetailerID]*degradation,
+	span *obs.Span,
 ) (*serving.Snapshot, mapreduce.Counters) {
 	// Only healthy retailers with a usable best model are materialized.
 	type job struct {
@@ -84,20 +88,30 @@ func (p *Pipeline) runInference(
 			go func(cell int, mine []job) {
 				defer wg.Done()
 				for _, j := range mine {
+					jobStart := time.Now()
+					tspan := span.Child("tenant:"+string(j.id), obs.L("cell", strconv.Itoa(cell)))
 					recs, sellers, c, err := p.inferRetailerSafe(ctx, day, j.tenant, j.best)
 					mu.Lock()
 					counters.Add(c)
 					if err != nil {
 						failed[j.id] = fmt.Errorf("inference for %s (cell %d): %w", j.id, cell, err)
+						if rep := reports[j.id]; rep != nil {
+							rep.InferWall = time.Since(jobStart)
+						}
 						mu.Unlock()
+						endTenantSpan(tspan, &degradation{phase: PhaseInfer, err: err})
 						continue
 					}
 					perRetailer[j.id] = recs
 					pop[j.id] = sellers
 					if rep := reports[j.id]; rep != nil {
 						rep.ItemsServed = len(recs)
+						rep.InferWall = time.Since(jobStart)
 					}
 					mu.Unlock()
+					tspan.SetAttr("outcome", "ok")
+					tspan.SetAttr("items", strconv.Itoa(len(recs)))
+					tspan.End()
 				}
 			}(cell, mine)
 		}
@@ -159,6 +173,7 @@ func (p *Pipeline) inferRetailer(ctx context.Context, day int, t *Tenant, best m
 		SkipOutOfStock:   true,
 		LateFunnelFacets: p.opts.LateFunnelFacets,
 		Substrate:        p.substrateFor(day, "infer/"+string(best.Retailer)),
+		Metrics:          p.opts.Obs.Reg(),
 	})
 	if err != nil {
 		return nil, nil, counters, err

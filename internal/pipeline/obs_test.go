@@ -1,0 +1,192 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/obs"
+	"sigmund/internal/serving"
+)
+
+// findChild returns the first child span with the given name (nil if none).
+func findChild(s obs.SpanJSON, name string) *obs.SpanJSON {
+	for i := range s.Children {
+		if s.Children[i].Name == name {
+			return &s.Children[i]
+		}
+	}
+	return nil
+}
+
+// TestDayTraceTwoTenants runs a two-tenant day where one tenant's training
+// is failed by the fault injector, and checks the exported span tree: the
+// day root carries every phase, both tenants appear under the train phase,
+// and the degraded tenant's span attributes name the failing phase and
+// error — the /tracez attribution story end to end, including over HTTP.
+func TestDayTraceTwoTenants(t *testing.T) {
+	fleet := smallFleet(t, 2, 11)
+	healthy := fleet[0].Catalog.Retailer
+	broken := fleet[1].Catalog.Retailer
+
+	observer := obs.NewObserver()
+	opts := testOptions()
+	opts.Obs = observer
+	// Fail every training task of the second tenant; the first is
+	// untouched. EveryNth is deterministic, so the outcome is exact.
+	opts.Injector = faults.NewInjector(1, faults.Rule{
+		Ops:          []faults.Op{faults.OpTrain},
+		PathContains: string(broken),
+		Kind:         faults.Error,
+		EveryNth:     1,
+	})
+	opts.Injector.SetMetrics(observer.Reg())
+
+	fs := dfs.New()
+	server := serving.NewServerWithObs(observer)
+	p := New(fs, server, opts)
+	for _, r := range fleet {
+		if err := p.AddRetailer(r.Catalog, r.Log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Degraded) != 1 || report.Degraded[0] != broken {
+		t.Fatalf("degraded = %v, want [%s]", report.Degraded, broken)
+	}
+
+	roots := observer.Trace().Recent()
+	if len(roots) != 1 {
+		t.Fatalf("got %d root spans, want 1", len(roots))
+	}
+	day := roots[0]
+	if day.Name != "day" || day.Attrs["day"] != "0" {
+		t.Fatalf("root span = %s %v", day.Name, day.Attrs)
+	}
+	if day.Attrs["degraded"] != "1" {
+		t.Errorf("day degraded attr = %q, want 1", day.Attrs["degraded"])
+	}
+	if day.Attrs["outcome"] != "degraded" {
+		t.Errorf("day outcome attr = %q, want degraded", day.Attrs["outcome"])
+	}
+	for _, phase := range []string{"staging", "train", "select", "infer", "publish"} {
+		if findChild(day, phase) == nil {
+			t.Fatalf("day span has no %q child; children: %+v", phase, day.Children)
+		}
+	}
+
+	train := findChild(day, "train")
+	for _, r := range []string{string(healthy), string(broken)} {
+		if findChild(*train, "tenant:"+r) == nil {
+			t.Fatalf("train span missing tenant:%s; children: %+v", r, train.Children)
+		}
+	}
+	bad := findChild(*train, "tenant:"+string(broken))
+	if bad.Attrs["outcome"] != "degraded" || bad.Attrs["phase"] != PhaseTrain {
+		t.Errorf("broken tenant attrs = %v, want outcome=degraded phase=train", bad.Attrs)
+	}
+	if !strings.Contains(bad.Attrs["error"], "injected") {
+		t.Errorf("broken tenant error attr = %q, want injected-fault text", bad.Attrs["error"])
+	}
+	good := findChild(*train, "tenant:"+string(healthy))
+	if good.Attrs["outcome"] != "ok" {
+		t.Errorf("healthy tenant attrs = %v, want outcome=ok", good.Attrs)
+	}
+	if good.DurationMS <= 0 {
+		t.Errorf("healthy tenant train span duration = %v, want > 0", good.DurationMS)
+	}
+
+	// Only the healthy tenant reaches inference.
+	infer := findChild(day, "infer")
+	if findChild(*infer, "tenant:"+string(healthy)) == nil {
+		t.Fatalf("infer span missing healthy tenant; children: %+v", infer.Children)
+	}
+	if findChild(*infer, "tenant:"+string(broken)) != nil {
+		t.Fatal("degraded tenant must not reach inference")
+	}
+
+	// The same tree over HTTP: GET /tracez on the serving handler.
+	srv := httptest.NewServer(serving.NewHandler(server))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/tracez status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Spans []obs.SpanJSON `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Spans) != 1 || body.Spans[0].Name != "day" {
+		t.Fatalf("/tracez spans = %+v", body.Spans)
+	}
+
+	// And the day's metrics on GET /metrics, Prometheus text format.
+	mresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if got := mresp.Header.Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics content type = %q", got)
+	}
+	var sb strings.Builder
+	observer.Reg().WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"sigmund_pipeline_days_total 1",
+		`sigmund_pipeline_tenant_days_total{outcome="degraded"} 1`,
+		`sigmund_pipeline_tenant_days_total{outcome="healthy"} 1`,
+		`sigmund_pipeline_degraded_total{phase="train"} 1`,
+		`sigmund_faults_injected_total{kind="error",op="train"}`,
+		`sigmund_mapreduce_jobs_total{result="ok"}`,
+		"sigmund_serving_snapshot_publishes_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestRunDayPhaseTimings: the DayReport's phase breakdown covers the whole
+// cycle and the per-tenant timings are populated for healthy tenants.
+func TestRunDayPhaseTimings(t *testing.T) {
+	fleet := smallFleet(t, 2, 12)
+	fs := dfs.New()
+	server := serving.NewServer()
+	p := New(fs, server, testOptions())
+	for _, r := range fleet {
+		if err := p.AddRetailer(r.Catalog, r.Log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.StagingWall <= 0 || report.TrainWall <= 0 || report.InferWall <= 0 {
+		t.Errorf("phase walls not populated: staging=%v train=%v infer=%v",
+			report.StagingWall, report.TrainWall, report.InferWall)
+	}
+	for _, rr := range report.Retailers {
+		if rr.Degraded {
+			continue
+		}
+		if rr.StagingWall <= 0 || rr.TrainWall <= 0 || rr.InferWall <= 0 {
+			t.Errorf("%s: tenant walls not populated: staging=%v train=%v infer=%v",
+				rr.Retailer, rr.StagingWall, rr.TrainWall, rr.InferWall)
+		}
+	}
+}

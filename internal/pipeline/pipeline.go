@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"sigmund/internal/interactions"
 	"sigmund/internal/linalg"
 	"sigmund/internal/mapreduce"
+	"sigmund/internal/obs"
 	"sigmund/internal/retry"
 	"sigmund/internal/serving"
 )
@@ -91,6 +93,14 @@ type Options struct {
 	// jitter is drawn from the pipeline seed so runs stay deterministic.
 	Retry retry.Policy
 
+	// Obs is the observability surface the pipeline reports through: every
+	// RunDay emits a span tree (day -> phase -> tenant) into its tracer and
+	// sigmund_pipeline_* metrics into its registry, and the training and
+	// inference MapReduce jobs report their substrate lifecycle there too.
+	// Share one observer with the serving layer so /metrics and /tracez
+	// cover the whole stack. nil gets a private observer at Defaulted.
+	Obs *obs.Observer
+
 	// QuarantineAfter is how many consecutive failed days a tenant may
 	// accumulate before it is quarantined: skipped on subsequent days
 	// (while its last good snapshot keeps serving) except for periodic
@@ -161,7 +171,13 @@ func (o Options) Defaulted() Options {
 	if o.QuarantineProbeEvery <= 0 {
 		o.QuarantineProbeEvery = 2
 	}
+	if o.Obs == nil {
+		o.Obs = obs.NewObserver()
+	}
 	o.Retry = o.Retry.Defaulted()
+	if o.Retry.Metrics == nil {
+		o.Retry.Metrics = o.Obs.Reg()
+	}
 	return o
 }
 
@@ -290,6 +306,15 @@ type RetailerReport struct {
 	// ConsecutiveFailures is the tenant's consecutive failed-day count
 	// after this cycle (0 for a healthy day).
 	ConsecutiveFailures int
+
+	// Per-tenant phase timings: StagingWall brackets the tenant's staging
+	// writes, TrainWall is the tenant's summed training compute across its
+	// configs (attempts included, even interleaved across a shared
+	// MapReduce), InferWall brackets its materialization job. These also
+	// appear as tenant spans on /tracez.
+	StagingWall time.Duration
+	TrainWall   time.Duration
+	InferWall   time.Duration
 }
 
 // DayReport summarizes a full daily cycle.
@@ -300,10 +325,16 @@ type DayReport struct {
 	// counters for the day, including the worker-substrate counters
 	// (preemptions, lease expiries, speculative launches/wins, blacklisted
 	// workers).
-	TrainCounters  mapreduce.Counters
-	InferCounters  mapreduce.Counters
+	TrainCounters mapreduce.Counters
+	InferCounters mapreduce.Counters
+	// Phase wall times for the whole fleet: together with TrainWall and
+	// InferWall they break the day into staging -> train -> select ->
+	// infer -> publish, mirroring the day's span tree on /tracez.
+	StagingWall    time.Duration
 	TrainWall      time.Duration
+	SelectWall     time.Duration
 	InferWall      time.Duration
+	PublishWall    time.Duration
 	SnapshotPushed bool
 
 	// Degraded lists tenants whose cycle failed (or was skipped in
@@ -364,10 +395,18 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 
 	report := DayReport{Day: day}
 	ckptsBefore := p.discardedCkpts.Load()
+
+	// The day's span tree: day -> phase -> tenant. Ending the root via
+	// defer publishes it to /tracez even on a fleet-level abort (ending a
+	// span twice keeps the first duration, so the normal path is unharmed).
+	dspan := p.opts.Obs.Trace().Start("day", obs.L("day", strconv.Itoa(day)))
+	defer dspan.End()
+
 	if len(ids) == 0 {
 		p.mu.Lock()
 		p.day++
 		p.mu.Unlock()
+		dspan.SetAttr("outcome", "empty")
 		return report, nil
 	}
 
@@ -378,6 +417,7 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	// Quarantined tenants are skipped wholesale (their last good snapshot
 	// keeps serving) unless this day is their periodic re-admission probe.
 	var admitted []catalog.RetailerID
+	var skipped []catalog.RetailerID
 	p.mu.Lock()
 	for _, id := range ids {
 		perRetailer[id] = &RetailerReport{Retailer: id}
@@ -387,23 +427,39 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 				phase: PhaseQuarantine,
 				err:   fmt.Errorf("pipeline: tenant quarantined since day %d; next probe pending", h.quarantinedDay),
 			}
+			skipped = append(skipped, id)
 			continue
 		}
 		admitted = append(admitted, id)
 	}
 	p.mu.Unlock()
+	if len(skipped) > 0 {
+		qspan := dspan.Child("quarantine", obs.L("skipped", strconv.Itoa(len(skipped))))
+		for _, id := range skipped {
+			ts := qspan.Child("tenant:"+string(id), obs.L("outcome", "quarantined"))
+			ts.SetAttr("error", degraded[id].err.Error())
+			ts.EndWith(0)
+		}
+		qspan.EndWith(0)
+	}
 
 	// --- Stage data + plan sweeps (per-tenant fault domain) ---
+	stagingStart := time.Now()
+	stagingSpan := dspan.Child("staging")
 	rng := linalg.NewRNG(p.opts.Seed ^ uint64(day)*0x9e37)
 	var allRecords []modelselect.ConfigRecord
 	for _, r := range admitted {
 		t := tenants[r]
+		tenantStart := time.Now()
+		tspan := stagingSpan.Child("tenant:" + string(r))
 		split := interactions.HoldoutSplit(t.Log, p.opts.BaseHyper.ContextLen)
 		if err := p.writeWithRetry(ctx, trainDataPath(day, r), EncodeLog(split.Train)); err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return report, fmt.Errorf("staging training data for %s: %w", r, ctxErr)
 			}
 			degraded[r] = &degradation{phase: PhaseStaging, err: err, attempts: retryAttempts(err)}
+			perRetailer[r].StagingWall = time.Since(tenantStart)
+			endTenantSpan(tspan, degraded[r])
 			continue
 		}
 		if err := p.writeWithRetry(ctx, holdoutPath(day, r), EncodeHoldout(split.Holdout)); err != nil {
@@ -411,6 +467,8 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 				return report, fmt.Errorf("staging holdout for %s: %w", r, ctxErr)
 			}
 			degraded[r] = &degradation{phase: PhaseStaging, err: err, attempts: retryAttempts(err)}
+			perRetailer[r].StagingWall = time.Since(tenantStart)
+			endTenantSpan(tspan, degraded[r])
 			continue
 		}
 
@@ -434,7 +492,13 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 		perRetailer[r].ConfigsPlaned = len(recs)
 		allRecords = append(allRecords, recs...)
 		t.isNew = false
+		perRetailer[r].StagingWall = time.Since(tenantStart)
+		tspan.SetAttr("outcome", "ok")
+		tspan.SetAttr("configs", strconv.Itoa(len(recs)))
+		tspan.End()
 	}
+	stagingSpan.End()
+	report.StagingWall = time.Since(stagingStart)
 
 	// Random permutation of config records balances work across shards
 	// (Section IV-B1).
@@ -444,7 +508,8 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 
 	// --- Training: one MapReduce per cell ---
 	trainStart := time.Now()
-	outRecords, counters, trainFailed, err := p.runTraining(ctx, day, allRecords)
+	trainSpan := dspan.Child("train", obs.L("configs", strconv.Itoa(len(allRecords))))
+	outRecords, counters, trainFailed, trainWall, err := p.runTraining(ctx, day, allRecords)
 	if err != nil {
 		return report, err
 	}
@@ -460,6 +525,8 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	// A tenant only advances its sweep state when at least one config
 	// trained: a fully failed sweep keeps yesterday's records so the next
 	// probe can still warm-start.
+	selectStart := time.Now()
+	selectSpan := dspan.Child("select")
 	byRetailer := modelselect.GroupByRetailer(outRecords)
 	p.mu.Lock()
 	for r, recs := range byRetailer {
@@ -495,16 +562,41 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 			degraded[r] = &degradation{phase: PhaseTrain, err: errors.New("pipeline: training produced no records")}
 		}
 	}
+	selectSpan.End()
+	report.SelectWall = time.Since(selectStart)
+
+	// Tenant spans under the train phase close with the tenant's summed
+	// training compute — its configs train interleaved across a shared
+	// MapReduce, so the duration is accumulated externally (EndWith) rather
+	// than bracketed.
+	for _, r := range admitted {
+		rep := perRetailer[r]
+		if rep.ConfigsPlaned == 0 {
+			continue
+		}
+		rep.TrainWall = trainWall[r]
+		tspan := trainSpan.Child("tenant:" + string(r))
+		tspan.SetAttr("configs_ok", strconv.Itoa(rep.ConfigsOK))
+		if d := degraded[r]; d != nil && d.phase == PhaseTrain {
+			endTenantSpan(tspan, d)
+			continue
+		}
+		tspan.SetAttr("outcome", "ok")
+		tspan.EndWith(rep.TrainWall)
+	}
+	trainSpan.EndWith(report.TrainWall)
 
 	// --- Inference (per-tenant fault domain) ---
 	inferStart := time.Now()
+	inferSpan := dspan.Child("infer")
 	var snap *serving.Snapshot
 	if p.server != nil {
-		snap, report.InferCounters = p.runInference(ctx, day, ids, tenants, byRetailer, perRetailer, degraded)
+		snap, report.InferCounters = p.runInference(ctx, day, ids, tenants, byRetailer, perRetailer, degraded, inferSpan)
 		if err := ctx.Err(); err != nil {
 			return report, err
 		}
 	}
+	inferSpan.End()
 	report.InferWall = time.Since(inferStart)
 
 	// --- Health bookkeeping: quarantine entries, exits, and counters ---
@@ -547,6 +639,8 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	// Degraded tenants are marked in the snapshot so the serving layer
 	// carries their previous recommendations forward (stale-but-serving)
 	// rather than dropping them.
+	publishStart := time.Now()
+	publishSpan := dspan.Child("publish")
 	if p.server != nil && snap != nil {
 		for _, id := range ids {
 			if degraded[id] != nil {
@@ -555,6 +649,7 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 		}
 		p.server.Publish(snap)
 		report.SnapshotPushed = true
+		publishSpan.SetAttr("version", strconv.FormatInt(snap.Version, 10))
 	}
 	if p.server != nil {
 		// Roll the day's job counters into the serving layer's running
@@ -562,11 +657,22 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 		p.server.AddJobCounters(report.TrainCounters)
 		p.server.AddJobCounters(report.InferCounters)
 	}
+	publishSpan.End()
+	report.PublishWall = time.Since(publishStart)
 
 	for _, id := range ids {
 		report.Retailers = append(report.Retailers, *perRetailer[id])
 	}
 	report.DiscardedCheckpoints = p.discardedCkpts.Load() - ckptsBefore
+
+	if len(report.Degraded) > 0 {
+		dspan.SetAttr("outcome", "degraded")
+	} else {
+		dspan.SetAttr("outcome", "ok")
+	}
+	dspan.SetAttr("degraded", strconv.Itoa(len(report.Degraded)))
+	dspan.SetAttr("quarantined", strconv.Itoa(len(report.Quarantined)))
+	p.emitDayMetrics(report)
 
 	// Storage GC: drop whole expired days (data, checkpoints, models,
 	// records live under one prefix per day, so this is a single sweep).
@@ -578,6 +684,70 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	p.day++
 	p.mu.Unlock()
 	return report, nil
+}
+
+// endTenantSpan closes a tenant span for a degraded cycle, tagging it with
+// the failing phase, the first error, and the attempts consumed — the
+// attribution /tracez shows for a tenant serving stale.
+func endTenantSpan(s *obs.Span, d *degradation) {
+	s.SetAttr("outcome", "degraded")
+	s.SetAttr("phase", d.phase)
+	if d.err != nil {
+		s.SetAttr("error", d.err.Error())
+	}
+	if d.attempts > 0 {
+		s.SetAttr("attempts", strconv.Itoa(d.attempts))
+	}
+	s.End()
+}
+
+// emitDayMetrics rolls one finished day into the registry. Phase wall
+// times observe into one histogram labeled by phase; tenant outcomes
+// count by result. Tenant identity deliberately never becomes a metric
+// label (unbounded cardinality) — per-tenant attribution lives in the
+// day's span tree and the DayReport.
+func (p *Pipeline) emitDayMetrics(report DayReport) {
+	reg := p.opts.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	phaseHelp := "Wall time of one pipeline phase for one day."
+	for _, ph := range []struct {
+		name string
+		wall time.Duration
+	}{
+		{PhaseStaging, report.StagingWall},
+		{PhaseTrain, report.TrainWall},
+		{"select", report.SelectWall},
+		{PhaseInfer, report.InferWall},
+		{"publish", report.PublishWall},
+	} {
+		reg.Histogram("sigmund_pipeline_phase_seconds", phaseHelp,
+			obs.DurationBuckets(), obs.L("phase", ph.name)).Observe(ph.wall.Seconds())
+	}
+	reg.Counter("sigmund_pipeline_days_total", "Daily cycles completed.").Inc()
+	degradedSet := make(map[catalog.RetailerID]bool, len(report.Degraded))
+	for _, id := range report.Degraded {
+		degradedSet[id] = true
+	}
+	healthy := 0
+	for _, rep := range report.Retailers {
+		if degradedSet[rep.Retailer] {
+			reg.Counter("sigmund_pipeline_tenant_days_total", "Tenant daily cycles, by outcome.",
+				obs.L("outcome", "degraded")).Inc()
+			reg.Counter("sigmund_pipeline_degraded_total", "Degraded tenant cycles, by failing phase.",
+				obs.L("phase", rep.DegradedPhase)).Inc()
+		} else {
+			healthy++
+		}
+	}
+	reg.Counter("sigmund_pipeline_tenant_days_total", "Tenant daily cycles, by outcome.",
+		obs.L("outcome", "healthy")).Add(int64(healthy))
+	reg.Gauge("sigmund_pipeline_tenants_quarantined", "Tenants currently quarantined.").
+		Set(float64(len(report.Quarantined)))
+	reg.Counter("sigmund_pipeline_discarded_checkpoints_total",
+		"Garbled or unreadable checkpoints discarded for a warm or fresh start.").
+		Add(report.DiscardedCheckpoints)
 }
 
 // writeWithRetry writes a file with exponential backoff — the shared

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"sigmund/internal/catalog"
 	"sigmund/internal/cooccur"
@@ -28,7 +29,7 @@ import (
 // tenants whose configs it carried — reported in the returned map — while
 // the other cells' output is kept. Only fleet-level failures (context
 // cancellation) surface as the error.
-func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelselect.ConfigRecord) ([]modelselect.ConfigRecord, mapreduce.Counters, map[catalog.RetailerID]error, error) {
+func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelselect.ConfigRecord) ([]modelselect.ConfigRecord, mapreduce.Counters, map[catalog.RetailerID]error, map[catalog.RetailerID]time.Duration, error) {
 	cells := p.opts.Cells
 	perCell := make([][]modelselect.ConfigRecord, cells)
 	for i, rec := range records {
@@ -39,6 +40,12 @@ func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelsele
 	// training data, and the heuristic negative sampler wants the same
 	// co-occurrence structure for all of them.
 	coocCache := &coocCache{fs: p.fs, day: day, models: map[catalog.RetailerID]*cooccur.Model{}}
+
+	// wall attributes training compute back to tenants: one tenant's
+	// configs train interleaved with everyone else's across the shared
+	// MapReduce, so each map task adds its elapsed time (retried and lost
+	// attempts included) to its record's retailer.
+	wall := &tenantWall{d: map[catalog.RetailerID]time.Duration{}}
 
 	var (
 		mu       sync.Mutex
@@ -54,7 +61,7 @@ func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelsele
 		wg.Add(1)
 		go func(cell int, recs []modelselect.ConfigRecord) {
 			defer wg.Done()
-			cellOut, c, err := p.runTrainingCell(ctx, day, cell, recs, coocCache)
+			cellOut, c, err := p.runTrainingCell(ctx, day, cell, recs, coocCache, wall)
 			mu.Lock()
 			defer mu.Unlock()
 			counters.Add(c)
@@ -71,12 +78,35 @@ func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelsele
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, counters, nil, err
+		return nil, counters, nil, nil, err
 	}
-	return out, counters, failed, nil
+	return out, counters, failed, wall.snapshot(), nil
 }
 
-func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []modelselect.ConfigRecord, cache *coocCache) ([]modelselect.ConfigRecord, mapreduce.Counters, error) {
+// tenantWall accumulates per-tenant training compute across concurrent map
+// tasks.
+type tenantWall struct {
+	mu sync.Mutex
+	d  map[catalog.RetailerID]time.Duration
+}
+
+func (w *tenantWall) add(r catalog.RetailerID, d time.Duration) {
+	w.mu.Lock()
+	w.d[r] += d
+	w.mu.Unlock()
+}
+
+func (w *tenantWall) snapshot() map[catalog.RetailerID]time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[catalog.RetailerID]time.Duration, len(w.d))
+	for r, d := range w.d {
+		out[r] = d
+	}
+	return out
+}
+
+func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []modelselect.ConfigRecord, cache *coocCache, wall *tenantWall) ([]modelselect.ConfigRecord, mapreduce.Counters, error) {
 	input := make([]mapreduce.Record, len(recs))
 	for i, rec := range recs {
 		input[i] = mapreduce.Record{Key: rec.ModelID, Value: EncodeConfigRecord(rec)}
@@ -86,7 +116,9 @@ func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []mo
 		if err != nil {
 			return err
 		}
+		taskStart := time.Now()
 		outRec, err := p.trainOneSafe(mctx, day, rec, cache)
+		wall.add(rec.Retailer, time.Since(taskStart))
 		if err != nil {
 			// Context/injected-preemption errors propagate so the framework
 			// re-executes the task (resuming from the checkpoint). Anything
@@ -112,6 +144,7 @@ func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []mo
 		Faults:         p.opts.Faults,
 		Substrate:      p.substrateFor(day, fmt.Sprintf("train/cell-%d", cell)),
 		MaxAttempts:    5,
+		Metrics:        p.opts.Obs.Reg(),
 	}
 	res, err := mapreduce.Run(ctx, spec, input, mapper, mapreduce.IdentityReducer)
 	if err != nil {

@@ -1,0 +1,73 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sigmund/internal/obs"
+)
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	return reg.Counter(name, "").Value()
+}
+
+func TestDoReportsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := Policy{Attempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Metrics: reg}
+
+	// Succeeds on the third attempt: 3 attempts, 1 success, 2 backoffs.
+	calls := 0
+	err := Do(context.Background(), p, nil, func(int) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if got := counterValue(t, reg, "sigmund_retry_attempts_total"); got != 3 {
+		t.Errorf("attempts_total = %d, want 3", got)
+	}
+	if got := counterValue(t, reg, "sigmund_retry_successes_total"); got != 1 {
+		t.Errorf("successes_total = %d, want 1", got)
+	}
+	if got := reg.Histogram("sigmund_retry_backoff_seconds", "", obs.ExponentialBuckets(0.0005, 2, 12)).Count(); got != 2 {
+		t.Errorf("backoff observations = %d, want 2", got)
+	}
+
+	// Exhausts the budget: +3 attempts, 1 exhausted.
+	if err := Do(context.Background(), p, nil, func(int) error { return errors.New("permanent") }); err == nil {
+		t.Fatal("want exhaustion error")
+	}
+	if got := counterValue(t, reg, "sigmund_retry_attempts_total"); got != 6 {
+		t.Errorf("attempts_total = %d, want 6", got)
+	}
+	if got := counterValue(t, reg, "sigmund_retry_exhausted_total"); got != 1 {
+		t.Errorf("exhausted_total = %d, want 1", got)
+	}
+
+	// Cancelled before the first attempt: abandoned, no new attempts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Do(ctx, p, nil, func(int) error { return nil }); err == nil {
+		t.Fatal("want context error")
+	}
+	if got := counterValue(t, reg, "sigmund_retry_abandoned_total"); got != 1 {
+		t.Errorf("abandoned_total = %d, want 1", got)
+	}
+	if got := counterValue(t, reg, "sigmund_retry_attempts_total"); got != 6 {
+		t.Errorf("attempts_total after cancel = %d, want 6", got)
+	}
+}
+
+// TestDoNilMetrics: the zero policy must keep working with no registry.
+func TestDoNilMetrics(t *testing.T) {
+	if err := Do(context.Background(), Policy{}, nil, func(int) error { return nil }); err != nil {
+		t.Fatalf("Do without metrics: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sigmund/internal/linalg"
+	"sigmund/internal/obs"
 )
 
 // Policy describes a backoff schedule. The zero value takes the defaults
@@ -29,6 +30,11 @@ type Policy struct {
 	// Jitter spreads each delay uniformly in [1-Jitter, 1+Jitter] so
 	// concurrent retries against one hot replica decorrelate.
 	Jitter float64
+
+	// Metrics optionally reports every attempt, outcome, and backoff sleep
+	// into an obs.Registry (sigmund_retry_* metrics), so retry pressure is
+	// visible fleet-wide on /metrics. nil disables.
+	Metrics *obs.Registry
 }
 
 // DefaultPolicy is sized for the simulated shared filesystem: four
@@ -108,21 +114,49 @@ func (e *ExhaustedError) Unwrap() error { return e.Last }
 // disables jitter.
 func Do(ctx context.Context, p Policy, rng *linalg.RNG, fn func(attempt int) error) error {
 	p = p.Defaulted()
+	m := newMetrics(p.Metrics)
 	var last error
 	for attempt := 0; attempt < p.Attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
+			m.abandoned.Inc()
 			return err
 		}
 		if attempt > 0 {
-			if err := sleep(ctx, p.Delay(attempt-1, rng)); err != nil {
+			d := p.Delay(attempt-1, rng)
+			m.backoff.Observe(d.Seconds())
+			if err := sleep(ctx, d); err != nil {
+				m.abandoned.Inc()
 				return err
 			}
 		}
+		m.attempts.Inc()
 		if last = fn(attempt); last == nil {
+			m.successes.Inc()
 			return nil
 		}
 	}
+	m.exhausted.Inc()
 	return &ExhaustedError{Attempts: p.Attempts, Last: last}
+}
+
+// metrics are the registry handles one Do call reports through; with a
+// nil registry every handle is a nil no-op.
+type metrics struct {
+	attempts  *obs.Counter
+	successes *obs.Counter
+	exhausted *obs.Counter
+	abandoned *obs.Counter
+	backoff   *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		attempts:  reg.Counter("sigmund_retry_attempts_total", "Attempts made under a retry policy (first tries included)."),
+		successes: reg.Counter("sigmund_retry_successes_total", "Retry-policy calls that eventually succeeded."),
+		exhausted: reg.Counter("sigmund_retry_exhausted_total", "Retry-policy calls that exhausted their attempt budget."),
+		abandoned: reg.Counter("sigmund_retry_abandoned_total", "Retry-policy calls abandoned by context cancellation."),
+		backoff:   reg.Histogram("sigmund_retry_backoff_seconds", "Backoff sleeps between retry attempts.", obs.ExponentialBuckets(0.0005, 2, 12)),
+	}
 }
 
 // sleep blocks for d or until ctx is done, whichever comes first.

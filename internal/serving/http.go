@@ -10,6 +10,7 @@ import (
 
 	"sigmund/internal/catalog"
 	"sigmund/internal/interactions"
+	"sigmund/internal/obs"
 )
 
 // NewHandler exposes the server over HTTP:
@@ -17,6 +18,8 @@ import (
 //	GET /recommend?retailer=shop-1&context=view:3,search:17,cart:9&k=10
 //	GET /healthz
 //	GET /statz
+//	GET /metrics   (Prometheus text exposition of the shared registry)
+//	GET /tracez    (JSON span trees of recent pipeline days)
 //
 // The context parameter lists the user's recent actions oldest-first as
 // type:itemID pairs (types: view, search, cart, conversion). Responses are
@@ -133,6 +136,30 @@ func NewHandler(s *Server) http.Handler {
 			Tenants     map[string]tenantStatz `json:"tenants"`
 			MapReduce   mapreduceStatz         `json:"mapreduce"`
 		}{version, req, fb, miss, s.StaleServes(), degraded, quarantined, tenants, mr})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		reg := s.Observer().Reg()
+		if reg == nil {
+			http.Error(w, "metrics registry not configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		tr := s.Observer().Trace()
+		if tr == nil {
+			http.Error(w, "tracer not configured", http.StatusNotFound)
+			return
+		}
+		spans := tr.Recent()
+		if spans == nil {
+			spans = []obs.SpanJSON{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Spans []obs.SpanJSON `json:"spans"`
+		}{spans})
 	})
 	return mux
 }

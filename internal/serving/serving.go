@@ -16,6 +16,7 @@ import (
 	"sigmund/internal/core/inference"
 	"sigmund/internal/interactions"
 	"sigmund/internal/mapreduce"
+	"sigmund/internal/obs"
 )
 
 // RetailerRecs is one retailer's materialized recommendation data.
@@ -89,17 +90,63 @@ type Server struct {
 	// preemptions, lease expiries, and speculative execution fleet-wide.
 	jobMu       sync.Mutex
 	jobCounters mapreduce.Counters
+
+	// obs is the observability surface /metrics and /tracez expose; the
+	// request counters above remain the /statz-compatible view while the
+	// registry carries the same signals fleet-wide.
+	obs *obs.Observer
+	om  servingMetrics
 }
 
-// NewServer returns a server with an empty snapshot.
+// servingMetrics are the registry handles the server reports through
+// (nil no-ops when the observer carries no registry).
+type servingMetrics struct {
+	requests    *obs.Counter
+	fallbacks   *obs.Counter
+	misses      *obs.Counter
+	staleServes *obs.Counter
+	publishes   *obs.Counter
+	version     *obs.Gauge
+	tenants     *obs.Gauge
+	degraded    *obs.Gauge
+	quarantined *obs.Gauge
+}
+
+func newServingMetrics(reg *obs.Registry) servingMetrics {
+	return servingMetrics{
+		requests:    reg.Counter("sigmund_serving_requests_total", "Recommendation requests served."),
+		fallbacks:   reg.Counter("sigmund_serving_fallbacks_total", "Requests answered from the top-sellers fallback."),
+		misses:      reg.Counter("sigmund_serving_misses_total", "Requests with nothing to return (unknown retailer or empty store)."),
+		staleServes: reg.Counter("sigmund_serving_stale_serves_total", "Requests answered from a degraded tenant's carried-forward recommendations."),
+		publishes:   reg.Counter("sigmund_serving_snapshot_publishes_total", "Snapshot generations published."),
+		version:     reg.Gauge("sigmund_serving_snapshot_version", "Current serving snapshot version."),
+		tenants:     reg.Gauge("sigmund_serving_tenants", "Retailers in the current snapshot."),
+		degraded:    reg.Gauge("sigmund_serving_tenants_degraded", "Retailers serving stale after a degraded cycle."),
+		quarantined: reg.Gauge("sigmund_serving_tenants_quarantined", "Retailers currently quarantined."),
+	}
+}
+
+// NewServer returns a server with an empty snapshot and a private
+// observability surface.
 func NewServer() *Server {
-	s := &Server{}
+	return NewServerWithObs(obs.NewObserver())
+}
+
+// NewServerWithObs returns a server reporting into the given observer —
+// the daily pipeline and the serving layer share one, so /metrics and
+// /tracez cover the whole stack. A nil observer disables /metrics and
+// /tracez but keeps all /statz counters working.
+func NewServerWithObs(o *obs.Observer) *Server {
+	s := &Server{obs: o, om: newServingMetrics(o.Reg())}
 	s.snap.Store(&Snapshot{
 		Retailers: map[catalog.RetailerID]*RetailerRecs{},
 		Status:    map[catalog.RetailerID]*TenantStatus{},
 	})
 	return s
 }
+
+// Observer returns the server's observability surface (may be nil).
+func (s *Server) Observer() *obs.Observer { return s.obs }
 
 // Publish atomically replaces the serving snapshot — the batch update at
 // the end of the daily pipeline. In-flight requests keep reading the old
@@ -141,6 +188,21 @@ func (s *Server) Publish(snap *Snapshot) {
 		}
 	}
 	s.snap.Store(snap)
+
+	s.om.publishes.Inc()
+	s.om.version.Set(float64(snap.Version))
+	s.om.tenants.Set(float64(len(snap.Retailers)))
+	var degraded, quarantined int
+	for _, st := range snap.Status {
+		if st.Degraded {
+			degraded++
+		}
+		if st.Quarantined {
+			quarantined++
+		}
+	}
+	s.om.degraded.Set(float64(degraded))
+	s.om.quarantined.Set(float64(quarantined))
 }
 
 // Snapshot returns the current generation (for inspection; treat as
@@ -235,6 +297,7 @@ func (s *Server) Recommend(r catalog.RetailerID, ctx interactions.Context, k int
 // StaleServes).
 func (s *Server) RecommendWithSource(r catalog.RetailerID, ctx interactions.Context, k int) ([]Recommendation, Source) {
 	s.requests.Add(1)
+	s.om.requests.Inc()
 	if k <= 0 {
 		k = 10
 	}
@@ -242,10 +305,12 @@ func (s *Server) RecommendWithSource(r catalog.RetailerID, ctx interactions.Cont
 	rr := snap.Retailers[r]
 	if rr == nil {
 		s.misses.Add(1)
+		s.om.misses.Inc()
 		return nil, SourceNone
 	}
 	if st := snap.Status[r]; st != nil && st.Degraded {
 		s.staleServes.Add(1)
+		s.om.staleServes.Inc()
 	}
 	if len(ctx) > interactions.DefaultContextLength {
 		ctx = ctx.Truncate(interactions.DefaultContextLength)
@@ -286,6 +351,7 @@ func (s *Server) RecommendWithSource(r catalog.RetailerID, ctx interactions.Cont
 
 	if len(scores) == 0 {
 		s.fallback.Add(1)
+		s.om.fallbacks.Inc()
 		out := make([]Recommendation, 0, k)
 		for _, it := range rr.TopSellers {
 			if inCtx[it] {
@@ -298,6 +364,7 @@ func (s *Server) RecommendWithSource(r catalog.RetailerID, ctx interactions.Cont
 		}
 		if len(out) == 0 {
 			s.misses.Add(1)
+			s.om.misses.Inc()
 			return out, SourceNone
 		}
 		return out, SourceTopSellers

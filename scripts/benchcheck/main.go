@@ -1,0 +1,325 @@
+// Command benchcheck guards against performance regressions in CI. It runs
+// the repo's tentpole benchmarks (BenchmarkMapReduce, BenchmarkRunDay) a
+// few times with -benchtime=1x, takes the fastest run of each sub-benchmark
+// (the minimum is the least noisy estimator on shared CI machines), and
+// compares ns/op against the committed baselines BENCH_mapreduce.json and
+// BENCH_runday.json. A sub-benchmark more than -tolerance times slower than
+// its baseline fails the build.
+//
+// Usage:
+//
+//	go run ./scripts/benchcheck              # compare against baselines
+//	go run ./scripts/benchcheck -update      # rewrite the baselines
+//	go run ./scripts/benchcheck -tolerance 1.5
+//
+// Baselines are hardware-dependent; after moving to new CI hardware (or
+// landing an intentional perf change), refresh them with -update and commit
+// the result.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// target pairs one benchmark with its committed baseline file.
+type target struct {
+	pkg      string // go package path
+	bench    string // top-level benchmark name (anchored)
+	baseline string // JSON baseline path, relative to the repo root
+}
+
+var targets = []target{
+	{pkg: "./internal/mapreduce", bench: "BenchmarkMapReduce", baseline: "BENCH_mapreduce.json"},
+	{pkg: "./internal/pipeline", bench: "BenchmarkRunDay", baseline: "BENCH_runday.json"},
+}
+
+// baseline mirrors the committed BENCH_*.json schema.
+type baseline struct {
+	Date      string   `json:"date"`
+	Package   string   `json:"package"`
+	Benchmark string   `json:"benchmark"`
+	Goos      string   `json:"goos"`
+	Goarch    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Note      string   `json:"note,omitempty"`
+	Results   []result `json:"results"`
+}
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the baseline files with this machine's measurements")
+	tolerance := flag.Float64("tolerance", 1.25, "fail when measured ns/op exceeds baseline*tolerance")
+	count := flag.Int("count", 5, "benchmark repetitions; the fastest is kept")
+	flag.Parse()
+
+	root, err := repoRoot()
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	for _, t := range targets {
+		measured, err := run(root, t, *count)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", t.bench, err))
+		}
+		path := filepath.Join(root, t.baseline)
+		if *update {
+			n := len(measured)
+			if err := writeBaseline(path, t, measured); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== %s: baseline %s updated (%d sub-benchmarks)\n", t.bench, t.baseline, n)
+			continue
+		}
+		base, err := readBaseline(path)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w (run with -update to record a baseline)", t.baseline, err))
+		}
+		if !compare(t, base, measured, *tolerance) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run executes one benchmark target and returns the fastest result per
+// sub-benchmark.
+func run(root string, t target, count int) (map[string]result, error) {
+	args := []string{
+		"test", "-run", "NONE",
+		"-bench", "^" + t.bench + "$",
+		"-benchtime", "1x",
+		"-count", strconv.Itoa(count),
+		"-benchmem",
+		t.pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	measured := parseBenchOutput(string(out), t.bench)
+	if len(measured) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", out)
+	}
+	return measured, nil
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkMapReduce/map-heavy-8  87  11594422 ns/op  45.22 MB/s  469179 B/op  4587 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// parseBenchOutput extracts the fastest (minimum ns/op) result for each
+// sub-benchmark of bench. The trailing -<procs> suffix go test appends to
+// benchmark names is stripped so names match the baseline across machines
+// with different core counts.
+func parseBenchOutput(out, bench string) map[string]result {
+	best := map[string]result{}
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := stripProcs(m[1])
+		if name != bench && !strings.HasPrefix(name, bench+"/") {
+			continue
+		}
+		name = strings.TrimPrefix(strings.TrimPrefix(name, bench), "/")
+		if name == "" {
+			name = "-" // top-level benchmark with no sub-benchmarks
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := result{Name: name, Iterations: iters, NsPerOp: ns}
+		parseExtras(m[4], &r)
+		if prev, ok := best[name]; !ok || r.NsPerOp < prev.NsPerOp {
+			best[name] = r
+		}
+	}
+	return best
+}
+
+// stripProcs removes go test's GOMAXPROCS suffix ("-8") from a benchmark
+// name, leaving sub-benchmark names (which may themselves contain dashes)
+// intact.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseExtras fills the optional MB/s, B/op, and allocs/op columns.
+func parseExtras(s string, r *result) {
+	fields := strings.Fields(s)
+	for i := 0; i+1 < len(fields); i += 2 {
+		switch fields[i+1] {
+		case "MB/s":
+			r.MBPerS, _ = strconv.ParseFloat(fields[i], 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+		}
+	}
+}
+
+// compare reports each sub-benchmark against the baseline; false means at
+// least one regressed beyond tolerance. A sub-benchmark missing from either
+// side fails too: renames and additions must re-record the baseline.
+func compare(t target, base *baseline, measured map[string]result, tolerance float64) bool {
+	ok := true
+	for _, b := range base.Results {
+		m, found := measured[b.Name]
+		if !found {
+			fmt.Printf("FAIL %s/%s: in baseline but not measured (renamed? run -update)\n", t.bench, b.Name)
+			ok = false
+			continue
+		}
+		limit := b.NsPerOp * tolerance
+		verdict := "ok  "
+		if m.NsPerOp > limit {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Printf("%s %s/%s: %.0f ns/op vs baseline %.0f (limit %.0f, %+.1f%%)\n",
+			verdict, t.bench, b.Name, m.NsPerOp, b.NsPerOp, limit, 100*(m.NsPerOp/b.NsPerOp-1))
+	}
+	for name := range measured {
+		if !hasResult(base, name) {
+			fmt.Printf("FAIL %s/%s: measured but not in baseline (new sub-benchmark? run -update)\n", t.bench, name)
+			ok = false
+		}
+	}
+	return ok
+}
+
+func hasResult(b *baseline, name string) bool {
+	for _, r := range b.Results {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func readBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, t target, measured map[string]result) error {
+	b := &baseline{
+		Date:      time.Now().Format("2006-01-02"),
+		Package:   "sigmund/" + strings.TrimPrefix(t.pkg, "./"),
+		Benchmark: t.bench,
+		Goos:      runtime.GOOS,
+		Goarch:    runtime.GOARCH,
+		CPU:       cpuModel(),
+		Note: "recorded by scripts/benchcheck -update: fastest of repeated -benchtime=1x runs; " +
+			"refresh on new hardware or after intentional perf changes",
+	}
+	if old, err := readBaseline(path); err == nil {
+		// Keep the original result order stable across refreshes.
+		for _, r := range old.Results {
+			if m, ok := measured[r.Name]; ok {
+				b.Results = append(b.Results, m)
+				delete(measured, r.Name)
+			}
+		}
+	}
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	// Deterministic order for new entries.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		b.Results = append(b.Results, measured[name])
+	}
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// cpuModel best-effort reads the CPU model name for the baseline header.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}
+
+// repoRoot walks up from the working directory to the directory holding
+// go.mod, so benchcheck runs from anywhere inside the repo.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("benchcheck: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -1,8 +1,17 @@
 #!/bin/sh
-# CI entry point: vet, build, the full suite under the race detector, and
-# the short-mode chaos/degradation suite. Mirrors `make ci`.
+# CI entry point: formatting, vet, build, the full suite under the race
+# detector (shuffled, cache-busted), the short-mode chaos/degradation
+# suites, and the benchmark regression gate. Mirrors `make ci`.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet"
 go vet ./...
@@ -10,8 +19,8 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test -race"
-go test -race ./...
+echo "== go test -race (shuffled)"
+go test -race -shuffle=on -count=1 ./...
 
 echo "== chaos suite (short mode)"
 go test -race -short -run 'Chaos|Quarantine|Garbled|CheckpointWrite|Degraded|Stale' \
@@ -24,5 +33,8 @@ echo "== worker-preemption chaos suite (short mode)"
 # mid-job cancellation (which fails on goroutine leaks).
 go test -race -short -run 'Preempt|Lease|Speculative|Blacklist|WorkerPlan|Cancellation|NoWorkers' \
 	./internal/mapreduce/ ./internal/faults/ ./internal/core/inference/ ./internal/pipeline/
+
+echo "== benchmark regression gate"
+go run ./scripts/benchcheck
 
 echo "CI OK"

@@ -12,6 +12,7 @@ import (
 	"sigmund/internal/faults"
 	"sigmund/internal/linalg"
 	"sigmund/internal/mapreduce"
+	"sigmund/internal/obs"
 	"sigmund/internal/pipeline"
 	"sigmund/internal/preempt"
 	"sigmund/internal/serving"
@@ -128,6 +129,7 @@ type Service struct {
 	fs     *dfs.FS
 	server *serving.Server
 	pipe   *pipeline.Pipeline
+	obs    *obs.Observer
 }
 
 // NewService creates a service with an in-memory shared filesystem and
@@ -138,7 +140,12 @@ func NewService(cfg Config) *Service {
 		grid = modelselect.SmallGrid()
 	}
 	fs := dfs.New()
-	server := serving.NewServer()
+	// One observer spans the whole stack: the pipeline's day/phase/tenant
+	// traces, every MapReduce's substrate lifecycle, retry pressure, fault
+	// injection, and serving counters all land in the same registry, so the
+	// serving handler's /metrics and /tracez cover everything.
+	observer := obs.NewObserver()
+	server := serving.NewServerWithObs(observer)
 	opts := pipeline.Options{
 		Grid:                 grid,
 		BaseHyper:            bpr.DefaultHyperparams(),
@@ -156,6 +163,7 @@ func NewService(cfg Config) *Service {
 		QuarantineAfter:      cfg.QuarantineAfter,
 		QuarantineProbeEvery: cfg.QuarantineProbeEvery,
 		Seed:                 cfg.Seed,
+		Obs:                  observer,
 	}
 	chaosSeed := cfg.ChaosSeed
 	if chaosSeed == 0 {
@@ -178,6 +186,7 @@ func NewService(cfg Config) *Service {
 			faults.Rule{Ops: []faults.Op{faults.OpInfer}, Kind: faults.Error, Prob: 0.02},
 		)
 		fs.SetInjector(inj)
+		inj.SetMetrics(observer.Reg())
 		opts.Injector = inj
 		// Worker-scoped chaos rules (OpWorker: crash/stall/flake) reach the
 		// substrate through the same injector. The stock rules above never
@@ -201,8 +210,13 @@ func NewService(cfg Config) *Service {
 		fs:     fs,
 		server: server,
 		pipe:   pipeline.New(fs, server, opts),
+		obs:    observer,
 	}
 }
+
+// Observer returns the service's shared observability surface — the
+// registry behind GET /metrics and the tracer behind GET /tracez.
+func (s *Service) Observer() *obs.Observer { return s.obs }
 
 // AddRetailer registers a tenant; registering the same retailer twice is
 // an error. The retailer receives a full hyper-parameter sweep on its
@@ -231,7 +245,7 @@ func (s *Service) Recommend(r RetailerID, ctx Context, k int) []Recommendation {
 }
 
 // Handler exposes the serving API over HTTP (GET /recommend, /healthz,
-// /statz).
+// /statz, /metrics, /tracez).
 func (s *Service) Handler() http.Handler { return serving.NewHandler(s.server) }
 
 // SnapshotVersion returns the current serving snapshot version (one per
