@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos chaos-workers bench-check bench-update ci clean
+.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store bench-check bench-update ci clean
 
 all: ci
 
@@ -32,8 +32,16 @@ chaos:
 chaos-workers:
 	$(GO) test -race -short -run 'Preempt|Lease|Speculative|Blacklist|WorkerPlan|Cancellation|NoWorkers' ./internal/mapreduce/ ./internal/faults/ ./internal/core/inference/ ./internal/pipeline/
 
-# Benchmark regression gate: BenchmarkMapReduce and BenchmarkRunDay vs the
-# committed BENCH_*.json baselines (>25% ns/op regression fails).
+# The serving-store chaos suite: replica crash mid-publish (no torn
+# generations, zero failed requests), hedged-read cancellation and drain
+# (fails on goroutine leaks), failover, load shedding, publish rollback,
+# and crash/revive catch-up.
+chaos-store:
+	$(GO) test -race -short -run 'TornGeneration|Hedge|Failover|Shed|RollsBack|Revive|UniformlyStale|ContinuousChaos|CloseDrains|Ring' ./internal/store/
+
+# Benchmark regression gate: BenchmarkMapReduce, BenchmarkRunDay, and
+# BenchmarkServeRouted vs the committed BENCH_*.json baselines (>25%
+# ns/op regression fails).
 bench-check:
 	$(GO) run ./scripts/benchcheck
 
@@ -41,7 +49,7 @@ bench-check:
 bench-update:
 	$(GO) run ./scripts/benchcheck -update
 
-ci: fmt-check vet build race chaos chaos-workers bench-check
+ci: fmt-check vet build race chaos chaos-workers chaos-store bench-check
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,208 @@
+// Command loadgen drives the sharded serving store with a closed-loop
+// synthetic workload and reports throughput and tail latency. Each client
+// goroutine issues one request at a time: it picks a retailer and a
+// context item from zipf distributions (a few head tenants and head items
+// dominate, like real traffic), waits for the answer, and repeats until
+// the measurement window closes.
+//
+// Replicas simulate one machine each via -serve-delay (per-request service
+// time) and -replica-concurrency (requests in service at once), so the
+// router's capacity scaling is visible from a single process:
+//
+//	loadgen -compare                # single-node vs routed, same workload
+//	loadgen -shards 4 -replicas 2 -clients 64 -duration 10s
+//	loadgen -shards 4 -stall-replica 0 -stall 50ms   # tail rescue: hedged reads
+//
+// The -compare run is the store's capacity claim: the routed fleet must
+// sustain a multiple of the single node's QPS at comparable p99.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+	"sigmund/internal/serving"
+	"sigmund/internal/store"
+)
+
+func main() {
+	shards := flag.Int("shards", 4, "shards in the routed store")
+	replicas := flag.Int("replicas", 2, "replicas per shard")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fixed hedge threshold (0 = adaptive p95)")
+	clients := flag.Int("clients", 32, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 3*time.Second, "measurement window")
+	nRetailers := flag.Int("retailers", 100, "synthetic retailers")
+	nItems := flag.Int("items", 200, "items per retailer")
+	zipfS := flag.Float64("zipf-s", 1.1, "zipf exponent for retailer and item popularity")
+	serveDelay := flag.Duration("serve-delay", 2*time.Millisecond, "simulated per-request service time at a replica")
+	replicaConc := flag.Int("replica-concurrency", 1, "concurrent requests one replica serves (0 = unbounded)")
+	cacheSize := flag.Int("cache", -1, "router hot-key cache entries (-1 = off; caching flatters QPS)")
+	compare := flag.Bool("compare", false, "run single-node (1x1) first, then the routed config, and report the speedup")
+	stallReplica := flag.Int("stall-replica", -1, "stall every serve on this replica index (tail-latency demo, -1 = off)")
+	stall := flag.Duration("stall", 50*time.Millisecond, "stall duration for -stall-replica")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	snap := buildSnapshot(*nRetailers, *nItems, *seed)
+	fmt.Printf("workload: %d retailers x %d items, zipf s=%.2f, %d clients, %v window\n",
+		*nRetailers, *nItems, *zipfS, *clients, *duration)
+	fmt.Printf("replica model: %v service time, concurrency %d\n\n", *serveDelay, *replicaConc)
+
+	opts := store.Options{
+		Replicas:           *replicas,
+		HedgeAfter:         *hedgeAfter,
+		ServeDelay:         *serveDelay,
+		ReplicaConcurrency: *replicaConc,
+		CacheSize:          *cacheSize,
+		Seed:               *seed,
+	}
+	if *stallReplica >= 0 {
+		opts.Faults = faults.NewInjector(*seed, faults.Rule{
+			Ops:          []faults.Op{faults.OpReplica},
+			PathContains: fmt.Sprintf("replica-%d/serve", *stallReplica),
+			Kind:         faults.Stall, Prob: 1, Delay: *stall,
+		})
+		fmt.Printf("chaos: replica %d of every shard stalls %v per serve\n\n", *stallReplica, *stall)
+	}
+
+	if *compare {
+		single := opts
+		single.Shards, single.Replicas = 1, 1
+		base := runOne("single-node 1x1", single, snap, *clients, *duration, *zipfS, *nItems, *seed)
+		opts.Shards = *shards
+		routed := runOne(fmt.Sprintf("routed %dx%d", *shards, *replicas), opts, snap, *clients, *duration, *zipfS, *nItems, *seed)
+		if base.qps > 0 {
+			fmt.Printf("\nrouted/single QPS: %.1fx at p99 %v vs %v\n",
+				routed.qps/base.qps, routed.p99.Round(10*time.Microsecond), base.p99.Round(10*time.Microsecond))
+		}
+		return
+	}
+	opts.Shards = *shards
+	runOne(fmt.Sprintf("routed %dx%d", *shards, *replicas), opts, snap, *clients, *duration, *zipfS, *nItems, *seed)
+}
+
+// buildSnapshot synthesizes one generation: every retailer gets nItems
+// items whose view lists point at neighboring items.
+func buildSnapshot(nRetailers, nItems int, seed uint64) *serving.Snapshot {
+	rng := linalg.NewRNG(seed ^ 0x10adfeed)
+	per := map[catalog.RetailerID][]inference.ItemRecs{}
+	pop := map[catalog.RetailerID][]catalog.ItemID{}
+	for r := 0; r < nRetailers; r++ {
+		id := catalog.RetailerID(fmt.Sprintf("retailer-%03d", r))
+		items := make([]inference.ItemRecs, nItems)
+		for i := 0; i < nItems; i++ {
+			recs := make([]hybrid.Scored, 0, 10)
+			for j := 1; j <= 10; j++ {
+				recs = append(recs, hybrid.Scored{
+					Item:  catalog.ItemID((i + j) % nItems),
+					Score: 1 / float64(j),
+				})
+			}
+			items[i] = inference.ItemRecs{Item: catalog.ItemID(i), View: recs, Purchase: recs[:5]}
+		}
+		top := make([]catalog.ItemID, 10)
+		for j := range top {
+			top[j] = catalog.ItemID(rng.Intn(nItems))
+		}
+		per[id] = items
+		pop[id] = top
+	}
+	return serving.BuildSnapshot(1, per, pop)
+}
+
+type runResult struct {
+	qps           float64
+	p50, p95, p99 time.Duration
+}
+
+// runOne publishes the snapshot into a fresh store with the given
+// topology, drives it with the closed-loop clients, and prints one report
+// block.
+func runOne(label string, opts store.Options, snap *serving.Snapshot, clients int, window time.Duration, zipfS float64, nItems int, seed uint64) runResult {
+	fs := dfs.New()
+	st := store.New(fs, opts)
+	defer st.Close()
+	loadStart := time.Now()
+	st.Publish(snap)
+	if err := st.PublishErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: publish:", err)
+		os.Exit(1)
+	}
+	loadWall := time.Since(loadStart)
+
+	retailers := make([]catalog.RetailerID, 0, len(snap.Retailers))
+	for r := range snap.Retailers {
+		retailers = append(retailers, r)
+	}
+	sort.Slice(retailers, func(i, j int) bool { return retailers[i] < retailers[j] })
+
+	var (
+		stop      atomic.Bool
+		errs      atomic.Int64
+		sheds     atomic.Int64
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := linalg.NewRNG(seed + uint64(c)*0x9e3779b97f4a7c15)
+			local := make([]time.Duration, 0, 4096)
+			for !stop.Load() {
+				r := retailers[rng.Zipf(len(retailers), zipfS)]
+				item := catalog.ItemID(rng.Zipf(nItems, zipfS))
+				uctx := interactions.Context{{Type: interactions.View, Item: item}}
+				t0 := time.Now()
+				_, _, _, err := st.Serve(r, uctx, 10)
+				if err != nil {
+					if err == store.ErrShed {
+						sheds.Add(1)
+					} else {
+						errs.Add(1)
+					}
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(c)
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res := runResult{qps: float64(len(latencies)) / elapsed.Seconds()}
+	if n := len(latencies); n > 0 {
+		res.p50 = latencies[n/2]
+		res.p95 = latencies[n*95/100]
+		res.p99 = latencies[n*99/100]
+	}
+	committed, rolledBack := st.Publishes()
+	fmt.Printf("=== %s ===\n", label)
+	fmt.Printf("  bulk load: %v (%d committed, %d rolled back)\n", loadWall.Round(time.Millisecond), committed, rolledBack)
+	fmt.Printf("  served: %d in %v  ->  %.0f qps\n", len(latencies), elapsed.Round(time.Millisecond), res.qps)
+	fmt.Printf("  latency: p50 %v  p95 %v  p99 %v\n",
+		res.p50.Round(10*time.Microsecond), res.p95.Round(10*time.Microsecond), res.p99.Round(10*time.Microsecond))
+	fmt.Printf("  hedges: %d (wins %d)  failovers: %d  shed: %d  errors: %d\n",
+		st.Hedges(), st.HedgeWins(), st.Failovers(), sheds.Load(), errs.Load())
+	return res
+}

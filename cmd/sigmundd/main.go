@@ -45,6 +45,9 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos injector seed (0 = fleet seed)")
 	chaosPreemptMTBP := flag.Duration("chaos-preempt-mtbp", 0, "run all MapReduce work on preemptible workers with this mean time between preemptions (0 = reliable workers)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /tracez, and /debug/pprof on this address for the whole run (empty = off)")
+	shards := flag.Int("shards", 0, "serve from a sharded, replicated store with this many shards (0 = single-node server)")
+	replicas := flag.Int("replicas", 2, "replicas per shard (with -shards)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "routed reads hedge to a second replica after this latency (0 = adaptive p95; with -shards)")
 	flag.Parse()
 
 	cfg := sigmund.DemoConfig()
@@ -55,7 +58,14 @@ func main() {
 	cfg.Chaos = *chaos
 	cfg.ChaosSeed = *chaosSeed
 	cfg.ChaosPreemptMTBP = *chaosPreemptMTBP
+	cfg.Shards = *shards
+	cfg.Replicas = *replicas
+	cfg.HedgeAfter = *hedgeAfter
 	svc := sigmund.NewService(cfg)
+	defer svc.Close()
+	if *shards > 0 {
+		fmt.Printf("sharded serving store: %d shards x %d replicas\n", *shards, *replicas)
+	}
 
 	// The debug listener starts before the day loop so a slow or degraded
 	// cycle can be profiled live: /metrics and /tracez from the service's

@@ -52,6 +52,12 @@ const (
 	// OpWorker is a MapReduce worker attempt, consumed via WorkerPlan; the
 	// path is "worker-<worker>/inc-<incarnation>/<phase>/task-<task>/attempt-<attempt>".
 	OpWorker Op = "worker"
+	// OpReplica is a serving-store replica operation, consumed via
+	// ReplicaPlan; the path is "shard-<shard>/replica-<replica>/<op>/..."
+	// where <op> is "serve/<retailer>" or "load/gen-<generation>", so a
+	// rule can target one replica, one phase (bulk-load vs serve), or one
+	// retailer's reads.
+	OpReplica Op = "replica"
 )
 
 // Kind is the failure mode a rule injects.
@@ -332,6 +338,55 @@ func (in *Injector) WorkerPlan() mapreduce.WorkerFaultPlan {
 			return mapreduce.WorkerStall, rs.Delay
 		default:
 			return mapreduce.WorkerFlake, rs.Delay
+		}
+	}
+}
+
+// ReplicaFault is the outcome of consulting replica-scoped chaos rules.
+type ReplicaFault uint8
+
+const (
+	// ReplicaOK: no fault fired.
+	ReplicaOK ReplicaFault = iota
+	// ReplicaFail fails the one operation with a replica-attributed error
+	// (the router counts it against the replica's health and fails over).
+	ReplicaFail
+	// ReplicaCrash kills the replica: the operation fails and the replica
+	// is down until explicitly revived, covering replica loss during and
+	// between publishes.
+	ReplicaCrash
+	// ReplicaStall freezes the operation for the rule's Delay (or until
+	// the request's context is cancelled) — the slow-replica case hedged
+	// reads exist for.
+	ReplicaStall
+)
+
+// ReplicaPlanFunc decides the fate of one replica operation.
+type ReplicaPlanFunc func(path string) (ReplicaFault, time.Duration)
+
+// ReplicaPlan adapts the injector into replica-scoped chaos for the
+// serving store: Crash rules kill the replica (down until revived), Stall
+// rules freeze the operation for Delay (hedged reads race past it), and
+// Error rules fail the single operation. The path rules see is
+// "shard-<shard>/replica-<replica>/serve/<retailer>" for reads and
+// "shard-<shard>/replica-<replica>/load/gen-<generation>" for bulk loads.
+// A nil injector yields a nil plan.
+func (in *Injector) ReplicaPlan() ReplicaPlanFunc {
+	if in == nil {
+		return nil
+	}
+	return func(path string) (ReplicaFault, time.Duration) {
+		rs := in.match(OpReplica, path, Error, Crash, Stall)
+		if rs == nil {
+			return ReplicaOK, 0
+		}
+		switch rs.Kind {
+		case Crash:
+			return ReplicaCrash, rs.Delay
+		case Stall:
+			return ReplicaStall, rs.Delay
+		default:
+			return ReplicaFail, rs.Delay
 		}
 	}
 }

@@ -199,10 +199,20 @@ type tenantHealth struct {
 	quarantinedDay int // day the tenant entered quarantine
 }
 
+// Publisher receives the pipeline's output: one immutable snapshot per
+// day, plus the day's MapReduce counters. The single-node serving.Server
+// implements it, and so does the sharded store — the pipeline doesn't care
+// whether publish means an in-process pointer swap or a fleet-wide
+// segment bulk-load.
+type Publisher interface {
+	Publish(*serving.Snapshot)
+	AddJobCounters(mapreduce.Counters)
+}
+
 // Pipeline runs the daily cycle for a fleet of tenants.
 type Pipeline struct {
 	fs     *dfs.FS
-	server *serving.Server
+	server Publisher
 	opts   Options
 
 	// discardedCkpts counts garbled or unreadable checkpoints that were
@@ -222,7 +232,7 @@ type Pipeline struct {
 
 // New creates a pipeline writing to fs and publishing to server (server
 // may be nil if only training is wanted).
-func New(fs *dfs.FS, server *serving.Server, opts Options) *Pipeline {
+func New(fs *dfs.FS, server Publisher, opts Options) *Pipeline {
 	return &Pipeline{
 		fs:          fs,
 		server:      server,

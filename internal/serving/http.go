@@ -10,10 +10,35 @@ import (
 
 	"sigmund/internal/catalog"
 	"sigmund/internal/interactions"
+	"sigmund/internal/mapreduce"
 	"sigmund/internal/obs"
 )
 
-// NewHandler exposes the server over HTTP:
+// Backend is the serving surface the HTTP handler needs: the single-node
+// Server implements it, and so does the sharded store's router, so a
+// process can swap one for the other without touching the HTTP layer.
+type Backend interface {
+	Recommend(r catalog.RetailerID, ctx interactions.Context, k int) []Recommendation
+	Version() int64
+	Stats() (requests, fallbacks, misses int64)
+	StaleServes() int64
+	TenantStatuses() map[catalog.RetailerID]TenantStatus
+	JobCounters() mapreduce.Counters
+	Observer() *obs.Observer
+}
+
+// StatzExtension is an optional Backend extension: extra top-level blocks
+// merged into the /statz document (e.g. the sharded store's per-shard
+// replica health).
+type StatzExtension interface {
+	StatzBlocks() map[string]any
+}
+
+// NewHandler exposes a single-node server over HTTP. See NewBackendHandler
+// for the endpoints.
+func NewHandler(s *Server) http.Handler { return NewBackendHandler(s) }
+
+// NewBackendHandler exposes any serving backend over HTTP:
 //
 //	GET /recommend?retailer=shop-1&context=view:3,search:17,cart:9&k=10
 //	GET /healthz
@@ -24,7 +49,7 @@ import (
 // The context parameter lists the user's recent actions oldest-first as
 // type:itemID pairs (types: view, search, cart, conversion). Responses are
 // JSON.
-func NewHandler(s *Server) http.Handler {
+func NewBackendHandler(s Backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
 		retailer := catalog.RetailerID(r.URL.Query().Get("retailer"))
@@ -124,18 +149,28 @@ func NewHandler(s *Server) http.Handler {
 			SpeculativeWins:     jc.SpeculativeWins,
 			WorkersBlacklisted:  jc.WorkersBlacklisted,
 		}
+		doc := map[string]any{
+			"version":      version,
+			"requests":     req,
+			"fallbacks":    fb,
+			"misses":       miss,
+			"stale_serves": s.StaleServes(),
+			"tenants":      tenants,
+			"mapreduce":    mr,
+		}
+		if len(degraded) > 0 {
+			doc["degraded"] = degraded
+		}
+		if len(quarantined) > 0 {
+			doc["quarantined"] = quarantined
+		}
+		if ext, ok := s.(StatzExtension); ok {
+			for name, block := range ext.StatzBlocks() {
+				doc[name] = block
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(struct {
-			Version     int64                  `json:"version"`
-			Requests    int64                  `json:"requests"`
-			Fallbacks   int64                  `json:"fallbacks"`
-			Misses      int64                  `json:"misses"`
-			StaleServes int64                  `json:"stale_serves"`
-			Degraded    []string               `json:"degraded,omitempty"`
-			Quarantined []string               `json:"quarantined,omitempty"`
-			Tenants     map[string]tenantStatz `json:"tenants"`
-			MapReduce   mapreduceStatz         `json:"mapreduce"`
-		}{version, req, fb, miss, s.StaleServes(), degraded, quarantined, tenants, mr})
+		json.NewEncoder(w).Encode(doc)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		reg := s.Observer().Reg()

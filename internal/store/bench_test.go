@@ -1,0 +1,57 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sigmund/internal/dfs"
+)
+
+// BenchmarkServeRouted measures the routed read path — ring lookup,
+// replica selection, fanout bookkeeping, and the embedded replica serve —
+// with instantaneous replicas, so the number is pure router overhead.
+// Each iteration pushes a fixed batch of requests through concurrent
+// clients (single requests are too small to time stably at -benchtime=1x).
+// scripts/benchcheck compares ns/op against BENCH_store.json in CI.
+func BenchmarkServeRouted(b *testing.B) {
+	const (
+		clients  = 8
+		requests = 10_000
+	)
+	run := func(b *testing.B, st *Store) {
+		b.Helper()
+		retailers := testRetailers(64)
+		st.Publish(testSnapshot(1, retailers...))
+		if err := st.PublishErr(); err != nil {
+			b.Fatalf("publish: %v", err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := 0; j < requests/clients; j++ {
+						if _, _, _, err := st.Serve(retailers[(c*13+j)%len(retailers)], viewCtx(), 5); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+	}
+	b.Run("routed-4x2-10k", func(b *testing.B) {
+		st := New(dfs.New(), Options{Shards: 4, Replicas: 2, CacheSize: -1, HedgeAfter: time.Second})
+		defer st.Close()
+		run(b, st)
+	})
+	b.Run("routed-cached-10k", func(b *testing.B) {
+		st := New(dfs.New(), Options{Shards: 4, Replicas: 2, CacheSize: 4096, HedgeAfter: time.Second})
+		defer st.Close()
+		run(b, st)
+	})
+}

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/serving"
+)
+
+// lruCache is the router's hot-key cache: head queries (popular retailer ×
+// context pairs, zipf-distributed in practice) answer without touching a
+// replica. Keys embed the shard's committed generation, so a publish
+// naturally invalidates: new-generation keys miss and the old entries age
+// out of the LRU.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits int64 // counted under mu; read via stats()
+}
+
+type cacheEntry struct {
+	key  string
+	recs []serving.Recommendation
+	src  serving.Source
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// get returns a cached answer, promoting the entry. A nil cache misses.
+func (c *lruCache) get(key string) ([]serving.Recommendation, serving.Source, bool) {
+	if c == nil {
+		return nil, serving.SourceNone, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, serving.SourceNone, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	e := el.Value.(*cacheEntry)
+	return e.recs, e.src, true
+}
+
+// put stores an answer, evicting the coldest entry past capacity.
+func (c *lruCache) put(key string, recs []serving.Recommendation, src serving.Source) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.recs, e.src = recs, src
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, recs: recs, src: src})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns (entries, hits).
+func (c *lruCache) stats() (int, int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.hits
+}
+
+// cacheKey renders a request into its cache identity. The generation
+// prefix scopes entries to one published snapshot.
+func cacheKey(gen int64, r catalog.RetailerID, uctx interactions.Context, k int) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatInt(gen, 10))
+	b.WriteByte('|')
+	b.WriteString(string(r))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(k))
+	for _, a := range uctx {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(int(a.Type)))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(a.Item)))
+	}
+	return b.String()
+}

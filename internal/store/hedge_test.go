@@ -1,0 +1,189 @@
+package store
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+)
+
+// slowPrimaryStore builds a 1-shard, 2-replica store where replica 0
+// stalls every serve for stall; hedged reads should race past it to
+// replica 1.
+func slowPrimaryStore(t *testing.T, stall, hedgeAfter time.Duration) *Store {
+	t.Helper()
+	inj := faults.NewInjector(1, faults.Rule{
+		Ops: []faults.Op{faults.OpReplica}, PathContains: "replica-0/serve",
+		Kind: faults.Stall, Prob: 1, Delay: stall,
+	})
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 1, Replicas: 2, CacheSize: -1, Faults: inj, HedgeAfter: hedgeAfter})
+	st.Publish(testSnapshot(1, "shop-a"))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	return st
+}
+
+// TestHedgedReadBeatsSlowReplica: with the primary stalled far past the
+// hedge threshold, requests complete at hedge speed, not stall speed.
+func TestHedgedReadBeatsSlowReplica(t *testing.T) {
+	st := slowPrimaryStore(t, 300*time.Millisecond, 2*time.Millisecond)
+	defer st.Close()
+	// Replica selection rotates, so half the reads pick the slow replica
+	// first; every one of those must be rescued by its hedge.
+	start := time.Now()
+	const reads = 10
+	for i := 0; i < reads; i++ {
+		if _, _, _, err := st.Serve("shop-a", viewCtx(), 5); err != nil {
+			t.Fatalf("Serve %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("%d reads took %v — hedging is not racing past the stalled replica", reads, elapsed)
+	}
+	if st.Hedges() == 0 || st.HedgeWins() == 0 {
+		t.Fatalf("hedges=%d wins=%d, want both > 0", st.Hedges(), st.HedgeWins())
+	}
+}
+
+// TestHedgeLoserIsCancelled: when the hedge wins, the stalled primary's
+// request is cancelled through its context rather than left running to
+// completion.
+func TestHedgeLoserIsCancelled(t *testing.T) {
+	st := slowPrimaryStore(t, 5*time.Second, time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if _, _, _, err := st.Serve("shop-a", viewCtx(), 5); err != nil {
+			t.Fatalf("Serve %d: %v", i, err)
+		}
+	}
+	// Close cancels the root context and waits for every in-flight replica
+	// goroutine — with 5s stalls, finishing in test time proves the losers
+	// were cancelled, not waited for.
+	start := time.Now()
+	st.Close()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Close took %v — hedge losers were not cancelled", elapsed)
+	}
+	if n := st.Replica(0, 0).Cancelled(); n == 0 {
+		t.Fatal("slow replica recorded no cancelled requests")
+	}
+}
+
+// TestCloseDrainsGoroutines: the router leaks no goroutines — after Close,
+// everything fanout spawned is gone, even with requests stalled mid-read.
+func TestCloseDrainsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	st := slowPrimaryStore(t, 10*time.Second, time.Millisecond)
+	for i := 0; i < 50; i++ {
+		if _, _, _, err := st.Serve("shop-a", viewCtx(), 5); err != nil {
+			t.Fatalf("Serve %d: %v", i, err)
+		}
+	}
+	st.Close()
+	// GC of finished goroutines is asynchronous; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after Close — fanout leaked", before, runtime.NumGoroutine())
+}
+
+// TestNoHedgeUnderThreshold: fast replicas never trigger hedges when the
+// threshold is far above their latency.
+func TestNoHedgeUnderThreshold(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 1, Replicas: 2, CacheSize: -1, HedgeAfter: time.Second})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+	for i := 0; i < 50; i++ {
+		if _, _, _, err := st.Serve("shop-a", viewCtx(), 5); err != nil {
+			t.Fatalf("Serve %d: %v", i, err)
+		}
+	}
+	if st.Hedges() != 0 {
+		t.Fatalf("Hedges = %d with instantaneous replicas and a 1s threshold, want 0", st.Hedges())
+	}
+}
+
+// TestAdaptiveHedgeThresholdTracksLatency: with no fixed threshold the
+// router learns the p95 from observed latencies, floored at HedgeMin.
+func TestAdaptiveHedgeThresholdTracksLatency(t *testing.T) {
+	lw := newLatencyWindow(0.95, 500*time.Microsecond)
+	// Cold start: conservative default, not the floor.
+	if th := lw.threshold(); th < 2*time.Millisecond {
+		t.Fatalf("cold-start threshold %v, want >= 2ms", th)
+	}
+	for i := 0; i < 100; i++ {
+		lw.record(time.Duration(i%10+1) * time.Millisecond)
+	}
+	th := lw.threshold()
+	if th < 8*time.Millisecond || th > 11*time.Millisecond {
+		t.Fatalf("p95 of 1..10ms latencies = %v, want ~10ms", th)
+	}
+	// A uniformly fast workload clamps to the floor.
+	lw2 := newLatencyWindow(0.95, 500*time.Microsecond)
+	for i := 0; i < 100; i++ {
+		lw2.record(10 * time.Microsecond)
+	}
+	if th := lw2.threshold(); th != 500*time.Microsecond {
+		t.Fatalf("threshold %v for 10µs latencies, want the 500µs floor", th)
+	}
+}
+
+// TestRoutedThroughputScales is the capacity claim behind the sharded
+// store: with per-replica service time and single-request concurrency
+// modeling one machine, a 4x2 routed fleet sustains well over twice the
+// QPS of a single node at the same per-request latency.
+func TestRoutedThroughputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement; skipped in -short")
+	}
+	retailers := testRetailers(64)
+	run := func(shards, replicas int) float64 {
+		fs := dfs.New()
+		st := New(fs, Options{
+			Shards: shards, Replicas: replicas, CacheSize: -1,
+			ServeDelay: 2 * time.Millisecond, ReplicaConcurrency: 1,
+			HedgeAfter: 250 * time.Millisecond, // out of the way: measuring capacity, not tail rescue
+		})
+		defer st.Close()
+		st.Publish(testSnapshot(1, retailers...))
+		if err := st.PublishErr(); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		const clients = 32
+		const window = 400 * time.Millisecond
+		var served atomic.Int64
+		var stop atomic.Int64
+		done := make(chan struct{})
+		for c := 0; c < clients; c++ {
+			go func(c int) {
+				defer func() { done <- struct{}{} }()
+				for i := 0; stop.Load() == 0; i++ {
+					if _, _, _, err := st.Serve(retailers[(c*7+i)%len(retailers)], viewCtx(), 5); err == nil {
+						served.Add(1)
+					}
+				}
+			}(c)
+		}
+		time.Sleep(window)
+		stop.Add(1)
+		for c := 0; c < clients; c++ {
+			<-done
+		}
+		return float64(served.Load()) / window.Seconds()
+	}
+	single := run(1, 1)
+	routed := run(4, 2)
+	t.Logf("single-node: %.0f qps, routed 4x2: %.0f qps (%.1fx)", single, routed, routed/single)
+	if routed < 2*single {
+		t.Fatalf("routed store %.0f qps < 2x single-node %.0f qps", routed, single)
+	}
+}

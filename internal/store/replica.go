@@ -1,0 +1,229 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/interactions"
+	"sigmund/internal/obs"
+	"sigmund/internal/serving"
+)
+
+// Replica is one copy of a shard's data: an embedded single-node serving
+// engine holding the immutable segments of the shard's current generation.
+// Publishes are two-phase — prepare bulk-loads the next generation's
+// segments from the shared filesystem into a staged snapshot, commit swaps
+// it in atomically — so a failed load never tears the serving generation.
+//
+// A replica simulates one machine: an optional per-request service time
+// and a bounded concurrency gate model its capacity, and the fault plan
+// (faults.OpReplica) can crash it, stall it, or fail individual requests.
+type Replica struct {
+	shard, idx int
+	// srv reports into a private observer: replica-internal serving
+	// counters would collide across shards in the shared registry (every
+	// shard holds a different tenant subset); the store's own
+	// sigmund_store_* metrics carry the fleet-wide signal instead.
+	srv *serving.Server
+
+	gen  atomic.Int64 // generation currently being served
+	down atomic.Bool  // crashed (by chaos or Kill) until revived
+
+	mu      sync.Mutex
+	pending *serving.Snapshot // staged by prepare, swapped in by commit
+
+	plan  faults.ReplicaPlanFunc
+	delay time.Duration // simulated per-request service time
+	gate  chan struct{} // bounded concurrency (nil = unlimited)
+
+	// consecFails drives the router's health ordering: replicas failing
+	// repeatedly are tried last until a success clears them.
+	consecFails atomic.Int64
+	served      atomic.Int64
+	cancelled   atomic.Int64
+}
+
+func newReplica(shard, idx int, opts Options) *Replica {
+	rep := &Replica{
+		shard: shard,
+		idx:   idx,
+		srv:   serving.NewServerWithObs(obs.NewObserver()),
+		plan:  opts.Faults.ReplicaPlan(),
+		delay: opts.ServeDelay,
+	}
+	if opts.ReplicaConcurrency > 0 {
+		rep.gate = make(chan struct{}, opts.ReplicaConcurrency)
+	}
+	return rep
+}
+
+// errReplicaDown is returned by operations on a crashed replica.
+type errReplicaDown struct{ shard, idx int }
+
+func (e errReplicaDown) Error() string {
+	return fmt.Sprintf("store: replica %d/%d is down", e.shard, e.idx)
+}
+
+// Gen returns the generation the replica currently serves.
+func (rep *Replica) Gen() int64 { return rep.gen.Load() }
+
+// Down reports whether the replica is crashed.
+func (rep *Replica) Down() bool { return rep.down.Load() }
+
+// Kill crashes the replica: every operation fails until Revive.
+func (rep *Replica) Kill() { rep.down.Store(true) }
+
+// healthy reports whether the router should prefer this replica.
+func (rep *Replica) healthy() bool { return rep.consecFails.Load() < 3 }
+
+// Served and Cancelled report how many requests this replica answered and
+// how many were abandoned mid-flight by context cancellation (hedge
+// losers, Close).
+func (rep *Replica) Served() int64    { return rep.served.Load() }
+func (rep *Replica) Cancelled() int64 { return rep.cancelled.Load() }
+
+func (rep *Replica) servePath(r catalog.RetailerID) string {
+	return fmt.Sprintf("shard-%d/replica-%d/serve/%s", rep.shard, rep.idx, r)
+}
+
+func (rep *Replica) loadPath(gen int64) string {
+	return fmt.Sprintf("shard-%d/replica-%d/load/gen-%d", rep.shard, rep.idx, gen)
+}
+
+// get answers one request from the replica's current generation. It honors
+// ctx throughout — a hedge winner elsewhere cancels this replica's work —
+// and consults the fault plan first, so chaos rules can crash, stall, or
+// fail it.
+func (rep *Replica) get(ctx context.Context, r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, error) {
+	if rep.down.Load() {
+		rep.consecFails.Add(1)
+		return nil, serving.SourceNone, 0, errReplicaDown{rep.shard, rep.idx}
+	}
+	if rep.plan != nil {
+		switch fault, delay := rep.plan(rep.servePath(r)); fault {
+		case faults.ReplicaCrash:
+			rep.Kill()
+			rep.consecFails.Add(1)
+			return nil, serving.SourceNone, 0, errReplicaDown{rep.shard, rep.idx}
+		case faults.ReplicaStall:
+			// The replica is frozen, not dead: it answers after the stall
+			// unless the request was already won elsewhere.
+			if err := sleepCtx(ctx, delay); err != nil {
+				rep.cancelled.Add(1)
+				return nil, serving.SourceNone, 0, err
+			}
+		case faults.ReplicaFail:
+			rep.consecFails.Add(1)
+			return nil, serving.SourceNone, 0, fmt.Errorf("store: injected failure on replica %d/%d", rep.shard, rep.idx)
+		}
+	}
+	if rep.gate != nil {
+		select {
+		case rep.gate <- struct{}{}:
+			defer func() { <-rep.gate }()
+		case <-ctx.Done():
+			rep.cancelled.Add(1)
+			return nil, serving.SourceNone, 0, ctx.Err()
+		}
+	}
+	if rep.delay > 0 {
+		if err := sleepCtx(ctx, rep.delay); err != nil {
+			rep.cancelled.Add(1)
+			return nil, serving.SourceNone, 0, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		rep.cancelled.Add(1)
+		return nil, serving.SourceNone, 0, err
+	}
+	recs, src := rep.srv.RecommendWithSource(r, uctx, k)
+	rep.consecFails.Store(0)
+	rep.served.Add(1)
+	return recs, src, rep.srv.Version(), nil
+}
+
+// prepare bulk-loads the generation's segments for the given manifest
+// entries (already filtered to this replica's shard) and stages the result.
+// The currently served generation is untouched; a failure leaves the
+// replica serving exactly what it served before.
+func (rep *Replica) prepare(fs *dfs.FS, gen int64, entries []ManifestEntry) error {
+	if rep.down.Load() {
+		return errReplicaDown{rep.shard, rep.idx}
+	}
+	if rep.plan != nil {
+		switch fault, delay := rep.plan(rep.loadPath(gen)); fault {
+		case faults.ReplicaCrash:
+			rep.Kill()
+			return errReplicaDown{rep.shard, rep.idx}
+		case faults.ReplicaStall:
+			time.Sleep(delay)
+		case faults.ReplicaFail:
+			return fmt.Errorf("store: injected load failure on replica %d/%d", rep.shard, rep.idx)
+		}
+	}
+	snap := &serving.Snapshot{
+		Version:   gen,
+		Retailers: make(map[catalog.RetailerID]*serving.RetailerRecs, len(entries)),
+		Status:    make(map[catalog.RetailerID]*serving.TenantStatus, len(entries)),
+	}
+	for _, e := range entries {
+		data, err := fs.Read(e.Segment)
+		if err != nil {
+			return fmt.Errorf("store: replica %d/%d loading %s: %w", rep.shard, rep.idx, e.Retailer, err)
+		}
+		rr, err := DecodeSegment(data)
+		if err != nil {
+			return fmt.Errorf("store: replica %d/%d loading %s: %w", rep.shard, rep.idx, e.Retailer, err)
+		}
+		snap.Retailers[e.Retailer] = rr
+		snap.Status[e.Retailer] = e.status()
+	}
+	rep.mu.Lock()
+	rep.pending = snap
+	rep.mu.Unlock()
+	return nil
+}
+
+// commit atomically swaps the staged generation in. Committing without a
+// staged snapshot is a no-op (false).
+func (rep *Replica) commit(gen int64) bool {
+	rep.mu.Lock()
+	snap := rep.pending
+	rep.pending = nil
+	rep.mu.Unlock()
+	if snap == nil || snap.Version != gen {
+		return false
+	}
+	rep.srv.Publish(snap)
+	rep.gen.Store(gen)
+	return true
+}
+
+// abort drops any staged snapshot.
+func (rep *Replica) abort() {
+	rep.mu.Lock()
+	rep.pending = nil
+	rep.mu.Unlock()
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, returning ctx's error
+// in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

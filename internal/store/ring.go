@@ -1,0 +1,122 @@
+// Package store is Sigmund's sharded, replicated serving subsystem: the
+// production-shaped successor to the single-process serving.Server. The
+// daily pipeline still produces one immutable snapshot per generation
+// (Section V's batch-update model), but here the snapshot is split into
+// per-retailer segments written through the shared filesystem, bulk-loaded
+// by every replica of the owning shard, and swapped atomically per
+// generation. A front-end Router maps retailers to shards over a
+// consistent-hash ring, fans requests to replicas with hedged reads and
+// failover, sheds load past a bounded in-flight budget, and keeps a small
+// hot-key cache for head queries.
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping string keys (retailer IDs) to
+// shards. Each shard contributes VirtualNodes points on the ring so key
+// ranges stay balanced; points are derived deterministically from the seed,
+// so every process that builds the ring with the same parameters routes
+// identically — the property replicated routers depend on.
+//
+// Methods are not safe for concurrent mutation; the Store guards topology
+// changes with its own lock and Lookup is read-only after construction.
+type Ring struct {
+	seed   uint64
+	vnodes int
+	points []ringPoint // sorted by hash
+	shards map[int]bool
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring with shards numbered [0, shards) and the given
+// number of virtual nodes per shard (<= 0 takes the default 64).
+func NewRing(shards, vnodes int, seed uint64) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{seed: seed, vnodes: vnodes, shards: make(map[int]bool, shards)}
+	for s := 0; s < shards; s++ {
+		r.Add(s)
+	}
+	return r
+}
+
+// Add inserts a shard's virtual nodes. Adding an existing shard is a no-op.
+// Consistent hashing guarantees only keys now owned by the new shard move;
+// every other key keeps its old owner.
+func (r *Ring) Add(shard int) {
+	if r.shards[shard] {
+		return
+	}
+	r.shards[shard] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: r.pointHash(shard, v), shard: shard})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a shard's virtual nodes; its keys redistribute to the
+// ring's surviving shards and no other key moves.
+func (r *Ring) Remove(shard int) {
+	if !r.shards[shard] {
+		return
+	}
+	delete(r.shards, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Lookup returns the shard owning key (-1 on an empty ring).
+func (r *Ring) Lookup(key string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	h := r.keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].shard
+}
+
+// NumShards returns the number of shards on the ring.
+func (r *Ring) NumShards() int { return len(r.shards) }
+
+func (r *Ring) pointHash(shard, vnode int) uint64 {
+	return hash64(fmt.Sprintf("%d|shard-%d|vnode-%d", r.seed, shard, vnode))
+}
+
+func (r *Ring) keyHash(key string) uint64 {
+	return hash64(fmt.Sprintf("%d|key|%s", r.seed, key))
+}
+
+// hash64 is fnv64a with a splitmix64-style finalizer. The finalizer
+// matters: raw FNV of keys differing only in their trailing characters
+// (retailer-001, retailer-002, ...) yields hashes a few multiples of the
+// FNV prime apart — adjacent on a 2^64 ring whose points sit ~2^56 apart,
+// which parks entire sequential fleets on one shard. The avalanche step
+// spreads those neighbors across the whole ring.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("retailer-%03d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(4, 64, 42)
+	b := NewRing(4, 64, 42)
+	for _, k := range ringKeys(200) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("rings with identical parameters disagree on %q: %d vs %d", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+	c := NewRing(4, 64, 43)
+	diff := 0
+	for _, k := range ringKeys(200) {
+		if a.Lookup(k) != c.Lookup(k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical routing — seed is not feeding the hash")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(4, 64, 1)
+	counts := make([]int, 4)
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		s := r.Lookup(k)
+		if s < 0 || s >= 4 {
+			t.Fatalf("Lookup(%q) = %d, out of range", k, s)
+		}
+		counts[s]++
+	}
+	// Perfect balance is 1000 per shard; virtual nodes should keep every
+	// shard within a loose 3x band.
+	for s, c := range counts {
+		if c < 300 || c > 2200 {
+			t.Errorf("shard %d owns %d/%d keys — ring badly unbalanced: %v", s, c, len(keys), counts)
+		}
+	}
+
+	// Regression guard: a small fleet of sequential IDs (differing only in
+	// trailing digits) must still spread — raw FNV without a finalizer
+	// clusters such keys into one ring gap and parks them all on one shard.
+	small := make([]int, 4)
+	for _, k := range ringKeys(64) {
+		small[r.Lookup(k)]++
+	}
+	for s, c := range small {
+		if c == 0 {
+			t.Errorf("shard %d owns none of 64 sequential keys: %v", s, small)
+		}
+	}
+}
+
+// TestRingAddMovesOnlyNewKeys is the consistent-hashing contract: growing
+// the ring moves only the keys the new shard takes over; every other key
+// keeps its owner.
+func TestRingAddMovesOnlyNewKeys(t *testing.T) {
+	r := NewRing(4, 64, 7)
+	keys := ringKeys(2000)
+	before := make(map[string]int, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+	r.Add(4)
+	moved := 0
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if after != before[k] {
+			if after != 4 {
+				t.Fatalf("key %q moved %d -> %d, but only the new shard 4 may gain keys", k, before[k], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new shard received no keys")
+	}
+	// Expected share is 1/5 of the keyspace; assert a loose band.
+	if moved > len(keys)/2 {
+		t.Fatalf("adding one shard moved %d/%d keys — far more than its fair share", moved, len(keys))
+	}
+}
+
+// TestRingRemoveMovesOnlyOwnedKeys: shrinking the ring redistributes only
+// the removed shard's keys.
+func TestRingRemoveMovesOnlyOwnedKeys(t *testing.T) {
+	r := NewRing(5, 64, 7)
+	keys := ringKeys(2000)
+	before := make(map[string]int, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+	r.Remove(2)
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if after == 2 {
+			t.Fatalf("key %q still maps to removed shard 2", k)
+		}
+		if before[k] != 2 && after != before[k] {
+			t.Fatalf("key %q moved %d -> %d though its owner was not removed", k, before[k], after)
+		}
+	}
+	if r.NumShards() != 4 {
+		t.Fatalf("NumShards = %d after remove, want 4", r.NumShards())
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0, 64, 1)
+	if got := r.Lookup("anything"); got != -1 {
+		t.Fatalf("Lookup on empty ring = %d, want -1", got)
+	}
+}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/serving"
+)
+
+// Segments are the bulk-load unit of the store: one immutable file per
+// retailer per generation, written through the shared filesystem by the
+// publish phase and read back by every replica of the owning shard. A
+// degraded tenant gets no fresh segment; its manifest entry points at the
+// last good generation's file instead (stale carry-forward), so a replica
+// recovering later can still rebuild the full generation from the
+// filesystem alone.
+
+const segMagic = "SSEG"
+
+// EncodeSegment serializes one retailer's materialized recommendations.
+func EncodeSegment(rr *serving.RetailerRecs) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(segMagic)
+	var b4 [4]byte
+	// Items sorted by id so the encoding is byte-deterministic.
+	ids := make([]catalog.ItemID, 0, len(rr.Recs))
+	for id := range rr.Recs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(ids)))
+	buf.Write(b4[:])
+	for _, id := range ids {
+		payload := inference.EncodeItemRecs(rr.Recs[id])
+		binary.LittleEndian.PutUint32(b4[:], uint32(len(payload)))
+		buf.Write(b4[:])
+		buf.Write(payload)
+	}
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(rr.TopSellers)))
+	buf.Write(b4[:])
+	for _, id := range rr.TopSellers {
+		binary.LittleEndian.PutUint32(b4[:], uint32(id))
+		buf.Write(b4[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodeSegment reverses EncodeSegment.
+func DecodeSegment(data []byte) (*serving.RetailerRecs, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != segMagic {
+		return nil, fmt.Errorf("store: bad segment encoding (magic %q, err %v)", magic, err)
+	}
+	var b4 [4]byte
+	if _, err := io.ReadFull(r, b4[:]); err != nil {
+		return nil, fmt.Errorf("store: truncated segment header: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(b4[:]))
+	// Every item costs at least its 4-byte length prefix, so a count the
+	// remaining bytes cannot cover is corruption — reject it before
+	// allocating anything sized by it.
+	if n > r.Len()/4 {
+		return nil, fmt.Errorf("store: segment claims %d items in %d bytes", n, r.Len())
+	}
+	rr := &serving.RetailerRecs{Recs: make(map[catalog.ItemID]inference.ItemRecs, n)}
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return nil, fmt.Errorf("store: truncated segment at item %d: %w", i, err)
+		}
+		size := int(binary.LittleEndian.Uint32(b4[:]))
+		if size > r.Len() {
+			return nil, fmt.Errorf("store: segment item %d claims %d bytes, %d remain", i, size, r.Len())
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("store: truncated segment payload at item %d: %w", i, err)
+		}
+		ir, err := inference.DecodeItemRecs(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: decoding segment item %d: %w", i, err)
+		}
+		rr.Recs[ir.Item] = ir
+	}
+	if _, err := io.ReadFull(r, b4[:]); err != nil {
+		return nil, fmt.Errorf("store: truncated top-sellers header: %w", err)
+	}
+	k := int(binary.LittleEndian.Uint32(b4[:]))
+	if k > r.Len()/4 {
+		return nil, fmt.Errorf("store: segment claims %d top sellers in %d bytes", k, r.Len())
+	}
+	rr.TopSellers = make([]catalog.ItemID, 0, k)
+	for i := 0; i < k; i++ {
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return nil, fmt.Errorf("store: truncated top-sellers list: %w", err)
+		}
+		rr.TopSellers = append(rr.TopSellers, catalog.ItemID(binary.LittleEndian.Uint32(b4[:])))
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes in segment", r.Len())
+	}
+	return rr, nil
+}
+
+// Manifest describes one published generation: for every retailer, which
+// segment file holds its recommendations (possibly from an older
+// generation, for stale carry-forward) and its health metadata. The
+// manifest is the generation's authoritative file-system record — a
+// replica that missed the publish (crashed, partitioned) catches up by
+// re-reading it.
+type Manifest struct {
+	Generation int64           `json:"generation"`
+	Entries    []ManifestEntry `json:"entries"`
+}
+
+// ManifestEntry is one retailer's row in a generation manifest.
+type ManifestEntry struct {
+	Retailer catalog.RetailerID `json:"retailer"`
+	// Segment is the shared-filesystem path of the retailer's segment. For
+	// degraded tenants it points into an older generation's directory.
+	Segment string `json:"segment"`
+	// RecsVersion is the generation the segment was materialized in.
+	RecsVersion int64  `json:"recs_version"`
+	Degraded    bool   `json:"degraded,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Phase       string `json:"phase,omitempty"`
+}
+
+// EncodeManifest serializes a manifest with entries sorted by retailer.
+func EncodeManifest(m *Manifest) []byte {
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Retailer < m.Entries[j].Retailer })
+	data, err := json.Marshal(m)
+	if err != nil {
+		// Manifest contains only marshalable fields; this is a bug.
+		panic(fmt.Sprintf("store: encoding manifest: %v", err))
+	}
+	return data
+}
+
+// DecodeManifest reverses EncodeManifest.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: decoding manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// status converts a manifest entry into the serving layer's per-tenant
+// health record.
+func (e ManifestEntry) status() *serving.TenantStatus {
+	return &serving.TenantStatus{
+		Degraded:      e.Degraded,
+		Quarantined:   e.Quarantined,
+		DegradedPhase: e.Phase,
+		RecsVersion:   e.RecsVersion,
+	}
+}
+
+// Shared-filesystem layout: everything for one generation lives under one
+// prefix so rollback and GC are prefix operations.
+
+func genPrefix(gen int64) string {
+	return fmt.Sprintf("store/gen-%d/", gen)
+}
+
+func segmentPath(gen int64, r catalog.RetailerID) string {
+	return fmt.Sprintf("store/gen-%d/seg/%s", gen, r)
+}
+
+func manifestPath(gen int64) string {
+	return fmt.Sprintf("store/gen-%d/MANIFEST", gen)
+}

@@ -1,0 +1,906 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/interactions"
+	"sigmund/internal/linalg"
+	"sigmund/internal/mapreduce"
+	"sigmund/internal/obs"
+	"sigmund/internal/retry"
+	"sigmund/internal/serving"
+)
+
+// Options configures a Store. The zero value takes Defaulted's settings.
+type Options struct {
+	// Shards is the number of consistent-hash shards; Replicas is the
+	// number of copies of each shard's data.
+	Shards   int
+	Replicas int
+	// VirtualNodes per shard on the hash ring (more = smoother balance).
+	VirtualNodes int
+
+	// HedgeAfter is the fixed latency threshold after which the router
+	// issues a hedged read to a second replica. 0 selects the adaptive
+	// threshold: the HedgePercentile of a sliding window of observed
+	// request latencies, floored at HedgeMin.
+	HedgeAfter      time.Duration
+	HedgePercentile float64
+	HedgeMin        time.Duration
+
+	// MaxInflight bounds concurrently running requests; beyond it the
+	// router sheds instead of queueing (counted, fast-failing).
+	MaxInflight int
+	// CacheSize is the hot-key LRU capacity (0 = default 1024, < 0
+	// disables).
+	CacheSize int
+
+	// ServeDelay simulates per-request service time at a replica, and
+	// ReplicaConcurrency bounds a replica's concurrent requests — together
+	// they model single-machine capacity for load experiments (cmd/loadgen)
+	// and keep the routed-vs-single comparison honest. Zero values mean
+	// instantaneous, unbounded replicas.
+	ServeDelay         time.Duration
+	ReplicaConcurrency int
+
+	// Faults optionally injects replica-scoped chaos (faults.OpReplica:
+	// crash, stall, flake) into serves and bulk loads.
+	Faults *faults.Injector
+	// Retry is the backoff policy for segment and manifest writes during
+	// publish (the shared filesystem can fail transiently).
+	Retry retry.Policy
+	// KeepGenerations retains this many generations of segment files for
+	// replica catch-up; older unreferenced files are garbage-collected
+	// after each publish.
+	KeepGenerations int
+
+	// Obs is the observability surface (sigmund_store_* metrics). nil gets
+	// a private observer.
+	Obs *obs.Observer
+
+	Seed uint64
+}
+
+// Defaulted fills zero fields.
+func (o Options) Defaulted() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = 64
+	}
+	if o.HedgePercentile <= 0 || o.HedgePercentile >= 1 {
+		o.HedgePercentile = 0.95
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = 500 * time.Microsecond
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4096
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.KeepGenerations <= 0 {
+		o.KeepGenerations = 2
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewObserver()
+	}
+	o.Retry = o.Retry.Defaulted()
+	return o
+}
+
+// The store is a drop-in serving backend for the HTTP layer.
+var (
+	_ serving.Backend        = (*Store)(nil)
+	_ serving.StatzExtension = (*Store)(nil)
+)
+
+// ErrShed is returned when the router's in-flight budget is exhausted.
+var ErrShed = errors.New("store: load shed (in-flight budget exhausted)")
+
+// ErrClosed is returned by requests after Close.
+var ErrClosed = errors.New("store: closed")
+
+// errNoReplicas is returned when a shard has no live replica at the
+// committed generation.
+var errNoReplicas = errors.New("store: no live replica for shard")
+
+// shard groups one key range's replicas.
+type shard struct {
+	id int
+	// gen is the shard's committed generation: the router only reads from
+	// replicas at or past it, so a shard never serves a mix of generations
+	// that includes anything older than its last commit.
+	gen atomic.Int64
+	rr  atomic.Uint64 // rotation cursor for replica selection
+
+	mu       sync.RWMutex
+	replicas []*Replica
+}
+
+// order returns the replicas eligible for a read — live and at (or past)
+// the shard's committed generation — healthy ones first, rotated for
+// balance.
+func (sh *shard) order() []*Replica {
+	gen := sh.gen.Load()
+	sh.mu.RLock()
+	reps := sh.replicas
+	n := len(reps)
+	start := int(sh.rr.Add(1)) % n
+	healthy := make([]*Replica, 0, n)
+	var suspect []*Replica
+	for i := 0; i < n; i++ {
+		rep := reps[(start+i)%n]
+		if rep.Down() || rep.Gen() < gen {
+			continue
+		}
+		if rep.healthy() {
+			healthy = append(healthy, rep)
+		} else {
+			suspect = append(suspect, rep)
+		}
+	}
+	sh.mu.RUnlock()
+	return append(healthy, suspect...)
+}
+
+// Store is the sharded, replicated serving store plus its front-end
+// router. It implements the same serving surface as serving.Server
+// (serving.Backend), so the HTTP handler, the service facade, and the
+// pipeline's publish phase work against either interchangeably.
+type Store struct {
+	fs   *dfs.FS
+	opts Options
+	ring *Ring
+
+	shards []*shard
+
+	// pubMu serializes publishes; stateMu guards the committed manifest.
+	pubMu   sync.Mutex
+	stateMu sync.RWMutex
+	gen     int64
+	man     *Manifest
+	lastSeg map[catalog.RetailerID]ManifestEntry
+	pubErr  error
+
+	rootCtx  context.Context
+	cancel   context.CancelFunc
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+
+	cache *lruCache
+	lat   *latencyWindow
+
+	requests    atomic.Int64
+	fallbacks   atomic.Int64
+	misses      atomic.Int64
+	staleServes atomic.Int64
+	hedges      atomic.Int64
+	hedgeWins   atomic.Int64
+	failovers   atomic.Int64
+	shed        atomic.Int64
+	publishes   atomic.Int64
+	rollbacks   atomic.Int64
+
+	jobMu       sync.Mutex
+	jobCounters mapreduce.Counters
+
+	m storeMetrics
+}
+
+// storeMetrics are the sigmund_store_* registry handles. Shard indices are
+// bounded and numeric, so — unlike tenant IDs — they are safe as labels.
+type storeMetrics struct {
+	requests  []*obs.Counter // per shard
+	hedges    []*obs.Counter
+	failovers []*obs.Counter
+	healthy   []*obs.Gauge
+	replicas  []*obs.Gauge
+
+	hedgeWins  *obs.Counter
+	shed       *obs.Counter
+	cacheHits  *obs.Counter
+	publishes  *obs.Counter
+	rollbacks  *obs.Counter
+	generation *obs.Gauge
+
+	requestSeconds *obs.Histogram
+	publishSeconds *obs.Histogram
+	loadSeconds    *obs.Histogram
+}
+
+func newStoreMetrics(reg *obs.Registry, shards int) storeMetrics {
+	m := storeMetrics{
+		hedgeWins:  reg.Counter("sigmund_store_hedge_wins_total", "Hedged reads that answered before the primary."),
+		shed:       reg.Counter("sigmund_store_shed_total", "Requests shed at the in-flight budget."),
+		cacheHits:  reg.Counter("sigmund_store_cache_hits_total", "Requests answered from the router's hot-key cache."),
+		publishes:  reg.Counter("sigmund_store_publishes_total", "Generations published to the store.", obs.L("outcome", "committed")),
+		rollbacks:  reg.Counter("sigmund_store_publishes_total", "Generations published to the store.", obs.L("outcome", "rolled_back")),
+		generation: reg.Gauge("sigmund_store_generation", "Last committed store generation."),
+		requestSeconds: reg.Histogram("sigmund_store_request_seconds",
+			"End-to-end routed request latency.", obs.DurationBuckets()),
+		publishSeconds: reg.Histogram("sigmund_store_publish_seconds",
+			"Wall time of one generation publish (segments + loads + swap).", obs.DurationBuckets()),
+		loadSeconds: reg.Histogram("sigmund_store_segment_load_seconds",
+			"Wall time of one replica's bulk load of a generation.", obs.DurationBuckets()),
+	}
+	for s := 0; s < shards; s++ {
+		l := obs.L("shard", strconv.Itoa(s))
+		m.requests = append(m.requests, reg.Counter("sigmund_store_requests_total", "Routed requests, by shard.", l))
+		m.hedges = append(m.hedges, reg.Counter("sigmund_store_hedges_total", "Hedged reads issued, by shard.", l))
+		m.failovers = append(m.failovers, reg.Counter("sigmund_store_failovers_total", "Failover attempts after a replica error, by shard.", l))
+		m.healthy = append(m.healthy, reg.Gauge("sigmund_store_replicas_healthy", "Live replicas at the committed generation, by shard.", l))
+		m.replicas = append(m.replicas, reg.Gauge("sigmund_store_replicas", "Configured replicas, by shard.", l))
+	}
+	return m
+}
+
+// New builds a store over the shared filesystem: Shards × Replicas empty
+// replicas behind a consistent-hash router. Publish loads them.
+func New(fs *dfs.FS, opts Options) *Store {
+	opts = opts.Defaulted()
+	st := &Store{
+		fs:      fs,
+		opts:    opts,
+		ring:    NewRing(opts.Shards, opts.VirtualNodes, opts.Seed),
+		lastSeg: map[catalog.RetailerID]ManifestEntry{},
+		cache:   newLRUCache(opts.CacheSize),
+		lat:     newLatencyWindow(opts.HedgePercentile, opts.HedgeMin),
+		m:       newStoreMetrics(opts.Obs.Reg(), opts.Shards),
+	}
+	st.rootCtx, st.cancel = context.WithCancel(context.Background())
+	for s := 0; s < opts.Shards; s++ {
+		sh := &shard{id: s}
+		for i := 0; i < opts.Replicas; i++ {
+			sh.replicas = append(sh.replicas, newReplica(s, i, opts))
+		}
+		st.shards = append(st.shards, sh)
+	}
+	st.refreshReplicaGauges()
+	return st
+}
+
+// Observer returns the store's observability surface.
+func (st *Store) Observer() *obs.Observer { return st.opts.Obs }
+
+// NumShards returns the shard count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// ShardFor returns the shard index owning a retailer.
+func (st *Store) ShardFor(r catalog.RetailerID) int { return st.ring.Lookup(string(r)) }
+
+// Replica returns one replica (for tests and chaos drivers).
+func (st *Store) Replica(shardID, idx int) *Replica {
+	sh := st.shards[shardID]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.replicas[idx]
+}
+
+// NumReplicas returns a shard's replica count.
+func (st *Store) NumReplicas(shardID int) int {
+	sh := st.shards[shardID]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.replicas)
+}
+
+// KillReplica crashes one replica (requests fail over around it).
+func (st *Store) KillReplica(shardID, idx int) {
+	st.Replica(shardID, idx).Kill()
+	st.refreshReplicaGauges()
+}
+
+// ReviveReplica brings a crashed replica back: it catches up to the
+// shard's committed generation from the filesystem manifest before taking
+// traffic again, so a revived replica can never serve a stale generation.
+func (st *Store) ReviveReplica(shardID, idx int) error {
+	rep := st.Replica(shardID, idx)
+	rep.down.Store(false)
+	rep.consecFails.Store(0)
+	err := st.catchUp(st.shards[shardID], rep)
+	st.refreshReplicaGauges()
+	return err
+}
+
+// AddReplica grows a shard by one replica, bulk-loading the committed
+// generation before it joins the rotation.
+func (st *Store) AddReplica(shardID int) (*Replica, error) {
+	sh := st.shards[shardID]
+	sh.mu.Lock()
+	rep := newReplica(shardID, len(sh.replicas), st.opts)
+	sh.replicas = append(sh.replicas, rep)
+	sh.mu.Unlock()
+	err := st.catchUp(sh, rep)
+	st.refreshReplicaGauges()
+	return rep, err
+}
+
+// catchUp loads the shard's committed generation into a (re)joining
+// replica. With no committed manifest yet the replica is already current.
+func (st *Store) catchUp(sh *shard, rep *Replica) error {
+	st.stateMu.RLock()
+	man := st.man
+	st.stateMu.RUnlock()
+	gen := sh.gen.Load()
+	if man == nil || gen == 0 {
+		rep.gen.Store(gen)
+		return nil
+	}
+	if man.Generation != gen {
+		// The shard lags the fleet (it missed a publish wholesale); load
+		// its generation's manifest from the filesystem.
+		data, err := st.fs.Read(manifestPath(gen))
+		if err != nil {
+			return fmt.Errorf("store: catch-up manifest for shard %d: %w", sh.id, err)
+		}
+		if man, err = DecodeManifest(data); err != nil {
+			return fmt.Errorf("store: catch-up manifest for shard %d: %w", sh.id, err)
+		}
+	}
+	if err := rep.prepare(st.fs, gen, st.shardEntries(man, sh.id)); err != nil {
+		return err
+	}
+	rep.commit(gen)
+	return nil
+}
+
+// shardEntries filters a manifest down to the retailers a shard owns.
+func (st *Store) shardEntries(man *Manifest, shardID int) []ManifestEntry {
+	var out []ManifestEntry
+	for _, e := range man.Entries {
+		if st.ring.Lookup(string(e.Retailer)) == shardID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (st *Store) refreshReplicaGauges() {
+	for s, sh := range st.shards {
+		gen := sh.gen.Load()
+		sh.mu.RLock()
+		total := len(sh.replicas)
+		live := 0
+		for _, rep := range sh.replicas {
+			if !rep.Down() && rep.Gen() >= gen {
+				live++
+			}
+		}
+		sh.mu.RUnlock()
+		st.m.replicas[s].Set(float64(total))
+		st.m.healthy[s].Set(float64(live))
+	}
+}
+
+// --- Publish: batch bulk-load of one generation ---
+
+// Publish writes the snapshot as immutable per-retailer segments through
+// the shared filesystem, bulk-loads them into every live replica
+// (two-phase per shard), and swaps generations atomically. Degraded
+// tenants with no fresh recommendations carry their last good segment
+// forward via the manifest. On any storage failure the whole generation
+// rolls back — the store never serves a torn generation — and the error is
+// retained for PublishErr.
+//
+// Publish satisfies the serving.Server publish contract so the pipeline
+// can publish to either backend.
+func (st *Store) Publish(snap *serving.Snapshot) {
+	if err := st.PublishGeneration(snap); err != nil {
+		st.stateMu.Lock()
+		st.pubErr = err
+		st.stateMu.Unlock()
+	}
+}
+
+// PublishErr returns the most recent failed publish's error (nil after a
+// successful publish).
+func (st *Store) PublishErr() error {
+	st.stateMu.RLock()
+	defer st.stateMu.RUnlock()
+	return st.pubErr
+}
+
+// PublishGeneration is Publish with the error surfaced.
+func (st *Store) PublishGeneration(snap *serving.Snapshot) error {
+	st.pubMu.Lock()
+	defer st.pubMu.Unlock()
+	start := time.Now()
+	gen := snap.Version
+
+	// 1. Write fresh segments. Any failure past the retry budget rolls the
+	// whole generation back: replicas never observed it.
+	var entries []ManifestEntry
+	rollback := func(err error) error {
+		st.fs.DeletePrefix(genPrefix(gen))
+		st.rollbacks.Add(1)
+		st.m.rollbacks.Inc()
+		return err
+	}
+	for _, r := range sortedRetailers(snap.Retailers) {
+		path := segmentPath(gen, r)
+		if err := st.writeWithRetry(path, EncodeSegment(snap.Retailers[r])); err != nil {
+			return rollback(fmt.Errorf("store: writing segment for %s: %w", r, err))
+		}
+		e := ManifestEntry{Retailer: r, Segment: path, RecsVersion: gen}
+		if ts := snap.Status[r]; ts != nil {
+			e.Degraded = ts.Degraded
+			e.Quarantined = ts.Quarantined
+			e.Phase = ts.DegradedPhase
+		}
+		entries = append(entries, e)
+	}
+	// 2. Carry forward degraded tenants without fresh data: their manifest
+	// entry keeps pointing at the last good generation's segment.
+	st.stateMu.RLock()
+	for r, ts := range snap.Status {
+		if snap.Retailers[r] != nil || ts == nil {
+			continue
+		}
+		prev, ok := st.lastSeg[r]
+		if !ok {
+			continue // nothing to serve, same as the single-node server
+		}
+		entries = append(entries, ManifestEntry{
+			Retailer:    r,
+			Segment:     prev.Segment,
+			RecsVersion: prev.RecsVersion,
+			Degraded:    ts.Degraded,
+			Quarantined: ts.Quarantined,
+			Phase:       ts.DegradedPhase,
+		})
+	}
+	st.stateMu.RUnlock()
+	man := &Manifest{Generation: gen, Entries: entries}
+	if err := st.writeWithRetry(manifestPath(gen), EncodeManifest(man)); err != nil {
+		return rollback(fmt.Errorf("store: writing manifest: %w", err))
+	}
+
+	// 3. Two-phase load per shard: prepare every live replica, commit the
+	// ones that staged successfully. A shard where no replica could load
+	// stays wholly on its previous generation — uniformly stale, never
+	// torn; it re-syncs on the next publish or via catch-up.
+	committedShards := 0
+	for _, sh := range st.shards {
+		mine := st.shardEntries(man, sh.id)
+		sh.mu.RLock()
+		reps := append([]*Replica(nil), sh.replicas...)
+		sh.mu.RUnlock()
+		var prepared []*Replica
+		for _, rep := range reps {
+			if rep.Down() {
+				continue
+			}
+			loadStart := time.Now()
+			if err := rep.prepare(st.fs, gen, mine); err != nil {
+				rep.abort()
+				continue
+			}
+			st.m.loadSeconds.Observe(time.Since(loadStart).Seconds())
+			prepared = append(prepared, rep)
+		}
+		if len(prepared) == 0 {
+			continue
+		}
+		for _, rep := range prepared {
+			rep.commit(gen)
+		}
+		sh.gen.Store(gen)
+		committedShards++
+	}
+	if committedShards == 0 {
+		return rollback(fmt.Errorf("store: no shard could load generation %d", gen))
+	}
+
+	// 4. Commit the store-level state and garbage-collect generations no
+	// manifest entry references anymore.
+	st.stateMu.Lock()
+	st.gen = gen
+	st.man = man
+	st.pubErr = nil
+	for _, e := range entries {
+		st.lastSeg[e.Retailer] = e
+	}
+	st.stateMu.Unlock()
+	st.gcGenerations(gen, man)
+
+	st.publishes.Add(1)
+	st.m.publishes.Inc()
+	st.m.generation.Set(float64(gen))
+	st.refreshReplicaGauges()
+	st.m.publishSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// gcGenerations deletes segment files older than the retention window that
+// the committed manifest no longer references.
+func (st *Store) gcGenerations(gen int64, man *Manifest) {
+	referenced := make(map[string]bool, len(man.Entries))
+	for _, e := range man.Entries {
+		referenced[e.Segment] = true
+	}
+	cutoff := gen - int64(st.opts.KeepGenerations)
+	for _, path := range st.fs.List("store/gen-") {
+		rest := strings.TrimPrefix(path, "store/gen-")
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			continue
+		}
+		g, err := strconv.ParseInt(rest[:slash], 10, 64)
+		if err != nil || g > cutoff || referenced[path] {
+			continue
+		}
+		st.fs.Delete(path)
+	}
+}
+
+func (st *Store) writeWithRetry(path string, data []byte) error {
+	rng := linalg.NewRNG(st.opts.Seed ^ hash64(path))
+	return retry.Do(context.Background(), st.opts.Retry, rng, func(int) error {
+		return st.fs.Write(path, data)
+	})
+}
+
+func sortedRetailers(m map[catalog.RetailerID]*serving.RetailerRecs) []catalog.RetailerID {
+	out := make([]catalog.RetailerID, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- Read path: route, hedge, fail over ---
+
+// Serve answers one request: cache, then the owning shard's replicas with
+// hedged reads (a second replica is tried after the latency threshold;
+// first response wins and the loser's context is cancelled) and failover
+// on error. It returns the generation that answered.
+func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, error) {
+	if st.closed.Load() {
+		return nil, serving.SourceNone, 0, ErrClosed
+	}
+	if k <= 0 {
+		k = 10
+	}
+	st.requests.Add(1)
+	if st.inflight.Add(1) > int64(st.opts.MaxInflight) {
+		st.inflight.Add(-1)
+		st.shed.Add(1)
+		st.m.shed.Inc()
+		return nil, serving.SourceNone, 0, ErrShed
+	}
+	defer st.inflight.Add(-1)
+
+	shardID := st.ring.Lookup(string(r))
+	if shardID < 0 {
+		st.misses.Add(1)
+		return nil, serving.SourceNone, 0, errNoReplicas
+	}
+	sh := st.shards[shardID]
+	st.m.requests[shardID].Inc()
+	gen := sh.gen.Load()
+
+	key := cacheKey(gen, r, uctx, k)
+	if recs, src, ok := st.cache.get(key); ok {
+		st.m.cacheHits.Inc()
+		st.countSource(r, src)
+		return recs, src, gen, nil
+	}
+
+	start := time.Now()
+	recs, src, served, err := st.fanout(sh, r, uctx, k)
+	if err != nil {
+		st.misses.Add(1)
+		return nil, serving.SourceNone, 0, err
+	}
+	st.lat.record(time.Since(start))
+	st.m.requestSeconds.Observe(time.Since(start).Seconds())
+	st.countSource(r, src)
+	if src != serving.SourceNone {
+		st.cache.put(cacheKey(served, r, uctx, k), recs, src)
+	}
+	return recs, src, served, nil
+}
+
+// countSource rolls a served answer into the router's fallback chain
+// counters, including stale-serve attribution from the manifest.
+func (st *Store) countSource(r catalog.RetailerID, src serving.Source) {
+	switch src {
+	case serving.SourceTopSellers:
+		st.fallbacks.Add(1)
+	case serving.SourceNone:
+		st.misses.Add(1)
+	}
+	if src != serving.SourceNone {
+		st.stateMu.RLock()
+		e, ok := st.lastSeg[r]
+		st.stateMu.RUnlock()
+		if ok && e.Degraded {
+			st.staleServes.Add(1)
+		}
+	}
+}
+
+// fanout races replicas for one request: primary first, a hedge after the
+// latency threshold, failover on error. The winner's response cancels
+// every loser via the shared context.
+func (st *Store) fanout(sh *shard, r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, error) {
+	order := sh.order()
+	if len(order) == 0 {
+		return nil, serving.SourceNone, 0, errNoReplicas
+	}
+	ctx, cancel := context.WithCancel(st.rootCtx)
+	defer cancel()
+
+	type result struct {
+		recs   []serving.Recommendation
+		src    serving.Source
+		gen    int64
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, len(order)) // buffered: losers never block
+	next := 0
+	launch := func(hedged bool) {
+		rep := order[next]
+		next++
+		st.wg.Add(1)
+		go func() {
+			defer st.wg.Done()
+			recs, src, gen, err := rep.get(ctx, r, uctx, k)
+			ch <- result{recs: recs, src: src, gen: gen, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+	outstanding := 1
+	threshold := st.hedgeThreshold()
+	timer := time.NewTimer(threshold)
+	defer timer.Stop()
+	var lastErr error
+	for {
+		select {
+		case <-st.rootCtx.Done():
+			return nil, serving.SourceNone, 0, ErrClosed
+		case <-timer.C:
+			if next < len(order) {
+				st.hedges.Add(1)
+				st.m.hedges[sh.id].Inc()
+				launch(true)
+				outstanding++
+				timer.Reset(threshold)
+			}
+		case res := <-ch:
+			if res.err == nil {
+				if res.hedged {
+					st.hedgeWins.Add(1)
+					st.m.hedgeWins.Inc()
+				}
+				return res.recs, res.src, res.gen, nil
+			}
+			lastErr = res.err
+			outstanding--
+			if next < len(order) {
+				st.failovers.Add(1)
+				st.m.failovers[sh.id].Inc()
+				launch(false)
+				outstanding++
+			} else if outstanding == 0 {
+				return nil, serving.SourceNone, 0, lastErr
+			}
+		}
+	}
+}
+
+func (st *Store) hedgeThreshold() time.Duration {
+	if st.opts.HedgeAfter > 0 {
+		return st.opts.HedgeAfter
+	}
+	return st.lat.threshold()
+}
+
+// Close rejects new requests, cancels every in-flight replica read, and
+// waits for their goroutines to drain.
+func (st *Store) Close() {
+	if st.closed.Swap(true) {
+		return
+	}
+	st.cancel()
+	st.wg.Wait()
+}
+
+// --- serving.Backend surface ---
+
+// Recommend answers from the routed store (nil on miss/shed, like the
+// single-node server).
+func (st *Store) Recommend(r catalog.RetailerID, uctx interactions.Context, k int) []serving.Recommendation {
+	recs, _ := st.RecommendWithSource(r, uctx, k)
+	return recs
+}
+
+// RecommendWithSource is Recommend plus the fallback rung that answered.
+func (st *Store) RecommendWithSource(r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source) {
+	recs, src, _, _ := st.Serve(r, uctx, k)
+	return recs, src
+}
+
+// Version returns the last committed generation.
+func (st *Store) Version() int64 {
+	st.stateMu.RLock()
+	defer st.stateMu.RUnlock()
+	return st.gen
+}
+
+// Stats reports router request counters (requests, fallbacks, misses).
+func (st *Store) Stats() (requests, fallbacks, misses int64) {
+	return st.requests.Load(), st.fallbacks.Load(), st.misses.Load()
+}
+
+// StaleServes reports requests answered from a degraded tenant's
+// carried-forward segment.
+func (st *Store) StaleServes() int64 { return st.staleServes.Load() }
+
+// Hedges, HedgeWins, Failovers, Shed, and Publishes report router health
+// counters.
+func (st *Store) Hedges() int64    { return st.hedges.Load() }
+func (st *Store) HedgeWins() int64 { return st.hedgeWins.Load() }
+func (st *Store) Failovers() int64 { return st.failovers.Load() }
+func (st *Store) Shed() int64      { return st.shed.Load() }
+func (st *Store) Publishes() (committed, rolledBack int64) {
+	return st.publishes.Load(), st.rollbacks.Load()
+}
+
+// TenantStatuses returns the committed manifest's per-retailer health.
+func (st *Store) TenantStatuses() map[catalog.RetailerID]serving.TenantStatus {
+	st.stateMu.RLock()
+	defer st.stateMu.RUnlock()
+	out := map[catalog.RetailerID]serving.TenantStatus{}
+	if st.man == nil {
+		return out
+	}
+	for _, e := range st.man.Entries {
+		out[e.Retailer] = *e.status()
+	}
+	return out
+}
+
+// AddJobCounters and JobCounters mirror the single-node server's
+// fleet-wide MapReduce counter accumulation for /statz.
+func (st *Store) AddJobCounters(c mapreduce.Counters) {
+	st.jobMu.Lock()
+	st.jobCounters.Add(c)
+	st.jobMu.Unlock()
+}
+
+func (st *Store) JobCounters() mapreduce.Counters {
+	st.jobMu.Lock()
+	defer st.jobMu.Unlock()
+	return st.jobCounters
+}
+
+// StatzBlocks contributes the "store" block to /statz: per-shard replica
+// health and generation, plus router counters.
+func (st *Store) StatzBlocks() map[string]any {
+	type replicaStatz struct {
+		Generation int64 `json:"generation"`
+		Down       bool  `json:"down"`
+		Healthy    bool  `json:"healthy"`
+		Served     int64 `json:"served"`
+		Cancelled  int64 `json:"cancelled"`
+	}
+	type shardStatz struct {
+		Generation int64          `json:"generation"`
+		Replicas   []replicaStatz `json:"replicas"`
+	}
+	st.refreshReplicaGauges()
+	shards := make([]shardStatz, len(st.shards))
+	for s, sh := range st.shards {
+		ss := shardStatz{Generation: sh.gen.Load()}
+		sh.mu.RLock()
+		for _, rep := range sh.replicas {
+			ss.Replicas = append(ss.Replicas, replicaStatz{
+				Generation: rep.Gen(),
+				Down:       rep.Down(),
+				Healthy:    rep.healthy(),
+				Served:     rep.Served(),
+				Cancelled:  rep.Cancelled(),
+			})
+		}
+		sh.mu.RUnlock()
+		shards[s] = ss
+	}
+	entries, hits := st.cache.stats()
+	committed, rolledBack := st.Publishes()
+	return map[string]any{"store": struct {
+		Generation   int64        `json:"generation"`
+		Shards       []shardStatz `json:"shards"`
+		Hedges       int64        `json:"hedges"`
+		HedgeWins    int64        `json:"hedge_wins"`
+		Failovers    int64        `json:"failovers"`
+		Shed         int64        `json:"shed"`
+		CacheEntries int          `json:"cache_entries"`
+		CacheHits    int64        `json:"cache_hits"`
+		Publishes    int64        `json:"publishes"`
+		Rollbacks    int64        `json:"rollbacks"`
+	}{st.Version(), shards, st.Hedges(), st.HedgeWins(), st.Failovers(), st.Shed(), entries, hits, committed, rolledBack}}
+}
+
+// latencyWindow tracks recent request latencies for the adaptive hedge
+// threshold: hedge after the window's configured percentile, floored at
+// min. Until enough samples arrive it returns a conservative default so
+// cold starts don't hedge every request.
+type latencyWindow struct {
+	mu     sync.Mutex
+	buf    []time.Duration
+	n, idx int
+	since  int
+	cached time.Duration
+	pct    float64
+	min    time.Duration
+}
+
+const latWindowSize = 512
+
+func newLatencyWindow(pct float64, min time.Duration) *latencyWindow {
+	return &latencyWindow{buf: make([]time.Duration, latWindowSize), pct: pct, min: min}
+}
+
+func (lw *latencyWindow) record(d time.Duration) {
+	lw.mu.Lock()
+	lw.buf[lw.idx] = d
+	lw.idx = (lw.idx + 1) % len(lw.buf)
+	if lw.n < len(lw.buf) {
+		lw.n++
+	}
+	lw.since++
+	if lw.since >= 64 || lw.cached == 0 {
+		lw.since = 0
+		lw.recalcLocked()
+	}
+	lw.mu.Unlock()
+}
+
+func (lw *latencyWindow) recalcLocked() {
+	if lw.n == 0 {
+		return
+	}
+	cp := make([]time.Duration, lw.n)
+	copy(cp, lw.buf[:lw.n])
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	p := cp[int(lw.pct*float64(lw.n-1))]
+	if p < lw.min {
+		p = lw.min
+	}
+	lw.cached = p
+}
+
+func (lw *latencyWindow) threshold() time.Duration {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.n < 20 {
+		// Cold start: a generous default so the first requests don't all
+		// hedge before the window has signal.
+		if d := 16 * lw.min; d > 2*time.Millisecond {
+			return d
+		}
+		return 2 * time.Millisecond
+	}
+	return lw.cached
+}

@@ -1,0 +1,370 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/interactions"
+	"sigmund/internal/retry"
+	"sigmund/internal/serving"
+)
+
+// testSnapshot builds a generation with a few items per retailer: item 0's
+// view list recommends items 1 and 2, so a "view:0" context answers from
+// the model, and an unmatched context falls back to top sellers.
+func testSnapshot(gen int64, retailers ...catalog.RetailerID) *serving.Snapshot {
+	per := map[catalog.RetailerID][]inference.ItemRecs{}
+	pop := map[catalog.RetailerID][]catalog.ItemID{}
+	for _, r := range retailers {
+		per[r] = []inference.ItemRecs{
+			{Item: 0, View: []hybrid.Scored{{Item: 1, Score: 0.9}, {Item: 2, Score: 0.8}},
+				Purchase: []hybrid.Scored{{Item: 2, Score: 0.7}}},
+			{Item: 1, View: []hybrid.Scored{{Item: 0, Score: 0.6}}},
+		}
+		pop[r] = []catalog.ItemID{1, 2, 0}
+	}
+	return serving.BuildSnapshot(gen, per, pop)
+}
+
+func viewCtx() interactions.Context {
+	return interactions.Context{{Type: interactions.View, Item: 0}}
+}
+
+func testRetailers(n int) []catalog.RetailerID {
+	out := make([]catalog.RetailerID, n)
+	for i := range out {
+		out[i] = catalog.RetailerID(fmt.Sprintf("retailer-%03d", i))
+	}
+	return out
+}
+
+// fastRetry keeps rollback tests quick: the write either succeeds or the
+// publish gives up within a couple of milliseconds.
+var fastRetry = retry.Policy{Attempts: 2, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond, Multiplier: 1}
+
+func TestPublishAndServe(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 4, Replicas: 2, CacheSize: -1})
+	defer st.Close()
+	retailers := testRetailers(20)
+	st.Publish(testSnapshot(1, retailers...))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish failed: %v", err)
+	}
+	if got := st.Version(); got != 1 {
+		t.Fatalf("Version = %d, want 1", got)
+	}
+	for _, r := range retailers {
+		recs, src, gen, err := st.Serve(r, viewCtx(), 5)
+		if err != nil {
+			t.Fatalf("Serve(%s): %v", r, err)
+		}
+		if src != serving.SourceModel {
+			t.Fatalf("Serve(%s) source = %v, want model", r, src)
+		}
+		if gen != 1 {
+			t.Fatalf("Serve(%s) answered from generation %d, want 1", r, gen)
+		}
+		if len(recs) == 0 || recs[0].Item != 1 {
+			t.Fatalf("Serve(%s) = %+v, want item 1 first", r, recs)
+		}
+	}
+	// Unmatched context falls back to top sellers, routed like any read.
+	if _, src, _, err := st.Serve(retailers[0], nil, 3); err != nil || src != serving.SourceTopSellers {
+		t.Fatalf("fallback read: src=%v err=%v, want top-sellers", src, err)
+	}
+	// Unknown retailers are a miss, not an error: the owning shard answers
+	// "no such tenant" exactly like the single-node server.
+	recs, src, _, err := st.Serve("never-registered", viewCtx(), 5)
+	if err != nil || recs != nil || src != serving.SourceNone {
+		t.Fatalf("unknown retailer: recs=%v src=%v err=%v, want nil/none/nil", recs, src, err)
+	}
+}
+
+func TestServeCacheHits(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 2, Replicas: 1, CacheSize: 64})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+	for i := 0; i < 10; i++ {
+		if _, _, _, err := st.Serve("shop-a", viewCtx(), 5); err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	}
+	if _, hits := st.cache.stats(); hits < 9 {
+		t.Fatalf("cache hits = %d after 10 identical reads, want >= 9", hits)
+	}
+	// A new generation changes the cache key, so the first read after a
+	// publish goes to a replica again.
+	st.Publish(testSnapshot(2, "shop-a"))
+	_, _, gen, err := st.Serve("shop-a", viewCtx(), 5)
+	if err != nil || gen != 2 {
+		t.Fatalf("post-publish read: gen=%d err=%v, want gen 2", gen, err)
+	}
+}
+
+func TestStaleCarryForward(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 2, Replicas: 2, CacheSize: -1})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a", "shop-b"))
+
+	// Day 2: shop-a's cycle failed — no fresh recommendations, degraded
+	// mark only. Its manifest entry must carry the gen-1 segment forward.
+	snap := testSnapshot(2, "shop-b")
+	snap.MarkDegraded("shop-a", "train", false)
+	st.Publish(snap)
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 2 failed: %v", err)
+	}
+	if st.Version() != 2 {
+		t.Fatalf("Version = %d, want 2", st.Version())
+	}
+	recs, src, _, err := st.Serve("shop-a", viewCtx(), 5)
+	if err != nil || src != serving.SourceModel || len(recs) == 0 {
+		t.Fatalf("degraded tenant read: recs=%v src=%v err=%v, want stale model recs", recs, src, err)
+	}
+	if st.StaleServes() == 0 {
+		t.Fatal("StaleServes = 0 after serving a degraded tenant")
+	}
+	sts := st.TenantStatuses()
+	if !sts["shop-a"].Degraded || sts["shop-a"].RecsVersion != 1 {
+		t.Fatalf("shop-a status = %+v, want degraded at recs version 1", sts["shop-a"])
+	}
+	if sts["shop-b"].Degraded || sts["shop-b"].RecsVersion != 2 {
+		t.Fatalf("shop-b status = %+v, want healthy at recs version 2", sts["shop-b"])
+	}
+}
+
+// TestPublishRollsBackOnWriteFailure: if the publish phase cannot get the
+// generation onto the shared filesystem, nothing of it survives — replicas
+// keep serving the previous generation and the partial directory is
+// removed.
+func TestPublishRollsBackOnWriteFailure(t *testing.T) {
+	inj := faults.NewInjector(1, faults.Rule{
+		Ops: []faults.Op{faults.OpWrite}, PathContains: "store/gen-2/", Kind: faults.Error, Prob: 1,
+	})
+	fs := dfs.New()
+	fs.SetInjector(inj)
+	st := New(fs, Options{Shards: 2, Replicas: 2, CacheSize: -1, Retry: fastRetry})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a", "shop-b"))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 1 failed: %v", err)
+	}
+
+	st.Publish(testSnapshot(2, "shop-a", "shop-b"))
+	if err := st.PublishErr(); err == nil {
+		t.Fatal("publish 2 succeeded despite every gen-2 write failing")
+	}
+	if st.Version() != 1 {
+		t.Fatalf("Version = %d after failed publish, want 1", st.Version())
+	}
+	for _, p := range fs.List("store/gen-2") {
+		t.Errorf("rolled-back generation left file %s behind", p)
+	}
+	_, _, gen, err := st.Serve("shop-a", viewCtx(), 5)
+	if err != nil || gen != 1 {
+		t.Fatalf("read after rollback: gen=%d err=%v, want gen 1", gen, err)
+	}
+	if _, rolledBack := st.Publishes(); rolledBack != 1 {
+		t.Fatalf("rolledBack = %d, want 1", rolledBack)
+	}
+}
+
+// TestFailoverOnReplicaError: a replica failing every serve is routed
+// around; requests still succeed and the failover counter moves.
+func TestFailoverOnReplicaError(t *testing.T) {
+	inj := faults.NewInjector(1, faults.Rule{
+		Ops: []faults.Op{faults.OpReplica}, PathContains: "replica-0/serve", Kind: faults.Error, Prob: 1,
+	})
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 1, Replicas: 2, CacheSize: -1, Faults: inj, HedgeAfter: time.Second})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+	for i := 0; i < 20; i++ {
+		if _, _, _, err := st.Serve("shop-a", viewCtx(), 5); err != nil {
+			t.Fatalf("Serve %d: %v", i, err)
+		}
+	}
+	if st.Failovers() == 0 {
+		t.Fatal("Failovers = 0 though replica 0 fails every serve")
+	}
+	// After enough consecutive failures the router stops preferring the
+	// bad replica, so failovers taper off rather than costing every read.
+	if rep := st.Replica(0, 0); rep.healthy() {
+		t.Fatal("replica 0 still marked healthy after persistent failures")
+	}
+}
+
+// TestAllReplicasDownFailsFast: with every replica of a shard gone the
+// request errors instead of hanging.
+func TestAllReplicasDownFailsFast(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 1, Replicas: 2, CacheSize: -1})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+	st.KillReplica(0, 0)
+	st.KillReplica(0, 1)
+	_, _, _, err := st.Serve("shop-a", viewCtx(), 5)
+	if !errors.Is(err, errNoReplicas) {
+		t.Fatalf("err = %v, want errNoReplicas", err)
+	}
+}
+
+// TestKillReviveCatchUp: a replica that missed a publish while down must
+// catch up to the committed generation before serving again.
+func TestKillReviveCatchUp(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 1, Replicas: 2, CacheSize: -1})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+	st.KillReplica(0, 0)
+	st.Publish(testSnapshot(2, "shop-a"))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 2 with one replica down: %v", err)
+	}
+	if g := st.Replica(0, 0).Gen(); g != 1 {
+		t.Fatalf("dead replica generation = %d, want 1 (missed the publish)", g)
+	}
+	if err := st.ReviveReplica(0, 0); err != nil {
+		t.Fatalf("ReviveReplica: %v", err)
+	}
+	if g := st.Replica(0, 0).Gen(); g != 2 {
+		t.Fatalf("revived replica generation = %d, want 2 after catch-up", g)
+	}
+	// And it serves gen-2 answers.
+	st.KillReplica(0, 1) // force routing to the revived replica
+	_, _, gen, err := st.Serve("shop-a", viewCtx(), 5)
+	if err != nil || gen != 2 {
+		t.Fatalf("read from revived replica: gen=%d err=%v, want 2", gen, err)
+	}
+}
+
+// TestAddReplicaBulkLoads: a replica added after a publish joins at the
+// committed generation.
+func TestAddReplicaBulkLoads(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 1, Replicas: 1, CacheSize: -1})
+	defer st.Close()
+	st.Publish(testSnapshot(3, "shop-a"))
+	rep, err := st.AddReplica(0)
+	if err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if rep.Gen() != 3 {
+		t.Fatalf("new replica generation = %d, want 3", rep.Gen())
+	}
+	if st.NumReplicas(0) != 2 {
+		t.Fatalf("NumReplicas = %d, want 2", st.NumReplicas(0))
+	}
+}
+
+// TestLoadShedding: past the in-flight budget requests fail fast with
+// ErrShed instead of queueing.
+func TestLoadShedding(t *testing.T) {
+	inj := faults.NewInjector(1, faults.Rule{
+		Ops: []faults.Op{faults.OpReplica}, PathContains: "serve", Kind: faults.Stall, Prob: 1, Delay: 200 * time.Millisecond,
+	})
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 1, Replicas: 1, CacheSize: -1, Faults: inj, MaxInflight: 2, HedgeAfter: time.Second})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+
+	var wg sync.WaitGroup
+	shedded := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _, err := st.Serve("shop-a", viewCtx(), 5)
+			shedded <- err
+		}()
+	}
+	wg.Wait()
+	close(shedded)
+	var sheds int
+	for err := range shedded {
+		if errors.Is(err, ErrShed) {
+			sheds++
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("no request shed with 8 concurrent reads against MaxInflight=2")
+	}
+	if st.Shed() != int64(sheds) {
+		t.Fatalf("Shed() = %d, want %d", st.Shed(), sheds)
+	}
+}
+
+// TestGCKeepsReferencedSegments: generation GC never deletes a segment the
+// committed manifest still points at (a degraded tenant's carried-forward
+// file), but does collect old unreferenced generations.
+func TestGCKeepsReferencedSegments(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 1, Replicas: 1, CacheSize: -1, KeepGenerations: 1})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a", "shop-b"))
+	for gen := int64(2); gen <= 5; gen++ {
+		snap := testSnapshot(gen, "shop-b")
+		snap.MarkDegraded("shop-a", "train", false)
+		st.Publish(snap)
+		if err := st.PublishErr(); err != nil {
+			t.Fatalf("publish %d: %v", gen, err)
+		}
+	}
+	// shop-a still serves its gen-1 segment through four stale publishes.
+	if !fs.Exists(segmentPath(1, "shop-a")) {
+		t.Fatal("GC deleted the carried-forward segment for shop-a")
+	}
+	recs, _, _, err := st.Serve("shop-a", viewCtx(), 5)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("stale read after GC: recs=%v err=%v", recs, err)
+	}
+	// shop-b's old generations are unreferenced and past retention.
+	if fs.Exists(segmentPath(2, "shop-b")) {
+		t.Fatal("GC kept an unreferenced, out-of-retention segment")
+	}
+}
+
+// TestStatzBlocks: the /statz extension reports per-shard replica health
+// and the committed generation.
+func TestStatzBlocks(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 2, Replicas: 2, CacheSize: -1})
+	defer st.Close()
+	st.Publish(testSnapshot(1, testRetailers(8)...))
+	st.KillReplica(1, 0)
+	blocks := st.StatzBlocks()
+	block, ok := blocks["store"]
+	if !ok {
+		t.Fatalf("StatzBlocks missing 'store': %v", blocks)
+	}
+	// Render as the HTTP layer would and spot-check the content.
+	s := fmt.Sprintf("%+v", block)
+	for _, want := range []string{"Generation:1", "Down:true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("store block %s missing %q", s, want)
+		}
+	}
+}
+
+func TestClosedStoreRejectsRequests(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 1, Replicas: 1, CacheSize: -1})
+	st.Publish(testSnapshot(1, "shop-a"))
+	st.Close()
+	if _, _, _, err := st.Serve("shop-a", viewCtx(), 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Serve after Close: %v, want ErrClosed", err)
+	}
+	st.Close() // idempotent
+}

@@ -1,10 +1,11 @@
 // Command benchcheck guards against performance regressions in CI. It runs
-// the repo's tentpole benchmarks (BenchmarkMapReduce, BenchmarkRunDay) a
-// few times with -benchtime=1x, takes the fastest run of each sub-benchmark
-// (the minimum is the least noisy estimator on shared CI machines), and
-// compares ns/op against the committed baselines BENCH_mapreduce.json and
-// BENCH_runday.json. A sub-benchmark more than -tolerance times slower than
-// its baseline fails the build.
+// the repo's tentpole benchmarks (BenchmarkMapReduce, BenchmarkRunDay,
+// BenchmarkServeRouted) a few times with -benchtime=1x, takes the fastest
+// run of each sub-benchmark (the minimum is the least noisy estimator on
+// shared CI machines), and compares ns/op against the committed baselines
+// BENCH_mapreduce.json, BENCH_runday.json, and BENCH_store.json. A
+// sub-benchmark more than -tolerance times slower than its baseline fails
+// the build.
 //
 // Usage:
 //
@@ -41,6 +42,7 @@ type target struct {
 var targets = []target{
 	{pkg: "./internal/mapreduce", bench: "BenchmarkMapReduce", baseline: "BENCH_mapreduce.json"},
 	{pkg: "./internal/pipeline", bench: "BenchmarkRunDay", baseline: "BENCH_runday.json"},
+	{pkg: "./internal/store", bench: "BenchmarkServeRouted", baseline: "BENCH_store.json"},
 }
 
 // baseline mirrors the committed BENCH_*.json schema.

@@ -34,6 +34,13 @@ echo "== worker-preemption chaos suite (short mode)"
 go test -race -short -run 'Preempt|Lease|Speculative|Blacklist|WorkerPlan|Cancellation|NoWorkers' \
 	./internal/mapreduce/ ./internal/faults/ ./internal/core/inference/ ./internal/pipeline/
 
+echo "== serving-store chaos suite"
+# Replica crash mid-publish (no torn generations, zero failed requests),
+# hedged-read cancellation and drain (fails on goroutine leaks), failover,
+# load shedding, publish rollback, and crash/revive catch-up.
+go test -race -short -run 'TornGeneration|Hedge|Failover|Shed|RollsBack|Revive|UniformlyStale|ContinuousChaos|CloseDrains|Ring' \
+	./internal/store/
+
 echo "== benchmark regression gate"
 go run ./scripts/benchcheck
 

@@ -16,6 +16,7 @@ import (
 	"sigmund/internal/pipeline"
 	"sigmund/internal/preempt"
 	"sigmund/internal/serving"
+	"sigmund/internal/store"
 )
 
 // Config tunes a Service. Zero values take the production-style defaults
@@ -76,7 +77,16 @@ type Config struct {
 	// LateFunnelFacets enables the facet-constrained late-funnel serving
 	// surface with these facet keys (nil = off).
 	LateFunnelFacets []string
-	Seed             uint64
+	// Shards enables the sharded, replicated serving store: retailers map
+	// to this many shards over a consistent-hash ring, each held by
+	// Replicas replicas, fronted by a router with hedged reads and
+	// failover. 0 keeps the single-node in-process server.
+	Shards   int
+	Replicas int
+	// HedgeAfter is the routed read's fixed hedge threshold (0 = adaptive
+	// p95 of recent latencies). Only meaningful with Shards > 0.
+	HedgeAfter time.Duration
+	Seed       uint64
 }
 
 // DefaultConfig returns production-style settings scaled to a single
@@ -126,10 +136,13 @@ type JobCounters = mapreduce.Counters
 // Service hosts many retailers and runs the daily Sigmund cycle for all of
 // them.
 type Service struct {
-	fs     *dfs.FS
-	server *serving.Server
-	pipe   *pipeline.Pipeline
-	obs    *obs.Observer
+	fs *dfs.FS
+	// backend is the serving surface requests hit: the single-node server,
+	// or the sharded store's router when Config.Shards > 0.
+	backend serving.Backend
+	store   *store.Store // non-nil iff sharded
+	pipe    *pipeline.Pipeline
+	obs     *obs.Observer
 }
 
 // NewService creates a service with an in-memory shared filesystem and
@@ -145,7 +158,6 @@ func NewService(cfg Config) *Service {
 	// injection, and serving counters all land in the same registry, so the
 	// serving handler's /metrics and /tracez cover everything.
 	observer := obs.NewObserver()
-	server := serving.NewServerWithObs(observer)
 	opts := pipeline.Options{
 		Grid:                 grid,
 		BaseHyper:            bpr.DefaultHyperparams(),
@@ -206,12 +218,30 @@ func NewService(cfg Config) *Service {
 			return kill, 2 * time.Millisecond
 		}
 	}
-	return &Service{
-		fs:     fs,
-		server: server,
-		pipe:   pipeline.New(fs, server, opts),
-		obs:    observer,
+	svc := &Service{fs: fs, obs: observer}
+	var publisher pipeline.Publisher
+	if cfg.Shards > 0 {
+		// Sharded serving: the pipeline's publish phase bulk-loads segments
+		// into every replica through the shared filesystem, and requests go
+		// through the router. The same injector that flakes the filesystem
+		// can crash/stall replicas (OpReplica rules).
+		svc.store = store.New(fs, store.Options{
+			Shards:     cfg.Shards,
+			Replicas:   cfg.Replicas,
+			HedgeAfter: cfg.HedgeAfter,
+			Faults:     opts.Injector,
+			Obs:        observer,
+			Seed:       cfg.Seed,
+		})
+		svc.backend = svc.store
+		publisher = svc.store
+	} else {
+		server := serving.NewServerWithObs(observer)
+		svc.backend = server
+		publisher = server
 	}
+	svc.pipe = pipeline.New(fs, publisher, opts)
+	return svc
 }
 
 // Observer returns the service's shared observability surface — the
@@ -241,22 +271,35 @@ func (s *Service) RunDay(ctx context.Context) (DayReport, error) {
 
 // Recommend answers a serving request from the latest published snapshot.
 func (s *Service) Recommend(r RetailerID, ctx Context, k int) []Recommendation {
-	return s.server.Recommend(r, ctx, k)
+	return s.backend.Recommend(r, ctx, k)
 }
 
 // Handler exposes the serving API over HTTP (GET /recommend, /healthz,
-// /statz, /metrics, /tracez).
-func (s *Service) Handler() http.Handler { return serving.NewHandler(s.server) }
+// /statz, /metrics, /tracez). With a sharded store, /statz gains a
+// "store" block with per-shard replica health.
+func (s *Service) Handler() http.Handler { return serving.NewBackendHandler(s.backend) }
+
+// Store returns the sharded serving store, or nil when the service runs
+// the single-node server (Config.Shards == 0).
+func (s *Service) Store() *store.Store { return s.store }
+
+// Close releases the serving backend (drains the sharded router's
+// in-flight requests). Safe on a single-node service.
+func (s *Service) Close() {
+	if s.store != nil {
+		s.store.Close()
+	}
+}
 
 // SnapshotVersion returns the current serving snapshot version (one per
 // completed day).
-func (s *Service) SnapshotVersion() int64 { return s.server.Version() }
+func (s *Service) SnapshotVersion() int64 { return s.backend.Version() }
 
 // TenantStatuses reports per-retailer serving health: degraded/quarantined
 // flags and which snapshot generation each retailer's recommendations were
 // materialized in (older than SnapshotVersion when serving stale).
 func (s *Service) TenantStatuses() map[RetailerID]serving.TenantStatus {
-	return s.server.TenantStatuses()
+	return s.backend.TenantStatuses()
 }
 
 // StorageStats reports cumulative shared-filesystem traffic (bytes

@@ -1,0 +1,135 @@
+package sigmund
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServiceShardedStoreEndToEnd runs the daily pipeline against the
+// sharded serving store: the publish phase writes segments through the
+// shared filesystem, bulk-loads every replica, and requests route through
+// the consistent-hash front end — same public surface as the single-node
+// path.
+func TestServiceShardedStoreEndToEnd(t *testing.T) {
+	cfg := DemoConfig()
+	cfg.Shards = 2
+	cfg.Replicas = 2
+	svc := NewService(cfg)
+	defer svc.Close()
+	if svc.Store() == nil {
+		t.Fatal("Store() = nil with Shards = 2")
+	}
+	fleet := GenerateFleet(FleetSpec{NumRetailers: 3, MinItems: 40, MaxItems: 80, Seed: 83})
+	for _, r := range fleet {
+		if err := svc.AddRetailer(r.Catalog, r.Log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for day := 0; day < 2; day++ {
+		if _, err := svc.RunDay(context.Background()); err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+	}
+	if err := svc.Store().PublishErr(); err != nil {
+		t.Fatalf("pipeline publish into the store failed: %v", err)
+	}
+	if v := svc.SnapshotVersion(); v != 2 {
+		t.Fatalf("SnapshotVersion = %d, want 2", v)
+	}
+	for _, r := range fleet {
+		recs := svc.Recommend(r.Catalog.Retailer, Context{{Type: View, Item: 0}}, 5)
+		if len(recs) == 0 {
+			t.Fatalf("no recommendations for %s through the routed store", r.Catalog.Retailer)
+		}
+	}
+
+	// The HTTP surface works unchanged, and /statz gains the store block.
+	h := svc.Handler()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/recommend?retailer="+string(fleet[0].Catalog.Retailer)+"&context=view:0", nil))
+	if w.Code != 200 {
+		t.Fatalf("http status %d: %s", w.Code, w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/statz", nil))
+	if w.Code != 200 {
+		t.Fatalf("/statz status %d", w.Code)
+	}
+	var statz struct {
+		Version int64 `json:"version"`
+		Store   struct {
+			Generation int64 `json:"generation"`
+			Shards     []struct {
+				Generation int64 `json:"generation"`
+				Replicas   []struct {
+					Generation int64 `json:"generation"`
+					Down       bool  `json:"down"`
+				} `json:"replicas"`
+			} `json:"shards"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &statz); err != nil {
+		t.Fatalf("decoding /statz: %v", err)
+	}
+	if statz.Store.Generation != 2 || len(statz.Store.Shards) != 2 {
+		t.Fatalf("statz store block: %+v", statz.Store)
+	}
+	for s, sh := range statz.Store.Shards {
+		if sh.Generation != 2 || len(sh.Replicas) != 2 {
+			t.Fatalf("shard %d statz: %+v", s, sh)
+		}
+		for i, rep := range sh.Replicas {
+			if rep.Down || rep.Generation != 2 {
+				t.Fatalf("shard %d replica %d statz: %+v", s, i, rep)
+			}
+		}
+	}
+
+	// /metrics carries the store's fleet metrics in the shared registry.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != 200 {
+		t.Fatalf("/metrics status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{"sigmund_store_requests_total", "sigmund_store_generation"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestServiceShardedStoreWithChaos: the chaos injector and the sharded
+// store compose — days complete, publishes land, requests answer.
+func TestServiceShardedStoreWithChaos(t *testing.T) {
+	cfg := DemoConfig()
+	cfg.Shards = 2
+	cfg.Replicas = 2
+	cfg.Chaos = true
+	cfg.ChaosSeed = 7
+	svc := NewService(cfg)
+	defer svc.Close()
+	fleet := GenerateFleet(FleetSpec{NumRetailers: 3, MinItems: 40, MaxItems: 80, Seed: 84})
+	for _, r := range fleet {
+		if err := svc.AddRetailer(r.Catalog, r.Log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for day := 0; day < 2; day++ {
+		if _, err := svc.RunDay(context.Background()); err != nil {
+			t.Fatalf("day %d: chaos caused a fleet-level failure: %v", day, err)
+		}
+	}
+	served := 0
+	for _, r := range fleet {
+		if len(svc.Recommend(r.Catalog.Retailer, Context{{Type: View, Item: 0}}, 5)) > 0 {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no tenant served through the chaos-wrapped sharded store")
+	}
+}
