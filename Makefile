@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store bench-check bench-update ci clean
+.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store chaos-resume bench-check bench-update ci clean
 
 all: ci
 
@@ -39,6 +39,14 @@ chaos-workers:
 chaos-store:
 	$(GO) test -race -short -run 'TornGeneration|Hedge|Failover|Shed|RollsBack|Revive|UniformlyStale|ContinuousChaos|CloseDrains|Ring' ./internal/store/
 
+# The crash-resume chaos suite: the day-journal codec (torn-tail repair,
+# append rollback), checkpoint temp-file hygiene, the full coordinator
+# crash sweep (crash after every journal record, resume, byte-identical
+# outputs), in-process incremental resume, and the clean-abort
+# cancellation path (fails on goroutine leaks).
+chaos-resume:
+	$(GO) test -race -short -run 'CrashResume|Journal|Checkpointer|OrphanTmp' ./internal/pipeline/ ./internal/dfs/
+
 # Benchmark regression gate: BenchmarkMapReduce, BenchmarkRunDay, and
 # BenchmarkServeRouted vs the committed BENCH_*.json baselines (>25%
 # ns/op regression fails).
@@ -49,7 +57,7 @@ bench-check:
 bench-update:
 	$(GO) run ./scripts/benchcheck -update
 
-ci: fmt-check vet build race chaos chaos-workers chaos-store bench-check
+ci: fmt-check vet build race chaos chaos-workers chaos-store chaos-resume bench-check
 
 clean:
 	$(GO) clean ./...

@@ -48,6 +48,10 @@ func main() {
 	shards := flag.Int("shards", 0, "serve from a sharded, replicated store with this many shards (0 = single-node server)")
 	replicas := flag.Int("replicas", 2, "replicas per shard (with -shards)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "routed reads hedge to a second replica after this latency (0 = adaptive p95; with -shards)")
+	journal := flag.Bool("journal", true, "write a durable day journal so a crashed daily cycle resumes instead of restarting")
+	resume := flag.Bool("resume", true, "auto-restart a day whose coordinator crashed, resuming from its journal (with -journal)")
+	crashAfterRecord := flag.Int("crash-after-record", 0, "inject one coordinator crash after the Nth journal record, 1-based (0 = off; with -journal)")
+	crashDay := flag.Int("crash-day", 0, "which day the injected coordinator crash hits (with -crash-after-record)")
 	flag.Parse()
 
 	cfg := sigmund.DemoConfig()
@@ -61,6 +65,13 @@ func main() {
 	cfg.Shards = *shards
 	cfg.Replicas = *replicas
 	cfg.HedgeAfter = *hedgeAfter
+	cfg.Journal = *journal
+	cfg.CrashAfterRecord = *crashAfterRecord
+	cfg.CrashDay = *crashDay
+	if *crashAfterRecord > 0 && !*journal {
+		fmt.Fprintln(os.Stderr, "sigmundd: -crash-after-record requires -journal")
+		os.Exit(2)
+	}
 	svc := sigmund.NewService(cfg)
 	defer svc.Close()
 	if *shards > 0 {
@@ -123,14 +134,31 @@ func main() {
 		fmt.Printf("fleet ready: %d items, %d events\n\n", totalItems, totalEvents)
 	}
 
+	// The supervisor loop: a day whose coordinator crashed (injected via
+	// -crash-after-record or a chaos rule) is re-run, which resumes it
+	// from the day journal rather than redoing finished work. Bounded
+	// restarts so a crash that fires on every incarnation cannot spin.
+	const maxResumes = 10
 	for day := 0; day < *days; day++ {
 		start := time.Now()
 		report, err := svc.RunDay(context.Background())
+		for restarts := 0; err != nil && *resume && sigmund.IsCoordinatorCrash(err); restarts++ {
+			if restarts == maxResumes {
+				fmt.Fprintf(os.Stderr, "sigmundd: day %d still crashing after %d resumes\n", day, maxResumes)
+				os.Exit(1)
+			}
+			fmt.Printf("day %d: coordinator crashed (%v); restarting from journal\n", day, err)
+			report, err = svc.RunDay(context.Background())
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sigmundd: daily cycle failed:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("=== day %d (%s) ===\n", report.Day, time.Since(start).Round(time.Millisecond))
+		if report.Resumed {
+			fmt.Printf("  resumed from journal: %d records replayed, %d training cells skipped, %d tenant plans reused\n",
+				report.RecordsReplayed, report.CellsSkipped, report.TenantsReplayed)
+		}
 		fmt.Printf("  train: %s  infer: %s  map-attempts: %d (failures: %d)\n",
 			report.TrainWall.Round(time.Millisecond), report.InferWall.Round(time.Millisecond),
 			report.TrainCounters.MapAttempts, report.TrainCounters.MapFailures)

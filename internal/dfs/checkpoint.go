@@ -45,6 +45,12 @@ func (c *Checkpointer) scanLatest() (path string, seq int, ok bool) {
 	best := -1
 	for _, p := range c.fs.List(c.prefix()) {
 		if strings.HasSuffix(p, ".tmp") {
+			// Orphaned temp from a crashed or failed writer. Committed
+			// checkpoints leave .tmp via atomic rename, so anything still
+			// here is garbage. A rival in-flight Save may lose its temp to
+			// this sweep; its commit then fails, and checkpoint saves are
+			// best-effort by contract.
+			_ = c.fs.Delete(p)
 			continue
 		}
 		n, err := strconv.Atoi(strings.TrimPrefix(p, c.prefix()))
@@ -72,12 +78,15 @@ func (c *Checkpointer) Save(write func(w io.Writer) error) (string, error) {
 	tmp := final + ".tmp"
 	w := c.fs.Create(tmp)
 	if err := write(w); err != nil {
+		c.discard(tmp)
 		return "", fmt.Errorf("dfs: producing checkpoint %s: %w", final, err)
 	}
 	if err := w.Close(); err != nil {
+		c.discard(tmp)
 		return "", err
 	}
 	if err := c.fs.Rename(tmp, final); err != nil {
+		c.discard(tmp)
 		return "", err
 	}
 	c.mu.Lock()
@@ -92,6 +101,13 @@ func (c *Checkpointer) Save(write func(w io.Writer) error) (string, error) {
 		_ = c.fs.Delete(prev)
 	}
 	return final, nil
+}
+
+// discard removes an abandoned temp file so a failed Save cannot leak it.
+// Best effort: the temp may not exist (the write never reached the FS) or
+// a concurrent scanLatest may have collected it already.
+func (c *Checkpointer) discard(tmp string) {
+	_ = c.fs.Delete(tmp)
 }
 
 // Latest returns the newest committed checkpoint path.

@@ -1,0 +1,221 @@
+package dfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strings"
+	"testing"
+
+	"sigmund/internal/faults"
+)
+
+func TestJournalAppendAndReopen(t *testing.T) {
+	fs := New()
+	j, recs, err := OpenJournal(fs, "days/0/journal")
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	if len(recs) != 0 || j.Len() != 0 {
+		t.Fatalf("fresh journal not empty: %d recs, Len %d", len(recs), j.Len())
+	}
+	want := [][]byte{[]byte(`{"type":"intent"}`), []byte(""), []byte(`{"type":"done"}`)}
+	for i, p := range want {
+		idx, err := j.Append(p)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if idx != i {
+			t.Fatalf("append %d: got index %d", i, idx)
+		}
+	}
+	if j.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", j.Len(), len(want))
+	}
+
+	// A fresh open (the restarted coordinator) sees every record, in order.
+	j2, recs, err := OpenJournal(fs, "days/0/journal")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("reopen: %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if string(recs[i]) != string(want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+	// And appending to the reopened journal continues the sequence.
+	idx, err := j2.Append([]byte("next"))
+	if err != nil || idx != len(want) {
+		t.Fatalf("append after reopen: idx %d err %v", idx, err)
+	}
+}
+
+func TestJournalTruncatesTornTail(t *testing.T) {
+	fs := New()
+	j, _, err := OpenJournal(fs, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := fs.Read("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn tails a real filesystem can produce: a partial
+	// header, a frame cut mid-payload, and a frame whose payload bytes were
+	// garbled in place.
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want int // surviving records
+	}{
+		{"partial header", func(b []byte) []byte { return append(b, 0x09, 0x00) }, 3},
+		{"frame cut mid-payload", func(b []byte) []byte { return b[:len(b)-2] }, 2},
+		{"garbled tail payload", func(b []byte) []byte {
+			cp := append([]byte(nil), b...)
+			cp[len(cp)-1] ^= 0xff
+			return cp
+		}, 2},
+		{"tail length overflows file", func(b []byte) []byte {
+			cp := append([]byte(nil), b...)
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:], 1<<30)
+			binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(nil))
+			return append(cp, hdr[:]...)
+		}, 3},
+		{"shorter than magic", func([]byte) []byte { return []byte("SJ") }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs2 := New()
+			if err := fs2.Write("j", tc.mut(data)); err != nil {
+				t.Fatal(err)
+			}
+			j2, recs, err := OpenJournal(fs2, "j")
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			if len(recs) != tc.want {
+				t.Fatalf("got %d records, want %d", len(recs), tc.want)
+			}
+			// The truncated journal stays appendable and the new record
+			// lands right after the surviving prefix.
+			if idx, err := j2.Append([]byte("after")); err != nil || idx != tc.want {
+				t.Fatalf("append after truncation: idx %d err %v", idx, err)
+			}
+			_, recs, err = OpenJournal(fs2, "j")
+			if err != nil || len(recs) != tc.want+1 {
+				t.Fatalf("reopen after repair: %d recs, err %v", len(recs), err)
+			}
+			if string(recs[tc.want]) != "after" {
+				t.Fatalf("appended record = %q", recs[tc.want])
+			}
+		})
+	}
+}
+
+func TestJournalRejectsForeignFile(t *testing.T) {
+	fs := New()
+	if err := fs.Write("j", []byte("definitely not a journal")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(fs, "j"); !errors.Is(err, ErrJournalMagic) {
+		t.Fatalf("err = %v, want ErrJournalMagic", err)
+	}
+}
+
+func TestJournalAppendFailureRollsBack(t *testing.T) {
+	fs := New()
+	j, _, err := OpenJournal(fs, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetInjector(faults.NewInjector(1, faults.Rule{
+		Ops: []faults.Op{faults.OpWrite}, Kind: faults.Error, EveryNth: 1, Times: 1,
+	}))
+	if _, err := j.Append([]byte("doomed")); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("append under injection: %v, want ErrInjected", err)
+	}
+	// The failed frame must not linger in memory: the retried append gets
+	// the same index and the durable file holds exactly one copy.
+	idx, err := j.Append([]byte("doomed"))
+	if err != nil || idx != 1 {
+		t.Fatalf("retried append: idx %d err %v", idx, err)
+	}
+	_, recs, err := OpenJournal(fs, "j")
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("reopen: %d recs, err %v", len(recs), err)
+	}
+	if string(recs[1]) != "doomed" {
+		t.Fatalf("record 1 = %q", recs[1])
+	}
+}
+
+func TestCheckpointerSaveFailureLeavesNoTmp(t *testing.T) {
+	fs := New()
+	c := NewCheckpointer(fs, "task/ckpt")
+
+	// Failing write callback.
+	if _, err := c.Save(func(io.Writer) error { return errors.New("boom") }); err == nil {
+		t.Fatal("Save with failing writer succeeded")
+	}
+	// Rename failure after a committed temp — the leak this guards against.
+	fs.SetInjector(faults.NewInjector(1, faults.Rule{
+		Ops: []faults.Op{faults.OpRename}, Kind: faults.Error, EveryNth: 1, Times: 1,
+	}))
+	if _, err := c.Save(func(w io.Writer) error { _, err := w.Write([]byte("state")); return err }); err == nil {
+		t.Fatal("Save with failing rename succeeded")
+	}
+	for _, p := range fs.List("task/ckpt/") {
+		if strings.HasSuffix(p, ".tmp") {
+			t.Fatalf("leaked temp file %s", p)
+		}
+	}
+	// The checkpointer still works after the failures.
+	path, err := c.Save(func(w io.Writer) error { _, err := w.Write([]byte("state")); return err })
+	if err != nil {
+		t.Fatalf("Save after failures: %v", err)
+	}
+	if got, _ := c.Latest(); got != path {
+		t.Fatalf("Latest = %q, want %q", got, path)
+	}
+}
+
+func TestScanLatestCollectsOrphanTmp(t *testing.T) {
+	fs := New()
+	// A crashed writer left a committed checkpoint and an orphaned temp.
+	if err := fs.Write("task/ckpt/ckpt.3", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("task/ckpt/ckpt.4.tmp", []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCheckpointer(fs, "task/ckpt")
+	if path, ok := c.Latest(); !ok || path != "task/ckpt/ckpt.3" {
+		t.Fatalf("Latest = %q ok=%v", path, ok)
+	}
+	if fs.Exists("task/ckpt/ckpt.4.tmp") {
+		t.Fatal("orphaned .tmp survived scanLatest")
+	}
+	// The restarted sequence continues past the committed checkpoint.
+	path, err := c.Save(func(w io.Writer) error { _, err := w.Write([]byte("next")); return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "task/ckpt/ckpt.4" {
+		t.Fatalf("next checkpoint at %q", path)
+	}
+}

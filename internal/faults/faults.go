@@ -58,6 +58,14 @@ const (
 	// rule can target one replica, one phase (bulk-load vs serve), or one
 	// retailer's reads.
 	OpReplica Op = "replica"
+	// OpCoordinator is a pipeline-coordinator crashpoint, consulted right
+	// after each day-journal record commits; the path is
+	// "day-<day>/record-<index>/", so a rule can kill the coordinator
+	// after an exact journal record (use After: k with EveryNth: 1,
+	// Times: 1 to crash once after the k+1th record of a day). An Error
+	// rule simulates the crash: RunDay aborts fleet-wide, the journal
+	// survives, and the next RunDay call resumes from it.
+	OpCoordinator Op = "coordinator"
 )
 
 // Kind is the failure mode a rule injects.

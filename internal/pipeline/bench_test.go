@@ -14,13 +14,13 @@ import (
 // committed baseline in BENCH_runday.json to catch pipeline-wide
 // regressions in CI.
 func BenchmarkRunDay(b *testing.B) {
-	b.Run("small-fleet", func(b *testing.B) {
+	run := func(b *testing.B, opts Options) {
 		fleet := smallFleet(b, 3, 21)
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			fs := dfs.New()
 			server := serving.NewServer()
-			p := New(fs, server, testOptions())
+			p := New(fs, server, opts)
 			for _, r := range fleet {
 				if err := p.AddRetailer(r.Catalog, r.Log); err != nil {
 					b.Fatal(err)
@@ -35,5 +35,16 @@ func BenchmarkRunDay(b *testing.B) {
 				b.Fatalf("degraded tenants in benchmark day: %v", report.Degraded)
 			}
 		}
+	}
+	b.Run("small-fleet", func(b *testing.B) {
+		run(b, testOptions())
+	})
+	// The journaled variant prices crash resumability: every completion
+	// record is a durable journal append and every tenant's materialized
+	// recommendations are persisted for replay.
+	b.Run("small-fleet-journal", func(b *testing.B) {
+		opts := testOptions()
+		opts.Journal = true
+		run(b, opts)
 	})
 }

@@ -155,3 +155,15 @@ func checkpointBase(day int, modelID string) string {
 func recordsPath(day int, cell int) string {
 	return fmt.Sprintf("days/%d/records/cell-%d", day, cell)
 }
+
+// journalPath is the day's durable journal (Options.Journal); it lives
+// under the day prefix so a GCed day takes its journal with it.
+func journalPath(day int) string {
+	return fmt.Sprintf("days/%d/journal", day)
+}
+
+// recsPath holds one tenant's materialized recommendations (written only
+// with Options.Journal, so a resumed day can skip re-materialization).
+func recsPath(day int, r catalog.RetailerID) string {
+	return fmt.Sprintf("days/%d/recs/%s", day, r)
+}

@@ -33,6 +33,12 @@ import (
 // publishing so serving carries their previous recommendations forward.
 // The returned counters aggregate every materialization job's MapReduce
 // counters (including failed jobs' partial work).
+//
+// With day journaling (dj != nil), each tenant's materialized
+// recommendations are persisted to the shared filesystem before its
+// completion record commits; a resumed day reloads them bit-for-bit
+// instead of re-materializing. The returned error is fleet-level only
+// (journal failure or coordinator crash).
 func (p *Pipeline) runInference(
 	ctx context.Context,
 	day int,
@@ -42,7 +48,8 @@ func (p *Pipeline) runInference(
 	reports map[catalog.RetailerID]*RetailerReport,
 	degraded map[catalog.RetailerID]*degradation,
 	span *obs.Span,
-) (*serving.Snapshot, mapreduce.Counters) {
+	dj *dayJournal,
+) (*serving.Snapshot, mapreduce.Counters, error) {
 	// Only healthy retailers with a usable best model are materialized.
 	type job struct {
 		id     catalog.RetailerID
@@ -68,6 +75,7 @@ func (p *Pipeline) runInference(
 	pop := make(map[catalog.RetailerID][]catalog.ItemID, len(jobs))
 	failed := map[catalog.RetailerID]error{}
 	var counters mapreduce.Counters
+	var fleetErr error // journal failure or coordinator crash
 	if len(jobs) > 0 {
 		assign := inference.Partition(weights, p.opts.Cells, inference.GreedyFirstFit)
 		var (
@@ -90,6 +98,28 @@ func (p *Pipeline) runInference(
 				for _, j := range mine {
 					jobStart := time.Now()
 					tspan := span.Child("tenant:"+string(j.id), obs.L("cell", strconv.Itoa(cell)))
+					if dj != nil {
+						if rec := dj.inferredRecord(j.id); rec != nil {
+							recs, sellers, lerr := p.loadRecsBlob(day, j.id)
+							if lerr == nil {
+								mu.Lock()
+								if rec.Counters != nil {
+									counters.Add(*rec.Counters)
+								}
+								perRetailer[j.id] = recs
+								pop[j.id] = sellers
+								if rep := reports[j.id]; rep != nil {
+									rep.ItemsServed = len(recs)
+								}
+								mu.Unlock()
+								tspan.SetAttr("outcome", "replayed")
+								tspan.SetAttr("items", strconv.Itoa(len(recs)))
+								tspan.EndWith(0)
+								continue
+							}
+							// Missing/corrupt blob: re-materialize below.
+						}
+					}
 					recs, sellers, c, err := p.inferRetailerSafe(ctx, day, j.tenant, j.best)
 					mu.Lock()
 					counters.Add(c)
@@ -109,6 +139,22 @@ func (p *Pipeline) runInference(
 						rep.InferWall = time.Since(jobStart)
 					}
 					mu.Unlock()
+					if dj != nil {
+						// Persist the materialization, then commit its
+						// completion record. If the blob write fails the
+						// record is withheld: a resume just re-materializes
+						// this tenant. A failed record append is fleet-level
+						// — the work itself succeeded.
+						if werr := p.writeWithRetry(ctx, recsPath(day, j.id), encodeRecsBlob(recs, sellers)); werr == nil {
+							if aerr := dj.append(ctx, journalRecord{Type: recInferred, Retailer: j.id, Counters: &c, ItemsServed: len(recs)}); aerr != nil {
+								mu.Lock()
+								if fleetErr == nil {
+									fleetErr = aerr
+								}
+								mu.Unlock()
+							}
+						}
+					}
 					tspan.SetAttr("outcome", "ok")
 					tspan.SetAttr("items", strconv.Itoa(len(recs)))
 					tspan.End()
@@ -117,13 +163,16 @@ func (p *Pipeline) runInference(
 		}
 		wg.Wait()
 	}
+	if fleetErr != nil {
+		return nil, counters, fleetErr
+	}
 
 	for id, err := range failed {
 		if degraded[id] == nil {
 			degraded[id] = &degradation{phase: PhaseInfer, err: err}
 		}
 	}
-	return serving.BuildSnapshot(int64(day+1), perRetailer, pop), counters
+	return serving.BuildSnapshot(int64(day+1), perRetailer, pop), counters, nil
 }
 
 // inferRetailerSafe runs one retailer's materialization behind the fault

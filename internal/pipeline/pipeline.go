@@ -121,6 +121,14 @@ type Options struct {
 	// models, so KeepDays >= 2 is always safe. 0 keeps everything.
 	KeepDays int
 
+	// Journal makes RunDay crash-resumable: the day's plan and each unit
+	// of committed work are recorded in a durable append-only journal on
+	// the shared filesystem, and a re-run of the same day (after a
+	// coordinator crash) replays the journal, skipping finished cells and
+	// tenants instead of redoing them. See internal/pipeline/journal.go
+	// for the record catalogue and replay invariants.
+	Journal bool
+
 	Seed uint64
 }
 
@@ -354,6 +362,17 @@ type DayReport struct {
 	// DiscardedCheckpoints counts garbled/missing checkpoints discarded in
 	// favor of a warm or fresh start during this cycle.
 	DiscardedCheckpoints int64
+
+	// Crash-recovery metadata (Options.Journal only). Resumed marks a day
+	// that continued from a journal left by a crashed coordinator;
+	// RecordsReplayed is how many journal records it replayed;
+	// CellsSkipped counts training cells whose committed outputs were
+	// reused instead of re-executed; TenantsReplayed counts tenants whose
+	// staged plan was reused.
+	Resumed         bool
+	RecordsReplayed int
+	CellsSkipped    int
+	TenantsReplayed int
 }
 
 // BestMAP returns the fleet-average best MAP over healthy tenants
@@ -392,8 +411,25 @@ type degradation struct {
 // untouched. Tenants failing QuarantineAfter consecutive days are
 // quarantined — skipped entirely except for a re-admission probe every
 // QuarantineProbeEvery days. RunDay itself only returns an error for
-// fleet-level failures (context cancellation).
+// fleet-level failures: context cancellation, and — with Options.Journal —
+// day-journal failures and injected coordinator crashes (see
+// IsCoordinatorCrash). A crashed day's journal survives, so calling
+// RunDay again resumes it: committed cells and tenants are replayed from
+// their durable artifacts instead of re-executed, and the re-publish is
+// idempotent.
 func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
+	var dj *dayJournal
+	report, err := p.runDay(ctx, &dj)
+	if err != nil && dj != nil && ctx.Err() != nil && !IsCoordinatorCrash(err) {
+		// A clean context-cancelled shutdown: leave an abort marker so the
+		// journal records that this incarnation stopped deliberately. The
+		// next RunDay resumes past it.
+		dj.appendAbort(err.Error())
+	}
+	return report, err
+}
+
+func (p *Pipeline) runDay(ctx context.Context, djOut **dayJournal) (DayReport, error) {
 	p.mu.Lock()
 	day := p.day
 	ids := append([]catalog.RetailerID(nil), p.order...)
@@ -418,6 +454,24 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 		p.mu.Unlock()
 		dspan.SetAttr("outcome", "empty")
 		return report, nil
+	}
+
+	// Open the day journal before any work starts: the intent record is
+	// the day's first crashpoint, and a journal left behind by a crashed
+	// coordinator turns this run into a resume.
+	var dj *dayJournal
+	if p.opts.Journal {
+		var err error
+		dj, err = p.openDayJournal(ctx, day, ids)
+		if err != nil {
+			return report, err
+		}
+		*djOut = dj
+		report.Resumed = dj.resumed
+		report.RecordsReplayed = dj.replayed
+		if dj.resumed {
+			dspan.SetAttr("resumed", "true")
+		}
 	}
 
 	perRetailer := map[catalog.RetailerID]*RetailerReport{}
@@ -462,6 +516,25 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 		t := tenants[r]
 		tenantStart := time.Now()
 		tspan := stagingSpan.Child("tenant:" + string(r))
+		if dj != nil {
+			if sr := dj.stagedRecord(r); sr != nil {
+				// Replay: the plan (and the staged data it points at) was
+				// committed before the crash. Reusing the recorded configs —
+				// not replanning — keeps ModelIDs, warm-start paths, and the
+				// full/incremental decision identical to the original run
+				// even when in-memory sweep state died with the coordinator.
+				perRetailer[r].FullSweep = sr.FullSweep
+				perRetailer[r].ConfigsPlaned = len(sr.Configs)
+				allRecords = append(allRecords, sr.Configs...)
+				t.isNew = false
+				dj.noteReplayedTenant()
+				perRetailer[r].StagingWall = time.Since(tenantStart)
+				tspan.SetAttr("outcome", "replayed")
+				tspan.SetAttr("configs", strconv.Itoa(len(sr.Configs)))
+				tspan.End()
+				continue
+			}
+		}
 		split := interactions.HoldoutSplit(t.Log, p.opts.BaseHyper.ContextLen)
 		if err := p.writeWithRetry(ctx, trainDataPath(day, r), EncodeLog(split.Train)); err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
@@ -502,6 +575,14 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 		perRetailer[r].ConfigsPlaned = len(recs)
 		allRecords = append(allRecords, recs...)
 		t.isNew = false
+		if dj != nil {
+			// The staged record commits the tenant's plan only now that its
+			// training data and holdout are durable: a resume that finds
+			// this record can train straight from the recorded configs.
+			if err := dj.append(ctx, journalRecord{Type: recStaged, Retailer: r, FullSweep: full, Configs: recs}); err != nil {
+				return report, err
+			}
+		}
 		perRetailer[r].StagingWall = time.Since(tenantStart)
 		tspan.SetAttr("outcome", "ok")
 		tspan.SetAttr("configs", strconv.Itoa(len(recs)))
@@ -519,7 +600,7 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	// --- Training: one MapReduce per cell ---
 	trainStart := time.Now()
 	trainSpan := dspan.Child("train", obs.L("configs", strconv.Itoa(len(allRecords))))
-	outRecords, counters, trainFailed, trainWall, err := p.runTraining(ctx, day, allRecords)
+	outRecords, counters, trainFailed, trainWall, err := p.runTraining(ctx, day, allRecords, dj)
 	if err != nil {
 		return report, err
 	}
@@ -601,7 +682,11 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	inferSpan := dspan.Child("infer")
 	var snap *serving.Snapshot
 	if p.server != nil {
-		snap, report.InferCounters = p.runInference(ctx, day, ids, tenants, byRetailer, perRetailer, degraded, inferSpan)
+		var inferErr error
+		snap, report.InferCounters, inferErr = p.runInference(ctx, day, ids, tenants, byRetailer, perRetailer, degraded, inferSpan, dj)
+		if inferErr != nil {
+			return report, inferErr
+		}
 		if err := ctx.Err(); err != nil {
 			return report, err
 		}
@@ -657,9 +742,18 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 				snap.MarkDegraded(id, perRetailer[id].DegradedPhase, perRetailer[id].Quarantined)
 			}
 		}
+		// Publishing is idempotent (the single-node server swaps a pointer;
+		// the sharded store's two-phase generation swap tolerates a
+		// republish of the same generation), so a resumed day publishes
+		// unconditionally even when the crashed run already did.
 		p.server.Publish(snap)
 		report.SnapshotPushed = true
 		publishSpan.SetAttr("version", strconv.FormatInt(snap.Version, 10))
+		if dj != nil && !dj.published {
+			if err := dj.append(ctx, journalRecord{Type: recPublished, Version: snap.Version}); err != nil {
+				return report, err
+			}
+		}
 	}
 	if p.server != nil {
 		// Roll the day's job counters into the serving layer's running
@@ -682,6 +776,22 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	}
 	dspan.SetAttr("degraded", strconv.Itoa(len(report.Degraded)))
 	dspan.SetAttr("quarantined", strconv.Itoa(len(report.Quarantined)))
+
+	if dj != nil {
+		// The done record is the last crashpoint: a crash here re-runs the
+		// day as a pure replay (everything skips, the publish repeats).
+		if !dj.done {
+			if err := dj.append(ctx, journalRecord{Type: recDone}); err != nil {
+				return report, err
+			}
+		}
+		report.CellsSkipped, report.TenantsReplayed = dj.counts()
+		info := dj.resumeInfo()
+		if rr, ok := p.server.(interface{ SetResumeInfo(serving.ResumeInfo) }); ok {
+			rr.SetResumeInfo(info)
+		}
+		p.emitResumeMetrics(report)
+	}
 	p.emitDayMetrics(report)
 
 	// Storage GC: drop whole expired days (data, checkpoints, models,
@@ -694,6 +804,25 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 	p.day++
 	p.mu.Unlock()
 	return report, nil
+}
+
+// emitResumeMetrics rolls one journaled day's crash-recovery counters into
+// the registry.
+func (p *Pipeline) emitResumeMetrics(report DayReport) {
+	reg := p.opts.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	if report.Resumed {
+		reg.Counter("sigmund_pipeline_resumes_total",
+			"Daily cycles resumed from a durable day journal after a coordinator crash.").Inc()
+	}
+	reg.Counter("sigmund_pipeline_journal_replayed_records_total",
+		"Day-journal records replayed by resumed daily cycles.").Add(int64(report.RecordsReplayed))
+	reg.Counter("sigmund_pipeline_journal_skipped_cells_total",
+		"Training cells skipped on resume because their outputs were already committed.").Add(int64(report.CellsSkipped))
+	reg.Counter("sigmund_pipeline_journal_replayed_tenants_total",
+		"Tenants whose staged plan was replayed from the day journal.").Add(int64(report.TenantsReplayed))
 }
 
 // endTenantSpan closes a tenant span for a degraded cycle, tagging it with

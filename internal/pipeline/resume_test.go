@@ -1,0 +1,379 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/serving"
+)
+
+// readJournalRecords decodes the day's journal straight from the shared
+// filesystem, bypassing the pipeline's replay machinery.
+func readJournalRecords(t *testing.T, fs *dfs.FS, day int) []journalRecord {
+	t.Helper()
+	_, raw, err := dfs.OpenJournal(fs, journalPath(day))
+	if err != nil {
+		t.Fatalf("opening day %d journal: %v", day, err)
+	}
+	out := make([]journalRecord, 0, len(raw))
+	for _, payload := range raw {
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			t.Fatalf("decoding journal record: %v", err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// normalizeReport zeroes the fields a resumed day legitimately differs in
+// from an uninterrupted control day: wall-clock timings and the
+// crash-recovery bookkeeping. Everything else — sweep decisions, configs
+// trained, best models, MAP, items served, MapReduce counters — must be
+// byte-identical.
+func normalizeReport(rep DayReport) DayReport {
+	rep.StagingWall, rep.TrainWall, rep.SelectWall = 0, 0, 0
+	rep.InferWall, rep.PublishWall = 0, 0
+	// WorkersObserved is a max-concurrency observation, not a work count;
+	// it depends on goroutine scheduling, not on what the day computed.
+	rep.TrainCounters.WorkersObserved = 0
+	rep.InferCounters.WorkersObserved = 0
+	rep.Resumed = false
+	rep.RecordsReplayed, rep.CellsSkipped, rep.TenantsReplayed = 0, 0, 0
+	retailers := make([]RetailerReport, len(rep.Retailers))
+	copy(retailers, rep.Retailers)
+	for i := range retailers {
+		retailers[i].StagingWall, retailers[i].TrainWall, retailers[i].InferWall = 0, 0, 0
+	}
+	rep.Retailers = retailers
+	return rep
+}
+
+// TestCrashResumeSweep is the crash-recovery proof: for EVERY journal
+// record index k of an uninterrupted control day, run a fresh day that
+// crashes right after committing record k, resume it, and assert the
+// resumed day's report and published recommendations are byte-identical
+// to the control's. Along the way, any crash that happened after a
+// training cell committed must skip (not re-execute) exactly those cells
+// on resume.
+func TestCrashResumeSweep(t *testing.T) {
+	newRun := func(inj *faults.Injector) (*Pipeline, *dfs.FS, *serving.Server) {
+		opts := testOptions()
+		opts.Journal = true
+		opts.Injector = inj
+		fs := dfs.New()
+		server := serving.NewServer()
+		p := New(fs, server, opts)
+		for _, r := range chaosFleet(t, 2) {
+			mustAdd(t, p, r)
+		}
+		return p, fs, server
+	}
+
+	// Control: one uninterrupted journaled day.
+	control, controlFS, controlServer := newRun(nil)
+	controlRep, err := control.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	controlRecords := readJournalRecords(t, controlFS, 0)
+	n := len(controlRecords)
+	// 2 tenants, 2 cells: intent + 2 staged + 2 cells + 2 inferred +
+	// published + done.
+	if n < 5 {
+		t.Fatalf("control journal has %d records, want a full day's worth", n)
+	}
+	if controlRecords[n-1].Type != recDone {
+		t.Fatalf("control journal ends with %q, want %q", controlRecords[n-1].Type, recDone)
+	}
+	wantReport := normalizeReport(controlRep)
+	wantRecs := controlServer.Snapshot().Retailers
+
+	cellSkips := 0
+	for k := 0; k < n; k++ {
+		// The injector fires exactly once, after the (k+1)th journal
+		// record of day 0 commits.
+		inj := faults.NewInjector(1, faults.Rule{
+			Ops:      []faults.Op{faults.OpCoordinator},
+			Kind:     faults.Error,
+			After:    k,
+			EveryNth: 1,
+			Times:    1,
+		})
+		crashed, fs, server := newRun(inj)
+		_, err := crashed.RunDay(context.Background())
+		if err == nil {
+			t.Fatalf("k=%d: RunDay survived its crashpoint", k)
+		}
+		if !IsCoordinatorCrash(err) {
+			t.Fatalf("k=%d: err = %v, want a coordinator crash", k, err)
+		}
+		if crashed.Day() != 0 {
+			t.Fatalf("k=%d: crashed day still advanced", k)
+		}
+
+		// What did the dead coordinator leave behind? Cells and tenants
+		// with committed records must be skipped by the resume, not redone.
+		left := readJournalRecords(t, fs, 0)
+		committedCells := 0
+		for _, rec := range left {
+			if rec.Type == recCell {
+				committedCells++
+			}
+		}
+
+		// Resume: a fresh coordinator process over the same filesystem and
+		// serving state. The fleet re-registers (a restarted process would
+		// reload its tenant set the same way).
+		opts := testOptions()
+		opts.Journal = true
+		resumed := New(fs, server, opts)
+		for _, r := range chaosFleet(t, 2) {
+			mustAdd(t, resumed, r)
+		}
+		rep, err := resumed.RunDay(context.Background())
+		if err != nil {
+			t.Fatalf("k=%d: resume failed: %v", k, err)
+		}
+		if !rep.Resumed {
+			t.Fatalf("k=%d: resumed day not marked Resumed", k)
+		}
+		if rep.RecordsReplayed != len(left) {
+			t.Fatalf("k=%d: RecordsReplayed = %d, want %d", k, rep.RecordsReplayed, len(left))
+		}
+		if rep.CellsSkipped != committedCells {
+			t.Fatalf("k=%d: CellsSkipped = %d, want %d (journal had %d cell records)",
+				k, rep.CellsSkipped, committedCells, committedCells)
+		}
+		cellSkips += rep.CellsSkipped
+
+		// The resumed day must be indistinguishable from the control day.
+		if got := normalizeReport(rep); !reflect.DeepEqual(got, wantReport) {
+			t.Fatalf("k=%d: resumed report diverged from control:\n got: %+v\nwant: %+v", k, got, wantReport)
+		}
+		if !reflect.DeepEqual(server.Snapshot().Retailers, wantRecs) {
+			t.Fatalf("k=%d: resumed recommendations diverged from control", k)
+		}
+		if server.Snapshot().Version != controlServer.Snapshot().Version {
+			t.Fatalf("k=%d: version = %d, want %d", k, server.Snapshot().Version, controlServer.Snapshot().Version)
+		}
+	}
+	if cellSkips == 0 {
+		t.Fatal("no resumed run skipped a committed training cell; the sweep never exercised cell replay")
+	}
+}
+
+// TestCrashResumeIncrementalDay crashes an in-flight incremental day (day
+// 1, warm starts) after both training cells and both inference jobs have
+// committed, then resumes in-process and runs one more clean day. The
+// /statz resume block must report the recovery.
+func TestCrashResumeIncrementalDay(t *testing.T) {
+	opts := testOptions()
+	opts.Journal = true
+	// Day-1 record layout is deterministic (phases are barriers): intent,
+	// 2 staged, 2 cells, 2 inferred, published, done. After: 6 crashes
+	// right after the second inferred record (index 6) commits — all
+	// training and inference work is durable, publish is not.
+	opts.Injector = faults.NewInjector(1, faults.Rule{
+		Ops:          []faults.Op{faults.OpCoordinator},
+		PathContains: "day-1/",
+		Kind:         faults.Error,
+		After:        6,
+		EveryNth:     1,
+		Times:        1,
+	})
+	fs := dfs.New()
+	server := serving.NewServer()
+	p := New(fs, server, opts)
+	for _, r := range chaosFleet(t, 2) {
+		mustAdd(t, p, r)
+	}
+
+	rep, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatalf("day 0: %v", err)
+	}
+	if rep.Resumed {
+		t.Fatal("day 0 marked Resumed")
+	}
+
+	// Day 1 crashes mid-publish.
+	_, err = p.RunDay(context.Background())
+	if !IsCoordinatorCrash(err) {
+		t.Fatalf("day 1 err = %v, want coordinator crash", err)
+	}
+	left := readJournalRecords(t, fs, 1)
+	if len(left) != 7 {
+		t.Fatalf("crashed day-1 journal has %d records, want 7", len(left))
+	}
+	if server.Snapshot().Version != 1 {
+		t.Fatalf("crashed day published v%d, want day-0 snapshot still serving", server.Snapshot().Version)
+	}
+
+	// Same process, same pipeline: the next RunDay resumes day 1. Every
+	// cell and tenant replays; only publish and done run fresh.
+	rep, err = p.RunDay(context.Background())
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !rep.Resumed || rep.Day != 1 {
+		t.Fatalf("resumed report = %+v, want Resumed day 1", rep)
+	}
+	if rep.RecordsReplayed != 7 || rep.CellsSkipped != 2 || rep.TenantsReplayed != 2 {
+		t.Fatalf("replayed=%d skipped=%d tenants=%d, want 7/2/2",
+			rep.RecordsReplayed, rep.CellsSkipped, rep.TenantsReplayed)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Fatalf("resumed day degraded: %v", rep.Degraded)
+	}
+	for _, rr := range rep.Retailers {
+		if rr.FullSweep {
+			t.Fatalf("%s: resumed day 1 replayed a full sweep, want incremental", rr.Retailer)
+		}
+		if rr.ConfigsOK == 0 || rr.ItemsServed == 0 {
+			t.Fatalf("%s: resumed day produced nothing: %+v", rr.Retailer, rr)
+		}
+	}
+	if server.Snapshot().Version != 2 {
+		t.Fatalf("resumed day published v%d, want 2", server.Snapshot().Version)
+	}
+
+	// The serving layer's /statz now carries the resume block.
+	w := httptest.NewRecorder()
+	serving.NewHandler(server).ServeHTTP(w, httptest.NewRequest("GET", "/statz", nil))
+	var statz struct {
+		Resume *struct {
+			Day             int  `json:"day"`
+			Resumed         bool `json:"resumed"`
+			RecordsReplayed int  `json:"records_replayed"`
+			CellsSkipped    int  `json:"cells_skipped"`
+			TenantsReplayed int  `json:"tenants_replayed"`
+		} `json:"resume"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &statz); err != nil {
+		t.Fatalf("statz: %v (%s)", err, w.Body.String())
+	}
+	if statz.Resume == nil {
+		t.Fatalf("statz has no resume block: %s", w.Body.String())
+	}
+	if !statz.Resume.Resumed || statz.Resume.Day != 1 ||
+		statz.Resume.RecordsReplayed != 7 || statz.Resume.CellsSkipped != 2 || statz.Resume.TenantsReplayed != 2 {
+		t.Fatalf("statz resume block = %+v", statz.Resume)
+	}
+
+	// Day 2 runs clean — the journal machinery must not confuse a fresh
+	// day with the recovered one.
+	rep, err = p.RunDay(context.Background())
+	if err != nil {
+		t.Fatalf("day 2: %v", err)
+	}
+	if rep.Resumed || rep.Day != 2 || rep.CellsSkipped != 0 {
+		t.Fatalf("day 2 report = %+v, want a fresh day", rep)
+	}
+}
+
+// TestRunDayCancellationAbortsJournalCleanly cancels a journaled RunDay
+// mid-training and checks the fleet-level contract: a prompt
+// context.Canceled return, no leaked goroutines, an abort marker as the
+// journal's last record, and a clean resume on the next RunDay.
+func TestRunDayCancellationAbortsJournalCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	opts := testOptions()
+	opts.Journal = true
+	// Every training task stalls long enough for the cancel to land
+	// mid-phase.
+	opts.Injector = faults.NewInjector(7, faults.Rule{
+		Ops:      []faults.Op{faults.OpTrain},
+		Kind:     faults.Latency,
+		Delay:    200 * time.Millisecond,
+		EveryNth: 1,
+	})
+	fs := dfs.New()
+	server := serving.NewServer()
+	p := New(fs, server, opts)
+	for _, r := range chaosFleet(t, 2) {
+		mustAdd(t, p, r)
+	}
+
+	// Cancel once staging has committed (intent + one staged record) and
+	// the training phase is under way.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if _, raw, err := dfs.OpenJournal(fs, journalPath(0)); err == nil && len(raw) >= 2 {
+				time.Sleep(20 * time.Millisecond) // into the stalled train tasks
+				cancel()
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err := p.RunDay(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if IsCoordinatorCrash(err) {
+		t.Fatalf("cancellation reported as a coordinator crash: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("RunDay took %v after cancellation, want prompt return", elapsed)
+	}
+	if p.Day() != 0 {
+		t.Fatal("cancelled day advanced")
+	}
+
+	// Every pipeline goroutine (cells, workers, substrate) must wind
+	// down; poll briefly to let deferred exits run.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: before=%d now=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The journal records the clean abort as its final record.
+	recs := readJournalRecords(t, fs, 0)
+	if len(recs) == 0 {
+		t.Fatal("cancelled day left an empty journal")
+	}
+	last := recs[len(recs)-1]
+	if last.Type != recAbort {
+		t.Fatalf("last journal record = %q, want %q", last.Type, recAbort)
+	}
+	if last.Reason == "" {
+		t.Fatal("abort record has no reason")
+	}
+
+	// A fresh context resumes the aborted day to completion.
+	rep, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatalf("resume after abort: %v", err)
+	}
+	if !rep.Resumed || rep.Day != 0 || !rep.SnapshotPushed {
+		t.Fatalf("resumed report = %+v, want completed day 0", rep)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Fatalf("resumed day degraded: %v", rep.Degraded)
+	}
+}

@@ -28,8 +28,14 @@ import (
 // A sunk cell (its MapReduce exhausting all attempts) degrades exactly the
 // tenants whose configs it carried — reported in the returned map — while
 // the other cells' output is kept. Only fleet-level failures (context
-// cancellation) surface as the error.
-func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelselect.ConfigRecord) ([]modelselect.ConfigRecord, mapreduce.Counters, map[catalog.RetailerID]error, map[catalog.RetailerID]time.Duration, error) {
+// cancellation, day-journal failures) surface as the error.
+//
+// With day journaling (dj != nil), a cell whose completion record is in
+// the journal is replayed: its committed output records are decoded from
+// the shared filesystem and its recorded counters restored, with no
+// MapReduce launched. Cells that finish fresh commit a completion record
+// — after their outputs are durable — so the next resume can skip them.
+func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelselect.ConfigRecord, dj *dayJournal) ([]modelselect.ConfigRecord, mapreduce.Counters, map[catalog.RetailerID]error, map[catalog.RetailerID]time.Duration, error) {
 	cells := p.opts.Cells
 	perCell := make([][]modelselect.ConfigRecord, cells)
 	for i, rec := range records {
@@ -53,17 +59,35 @@ func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelsele
 		counters mapreduce.Counters
 		wg       sync.WaitGroup
 		failed   = map[catalog.RetailerID]error{}
+		fleetErr error // journal failure or coordinator crash: aborts the day
 	)
 	for cell := 0; cell < cells; cell++ {
 		if len(perCell[cell]) == 0 {
 			continue
+		}
+		if dj != nil {
+			if rec := dj.cellRecord(cell); rec != nil {
+				cellOut, err := p.loadCellRecords(day, cell)
+				if err == nil {
+					mu.Lock()
+					out = append(out, cellOut...)
+					if rec.Counters != nil {
+						counters.Add(*rec.Counters)
+					}
+					mu.Unlock()
+					dj.noteSkippedCell()
+					continue
+				}
+				// The completion record survived but its artifacts did not
+				// (partial GC, corrupted file): fall through and re-run the
+				// cell — replay must degrade to re-execution, never fail.
+			}
 		}
 		wg.Add(1)
 		go func(cell int, recs []modelselect.ConfigRecord) {
 			defer wg.Done()
 			cellOut, c, err := p.runTrainingCell(ctx, day, cell, recs, coocCache, wall)
 			mu.Lock()
-			defer mu.Unlock()
 			counters.Add(c)
 			if err != nil {
 				for _, rec := range recs {
@@ -71,12 +95,30 @@ func (p *Pipeline) runTraining(ctx context.Context, day int, records []modelsele
 						failed[rec.Retailer] = fmt.Errorf("training cell %d: %w", cell, err)
 					}
 				}
+				mu.Unlock()
 				return
 			}
 			out = append(out, cellOut...)
+			mu.Unlock()
+			if dj != nil {
+				// The cell's outputs are durable (runTrainingCell persists
+				// them before returning), so its completion can commit. A
+				// failed append is fleet-level, not this cell's tenants'
+				// fault: the work itself succeeded.
+				if aerr := dj.append(ctx, journalRecord{Type: recCell, Cell: cell, Counters: &c}); aerr != nil {
+					mu.Lock()
+					if fleetErr == nil {
+						fleetErr = aerr
+					}
+					mu.Unlock()
+				}
+			}
 		}(cell, perCell[cell])
 	}
 	wg.Wait()
+	if fleetErr != nil {
+		return nil, counters, nil, nil, fleetErr
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, counters, nil, nil, err
 	}

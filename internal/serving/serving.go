@@ -96,6 +96,32 @@ type Server struct {
 	// registry carries the same signals fleet-wide.
 	obs *obs.Observer
 	om  servingMetrics
+
+	// resume is the last completed day's crash-recovery metadata, set by
+	// the pipeline when day journaling is on; exposed as the /statz
+	// "resume" block.
+	resume atomic.Pointer[ResumeInfo]
+}
+
+// ResumeInfo is one day's crash-recovery metadata: whether the day
+// resumed from a durable journal, and how much committed work the resume
+// reused instead of re-executing.
+type ResumeInfo struct {
+	// Day is the pipeline day this information describes.
+	Day int `json:"day"`
+	// Resumed is true when the day continued from a journal left by a
+	// crashed coordinator rather than starting fresh.
+	Resumed bool `json:"resumed"`
+	// RecordsReplayed is how many journal records the resume replayed.
+	RecordsReplayed int `json:"records_replayed"`
+	// CellsSkipped counts training cells whose committed outputs were
+	// reused instead of re-executed.
+	CellsSkipped int `json:"cells_skipped"`
+	// TenantsReplayed counts tenants whose staged plan was reused.
+	TenantsReplayed int `json:"tenants_replayed"`
+	// JournalRecords is the journal's total record count after the day
+	// completed.
+	JournalRecords int `json:"journal_records"`
 }
 
 // servingMetrics are the registry handles the server reports through
@@ -147,6 +173,31 @@ func NewServerWithObs(o *obs.Observer) *Server {
 
 // Observer returns the server's observability surface (may be nil).
 func (s *Server) Observer() *obs.Observer { return s.obs }
+
+// SetResumeInfo records the last completed day's crash-recovery metadata
+// (the pipeline calls this when day journaling is on).
+func (s *Server) SetResumeInfo(info ResumeInfo) {
+	s.resume.Store(&info)
+}
+
+// ResumeInfo returns the last completed day's crash-recovery metadata.
+func (s *Server) ResumeInfo() (ResumeInfo, bool) {
+	p := s.resume.Load()
+	if p == nil {
+		return ResumeInfo{}, false
+	}
+	return *p, true
+}
+
+// StatzBlocks implements StatzExtension: a "resume" block appears once
+// the pipeline has completed a journaled day.
+func (s *Server) StatzBlocks() map[string]any {
+	blocks := map[string]any{}
+	if info, ok := s.ResumeInfo(); ok {
+		blocks["resume"] = info
+	}
+	return blocks
+}
 
 // Publish atomically replaces the serving snapshot — the batch update at
 // the end of the daily pipeline. In-flight requests keep reading the old

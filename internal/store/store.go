@@ -202,7 +202,17 @@ type Store struct {
 	jobMu       sync.Mutex
 	jobCounters mapreduce.Counters
 
+	// resume mirrors serving.Server's crash-recovery metadata for the
+	// /statz "resume" block when the pipeline publishes through the store.
+	resume atomic.Pointer[serving.ResumeInfo]
+
 	m storeMetrics
+}
+
+// SetResumeInfo records the last completed day's crash-recovery metadata
+// (the pipeline calls this when day journaling is on).
+func (st *Store) SetResumeInfo(info serving.ResumeInfo) {
+	st.resume.Store(&info)
 }
 
 // storeMetrics are the sigmund_store_* registry handles. Shard indices are
@@ -828,7 +838,11 @@ func (st *Store) StatzBlocks() map[string]any {
 	}
 	entries, hits := st.cache.stats()
 	committed, rolledBack := st.Publishes()
-	return map[string]any{"store": struct {
+	blocks := map[string]any{}
+	if info := st.resume.Load(); info != nil {
+		blocks["resume"] = *info
+	}
+	blocks["store"] = struct {
 		Generation   int64        `json:"generation"`
 		Shards       []shardStatz `json:"shards"`
 		Hedges       int64        `json:"hedges"`
@@ -839,7 +853,8 @@ func (st *Store) StatzBlocks() map[string]any {
 		CacheHits    int64        `json:"cache_hits"`
 		Publishes    int64        `json:"publishes"`
 		Rollbacks    int64        `json:"rollbacks"`
-	}{st.Version(), shards, st.Hedges(), st.HedgeWins(), st.Failovers(), st.Shed(), entries, hits, committed, rolledBack}}
+	}{st.Version(), shards, st.Hedges(), st.HedgeWins(), st.Failovers(), st.Shed(), entries, hits, committed, rolledBack}
+	return blocks
 }
 
 // latencyWindow tracks recent request latencies for the adaptive hedge

@@ -41,6 +41,15 @@ echo "== serving-store chaos suite"
 go test -race -short -run 'TornGeneration|Hedge|Failover|Shed|RollsBack|Revive|UniformlyStale|ContinuousChaos|CloseDrains|Ring' \
 	./internal/store/
 
+echo "== crash-resume chaos suite"
+# The day-journal codec (torn-tail repair, append rollback), checkpoint
+# temp-file hygiene, the coordinator crash sweep (crash after every
+# journal record, resume, byte-identical outputs), in-process incremental
+# resume, and the clean-abort cancellation path (fails on goroutine
+# leaks).
+go test -race -short -run 'CrashResume|Journal|Checkpointer|OrphanTmp' \
+	./internal/pipeline/ ./internal/dfs/
+
 echo "== benchmark regression gate"
 go run ./scripts/benchcheck
 

@@ -2,6 +2,7 @@ package sigmund
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -86,7 +87,18 @@ type Config struct {
 	// HedgeAfter is the routed read's fixed hedge threshold (0 = adaptive
 	// p95 of recent latencies). Only meaningful with Shards > 0.
 	HedgeAfter time.Duration
-	Seed       uint64
+	// Journal makes each daily cycle crash-resumable: RunDay records its
+	// plan and each committed unit of work in a durable day journal, and a
+	// re-run of a crashed day resumes from the journal instead of
+	// restarting (see IsCoordinatorCrash).
+	Journal bool
+	// CrashAfterRecord injects one deterministic coordinator crash: the
+	// day-CrashDay cycle aborts right after committing its Nth journal
+	// record (1-based; 0 disables). Requires Journal; the crashed day
+	// resumes on the next RunDay call.
+	CrashAfterRecord int
+	CrashDay         int
+	Seed             uint64
 }
 
 // DefaultConfig returns production-style settings scaled to a single
@@ -133,6 +145,17 @@ type Recommendation = serving.Recommendation
 // speculative execution, blacklisting).
 type JobCounters = mapreduce.Counters
 
+// ResumeInfo is one day's crash-recovery metadata, exposed on /statz as
+// the "resume" block when Config.Journal is on.
+type ResumeInfo = serving.ResumeInfo
+
+// IsCoordinatorCrash reports whether a RunDay error was an injected
+// coordinator crash (Config.CrashAfterRecord, or a faults.OpCoordinator
+// rule). The crashed day's journal survives, so calling RunDay again
+// resumes it — the supervisor loop in cmd/sigmundd does exactly that
+// under -resume.
+func IsCoordinatorCrash(err error) bool { return pipeline.IsCoordinatorCrash(err) }
+
 // Service hosts many retailers and runs the daily Sigmund cycle for all of
 // them.
 type Service struct {
@@ -174,6 +197,7 @@ func NewService(cfg Config) *Service {
 		LateFunnelFacets:     cfg.LateFunnelFacets,
 		QuarantineAfter:      cfg.QuarantineAfter,
 		QuarantineProbeEvery: cfg.QuarantineProbeEvery,
+		Journal:              cfg.Journal,
 		Seed:                 cfg.Seed,
 		Obs:                  observer,
 	}
@@ -204,6 +228,26 @@ func NewService(cfg Config) *Service {
 		// substrate through the same injector. The stock rules above never
 		// match OpWorker, so this is inert until such a rule is added.
 		opts.Substrate.WorkerFaults = inj.WorkerPlan()
+	}
+	if cfg.CrashAfterRecord > 0 {
+		// One deterministic coordinator crash, keyed by journal record
+		// index. Piggybacks on the chaos injector when present so both
+		// fault sources share metrics.
+		rule := faults.Rule{
+			Ops:          []faults.Op{faults.OpCoordinator},
+			Kind:         faults.Error,
+			PathContains: fmt.Sprintf("day-%d/", cfg.CrashDay),
+			After:        cfg.CrashAfterRecord - 1,
+			EveryNth:     1,
+			Times:        1,
+		}
+		if opts.Injector != nil {
+			opts.Injector.Add(rule)
+		} else {
+			inj := faults.NewInjector(chaosSeed, rule)
+			inj.SetMetrics(observer.Reg())
+			opts.Injector = inj
+		}
 	}
 	if cfg.ChaosKillProb > 0 {
 		rng := linalg.NewRNG(cfg.Seed ^ 0xc4a05)
