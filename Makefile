@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store chaos-resume bench-check bench-update ci clean
+.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store chaos-resume chaos-overload bench-check bench-update ci clean
 
 all: ci
 
@@ -47,9 +47,17 @@ chaos-store:
 chaos-resume:
 	$(GO) test -race -short -run 'CrashResume|Journal|Checkpointer|OrphanTmp' ./internal/pipeline/ ./internal/dfs/
 
-# Benchmark regression gate: BenchmarkMapReduce, BenchmarkRunDay, and
-# BenchmarkServeRouted vs the committed BENCH_*.json baselines (>25%
-# ns/op regression fails).
+# The overload-control chaos suite: token-bucket admission (determinism,
+# per-tenant fairness under a flood, zero-alloc fast path), power-of-two-
+# choices routing, autoscaler hysteresis/bounds/revive, the brownout
+# ladder, reject-reason accounting, and the overload + replica-kill drill
+# (autoscaler restores capacity, no torn generations, bounded p99).
+chaos-overload:
+	$(GO) test -race -short -run 'TokenBucket|Admit|CheapRNG|PickTwo|Autoscale|Overload|Brownout|Reject' ./internal/store/ ./internal/serving/
+
+# Benchmark regression gate: BenchmarkMapReduce, BenchmarkRunDay,
+# BenchmarkServeRouted, and BenchmarkServeAdmitted vs the committed
+# BENCH_*.json baselines (>25% ns/op regression fails).
 bench-check:
 	$(GO) run ./scripts/benchcheck
 
@@ -57,7 +65,7 @@ bench-check:
 bench-update:
 	$(GO) run ./scripts/benchcheck -update
 
-ci: fmt-check vet build race chaos chaos-workers chaos-store chaos-resume bench-check
+ci: fmt-check vet build race chaos chaos-workers chaos-store chaos-resume chaos-overload bench-check
 
 clean:
 	$(GO) clean ./...

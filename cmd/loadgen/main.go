@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +53,11 @@ func main() {
 	compare := flag.Bool("compare", false, "run single-node (1x1) first, then the routed config, and report the speedup")
 	stallReplica := flag.Int("stall-replica", -1, "stall every serve on this replica index (tail-latency demo, -1 = off)")
 	stall := flag.Duration("stall", 50*time.Millisecond, "stall duration for -stall-replica")
+	overload := flag.Float64("overload", 0, "overload scenario: measure capacity closed-loop, then offer this multiple of it open-loop (half-capacity zipf background + one-tenant flood) and grade admission fairness (0 = off, needs >= 1)")
+	admitQPS := flag.Float64("admit-qps", 0, "admission budget for the overload run (0 = 85% of measured capacity)")
+	admitBurst := flag.Int("admit-burst", 0, "admission token-bucket burst (0 = quarter second of budget)")
+	autoscale := flag.Bool("autoscale", false, "run the replica autoscaler during the overload run")
+	maxReplicas := flag.Int("max-replicas", 0, "autoscaler per-shard replica ceiling (0 = 2x -replicas)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -90,7 +96,219 @@ func main() {
 		return
 	}
 	opts.Shards = *shards
+	if *overload > 0 {
+		if *overload < 1 {
+			fmt.Fprintln(os.Stderr, "loadgen: -overload must be >= 1")
+			os.Exit(2)
+		}
+		cal := runOne(fmt.Sprintf("calibration: routed %dx%d closed-loop", *shards, *replicas), opts, snap, *clients, *duration, *zipfS, *nItems, *seed)
+		if cal.qps <= 0 || cal.p99 <= 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: calibration run served nothing")
+			os.Exit(1)
+		}
+		oo := opts
+		oo.AdmitQPS = *admitQPS
+		if oo.AdmitQPS <= 0 {
+			oo.AdmitQPS = 0.85 * cal.qps
+		}
+		oo.AdmitBurst = *admitBurst
+		oo.Autoscale = *autoscale
+		oo.MaxReplicas = *maxReplicas
+		if !runOverload(oo, snap, cal, *overload, *clients, *duration, *zipfS, *nItems, *seed) {
+			os.Exit(1)
+		}
+		return
+	}
 	runOne(fmt.Sprintf("routed %dx%d", *shards, *replicas), opts, snap, *clients, *duration, *zipfS, *nItems, *seed)
+}
+
+// runOverload offers a paced open-loop workload past the store's measured
+// capacity: half of capacity as zipf background across the tail tenants,
+// with the rest of the offered load flooding a single hot tenant. It then
+// grades the control plane on the tentpole's three promises — admitted-
+// request p99 stays within 2x the at-capacity p99, rejects concentrate on
+// the flooding tenant (>= 80%), and tail-tenant goodput fractions stay
+// near-uniform (Jain index >= 0.9) — and returns whether all three hold.
+func runOverload(opts store.Options, snap *serving.Snapshot, cal runResult, multiplier float64, clients int, window time.Duration, zipfS float64, nItems int, seed uint64) bool {
+	fs := dfs.New()
+	st := store.New(fs, opts)
+	defer st.Close()
+	st.Publish(snap)
+	if err := st.PublishErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: publish:", err)
+		os.Exit(1)
+	}
+
+	retailers := make([]catalog.RetailerID, 0, len(snap.Retailers))
+	for r := range snap.Retailers {
+		retailers = append(retailers, r)
+	}
+	sort.Slice(retailers, func(i, j int) bool { return retailers[i] < retailers[j] })
+	nT := len(retailers)
+	if nT < 2 {
+		fmt.Fprintln(os.Stderr, "loadgen: overload needs >= 2 retailers")
+		os.Exit(2)
+	}
+
+	// 40% of capacity as zipf background keeps nearly every tail tenant
+	// inside its fair share; the hot tenant's flood carries the rest of the
+	// offered load (1.6x capacity at -overload 2). The hot pool gets the
+	// larger client share: its per-client pace must absorb the occasional
+	// admitted (slow) request without falling behind the offered rate.
+	bgRate := 0.4 * cal.qps
+	hotRate := (multiplier - 0.4) * cal.qps
+	bgClients := clients / 3
+	if bgClients < 1 {
+		bgClients = 1
+	}
+	hotClients := clients - bgClients
+	if hotClients < 1 {
+		hotClients = 1
+	}
+
+	var (
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		latMu    sync.Mutex
+		lats     []time.Duration
+		rejAdm   atomic.Int64
+		rejShed  atomic.Int64
+		errsOth  atomic.Int64
+		offered  = make([]atomic.Int64, nT)
+		admitted = make([]atomic.Int64, nT)
+		rejected = make([]atomic.Int64, nT)
+	)
+	// Each client paces itself open-loop at interval = pool/rate: it owes
+	// one request per interval regardless of how the last one fared, so the
+	// offered rate holds under rejection. A stall longer than 50 intervals
+	// resyncs instead of bursting the backlog.
+	runClient := func(c int, interval time.Duration, pick func(rng *linalg.RNG) int) {
+		defer wg.Done()
+		rng := linalg.NewRNG(seed + uint64(c)*0x9e3779b97f4a7c15)
+		local := make([]time.Duration, 0, 4096)
+		next := time.Now()
+		for !stop.Load() {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+			if time.Since(next) > 50*interval {
+				next = time.Now()
+			}
+			ti := pick(rng)
+			item := catalog.ItemID(rng.Zipf(nItems, zipfS))
+			uctx := interactions.Context{{Type: interactions.View, Item: item}}
+			offered[ti].Add(1)
+			t0 := time.Now()
+			_, _, _, err := st.Serve(retailers[ti], uctx, 10)
+			switch {
+			case err == nil:
+				admitted[ti].Add(1)
+				local = append(local, time.Since(t0))
+			case errors.Is(err, store.ErrAdmission):
+				rejected[ti].Add(1)
+				rejAdm.Add(1)
+			case errors.Is(err, store.ErrShed):
+				rejected[ti].Add(1)
+				rejShed.Add(1)
+			default:
+				errsOth.Add(1)
+			}
+		}
+		latMu.Lock()
+		lats = append(lats, local...)
+		latMu.Unlock()
+	}
+
+	fmt.Printf("\n=== overload %.1fx (paced open-loop) ===\n", multiplier)
+	fmt.Printf("  capacity (calibrated): %.0f qps, p99 %v\n", cal.qps, cal.p99.Round(10*time.Microsecond))
+	fmt.Printf("  admit budget: %.0f qps (%.0f%% of capacity)\n", opts.AdmitQPS, 100*opts.AdmitQPS/cal.qps)
+	fmt.Printf("  offered: %.0f qps zipf background over %d tail tenants + %.0f qps flooding %s\n",
+		bgRate, nT-1, hotRate, retailers[0])
+
+	start := time.Now()
+	bgInterval := time.Duration(float64(bgClients) / bgRate * float64(time.Second))
+	for c := 0; c < bgClients; c++ {
+		wg.Add(1)
+		go runClient(c, bgInterval, func(rng *linalg.RNG) int {
+			return 1 + rng.Zipf(nT-1, zipfS)
+		})
+	}
+	hotInterval := time.Duration(float64(hotClients) / hotRate * float64(time.Second))
+	for c := 0; c < hotClients; c++ {
+		wg.Add(1)
+		go runClient(bgClients+c, hotInterval, func(*linalg.RNG) int { return 0 })
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var p50, p95, p99 time.Duration
+	if n := len(lats); n > 0 {
+		p50, p95, p99 = lats[n/2], lats[n*95/100], lats[n*99/100]
+	}
+	var totOff, totAdm, totRej int64
+	for t := 0; t < nT; t++ {
+		totOff += offered[t].Load()
+		totAdm += admitted[t].Load()
+		totRej += rejected[t].Load()
+	}
+	// Jain fairness over the tail tenants' goodput fractions: every tenant
+	// under its fair share should keep ~all of its offered load, so the
+	// fractions should be near-identical and the index near 1.
+	var sum, sumSq float64
+	tails := 0
+	for t := 1; t < nT; t++ {
+		off := offered[t].Load()
+		if off == 0 {
+			continue
+		}
+		x := float64(admitted[t].Load()) / float64(off)
+		sum += x
+		sumSq += x * x
+		tails++
+	}
+	jain := 0.0
+	if tails > 0 && sumSq > 0 {
+		jain = sum * sum / (float64(tails) * sumSq)
+	}
+	hotShare := 0.0
+	if totRej > 0 {
+		hotShare = float64(rejected[0].Load()) / float64(totRej)
+	}
+	hotFrac := 0.0
+	if off := offered[0].Load(); off > 0 {
+		hotFrac = float64(admitted[0].Load()) / float64(off)
+	}
+	p99Ratio := float64(p99) / float64(cal.p99)
+	ups, downs := st.ScaleEvents()
+	bCache, bStale := st.BrownoutServes()
+
+	fmt.Printf("  offered %d (%.0f qps)  admitted %d (%.0f qps goodput)  rejected %d (admission %d, shed %d)  errors %d\n",
+		totOff, float64(totOff)/elapsed.Seconds(), totAdm, float64(totAdm)/elapsed.Seconds(),
+		totRej, rejAdm.Load(), rejShed.Load(), errsOth.Load())
+	fmt.Printf("  admitted latency: p50 %v  p95 %v  p99 %v (%.2fx calibration p99)\n",
+		p50.Round(10*time.Microsecond), p95.Round(10*time.Microsecond), p99.Round(10*time.Microsecond), p99Ratio)
+	fmt.Printf("  hot tenant %s: offered %d, admitted %d (%.0f%% goodput), %.0f%% of all rejects\n",
+		retailers[0], offered[0].Load(), admitted[0].Load(), 100*hotFrac, 100*hotShare)
+	fmt.Printf("  tail tenants: %d active, Jain fairness on goodput fraction %.3f\n", tails, jain)
+	fmt.Printf("  hedges: %d  failovers: %d  autoscale: +%d/-%d  brownout: cache %d, stale %d\n",
+		st.Hedges(), st.Failovers(), ups, downs, bCache, bStale)
+
+	verdict := func(name string, ok bool, detail string) bool {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+		}
+		fmt.Printf("  %-28s %s  (%s)\n", name, status, detail)
+		return ok
+	}
+	okP99 := verdict("admitted p99 <= 2x baseline", p99Ratio <= 2.0, fmt.Sprintf("%.2fx", p99Ratio))
+	okJain := verdict("tail Jain index >= 0.9", jain >= 0.9, fmt.Sprintf("%.3f", jain))
+	okHot := verdict("hot tenant >= 80% of rejects", hotShare >= 0.8, fmt.Sprintf("%.0f%%", 100*hotShare))
+	return okP99 && okJain && okHot
 }
 
 // buildSnapshot synthesizes one generation: every retailer gets nItems

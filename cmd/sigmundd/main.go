@@ -48,6 +48,10 @@ func main() {
 	shards := flag.Int("shards", 0, "serve from a sharded, replicated store with this many shards (0 = single-node server)")
 	replicas := flag.Int("replicas", 2, "replicas per shard (with -shards)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "routed reads hedge to a second replica after this latency (0 = adaptive p95; with -shards)")
+	admitQPS := flag.Float64("admit-qps", 0, "cap the store's admitted request rate with per-tenant fair token buckets; excess gets 429 (0 = off; with -shards)")
+	admitBurst := flag.Int("admit-burst", 0, "admission token-bucket burst capacity (0 = quarter second of -admit-qps; with -admit-qps)")
+	autoscale := flag.Bool("autoscale", false, "autoscale per-shard replica counts from live queue depth and tail latency (with -shards)")
+	maxReplicas := flag.Int("max-replicas", 0, "per-shard replica ceiling for the autoscaler (0 = 2x -replicas; with -autoscale)")
 	journal := flag.Bool("journal", true, "write a durable day journal so a crashed daily cycle resumes instead of restarting")
 	resume := flag.Bool("resume", true, "auto-restart a day whose coordinator crashed, resuming from its journal (with -journal)")
 	crashAfterRecord := flag.Int("crash-after-record", 0, "inject one coordinator crash after the Nth journal record, 1-based (0 = off; with -journal)")
@@ -65,6 +69,10 @@ func main() {
 	cfg.Shards = *shards
 	cfg.Replicas = *replicas
 	cfg.HedgeAfter = *hedgeAfter
+	cfg.AdmitQPS = *admitQPS
+	cfg.AdmitBurst = *admitBurst
+	cfg.Autoscale = *autoscale
+	cfg.MaxReplicas = *maxReplicas
 	cfg.Journal = *journal
 	cfg.CrashAfterRecord = *crashAfterRecord
 	cfg.CrashDay = *crashDay

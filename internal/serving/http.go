@@ -2,6 +2,7 @@ package serving
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -32,6 +33,24 @@ type Backend interface {
 // replica health).
 type StatzExtension interface {
 	StatzBlocks() map[string]any
+}
+
+// Rejecter is an optional Backend extension for backends that can refuse
+// requests (admission control, load shedding). When present, /recommend
+// uses it instead of Recommend so rejections surface as HTTP errors —
+// 429 for admission-control rejections, 503 otherwise — rather than
+// silently serving an empty list.
+type Rejecter interface {
+	RecommendOrReject(r catalog.RetailerID, ctx interactions.Context, k int) ([]Recommendation, error)
+}
+
+// RejectionError lets a backend's rejection errors carry a machine-
+// readable cause. The store's ErrShed/ErrAdmission implement it; the
+// handler maps "admission" to 429 Too Many Requests and everything else
+// to 503, and echoes the reason in the X-Reject-Reason header.
+type RejectionError interface {
+	error
+	RejectReason() string
 }
 
 // NewHandler exposes a single-node server over HTTP. See NewBackendHandler
@@ -70,7 +89,25 @@ func NewBackendHandler(s Backend) http.Handler {
 				return
 			}
 		}
-		recs := s.Recommend(retailer, ctx, k)
+		var recs []Recommendation
+		if rej, ok := s.(Rejecter); ok {
+			recs, err = rej.RecommendOrReject(retailer, ctx, k)
+			if err != nil {
+				reason, code := "unavailable", http.StatusServiceUnavailable
+				var re RejectionError
+				if errors.As(err, &re) {
+					reason = re.RejectReason()
+					if reason == "admission" {
+						code = http.StatusTooManyRequests
+					}
+				}
+				w.Header().Set("X-Reject-Reason", reason)
+				http.Error(w, err.Error(), code)
+				return
+			}
+		} else {
+			recs = s.Recommend(retailer, ctx, k)
+		}
 		if recs == nil {
 			recs = []Recommendation{}
 		}

@@ -1,0 +1,73 @@
+package serving
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+	"sigmund/internal/mapreduce"
+	"sigmund/internal/obs"
+)
+
+// rejectingBackend wraps a real single-node server and refuses requests
+// through the Rejecter surface, standing in for the sharded store's
+// admission control and load shedding.
+type rejectingBackend struct {
+	*Server
+	err error
+}
+
+func (b *rejectingBackend) RecommendOrReject(r catalog.RetailerID, ctx interactions.Context, k int) ([]Recommendation, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.Server.Recommend(r, ctx, k), nil
+}
+
+func (b *rejectingBackend) JobCounters() mapreduce.Counters { return mapreduce.Counters{} }
+func (b *rejectingBackend) Observer() *obs.Observer         { return obs.NewObserver() }
+
+// reasonedError mirrors store.RejectError without importing the store
+// package (serving must stay import-free of its callers).
+type reasonedError struct{ reason string }
+
+func (e *reasonedError) Error() string        { return "rejected: " + e.reason }
+func (e *reasonedError) RejectReason() string { return e.reason }
+
+func TestRecommendHTTPMapsRejectReasons(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	b := &rejectingBackend{Server: s}
+	h := NewBackendHandler(b)
+
+	get := func() *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", "/recommend?retailer=shop&context=view:1&k=2", nil))
+		return w
+	}
+
+	// Not rejecting: the Rejecter path serves normally.
+	if w := get(); w.Code != 200 {
+		t.Fatalf("healthy backend: status %d, want 200", w.Code)
+	}
+
+	// Admission-control rejections are the client's fault: 429.
+	b.err = &reasonedError{reason: "admission"}
+	if w := get(); w.Code != 429 || w.Header().Get("X-Reject-Reason") != "admission" {
+		t.Fatalf("admission reject: status %d reason %q, want 429/admission", w.Code, w.Header().Get("X-Reject-Reason"))
+	}
+
+	// Load shedding is the server's state: 503.
+	b.err = &reasonedError{reason: "shed"}
+	if w := get(); w.Code != 503 || w.Header().Get("X-Reject-Reason") != "shed" {
+		t.Fatalf("shed reject: status %d reason %q, want 503/shed", w.Code, w.Header().Get("X-Reject-Reason"))
+	}
+
+	// A plain error without a reason still maps to 503.
+	b.err = errors.New("replicas unreachable")
+	if w := get(); w.Code != 503 || w.Header().Get("X-Reject-Reason") != "unavailable" {
+		t.Fatalf("plain error: status %d reason %q, want 503/unavailable", w.Code, w.Header().Get("X-Reject-Reason"))
+	}
+}

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admitter is the store's token-bucket admission controller with
+// per-tenant fair budgets — the first stage of the request control plane
+// (admission → routing → autoscaling). One fleet-wide bucket refills at
+// AdmitQPS tokens per second and hard-caps the admitted rate; on top of it
+// every active tenant owns a private bucket refilling at an equal share of
+// the global rate (weighted max-min with equal weights). A request is
+// admitted from its tenant's own share first; a tenant past its share may
+// still borrow, but only while the global bucket holds surplus above a
+// reserve — so a zipf-hot tenant flooding at a multiple of capacity soaks
+// up exactly the idle capacity and its own share, while tenants under
+// their share never see its overload.
+//
+// The admit path is allocation-free (guarded by a testing.AllocsPerRun
+// test): one mutex, float refill arithmetic, and a map lookup. Tenants
+// idle past idleAfter are swept so fair shares recover as traffic shifts.
+type admitter struct {
+	mu    sync.Mutex
+	rate  float64 // global refill, tokens/second
+	burst float64 // global bucket capacity
+	// reserve is the borrow floor: surplus below it is off-limits to
+	// over-share tenants, so in-share admits (which only need one global
+	// token) never starve behind a flooding neighbor.
+	reserve float64
+	global  float64
+	last    time.Duration
+
+	tenants   map[string]*tenantBucket
+	idleAfter time.Duration
+	lastSweep time.Duration
+
+	// epoch anchors the wall clock; now overrides it for deterministic
+	// unit tests (nil = time.Since(epoch)).
+	epoch time.Time
+	now   func() time.Duration
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+}
+
+// tenantBucket is one tenant's fair-share budget. last doubles as the
+// tenant's last-seen time for the idle sweep.
+type tenantBucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+// newAdmitter builds the controller for a global budget of rate
+// requests/second. burst <= 0 defaults to a quarter second of budget,
+// floored at 16 tokens. A rate <= 0 disables admission (nil admitter; all
+// methods are nil-safe).
+func newAdmitter(rate float64, burst int) *admitter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = rate / 4
+		if b < 16 {
+			b = 16
+		}
+	}
+	a := &admitter{
+		rate:      rate,
+		burst:     b,
+		reserve:   b / 4,
+		global:    b,
+		tenants:   make(map[string]*tenantBucket),
+		idleAfter: 10 * time.Second,
+		epoch:     time.Now(),
+	}
+	if a.reserve < 1 {
+		a.reserve = 1
+	}
+	return a
+}
+
+func (a *admitter) clock() time.Duration {
+	if a.now != nil {
+		return a.now()
+	}
+	return time.Since(a.epoch)
+}
+
+// admit decides one request. True consumes one global token (and one of
+// the tenant's own when it admits in-share); false is a rejection the
+// caller surfaces as ErrAdmission (after the brownout ladder).
+func (a *admitter) admit(tenant string) bool {
+	if a == nil {
+		return true
+	}
+	now := a.clock()
+	a.mu.Lock()
+	if dt := now - a.last; dt > 0 {
+		a.global += a.rate * dt.Seconds()
+		if a.global > a.burst {
+			a.global = a.burst
+		}
+		a.last = now
+	}
+	tb, fresh := a.tenants[tenant], false
+	if tb == nil {
+		tb = &tenantBucket{last: now}
+		a.tenants[tenant] = tb
+		fresh = true
+	}
+	// Equal fair shares over the tenants currently active. Recomputed on
+	// every admit so shares track the live tenant set, not a stale census.
+	n := float64(len(a.tenants))
+	share := a.rate / n
+	shareBurst := a.burst / n
+	if shareBurst < 1 {
+		shareBurst = 1
+	}
+	if fresh {
+		// A new tenant starts with its full share of burst so its first
+		// requests aren't at the mercy of the borrow reserve.
+		tb.tokens = shareBurst
+	} else if dt := now - tb.last; dt > 0 {
+		tb.tokens += share * dt.Seconds()
+		if tb.tokens > shareBurst {
+			tb.tokens = shareBurst
+		}
+		tb.last = now
+	}
+	ok := false
+	switch {
+	case fresh:
+		// A tenant's first request of an accounting epoch always admits: it
+		// cannot be over a budget it never drew on, and its arrival must not
+		// depend on how hard the incumbents are flooding (a solo flooder's
+		// in-share spend tracks the full refill rate, pinning the global
+		// bucket near empty). The draw may push the global bucket into
+		// debt, bounded by the tenant census and paid down by refill before
+		// anyone else admits.
+		tb.tokens--
+		a.global--
+		ok = true
+	case tb.tokens >= 1 && a.global >= 1:
+		// In-share: the tenant spends its own budget.
+		tb.tokens--
+		a.global--
+		ok = true
+	case a.global >= 1+a.reserve:
+		// Over-share: work conservation lets the tenant borrow idle
+		// capacity, but never the reserve backing everyone's shares.
+		a.global--
+		ok = true
+	}
+	if now-a.lastSweep > a.idleAfter {
+		a.lastSweep = now
+		for id, b := range a.tenants {
+			if now-b.last > a.idleAfter {
+				delete(a.tenants, id)
+			}
+		}
+	}
+	a.mu.Unlock()
+	if ok {
+		a.admitted.Add(1)
+	} else {
+		a.rejected.Add(1)
+	}
+	return ok
+}
+
+// stats reports lifetime admits/rejects and the active tenant census.
+func (a *admitter) stats() (admitted, rejected int64, tenants int) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	a.mu.Lock()
+	tenants = len(a.tenants)
+	a.mu.Unlock()
+	return a.admitted.Load(), a.rejected.Load(), tenants
+}

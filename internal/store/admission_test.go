@@ -1,0 +1,144 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+// manualAdmitter returns an admitter driven by a test-owned clock, so
+// refill arithmetic is exact and runs reproduce regardless of scheduler
+// jitter.
+func manualAdmitter(rate float64, burst int) (*admitter, *time.Duration) {
+	a := newAdmitter(rate, burst)
+	clk := new(time.Duration)
+	a.now = func() time.Duration { return *clk }
+	return a, clk
+}
+
+func TestTokenBucketDeterministicRefill(t *testing.T) {
+	a, clk := manualAdmitter(10, 10)
+
+	// A single tenant owns the whole budget: the full burst admits, then
+	// the bucket is dry.
+	for i := 0; i < 10; i++ {
+		if !a.admit("solo") {
+			t.Fatalf("admit %d of burst rejected", i)
+		}
+	}
+	if a.admit("solo") {
+		t.Fatal("admit past burst succeeded")
+	}
+
+	// 500ms at 10/s refills exactly 5 tokens.
+	*clk += 500 * time.Millisecond
+	for i := 0; i < 5; i++ {
+		if !a.admit("solo") {
+			t.Fatalf("admit %d after refill rejected", i)
+		}
+	}
+	if a.admit("solo") {
+		t.Fatal("admit past refilled tokens succeeded")
+	}
+
+	adm, rej, tenants := a.stats()
+	if adm != 15 || rej != 2 || tenants != 1 {
+		t.Fatalf("stats = (%d, %d, %d), want (15, 2, 1)", adm, rej, tenants)
+	}
+}
+
+func TestTokenBucketFairnessUnderSkew(t *testing.T) {
+	// Two tenants share 100/s: "cold" offers exactly its fair share, "hot"
+	// offers 20x capacity. Cold must keep essentially all of its
+	// throughput; hot soaks up only the slack.
+	a, clk := manualAdmitter(100, 100)
+
+	var hotOff, hotAdm, coldOff, coldAdm int
+	for step := 0; step < 100; step++ { // 1 simulated second, 10ms steps
+		*clk += 10 * time.Millisecond
+		for i := 0; i < 20; i++ { // 2000/s
+			hotOff++
+			if a.admit("hot") {
+				hotAdm++
+			}
+		}
+		if step%2 == 0 { // 50/s, the fair share
+			coldOff++
+			if a.admit("cold") {
+				coldAdm++
+			}
+		}
+	}
+	if frac := float64(coldAdm) / float64(coldOff); frac < 0.95 {
+		t.Fatalf("cold tenant at fair share admitted %.2f of offered, want >= 0.95", frac)
+	}
+	if frac := float64(hotAdm) / float64(hotOff); frac > 0.15 {
+		t.Fatalf("hot tenant at 20x share admitted %.2f of offered, want <= 0.15", frac)
+	}
+	// Work conservation caps total admits at burst + one second of refill.
+	if total := hotAdm + coldAdm; total > 210 {
+		t.Fatalf("admitted %d total, want <= burst+rate = 200 (+slack)", total)
+	}
+}
+
+func TestTokenBucketBorrowRespectsReserve(t *testing.T) {
+	a, _ := manualAdmitter(100, 100) // reserve = 25
+	if !a.admit("cold") || !a.admit("hot") {
+		t.Fatal("first admits rejected")
+	}
+	// The hot tenant spends its own share, then borrows — but borrowing
+	// stops at the reserve, not at empty.
+	hotAdmits := 0
+	for i := 0; i < 500; i++ {
+		if a.admit("hot") {
+			hotAdmits++
+		}
+	}
+	if hotAdmits >= 499 {
+		t.Fatal("hot tenant never hit the borrow floor")
+	}
+	if a.global < 1 {
+		t.Fatalf("global bucket fully drained (%.1f tokens); borrowing must stop at the reserve", a.global)
+	}
+	// The reserve is exactly what keeps in-share tenants unaffected: cold
+	// still admits from its own untouched budget.
+	if !a.admit("cold") {
+		t.Fatal("in-share tenant rejected while the reserve holds tokens")
+	}
+}
+
+func TestTokenBucketIdleSweep(t *testing.T) {
+	a, clk := manualAdmitter(100, 100)
+	a.admit("a")
+	a.admit("b")
+	if _, _, n := a.stats(); n != 2 {
+		t.Fatalf("active tenants = %d, want 2", n)
+	}
+	// Only "a" stays active past the idle horizon; the sweep drops "b" so
+	// fair shares recover.
+	*clk += a.idleAfter + time.Second
+	a.admit("a")
+	if _, _, n := a.stats(); n != 1 {
+		t.Fatalf("active tenants after sweep = %d, want 1", n)
+	}
+}
+
+func TestAdmitFastPathZeroAlloc(t *testing.T) {
+	a := newAdmitter(1e9, 1<<20)
+	a.admit("tenant") // create the bucket outside the measured window
+	if allocs := testing.AllocsPerRun(200, func() { a.admit("tenant") }); allocs != 0 {
+		t.Fatalf("admit fast path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestAdmitterNilSafe(t *testing.T) {
+	var a *admitter
+	if !a.admit("any") {
+		t.Fatal("nil admitter must admit everything")
+	}
+	if adm, rej, n := a.stats(); adm != 0 || rej != 0 || n != 0 {
+		t.Fatalf("nil admitter stats = (%d, %d, %d), want zeros", adm, rej, n)
+	}
+	if newAdmitter(0, 10) != nil {
+		t.Fatal("rate 0 must disable admission (nil admitter)")
+	}
+}

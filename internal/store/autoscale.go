@@ -1,0 +1,187 @@
+package store
+
+import (
+	"context"
+	"time"
+)
+
+// autoscaler is the control plane's third stage: a controller that watches
+// the router's sliding latency window and each shard's live queue depth,
+// and drives the existing AddReplica/KillReplica/ReviveReplica machinery
+// to grow hot shards and drain idle ones. Decisions are hysteretic — a
+// shard must look hot (or idle) for several consecutive ticks before the
+// controller acts, and every action starts a cooldown — so transient
+// bursts don't thrash replica counts. Replica counts stay inside
+// [MinReplicas, MaxReplicas]; scale-up prefers reviving a drained replica
+// (a cheap catch-up from the committed manifest) over growing the shard.
+type autoscaler struct {
+	st *Store
+
+	min, max  int
+	upQueue   float64 // per-replica queue depth marking a shard hot
+	downQueue float64 // per-replica queue depth marking a shard idle
+	// latTarget: when the window's tail latency exceeds it, the up
+	// threshold halves — queue depth alone misses slow-but-unqueued
+	// overload (e.g. one replica absorbing hedges). 0 disables.
+	latTarget time.Duration
+
+	upAfter, downAfter int // consecutive hot/idle ticks before acting
+	cooldown           int // ticks to hold after any action
+
+	shards []scaleState
+}
+
+type scaleState struct {
+	upStreak, downStreak, cooldown int
+}
+
+func newAutoscaler(st *Store, opts Options) *autoscaler {
+	as := &autoscaler{
+		st:        st,
+		min:       opts.MinReplicas,
+		max:       opts.MaxReplicas,
+		upQueue:   opts.ScaleUpQueue,
+		downQueue: opts.ScaleDownQueue,
+		latTarget: opts.ScaleLatency,
+		upAfter:   2,
+		downAfter: 10,
+		cooldown:  5,
+		shards:    make([]scaleState, len(st.shards)),
+	}
+	return as
+}
+
+// run ticks the controller until the store closes.
+func (as *autoscaler) run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			as.tick()
+		}
+	}
+}
+
+// tick evaluates every shard once. Exposed separately from run so tests
+// drive the controller deterministically.
+func (as *autoscaler) tick() {
+	up := as.upQueue
+	if as.latTarget > 0 && as.st.lat.current() > as.latTarget {
+		up /= 2
+	}
+	for s, sh := range as.st.shards {
+		state := &as.shards[s]
+		if state.cooldown > 0 {
+			state.cooldown--
+			continue
+		}
+		live, total, queue := sh.load()
+		if live == 0 {
+			// Nothing routable: grow immediately, hysteresis would only
+			// prolong the outage.
+			if as.scaleUp(s, total) {
+				state.cooldown = as.cooldown
+			}
+			continue
+		}
+		perReplica := float64(queue) / float64(live)
+		switch {
+		case perReplica >= up:
+			state.upStreak++
+			state.downStreak = 0
+			if state.upStreak >= as.upAfter && as.scaleUp(s, total) {
+				state.upStreak = 0
+				state.cooldown = as.cooldown
+			}
+		case perReplica <= as.downQueue:
+			state.downStreak++
+			state.upStreak = 0
+			if state.downStreak >= as.downAfter && live > as.min && as.scaleDown(s) {
+				state.downStreak = 0
+				state.cooldown = as.cooldown
+			}
+		default:
+			state.upStreak, state.downStreak = 0, 0
+		}
+	}
+}
+
+// load reports a shard's routable replicas, its configured total, and the
+// live queue depth (requests in flight across routable replicas).
+func (sh *shard) load() (live, total int, queue int64) {
+	gen := sh.gen.Load()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	total = len(sh.replicas)
+	for _, rep := range sh.replicas {
+		if rep.Down() || rep.Gen() < gen {
+			continue
+		}
+		live++
+		queue += rep.Inflight()
+	}
+	return live, total, queue
+}
+
+// scaleUp adds capacity to one shard: revive a down replica if one
+// exists, otherwise grow the shard — bounded by max.
+func (as *autoscaler) scaleUp(shardID, total int) bool {
+	st := as.st
+	sh := st.shards[shardID]
+	sh.mu.RLock()
+	downIdx := -1
+	for i, rep := range sh.replicas {
+		if rep.Down() {
+			downIdx = i
+			break
+		}
+	}
+	sh.mu.RUnlock()
+	if downIdx >= 0 {
+		if err := st.ReviveReplica(shardID, downIdx); err != nil {
+			return false
+		}
+	} else {
+		if total >= as.max {
+			return false
+		}
+		if _, err := st.AddReplica(shardID); err != nil {
+			return false
+		}
+	}
+	st.scaleUps.Add(1)
+	st.m.scaleUps.Inc()
+	return true
+}
+
+// scaleDown drains one shard's least-loaded live replica. In this
+// simulation Kill is the drain: the replica stops receiving new requests
+// immediately (routing checks Down at entry) while requests already past
+// that check complete normally; a later scale-up revives it at the
+// committed generation.
+func (as *autoscaler) scaleDown(shardID int) bool {
+	st := as.st
+	sh := st.shards[shardID]
+	gen := sh.gen.Load()
+	sh.mu.RLock()
+	idx, best := -1, int64(0)
+	for i, rep := range sh.replicas {
+		if rep.Down() || rep.Gen() < gen {
+			continue
+		}
+		if q := rep.Inflight(); idx < 0 || q < best {
+			idx, best = i, q
+		}
+	}
+	sh.mu.RUnlock()
+	if idx < 0 {
+		return false
+	}
+	st.KillReplica(shardID, idx)
+	st.scaleDowns.Add(1)
+	st.m.scaleDowns.Inc()
+	return true
+}

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"sigmund/internal/dfs"
+)
+
+// scaleHarness builds a published 1-shard store and a manually-ticked
+// autoscaler over it, so tests control time exactly.
+func scaleHarness(t *testing.T, replicas int) (*Store, *autoscaler) {
+	t.Helper()
+	st := New(dfs.New(), Options{Shards: 1, Replicas: replicas, CacheSize: -1})
+	t.Cleanup(st.Close)
+	st.Publish(testSnapshot(1, testRetailers(8)...))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	as := newAutoscaler(st, Options{
+		MinReplicas: replicas, MaxReplicas: replicas + 2,
+		ScaleUpQueue: 3, ScaleDownQueue: 0.5,
+	})
+	return st, as
+}
+
+func setQueues(st *Store, depth int64) {
+	sh := st.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, rep := range sh.replicas {
+		if !rep.Down() {
+			rep.inflight.Store(depth)
+		}
+	}
+}
+
+func replicaCounts(st *Store) (live, total int) {
+	sh := st.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, rep := range sh.replicas {
+		if !rep.Down() {
+			live++
+		}
+	}
+	return live, len(sh.replicas)
+}
+
+func TestAutoscaleUpNeedsConsecutiveHotTicks(t *testing.T) {
+	st, as := scaleHarness(t, 2)
+	setQueues(st, 10) // well past ScaleUpQueue
+	as.tick()
+	if _, total := replicaCounts(st); total != 2 {
+		t.Fatalf("scaled after one hot tick: %d replicas (hysteresis wants 2 ticks)", total)
+	}
+	setQueues(st, 10)
+	as.tick()
+	if _, total := replicaCounts(st); total != 3 {
+		t.Fatalf("after 2 hot ticks: %d replicas, want 3", total)
+	}
+	if ups, _ := st.ScaleEvents(); ups != 1 {
+		t.Fatalf("scale-up events = %d, want 1", ups)
+	}
+}
+
+func TestAutoscaleCooldownAndMaxBound(t *testing.T) {
+	st, as := scaleHarness(t, 2) // max = 4
+	for i := 0; i < 2; i++ {
+		setQueues(st, 10)
+		as.tick()
+	}
+	if _, total := replicaCounts(st); total != 3 {
+		t.Fatalf("setup: %d replicas, want 3", total)
+	}
+	// The cooldown holds the next 5 ticks even though the shard stays hot.
+	for i := 0; i < 5; i++ {
+		setQueues(st, 10)
+		as.tick()
+		if _, total := replicaCounts(st); total != 3 {
+			t.Fatalf("cooldown tick %d acted: %d replicas", i, total)
+		}
+	}
+	// Past cooldown it grows to max and then stops for good.
+	for i := 0; i < 20; i++ {
+		setQueues(st, 10)
+		as.tick()
+	}
+	if _, total := replicaCounts(st); total != 4 {
+		t.Fatalf("replicas = %d, want capped at max 4", total)
+	}
+}
+
+func TestAutoscaleDownAfterSustainedIdleRespectsMin(t *testing.T) {
+	st, as := scaleHarness(t, 2)
+	// Grow to 3 first.
+	for i := 0; i < 2; i++ {
+		setQueues(st, 10)
+		as.tick()
+	}
+	// Idle: 5 cooldown ticks + 10 idle ticks before the drain fires.
+	setQueues(st, 0)
+	for i := 0; i < 14; i++ {
+		as.tick()
+		if live, _ := replicaCounts(st); live != 3 {
+			t.Fatalf("tick %d drained early: %d live", i, live)
+		}
+	}
+	as.tick()
+	if live, _ := replicaCounts(st); live != 2 {
+		t.Fatalf("after sustained idle: %d live replicas, want 2", live)
+	}
+	if _, downs := st.ScaleEvents(); downs != 1 {
+		t.Fatalf("scale-down events = %d, want 1", downs)
+	}
+	// At min it never drains further, no matter how long it idles.
+	for i := 0; i < 30; i++ {
+		as.tick()
+	}
+	if live, _ := replicaCounts(st); live != 2 {
+		t.Fatalf("drained below min: %d live", live)
+	}
+}
+
+func TestAutoscaleUpRevivesBeforeGrowing(t *testing.T) {
+	st, as := scaleHarness(t, 2)
+	st.KillReplica(0, 1)
+	if live, total := replicaCounts(st); live != 1 || total != 2 {
+		t.Fatalf("setup: live=%d total=%d", live, total)
+	}
+	for i := 0; i < 2; i++ {
+		setQueues(st, 10)
+		as.tick()
+	}
+	// Capacity came back by revival: live grew, the shard did not.
+	if live, total := replicaCounts(st); live != 2 || total != 2 {
+		t.Fatalf("after hot ticks: live=%d total=%d, want revive to 2/2", live, total)
+	}
+}
+
+func TestAutoscaleZeroLiveRecoversImmediately(t *testing.T) {
+	st, as := scaleHarness(t, 2)
+	st.KillReplica(0, 0)
+	st.KillReplica(0, 1)
+	as.tick() // no hysteresis when nothing is routable
+	if live, _ := replicaCounts(st); live < 1 {
+		t.Fatalf("live = %d after outage tick, want >= 1", live)
+	}
+	if _, _, _, err := st.Serve(testRetailers(1)[0], viewCtx(), 3); err != nil {
+		t.Fatalf("serve after recovery: %v", err)
+	}
+}
+
+func TestAutoscaleLatencyTargetTightensUpThreshold(t *testing.T) {
+	st := New(dfs.New(), Options{Shards: 1, Replicas: 2, CacheSize: -1})
+	defer st.Close()
+	st.Publish(testSnapshot(1, testRetailers(4)...))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	as := newAutoscaler(st, Options{
+		MinReplicas: 2, MaxReplicas: 3,
+		ScaleUpQueue: 4, ScaleDownQueue: 0.5,
+		ScaleLatency: time.Millisecond,
+	})
+	// Tail latency over target halves the queue threshold: depth 2 (< 4,
+	// >= 2) now reads as hot.
+	for i := 0; i < 600; i++ {
+		st.lat.record(10 * time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		setQueues(st, 2)
+		as.tick()
+	}
+	if _, total := replicaCounts(st); total != 3 {
+		t.Fatalf("latency-tightened threshold did not trigger scale-up: %d replicas", total)
+	}
+}

@@ -1,0 +1,55 @@
+package store
+
+import "sync/atomic"
+
+// cheapRNG is a lock-free splitmix64 stream for the routing hot path:
+// every call advances the shared state by the golden-ratio gamma and mixes
+// it, so concurrent callers draw distinct, well-distributed values with a
+// single atomic add and no allocation. Seeded, so routing decisions replay
+// under a fixed seed and interleaving.
+type cheapRNG struct {
+	state atomic.Uint64
+}
+
+func newCheapRNG(seed uint64) *cheapRNG {
+	r := &cheapRNG{}
+	r.state.Store(seed)
+	return r
+}
+
+func (r *cheapRNG) next() uint64 {
+	x := r.state.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pickTwo is the routing stage's power-of-two-choices step: sample two
+// distinct replicas from the eligible list and promote the one with the
+// shorter live queue (in-flight requests) to the primary slot. Two random
+// probes are enough to shift load off a slow or draining replica with
+// exponentially better balance than random choice, without the herding a
+// global shortest-queue scan causes; the rest of the list keeps its
+// rotation order for failover and hedging.
+func pickTwo(reps []*Replica, rng *cheapRNG) {
+	n := len(reps)
+	if n < 2 {
+		return
+	}
+	x := rng.next()
+	i := int(x % uint64(n))
+	j := int((x >> 32) % uint64(n-1))
+	if j >= i {
+		j++
+	}
+	best := i
+	if reps[j].Inflight() < reps[i].Inflight() {
+		best = j
+	}
+	if best != 0 {
+		reps[0], reps[best] = reps[best], reps[0]
+	}
+}

@@ -1,0 +1,97 @@
+package store
+
+import "testing"
+
+func TestCheapRNGDeterministic(t *testing.T) {
+	a, b := newCheapRNG(42), newCheapRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatalf("same-seeded streams diverged at draw %d", i)
+		}
+	}
+	c, d := newCheapRNG(43), newCheapRNG(42)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if d.next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("differently-seeded streams collided %d/100 times", same)
+	}
+}
+
+func TestPickTwoPrefersShorterQueue(t *testing.T) {
+	rng := newCheapRNG(1)
+	busy, idle := &Replica{}, &Replica{}
+	busy.inflight.Store(100)
+	// With two replicas both are always sampled, so the idle one must win
+	// the primary slot every time regardless of initial order.
+	for i := 0; i < 50; i++ {
+		reps := []*Replica{busy, idle}
+		if i%2 == 1 {
+			reps = []*Replica{idle, busy}
+		}
+		pickTwo(reps, rng)
+		if reps[0] != idle {
+			t.Fatalf("trial %d: busy replica won the primary slot", i)
+		}
+	}
+}
+
+func TestPickTwoShiftsLoadOffHotReplica(t *testing.T) {
+	// Among several replicas one is overloaded: power-of-two-choices must
+	// route to it far less often than uniform random would (1/4 here).
+	rng := newCheapRNG(7)
+	reps := make([]*Replica, 4)
+	for i := range reps {
+		reps[i] = &Replica{}
+	}
+	hot := reps[3]
+	hot.inflight.Store(50)
+	hotWins := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		order := []*Replica{reps[0], reps[1], reps[2], reps[3]}
+		pickTwo(order, rng)
+		if order[0] == hot {
+			hotWins++
+		}
+	}
+	// The hot replica wins only when it isn't sampled against anyone
+	// (p = it lands in slot 0 unsampled) — well under 10% in expectation.
+	if frac := float64(hotWins) / trials; frac > 0.15 {
+		t.Fatalf("hot replica kept the primary slot %.0f%% of trials, want < 15%%", 100*frac)
+	}
+}
+
+func TestPickTwoBalancesEqualLoad(t *testing.T) {
+	// Equal queues: every replica should land in the primary slot a
+	// healthy fraction of the time (no starvation, no fixed winner).
+	rng := newCheapRNG(99)
+	reps := make([]*Replica, 3)
+	for i := range reps {
+		reps[i] = &Replica{idx: i}
+	}
+	wins := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		order := []*Replica{reps[0], reps[1], reps[2]}
+		pickTwo(order, rng)
+		wins[order[0].idx]++
+	}
+	for i, w := range wins {
+		if w < 500 {
+			t.Fatalf("replica %d won the primary slot only %d/3000 trials: %v", i, w, wins)
+		}
+	}
+}
+
+func TestPickTwoDegenerateSlices(t *testing.T) {
+	rng := newCheapRNG(1)
+	pickTwo(nil, rng) // must not panic
+	one := []*Replica{{}}
+	pickTwo(one, rng)
+	if len(one) != 1 {
+		t.Fatal("single-replica slice mutated")
+	}
+}

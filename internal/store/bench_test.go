@@ -55,3 +55,46 @@ func BenchmarkServeRouted(b *testing.B) {
 		run(b, st)
 	})
 }
+
+// BenchmarkServeAdmitted is BenchmarkServeRouted with the admission
+// controller in the path at a budget the workload never exhausts, so it
+// times the admit fast path (refill arithmetic + tenant lookup) on top of
+// routing. scripts/benchcheck compares against BENCH_store_admit.json; a
+// regression here means the per-request admission cost grew.
+func BenchmarkServeAdmitted(b *testing.B) {
+	const (
+		clients  = 8
+		requests = 10_000
+	)
+	st := New(dfs.New(), Options{
+		Shards: 4, Replicas: 2, CacheSize: -1, HedgeAfter: time.Second,
+		AdmitQPS: 1e9, AdmitBurst: 1 << 30,
+	})
+	defer st.Close()
+	retailers := testRetailers(64)
+	st.Publish(testSnapshot(1, retailers...))
+	if err := st.PublishErr(); err != nil {
+		b.Fatalf("publish: %v", err)
+	}
+	b.Run("admitted-4x2-10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := 0; j < requests/clients; j++ {
+						if _, _, _, err := st.Serve(retailers[(c*13+j)%len(retailers)], viewCtx(), 5); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+		if st.Admitted() == 0 {
+			b.Fatal("admission controller was not in the path")
+		}
+	})
+}

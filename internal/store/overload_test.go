@@ -1,0 +1,297 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/dfs"
+	"sigmund/internal/serving"
+)
+
+func TestServeRejectsWithErrAdmission(t *testing.T) {
+	st := New(dfs.New(), Options{Shards: 1, Replicas: 1, CacheSize: -1, AdmitQPS: 1, AdmitBurst: 1})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+
+	if _, _, _, err := st.Serve("shop-a", viewCtx(), 5); err != nil {
+		t.Fatalf("first request within budget rejected: %v", err)
+	}
+	_, _, _, err := st.Serve("shop-a", viewCtx(), 5)
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("over-budget request: err = %v, want ErrAdmission", err)
+	}
+	var re *RejectError
+	if !errors.As(err, &re) || re.RejectReason() != "admission" {
+		t.Fatalf("rejection reason = %v, want \"admission\"", err)
+	}
+	shed, admission, repFail := st.Rejects()
+	if shed != 0 || admission != 1 || repFail != 0 {
+		t.Fatalf("Rejects() = (%d, %d, %d), want (0, 1, 0)", shed, admission, repFail)
+	}
+	if st.Admitted() != 1 {
+		t.Fatalf("Admitted() = %d, want 1", st.Admitted())
+	}
+}
+
+func TestBrownoutLadderServesCacheThenStale(t *testing.T) {
+	st := New(dfs.New(), Options{Shards: 1, Replicas: 1, CacheSize: 64, AdmitQPS: 0.001, AdmitBurst: 2})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+
+	// Two tokens: the first admit primes the gen-1 cache entry.
+	if _, _, _, err := st.Serve("shop-a", viewCtx(), 5); err != nil {
+		t.Fatalf("priming request: %v", err)
+	}
+	// Budget exhausted for the tenant (share of burst 2 is 2 while alone);
+	// burn whatever remains so the next reads are over budget.
+	for i := 0; i < 4; i++ {
+		st.Serve("shop-a", viewCtx(), 5)
+	}
+	// Rung 1: the current generation's cache answers instead of rejecting.
+	recs, _, gen, err := st.Serve("shop-a", viewCtx(), 5)
+	if err != nil || gen != 1 || len(recs) == 0 {
+		t.Fatalf("brownout cache serve: recs=%v gen=%d err=%v", recs, gen, err)
+	}
+	cacheServes, _ := st.BrownoutServes()
+	if cacheServes == 0 {
+		t.Fatal("brownout cache counter did not move")
+	}
+
+	// Publish gen 2 — the gen-1 cache entries survive under their old key.
+	st.Publish(testSnapshot(2, "shop-a"))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 2: %v", err)
+	}
+	// Rung 2: no gen-2 entry exists, so the ladder falls back to the
+	// stale gen-1 answer rather than rejecting.
+	recs, _, gen, err = st.Serve("shop-a", viewCtx(), 5)
+	if err != nil || gen != 1 || len(recs) == 0 {
+		t.Fatalf("brownout stale serve: recs=%v gen=%d err=%v", recs, gen, err)
+	}
+	if _, staleServes := st.BrownoutServes(); staleServes == 0 {
+		t.Fatal("brownout stale counter did not move")
+	}
+
+	// A context never cached falls off the ladder to a real rejection.
+	missCtx := viewCtx()
+	missCtx[0].Item = 1
+	if _, _, _, err := st.Serve("shop-a", missCtx, 5); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("uncached over-budget read: err = %v, want ErrAdmission", err)
+	}
+}
+
+func TestStatzReportsOverloadBlock(t *testing.T) {
+	st := New(dfs.New(), Options{Shards: 1, Replicas: 1, CacheSize: -1, AdmitQPS: 1, AdmitBurst: 1})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+	st.Serve("shop-a", viewCtx(), 5)
+	st.Serve("shop-a", viewCtx(), 5) // rejected
+	blocks := st.StatzBlocks()
+	block, ok := blocks["overload"]
+	if !ok {
+		t.Fatalf("StatzBlocks missing 'overload': %v", blocks)
+	}
+	s := fmt.Sprintf("%+v", block)
+	for _, want := range []string{"Admitted:1", "RejectsAdmission:1", "ActiveTenants:1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("overload block %s missing %q", s, want)
+		}
+	}
+}
+
+// TestOverloadAdmissionFairTail floods one tenant at many times its fair
+// share while tail tenants pace inside theirs: the tail keeps its
+// throughput and the flood absorbs the rejections.
+func TestOverloadAdmissionFairTail(t *testing.T) {
+	const tailTenants = 8
+	retailers := testRetailers(tailTenants + 1)
+	hot := retailers[0]
+	st := New(dfs.New(), Options{
+		Shards: 2, Replicas: 2, CacheSize: -1,
+		AdmitQPS: 400, AdmitBurst: 40, HedgeAfter: time.Second,
+	})
+	defer st.Close()
+	st.Publish(testSnapshot(1, retailers...))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	const window = 400 * time.Millisecond
+	var (
+		wg          sync.WaitGroup
+		stop        atomic.Bool
+		hotOffered  atomic.Int64
+		hotRejected atomic.Int64
+		tailOffered atomic.Int64
+		tailadmit   atomic.Int64
+	)
+	// The flood: a tight loop against one tenant, far beyond its
+	// ~44 qps fair share.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			hotOffered.Add(1)
+			if _, _, _, err := st.Serve(hot, viewCtx(), 5); errors.Is(err, ErrAdmission) {
+				hotRejected.Add(1)
+			}
+		}
+	}()
+	// The tail: each tenant paced at ~20 qps, safely inside its share.
+	for i := 1; i <= tailTenants; i++ {
+		wg.Add(1)
+		go func(r catalog.RetailerID) {
+			defer wg.Done()
+			tick := time.NewTicker(50 * time.Millisecond)
+			defer tick.Stop()
+			for !stop.Load() {
+				<-tick.C
+				tailOffered.Add(1)
+				if _, _, _, err := st.Serve(r, viewCtx(), 5); err == nil {
+					tailadmit.Add(1)
+				}
+			}
+		}(retailers[i])
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+
+	if hotRejected.Load() == 0 {
+		t.Fatal("the flooding tenant was never rejected")
+	}
+	if frac := float64(tailadmit.Load()) / float64(tailOffered.Load()); frac < 0.9 {
+		t.Fatalf("tail tenants admitted %.2f of offered load under the flood, want >= 0.9", frac)
+	}
+	_, admission, _ := st.Rejects()
+	if hotShare := float64(hotRejected.Load()) / float64(admission); hotShare < 0.8 {
+		t.Fatalf("hot tenant got %.2f of admission rejects, want >= 0.8", hotShare)
+	}
+}
+
+// TestOverloadKillHottestShardAutoscales is the chaos drill: overload plus
+// a replica kill on the hottest shard, with the autoscaler running and a
+// generation publish mid-flight. The autoscaler must restore capacity, no
+// admitted request may observe a torn generation, and tail latency must
+// stay bounded.
+func TestOverloadKillHottestShardAutoscales(t *testing.T) {
+	retailers := testRetailers(12)
+	hot := retailers[0]
+	st := New(dfs.New(), Options{
+		Shards: 2, Replicas: 2, CacheSize: -1,
+		Autoscale: true, MinReplicas: 2, MaxReplicas: 4,
+		ScaleInterval: 5 * time.Millisecond, ScaleUpQueue: 1, ScaleDownQueue: -1,
+		ServeDelay: 2 * time.Millisecond, HedgeAfter: time.Second, Seed: 7,
+	})
+	defer st.Close()
+	st.Publish(testSnapshot(1, retailers...))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	hotShard := st.ShardFor(hot)
+
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		served  atomic.Int64
+		badGen  atomic.Int64
+		latMu   sync.Mutex
+		latency []time.Duration
+	)
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 1024)
+			for i := 0; !stop.Load(); i++ {
+				r := hot
+				if c >= 4 { // two clients spread over the tail
+					r = retailers[1+(i%(len(retailers)-1))]
+				}
+				t0 := time.Now()
+				_, _, gen, err := st.Serve(r, viewCtx(), 5)
+				if err != nil {
+					continue
+				}
+				local = append(local, time.Since(t0))
+				served.Add(1)
+				if gen != 1 && gen != 2 {
+					badGen.Store(gen)
+				}
+			}
+			latMu.Lock()
+			latency = append(latency, local...)
+			latMu.Unlock()
+		}(c)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	st.KillReplica(hotShard, 0) // take out a replica under load
+	time.Sleep(60 * time.Millisecond)
+	st.Publish(testSnapshot(2, retailers...)) // publish while scaling
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("mid-run publish: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("nothing served during the chaos window")
+	}
+	if g := badGen.Load(); g != 0 {
+		t.Fatalf("a request observed torn generation %d (want 1 or 2)", g)
+	}
+	ups, _ := st.ScaleEvents()
+	if ups == 0 {
+		t.Fatal("autoscaler added no capacity while a loaded shard ran a replica short")
+	}
+	// The killed replica's capacity is back: either revived or replaced.
+	sh := st.shards[hotShard]
+	sh.mu.RLock()
+	live := 0
+	for _, rep := range sh.replicas {
+		if !rep.Down() {
+			live++
+		}
+	}
+	sh.mu.RUnlock()
+	if live < 2 {
+		t.Fatalf("hot shard has %d live replicas after recovery, want >= 2", live)
+	}
+	// Generous single-core bound: instantaneous replicas mean even the p99
+	// of a contended run sits far under this unless routing regressed.
+	sortDurations(latency)
+	if p99 := latency[len(latency)*99/100]; p99 > 250*time.Millisecond {
+		t.Fatalf("admitted p99 = %v during chaos, want < 250ms", p99)
+	}
+}
+
+func sortDurations(d []time.Duration) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}
+
+// TestRecommendOrRejectSurfacesErrors pins the serving.Rejecter contract
+// the HTTP layer depends on.
+func TestRecommendOrRejectSurfacesErrors(t *testing.T) {
+	st := New(dfs.New(), Options{Shards: 1, Replicas: 1, CacheSize: -1, AdmitQPS: 1, AdmitBurst: 1})
+	defer st.Close()
+	st.Publish(testSnapshot(1, "shop-a"))
+	var _ serving.Rejecter = st
+	if recs, err := st.RecommendOrReject("shop-a", viewCtx(), 5); err != nil || len(recs) == 0 {
+		t.Fatalf("in-budget RecommendOrReject: recs=%v err=%v", recs, err)
+	}
+	if _, err := st.RecommendOrReject("shop-a", viewCtx(), 5); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("over-budget RecommendOrReject err = %v, want ErrAdmission", err)
+	}
+}

@@ -47,6 +47,9 @@ type Replica struct {
 	consecFails atomic.Int64
 	served      atomic.Int64
 	cancelled   atomic.Int64
+	// inflight is the live queue depth the control plane routes and scales
+	// on: requests currently inside get(), including gate waiters.
+	inflight atomic.Int64
 }
 
 func newReplica(shard, idx int, opts Options) *Replica {
@@ -88,6 +91,11 @@ func (rep *Replica) healthy() bool { return rep.consecFails.Load() < 3 }
 func (rep *Replica) Served() int64    { return rep.served.Load() }
 func (rep *Replica) Cancelled() int64 { return rep.cancelled.Load() }
 
+// Inflight reports the replica's live queue depth — requests currently
+// being answered (or waiting on the concurrency gate). The
+// power-of-two-choices picker and the autoscaler both read it.
+func (rep *Replica) Inflight() int64 { return rep.inflight.Load() }
+
 func (rep *Replica) servePath(r catalog.RetailerID) string {
 	return fmt.Sprintf("shard-%d/replica-%d/serve/%s", rep.shard, rep.idx, r)
 }
@@ -101,6 +109,8 @@ func (rep *Replica) loadPath(gen int64) string {
 // and consults the fault plan first, so chaos rules can crash, stall, or
 // fail it.
 func (rep *Replica) get(ctx context.Context, r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, error) {
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
 	if rep.down.Load() {
 		rep.consecFails.Add(1)
 		return nil, serving.SourceNone, 0, errReplicaDown{rep.shard, rep.idx}

@@ -42,6 +42,33 @@ type Options struct {
 	// MaxInflight bounds concurrently running requests; beyond it the
 	// router sheds instead of queueing (counted, fast-failing).
 	MaxInflight int
+
+	// AdmitQPS caps the fleet-wide admitted request rate with a token
+	// bucket whose budget is split into equal fair shares across active
+	// tenants (see admission.go): a tenant under its share is never
+	// rejected because a neighbor floods, and a tenant past its share may
+	// only borrow genuinely idle capacity. 0 disables admission control.
+	// AdmitBurst is the bucket's burst capacity (0 = a quarter second of
+	// budget, floored at 16).
+	AdmitQPS   float64
+	AdmitBurst int
+
+	// Autoscale starts the replica autoscaler: a controller goroutine
+	// that grows hot shards and drains idle ones from per-shard queue
+	// depth and the router's sliding tail latency, between MinReplicas
+	// (0 = Replicas) and MaxReplicas (0 = 2*Replicas) per shard, with
+	// hysteresis and per-action cooldown. ScaleInterval is the evaluation
+	// cadence (0 = 100ms); ScaleUpQueue/ScaleDownQueue are the
+	// per-replica queue depths marking a shard hot/idle (0 = 3 / 0.5);
+	// ScaleLatency, when set, halves the hot threshold while the window's
+	// tail latency exceeds it.
+	Autoscale      bool
+	MinReplicas    int
+	MaxReplicas    int
+	ScaleInterval  time.Duration
+	ScaleUpQueue   float64
+	ScaleDownQueue float64
+	ScaleLatency   time.Duration
 	// CacheSize is the hot-key LRU capacity (0 = default 1024, < 0
 	// disables).
 	CacheSize int
@@ -98,6 +125,21 @@ func (o Options) Defaulted() Options {
 	if o.KeepGenerations <= 0 {
 		o.KeepGenerations = 2
 	}
+	if o.MinReplicas <= 0 {
+		o.MinReplicas = o.Replicas
+	}
+	if o.MaxReplicas <= 0 {
+		o.MaxReplicas = 2 * o.Replicas
+	}
+	if o.ScaleInterval <= 0 {
+		o.ScaleInterval = 100 * time.Millisecond
+	}
+	if o.ScaleUpQueue <= 0 {
+		o.ScaleUpQueue = 3
+	}
+	if o.ScaleDownQueue <= 0 {
+		o.ScaleDownQueue = 0.5
+	}
 	if o.Obs == nil {
 		o.Obs = obs.NewObserver()
 	}
@@ -111,8 +153,26 @@ var (
 	_ serving.StatzExtension = (*Store)(nil)
 )
 
+// RejectError is a categorized refusal: the router turned a request away
+// on purpose rather than failing to answer it. Reason distinguishes the
+// control-plane stage that refused ("admission" vs "shed") so callers,
+// metrics, and the HTTP layer can attribute rejects; it satisfies
+// serving.RejectionError.
+type RejectError struct {
+	Reason string
+	msg    string
+}
+
+func (e *RejectError) Error() string        { return e.msg }
+func (e *RejectError) RejectReason() string { return e.Reason }
+
 // ErrShed is returned when the router's in-flight budget is exhausted.
-var ErrShed = errors.New("store: load shed (in-flight budget exhausted)")
+var ErrShed error = &RejectError{Reason: "shed", msg: "store: load shed (in-flight budget exhausted)"}
+
+// ErrAdmission is returned when per-tenant admission control refuses a
+// request: the tenant is past its fair share and the fleet has no idle
+// capacity to lend.
+var ErrAdmission error = &RejectError{Reason: "admission", msg: "store: rejected by per-tenant admission control"}
 
 // ErrClosed is returned by requests after Close.
 var ErrClosed = errors.New("store: closed")
@@ -136,8 +196,10 @@ type shard struct {
 
 // order returns the replicas eligible for a read — live and at (or past)
 // the shard's committed generation — healthy ones first, rotated for
-// balance.
-func (sh *shard) order() []*Replica {
+// balance, with power-of-two-choices promoting the less-loaded of two
+// sampled healthy replicas to primary. Failover and hedging walk the rest
+// in rotation order.
+func (sh *shard) order(rng *cheapRNG) []*Replica {
 	gen := sh.gen.Load()
 	sh.mu.RLock()
 	reps := sh.replicas
@@ -157,6 +219,7 @@ func (sh *shard) order() []*Replica {
 		}
 	}
 	sh.mu.RUnlock()
+	pickTwo(healthy, rng)
 	return append(healthy, suspect...)
 }
 
@@ -188,6 +251,13 @@ type Store struct {
 	cache *lruCache
 	lat   *latencyWindow
 
+	// The request control plane: admission (per-tenant fair token
+	// bucket), routing randomness (power-of-two-choices), and the replica
+	// autoscaler. admit and scaler are nil when their stage is disabled.
+	admit  *admitter
+	rng    *cheapRNG
+	scaler *autoscaler
+
 	requests    atomic.Int64
 	fallbacks   atomic.Int64
 	misses      atomic.Int64
@@ -196,6 +266,12 @@ type Store struct {
 	hedgeWins   atomic.Int64
 	failovers   atomic.Int64
 	shed        atomic.Int64
+	admRejects  atomic.Int64
+	repFailures atomic.Int64
+	brownCache  atomic.Int64
+	brownStale  atomic.Int64
+	scaleUps    atomic.Int64
+	scaleDowns  atomic.Int64
 	publishes   atomic.Int64
 	rollbacks   atomic.Int64
 
@@ -225,11 +301,21 @@ type storeMetrics struct {
 	replicas  []*obs.Gauge
 
 	hedgeWins  *obs.Counter
-	shed       *obs.Counter
 	cacheHits  *obs.Counter
 	publishes  *obs.Counter
 	rollbacks  *obs.Counter
 	generation *obs.Gauge
+
+	// Overload control plane: refusals by cause, admitted requests, the
+	// brownout ladder's degraded serves, and autoscaler actions.
+	rejectShed      *obs.Counter
+	rejectAdmission *obs.Counter
+	rejectReplica   *obs.Counter
+	admitted        *obs.Counter
+	brownoutCache   *obs.Counter
+	brownoutStale   *obs.Counter
+	scaleUps        *obs.Counter
+	scaleDowns      *obs.Counter
 
 	requestSeconds *obs.Histogram
 	publishSeconds *obs.Histogram
@@ -239,8 +325,21 @@ type storeMetrics struct {
 func newStoreMetrics(reg *obs.Registry, shards int) storeMetrics {
 	m := storeMetrics{
 		hedgeWins:  reg.Counter("sigmund_store_hedge_wins_total", "Hedged reads that answered before the primary."),
-		shed:       reg.Counter("sigmund_store_shed_total", "Requests shed at the in-flight budget."),
 		cacheHits:  reg.Counter("sigmund_store_cache_hits_total", "Requests answered from the router's hot-key cache."),
+		rejectShed: reg.Counter("sigmund_store_rejects_total", "Requests refused, by cause.", obs.L("reason", "shed")),
+		rejectAdmission: reg.Counter("sigmund_store_rejects_total", "Requests refused, by cause.",
+			obs.L("reason", "admission")),
+		rejectReplica: reg.Counter("sigmund_store_rejects_total", "Requests refused, by cause.",
+			obs.L("reason", "replica_failure")),
+		admitted: reg.Counter("sigmund_store_admitted_total", "Requests past per-tenant admission control."),
+		brownoutCache: reg.Counter("sigmund_store_brownout_serves_total",
+			"Overloaded requests rescued by the brownout ladder, by rung.", obs.L("stage", "cache")),
+		brownoutStale: reg.Counter("sigmund_store_brownout_serves_total",
+			"Overloaded requests rescued by the brownout ladder, by rung.", obs.L("stage", "stale")),
+		scaleUps: reg.Counter("sigmund_store_autoscale_events_total",
+			"Replica autoscaler actions, by direction.", obs.L("direction", "up")),
+		scaleDowns: reg.Counter("sigmund_store_autoscale_events_total",
+			"Replica autoscaler actions, by direction.", obs.L("direction", "down")),
 		publishes:  reg.Counter("sigmund_store_publishes_total", "Generations published to the store.", obs.L("outcome", "committed")),
 		rollbacks:  reg.Counter("sigmund_store_publishes_total", "Generations published to the store.", obs.L("outcome", "rolled_back")),
 		generation: reg.Gauge("sigmund_store_generation", "Last committed store generation."),
@@ -273,6 +372,8 @@ func New(fs *dfs.FS, opts Options) *Store {
 		lastSeg: map[catalog.RetailerID]ManifestEntry{},
 		cache:   newLRUCache(opts.CacheSize),
 		lat:     newLatencyWindow(opts.HedgePercentile, opts.HedgeMin),
+		admit:   newAdmitter(opts.AdmitQPS, opts.AdmitBurst),
+		rng:     newCheapRNG(opts.Seed ^ 0xba1a9cedb002c4e5),
 		m:       newStoreMetrics(opts.Obs.Reg(), opts.Shards),
 	}
 	st.rootCtx, st.cancel = context.WithCancel(context.Background())
@@ -282,6 +383,14 @@ func New(fs *dfs.FS, opts Options) *Store {
 			sh.replicas = append(sh.replicas, newReplica(s, i, opts))
 		}
 		st.shards = append(st.shards, sh)
+	}
+	if opts.Autoscale {
+		st.scaler = newAutoscaler(st, opts)
+		st.wg.Add(1)
+		go func() {
+			defer st.wg.Done()
+			st.scaler.run(st.rootCtx, opts.ScaleInterval)
+		}()
 	}
 	st.refreshReplicaGauges()
 	return st
@@ -579,10 +688,16 @@ func sortedRetailers(m map[catalog.RetailerID]*serving.RetailerRecs) []catalog.R
 
 // --- Read path: route, hedge, fail over ---
 
-// Serve answers one request: cache, then the owning shard's replicas with
-// hedged reads (a second replica is tried after the latency threshold;
-// first response wins and the loser's context is cancelled) and failover
-// on error. It returns the generation that answered.
+// Serve answers one request through the three-stage control plane:
+// admission (per-tenant fair token bucket), then the in-flight budget,
+// then routing — cache first, then the owning shard's replicas with
+// power-of-two-choices selection, hedged reads (a second replica is tried
+// after the latency threshold; first response wins and the loser's
+// context is cancelled) and failover on error. A request the admission or
+// shed stage would refuse first descends the brownout ladder (hot-key
+// cache at the current generation, then the previous generation's
+// entries) and is only rejected when no rung answers. It returns the
+// generation that answered.
 func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, error) {
 	if st.closed.Load() {
 		return nil, serving.SourceNone, 0, ErrClosed
@@ -591,13 +706,6 @@ func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) (
 		k = 10
 	}
 	st.requests.Add(1)
-	if st.inflight.Add(1) > int64(st.opts.MaxInflight) {
-		st.inflight.Add(-1)
-		st.shed.Add(1)
-		st.m.shed.Inc()
-		return nil, serving.SourceNone, 0, ErrShed
-	}
-	defer st.inflight.Add(-1)
 
 	shardID := st.ring.Lookup(string(r))
 	if shardID < 0 {
@@ -605,8 +713,30 @@ func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) (
 		return nil, serving.SourceNone, 0, errNoReplicas
 	}
 	sh := st.shards[shardID]
-	st.m.requests[shardID].Inc()
 	gen := sh.gen.Load()
+
+	if st.admit != nil {
+		if !st.admit.admit(string(r)) {
+			if recs, src, served, ok := st.brownout(gen, r, uctx, k); ok {
+				return recs, src, served, nil
+			}
+			st.admRejects.Add(1)
+			st.m.rejectAdmission.Inc()
+			return nil, serving.SourceNone, 0, ErrAdmission
+		}
+		st.m.admitted.Inc()
+	}
+	if st.inflight.Add(1) > int64(st.opts.MaxInflight) {
+		st.inflight.Add(-1)
+		if recs, src, served, ok := st.brownout(gen, r, uctx, k); ok {
+			return recs, src, served, nil
+		}
+		st.shed.Add(1)
+		st.m.rejectShed.Inc()
+		return nil, serving.SourceNone, 0, ErrShed
+	}
+	defer st.inflight.Add(-1)
+	st.m.requests[shardID].Inc()
 
 	key := cacheKey(gen, r, uctx, k)
 	if recs, src, ok := st.cache.get(key); ok {
@@ -619,6 +749,10 @@ func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) (
 	recs, src, served, err := st.fanout(sh, r, uctx, k)
 	if err != nil {
 		st.misses.Add(1)
+		if !errors.Is(err, ErrClosed) {
+			st.repFailures.Add(1)
+			st.m.rejectReplica.Inc()
+		}
 		return nil, serving.SourceNone, 0, err
 	}
 	st.lat.record(time.Since(start))
@@ -628,6 +762,31 @@ func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) (
 		st.cache.put(cacheKey(served, r, uctx, k), recs, src)
 	}
 	return recs, src, served, nil
+}
+
+// brownout is the final degradation rung before a reject: under overload
+// an answer that is cached — even one generation stale — beats an error.
+// The ladder tries the hot-key cache at the shard's committed generation,
+// then the previous generation's still-resident entries (cache keys are
+// generation-prefixed, so a publish leaves the old generation's entries
+// readable until they age out). Every rescue is counted by rung; with the
+// cache disabled the ladder is empty and the reject stands.
+func (st *Store) brownout(gen int64, r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, bool) {
+	if recs, src, ok := st.cache.get(cacheKey(gen, r, uctx, k)); ok {
+		st.brownCache.Add(1)
+		st.m.brownoutCache.Inc()
+		st.countSource(r, src)
+		return recs, src, gen, true
+	}
+	if gen > 1 {
+		if recs, src, ok := st.cache.get(cacheKey(gen-1, r, uctx, k)); ok {
+			st.brownStale.Add(1)
+			st.m.brownoutStale.Inc()
+			st.countSource(r, src)
+			return recs, src, gen - 1, true
+		}
+	}
+	return nil, serving.SourceNone, 0, false
 }
 
 // countSource rolls a served answer into the router's fallback chain
@@ -653,7 +812,7 @@ func (st *Store) countSource(r catalog.RetailerID, src serving.Source) {
 // latency threshold, failover on error. The winner's response cancels
 // every loser via the shared context.
 func (st *Store) fanout(sh *shard, r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, error) {
-	order := sh.order()
+	order := sh.order(st.rng)
 	if len(order) == 0 {
 		return nil, serving.SourceNone, 0, errNoReplicas
 	}
@@ -777,6 +936,47 @@ func (st *Store) Publishes() (committed, rolledBack int64) {
 	return st.publishes.Load(), st.rollbacks.Load()
 }
 
+// Rejects breaks refusals down by cause: shed (in-flight budget),
+// admission (per-tenant token bucket), and replica failure (every
+// eligible replica errored or none was live).
+func (st *Store) Rejects() (shed, admission, replicaFailure int64) {
+	return st.shed.Load(), st.admRejects.Load(), st.repFailures.Load()
+}
+
+// Admitted reports requests that passed admission control (0 when
+// admission is disabled), and ActiveTenants the admitter's live census.
+func (st *Store) Admitted() int64 {
+	adm, _, _ := st.admit.stats()
+	return adm
+}
+
+// ActiveTenants reports how many tenants currently hold an admission
+// budget (0 when admission is disabled).
+func (st *Store) ActiveTenants() int {
+	_, _, n := st.admit.stats()
+	return n
+}
+
+// BrownoutServes reports requests the brownout ladder rescued from a
+// reject, by rung: the current generation's cache and the previous
+// (stale) generation's.
+func (st *Store) BrownoutServes() (cache, stale int64) {
+	return st.brownCache.Load(), st.brownStale.Load()
+}
+
+// ScaleEvents reports autoscaler actions.
+func (st *Store) ScaleEvents() (up, down int64) {
+	return st.scaleUps.Load(), st.scaleDowns.Load()
+}
+
+// RecommendOrReject implements serving.Rejecter: Recommend with the
+// control plane's refusal surfaced instead of swallowed, so the HTTP
+// layer can map admission rejects and sheds onto distinct status codes.
+func (st *Store) RecommendOrReject(r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, error) {
+	recs, _, _, err := st.Serve(r, uctx, k)
+	return recs, err
+}
+
 // TenantStatuses returns the committed manifest's per-retailer health.
 func (st *Store) TenantStatuses() map[catalog.RetailerID]serving.TenantStatus {
 	st.stateMu.RLock()
@@ -854,6 +1054,20 @@ func (st *Store) StatzBlocks() map[string]any {
 		Publishes    int64        `json:"publishes"`
 		Rollbacks    int64        `json:"rollbacks"`
 	}{st.Version(), shards, st.Hedges(), st.HedgeWins(), st.Failovers(), st.Shed(), entries, hits, committed, rolledBack}
+	shed, admission, repFail := st.Rejects()
+	bCache, bStale := st.BrownoutServes()
+	ups, downs := st.ScaleEvents()
+	blocks["overload"] = struct {
+		Admitted            int64 `json:"admitted"`
+		ActiveTenants       int   `json:"active_tenants"`
+		RejectsShed         int64 `json:"rejects_shed"`
+		RejectsAdmission    int64 `json:"rejects_admission"`
+		RejectsReplica      int64 `json:"rejects_replica_failure"`
+		BrownoutCacheServes int64 `json:"brownout_cache_serves"`
+		BrownoutStaleServes int64 `json:"brownout_stale_serves"`
+		ScaleUps            int64 `json:"scale_ups"`
+		ScaleDowns          int64 `json:"scale_downs"`
+	}{st.Admitted(), st.ActiveTenants(), shed, admission, repFail, bCache, bStale, ups, downs}
 	return blocks
 }
 
@@ -904,6 +1118,19 @@ func (lw *latencyWindow) recalcLocked() {
 		p = lw.min
 	}
 	lw.cached = p
+}
+
+// current returns the window's cached percentile with no cold-start
+// default — 0 until samples arrive. The autoscaler reads this: before
+// traffic there is no latency signal, and the generous cold-start hedge
+// default must not read as overload.
+func (lw *latencyWindow) current() time.Duration {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.n == 0 {
+		return 0
+	}
+	return lw.cached
 }
 
 func (lw *latencyWindow) threshold() time.Duration {

@@ -43,6 +43,7 @@ var targets = []target{
 	{pkg: "./internal/mapreduce", bench: "BenchmarkMapReduce", baseline: "BENCH_mapreduce.json"},
 	{pkg: "./internal/pipeline", bench: "BenchmarkRunDay", baseline: "BENCH_runday.json"},
 	{pkg: "./internal/store", bench: "BenchmarkServeRouted", baseline: "BENCH_store.json"},
+	{pkg: "./internal/store", bench: "BenchmarkServeAdmitted", baseline: "BENCH_store_admit.json"},
 }
 
 // baseline mirrors the committed BENCH_*.json schema.

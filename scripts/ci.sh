@@ -50,6 +50,16 @@ echo "== crash-resume chaos suite"
 go test -race -short -run 'CrashResume|Journal|Checkpointer|OrphanTmp' \
 	./internal/pipeline/ ./internal/dfs/
 
+echo "== overload-control chaos suite"
+# The request control plane: token-bucket admission (determinism, per-
+# tenant fairness under a flood, zero-alloc fast path), power-of-two-
+# choices routing, autoscaler hysteresis/bounds/revive preference, the
+# brownout ladder, reject-reason accounting end to end, and the overload
+# + replica-kill drill (autoscaler restores capacity, no torn
+# generations, bounded admitted p99).
+go test -race -short -run 'TokenBucket|Admit|CheapRNG|PickTwo|Autoscale|Overload|Brownout|Reject' \
+	./internal/store/ ./internal/serving/
+
 echo "== benchmark regression gate"
 go run ./scripts/benchcheck
 

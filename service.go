@@ -87,6 +87,20 @@ type Config struct {
 	// HedgeAfter is the routed read's fixed hedge threshold (0 = adaptive
 	// p95 of recent latencies). Only meaningful with Shards > 0.
 	HedgeAfter time.Duration
+	// AdmitQPS caps the store's fleet-wide admitted request rate with a
+	// token bucket split into per-tenant fair shares; requests past the
+	// budget get ErrAdmission (HTTP 429) after the brownout ladder.
+	// 0 disables admission control. Only meaningful with Shards > 0.
+	AdmitQPS float64
+	// AdmitBurst is the global token-bucket capacity (0 = a quarter second
+	// of AdmitQPS, floored at 16).
+	AdmitBurst int
+	// Autoscale runs the store's replica autoscaler: per-shard replica
+	// counts follow live queue depth and tail latency within
+	// [Replicas, MaxReplicas]. Only meaningful with Shards > 0.
+	Autoscale bool
+	// MaxReplicas bounds autoscaling growth per shard (0 = 2*Replicas).
+	MaxReplicas int
 	// Journal makes each daily cycle crash-resumable: RunDay records its
 	// plan and each committed unit of work in a durable day journal, and a
 	// re-run of a crashed day resumes from the journal instead of
@@ -270,12 +284,16 @@ func NewService(cfg Config) *Service {
 		// through the router. The same injector that flakes the filesystem
 		// can crash/stall replicas (OpReplica rules).
 		svc.store = store.New(fs, store.Options{
-			Shards:     cfg.Shards,
-			Replicas:   cfg.Replicas,
-			HedgeAfter: cfg.HedgeAfter,
-			Faults:     opts.Injector,
-			Obs:        observer,
-			Seed:       cfg.Seed,
+			Shards:      cfg.Shards,
+			Replicas:    cfg.Replicas,
+			HedgeAfter:  cfg.HedgeAfter,
+			AdmitQPS:    cfg.AdmitQPS,
+			AdmitBurst:  cfg.AdmitBurst,
+			Autoscale:   cfg.Autoscale,
+			MaxReplicas: cfg.MaxReplicas,
+			Faults:      opts.Injector,
+			Obs:         observer,
+			Seed:        cfg.Seed,
 		})
 		svc.backend = svc.store
 		publisher = svc.store
