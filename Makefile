@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store chaos-resume chaos-overload bench-check bench-update ci clean
+.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard fuzz-smoke bench-check bench-update ci clean
 
 all: ci
 
@@ -55,6 +55,21 @@ chaos-resume:
 chaos-overload:
 	$(GO) test -race -short -run 'TokenBucket|Admit|CheapRNG|PickTwo|Autoscale|Overload|Brownout|Reject' ./internal/store/ ./internal/serving/
 
+# The model-quality firewall chaos suite: offline gates (NaN, collapse,
+# metric cliff, coverage), the degenerate-model drill (vetoed tenants
+# carry forward, healthy tenants byte-identical to control), guard
+# verdict crash-resume, and the live canary (split, auto-promote,
+# auto-rollback, expiry).
+chaos-guard:
+	$(GO) test -race -short -run 'Guard|Canary|Veto|Evaluate|Baseline' ./internal/guard/ ./internal/pipeline/ ./internal/store/
+
+# Fuzz smoke: a few seconds per fuzz target (journal recovery, segment
+# decoding) so hostile-input regressions surface in CI without a
+# dedicated fuzz farm.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzJournal -fuzztime 5s ./internal/dfs/
+	$(GO) test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 5s ./internal/store/
+
 # Benchmark regression gate: BenchmarkMapReduce, BenchmarkRunDay,
 # BenchmarkServeRouted, and BenchmarkServeAdmitted vs the committed
 # BENCH_*.json baselines (>25% ns/op regression fails).
@@ -65,7 +80,7 @@ bench-check:
 bench-update:
 	$(GO) run ./scripts/benchcheck -update
 
-ci: fmt-check vet build race chaos chaos-workers chaos-store chaos-resume chaos-overload bench-check
+ci: fmt-check vet build race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard fuzz-smoke bench-check
 
 clean:
 	$(GO) clean ./...

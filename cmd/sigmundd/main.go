@@ -52,6 +52,9 @@ func main() {
 	admitBurst := flag.Int("admit-burst", 0, "admission token-bucket burst capacity (0 = quarter second of -admit-qps; with -admit-qps)")
 	autoscale := flag.Bool("autoscale", false, "autoscale per-shard replica counts from live queue depth and tail latency (with -shards)")
 	maxReplicas := flag.Int("max-replicas", 0, "per-shard replica ceiling for the autoscaler (0 = 2x -replicas; with -autoscale)")
+	guard := flag.Bool("guard", false, "enable the publish-time model-quality firewall: structural and baseline gates, veto + carry-forward, live canary with -shards")
+	canaryFraction := flag.Float64("canary-fraction", 0.05, "hash-slice of a borderline tenant's traffic routed to its fresh generation (with -guard and -shards)")
+	guardMinMAPRatio := flag.Float64("guard-min-map-ratio", 0, "veto a candidate whose MAP@10 falls below this fraction of the tenant's trailing baseline (0 = default 0.5; with -guard)")
 	journal := flag.Bool("journal", true, "write a durable day journal so a crashed daily cycle resumes instead of restarting")
 	resume := flag.Bool("resume", true, "auto-restart a day whose coordinator crashed, resuming from its journal (with -journal)")
 	crashAfterRecord := flag.Int("crash-after-record", 0, "inject one coordinator crash after the Nth journal record, 1-based (0 = off; with -journal)")
@@ -73,11 +76,27 @@ func main() {
 	cfg.AdmitBurst = *admitBurst
 	cfg.Autoscale = *autoscale
 	cfg.MaxReplicas = *maxReplicas
+	cfg.Guard = *guard
+	cfg.CanaryFraction = *canaryFraction
+	cfg.GuardMinMAPRatio = *guardMinMAPRatio
 	cfg.Journal = *journal
 	cfg.CrashAfterRecord = *crashAfterRecord
 	cfg.CrashDay = *crashDay
-	if *crashAfterRecord > 0 && !*journal {
-		fmt.Fprintln(os.Stderr, "sigmundd: -crash-after-record requires -journal")
+	explicit := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+	if err := validateFlags(daemonFlags{
+		journal:          *journal,
+		crashAfterRecord: *crashAfterRecord,
+		admitQPS:         *admitQPS,
+		admitBurst:       *admitBurst,
+		autoscale:        *autoscale,
+		replicas:         *replicas,
+		maxReplicas:      *maxReplicas,
+		guard:            *guard,
+		canaryFraction:   *canaryFraction,
+		guardMinMAPRatio: *guardMinMAPRatio,
+	}, explicit); err != nil {
+		fmt.Fprintln(os.Stderr, "sigmundd:", err)
 		os.Exit(2)
 	}
 	svc := sigmund.NewService(cfg)
@@ -197,6 +216,10 @@ func main() {
 		if len(report.Degraded) > 0 {
 			fmt.Printf("  degraded: %d/%d tenants (%d quarantined)\n",
 				len(report.Degraded), len(report.Retailers), len(report.Quarantined))
+		}
+		if report.GuardEvaluated > 0 {
+			fmt.Printf("  guard: %d evaluated, %d vetoed, %d canaried\n",
+				report.GuardEvaluated, len(report.Vetoed), len(report.Canaried))
 		}
 		fmt.Printf("  fleet mean best MAP@10: %.4f\n\n", report.BestMAP())
 	}

@@ -1,0 +1,54 @@
+package main
+
+import "fmt"
+
+// daemonFlags are the parsed flag values that validateFlags cross-checks.
+// Several flags only make sense in combination; refusing a contradictory
+// invocation up front beats silently ignoring half of it.
+type daemonFlags struct {
+	journal          bool
+	crashAfterRecord int
+	admitQPS         float64
+	admitBurst       int
+	autoscale        bool
+	replicas         int
+	maxReplicas      int
+	guard            bool
+	canaryFraction   float64
+	guardMinMAPRatio float64
+}
+
+// validateFlags rejects contradictory flag combinations. set holds the
+// names of flags the user passed explicitly (from flag.Visit), so flags
+// whose defaults are non-zero can still be checked for "set without its
+// prerequisite".
+func validateFlags(f daemonFlags, set map[string]bool) error {
+	if f.crashAfterRecord > 0 && !f.journal {
+		return fmt.Errorf("-crash-after-record requires -journal")
+	}
+	if f.admitBurst > 0 && f.admitQPS <= 0 {
+		return fmt.Errorf("-admit-burst requires -admit-qps")
+	}
+	if f.maxReplicas > 0 {
+		if !f.autoscale {
+			return fmt.Errorf("-max-replicas requires -autoscale")
+		}
+		if f.maxReplicas < f.replicas {
+			return fmt.Errorf("-max-replicas (%d) must be at least -replicas (%d)", f.maxReplicas, f.replicas)
+		}
+	}
+	if f.canaryFraction < 0 || f.canaryFraction >= 1 {
+		return fmt.Errorf("-canary-fraction must be in [0, 1), got %g", f.canaryFraction)
+	}
+	if f.guardMinMAPRatio < 0 || f.guardMinMAPRatio > 1 {
+		return fmt.Errorf("-guard-min-map-ratio must be in [0, 1], got %g", f.guardMinMAPRatio)
+	}
+	if !f.guard {
+		for _, name := range []string{"canary-fraction", "guard-min-map-ratio"} {
+			if set[name] {
+				return fmt.Errorf("-%s requires -guard", name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05}
+	cases := []struct {
+		name    string
+		f       daemonFlags
+		set     []string
+		wantErr string
+	}{
+		{name: "defaults", f: ok},
+		{
+			name:    "crash without journal",
+			f:       daemonFlags{crashAfterRecord: 3, replicas: 2},
+			wantErr: "-crash-after-record requires -journal",
+		},
+		{
+			name:    "burst without qps",
+			f:       daemonFlags{journal: true, replicas: 2, admitBurst: 64},
+			wantErr: "-admit-burst requires -admit-qps",
+		},
+		{
+			name:    "max-replicas without autoscale",
+			f:       daemonFlags{journal: true, replicas: 2, maxReplicas: 4},
+			wantErr: "-max-replicas requires -autoscale",
+		},
+		{
+			name:    "max-replicas below replicas",
+			f:       daemonFlags{journal: true, replicas: 4, maxReplicas: 2, autoscale: true},
+			wantErr: "must be at least -replicas",
+		},
+		{
+			name: "max-replicas valid",
+			f:    daemonFlags{journal: true, replicas: 2, maxReplicas: 6, autoscale: true},
+		},
+		{
+			name:    "canary fraction out of range",
+			f:       daemonFlags{journal: true, replicas: 2, guard: true, canaryFraction: 1.5},
+			wantErr: "-canary-fraction must be in [0, 1)",
+		},
+		{
+			name:    "map ratio out of range",
+			f:       daemonFlags{journal: true, replicas: 2, guard: true, canaryFraction: 0.05, guardMinMAPRatio: 2},
+			wantErr: "-guard-min-map-ratio must be in [0, 1]",
+		},
+		{
+			name:    "canary fraction without guard",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.1},
+			set:     []string{"canary-fraction"},
+			wantErr: "-canary-fraction requires -guard",
+		},
+		{
+			name:    "map ratio without guard",
+			f:       daemonFlags{journal: true, replicas: 2, guardMinMAPRatio: 0.6},
+			set:     []string{"guard-min-map-ratio"},
+			wantErr: "-guard-min-map-ratio requires -guard",
+		},
+		{
+			name: "guard flags with guard",
+			f:    daemonFlags{journal: true, replicas: 2, guard: true, canaryFraction: 0.1, guardMinMAPRatio: 0.6},
+			set:  []string{"guard", "canary-fraction", "guard-min-map-ratio"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := map[string]bool{}
+			for _, n := range tc.set {
+				set[n] = true
+			}
+			err := validateFlags(tc.f, set)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

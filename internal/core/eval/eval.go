@@ -65,6 +65,16 @@ type Result struct {
 	NDCG      float64 // NDCG@K
 	AUC       float64
 	Examples  int // holdout examples evaluated
+	// NonFinite counts NaN/Inf scores seen during ranking. Non-finite
+	// competitor scores are excluded from the comparison set; a non-finite
+	// positive score forces the worst rank (zero credit). Without this a
+	// NaN positive score makes every comparison false and silently ranks
+	// first — a degenerate model would look perfect.
+	NonFinite int
+}
+
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }
 
 // Evaluate scores every holdout example and aggregates the metrics.
@@ -90,6 +100,7 @@ func Evaluate(s Scorer, holdout []interactions.HoldoutExample, numItems int, opt
 			continue
 		}
 		var rank, total int
+		posBad := false
 		if fastSample {
 			// Fast path: draw ~fraction*n candidate items (with
 			// replacement) and score ONLY those plus the positive — this is
@@ -116,15 +127,24 @@ func Evaluate(s Scorer, holdout []interactions.HoldoutExample, numItems int, opt
 			sampleScores = sampleScores[:len(sampleIDs)]
 			subsetScorer.ScoreSubset(h.Context, sampleIDs, sampleScores)
 			pos := sampleScores[0]
+			posBad = !finite(pos)
+			if posBad {
+				r.NonFinite++
+			}
 			higher := 0.0
+			drawn := 0
 			for _, sc := range sampleScores[1:] {
+				if !finite(sc) {
+					r.NonFinite++
+					continue
+				}
+				drawn++
 				if sc > pos {
 					higher++
 				} else if sc == pos {
 					higher += 0.5 // ties count half: no optimistic tie-break
 				}
 			}
-			drawn := len(sampleIDs) - 1
 			eligibleTotal := numItems - 1 // approximate; context overlap is tiny
 			if drawn > 0 {
 				rank = 1 + int(higher*float64(eligibleTotal)/float64(drawn))
@@ -132,9 +152,16 @@ func Evaluate(s Scorer, holdout []interactions.HoldoutExample, numItems int, opt
 				rank = 1
 			}
 			total = numItems
+			if posBad {
+				rank = total
+			}
 		} else {
 			s.ScoreAll(h.Context, scores)
 			pos := scores[h.Item]
+			posBad = !finite(pos)
+			if posBad {
+				r.NonFinite++
+			}
 
 			// rank = 1 + competitors scoring strictly higher + half the
 			// exact ties. Counting ties half matters: a weak model that
@@ -152,6 +179,10 @@ func Evaluate(s Scorer, holdout []interactions.HoldoutExample, numItems int, opt
 				if sampled && rng.Float64() >= opts.SampleFraction {
 					continue
 				}
+				if !finite(scores[j]) {
+					r.NonFinite++
+					continue
+				}
 				eligible++
 				if scores[j] > pos {
 					higher++
@@ -166,9 +197,12 @@ func Evaluate(s Scorer, holdout []interactions.HoldoutExample, numItems int, opt
 				rank = 1 + int(higher/opts.SampleFraction)
 				total = 1 + int(float64(eligible)/opts.SampleFraction)
 			}
+			if posBad {
+				rank = total
+			}
 		}
 
-		if rank <= opts.K {
+		if !posBad && rank <= opts.K {
 			// One relevant item: AP@K = 1/rank.
 			sumAP += 1 / float64(rank)
 			sumP += 1 / float64(opts.K)
@@ -194,21 +228,30 @@ func Evaluate(s Scorer, holdout []interactions.HoldoutExample, numItems int, opt
 
 // RankOf returns the exact rank (1-based) the scorer assigns to item in the
 // given context, with context items excluded. Used by diagnostics and
-// tests.
+// tests. Non-finite competitor scores are excluded; a non-finite positive
+// score ranks last among the finite competitors.
 func RankOf(s Scorer, ctx interactions.Context, item catalog.ItemID, numItems int) int {
 	scores := make([]float64, numItems)
 	s.ScoreAll(ctx, scores)
 	pos := scores[item]
 	var higher float64
+	eligible := 0
 	for j := 0; j < numItems; j++ {
 		if catalog.ItemID(j) == item || ctx.Contains(catalog.ItemID(j)) {
 			continue
 		}
+		if !finite(scores[j]) {
+			continue
+		}
+		eligible++
 		if scores[j] > pos {
 			higher++
 		} else if scores[j] == pos {
 			higher += 0.5
 		}
+	}
+	if !finite(pos) {
+		return eligible + 1
 	}
 	return 1 + int(higher)
 }

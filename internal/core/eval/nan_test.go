@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+)
+
+// fixedSubsetScorer is fixedScorer plus the sampled fast path.
+type fixedSubsetScorer []float64
+
+func (f fixedSubsetScorer) ScoreAll(_ interactions.Context, out []float64) {
+	copy(out, f)
+}
+
+func (f fixedSubsetScorer) ScoreSubset(_ interactions.Context, items []catalog.ItemID, out []float64) {
+	for i, it := range items {
+		out[i] = f[it]
+	}
+}
+
+// A scorer that emits NaN for the positive item used to score a perfect
+// MAP before the fix: every comparison against NaN is false, so the
+// positive "outranked" everything.
+func TestEvaluateNaNPositiveScoresZero(t *testing.T) {
+	nan := math.NaN()
+	s := fixedScorer{1, 2, 3, 4, 5, 6, 7, 8, 9, nan}
+	h := []interactions.HoldoutExample{holdout(9, 0), holdout(9, 1)}
+	r := Evaluate(s, h, 10, DefaultOptions())
+	if r.Examples != 2 {
+		t.Fatalf("Examples = %d", r.Examples)
+	}
+	if r.MAP != 0 || r.Recall != 0 || r.NDCG != 0 || r.AUC != 0 {
+		t.Fatalf("NaN positive must score zero, got %+v", r)
+	}
+	if r.NonFinite != 2 {
+		t.Fatalf("NonFinite = %d, want 2 (one NaN positive per example)", r.NonFinite)
+	}
+}
+
+func TestEvaluateAllNaNModelScoresZero(t *testing.T) {
+	nan := math.NaN()
+	s := fixedScorer{nan, nan, nan, nan, nan, nan, nan, nan, nan, nan}
+	h := []interactions.HoldoutExample{holdout(9, 0)}
+	r := Evaluate(s, h, 10, DefaultOptions())
+	if r.MAP != 0 || r.AUC != 0 {
+		t.Fatalf("all-NaN model must score zero, got %+v", r)
+	}
+	if r.NonFinite == 0 {
+		t.Fatalf("NonFinite = 0, want > 0")
+	}
+}
+
+func TestEvaluateNaNCompetitorsExcluded(t *testing.T) {
+	// The positive scores highest among finite items; NaN/Inf competitors
+	// are excluded from the comparison set, not ranked above or below.
+	nan, inf := math.NaN(), math.Inf(1)
+	s := fixedScorer{nan, inf, 1, 1, 1, 1, 1, 1, 1, 5}
+	h := []interactions.HoldoutExample{holdout(9, 2)}
+	r := Evaluate(s, h, 10, DefaultOptions())
+	if r.MAP != 1 {
+		t.Fatalf("MAP = %v, want 1 (positive tops all finite competitors)", r.MAP)
+	}
+	if r.NonFinite != 2 {
+		t.Fatalf("NonFinite = %d, want 2", r.NonFinite)
+	}
+}
+
+func TestEvaluateNaNSampledFastPath(t *testing.T) {
+	nan := math.NaN()
+	scores := make(fixedSubsetScorer, 200)
+	for i := range scores {
+		scores[i] = float64(i)
+	}
+	scores[199] = nan
+	h := []interactions.HoldoutExample{holdout(199, 0)}
+	opts := DefaultOptions()
+	opts.SampleFraction = 0.5
+	opts.Seed = 7
+	r := Evaluate(scores, h, 200, opts)
+	if r.MAP != 0 || r.AUC != 0 {
+		t.Fatalf("sampled NaN positive must score zero, got %+v", r)
+	}
+	if r.NonFinite == 0 {
+		t.Fatalf("NonFinite = 0, want > 0")
+	}
+}
+
+func TestRankOfNaN(t *testing.T) {
+	nan := math.NaN()
+	s := fixedScorer{1, 2, nan, 4, 5}
+	// NaN positive ranks last among the 4 finite competitors → rank 5.
+	if got := RankOf(s, nil, 2, 5); got != 5 {
+		t.Fatalf("RankOf(NaN positive) = %d, want 5", got)
+	}
+	// NaN competitor excluded: item 4 still ranks first.
+	if got := RankOf(s, nil, 4, 5); got != 1 {
+		t.Fatalf("RankOf with NaN competitor = %d, want 1", got)
+	}
+}

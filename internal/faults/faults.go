@@ -66,6 +66,16 @@ const (
 	// rule simulates the crash: RunDay aborts fleet-wide, the journal
 	// survives, and the next RunDay call resumes from it.
 	OpCoordinator Op = "coordinator"
+	// OpModel injects degenerate models — the failure class where the
+	// infrastructure is healthy but the model itself is garbage. The
+	// pipeline consults it via ModelFault at two points, both keyed by
+	// "days/<day>/<retailer>": after model selection (ModelCliff scales
+	// the tenant's offline metric down, simulating a bad hyper-parameter
+	// draw) and after inference (ModelNaN poisons list scores with NaN,
+	// ModelCollapse rewrites every item's lists to one constant list).
+	// Scope rules to one tenant-day with PathContains and EveryNth: 1 so
+	// every resume incarnation sees the same degenerate model.
+	OpModel Op = "model"
 )
 
 // Kind is the failure mode a rule injects.
@@ -87,6 +97,17 @@ const (
 	// Stall freezes a MapReduce worker's heartbeats so its lease expires
 	// and the task is reassigned; consumed via WorkerPlan.
 	Stall
+	// ModelNaN poisons a tenant's materialized recommendation scores with
+	// NaN (degenerate embeddings); consumed via ModelFault.
+	ModelNaN
+	// ModelCollapse rewrites a tenant's materialized lists so every item
+	// recommends the same things (a constant scorer); consumed via
+	// ModelFault.
+	ModelCollapse
+	// ModelCliff craters a tenant's offline selection metric (a bad
+	// hyper-parameter draw that offline eval catches); consumed via
+	// ModelFault.
+	ModelCliff
 )
 
 func (k Kind) String() string {
@@ -103,6 +124,12 @@ func (k Kind) String() string {
 		return "crash"
 	case Stall:
 		return "stall"
+	case ModelNaN:
+		return "model-nan"
+	case ModelCollapse:
+		return "model-collapse"
+	case ModelCliff:
+		return "model-cliff"
 	}
 	return "unknown"
 }
@@ -397,6 +424,22 @@ func (in *Injector) ReplicaPlan() ReplicaPlanFunc {
 			return ReplicaFail, rs.Delay
 		}
 	}
+}
+
+// ModelFault consults degenerate-model rules (OpModel) for one pipeline
+// stage, restricted to the given kinds (ModelNaN, ModelCollapse,
+// ModelCliff). It returns the kind that fired. The caller applies the
+// degeneracy itself — scoring corruption and metric cliffs live in the
+// pipeline, not here. A nil injector never fires.
+func (in *Injector) ModelFault(path string, kinds ...Kind) (Kind, bool) {
+	if in == nil {
+		return 0, false
+	}
+	rs := in.match(OpModel, path, kinds...)
+	if rs == nil {
+		return 0, false
+	}
+	return rs.Kind, true
 }
 
 // Fired reports the total number of faults fired across all rules.

@@ -1,0 +1,347 @@
+// Package guard is the publish-time model-quality firewall. The paper's
+// fleet runs thousands of recommendation problems daily with no human
+// inspecting any individual model, so a silently degenerate model — NaN
+// embeddings, a collapsed scorer that recommends the same list to
+// everyone, a metric cliff after a bad hyper-parameter draw — would ship
+// straight to users unless the pipeline itself refuses it.
+//
+// The guard sits between model selection and the store. For each tenant
+// it evaluates the candidate generation against structural invariants
+// (finite scores, non-empty and non-collapsed lists) and against the
+// tenant's own trailing baseline (exponentially-weighted MAP@10,
+// catalog coverage, and score distribution from prior days, persisted in
+// dfs). Thresholds are ratios against the per-tenant baseline, never
+// global absolutes: per-shop behavior varies too much for any one
+// number to fit every tenant.
+//
+// Verdicts are three-valued: pass (publish normally), veto (carry
+// forward generation N−1 via the degraded machinery), and canary
+// (publish, but have the sharded store route only a deterministic
+// hash-slice of the tenant's traffic to the new generation until live
+// behavior confirms it).
+package guard
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/dfs"
+	"sigmund/internal/serving"
+)
+
+// Verdict is the guard's decision for one tenant's candidate generation.
+type Verdict string
+
+const (
+	// VerdictPass publishes the candidate normally.
+	VerdictPass Verdict = "pass"
+	// VerdictCanary publishes the candidate behind a live canary slice.
+	VerdictCanary Verdict = "canary"
+	// VerdictVeto refuses the candidate; the tenant carries forward its
+	// previous generation.
+	VerdictVeto Verdict = "veto"
+)
+
+// Veto and canary reasons, used for metric labels and DayReport
+// attribution.
+const (
+	ReasonNaNScores        = "nan_scores"
+	ReasonEmptyRecs        = "empty_recs"
+	ReasonCollapsedRecs    = "collapsed_recs"
+	ReasonCoverageCollapse = "coverage_collapse"
+	ReasonMAPCliff         = "map_cliff"
+	ReasonMAPBorderline    = "map_borderline"
+	ReasonScoreDrift       = "score_drift"
+)
+
+// Options configures the firewall.
+type Options struct {
+	// Enabled turns the guard on. Disabled, Evaluate is never called and
+	// every tenant publishes as before.
+	Enabled bool
+	// MinMAPRatio vetoes a candidate whose offline MAP falls below this
+	// fraction of the tenant's baseline MAP (default 0.5).
+	MinMAPRatio float64
+	// BorderlineMAPRatio sends a candidate to canary when its MAP ratio
+	// is below this but above MinMAPRatio (default 0.8). Ignored when
+	// CanaryFraction is 0 — borderline candidates then pass.
+	BorderlineMAPRatio float64
+	// MinCoverageRatio vetoes a candidate whose distinct-item coverage
+	// falls below this fraction of the tenant's baseline coverage
+	// (default 0.5).
+	MinCoverageRatio float64
+	// DriftSigmas sends a candidate to canary when its mean list score
+	// moves more than this many baseline standard deviations from the
+	// baseline mean (default 8).
+	DriftSigmas float64
+	// Alpha is the EWMA weight for folding a passing day into the
+	// baseline (default 0.3).
+	Alpha float64
+	// MinBaselineDays is how many passing days a tenant needs before
+	// baseline-relative gates apply; until then only structural gates
+	// run (default 1).
+	MinBaselineDays int
+	// CanaryFraction is the slice of a canaried tenant's traffic routed
+	// to the new generation, in (0, 1). 0 disables the canary verdict
+	// entirely (single-node serving has no per-request routing).
+	CanaryFraction float64
+	// CollapseMinLists is the minimum number of materialized lists
+	// before the collapse gate applies; tiny tenants are exempt
+	// (default 8).
+	CollapseMinLists int
+}
+
+// Defaulted fills zero fields with production defaults.
+func (o Options) Defaulted() Options {
+	if o.MinMAPRatio <= 0 {
+		o.MinMAPRatio = 0.5
+	}
+	if o.BorderlineMAPRatio <= 0 {
+		o.BorderlineMAPRatio = 0.8
+	}
+	if o.MinCoverageRatio <= 0 {
+		o.MinCoverageRatio = 0.5
+	}
+	if o.DriftSigmas <= 0 {
+		o.DriftSigmas = 8
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.3
+	}
+	if o.MinBaselineDays <= 0 {
+		o.MinBaselineDays = 1
+	}
+	if o.CollapseMinLists <= 0 {
+		o.CollapseMinLists = 8
+	}
+	return o
+}
+
+// Candidate is one tenant's proposed generation.
+type Candidate struct {
+	// MAP is the offline MAP@K of the selected model.
+	MAP float64
+	// Recs is the materialized serving payload.
+	Recs *serving.RetailerRecs
+	// CatalogSize is the tenant's item-catalog size, the denominator for
+	// coverage.
+	CatalogSize int
+}
+
+// Report is the guard's full evaluation of one candidate: the verdict,
+// the first gate that tripped, and the measured statistics (which also
+// feed the baseline on pass).
+type Report struct {
+	Verdict   Verdict
+	Reason    string
+	MAP       float64
+	MAPRatio  float64 // vs baseline; 0 when no baseline applied
+	Coverage  float64 // distinct recommended items / catalog size
+	ScoreMean float64
+	ScoreStd  float64
+	NonFinite int // NaN/Inf scores found in the lists
+	Lists     int // materialized non-empty lists
+	Distinct  int // distinct items recommended across all lists
+}
+
+// Baseline is a tenant's trailing quality profile, persisted in dfs and
+// folded forward with an EWMA on each passing day.
+type Baseline struct {
+	// Day is the last day folded in (for crash-resume idempotence).
+	Day int `json:"day"`
+	// Days counts how many passing days have been folded in.
+	Days      int     `json:"days"`
+	MAP       float64 `json:"map"`
+	Coverage  float64 `json:"coverage"`
+	ScoreMean float64 `json:"score_mean"`
+	ScoreStd  float64 `json:"score_std"`
+}
+
+// Fold mixes a passing day's measurements into the baseline.
+func (b *Baseline) Fold(rep Report, day int, alpha float64) {
+	if b.Days == 0 {
+		b.MAP = rep.MAP
+		b.Coverage = rep.Coverage
+		b.ScoreMean = rep.ScoreMean
+		b.ScoreStd = rep.ScoreStd
+	} else {
+		b.MAP = (1-alpha)*b.MAP + alpha*rep.MAP
+		b.Coverage = (1-alpha)*b.Coverage + alpha*rep.Coverage
+		b.ScoreMean = (1-alpha)*b.ScoreMean + alpha*rep.ScoreMean
+		b.ScoreStd = (1-alpha)*b.ScoreStd + alpha*rep.ScoreStd
+	}
+	b.Day = day
+	b.Days++
+}
+
+// BaselinePath is where a tenant's baseline lives in dfs. It sits outside
+// the days/ prefix so day GC never collects it.
+func BaselinePath(r catalog.RetailerID) string {
+	return fmt.Sprintf("guard/baselines/%s", r)
+}
+
+// LoadBaseline reads a tenant's baseline. A missing or unreadable
+// baseline returns nil: the tenant is treated as in warmup and only
+// structural gates apply.
+func LoadBaseline(fs *dfs.FS, r catalog.RetailerID) *Baseline {
+	data, err := fs.Read(BaselinePath(r))
+	if err != nil {
+		return nil
+	}
+	var b Baseline
+	if json.Unmarshal(data, &b) != nil {
+		return nil
+	}
+	return &b
+}
+
+// SaveBaseline persists a tenant's baseline.
+func SaveBaseline(fs *dfs.FS, r catalog.RetailerID, b *Baseline) error {
+	data, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	return fs.Write(BaselinePath(r), data)
+}
+
+// Evaluate runs every gate against a candidate. base may be nil (warmup:
+// structural gates only). Evaluate is pure and deterministic — the same
+// candidate, baseline, and options always yield the same Report, which
+// is what lets crash-resume replay verdicts byte-identically.
+func Evaluate(c Candidate, base *Baseline, o Options) Report {
+	o = o.Defaulted()
+	rep := Report{Verdict: VerdictPass, MAP: c.MAP}
+	rep.measure(c)
+
+	// Structural gates first: these are unconditional invariants no
+	// healthy model violates, baseline or not.
+	switch {
+	case rep.NonFinite > 0:
+		return rep.veto(ReasonNaNScores)
+	case rep.Lists == 0:
+		return rep.veto(ReasonEmptyRecs)
+	case rep.Lists >= o.CollapseMinLists && collapsed(c.Recs):
+		return rep.veto(ReasonCollapsedRecs)
+	}
+
+	if base == nil || base.Days < o.MinBaselineDays {
+		return rep // warmup: no baseline-relative gates
+	}
+
+	if base.MAP > 1e-12 {
+		rep.MAPRatio = rep.MAP / base.MAP
+		if rep.MAPRatio < o.MinMAPRatio {
+			return rep.veto(ReasonMAPCliff)
+		}
+	}
+	if base.Coverage > 1e-12 && rep.Coverage/base.Coverage < o.MinCoverageRatio {
+		return rep.veto(ReasonCoverageCollapse)
+	}
+
+	// Borderline gates: suspicious but not damning. With a canary slice
+	// available the candidate ships to a fraction of traffic; without
+	// one it passes (vetoing ordinary jitter would thrash the fleet).
+	borderline := ""
+	if rep.MAPRatio > 0 && rep.MAPRatio < o.BorderlineMAPRatio {
+		borderline = ReasonMAPBorderline
+	} else if sigma := math.Max(base.ScoreStd, 0.05*math.Abs(base.ScoreMean)+1e-9); math.Abs(rep.ScoreMean-base.ScoreMean) > o.DriftSigmas*sigma {
+		borderline = ReasonScoreDrift
+	}
+	if borderline != "" {
+		rep.Reason = borderline
+		if o.CanaryFraction > 0 {
+			rep.Verdict = VerdictCanary
+		}
+	}
+	return rep
+}
+
+func (rep *Report) veto(reason string) Report {
+	rep.Verdict = VerdictVeto
+	rep.Reason = reason
+	return *rep
+}
+
+// measure computes list statistics in deterministic (sorted-item) order
+// so float accumulation never depends on map iteration order.
+func (rep *Report) measure(c Candidate) {
+	if c.Recs == nil {
+		return
+	}
+	items := make([]catalog.ItemID, 0, len(c.Recs.Recs))
+	for it := range c.Recs.Recs {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	distinct := make(map[catalog.ItemID]struct{})
+	var sum, sumSq float64
+	var n int
+	for _, it := range items {
+		ir := c.Recs.Recs[it]
+		for _, list := range [][]hybrid.Scored{ir.View, ir.Purchase, ir.LateFunnel} {
+			if len(list) == 0 {
+				continue
+			}
+			rep.Lists++
+			for _, sc := range list {
+				distinct[sc.Item] = struct{}{}
+				if math.IsNaN(sc.Score) || math.IsInf(sc.Score, 0) {
+					rep.NonFinite++
+					continue
+				}
+				sum += sc.Score
+				sumSq += sc.Score * sc.Score
+				n++
+			}
+		}
+	}
+	rep.Distinct = len(distinct)
+	if c.CatalogSize > 0 {
+		rep.Coverage = float64(rep.Distinct) / float64(c.CatalogSize)
+	}
+	if n > 0 {
+		rep.ScoreMean = sum / float64(n)
+		if v := sumSq/float64(n) - rep.ScoreMean*rep.ScoreMean; v > 0 {
+			rep.ScoreStd = math.Sqrt(v)
+		}
+	}
+}
+
+// collapsed reports whether every query item's view list recommends the
+// same items — the signature of a constant scorer. Called only after the
+// cheap distinct-count screen already fired.
+func collapsed(recs *serving.RetailerRecs) bool {
+	var first []hybrid.Scored
+	seen := false
+	for _, ir := range recs.Recs {
+		if len(ir.View) == 0 {
+			continue
+		}
+		if !seen {
+			first = ir.View
+			seen = true
+			continue
+		}
+		if !sameItems(first, ir.View) {
+			return false
+		}
+	}
+	return seen
+}
+
+func sameItems(a, b []hybrid.Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Item != b[i].Item {
+			return false
+		}
+	}
+	return true
+}

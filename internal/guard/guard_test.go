@@ -1,0 +1,166 @@
+package guard
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/dfs"
+	"sigmund/internal/serving"
+)
+
+// healthyRecs builds a candidate payload with n query items whose view
+// lists differ and whose scores are finite and well spread.
+func healthyRecs(n int) *serving.RetailerRecs {
+	rr := &serving.RetailerRecs{Recs: map[catalog.ItemID]inference.ItemRecs{}}
+	for i := 0; i < n; i++ {
+		it := catalog.ItemID(i)
+		rr.Recs[it] = inference.ItemRecs{
+			Item: it,
+			View: []hybrid.Scored{
+				{Item: catalog.ItemID((i + 1) % n), Score: 1.0 - 0.01*float64(i)},
+				{Item: catalog.ItemID((i + 2) % n), Score: 0.5 - 0.01*float64(i)},
+			},
+		}
+	}
+	return rr
+}
+
+func TestEvaluateWarmupPassesStructurallySound(t *testing.T) {
+	rep := Evaluate(Candidate{MAP: 0.3, Recs: healthyRecs(10), CatalogSize: 10}, nil, Options{})
+	if rep.Verdict != VerdictPass {
+		t.Fatalf("warmup verdict = %s (%s), want pass", rep.Verdict, rep.Reason)
+	}
+	if rep.Lists != 10 || rep.Distinct == 0 || rep.Coverage == 0 {
+		t.Fatalf("measurements not populated: %+v", rep)
+	}
+}
+
+func TestEvaluateNaNVeto(t *testing.T) {
+	rr := healthyRecs(10)
+	ir := rr.Recs[3]
+	ir.View[0].Score = math.NaN()
+	rr.Recs[3] = ir
+	rep := Evaluate(Candidate{MAP: 0.3, Recs: rr, CatalogSize: 10}, nil, Options{})
+	if rep.Verdict != VerdictVeto || rep.Reason != ReasonNaNScores {
+		t.Fatalf("verdict = %s/%s, want veto/%s", rep.Verdict, rep.Reason, ReasonNaNScores)
+	}
+	if rep.NonFinite != 1 {
+		t.Fatalf("NonFinite = %d, want 1", rep.NonFinite)
+	}
+}
+
+func TestEvaluateEmptyVeto(t *testing.T) {
+	empty := &serving.RetailerRecs{Recs: map[catalog.ItemID]inference.ItemRecs{}}
+	rep := Evaluate(Candidate{MAP: 0.3, Recs: empty, CatalogSize: 10}, nil, Options{})
+	if rep.Verdict != VerdictVeto || rep.Reason != ReasonEmptyRecs {
+		t.Fatalf("verdict = %s/%s, want veto/%s", rep.Verdict, rep.Reason, ReasonEmptyRecs)
+	}
+}
+
+func TestEvaluateCollapseVeto(t *testing.T) {
+	rr := &serving.RetailerRecs{Recs: map[catalog.ItemID]inference.ItemRecs{}}
+	same := []hybrid.Scored{{Item: 7, Score: 0.9}, {Item: 8, Score: 0.8}}
+	for i := 0; i < 12; i++ {
+		rr.Recs[catalog.ItemID(i)] = inference.ItemRecs{Item: catalog.ItemID(i), View: same}
+	}
+	rep := Evaluate(Candidate{MAP: 0.3, Recs: rr, CatalogSize: 100}, nil, Options{})
+	if rep.Verdict != VerdictVeto || rep.Reason != ReasonCollapsedRecs {
+		t.Fatalf("verdict = %s/%s, want veto/%s", rep.Verdict, rep.Reason, ReasonCollapsedRecs)
+	}
+	// Tiny tenants are exempt from the collapse gate.
+	small := &serving.RetailerRecs{Recs: map[catalog.ItemID]inference.ItemRecs{}}
+	for i := 0; i < 3; i++ {
+		small.Recs[catalog.ItemID(i)] = inference.ItemRecs{Item: catalog.ItemID(i), View: same}
+	}
+	if rep := Evaluate(Candidate{MAP: 0.3, Recs: small, CatalogSize: 10}, nil, Options{}); rep.Verdict != VerdictPass {
+		t.Fatalf("tiny tenant verdict = %s (%s), want pass", rep.Verdict, rep.Reason)
+	}
+}
+
+func TestEvaluateMAPCliffVeto(t *testing.T) {
+	base := &Baseline{Days: 3, MAP: 0.5, Coverage: 0.8}
+	rep := Evaluate(Candidate{MAP: 0.1, Recs: healthyRecs(10), CatalogSize: 10}, base, Options{})
+	if rep.Verdict != VerdictVeto || rep.Reason != ReasonMAPCliff {
+		t.Fatalf("verdict = %s/%s, want veto/%s", rep.Verdict, rep.Reason, ReasonMAPCliff)
+	}
+	if rep.MAPRatio != 0.1/0.5 {
+		t.Fatalf("MAPRatio = %v, want 0.2", rep.MAPRatio)
+	}
+}
+
+func TestEvaluateCoverageCollapseVeto(t *testing.T) {
+	// 10 distinct recommended items over a 1000-item catalog = 1% coverage,
+	// against a 50% baseline.
+	base := &Baseline{Days: 3, MAP: 0.3, Coverage: 0.5}
+	rep := Evaluate(Candidate{MAP: 0.3, Recs: healthyRecs(10), CatalogSize: 1000}, base, Options{})
+	if rep.Verdict != VerdictVeto || rep.Reason != ReasonCoverageCollapse {
+		t.Fatalf("verdict = %s/%s, want veto/%s", rep.Verdict, rep.Reason, ReasonCoverageCollapse)
+	}
+}
+
+func TestEvaluateBorderlineCanary(t *testing.T) {
+	base := &Baseline{Days: 3, MAP: 0.5, Coverage: 0.8}
+	c := Candidate{MAP: 0.35, Recs: healthyRecs(10), CatalogSize: 10} // ratio 0.7
+	rep := Evaluate(c, base, Options{CanaryFraction: 0.05})
+	if rep.Verdict != VerdictCanary || rep.Reason != ReasonMAPBorderline {
+		t.Fatalf("verdict = %s/%s, want canary/%s", rep.Verdict, rep.Reason, ReasonMAPBorderline)
+	}
+	// Without a canary slice the borderline candidate passes (annotated).
+	rep = Evaluate(c, base, Options{})
+	if rep.Verdict != VerdictPass || rep.Reason != ReasonMAPBorderline {
+		t.Fatalf("no-canary verdict = %s/%s, want pass/%s", rep.Verdict, rep.Reason, ReasonMAPBorderline)
+	}
+}
+
+func TestEvaluateScoreDriftCanary(t *testing.T) {
+	recs := healthyRecs(10)
+	probe := Evaluate(Candidate{MAP: 0.3, Recs: recs, CatalogSize: 10}, nil, Options{})
+	base := &Baseline{
+		Days: 3, MAP: 0.3, Coverage: probe.Coverage,
+		ScoreMean: probe.ScoreMean + 100, ScoreStd: 0.01,
+	}
+	rep := Evaluate(Candidate{MAP: 0.3, Recs: recs, CatalogSize: 10}, base, Options{CanaryFraction: 0.05})
+	if rep.Verdict != VerdictCanary || rep.Reason != ReasonScoreDrift {
+		t.Fatalf("verdict = %s/%s, want canary/%s", rep.Verdict, rep.Reason, ReasonScoreDrift)
+	}
+}
+
+func TestBaselineFoldAndPersist(t *testing.T) {
+	fs := dfs.New()
+	r := catalog.RetailerID("shop-1")
+	b := &Baseline{}
+	b.Fold(Report{MAP: 0.4, Coverage: 0.6, ScoreMean: 1.0, ScoreStd: 0.2}, 1, 0.3)
+	if b.MAP != 0.4 || b.Days != 1 || b.Day != 1 {
+		t.Fatalf("first fold: %+v", b)
+	}
+	b.Fold(Report{MAP: 0.5, Coverage: 0.6, ScoreMean: 1.0, ScoreStd: 0.2}, 2, 0.3)
+	want := 0.7*0.4 + 0.3*0.5
+	if math.Abs(b.MAP-want) > 1e-12 || b.Days != 2 || b.Day != 2 {
+		t.Fatalf("second fold: %+v, want MAP %v", b, want)
+	}
+	if err := SaveBaseline(fs, r, b); err != nil {
+		t.Fatalf("SaveBaseline: %v", err)
+	}
+	got := LoadBaseline(fs, r)
+	if got == nil || !reflect.DeepEqual(*got, *b) {
+		t.Fatalf("roundtrip: got %+v, want %+v", got, b)
+	}
+	if LoadBaseline(fs, "missing") != nil {
+		t.Fatal("missing baseline should load as nil")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	base := &Baseline{Days: 3, MAP: 0.5, Coverage: 0.8, ScoreMean: 0.7, ScoreStd: 0.1}
+	c := Candidate{MAP: 0.45, Recs: healthyRecs(50), CatalogSize: 50}
+	a := Evaluate(c, base, Options{CanaryFraction: 0.05})
+	for i := 0; i < 10; i++ {
+		if b := Evaluate(c, base, Options{CanaryFraction: 0.05}); !reflect.DeepEqual(a, b) {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/faults"
+	"sigmund/internal/guard"
+	"sigmund/internal/obs"
+	"sigmund/internal/serving"
+)
+
+// modelCliffFactor is how hard an injected ModelCliff craters a tenant's
+// offline selection metric — far below any MinMAPRatio a sane config
+// would use.
+const modelCliffFactor = 0.05
+
+// runGuard is the publish-time quality firewall: after inference has
+// materialized the day's candidate snapshot, every healthy tenant's
+// candidate is evaluated against structural invariants and its trailing
+// per-tenant baseline. Vetoed tenants are folded into the existing
+// degraded machinery (carry forward generation N−1); borderline tenants
+// are flagged for a live canary in the snapshot status; passing tenants
+// fold the day's measurements into their baseline.
+//
+// Determinism: tenants are processed in sorted (admitted) order, each
+// verdict is committed to the day journal before it is applied, and a
+// journaled verdict always overrides the freshly computed one — so a
+// resume replays identical verdicts even though the baseline may already
+// have been folded forward by the crashed incarnation.
+func (p *Pipeline) runGuard(ctx context.Context, day int, admitted []catalog.RetailerID,
+	tenants map[catalog.RetailerID]*Tenant, perRetailer map[catalog.RetailerID]*RetailerReport,
+	degraded map[catalog.RetailerID]*degradation, snap *serving.Snapshot,
+	report *DayReport, dspan *obs.Span, dj *dayJournal) error {
+
+	g := p.opts.Guard.Defaulted()
+	gspan := dspan.Child("guard")
+	for _, r := range admitted {
+		if degraded[r] != nil || snap.Retailers[r] == nil {
+			continue
+		}
+		rep := perRetailer[r]
+		report.GuardEvaluated++
+
+		// Metric-cliff injection: a bad hyper-parameter draw whose damage
+		// only offline eval can see. Applied to the selection metric the
+		// guard consumes, deterministically per tenant-day.
+		if _, ok := p.opts.Injector.ModelFault(faultPath(day, r), faults.ModelCliff); ok {
+			rep.BestMAP *= modelCliffFactor
+		}
+
+		base := guard.LoadBaseline(p.fs, r)
+		grep := guard.Evaluate(guard.Candidate{
+			MAP:         rep.BestMAP,
+			Recs:        snap.Retailers[r],
+			CatalogSize: tenants[r].Catalog.NumItems(),
+		}, base, g)
+
+		verdict, reason := grep.Verdict, grep.Reason
+		if dj != nil {
+			if jr := dj.guardRecord(r); jr != nil {
+				verdict, reason = guard.Verdict(jr.Verdict), jr.Reason
+			} else if err := dj.append(ctx, journalRecord{Type: recGuard, Retailer: r, Verdict: string(verdict), Reason: reason}); err != nil {
+				return err
+			}
+		}
+		rep.GuardVerdict = string(verdict)
+		rep.GuardReason = reason
+
+		tspan := gspan.Child("tenant:"+string(r), obs.L("verdict", string(verdict)))
+		if reason != "" {
+			tspan.SetAttr("reason", reason)
+		}
+		tspan.SetAttr("map", strconv.FormatFloat(grep.MAP, 'g', 4, 64))
+		tspan.End()
+
+		switch verdict {
+		case guard.VerdictVeto:
+			degraded[r] = &degradation{
+				phase: PhaseGuard,
+				err:   fmt.Errorf("pipeline: guard vetoed publish: %s", reason),
+			}
+			// Drop the candidate so both publishers carry forward the
+			// tenant's previous generation (MarkDegraded at publish
+			// re-creates the status entry).
+			delete(snap.Retailers, r)
+			delete(snap.Status, r)
+			report.Vetoed = append(report.Vetoed, r)
+		case guard.VerdictCanary:
+			st := snap.Status[r]
+			if st == nil {
+				st = &serving.TenantStatus{RecsVersion: snap.Version}
+				snap.Status[r] = st
+			}
+			st.Canary = true
+			st.CanaryFraction = g.CanaryFraction
+			report.Canaried = append(report.Canaried, r)
+		case guard.VerdictPass:
+			// Fold the day's measurements into the baseline — but only
+			// once per day, so a crash-resume that replays this verdict
+			// does not double-fold.
+			if base == nil {
+				base = &guard.Baseline{}
+			}
+			if base.Days == 0 || base.Day < day {
+				base.Fold(grep, day, g.Alpha)
+				// Best-effort: a transiently failed save just leaves the
+				// baseline one day staler.
+				_ = guard.SaveBaseline(p.fs, r, base)
+			}
+		}
+	}
+	gspan.End()
+	return nil
+}
+
+// guardInfo condenses a finished day's guard activity for the /statz
+// "guard" block.
+func guardInfo(report DayReport) serving.GuardInfo {
+	info := serving.GuardInfo{Day: report.Day, Evaluated: report.GuardEvaluated}
+	for _, rep := range report.Retailers {
+		switch guard.Verdict(rep.GuardVerdict) {
+		case guard.VerdictPass:
+			info.Passed++
+		case guard.VerdictVeto:
+			info.Vetoed = append(info.Vetoed, string(rep.Retailer))
+			if info.VetoReasons == nil {
+				info.VetoReasons = map[string]int{}
+			}
+			info.VetoReasons[rep.GuardReason]++
+		case guard.VerdictCanary:
+			info.Canaried = append(info.Canaried, string(rep.Retailer))
+		}
+	}
+	return info
+}
+
+// emitGuardMetrics rolls one finished day's guard verdicts into the
+// registry. Reasons are a bounded label set; tenant identity stays out of
+// labels as everywhere else.
+func (p *Pipeline) emitGuardMetrics(report DayReport) {
+	reg := p.opts.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	verdictHelp := "Guard verdicts on candidate generations, by verdict."
+	vetoHelp := "Guard vetoes, by the gate that tripped."
+	for _, rep := range report.Retailers {
+		if rep.GuardVerdict == "" {
+			continue
+		}
+		reg.Counter("sigmund_guard_verdicts_total", verdictHelp, obs.L("verdict", rep.GuardVerdict)).Inc()
+		if rep.GuardVerdict == string(guard.VerdictVeto) {
+			reg.Counter("sigmund_guard_vetoes_total", vetoHelp, obs.L("reason", rep.GuardReason)).Inc()
+		}
+	}
+}
+
+// degradeModelOutput applies a degenerate-model fault to one tenant's
+// materialized lists, in place. ModelNaN poisons every score with NaN
+// (broken embeddings); ModelCollapse rewrites every item's lists to the
+// first item's (a constant scorer). Both are deterministic so a replayed
+// day reproduces the same corruption byte for byte.
+func degradeModelOutput(kind faults.Kind, items []inference.ItemRecs) {
+	switch kind {
+	case faults.ModelNaN:
+		nan := math.NaN()
+		for i := range items {
+			for _, list := range [][]hybrid.Scored{items[i].View, items[i].Purchase, items[i].LateFunnel} {
+				for j := range list {
+					list[j].Score = nan
+				}
+			}
+		}
+	case faults.ModelCollapse:
+		if len(items) == 0 {
+			return
+		}
+		src := items[0]
+		for i := 1; i < len(items); i++ {
+			items[i].View = src.View
+			items[i].Purchase = src.Purchase
+			items[i].LateFunnel = src.LateFunnel
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/guard"
+	"sigmund/internal/obs"
+	"sigmund/internal/serving"
+)
+
+// guardTestOptions is testOptions with the quality firewall on.
+func guardTestOptions() Options {
+	opts := testOptions()
+	opts.Guard = guard.Options{Enabled: true}
+	opts.Obs = obs.NewObserver()
+	return opts
+}
+
+// TestChaosGuardDrill is the firewall's acceptance drill: on day 1, three
+// tenants' models are made degenerate in three different ways — NaN
+// scores (broken embeddings), a collapsed constant scorer, and an offline
+// metric cliff. The guard must veto exactly those three with the right
+// reasons, carry their day-0 generation forward, leave the healthy tenant
+// byte-identical to a fault-free control run, and surface the verdicts on
+// /statz and the metrics registry. On day 2 the victims recover and the
+// whole fleet reconverges with the control run.
+func TestChaosGuardDrill(t *testing.T) {
+	fleet := chaosFleet(t, 4)
+	nanVictim := fleet[0].Catalog.Retailer
+	collapseVictim := fleet[1].Catalog.Retailer
+	cliffVictim := fleet[2].Catalog.Retailer
+	healthy := fleet[3].Catalog.Retailer
+
+	run := func(inj *faults.Injector) (*Pipeline, *serving.Server) {
+		opts := guardTestOptions()
+		opts.Injector = inj
+		server := serving.NewServer()
+		p := New(dfs.New(), server, opts)
+		for _, r := range chaosFleet(t, 4) {
+			mustAdd(t, p, r)
+		}
+		return p, server
+	}
+	inj := faults.NewInjector(42,
+		faults.Rule{Ops: []faults.Op{faults.OpModel}, Kind: faults.ModelNaN,
+			PathContains: "days/1/" + string(nanVictim), EveryNth: 1},
+		faults.Rule{Ops: []faults.Op{faults.OpModel}, Kind: faults.ModelCollapse,
+			PathContains: "days/1/" + string(collapseVictim), EveryNth: 1},
+		faults.Rule{Ops: []faults.Op{faults.OpModel}, Kind: faults.ModelCliff,
+			PathContains: "days/1/" + string(cliffVictim), EveryNth: 1},
+	)
+	control, controlServer := run(nil)
+	chaos, chaosServer := run(inj)
+
+	// Day 0: fault-free; every tenant passes the guard in warmup and seeds
+	// its baseline.
+	for _, p := range []*Pipeline{control, chaos} {
+		rep, err := p.RunDay(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.GuardEvaluated != 4 || len(rep.Vetoed) != 0 {
+			t.Fatalf("day 0 guard: evaluated %d, vetoed %v", rep.GuardEvaluated, rep.Vetoed)
+		}
+	}
+	day0 := map[catalog.RetailerID]*serving.RetailerRecs{}
+	for _, r := range []catalog.RetailerID{nanVictim, collapseVictim, cliffVictim} {
+		day0[r] = chaosServer.Snapshot().Retailers[r]
+	}
+
+	// Day 1: three degenerate models ship toward the store; zero may serve.
+	if _, err := control.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chaos.RunDay(context.Background())
+	if err != nil {
+		t.Fatalf("chaos day 1: %v", err)
+	}
+
+	wantReason := map[catalog.RetailerID]string{
+		nanVictim:      guard.ReasonNaNScores,
+		collapseVictim: guard.ReasonCollapsedRecs,
+		cliffVictim:    guard.ReasonMAPCliff,
+	}
+	for _, rr := range rep.Retailers {
+		reason, want := wantReason[rr.Retailer]
+		if want {
+			if rr.GuardVerdict != string(guard.VerdictVeto) || rr.GuardReason != reason {
+				t.Fatalf("%s: guard = %s/%s, want veto/%s", rr.Retailer, rr.GuardVerdict, rr.GuardReason, reason)
+			}
+			if !rr.Degraded || rr.DegradedPhase != PhaseGuard {
+				t.Fatalf("%s: degraded=%v phase=%q, want guard-degraded", rr.Retailer, rr.Degraded, rr.DegradedPhase)
+			}
+		} else if rr.GuardVerdict != string(guard.VerdictPass) {
+			t.Fatalf("%s: guard verdict = %s (%s), want pass", rr.Retailer, rr.GuardVerdict, rr.GuardReason)
+		}
+	}
+	if len(rep.Vetoed) != 3 {
+		t.Fatalf("Vetoed = %v, want the 3 victims", rep.Vetoed)
+	}
+
+	// Vetoed tenants serve their day-0 generation; no degenerate model is
+	// live anywhere.
+	snap := chaosServer.Snapshot()
+	for r, recs := range day0 {
+		if snap.Retailers[r] != recs {
+			t.Fatalf("%s: day-1 candidate reached the serving snapshot despite the veto", r)
+		}
+	}
+	// The healthy tenant's published recommendations are byte-identical to
+	// the fault-free control run.
+	if !reflect.DeepEqual(snap.Retailers[healthy], controlServer.Snapshot().Retailers[healthy]) {
+		t.Fatalf("healthy tenant %s diverged from the control run", healthy)
+	}
+
+	// Verdicts are visible on /statz ("guard" block data) and in metrics.
+	info, ok := chaosServer.GuardInfo()
+	if !ok || info.Evaluated != 4 || info.Passed != 1 || len(info.Vetoed) != 3 {
+		t.Fatalf("statz guard info = %+v (ok=%v)", info, ok)
+	}
+	for _, reason := range wantReason {
+		if info.VetoReasons[reason] != 1 {
+			t.Fatalf("statz veto reasons = %v, want one %s", info.VetoReasons, reason)
+		}
+	}
+	var sb strings.Builder
+	chaos.opts.Obs.Reg().WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`sigmund_guard_verdicts_total{verdict="veto"} 3`,
+		`sigmund_guard_vetoes_total{reason="nan_scores"} 1`,
+		`sigmund_guard_vetoes_total{reason="collapsed_recs"} 1`,
+		`sigmund_guard_vetoes_total{reason="map_cliff"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// Day 2: fault-free again. The victims' models were never poisoned —
+	// only their day-1 outputs were — so they publish fresh generations
+	// and the whole fleet reconverges with the control run.
+	controlRep, err := control.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosRep, err := chaos.RunDay(context.Background())
+	if err != nil {
+		t.Fatalf("chaos day 2: %v", err)
+	}
+	if len(chaosRep.Degraded) != 0 || len(chaosRep.Vetoed) != 0 {
+		t.Fatalf("day 2 did not recover: degraded %v, vetoed %v", chaosRep.Degraded, chaosRep.Vetoed)
+	}
+	if len(controlRep.Degraded) != 0 {
+		t.Fatalf("control day 2 degraded: %v", controlRep.Degraded)
+	}
+	chaosSnap, controlSnap := chaosServer.Snapshot(), controlServer.Snapshot()
+	for _, r := range []catalog.RetailerID{nanVictim, collapseVictim, cliffVictim, healthy} {
+		if !reflect.DeepEqual(chaosSnap.Retailers[r], controlSnap.Retailers[r]) {
+			t.Fatalf("%s: day-2 recommendations diverged from control", r)
+		}
+	}
+}
+
+// TestGuardCanaryVerdictMarksStatus: with a canary fraction configured, a
+// borderline candidate is published with the canary flag in its tenant
+// status instead of being vetoed, and the day report attributes it.
+func TestGuardCanaryVerdictMarksStatus(t *testing.T) {
+	opts := guardTestOptions()
+	// A borderline threshold above any real ratio sends every baselined
+	// tenant to canary deterministically.
+	opts.Guard.BorderlineMAPRatio = 2.0
+	opts.Guard.CanaryFraction = 0.25
+	server := serving.NewServer()
+	p := New(dfs.New(), server, opts)
+	for _, r := range chaosFleet(t, 2) {
+		mustAdd(t, p, r)
+	}
+	if _, err := p.RunDay(context.Background()); err != nil {
+		t.Fatal(err) // day 0: warmup, no baseline yet
+	}
+	rep, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Canaried) != 2 || len(rep.Vetoed) != 0 {
+		t.Fatalf("canaried %v, vetoed %v, want 2 canaried", rep.Canaried, rep.Vetoed)
+	}
+	for _, rr := range rep.Retailers {
+		if rr.GuardVerdict != string(guard.VerdictCanary) {
+			t.Fatalf("%s: verdict %s, want canary", rr.Retailer, rr.GuardVerdict)
+		}
+	}
+	for r, ts := range server.TenantStatuses() {
+		if !ts.Canary || ts.CanaryFraction != 0.25 {
+			t.Fatalf("%s: status %+v, want canary at 0.25", r, ts)
+		}
+	}
+}
+
+// TestGuardVetoFeedsQuarantine: repeated vetoes are failures like any
+// other — a tenant whose models are degenerate day after day ends up
+// quarantined by the existing health machinery.
+func TestGuardVetoFeedsQuarantine(t *testing.T) {
+	opts := guardTestOptions()
+	opts.QuarantineAfter = 2
+	opts.QuarantineProbeEvery = 100 // no probes inside this test
+	fleet := chaosFleet(t, 2)
+	victim := fleet[0].Catalog.Retailer
+	inj := faults.NewInjector(7, faults.Rule{
+		Ops: []faults.Op{faults.OpModel}, Kind: faults.ModelNaN,
+		PathContains: "/" + string(victim), EveryNth: 1,
+	})
+	opts.Injector = inj
+	server := serving.NewServer()
+	p := New(dfs.New(), server, opts)
+	for _, r := range fleet {
+		mustAdd(t, p, r)
+	}
+	// Day 0 vetoes (warmup structural gate still catches NaN), day 1
+	// vetoes again, tripping QuarantineAfter=2.
+	for day := 0; day < 2; day++ {
+		rep, err := p.RunDay(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Vetoed) != 1 || rep.Vetoed[0] != victim {
+			t.Fatalf("day %d vetoed = %v, want %s", day, rep.Vetoed, victim)
+		}
+	}
+	rep, err := p.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range rep.Retailers {
+		if rr.Retailer == victim && !rr.Quarantined {
+			t.Fatalf("victim not quarantined after repeated vetoes: %+v", rr)
+		}
+	}
+}
+
+// TestGuardCrashResumeReplaysVerdicts: for every record index k of a
+// chaotic day-1 journal, crash the coordinator right after record k
+// commits and resume. The resumed day must reproduce the control day's
+// guard verdicts, report, published snapshot, and persisted baselines
+// exactly — whether the verdicts replay from journaled guard records or
+// are recomputed against the (identically re-injected) degenerate models.
+func TestGuardCrashResumeReplaysVerdicts(t *testing.T) {
+	fleet := chaosFleet(t, 3)
+	nanVictim := fleet[0].Catalog.Retailer
+	cliffVictim := fleet[1].Catalog.Retailer
+
+	modelRules := func() []faults.Rule {
+		return []faults.Rule{
+			{Ops: []faults.Op{faults.OpModel}, Kind: faults.ModelNaN,
+				PathContains: "days/1/" + string(nanVictim), EveryNth: 1},
+			{Ops: []faults.Op{faults.OpModel}, Kind: faults.ModelCliff,
+				PathContains: "days/1/" + string(cliffVictim), EveryNth: 1},
+		}
+	}
+	newRun := func(extra ...faults.Rule) (*Pipeline, *dfs.FS, *serving.Server) {
+		opts := guardTestOptions()
+		opts.Journal = true
+		opts.Injector = faults.NewInjector(9, append(modelRules(), extra...)...)
+		fs := dfs.New()
+		server := serving.NewServer()
+		p := New(fs, server, opts)
+		for _, r := range chaosFleet(t, 3) {
+			mustAdd(t, p, r)
+		}
+		return p, fs, server
+	}
+	baselines := func(fs *dfs.FS) map[string][]byte {
+		out := map[string][]byte{}
+		for _, name := range fs.List("guard/baselines/") {
+			data, err := fs.Read(name)
+			if err != nil {
+				t.Fatalf("reading %s: %v", name, err)
+			}
+			out[name] = data
+		}
+		return out
+	}
+
+	// Control: day 0 (clean, seeds baselines) + day 1 (two degenerate
+	// models vetoed), uninterrupted.
+	control, controlFS, controlServer := newRun()
+	if _, err := control.RunDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	controlRep, err := control.RunDay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(controlRep.Vetoed) != 2 {
+		t.Fatalf("control day 1 vetoed %v, want the 2 victims", controlRep.Vetoed)
+	}
+	n := len(readJournalRecords(t, controlFS, 1))
+	guardRecords := 0
+	for _, rec := range readJournalRecords(t, controlFS, 1) {
+		if rec.Type == recGuard {
+			guardRecords++
+		}
+	}
+	if guardRecords != 3 {
+		t.Fatalf("control day-1 journal has %d guard records, want 3", guardRecords)
+	}
+	wantReport := normalizeReport(controlRep)
+	wantRecs := controlServer.Snapshot().Retailers
+	wantBaselines := baselines(controlFS)
+
+	for k := 0; k < n; k++ {
+		crashed, fs, server := newRun(faults.Rule{
+			Ops:          []faults.Op{faults.OpCoordinator},
+			PathContains: "day-1/",
+			Kind:         faults.Error,
+			After:        k,
+			EveryNth:     1,
+			Times:        1,
+		})
+		if _, err := crashed.RunDay(context.Background()); err != nil {
+			t.Fatalf("k=%d: clean day 0 failed: %v", k, err)
+		}
+		if _, err := crashed.RunDay(context.Background()); err == nil {
+			t.Fatalf("k=%d: day 1 survived its crashpoint", k)
+		}
+		left := readJournalRecords(t, fs, 1)
+
+		// Resume as a restarted coordinator would: a fresh process over the
+		// same filesystem and serving state, with the same model faults (a
+		// restart hits the same bad models). It re-derives day 0 — a
+		// deterministic no-op against the durable state; the baseline fold
+		// is idempotent per day — then resumes day 1 from its journal.
+		opts := guardTestOptions()
+		opts.Journal = true
+		opts.Injector = faults.NewInjector(9, modelRules()...)
+		resumed := New(fs, server, opts)
+		for _, r := range chaosFleet(t, 3) {
+			mustAdd(t, resumed, r)
+		}
+		if _, err := resumed.RunDay(context.Background()); err != nil {
+			t.Fatalf("k=%d: re-deriving day 0 failed: %v", k, err)
+		}
+		rep, err := resumed.RunDay(context.Background())
+		if err != nil {
+			t.Fatalf("k=%d: resume failed: %v", k, err)
+		}
+		// A torn day-1 journal must be resumed, not re-run. (If the crash
+		// landed after the final done record, the day was complete and a
+		// clean re-run is legitimate.)
+		if torn := left[len(left)-1].Type != recDone; torn && !rep.Resumed {
+			t.Fatalf("k=%d: resumed day not marked Resumed", k)
+		}
+		if got := normalizeReport(rep); !reflect.DeepEqual(got, wantReport) {
+			t.Fatalf("k=%d: resumed report diverged from control:\n got: %+v\nwant: %+v", k, got, wantReport)
+		}
+		if !reflect.DeepEqual(server.Snapshot().Retailers, wantRecs) {
+			t.Fatalf("k=%d: resumed recommendations diverged from control", k)
+		}
+		if got := baselines(fs); !reflect.DeepEqual(got, wantBaselines) {
+			t.Fatalf("k=%d: persisted baselines diverged:\n got: %v\nwant: %v", k, got, wantBaselines)
+		}
+	}
+}

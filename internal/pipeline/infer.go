@@ -188,7 +188,17 @@ func (p *Pipeline) inferRetailerSafe(ctx context.Context, day int, t *Tenant, be
 	if err := p.opts.Injector.Before(faults.OpInfer, faultPath(day, best.Retailer)); err != nil {
 		return nil, nil, counters, err
 	}
-	return p.inferRetailer(ctx, day, t, best)
+	items, sellers, counters, err = p.inferRetailer(ctx, day, t, best)
+	if err == nil {
+		// Degenerate-model injection (OpModel) corrupts the materialized
+		// lists here, before they are persisted to the recs blob, so a
+		// crash-resume replays the exact same degenerate output and the
+		// guard's verdict is reproducible.
+		if kind, ok := p.opts.Injector.ModelFault(faultPath(day, best.Retailer), faults.ModelNaN, faults.ModelCollapse); ok {
+			degradeModelOutput(kind, items)
+		}
+	}
+	return items, sellers, counters, err
 }
 
 // inferRetailer materializes one retailer: load the best model, assemble

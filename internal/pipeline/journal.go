@@ -51,6 +51,7 @@ const (
 	recStaged    = "staged"
 	recCell      = "cell"
 	recInferred  = "inferred"
+	recGuard     = "guard"
 	recPublished = "published"
 	recDone      = "done"
 	recAbort     = "abort"
@@ -85,7 +86,12 @@ type journalRecord struct {
 	// published
 	Version int64 `json:"version,omitempty"`
 
-	// abort
+	// guard: the quality firewall's decision for Retailer. Committed
+	// before the verdict is applied, so a resume replays the same
+	// decision even if the baseline was folded forward in between.
+	Verdict string `json:"verdict,omitempty"`
+
+	// abort / guard (the gate that tripped)
 	Reason string `json:"reason,omitempty"`
 }
 
@@ -138,6 +144,7 @@ type dayJournal struct {
 	staged    map[catalog.RetailerID]*journalRecord
 	cells     map[int]*journalRecord
 	inferred  map[catalog.RetailerID]*journalRecord
+	guard     map[catalog.RetailerID]*journalRecord
 	published bool
 	done      bool
 
@@ -160,6 +167,7 @@ func (p *Pipeline) openDayJournal(ctx context.Context, day int, ids []catalog.Re
 		staged:   map[catalog.RetailerID]*journalRecord{},
 		cells:    map[int]*journalRecord{},
 		inferred: map[catalog.RetailerID]*journalRecord{},
+		guard:    map[catalog.RetailerID]*journalRecord{},
 	}
 	hash := p.planHash(ids)
 	var intent *journalRecord
@@ -181,6 +189,8 @@ func (p *Pipeline) openDayJournal(ctx context.Context, day int, ids []catalog.Re
 			dj.cells[rec.Cell] = rec
 		case recInferred:
 			dj.inferred[rec.Retailer] = rec
+		case recGuard:
+			dj.guard[rec.Retailer] = rec
 		case recPublished:
 			dj.published = true
 		case recDone:
@@ -256,6 +266,7 @@ func (dj *dayJournal) appendAbort(reason string) {
 }
 
 func (dj *dayJournal) stagedRecord(r catalog.RetailerID) *journalRecord { return dj.staged[r] }
+func (dj *dayJournal) guardRecord(r catalog.RetailerID) *journalRecord  { return dj.guard[r] }
 func (dj *dayJournal) cellRecord(cell int) *journalRecord               { return dj.cells[cell] }
 func (dj *dayJournal) inferredRecord(r catalog.RetailerID) *journalRecord {
 	return dj.inferred[r]

@@ -17,6 +17,7 @@ import (
 	"sigmund/internal/core/modelselect"
 	"sigmund/internal/dfs"
 	"sigmund/internal/faults"
+	"sigmund/internal/guard"
 	"sigmund/internal/interactions"
 	"sigmund/internal/linalg"
 	"sigmund/internal/mapreduce"
@@ -120,6 +121,14 @@ type Options struct {
 	// retained). Incremental warm starts only ever read yesterday's
 	// models, so KeepDays >= 2 is always safe. 0 keeps everything.
 	KeepDays int
+
+	// Guard configures the publish-time model-quality firewall: candidate
+	// generations are validated against structural invariants and each
+	// tenant's trailing baseline before they may publish. Vetoed tenants
+	// carry forward their previous generation via the degraded machinery;
+	// borderline tenants publish behind a live canary when the store
+	// supports one. The zero value (Enabled false) disables the guard.
+	Guard guard.Options
 
 	// Journal makes RunDay crash-resumable: the day's plan and each unit
 	// of committed work are recorded in a durable append-only journal on
@@ -293,6 +302,7 @@ const (
 	PhaseStaging    = "staging"
 	PhaseTrain      = "train"
 	PhaseInfer      = "infer"
+	PhaseGuard      = "guard"
 	PhaseQuarantine = "quarantine"
 )
 
@@ -321,6 +331,13 @@ type RetailerReport struct {
 	Attempts int
 	// Quarantined marks tenants in quarantine after this cycle.
 	Quarantined bool
+	// GuardVerdict is the quality firewall's decision for this tenant's
+	// candidate generation ("pass", "canary", "veto"); empty when the
+	// guard is off or the tenant had no candidate.
+	GuardVerdict string
+	// GuardReason names the gate that tripped (veto or canary) or, on a
+	// pass, a borderline signal that was waved through.
+	GuardReason string
 	// ConsecutiveFailures is the tenant's consecutive failed-day count
 	// after this cycle (0 for a healthy day).
 	ConsecutiveFailures int
@@ -359,6 +376,13 @@ type DayReport struct {
 	// quarantine) this day; Quarantined lists the subset in quarantine.
 	Degraded    []catalog.RetailerID
 	Quarantined []catalog.RetailerID
+	// Guard attribution (Options.Guard.Enabled only): GuardEvaluated
+	// counts candidate generations the firewall examined; Vetoed lists
+	// tenants refused publish (they carry forward generation N−1);
+	// Canaried lists tenants publishing behind a live canary slice.
+	GuardEvaluated int
+	Vetoed         []catalog.RetailerID
+	Canaried       []catalog.RetailerID
 	// DiscardedCheckpoints counts garbled/missing checkpoints discarded in
 	// favor of a warm or fresh start during this cycle.
 	DiscardedCheckpoints int64
@@ -694,6 +718,15 @@ func (p *Pipeline) runDay(ctx context.Context, djOut **dayJournal) (DayReport, e
 	inferSpan.End()
 	report.InferWall = time.Since(inferStart)
 
+	// --- Quality firewall: veto/canary gate on candidate generations ---
+	// Runs before health bookkeeping so a veto counts as a failed day:
+	// repeated garbage models quarantine a tenant like repeated crashes.
+	if p.opts.Guard.Enabled && p.server != nil && snap != nil {
+		if err := p.runGuard(ctx, day, admitted, tenants, perRetailer, degraded, snap, &report, dspan, dj); err != nil {
+			return report, err
+		}
+	}
+
 	// --- Health bookkeeping: quarantine entries, exits, and counters ---
 	p.mu.Lock()
 	for _, id := range ids {
@@ -768,6 +801,13 @@ func (p *Pipeline) runDay(ctx context.Context, djOut **dayJournal) (DayReport, e
 		report.Retailers = append(report.Retailers, *perRetailer[id])
 	}
 	report.DiscardedCheckpoints = p.discardedCkpts.Load() - ckptsBefore
+
+	if p.opts.Guard.Enabled && p.server != nil {
+		if gr, ok := p.server.(interface{ SetGuardInfo(serving.GuardInfo) }); ok {
+			gr.SetGuardInfo(guardInfo(report))
+		}
+		p.emitGuardMetrics(report)
+	}
 
 	if len(report.Degraded) > 0 {
 		dspan.SetAttr("outcome", "degraded")

@@ -40,6 +40,14 @@ type TenantStatus struct {
 	// Quarantined marks a retailer the pipeline has quarantined after
 	// repeated failures.
 	Quarantined bool
+	// Canary marks a retailer whose fresh recommendations the guard sent
+	// to a live canary: the sharded store routes only a deterministic
+	// hash-slice of the tenant's requests to them while the rest keep
+	// serving the previous generation. The single-node server ignores
+	// the flag — it has no per-request routing.
+	Canary bool
+	// CanaryFraction is the slice of requests routed to the canary arm.
+	CanaryFraction float64
 	// DegradedPhase is the pipeline phase that failed ("staging",
 	// "train", "infer", "quarantine"); empty for healthy tenants.
 	DegradedPhase string
@@ -101,6 +109,11 @@ type Server struct {
 	// the pipeline when day journaling is on; exposed as the /statz
 	// "resume" block.
 	resume atomic.Pointer[ResumeInfo]
+
+	// guard is the last completed day's quality-firewall summary, set by
+	// the pipeline when the guard is on; exposed as the /statz "guard"
+	// block.
+	guard atomic.Pointer[GuardInfo]
 }
 
 // ResumeInfo is one day's crash-recovery metadata: whether the day
@@ -122,6 +135,26 @@ type ResumeInfo struct {
 	// JournalRecords is the journal's total record count after the day
 	// completed.
 	JournalRecords int `json:"journal_records"`
+}
+
+// GuardInfo is one day's model-quality-firewall summary: how many
+// candidate generations were evaluated and what the guard decided. Set by
+// the pipeline after publish; exposed as the /statz "guard" block.
+type GuardInfo struct {
+	// Day is the pipeline day this information describes.
+	Day int `json:"day"`
+	// Evaluated counts tenants whose candidate generation the guard
+	// examined.
+	Evaluated int `json:"evaluated"`
+	// Passed counts candidates published without restriction.
+	Passed int `json:"passed"`
+	// Vetoed lists tenants whose candidate was refused (they carry
+	// forward the previous generation).
+	Vetoed []string `json:"vetoed,omitempty"`
+	// Canaried lists tenants publishing behind a live canary slice.
+	Canaried []string `json:"canaried,omitempty"`
+	// VetoReasons counts vetoes by the gate that tripped.
+	VetoReasons map[string]int `json:"veto_reasons,omitempty"`
 }
 
 // servingMetrics are the registry handles the server reports through
@@ -189,12 +222,31 @@ func (s *Server) ResumeInfo() (ResumeInfo, bool) {
 	return *p, true
 }
 
+// SetGuardInfo records the last completed day's quality-firewall summary
+// (the pipeline calls this when the guard is on).
+func (s *Server) SetGuardInfo(info GuardInfo) {
+	s.guard.Store(&info)
+}
+
+// GuardInfo returns the last completed day's quality-firewall summary.
+func (s *Server) GuardInfo() (GuardInfo, bool) {
+	p := s.guard.Load()
+	if p == nil {
+		return GuardInfo{}, false
+	}
+	return *p, true
+}
+
 // StatzBlocks implements StatzExtension: a "resume" block appears once
-// the pipeline has completed a journaled day.
+// the pipeline has completed a journaled day, a "guard" block once the
+// quality firewall has run.
 func (s *Server) StatzBlocks() map[string]any {
 	blocks := map[string]any{}
 	if info, ok := s.ResumeInfo(); ok {
 		blocks["resume"] = info
+	}
+	if info, ok := s.GuardInfo(); ok {
+		blocks["guard"] = info
 	}
 	return blocks
 }

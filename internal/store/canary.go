@@ -1,0 +1,171 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/interactions"
+)
+
+// Live canary: when the guard marks a tenant's fresh generation as
+// borderline, the publish keeps the tenant's control (previous) segment
+// as the main serving path and loads the fresh segment into a side
+// serving engine on every replica. The router then deterministically
+// hash-slices the tenant's requests: CanaryFraction of user contexts read
+// the canary arm, the rest the control arm. Once both arms have enough
+// samples the store compares their live behavior — fallback/miss rate,
+// errors, latency — and either promotes the canary (the fresh generation
+// becomes the main path fleet-wide) or rolls it back (the canary routing
+// is dropped; control was already serving, so rollback is just ceasing
+// the experiment). A canary left undecided when the next generation
+// publishes expires and is counted separately.
+
+// Decision thresholds: the canary is rolled back when its bad-answer
+// rate (fallbacks + misses over requests) exceeds control's by more than
+// the margin, or its mean latency exceeds control's by more than the
+// factor (above a floor that keeps microsecond noise from deciding).
+const (
+	canaryBadRateMargin  = 0.05
+	canaryLatencyFactor  = 3.0
+	canaryLatencyFloorNs = int64(2 * time.Millisecond)
+)
+
+// canaryState is the controller's live view of one tenant's canary.
+type canaryState struct {
+	retailer catalog.RetailerID
+	fraction float64
+	version  int64  // the canary (fresh) generation
+	segment  string // the canary segment path, promoted into lastSeg on success
+
+	control canaryArm
+	canary  canaryArm
+
+	decided atomic.Bool
+	// outcome is "" while undecided, then "promoted" or
+	// "rolled_back:<reason>" (or "expired" when the next publish
+	// superseded it).
+	outcome atomic.Pointer[string]
+}
+
+// canaryArm accumulates one arm's live request statistics.
+type canaryArm struct {
+	requests  atomic.Int64
+	bad       atomic.Int64 // fallback or miss answers
+	errors    atomic.Int64
+	latencyNs atomic.Int64
+}
+
+func (a *canaryArm) badRate() float64 {
+	n := a.requests.Load() + a.errors.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(a.bad.Load()+a.errors.Load()) / float64(n)
+}
+
+func (a *canaryArm) meanLatencyNs() int64 {
+	n := a.requests.Load()
+	if n == 0 {
+		return 0
+	}
+	return a.latencyNs.Load() / n
+}
+
+func (cs *canaryState) outcomeString() string {
+	if p := cs.outcome.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// canarySlice deterministically assigns a request to the canary arm: the
+// same user context always lands on the same arm, across replicas and
+// across runs, so the experiment is a stable population split rather than
+// a per-request coin flip.
+func canarySlice(r catalog.RetailerID, uctx interactions.Context, fraction float64) bool {
+	if fraction <= 0 {
+		return false
+	}
+	if fraction >= 1 {
+		return true
+	}
+	// Inline FNV-1a over the retailer and the context's actions.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(r); i++ {
+		h = (h ^ uint64(r[i])) * prime64
+	}
+	for _, a := range uctx {
+		h = (h ^ uint64(a.Type)) * prime64
+		it := uint32(a.Item)
+		h = (h ^ uint64(it&0xff)) * prime64
+		h = (h ^ uint64((it>>8)&0xff)) * prime64
+		h = (h ^ uint64((it>>16)&0xff)) * prime64
+		h = (h ^ uint64(it>>24)) * prime64
+	}
+	return h%10000 < uint64(fraction*10000+0.5)
+}
+
+// canaryController holds the store's active canaries, rebuilt from the
+// manifest on every publish.
+type canaryController struct {
+	mu       sync.RWMutex
+	canaries map[catalog.RetailerID]*canaryState
+	resolved []*canaryState // decided or expired this generation, for /statz
+}
+
+func (cc *canaryController) get(r catalog.RetailerID) *canaryState {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return cc.canaries[r]
+}
+
+func (cc *canaryController) active() int {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return len(cc.canaries)
+}
+
+// remove moves a decided canary out of the active set (it stays visible
+// in resolved until the next publish).
+func (cc *canaryController) remove(cs *canaryState) {
+	cc.mu.Lock()
+	if cc.canaries[cs.retailer] == cs {
+		delete(cc.canaries, cs.retailer)
+		cc.resolved = append(cc.resolved, cs)
+	}
+	cc.mu.Unlock()
+}
+
+// reset replaces the active set after a publish, returning any canaries
+// the new generation superseded while they were still undecided.
+func (cc *canaryController) reset(fresh map[catalog.RetailerID]*canaryState) []*canaryState {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	var expired []*canaryState
+	for _, cs := range cc.canaries {
+		if !cs.decided.Load() {
+			expired = append(expired, cs)
+		}
+	}
+	cc.canaries = fresh
+	cc.resolved = nil
+	return expired
+}
+
+// snapshotStates returns the active and resolved canaries for /statz.
+func (cc *canaryController) snapshotStates() []*canaryState {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	out := make([]*canaryState, 0, len(cc.canaries)+len(cc.resolved))
+	for _, cs := range cc.canaries {
+		out = append(out, cs)
+	}
+	out = append(out, cc.resolved...)
+	return out
+}

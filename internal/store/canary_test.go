@@ -1,0 +1,239 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/dfs"
+	"sigmund/internal/interactions"
+	"sigmund/internal/serving"
+)
+
+// snapFirst builds a one-retailer generation whose "view:0" answer leads
+// with the given item, so tests can tell which generation answered.
+func snapFirst(gen int64, r catalog.RetailerID, first catalog.ItemID) *serving.Snapshot {
+	per := map[catalog.RetailerID][]inference.ItemRecs{
+		r: {
+			{Item: 0, View: []hybrid.Scored{{Item: first, Score: 0.9}, {Item: first + 1, Score: 0.8}}},
+		},
+	}
+	pop := map[catalog.RetailerID][]catalog.ItemID{r: {first, first + 1}}
+	return serving.BuildSnapshot(gen, per, pop)
+}
+
+// varyCtx returns a context that answers from item 0's view list but
+// hashes differently per i, spreading requests across both canary arms.
+func varyCtx(i int) interactions.Context {
+	return interactions.Context{
+		{Type: interactions.View, Item: catalog.ItemID(10000 + i)},
+		{Type: interactions.View, Item: 0},
+	}
+}
+
+func TestCanarySliceDeterministicAndProportional(t *testing.T) {
+	r := catalog.RetailerID("shop-a")
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		uctx := varyCtx(i)
+		arm := canarySlice(r, uctx, 0.2)
+		for j := 0; j < 3; j++ {
+			if canarySlice(r, uctx, 0.2) != arm {
+				t.Fatalf("canarySlice not deterministic for context %d", i)
+			}
+		}
+		if canarySlice(r, uctx, 0) {
+			t.Fatal("fraction 0 must never select the canary arm")
+		}
+		if !canarySlice(r, uctx, 1) {
+			t.Fatal("fraction 1 must always select the canary arm")
+		}
+		if arm {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.15 || got > 0.25 {
+		t.Fatalf("canary slice at fraction 0.2 captured %.3f of contexts", got)
+	}
+}
+
+func TestCanaryPublishSplitsTraffic(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 2, Replicas: 2, CacheSize: -1, CanaryMinSamples: 1 << 30})
+	defer st.Close()
+	r := catalog.RetailerID("shop-a")
+	st.Publish(snapFirst(1, r, 1))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 1: %v", err)
+	}
+	snap := snapFirst(2, r, 3)
+	snap.Status[r].Canary = true
+	snap.Status[r].CanaryFraction = 0.5
+	st.Publish(snap)
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 2: %v", err)
+	}
+
+	if st.ActiveCanaries() != 1 {
+		t.Fatalf("ActiveCanaries = %d, want 1", st.ActiveCanaries())
+	}
+	ts := st.TenantStatuses()[r]
+	if !ts.Canary || ts.CanaryFraction != 0.5 || ts.RecsVersion != 1 {
+		t.Fatalf("tenant status = %+v, want canary at fraction 0.5 with control gen 1", ts)
+	}
+
+	var control, canary int
+	for i := 0; i < 200; i++ {
+		uctx := varyCtx(i)
+		recs, _, _, err := st.Serve(r, uctx, 5)
+		if err != nil || len(recs) == 0 {
+			t.Fatalf("Serve(%d): recs=%v err=%v", i, recs, err)
+		}
+		if canarySlice(r, uctx, 0.5) {
+			canary++
+			if recs[0].Item != 3 {
+				t.Fatalf("canary-arm context %d answered item %d, want 3 (gen 2)", i, recs[0].Item)
+			}
+		} else {
+			control++
+			if recs[0].Item != 1 {
+				t.Fatalf("control-arm context %d answered item %d, want 1 (gen 1)", i, recs[0].Item)
+			}
+		}
+	}
+	if control == 0 || canary == 0 {
+		t.Fatalf("split failed to exercise both arms: control=%d canary=%d", control, canary)
+	}
+}
+
+func TestCanaryAutoPromote(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 2, Replicas: 2, CacheSize: -1, CanaryMinSamples: 8})
+	defer st.Close()
+	r := catalog.RetailerID("shop-a")
+	st.Publish(snapFirst(1, r, 1))
+	snap := snapFirst(2, r, 3)
+	snap.Status[r].Canary = true
+	snap.Status[r].CanaryFraction = 0.5
+	st.Publish(snap)
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 2: %v", err)
+	}
+
+	// Both arms serve healthy model answers; once both have enough samples
+	// the canary auto-promotes.
+	for i := 0; i < 200 && st.ActiveCanaries() > 0; i++ {
+		if _, _, _, err := st.Serve(r, varyCtx(i), 5); err != nil {
+			t.Fatalf("Serve(%d): %v", i, err)
+		}
+	}
+	promoted, rolledBack, expired := st.CanaryDecisions()
+	if promoted != 1 || rolledBack != 0 || expired != 0 {
+		t.Fatalf("decisions = (%d, %d, %d), want (1, 0, 0)", promoted, rolledBack, expired)
+	}
+	if got := st.CanaryOutcome(r); got != "promoted" {
+		t.Fatalf("CanaryOutcome = %q, want promoted", got)
+	}
+	// The whole population now serves the fresh generation.
+	for i := 0; i < 50; i++ {
+		recs, _, _, err := st.Serve(r, varyCtx(i), 5)
+		if err != nil || len(recs) == 0 || recs[0].Item != 3 {
+			t.Fatalf("post-promote Serve(%d) = %v (err %v), want item 3 first", i, recs, err)
+		}
+	}
+	ts := st.TenantStatuses()[r]
+	if ts.Canary || ts.RecsVersion != 2 {
+		t.Fatalf("post-promote status = %+v, want gen 2, no canary", ts)
+	}
+}
+
+func TestCanaryAutoRollbackOnBadRate(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 2, Replicas: 2, CacheSize: -1, CanaryMinSamples: 8})
+	defer st.Close()
+	r := catalog.RetailerID("shop-a")
+	st.Publish(snapFirst(1, r, 1))
+	// The fresh generation has no model answers at all: every canary-arm
+	// request falls back to top sellers while control answers from the
+	// model, so the canary's bad rate is 1 against control's 0.
+	bad := serving.BuildSnapshot(2, map[catalog.RetailerID][]inference.ItemRecs{r: {}},
+		map[catalog.RetailerID][]catalog.ItemID{r: {9}})
+	bad.Status[r].Canary = true
+	bad.Status[r].CanaryFraction = 0.5
+	st.Publish(bad)
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 2: %v", err)
+	}
+
+	for i := 0; i < 200 && st.ActiveCanaries() > 0; i++ {
+		if _, _, _, err := st.Serve(r, varyCtx(i), 5); err != nil {
+			t.Fatalf("Serve(%d): %v", i, err)
+		}
+	}
+	promoted, rolledBack, _ := st.CanaryDecisions()
+	if promoted != 0 || rolledBack != 1 {
+		t.Fatalf("decisions = (%d, %d), want (0, 1)", promoted, rolledBack)
+	}
+	if got := st.CanaryOutcome(r); got != "rolled_back:bad_rate" {
+		t.Fatalf("CanaryOutcome = %q, want rolled_back:bad_rate", got)
+	}
+	// The degenerate generation never reaches the control population; the
+	// tenant converges back on generation 1's model everywhere.
+	for i := 0; i < 50; i++ {
+		recs, src, _, err := st.Serve(r, varyCtx(i), 5)
+		if err != nil || src != serving.SourceModel || len(recs) == 0 || recs[0].Item != 1 {
+			t.Fatalf("post-rollback Serve(%d) = %v src=%v err=%v, want item 1 from model", i, recs, src, err)
+		}
+	}
+	ts := st.TenantStatuses()[r]
+	if ts.Canary || ts.RecsVersion != 1 {
+		t.Fatalf("post-rollback status = %+v, want control gen 1, no canary", ts)
+	}
+	// The decision is visible on /statz and in the registry.
+	blocks := st.StatzBlocks()
+	gb, ok := blocks["guard"]
+	if !ok {
+		t.Fatalf("statz has no guard block: %v", blocks)
+	}
+	if s := fmt.Sprintf("%+v", gb); !strings.Contains(s, "rolled_back:bad_rate") {
+		t.Fatalf("guard statz block missing rollback outcome: %s", s)
+	}
+	var sb strings.Builder
+	st.Observer().Reg().WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `sigmund_guard_canary_decisions_total{outcome="rolled_back"} 1`) {
+		t.Fatalf("registry missing canary rollback counter:\n%s", sb.String())
+	}
+}
+
+func TestCanaryExpiresOnNextPublish(t *testing.T) {
+	fs := dfs.New()
+	st := New(fs, Options{Shards: 2, Replicas: 1, CacheSize: -1, CanaryMinSamples: 1 << 30})
+	defer st.Close()
+	r := catalog.RetailerID("shop-a")
+	st.Publish(snapFirst(1, r, 1))
+	snap := snapFirst(2, r, 3)
+	snap.Status[r].Canary = true
+	snap.Status[r].CanaryFraction = 0.5
+	st.Publish(snap)
+	if st.ActiveCanaries() != 1 {
+		t.Fatalf("ActiveCanaries = %d, want 1", st.ActiveCanaries())
+	}
+	// The next generation supersedes the undecided canary.
+	st.Publish(snapFirst(3, r, 5))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 3: %v", err)
+	}
+	_, _, expired := st.CanaryDecisions()
+	if expired != 1 || st.ActiveCanaries() != 0 {
+		t.Fatalf("expired = %d, active = %d, want 1 and 0", expired, st.ActiveCanaries())
+	}
+	recs, _, _, err := st.Serve(r, varyCtx(0), 5)
+	if err != nil || len(recs) == 0 || recs[0].Item != 5 {
+		t.Fatalf("post-expiry Serve = %v (err %v), want item 5 (gen 3)", recs, err)
+	}
+}

@@ -1,0 +1,50 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/hybrid"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/serving"
+)
+
+// FuzzSegmentDecode feeds arbitrary bytes to DecodeSegment. Decoding must
+// never panic or over-allocate on hostile length prefixes; anything that
+// decodes must re-encode canonically (encode → decode → encode is a
+// fixed point, byte for byte — scores compare as raw float bits, so NaN
+// payloads can't produce false mismatches).
+func FuzzSegmentDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SSEG"))
+	f.Add([]byte("XXXX definitely not a segment"))
+	f.Add(EncodeSegment(&serving.RetailerRecs{Recs: map[catalog.ItemID]inference.ItemRecs{}}))
+	f.Add(EncodeSegment(&serving.RetailerRecs{
+		Recs: map[catalog.ItemID]inference.ItemRecs{
+			0: {Item: 0, View: []hybrid.Scored{{Item: 1, Score: 0.9}, {Item: 2, Score: 0.8}}},
+			1: {Item: 1, Purchase: []hybrid.Scored{{Item: 0, Score: 0.5}}},
+		},
+		TopSellers: []catalog.ItemID{1, 2, 0},
+	}))
+	// A count field claiming far more items than the bytes can hold.
+	f.Add(append([]byte("SSEG"), 0xff, 0xff, 0xff, 0x7f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rr, err := DecodeSegment(data)
+		if err != nil {
+			return // rejected input; the only requirement is no panic
+		}
+		if rr == nil || rr.Recs == nil {
+			t.Fatal("successful decode returned a nil payload")
+		}
+		enc := EncodeSegment(rr)
+		rr2, err := DecodeSegment(enc)
+		if err != nil {
+			t.Fatalf("re-decoding canonical encoding: %v", err)
+		}
+		if !bytes.Equal(enc, EncodeSegment(rr2)) {
+			t.Fatal("encode → decode → encode is not a fixed point")
+		}
+	})
+}

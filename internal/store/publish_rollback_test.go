@@ -1,0 +1,92 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/serving"
+)
+
+// TestPublishRollbackAccounting: a publish that dies mid-commit (segments
+// written, manifest write fails past the retry budget) must leave no trace
+// — every shard uniformly on generation N−1, the generation's files
+// deleted, and /statz plus sigmund_store_publishes_total agreeing on
+// exactly one commit and one rollback.
+func TestPublishRollbackAccounting(t *testing.T) {
+	// The manifest write fails on every retry attempt (the fast test
+	// policy makes two), then the rule is spent — so the recovery publish
+	// at the end of the test can commit.
+	inj := faults.NewInjector(11, faults.Rule{
+		Ops: []faults.Op{faults.OpWrite}, PathContains: "store/gen-2/MANIFEST",
+		Kind: faults.Error, EveryNth: 1, Times: 2,
+	})
+	fs := dfs.New()
+	fs.SetInjector(inj)
+	st := New(fs, Options{Shards: 3, Replicas: 2, CacheSize: -1, Retry: fastRetry})
+	defer st.Close()
+
+	retailers := testRetailers(12)
+	st.Publish(testSnapshot(1, retailers...))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 1: %v", err)
+	}
+
+	st.Publish(testSnapshot(2, retailers...))
+	if err := st.PublishErr(); err == nil {
+		t.Fatal("publish 2 succeeded despite the injected manifest-write failure")
+	}
+
+	// Accounting: one committed generation, one rolled back.
+	if committed, rolledBack := st.Publishes(); committed != 1 || rolledBack != 1 {
+		t.Fatalf("Publishes = (%d, %d), want (1, 1)", committed, rolledBack)
+	}
+	if st.Version() != 1 {
+		t.Fatalf("Version = %d, want 1", st.Version())
+	}
+	// Every shard — and every replica — is uniformly on generation 1.
+	for s := 0; s < st.NumShards(); s++ {
+		if g := st.shards[s].gen.Load(); g != 1 {
+			t.Fatalf("shard %d at generation %d, want 1", s, g)
+		}
+		for i := 0; i < st.NumReplicas(s); i++ {
+			if g := st.Replica(s, i).Gen(); g != 1 {
+				t.Fatalf("replica %d/%d at generation %d, want 1", s, i, g)
+			}
+		}
+	}
+	// The aborted generation's files are gone from the shared filesystem.
+	if left := fs.List("store/gen-2/"); len(left) != 0 {
+		t.Fatalf("rolled-back generation left files behind: %v", left)
+	}
+	// Serving still answers from generation 1 for every tenant.
+	for _, r := range retailers {
+		recs, src, gen, err := st.Serve(r, viewCtx(), 5)
+		if err != nil || src != serving.SourceModel || gen != 1 || len(recs) == 0 {
+			t.Fatalf("Serve(%s) after rollback: recs=%v src=%v gen=%d err=%v", r, recs, src, gen, err)
+		}
+	}
+	// /statz and the registry agree with the counters.
+	s := fmt.Sprintf("%+v", st.StatzBlocks()["store"])
+	if !strings.Contains(s, "Publishes:1") || !strings.Contains(s, "Rollbacks:1") {
+		t.Fatalf("statz store block inconsistent with counters: %s", s)
+	}
+	var sb strings.Builder
+	st.Observer().Reg().WritePrometheus(&sb)
+	text := sb.String()
+	if !strings.Contains(text, `sigmund_store_publishes_total{outcome="committed"} 1`) ||
+		!strings.Contains(text, `sigmund_store_publishes_total{outcome="rolled_back"} 1`) {
+		t.Fatalf("publish metrics inconsistent:\n%s", text)
+	}
+
+	// A later publish commits cleanly: the rollback left no poison behind.
+	st.Publish(testSnapshot(3, retailers...))
+	if err := st.PublishErr(); err != nil {
+		t.Fatalf("publish 3 after rollback: %v", err)
+	}
+	if st.Version() != 3 {
+		t.Fatalf("Version = %d after recovery publish, want 3", st.Version())
+	}
+}

@@ -31,12 +31,21 @@ type Replica struct {
 	// shard holds a different tenant subset); the store's own
 	// sigmund_store_* metrics carry the fleet-wide signal instead.
 	srv *serving.Server
+	// canary is a second serving engine holding canaried tenants' fresh
+	// generation; the router sends those tenants' canary hash-slice here
+	// while srv keeps serving the control generation.
+	canary *serving.Server
 
 	gen  atomic.Int64 // generation currently being served
 	down atomic.Bool  // crashed (by chaos or Kill) until revived
 
-	mu      sync.Mutex
-	pending *serving.Snapshot // staged by prepare, swapped in by commit
+	mu            sync.Mutex
+	pending       *serving.Snapshot // staged by prepare, swapped in by commit
+	pendingCanary *serving.Snapshot
+	// mainSnap/canarySnap are the last committed snapshots, retained so a
+	// canary resolution can rebuild either side without refetching segments.
+	mainSnap   *serving.Snapshot
+	canarySnap *serving.Snapshot
 
 	plan  faults.ReplicaPlanFunc
 	delay time.Duration // simulated per-request service time
@@ -54,11 +63,12 @@ type Replica struct {
 
 func newReplica(shard, idx int, opts Options) *Replica {
 	rep := &Replica{
-		shard: shard,
-		idx:   idx,
-		srv:   serving.NewServerWithObs(obs.NewObserver()),
-		plan:  opts.Faults.ReplicaPlan(),
-		delay: opts.ServeDelay,
+		shard:  shard,
+		idx:    idx,
+		srv:    serving.NewServerWithObs(obs.NewObserver()),
+		canary: serving.NewServerWithObs(obs.NewObserver()),
+		plan:   opts.Faults.ReplicaPlan(),
+		delay:  opts.ServeDelay,
 	}
 	if opts.ReplicaConcurrency > 0 {
 		rep.gate = make(chan struct{}, opts.ReplicaConcurrency)
@@ -108,7 +118,7 @@ func (rep *Replica) loadPath(gen int64) string {
 // ctx throughout — a hedge winner elsewhere cancels this replica's work —
 // and consults the fault plan first, so chaos rules can crash, stall, or
 // fail it.
-func (rep *Replica) get(ctx context.Context, r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, error) {
+func (rep *Replica) get(ctx context.Context, r catalog.RetailerID, uctx interactions.Context, k int, canaryArm bool) ([]serving.Recommendation, serving.Source, int64, error) {
 	rep.inflight.Add(1)
 	defer rep.inflight.Add(-1)
 	if rep.down.Load() {
@@ -152,10 +162,23 @@ func (rep *Replica) get(ctx context.Context, r catalog.RetailerID, uctx interact
 		rep.cancelled.Add(1)
 		return nil, serving.SourceNone, 0, err
 	}
-	recs, src := rep.srv.RecommendWithSource(r, uctx, k)
+	srv := rep.srv
+	if canaryArm && rep.canaryServes(r) {
+		srv = rep.canary
+	}
+	recs, src := srv.RecommendWithSource(r, uctx, k)
 	rep.consecFails.Store(0)
 	rep.served.Add(1)
 	return recs, src, rep.srv.Version(), nil
+}
+
+// canaryServes reports whether this replica holds canary data for the
+// retailer (routing falls back to the control engine otherwise, e.g. on a
+// replica that missed the canary's publish).
+func (rep *Replica) canaryServes(r catalog.RetailerID) bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.canarySnap != nil && rep.canarySnap.Retailers[r] != nil
 }
 
 // prepare bulk-loads the generation's segments for the given manifest
@@ -194,8 +217,31 @@ func (rep *Replica) prepare(fs *dfs.FS, gen int64, entries []ManifestEntry) erro
 		snap.Retailers[e.Retailer] = rr
 		snap.Status[e.Retailer] = e.status()
 	}
+	// Stage the canary side too — always, even empty, so committing a
+	// generation with no canaries clears any prior generation's.
+	canary := &serving.Snapshot{
+		Version:   gen,
+		Retailers: map[catalog.RetailerID]*serving.RetailerRecs{},
+		Status:    map[catalog.RetailerID]*serving.TenantStatus{},
+	}
+	for _, e := range entries {
+		if e.CanarySegment == "" {
+			continue
+		}
+		data, err := fs.Read(e.CanarySegment)
+		if err != nil {
+			return fmt.Errorf("store: replica %d/%d loading canary %s: %w", rep.shard, rep.idx, e.Retailer, err)
+		}
+		rr, err := DecodeSegment(data)
+		if err != nil {
+			return fmt.Errorf("store: replica %d/%d loading canary %s: %w", rep.shard, rep.idx, e.Retailer, err)
+		}
+		canary.Retailers[e.Retailer] = rr
+		canary.Status[e.Retailer] = &serving.TenantStatus{RecsVersion: e.CanaryVersion}
+	}
 	rep.mu.Lock()
 	rep.pending = snap
+	rep.pendingCanary = canary
 	rep.mu.Unlock()
 	return nil
 }
@@ -204,13 +250,22 @@ func (rep *Replica) prepare(fs *dfs.FS, gen int64, entries []ManifestEntry) erro
 // staged snapshot is a no-op (false).
 func (rep *Replica) commit(gen int64) bool {
 	rep.mu.Lock()
-	snap := rep.pending
-	rep.pending = nil
+	snap, canary := rep.pending, rep.pendingCanary
+	rep.pending, rep.pendingCanary = nil, nil
 	rep.mu.Unlock()
 	if snap == nil || snap.Version != gen {
 		return false
 	}
 	rep.srv.Publish(snap)
+	if canary != nil {
+		rep.canary.Publish(canary)
+	}
+	rep.mu.Lock()
+	rep.mainSnap = snap
+	if canary != nil {
+		rep.canarySnap = canary
+	}
+	rep.mu.Unlock()
 	rep.gen.Store(gen)
 	return true
 }
@@ -219,7 +274,53 @@ func (rep *Replica) commit(gen int64) bool {
 func (rep *Replica) abort() {
 	rep.mu.Lock()
 	rep.pending = nil
+	rep.pendingCanary = nil
 	rep.mu.Unlock()
+}
+
+// resolveCanary ends one tenant's canary on this replica: on promote the
+// canary data becomes the tenant's main serving data; either way the
+// tenant leaves the canary engine, so its whole population converges on
+// one generation.
+func (rep *Replica) resolveCanary(r catalog.RetailerID, promote bool) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.canarySnap == nil || rep.canarySnap.Retailers[r] == nil {
+		return
+	}
+	if promote && rep.mainSnap != nil {
+		main := copySnapshot(rep.mainSnap)
+		main.Retailers[r] = rep.canarySnap.Retailers[r]
+		st := serving.TenantStatus{}
+		if cst := rep.canarySnap.Status[r]; cst != nil {
+			st = *cst
+		}
+		main.Status[r] = &st
+		rep.srv.Publish(main)
+		rep.mainSnap = main
+	}
+	can := copySnapshot(rep.canarySnap)
+	delete(can.Retailers, r)
+	delete(can.Status, r)
+	rep.canary.Publish(can)
+	rep.canarySnap = can
+}
+
+// copySnapshot shallow-copies a snapshot's maps so a canary resolution can
+// republish a mutated view without racing readers of the original.
+func copySnapshot(s *serving.Snapshot) *serving.Snapshot {
+	out := &serving.Snapshot{
+		Version:   s.Version,
+		Retailers: make(map[catalog.RetailerID]*serving.RetailerRecs, len(s.Retailers)),
+		Status:    make(map[catalog.RetailerID]*serving.TenantStatus, len(s.Status)),
+	}
+	for k, v := range s.Retailers {
+		out.Retailers[k] = v
+	}
+	for k, v := range s.Status {
+		out.Status[k] = v
+	}
+	return out
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled, returning ctx's error

@@ -130,6 +130,16 @@ type ManifestEntry struct {
 	Degraded    bool   `json:"degraded,omitempty"`
 	Quarantined bool   `json:"quarantined,omitempty"`
 	Phase       string `json:"phase,omitempty"`
+
+	// Canary fields, set when the guard sent this tenant's fresh
+	// generation to a live canary: Segment/RecsVersion above keep
+	// pointing at the control (previous) generation that serves most
+	// traffic, while CanarySegment holds the fresh generation served to
+	// the CanaryFraction hash-slice until the store promotes or rolls it
+	// back.
+	CanarySegment  string  `json:"canary_segment,omitempty"`
+	CanaryVersion  int64   `json:"canary_version,omitempty"`
+	CanaryFraction float64 `json:"canary_fraction,omitempty"`
 }
 
 // EncodeManifest serializes a manifest with entries sorted by retailer.
@@ -156,10 +166,12 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 // health record.
 func (e ManifestEntry) status() *serving.TenantStatus {
 	return &serving.TenantStatus{
-		Degraded:      e.Degraded,
-		Quarantined:   e.Quarantined,
-		DegradedPhase: e.Phase,
-		RecsVersion:   e.RecsVersion,
+		Degraded:       e.Degraded,
+		Quarantined:    e.Quarantined,
+		DegradedPhase:  e.Phase,
+		RecsVersion:    e.RecsVersion,
+		Canary:         e.CanarySegment != "",
+		CanaryFraction: e.CanaryFraction,
 	}
 }
 

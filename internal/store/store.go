@@ -73,6 +73,11 @@ type Options struct {
 	// disables).
 	CacheSize int
 
+	// CanaryMinSamples is how many live requests each canary arm
+	// (control and canary) must answer before the store compares them and
+	// auto-promotes or auto-rolls-back a canaried tenant (0 = 32).
+	CanaryMinSamples int
+
 	// ServeDelay simulates per-request service time at a replica, and
 	// ReplicaConcurrency bounds a replica's concurrent requests — together
 	// they model single-machine capacity for load experiments (cmd/loadgen)
@@ -121,6 +126,9 @@ func (o Options) Defaulted() Options {
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = 1024
+	}
+	if o.CanaryMinSamples <= 0 {
+		o.CanaryMinSamples = 32
 	}
 	if o.KeepGenerations <= 0 {
 		o.KeepGenerations = 2
@@ -275,12 +283,21 @@ type Store struct {
 	publishes   atomic.Int64
 	rollbacks   atomic.Int64
 
+	// Live-canary controller state and decision counters.
+	canaries         canaryController
+	canaryPromotions atomic.Int64
+	canaryRollbacks  atomic.Int64
+	canaryExpired    atomic.Int64
+
 	jobMu       sync.Mutex
 	jobCounters mapreduce.Counters
 
 	// resume mirrors serving.Server's crash-recovery metadata for the
 	// /statz "resume" block when the pipeline publishes through the store.
 	resume atomic.Pointer[serving.ResumeInfo]
+	// guardInfo mirrors the pipeline's quality-firewall summary for the
+	// /statz "guard" block.
+	guardInfo atomic.Pointer[serving.GuardInfo]
 
 	m storeMetrics
 }
@@ -289,6 +306,12 @@ type Store struct {
 // (the pipeline calls this when day journaling is on).
 func (st *Store) SetResumeInfo(info serving.ResumeInfo) {
 	st.resume.Store(&info)
+}
+
+// SetGuardInfo records the last completed day's quality-firewall summary
+// (the pipeline calls this when the guard is on).
+func (st *Store) SetGuardInfo(info serving.GuardInfo) {
+	st.guardInfo.Store(&info)
 }
 
 // storeMetrics are the sigmund_store_* registry handles. Shard indices are
@@ -311,11 +334,17 @@ type storeMetrics struct {
 	rejectShed      *obs.Counter
 	rejectAdmission *obs.Counter
 	rejectReplica   *obs.Counter
-	admitted        *obs.Counter
-	brownoutCache   *obs.Counter
-	brownoutStale   *obs.Counter
-	scaleUps        *obs.Counter
-	scaleDowns      *obs.Counter
+
+	// Live-canary controller.
+	canaryPromoted   *obs.Counter
+	canaryRolledBack *obs.Counter
+	canaryExpired    *obs.Counter
+	canariesActive   *obs.Gauge
+	admitted         *obs.Counter
+	brownoutCache    *obs.Counter
+	brownoutStale    *obs.Counter
+	scaleUps         *obs.Counter
+	scaleDowns       *obs.Counter
 
 	requestSeconds *obs.Histogram
 	publishSeconds *obs.Histogram
@@ -332,6 +361,14 @@ func newStoreMetrics(reg *obs.Registry, shards int) storeMetrics {
 		rejectReplica: reg.Counter("sigmund_store_rejects_total", "Requests refused, by cause.",
 			obs.L("reason", "replica_failure")),
 		admitted: reg.Counter("sigmund_store_admitted_total", "Requests past per-tenant admission control."),
+		canaryPromoted: reg.Counter("sigmund_guard_canary_decisions_total",
+			"Live-canary outcomes, by decision.", obs.L("outcome", "promoted")),
+		canaryRolledBack: reg.Counter("sigmund_guard_canary_decisions_total",
+			"Live-canary outcomes, by decision.", obs.L("outcome", "rolled_back")),
+		canaryExpired: reg.Counter("sigmund_guard_canary_decisions_total",
+			"Live-canary outcomes, by decision.", obs.L("outcome", "expired")),
+		canariesActive: reg.Gauge("sigmund_guard_canaries_active",
+			"Tenants currently serving behind a live canary slice."),
 		brownoutCache: reg.Counter("sigmund_store_brownout_serves_total",
 			"Overloaded requests rescued by the brownout ladder, by rung.", obs.L("stage", "cache")),
 		brownoutStale: reg.Counter("sigmund_store_brownout_serves_total",
@@ -376,6 +413,7 @@ func New(fs *dfs.FS, opts Options) *Store {
 		rng:     newCheapRNG(opts.Seed ^ 0xba1a9cedb002c4e5),
 		m:       newStoreMetrics(opts.Obs.Reg(), opts.Shards),
 	}
+	st.canaries.canaries = map[catalog.RetailerID]*canaryState{}
 	st.rootCtx, st.cancel = context.WithCancel(context.Background())
 	for s := 0; s < opts.Shards; s++ {
 		sh := &shard{id: s}
@@ -563,6 +601,23 @@ func (st *Store) PublishGeneration(snap *serving.Snapshot) error {
 			e.Degraded = ts.Degraded
 			e.Quarantined = ts.Quarantined
 			e.Phase = ts.DegradedPhase
+			if ts.Canary {
+				// The guard sent this tenant to a live canary: keep the
+				// previous generation as the serving (control) path and hang
+				// the fresh segment off the entry's canary side. With no
+				// previous generation there is nothing to control against,
+				// so the fresh data publishes normally.
+				st.stateMu.RLock()
+				prev, ok := st.lastSeg[r]
+				st.stateMu.RUnlock()
+				if ok && prev.RecsVersion < gen {
+					e.Segment = prev.Segment
+					e.RecsVersion = prev.RecsVersion
+					e.CanarySegment = path
+					e.CanaryVersion = gen
+					e.CanaryFraction = ts.CanaryFraction
+				}
+			}
 		}
 		entries = append(entries, e)
 	}
@@ -638,6 +693,28 @@ func (st *Store) PublishGeneration(snap *serving.Snapshot) error {
 		st.lastSeg[e.Retailer] = e
 	}
 	st.stateMu.Unlock()
+
+	// Rebuild the canary controller from the committed entries; canaries
+	// the new generation superseded while still undecided expire.
+	fresh := map[catalog.RetailerID]*canaryState{}
+	for _, e := range entries {
+		if e.CanarySegment != "" {
+			fresh[e.Retailer] = &canaryState{
+				retailer: e.Retailer,
+				fraction: e.CanaryFraction,
+				version:  e.CanaryVersion,
+				segment:  e.CanarySegment,
+			}
+		}
+	}
+	for _, cs := range st.canaries.reset(fresh) {
+		outcome := "expired"
+		cs.outcome.Store(&outcome)
+		st.canaryExpired.Add(1)
+		st.m.canaryExpired.Inc()
+	}
+	st.m.canariesActive.Set(float64(len(fresh)))
+
 	st.gcGenerations(gen, man)
 
 	st.publishes.Add(1)
@@ -654,6 +731,9 @@ func (st *Store) gcGenerations(gen int64, man *Manifest) {
 	referenced := make(map[string]bool, len(man.Entries))
 	for _, e := range man.Entries {
 		referenced[e.Segment] = true
+		if e.CanarySegment != "" {
+			referenced[e.CanarySegment] = true
+		}
 	}
 	cutoff := gen - int64(st.opts.KeepGenerations)
 	for _, path := range st.fs.List("store/gen-") {
@@ -738,15 +818,24 @@ func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) (
 	defer st.inflight.Add(-1)
 	st.m.requests[shardID].Inc()
 
-	key := cacheKey(gen, r, uctx, k)
-	if recs, src, ok := st.cache.get(key); ok {
-		st.m.cacheHits.Inc()
-		st.countSource(r, src)
-		return recs, src, gen, nil
+	// An active canary takes the tenant off the hot-key cache entirely:
+	// a cached answer would blur the two arms' populations and starve the
+	// experiment of samples.
+	cs := st.canaries.get(r)
+	if cs == nil {
+		if recs, src, ok := st.cache.get(cacheKey(gen, r, uctx, k)); ok {
+			st.m.cacheHits.Inc()
+			st.countSource(r, src)
+			return recs, src, gen, nil
+		}
 	}
 
+	arm := cs != nil && canarySlice(r, uctx, cs.fraction)
 	start := time.Now()
-	recs, src, served, err := st.fanout(sh, r, uctx, k)
+	recs, src, served, err := st.fanout(sh, r, uctx, k, arm)
+	if cs != nil {
+		st.observeCanary(cs, arm, src, err, time.Since(start))
+	}
 	if err != nil {
 		st.misses.Add(1)
 		if !errors.Is(err, ErrClosed) {
@@ -758,10 +847,93 @@ func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) (
 	st.lat.record(time.Since(start))
 	st.m.requestSeconds.Observe(time.Since(start).Seconds())
 	st.countSource(r, src)
-	if src != serving.SourceNone {
+	if src != serving.SourceNone && cs == nil {
 		st.cache.put(cacheKey(served, r, uctx, k), recs, src)
 	}
 	return recs, src, served, nil
+}
+
+// observeCanary rolls one live request into its arm's statistics and
+// triggers the promote/rollback decision once both arms have enough
+// samples. Decided canaries stop accumulating — their outcome is frozen.
+func (st *Store) observeCanary(cs *canaryState, arm bool, src serving.Source, err error, d time.Duration) {
+	if cs.decided.Load() {
+		return
+	}
+	a := &cs.control
+	if arm {
+		a = &cs.canary
+	}
+	if err != nil {
+		a.errors.Add(1)
+	} else {
+		a.requests.Add(1)
+		if src == serving.SourceTopSellers || src == serving.SourceNone {
+			a.bad.Add(1)
+		}
+		a.latencyNs.Add(d.Nanoseconds())
+	}
+	min := int64(st.opts.CanaryMinSamples)
+	if cs.control.requests.Load()+cs.control.errors.Load() >= min &&
+		cs.canary.requests.Load()+cs.canary.errors.Load() >= min {
+		st.decideCanary(cs)
+	}
+}
+
+// decideCanary compares the two arms and promotes or rolls back. Exactly
+// one caller wins the decided flag; everyone else is a no-op.
+func (st *Store) decideCanary(cs *canaryState) {
+	if cs.decided.Swap(true) {
+		return
+	}
+	promote, reason := true, ""
+	if cs.canary.badRate() > cs.control.badRate()+canaryBadRateMargin {
+		promote, reason = false, "bad_rate"
+	} else if can := cs.canary.meanLatencyNs(); can > canaryLatencyFloorNs &&
+		float64(can) > canaryLatencyFactor*float64(cs.control.meanLatencyNs()) {
+		promote, reason = false, "latency"
+	}
+	shardID := st.ring.Lookup(string(cs.retailer))
+	if shardID >= 0 {
+		sh := st.shards[shardID]
+		sh.mu.RLock()
+		reps := append([]*Replica(nil), sh.replicas...)
+		sh.mu.RUnlock()
+		for _, rep := range reps {
+			rep.resolveCanary(cs.retailer, promote)
+		}
+	}
+	// Rewrite the committed in-memory state so carry-forward, catch-up, and
+	// tenant statuses all agree with the decision.
+	st.stateMu.Lock()
+	if e, ok := st.lastSeg[cs.retailer]; ok && e.CanarySegment == cs.segment {
+		if promote {
+			e.Segment = cs.segment
+			e.RecsVersion = cs.version
+		}
+		e.CanarySegment, e.CanaryVersion, e.CanaryFraction = "", 0, 0
+		st.lastSeg[cs.retailer] = e
+		if st.man != nil {
+			for i := range st.man.Entries {
+				if st.man.Entries[i].Retailer == cs.retailer {
+					st.man.Entries[i] = e
+				}
+			}
+		}
+	}
+	st.stateMu.Unlock()
+	outcome := "promoted"
+	if !promote {
+		outcome = "rolled_back:" + reason
+		st.canaryRollbacks.Add(1)
+		st.m.canaryRolledBack.Inc()
+	} else {
+		st.canaryPromotions.Add(1)
+		st.m.canaryPromoted.Inc()
+	}
+	cs.outcome.Store(&outcome)
+	st.canaries.remove(cs)
+	st.m.canariesActive.Set(float64(st.canaries.active()))
 }
 
 // brownout is the final degradation rung before a reject: under overload
@@ -811,7 +983,7 @@ func (st *Store) countSource(r catalog.RetailerID, src serving.Source) {
 // fanout races replicas for one request: primary first, a hedge after the
 // latency threshold, failover on error. The winner's response cancels
 // every loser via the shared context.
-func (st *Store) fanout(sh *shard, r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, error) {
+func (st *Store) fanout(sh *shard, r catalog.RetailerID, uctx interactions.Context, k int, canaryArm bool) ([]serving.Recommendation, serving.Source, int64, error) {
 	order := sh.order(st.rng)
 	if len(order) == 0 {
 		return nil, serving.SourceNone, 0, errNoReplicas
@@ -834,7 +1006,7 @@ func (st *Store) fanout(sh *shard, r catalog.RetailerID, uctx interactions.Conte
 		st.wg.Add(1)
 		go func() {
 			defer st.wg.Done()
-			recs, src, gen, err := rep.get(ctx, r, uctx, k)
+			recs, src, gen, err := rep.get(ctx, r, uctx, k, canaryArm)
 			ch <- result{recs: recs, src: src, gen: gen, err: err, hedged: hedged}
 		}()
 	}
@@ -969,6 +1141,26 @@ func (st *Store) ScaleEvents() (up, down int64) {
 	return st.scaleUps.Load(), st.scaleDowns.Load()
 }
 
+// CanaryDecisions reports live-canary outcomes since start.
+func (st *Store) CanaryDecisions() (promoted, rolledBack, expired int64) {
+	return st.canaryPromotions.Load(), st.canaryRollbacks.Load(), st.canaryExpired.Load()
+}
+
+// ActiveCanaries reports tenants currently serving behind a canary slice.
+func (st *Store) ActiveCanaries() int { return st.canaries.active() }
+
+// CanaryOutcome returns a tenant's canary outcome this generation: "" while
+// undecided (or never canaried), else "promoted", "rolled_back:<reason>",
+// or "expired".
+func (st *Store) CanaryOutcome(r catalog.RetailerID) string {
+	for _, cs := range st.canaries.snapshotStates() {
+		if cs.retailer == r {
+			return cs.outcomeString()
+		}
+	}
+	return ""
+}
+
 // RecommendOrReject implements serving.Rejecter: Recommend with the
 // control plane's refusal surfaced instead of swallowed, so the HTTP
 // layer can map admission rejects and sheds onto distinct status codes.
@@ -1068,6 +1260,37 @@ func (st *Store) StatzBlocks() map[string]any {
 		ScaleUps            int64 `json:"scale_ups"`
 		ScaleDowns          int64 `json:"scale_downs"`
 	}{st.Admitted(), st.ActiveTenants(), shed, admission, repFail, bCache, bStale, ups, downs}
+	states := st.canaries.snapshotStates()
+	if info := st.guardInfo.Load(); info != nil || len(states) > 0 {
+		type canaryStatz struct {
+			Retailer        string  `json:"retailer"`
+			Fraction        float64 `json:"fraction"`
+			Version         int64   `json:"version"`
+			ControlRequests int64   `json:"control_requests"`
+			CanaryRequests  int64   `json:"canary_requests"`
+			Outcome         string  `json:"outcome,omitempty"`
+		}
+		cz := make([]canaryStatz, 0, len(states))
+		for _, cs := range states {
+			cz = append(cz, canaryStatz{
+				Retailer:        string(cs.retailer),
+				Fraction:        cs.fraction,
+				Version:         cs.version,
+				ControlRequests: cs.control.requests.Load(),
+				CanaryRequests:  cs.canary.requests.Load(),
+				Outcome:         cs.outcomeString(),
+			})
+		}
+		sort.Slice(cz, func(i, j int) bool { return cz[i].Retailer < cz[j].Retailer })
+		promoted, rolledBack, expired := st.CanaryDecisions()
+		blocks["guard"] = struct {
+			Pipeline         *serving.GuardInfo `json:"pipeline,omitempty"`
+			CanaryPromotions int64              `json:"canary_promotions"`
+			CanaryRollbacks  int64              `json:"canary_rollbacks"`
+			CanariesExpired  int64              `json:"canaries_expired"`
+			Canaries         []canaryStatz      `json:"canaries,omitempty"`
+		}{st.guardInfo.Load(), promoted, rolledBack, expired, cz}
+	}
 	return blocks
 }
 

@@ -60,6 +60,22 @@ echo "== overload-control chaos suite"
 go test -race -short -run 'TokenBucket|Admit|CheapRNG|PickTwo|Autoscale|Overload|Brownout|Reject' \
 	./internal/store/ ./internal/serving/
 
+echo "== model-quality firewall chaos suite"
+# The publish-time guard: offline gates (NaN scores, collapsed and empty
+# rec lists, metric cliffs, coverage collapse), the degenerate-model
+# drill (vetoed tenants carry the previous generation forward, healthy
+# tenants publish byte-identically to a fault-free control), guard
+# verdict crash-resume, and the live canary path (deterministic traffic
+# split, auto-promote, auto-rollback, expiry on the next publish).
+go test -race -short -run 'Guard|Canary|Veto|Evaluate|Baseline' \
+	./internal/guard/ ./internal/pipeline/ ./internal/store/
+
+echo "== fuzz smoke"
+# A few seconds per fuzz target: journal recovery over arbitrary bytes
+# and segment decoding with hostile length prefixes.
+go test -run '^$' -fuzz FuzzJournal -fuzztime 5s ./internal/dfs/
+go test -run '^$' -fuzz FuzzSegmentDecode -fuzztime 5s ./internal/store/
+
 echo "== benchmark regression gate"
 go run ./scripts/benchcheck
 

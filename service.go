@@ -11,6 +11,7 @@ import (
 	"sigmund/internal/core/modelselect"
 	"sigmund/internal/dfs"
 	"sigmund/internal/faults"
+	"sigmund/internal/guard"
 	"sigmund/internal/linalg"
 	"sigmund/internal/mapreduce"
 	"sigmund/internal/obs"
@@ -101,6 +102,22 @@ type Config struct {
 	Autoscale bool
 	// MaxReplicas bounds autoscaling growth per shard (0 = 2*Replicas).
 	MaxReplicas int
+	// Guard enables the publish-time model-quality firewall: every
+	// tenant's candidate generation is validated against structural
+	// invariants (NaN scores, empty or collapsed rec lists, coverage
+	// collapse) and its trailing per-tenant baseline before it may serve.
+	// Failing tenants are vetoed and carry their previous generation
+	// forward; borderline tenants go to a live canary when the sharded
+	// store is on.
+	Guard bool
+	// GuardMinMAPRatio vetoes a candidate whose offline MAP@10 falls below
+	// this fraction of the tenant's trailing baseline (0 = default 0.5).
+	GuardMinMAPRatio float64
+	// CanaryFraction is the deterministic hash-slice of a borderline
+	// tenant's traffic routed to its fresh generation while the rest stays
+	// on the previous one (0 = default 0.05; only meaningful with Guard
+	// and Shards > 0).
+	CanaryFraction float64
 	// Journal makes each daily cycle crash-resumable: RunDay records its
 	// plan and each committed unit of work in a durable day journal, and a
 	// re-run of a crashed day resumes from the journal instead of
@@ -214,6 +231,20 @@ func NewService(cfg Config) *Service {
 		Journal:              cfg.Journal,
 		Seed:                 cfg.Seed,
 		Obs:                  observer,
+	}
+	if cfg.Guard {
+		opts.Guard = guard.Options{
+			Enabled:     true,
+			MinMAPRatio: cfg.GuardMinMAPRatio,
+		}
+		if cfg.Shards > 0 {
+			// Live canaries need the sharded store's router; the single-node
+			// server has no second arm, so borderline tenants just publish.
+			opts.Guard.CanaryFraction = cfg.CanaryFraction
+			if opts.Guard.CanaryFraction == 0 {
+				opts.Guard.CanaryFraction = 0.05
+			}
+		}
 	}
 	chaosSeed := cfg.ChaosSeed
 	if chaosSeed == 0 {
