@@ -37,7 +37,7 @@ chaos-workers:
 # (fails on goroutine leaks), failover, load shedding, publish rollback,
 # and crash/revive catch-up.
 chaos-store:
-	$(GO) test -race -short -run 'TornGeneration|Hedge|Failover|Shed|RollsBack|Revive|UniformlyStale|ContinuousChaos|CloseDrains|Ring' ./internal/store/
+	$(GO) test -race -short -run 'TornGeneration|Hedge|Failover|Shed|RollsBack|Revive|UniformlyStale|ContinuousChaos|CloseDrains|Ring|MixedFormat' ./internal/store/
 
 # The crash-resume chaos suite: the day-journal codec (torn-tail repair,
 # append rollback), checkpoint temp-file hygiene, the full coordinator
@@ -69,6 +69,7 @@ chaos-guard:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzJournal -fuzztime 5s ./internal/dfs/
 	$(GO) test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 5s ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzSegmentLookup -fuzztime 5s ./internal/store/
 
 # Benchmark regression gate: BenchmarkMapReduce, BenchmarkRunDay,
 # BenchmarkServeRouted, and BenchmarkServeAdmitted vs the committed

@@ -1,0 +1,76 @@
+package serving
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"sigmund/internal/catalog"
+)
+
+// BinaryContentType is the compact wire encoding of a /recommend response,
+// negotiated alongside JSON via the Accept header or the format=binary
+// query parameter. JSON spends most of its bytes (and encoder CPU) on
+// field names and float formatting; high-volume internal callers — the
+// load generator, sidecar caches — read this fixed-width layout instead:
+//
+//	magic "SRB1" | version i64 | retailerLen u16 | retailer bytes |
+//	count u32 | count × (item u32 | scoreBits u64)
+//
+// All integers little-endian. The response carries the same three fields
+// as the JSON document; clients that need per-rec sources or statuses
+// stay on JSON.
+const BinaryContentType = "application/x-sigmund-recs"
+
+const binaryMagic = "SRB1"
+
+// respBufPool recycles response-encoding buffers so a binary response's
+// only allocation is what the HTTP layer itself copies out.
+var respBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// AppendRecsResponse appends the binary encoding of one /recommend
+// response to buf and returns the extended slice.
+func AppendRecsResponse(buf []byte, retailer catalog.RetailerID, version int64, recs []Recommendation) []byte {
+	buf = append(buf, binaryMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(version))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(retailer)))
+	buf = append(buf, retailer...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, rec := range recs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Item))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.Score))
+	}
+	return buf
+}
+
+// DecodeRecsResponse reverses AppendRecsResponse.
+func DecodeRecsResponse(data []byte) (retailer catalog.RetailerID, version int64, recs []Recommendation, err error) {
+	const header = 4 + 8 + 2
+	if len(data) < header || string(data[:4]) != binaryMagic {
+		return "", 0, nil, fmt.Errorf("serving: not a binary recs response (%d bytes)", len(data))
+	}
+	version = int64(binary.LittleEndian.Uint64(data[4:12]))
+	rlen := int(binary.LittleEndian.Uint16(data[12:14]))
+	data = data[header:]
+	if len(data) < rlen+4 {
+		return "", 0, nil, fmt.Errorf("serving: truncated binary recs response")
+	}
+	retailer = catalog.RetailerID(data[:rlen])
+	count := int(binary.LittleEndian.Uint32(data[rlen : rlen+4]))
+	data = data[rlen+4:]
+	if len(data) != count*12 {
+		return "", 0, nil, fmt.Errorf("serving: binary recs response claims %d recs in %d bytes", count, len(data))
+	}
+	recs = make([]Recommendation, count)
+	for i := range recs {
+		recs[i] = Recommendation{
+			Item:  catalog.ItemID(binary.LittleEndian.Uint32(data[i*12:])),
+			Score: math.Float64frombits(binary.LittleEndian.Uint64(data[i*12+4:])),
+		}
+	}
+	return retailer, version, recs, nil
+}

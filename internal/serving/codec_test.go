@@ -1,0 +1,127 @@
+package serving
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"sigmund/internal/catalog"
+)
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	recs := []Recommendation{
+		{Item: 10, Score: 3.5},
+		{Item: 2147483647, Score: -0.25},
+		{Item: 0, Score: math.Inf(1)},
+	}
+	buf := AppendRecsResponse(nil, "shop-42", 9001, recs)
+	retailer, version, got, err := DecodeRecsResponse(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if retailer != "shop-42" || version != 9001 {
+		t.Fatalf("header = %q/%d, want shop-42/9001", retailer, version)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d recs, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Item != recs[i].Item || got[i].Score != recs[i].Score {
+			t.Fatalf("rec %d = %+v, want item %d score %v", i, got[i], recs[i].Item, recs[i].Score)
+		}
+	}
+}
+
+func TestBinaryCodecEmptyResponse(t *testing.T) {
+	buf := AppendRecsResponse(nil, "s", 1, nil)
+	retailer, version, recs, err := DecodeRecsResponse(buf)
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if retailer != "s" || version != 1 || len(recs) != 0 {
+		t.Fatalf("empty round trip = %q/%d/%d recs", retailer, version, len(recs))
+	}
+}
+
+func TestBinaryCodecRejectsCorruption(t *testing.T) {
+	valid := AppendRecsResponse(nil, "shop", 3, []Recommendation{{Item: 1, Score: 1}})
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      append([]byte("XXXX"), valid[4:]...),
+		"short header":   valid[:10],
+		"truncated body": valid[:len(valid)-5],
+		"trailing bytes": append(append([]byte{}, valid...), 0xff),
+	}
+	for name, data := range cases {
+		if _, _, _, err := DecodeRecsResponse(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+// TestRecommendHTTPBinaryNegotiation drives the same request through the
+// JSON default, the format=binary query parameter, and the Accept header,
+// and checks all three agree on the payload.
+func TestRecommendHTTPBinaryNegotiation(t *testing.T) {
+	s := NewServer()
+	s.Publish(snapshotFixture())
+	h := NewHandler(s)
+
+	// Default: JSON.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/recommend?retailer=shop&context=view:1&k=3", nil))
+	if w.Code != 200 || w.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("JSON request: status %d content-type %q", w.Code, w.Header().Get("Content-Type"))
+	}
+	var jdoc struct {
+		Retailer catalog.RetailerID `json:"retailer"`
+		Version  int64              `json:"version"`
+		Recs     []Recommendation   `json:"recommendations"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &jdoc); err != nil {
+		t.Fatalf("bad JSON body: %v", err)
+	}
+
+	decodeBinary := func(target string, accept string) (catalog.RetailerID, int64, []Recommendation) {
+		t.Helper()
+		req := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 200 || w.Header().Get("Content-Type") != BinaryContentType {
+			t.Fatalf("binary request %s: status %d content-type %q", target, w.Code, w.Header().Get("Content-Type"))
+		}
+		retailer, version, recs, err := DecodeRecsResponse(w.Body.Bytes())
+		if err != nil {
+			t.Fatalf("binary request %s: decode: %v", target, err)
+		}
+		return retailer, version, recs
+	}
+
+	check := func(label string, retailer catalog.RetailerID, version int64, recs []Recommendation) {
+		t.Helper()
+		if retailer != jdoc.Retailer || version != jdoc.Version {
+			t.Fatalf("%s header = %q/%d, JSON said %q/%d", label, retailer, version, jdoc.Retailer, jdoc.Version)
+		}
+		if len(recs) != len(jdoc.Recs) {
+			t.Fatalf("%s returned %d recs, JSON said %d", label, len(recs), len(jdoc.Recs))
+		}
+		for i := range recs {
+			if recs[i].Item != jdoc.Recs[i].Item || recs[i].Score != jdoc.Recs[i].Score {
+				t.Fatalf("%s rec %d = %+v, JSON said %+v", label, i, recs[i], jdoc.Recs[i])
+			}
+		}
+	}
+
+	r1, v1, recs1 := decodeBinary("/recommend?retailer=shop&context=view:1&k=3&format=binary", "")
+	check("format=binary", r1, v1, recs1)
+	r2, v2, recs2 := decodeBinary("/recommend?retailer=shop&context=view:1&k=3", BinaryContentType)
+	check("Accept header", r2, v2, recs2)
+	if !reflect.DeepEqual(recs1, recs2) {
+		t.Fatalf("query-param and Accept negotiation disagree: %+v vs %+v", recs1, recs2)
+	}
+}

@@ -67,7 +67,8 @@ func NewHandler(s *Server) http.Handler { return NewBackendHandler(s) }
 //
 // The context parameter lists the user's recent actions oldest-first as
 // type:itemID pairs (types: view, search, cart, conversion). Responses are
-// JSON.
+// JSON by default; /recommend also serves the compact binary encoding
+// (see BinaryContentType) when asked via format=binary or Accept.
 func NewBackendHandler(s Backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
@@ -110,6 +111,15 @@ func NewBackendHandler(s Backend) http.Handler {
 		}
 		if recs == nil {
 			recs = []Recommendation{}
+		}
+		if wantsBinary(r) {
+			w.Header().Set("Content-Type", BinaryContentType)
+			bp := respBufPool.Get().(*[]byte)
+			buf := AppendRecsResponse((*bp)[:0], retailer, s.Version(), recs)
+			w.Write(buf)
+			*bp = buf[:0]
+			respBufPool.Put(bp)
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
@@ -248,6 +258,17 @@ type mapreduceStatz struct {
 	SpeculativeLaunches int64 `json:"speculative_launches"`
 	SpeculativeWins     int64 `json:"speculative_wins"`
 	WorkersBlacklisted  int64 `json:"workers_blacklisted"`
+}
+
+// wantsBinary reports whether a /recommend request negotiated the compact
+// binary response encoding: either format=binary in the query or an Accept
+// header naming BinaryContentType. Anything else stays on JSON, so the
+// binary path is strictly opt-in.
+func wantsBinary(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "binary" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), BinaryContentType)
 }
 
 // ParseContext parses "view:3,search:17" into a Context. An empty string

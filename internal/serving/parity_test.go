@@ -1,0 +1,80 @@
+package serving
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/interactions"
+	"sigmund/internal/segment"
+)
+
+// TestMapFlatServingParity publishes the same logical recommendations in
+// both RetailerRecs representations — map-backed (pipeline form) and
+// flat-backed (v2 segment view) — and asserts RecommendWithSource returns
+// identical answers across context shapes. This is the contract the store
+// relies on: replicas serve Flat views straight off segment bytes, while
+// the single-node server and v1 carry-forwards serve maps, and a client
+// must not be able to tell which one answered.
+func TestMapFlatServingParity(t *testing.T) {
+	items := []inference.ItemRecs{
+		{Item: 1, View: scored(10, 11, 12), Purchase: scored(20, 21), LateFunnel: scored(30)},
+		{Item: 2, View: scored(11, 13), Purchase: scored(22)},
+		{Item: 3, View: scored(14)},
+	}
+	top := []catalog.ItemID{1, 2, 10}
+
+	mapBacked := NewServer()
+	mapBacked.Publish(BuildSnapshot(7,
+		map[catalog.RetailerID][]inference.ItemRecs{"shop": items},
+		map[catalog.RetailerID][]catalog.ItemID{"shop": top}))
+
+	fl, err := segment.Parse(segment.Encode(items, top))
+	if err != nil {
+		t.Fatalf("encode/parse flat: %v", err)
+	}
+	flatBacked := NewServer()
+	flatBacked.Publish(&Snapshot{
+		Version:   7,
+		Retailers: map[catalog.RetailerID]*RetailerRecs{"shop": {Flat: fl}},
+	})
+
+	contexts := map[string]interactions.Context{
+		"empty (top-seller fallback)": nil,
+		"single view":                 {{Type: interactions.View, Item: 1}},
+		"cart (purchase surface)":     {{Type: interactions.Cart, Item: 1}},
+		"late funnel": {
+			{Type: interactions.View, Item: 1},
+			{Type: interactions.Cart, Item: 1},
+			{Type: interactions.Conversion, Item: 1},
+		},
+		"mixed multi-item": {
+			{Type: interactions.View, Item: 2},
+			{Type: interactions.View, Item: 1},
+			{Type: interactions.Cart, Item: 2},
+		},
+		"unknown item (fallback)": {{Type: interactions.View, Item: 999}},
+	}
+	for name, ctx := range contexts {
+		for _, k := range []int{1, 3, 10} {
+			mRecs, mSrc := mapBacked.RecommendWithSource("shop", ctx, k)
+			fRecs, fSrc := flatBacked.RecommendWithSource("shop", ctx, k)
+			label := fmt.Sprintf("%s k=%d", name, k)
+			if mSrc != fSrc {
+				t.Errorf("%s: source map=%v flat=%v", label, mSrc, fSrc)
+			}
+			if !reflect.DeepEqual(mRecs, fRecs) {
+				t.Errorf("%s: recs diverge\n  map:  %+v\n  flat: %+v", label, mRecs, fRecs)
+			}
+		}
+	}
+
+	// Unknown retailer misses identically too.
+	mRecs, mSrc := mapBacked.RecommendWithSource("ghost", nil, 5)
+	fRecs, fSrc := flatBacked.RecommendWithSource("ghost", nil, 5)
+	if mSrc != fSrc || !reflect.DeepEqual(mRecs, fRecs) {
+		t.Errorf("unknown retailer: map=%+v/%v flat=%+v/%v", mRecs, mSrc, fRecs, fSrc)
+	}
+}

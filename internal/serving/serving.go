@@ -8,7 +8,7 @@ package serving
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -17,15 +17,51 @@ import (
 	"sigmund/internal/interactions"
 	"sigmund/internal/mapreduce"
 	"sigmund/internal/obs"
+	"sigmund/internal/segment"
 )
 
-// RetailerRecs is one retailer's materialized recommendation data.
+// RetailerRecs is one retailer's materialized recommendation data, in one
+// of two representations:
+//
+//   - map-backed: Recs/TopSellers hold decoded heap values. The pipeline
+//     builds snapshots this way, and v1 segments decode into it.
+//   - flat-backed: Flat is a zero-copy view over a v2 segment's bytes;
+//     Recs is nil and lookups read the mmap-shaped slice directly. Store
+//     replicas serve this form — no per-tenant map is ever rebuilt.
+//
+// Exactly one representation is populated. The blend path handles both;
+// everything else goes through NumItems and the top-seller accessors.
 type RetailerRecs struct {
-	// Recs maps a query item to its two ranked lists.
+	// Recs maps a query item to its two ranked lists (map-backed form).
 	Recs map[catalog.ItemID]inference.ItemRecs
 	// TopSellers is the popularity-ordered fallback for empty/unknown
-	// contexts (new users with no history at all).
+	// contexts (new users with no history at all; map-backed form).
 	TopSellers []catalog.ItemID
+	// Flat is the zero-copy v2 segment view (flat-backed form).
+	Flat *segment.Flat
+}
+
+// NumItems returns how many query items the retailer's data indexes,
+// regardless of representation.
+func (rr *RetailerRecs) NumItems() int {
+	if rr.Flat != nil {
+		return rr.Flat.NumItems()
+	}
+	return len(rr.Recs)
+}
+
+func (rr *RetailerRecs) numTopSellers() int {
+	if rr.Flat != nil {
+		return rr.Flat.NumTopSellers()
+	}
+	return len(rr.TopSellers)
+}
+
+func (rr *RetailerRecs) topSeller(i int) catalog.ItemID {
+	if rr.Flat != nil {
+		return rr.Flat.TopSeller(i)
+	}
+	return rr.TopSellers[i]
 }
 
 // TenantStatus describes one retailer's health within a snapshot
@@ -393,6 +429,30 @@ func (s *Server) Recommend(r catalog.RetailerID, ctx interactions.Context, k int
 	return recs
 }
 
+// blendScratch is the pooled per-request working set of the blend: the
+// vote accumulator and the pre-sort candidate buffer. Pooling it keeps the
+// hot path's only per-request allocation the result slice that escapes to
+// the client.
+type blendScratch struct {
+	scores map[catalog.ItemID]float64
+	cand   []Recommendation
+}
+
+var blendPool = sync.Pool{New: func() any {
+	return &blendScratch{scores: make(map[catalog.ItemID]float64, 64)}
+}}
+
+// ctxContains reports whether an item appears in the (≤ context-length)
+// user context; a linear scan beats a per-request membership map.
+func ctxContains(ctx interactions.Context, it catalog.ItemID) bool {
+	for i := range ctx {
+		if ctx[i].Item == it {
+			return true
+		}
+	}
+	return false
+}
+
 // RecommendWithSource is Recommend plus the fallback rung that answered:
 // the materialized model lists when any context item has one, then the
 // co-occurrence-seeded top-sellers list, then nothing. Degraded tenants are
@@ -419,33 +479,46 @@ func (s *Server) RecommendWithSource(r catalog.RetailerID, ctx interactions.Cont
 		ctx = ctx.Truncate(interactions.DefaultContextLength)
 	}
 
-	inCtx := make(map[catalog.ItemID]bool, len(ctx))
-	for _, a := range ctx {
-		inCtx[a.Item] = true
-	}
-
-	scores := make(map[catalog.ItemID]float64)
+	sc := blendPool.Get().(*blendScratch)
+	scores := sc.scores
 	lateFunnel := IsLateFunnel(ctx)
 	const decay = 0.8
 	w := 1.0
 	for j := len(ctx) - 1; j >= 0; j-- {
 		a := ctx[j]
-		ir, ok := rr.Recs[a.Item]
-		if ok {
+		if rr.Flat != nil {
+			if ls, ok := rr.Flat.Lookup(a.Item); ok {
+				list := ls.View
+				if lateFunnel && ls.LateFunnel.Len() > 0 {
+					// Deep-funnel users get the facet-constrained surface
+					// (Section III-D1's late-funnel tightening).
+					list = ls.LateFunnel
+				}
+				if a.Type >= interactions.Cart {
+					list = ls.Purchase
+				}
+				n := list.Len()
+				for pos := 0; pos < n; pos++ {
+					it := list.Item(pos)
+					if ctxContains(ctx, it) {
+						continue
+					}
+					// Positional vote: earlier slots in a list count more.
+					scores[it] += w * float64(n-pos)
+				}
+			}
+		} else if ir, ok := rr.Recs[a.Item]; ok {
 			list := ir.View
 			if lateFunnel && len(ir.LateFunnel) > 0 {
-				// Deep-funnel users get the facet-constrained surface
-				// (Section III-D1's late-funnel tightening).
 				list = ir.LateFunnel
 			}
 			if a.Type >= interactions.Cart {
 				list = ir.Purchase
 			}
 			for pos, rec := range list {
-				if inCtx[rec.Item] {
+				if ctxContains(ctx, rec.Item) {
 					continue
 				}
-				// Positional vote: earlier slots in a list count more.
 				scores[rec.Item] += w * float64(len(list)-pos)
 			}
 		}
@@ -453,11 +526,13 @@ func (s *Server) RecommendWithSource(r catalog.RetailerID, ctx interactions.Cont
 	}
 
 	if len(scores) == 0 {
+		blendPool.Put(sc)
 		s.fallback.Add(1)
 		s.om.fallbacks.Inc()
 		out := make([]Recommendation, 0, k)
-		for _, it := range rr.TopSellers {
-			if inCtx[it] {
+		for i, n := 0, rr.numTopSellers(); i < n; i++ {
+			it := rr.topSeller(i)
+			if ctxContains(ctx, it) {
 				continue
 			}
 			out = append(out, Recommendation{Item: it})
@@ -473,19 +548,31 @@ func (s *Server) RecommendWithSource(r catalog.RetailerID, ctx interactions.Cont
 		return out, SourceTopSellers
 	}
 
-	out := make([]Recommendation, 0, len(scores))
-	for it, sc := range scores {
-		out = append(out, Recommendation{Item: it, Score: sc})
+	cand := sc.cand[:0]
+	for it, score := range scores {
+		cand = append(cand, Recommendation{Item: it, Score: score})
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
+	slices.SortFunc(cand, func(a, b Recommendation) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.Item < b.Item:
+			return -1
+		case a.Item > b.Item:
+			return 1
 		}
-		return out[a].Item < out[b].Item
+		return 0
 	})
-	if len(out) > k {
-		out = out[:k]
+	if len(cand) > k {
+		cand = cand[:k]
 	}
+	out := make([]Recommendation, len(cand))
+	copy(out, cand)
+	sc.cand = cand[:0]
+	clear(sc.scores)
+	blendPool.Put(sc)
 	return out, SourceModel
 }
 
@@ -513,15 +600,17 @@ func IsLateFunnel(ctx interactions.Context) bool {
 		return false
 	}
 	// Repeated attention: some item appears twice in the recent context.
-	seen := map[catalog.ItemID]int{}
+	// The window is at most five actions, so a quadratic scan is cheaper
+	// than a per-request map.
 	recent := ctx
 	if len(recent) > 5 {
 		recent = recent[len(recent)-5:]
 	}
-	for _, a := range recent {
-		seen[a.Item]++
-		if seen[a.Item] >= 2 {
-			return true
+	for i := range recent {
+		for j := i + 1; j < len(recent); j++ {
+			if recent[i].Item == recent[j].Item {
+				return true
+			}
 		}
 	}
 	return false
@@ -551,7 +640,7 @@ func BuildSnapshot(version int64, per map[catalog.RetailerID][]inference.ItemRec
 func (sn *Snapshot) String() string {
 	items, degraded := 0, 0
 	for _, rr := range sn.Retailers {
-		items += len(rr.Recs)
+		items += rr.NumItems()
 	}
 	for _, st := range sn.Status {
 		if st.Degraded {

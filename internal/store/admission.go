@@ -12,11 +12,12 @@ import (
 // AdmitQPS tokens per second and hard-caps the admitted rate; on top of it
 // every active tenant owns a private bucket refilling at an equal share of
 // the global rate (weighted max-min with equal weights). A request is
-// admitted from its tenant's own share first; a tenant past its share may
-// still borrow, but only while the global bucket holds surplus above a
-// reserve — so a zipf-hot tenant flooding at a multiple of capacity soaks
-// up exactly the idle capacity and its own share, while tenants under
-// their share never see its overload.
+// admitted from its tenant's own share first — in-share admits never
+// consult the global level, only debit it — and a tenant past its share
+// may borrow, but only while the global bucket holds surplus above a
+// reserve. A zipf-hot tenant flooding at a multiple of capacity therefore
+// soaks up exactly the idle capacity and its own share, while tenants
+// under their share never see its overload.
 //
 // The admit path is allocation-free (guarded by a testing.AllocsPerRun
 // test): one mutex, float refill arithmetic, and a map lookup. Tenants
@@ -143,8 +144,15 @@ func (a *admitter) admit(tenant string) bool {
 		tb.tokens--
 		a.global--
 		ok = true
-	case tb.tokens >= 1 && a.global >= 1:
-		// In-share: the tenant spends its own budget.
+	case tb.tokens >= 1:
+		// In-share: the tenant spends its own budget. Like the fresh case,
+		// the draw may push the global bucket into debt — per-tenant refills
+		// sum to the global refill rate and per-tenant bursts sum to the
+		// global burst, so the debt is bounded by one burst and paid down
+		// before any borrowing resumes. Gating in-share admits on the global
+		// bucket instead would let a flooding neighbor pin it near zero and
+		// reject tenants inside their own share — exactly the unfairness the
+		// per-tenant buckets exist to prevent.
 		tb.tokens--
 		a.global--
 		ok = true

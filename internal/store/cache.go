@@ -3,7 +3,6 @@ package store
 import (
 	"container/list"
 	"strconv"
-	"strings"
 	"sync"
 
 	"sigmund/internal/catalog"
@@ -39,13 +38,15 @@ func newLRUCache(capacity int) *lruCache {
 }
 
 // get returns a cached answer, promoting the entry. A nil cache misses.
-func (c *lruCache) get(key string) ([]serving.Recommendation, serving.Source, bool) {
+// The key is passed as bytes so a lookup never allocates: the map index
+// expression converts without a copy.
+func (c *lruCache) get(key []byte) ([]serving.Recommendation, serving.Source, bool) {
 	if c == nil {
 		return nil, serving.SourceNone, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	el, ok := c.items[string(key)]
 	if !ok {
 		return nil, serving.SourceNone, false
 	}
@@ -55,20 +56,23 @@ func (c *lruCache) get(key string) ([]serving.Recommendation, serving.Source, bo
 	return e.recs, e.src, true
 }
 
-// put stores an answer, evicting the coldest entry past capacity.
-func (c *lruCache) put(key string, recs []serving.Recommendation, src serving.Source) {
+// put stores an answer, evicting the coldest entry past capacity. Only an
+// insert materializes the key string; refreshing an existing entry stays
+// allocation-free.
+func (c *lruCache) put(key []byte, recs []serving.Recommendation, src serving.Source) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	if el, ok := c.items[string(key)]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		e.recs, e.src = recs, src
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, recs: recs, src: src})
+	k := string(key)
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, recs: recs, src: src})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -86,20 +90,27 @@ func (c *lruCache) stats() (int, int64) {
 	return c.ll.Len(), c.hits
 }
 
-// cacheKey renders a request into its cache identity. The generation
-// prefix scopes entries to one published snapshot.
-func cacheKey(gen int64, r catalog.RetailerID, uctx interactions.Context, k int) string {
-	var b strings.Builder
-	b.WriteString(strconv.FormatInt(gen, 10))
-	b.WriteByte('|')
-	b.WriteString(string(r))
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(k))
+// keyBufPool recycles cacheKey's scratch buffers; a served request builds
+// its key into a pooled buffer, looks up or inserts, and returns it.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 128)
+	return &b
+}}
+
+// cacheKey renders a request into its cache identity, appending to buf
+// (pass a pooled buffer's contents sliced to zero). The generation prefix
+// scopes entries to one published snapshot.
+func cacheKey(buf []byte, gen int64, r catalog.RetailerID, uctx interactions.Context, k int) []byte {
+	buf = strconv.AppendInt(buf, gen, 10)
+	buf = append(buf, '|')
+	buf = append(buf, r...)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(k), 10)
 	for _, a := range uctx {
-		b.WriteByte('|')
-		b.WriteString(strconv.Itoa(int(a.Type)))
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(int(a.Item)))
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(a.Type), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(a.Item), 10)
 	}
-	return b.String()
+	return buf
 }

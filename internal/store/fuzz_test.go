@@ -2,11 +2,14 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"sigmund/internal/catalog"
 	"sigmund/internal/core/hybrid"
 	"sigmund/internal/core/inference"
+	"sigmund/internal/interactions"
+	"sigmund/internal/segment"
 	"sigmund/internal/serving"
 )
 
@@ -35,7 +38,7 @@ func FuzzSegmentDecode(f *testing.F) {
 		if err != nil {
 			return // rejected input; the only requirement is no panic
 		}
-		if rr == nil || rr.Recs == nil {
+		if rr == nil || (rr.Recs == nil && rr.Flat == nil) {
 			t.Fatal("successful decode returned a nil payload")
 		}
 		enc := EncodeSegment(rr)
@@ -46,5 +49,72 @@ func FuzzSegmentDecode(f *testing.F) {
 		if !bytes.Equal(enc, EncodeSegment(rr2)) {
 			t.Fatal("encode → decode → encode is not a fixed point")
 		}
+	})
+}
+
+// FuzzSegmentLookup hammers the v2 flat-segment parser and its zero-copy
+// lookup path: Parse must reject anything structurally unsound, and
+// whatever it accepts must survive lookups and a full blend without
+// panicking or reading out of bounds. Seeds cover a valid flat segment,
+// a truncated index, an off-by-one entry offset, and a v1 segment (which
+// the flat parser must refuse — format sniffing handles it upstream).
+func FuzzSegmentLookup(f *testing.F) {
+	valid := EncodeSegment(&serving.RetailerRecs{
+		Recs: map[catalog.ItemID]inference.ItemRecs{
+			0: {Item: 0, View: []hybrid.Scored{{Item: 1, Score: 0.9}, {Item: 2, Score: 0.8}}},
+			5: {Item: 5, Purchase: []hybrid.Scored{{Item: 0, Score: 0.5}}, LateFunnel: []hybrid.Scored{{Item: 2, Score: 0.4}}},
+		},
+		TopSellers: []catalog.ItemID{1, 2, 0},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])           // truncated tail
+	f.Add(valid[:20])                     // truncated index
+	f.Add([]byte(segment.Magic))          // magic only
+	f.Add([]byte("SSG2\x01\x00\x00\x00")) // header cut short
+	offByOne := bytes.Clone(valid)
+	if len(offByOne) > 24 {
+		// Bump the first index entry's offset by one.
+		off := binary.LittleEndian.Uint32(offByOne[20:24])
+		binary.LittleEndian.PutUint32(offByOne[20:24], off+1)
+	}
+	f.Add(offByOne)
+	f.Add(EncodeSegmentV1(&serving.RetailerRecs{ // old format: must be refused here
+		Recs:       map[catalog.ItemID]inference.ItemRecs{1: {Item: 1, View: []hybrid.Scored{{Item: 0, Score: 1}}}},
+		TopSellers: []catalog.ItemID{0, 1},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := segment.Parse(data)
+		if err != nil {
+			return // rejected input; the only requirement is no panic
+		}
+		// Walk the whole index and every list entry: any out-of-bounds
+		// layout Parse failed to reject panics here.
+		for i := 0; i < fl.NumItems(); i++ {
+			id := fl.ItemAt(i)
+			ls, ok := fl.Lookup(id)
+			if !ok {
+				t.Fatalf("indexed item %d not found by Lookup", id)
+			}
+			for _, l := range []segment.List{ls.View, ls.Purchase, ls.LateFunnel} {
+				for j := 0; j < l.Len(); j++ {
+					_, _, _ = l.Item(j), l.Score(j), l.Source(j)
+				}
+			}
+		}
+		for i := 0; i < fl.NumTopSellers(); i++ {
+			_ = fl.TopSeller(i)
+		}
+		// And the full serve path: blend a context through the flat view.
+		srv := serving.NewServer()
+		srv.Publish(&serving.Snapshot{
+			Version:   1,
+			Retailers: map[catalog.RetailerID]*serving.RetailerRecs{"shop": {Flat: fl}},
+		})
+		ctx := interactions.Context{{Type: interactions.View, Item: 0}}
+		if fl.NumItems() > 0 {
+			ctx = append(ctx, interactions.Action{Type: interactions.Cart, Item: fl.ItemAt(0)})
+		}
+		srv.Recommend("shop", ctx, 10)
 	})
 }

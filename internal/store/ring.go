@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 )
 
 // Ring is a consistent-hash ring mapping string keys (retailer IDs) to
@@ -29,6 +30,9 @@ type Ring struct {
 	vnodes int
 	points []ringPoint // sorted by hash
 	shards map[int]bool
+	// keyPrefix is the precomputed "<seed>|key|" byte sequence every key
+	// hash starts with, so the per-request keyHash never formats a string.
+	keyPrefix string
 }
 
 type ringPoint struct {
@@ -42,7 +46,12 @@ func NewRing(shards, vnodes int, seed uint64) *Ring {
 	if vnodes <= 0 {
 		vnodes = 64
 	}
-	r := &Ring{seed: seed, vnodes: vnodes, shards: make(map[int]bool, shards)}
+	r := &Ring{
+		seed:      seed,
+		vnodes:    vnodes,
+		shards:    make(map[int]bool, shards),
+		keyPrefix: strconv.FormatUint(seed, 10) + "|key|",
+	}
 	for s := 0; s < shards; s++ {
 		r.Add(s)
 	}
@@ -99,8 +108,26 @@ func (r *Ring) pointHash(shard, vnode int) uint64 {
 	return hash64(fmt.Sprintf("%d|shard-%d|vnode-%d", r.seed, shard, vnode))
 }
 
+// keyHash hashes a request key. It is called on every routed request, so
+// it inlines FNV-1a over the precomputed prefix and the key — producing
+// exactly the bytes (and therefore exactly the hash) of
+// hash64(fmt.Sprintf("%d|key|%s", seed, key)) with zero allocations;
+// seeded shard assignments are stable across this rewrite.
 func (r *Ring) keyHash(key string) uint64 {
-	return hash64(fmt.Sprintf("%d|key|%s", r.seed, key))
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	x := uint64(offset64)
+	for i := 0; i < len(r.keyPrefix); i++ {
+		x ^= uint64(r.keyPrefix[i])
+		x *= prime64
+	}
+	for i := 0; i < len(key); i++ {
+		x ^= uint64(key[i])
+		x *= prime64
+	}
+	return avalanche(x)
 }
 
 // hash64 is fnv64a with a splitmix64-style finalizer. The finalizer
@@ -112,7 +139,12 @@ func (r *Ring) keyHash(key string) uint64 {
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
-	x := h.Sum64()
+	return avalanche(h.Sum64())
+}
+
+// avalanche is the splitmix64-style finalizer shared by hash64 and the
+// inlined keyHash.
+func avalanche(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27

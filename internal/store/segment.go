@@ -10,6 +10,7 @@ import (
 
 	"sigmund/internal/catalog"
 	"sigmund/internal/core/inference"
+	"sigmund/internal/segment"
 	"sigmund/internal/serving"
 )
 
@@ -20,11 +21,35 @@ import (
 // last good generation's file instead (stale carry-forward), so a replica
 // recovering later can still rebuild the full generation from the
 // filesystem alone.
+//
+// Two wire formats coexist. The publish phase emits v2 ("SSG2",
+// internal/segment): a flat offset-indexed layout replicas serve directly
+// from the loaded bytes with no per-tenant map reconstruction. The legacy
+// v1 format ("SSEG", length-prefixed per-item payloads) is still decoded —
+// carry-forward manifests can point at segment files written before the
+// format change, and those must keep serving until every tenant has
+// published a fresh generation past them.
 
 const segMagic = "SSEG"
 
-// EncodeSegment serializes one retailer's materialized recommendations.
+// EncodeSegment serializes one retailer's materialized recommendations in
+// the v2 flat format. Flat-backed recs pass through byte-for-byte (their
+// bytes ARE the canonical encoding); map-backed recs are packed into the
+// canonical sorted layout.
 func EncodeSegment(rr *serving.RetailerRecs) []byte {
+	if rr.Flat != nil {
+		return rr.Flat.Bytes()
+	}
+	items := make([]inference.ItemRecs, 0, len(rr.Recs))
+	for _, ir := range rr.Recs {
+		items = append(items, ir)
+	}
+	return segment.Encode(items, rr.TopSellers)
+}
+
+// EncodeSegmentV1 serializes recommendations in the legacy v1 format.
+// Only tests use it now, to prove the mixed-format carry-forward path.
+func EncodeSegmentV1(rr *serving.RetailerRecs) []byte {
 	var buf bytes.Buffer
 	buf.WriteString(segMagic)
 	var b4 [4]byte
@@ -51,8 +76,23 @@ func EncodeSegment(rr *serving.RetailerRecs) []byte {
 	return buf.Bytes()
 }
 
-// DecodeSegment reverses EncodeSegment.
+// DecodeSegment sniffs the format magic and decodes either generation of
+// segment: v2 validates in place and returns a zero-copy flat-backed
+// RetailerRecs (retaining data, which must stay immutable); v1 decodes
+// into the map-backed heap form.
 func DecodeSegment(data []byte) (*serving.RetailerRecs, error) {
+	if segment.IsFlat(data) {
+		f, err := segment.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		return &serving.RetailerRecs{Flat: f}, nil
+	}
+	return decodeSegmentV1(data)
+}
+
+// decodeSegmentV1 reverses EncodeSegmentV1.
+func decodeSegmentV1(data []byte) (*serving.RetailerRecs, error) {
 	r := bytes.NewReader(data)
 	magic := make([]byte, len(segMagic))
 	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != segMagic {

@@ -29,6 +29,20 @@ func testRetailerRecs() *serving.RetailerRecs {
 	}
 }
 
+// materialized flattens either representation into comparable heap form.
+func materialized(t *testing.T, rr *serving.RetailerRecs) (map[catalog.ItemID]inference.ItemRecs, []catalog.ItemID) {
+	t.Helper()
+	if rr.Flat == nil {
+		return rr.Recs, rr.TopSellers
+	}
+	items, top := rr.Flat.Materialize()
+	m := make(map[catalog.ItemID]inference.ItemRecs, len(items))
+	for _, ir := range items {
+		m[ir.Item] = ir
+	}
+	return m, top
+}
+
 func TestSegmentRoundTrip(t *testing.T) {
 	rr := testRetailerRecs()
 	data := EncodeSegment(rr)
@@ -36,8 +50,46 @@ func TestSegmentRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeSegment: %v", err)
 	}
-	if !reflect.DeepEqual(rr, got) {
-		t.Fatalf("round trip mismatch:\n  in:  %+v\n  out: %+v", rr, got)
+	if got.Flat == nil {
+		t.Fatal("v2 decode should be flat-backed, got a map")
+	}
+	gotRecs, gotTop := materialized(t, got)
+	if !reflect.DeepEqual(rr.Recs, gotRecs) {
+		t.Fatalf("round trip mismatch:\n  in:  %+v\n  out: %+v", rr.Recs, gotRecs)
+	}
+	if !reflect.DeepEqual(rr.TopSellers, gotTop) {
+		t.Fatalf("top sellers mismatch: in %v out %v", rr.TopSellers, gotTop)
+	}
+	// Re-encoding a flat-backed decode must be the identity.
+	if !bytes.Equal(data, EncodeSegment(got)) {
+		t.Fatal("encode → decode → encode is not a fixed point")
+	}
+}
+
+// TestSegmentV1Compatibility proves carry-forward manifests still work:
+// bytes written by the previous encoder decode into the same logical recs
+// the v2 path serves.
+func TestSegmentV1Compatibility(t *testing.T) {
+	rr := testRetailerRecs()
+	old, err := DecodeSegment(EncodeSegmentV1(rr))
+	if err != nil {
+		t.Fatalf("decoding v1 segment: %v", err)
+	}
+	if old.Flat != nil {
+		t.Fatal("v1 decode should be map-backed")
+	}
+	if !reflect.DeepEqual(rr.Recs, old.Recs) || !reflect.DeepEqual(rr.TopSellers, old.TopSellers) {
+		t.Fatalf("v1 round trip mismatch: %+v", old)
+	}
+	// Old-encode → new-serve: re-encoding the v1 decode lands in v2, and
+	// the flat view answers lookups with the original lists.
+	fresh, err := DecodeSegment(EncodeSegment(old))
+	if err != nil {
+		t.Fatalf("re-encoding v1 decode: %v", err)
+	}
+	freshRecs, freshTop := materialized(t, fresh)
+	if !reflect.DeepEqual(rr.Recs, freshRecs) || !reflect.DeepEqual(rr.TopSellers, freshTop) {
+		t.Fatalf("v1 → v2 migration lost data:\n  in:  %+v\n  out: %+v", rr.Recs, freshRecs)
 	}
 }
 
@@ -52,9 +104,11 @@ func TestSegmentRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		[]byte("BOGUS"),
-		EncodeSegment(testRetailerRecs())[:10], // truncated
-		append(EncodeSegment(testRetailerRecs()), 0xde, 0xad),        // trailing bytes
-		append([]byte(segMagic), 0xff, 0xff, 0xff, 0xff, 0x00, 0x00), // absurd count
+		EncodeSegment(testRetailerRecs())[:10], // truncated v2
+		append(EncodeSegment(testRetailerRecs()), 0xde, 0xad),        // trailing bytes (v2)
+		EncodeSegmentV1(testRetailerRecs())[:10],                     // truncated v1
+		append(EncodeSegmentV1(testRetailerRecs()), 0xde),            // trailing bytes (v1)
+		append([]byte(segMagic), 0xff, 0xff, 0xff, 0xff, 0x00, 0x00), // absurd v1 count
 	}
 	for i, data := range cases {
 		if _, err := DecodeSegment(data); err == nil {

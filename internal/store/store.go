@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -231,6 +232,52 @@ func (sh *shard) order(rng *cheapRNG) []*Replica {
 	return append(healthy, suspect...)
 }
 
+// pickLive is the fast path's allocation-free replica selection: the same
+// rotation + power-of-two-choices policy as order(), but returning only
+// the primary. It scans for the first two eligible healthy replicas and
+// prefers the less loaded; with no healthy replica it settles for the
+// first eligible suspect. Returns nil when no replica can serve.
+func (sh *shard) pickLive() *Replica {
+	gen := sh.gen.Load()
+	sh.mu.RLock()
+	reps := sh.replicas
+	n := len(reps)
+	if n == 0 {
+		sh.mu.RUnlock()
+		return nil
+	}
+	start := int(sh.rr.Add(1)) % n
+	var first, second, suspect *Replica
+	for i := 0; i < n && second == nil; i++ {
+		rep := reps[(start+i)%n]
+		if rep.Down() || rep.Gen() < gen {
+			continue
+		}
+		if !rep.healthy() {
+			if suspect == nil {
+				suspect = rep
+			}
+			continue
+		}
+		if first == nil {
+			first = rep
+		} else {
+			second = rep
+		}
+	}
+	sh.mu.RUnlock()
+	if first == nil {
+		return suspect
+	}
+	// Power of two choices: prefer the less-loaded of the two sampled
+	// healthy replicas (the rotation cursor supplies the randomness the
+	// full path gets from the rng).
+	if second != nil && second.Inflight() < first.Inflight() {
+		return second
+	}
+	return first
+}
+
 // Store is the sharded, replicated serving store plus its front-end
 // router. It implements the same serving surface as serving.Server
 // (serving.Backend), so the HTTP handler, the service facade, and the
@@ -241,6 +288,14 @@ type Store struct {
 	ring *Ring
 
 	shards []*shard
+
+	// fast marks a store whose replicas answer instantaneously (no fault
+	// plan, no simulated service time, no concurrency gate): requests are
+	// served inline on the caller's goroutine with no hedge machinery, and
+	// the full fanout path is kept as the failover fallback. Chaos and
+	// load-model configurations clear it, so hedging, stall racing, and
+	// cancellation semantics are exercised exactly as before.
+	fast bool
 
 	// pubMu serializes publishes; stateMu guards the committed manifest.
 	pubMu   sync.Mutex
@@ -412,6 +467,7 @@ func New(fs *dfs.FS, opts Options) *Store {
 		admit:   newAdmitter(opts.AdmitQPS, opts.AdmitBurst),
 		rng:     newCheapRNG(opts.Seed ^ 0xba1a9cedb002c4e5),
 		m:       newStoreMetrics(opts.Obs.Reg(), opts.Shards),
+		fast:    opts.Faults == nil && opts.ServeDelay == 0 && opts.ReplicaConcurrency == 0,
 	}
 	st.canaries.canaries = map[catalog.RetailerID]*canaryState{}
 	st.rootCtx, st.cancel = context.WithCancel(context.Background())
@@ -822,8 +878,13 @@ func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) (
 	// a cached answer would blur the two arms' populations and starve the
 	// experiment of samples.
 	cs := st.canaries.get(r)
-	if cs == nil {
-		if recs, src, ok := st.cache.get(cacheKey(gen, r, uctx, k)); ok {
+	if cs == nil && st.cache != nil {
+		kb := keyBufPool.Get().(*[]byte)
+		key := cacheKey((*kb)[:0], gen, r, uctx, k)
+		recs, src, ok := st.cache.get(key)
+		*kb = key[:0]
+		keyBufPool.Put(kb)
+		if ok {
 			st.m.cacheHits.Inc()
 			st.countSource(r, src)
 			return recs, src, gen, nil
@@ -832,7 +893,7 @@ func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) (
 
 	arm := cs != nil && canarySlice(r, uctx, cs.fraction)
 	start := time.Now()
-	recs, src, served, err := st.fanout(sh, r, uctx, k, arm)
+	recs, src, served, err := st.serveShard(sh, r, uctx, k, arm)
 	if cs != nil {
 		st.observeCanary(cs, arm, src, err, time.Since(start))
 	}
@@ -847,10 +908,34 @@ func (st *Store) Serve(r catalog.RetailerID, uctx interactions.Context, k int) (
 	st.lat.record(time.Since(start))
 	st.m.requestSeconds.Observe(time.Since(start).Seconds())
 	st.countSource(r, src)
-	if src != serving.SourceNone && cs == nil {
-		st.cache.put(cacheKey(served, r, uctx, k), recs, src)
+	if src != serving.SourceNone && cs == nil && st.cache != nil {
+		kb := keyBufPool.Get().(*[]byte)
+		key := cacheKey((*kb)[:0], served, r, uctx, k)
+		st.cache.put(key, recs, src)
+		*kb = key[:0]
+		keyBufPool.Put(kb)
 	}
 	return recs, src, served, nil
+}
+
+// serveShard answers one admitted request from a shard. On the fast path
+// (instantaneous replicas: no faults, no service delay, no gate) the
+// primary replica is called inline on this goroutine — no hedge context,
+// channel, timer, or goroutines — and any error falls back to the full
+// fanout, which retries the healthy-first order with failover. Everything
+// else goes straight to fanout.
+func (st *Store) serveShard(sh *shard, r catalog.RetailerID, uctx interactions.Context, k int, canaryArm bool) ([]serving.Recommendation, serving.Source, int64, error) {
+	if st.fast {
+		if rep := sh.pickLive(); rep != nil {
+			recs, src, gen, err := rep.get(st.rootCtx, r, uctx, k, canaryArm)
+			if err == nil {
+				return recs, src, gen, nil
+			}
+			st.failovers.Add(1)
+			st.m.failovers[sh.id].Inc()
+		}
+	}
+	return st.fanout(sh, r, uctx, k, canaryArm)
 }
 
 // observeCanary rolls one live request into its arm's statistics and
@@ -944,14 +1029,26 @@ func (st *Store) decideCanary(cs *canaryState) {
 // readable until they age out). Every rescue is counted by rung; with the
 // cache disabled the ladder is empty and the reject stands.
 func (st *Store) brownout(gen int64, r catalog.RetailerID, uctx interactions.Context, k int) ([]serving.Recommendation, serving.Source, int64, bool) {
-	if recs, src, ok := st.cache.get(cacheKey(gen, r, uctx, k)); ok {
+	if st.cache == nil {
+		return nil, serving.SourceNone, 0, false
+	}
+	kb := keyBufPool.Get().(*[]byte)
+	defer func() {
+		*kb = (*kb)[:0]
+		keyBufPool.Put(kb)
+	}()
+	key := cacheKey((*kb)[:0], gen, r, uctx, k)
+	*kb = key
+	if recs, src, ok := st.cache.get(key); ok {
 		st.brownCache.Add(1)
 		st.m.brownoutCache.Inc()
 		st.countSource(r, src)
 		return recs, src, gen, true
 	}
 	if gen > 1 {
-		if recs, src, ok := st.cache.get(cacheKey(gen-1, r, uctx, k)); ok {
+		key = cacheKey((*kb)[:0], gen-1, r, uctx, k)
+		*kb = key
+		if recs, src, ok := st.cache.get(key); ok {
 			st.brownStale.Add(1)
 			st.m.brownoutStale.Inc()
 			st.countSource(r, src)
@@ -1306,6 +1403,9 @@ type latencyWindow struct {
 	cached time.Duration
 	pct    float64
 	min    time.Duration
+	// scratch is the reusable sort buffer for recalcLocked, so the
+	// periodic percentile recomputation never allocates.
+	scratch []time.Duration
 }
 
 const latWindowSize = 512
@@ -1333,9 +1433,12 @@ func (lw *latencyWindow) recalcLocked() {
 	if lw.n == 0 {
 		return
 	}
-	cp := make([]time.Duration, lw.n)
+	if cap(lw.scratch) < lw.n {
+		lw.scratch = make([]time.Duration, lw.n)
+	}
+	cp := lw.scratch[:lw.n]
 	copy(cp, lw.buf[:lw.n])
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	slices.Sort(cp)
 	p := cp[int(lw.pct*float64(lw.n-1))]
 	if p < lw.min {
 		p = lw.min

@@ -2,10 +2,14 @@
 // the repo's tentpole benchmarks (BenchmarkMapReduce, BenchmarkRunDay,
 // BenchmarkServeRouted) a few times with -benchtime=1x, takes the fastest
 // run of each sub-benchmark (the minimum is the least noisy estimator on
-// shared CI machines), and compares ns/op against the committed baselines
-// BENCH_mapreduce.json, BENCH_runday.json, and BENCH_store.json. A
-// sub-benchmark more than -tolerance times slower than its baseline fails
-// the build.
+// shared CI machines), and compares ns/op, allocs/op, and B/op against the
+// committed baselines BENCH_mapreduce.json, BENCH_runday.json, and
+// BENCH_store.json. A sub-benchmark more than -tolerance times worse than
+// its baseline on any gated metric fails the build: ns/op catches speed
+// regressions, while allocs/op and B/op catch the quieter failure mode
+// where a refactor reintroduces per-request garbage long before it shows
+// up as wall-clock noise. Memory metrics with a zero baseline are not
+// gated (such baselines predate -benchmem).
 //
 // Usage:
 //
@@ -195,8 +199,9 @@ func parseExtras(s string, r *result) {
 }
 
 // compare reports each sub-benchmark against the baseline; false means at
-// least one regressed beyond tolerance. A sub-benchmark missing from either
-// side fails too: renames and additions must re-record the baseline.
+// least one regressed beyond tolerance on ns/op, allocs/op, or B/op. A
+// sub-benchmark missing from either side fails too: renames and additions
+// must re-record the baseline.
 func compare(t target, base *baseline, measured map[string]result, tolerance float64) bool {
 	ok := true
 	for _, b := range base.Results {
@@ -206,14 +211,16 @@ func compare(t target, base *baseline, measured map[string]result, tolerance flo
 			ok = false
 			continue
 		}
-		limit := b.NsPerOp * tolerance
-		verdict := "ok  "
-		if m.NsPerOp > limit {
-			verdict = "FAIL"
-			ok = false
+		for _, g := range gates(b, m) {
+			limit := g.base * tolerance
+			verdict := "ok  "
+			if g.got > limit {
+				verdict = "FAIL"
+				ok = false
+			}
+			fmt.Printf("%s %s/%s: %.0f %s vs baseline %.0f (limit %.0f, %+.1f%%)\n",
+				verdict, t.bench, b.Name, g.got, g.metric, g.base, limit, 100*(g.got/g.base-1))
 		}
-		fmt.Printf("%s %s/%s: %.0f ns/op vs baseline %.0f (limit %.0f, %+.1f%%)\n",
-			verdict, t.bench, b.Name, m.NsPerOp, b.NsPerOp, limit, 100*(m.NsPerOp/b.NsPerOp-1))
 	}
 	for name := range measured {
 		if !hasResult(base, name) {
@@ -222,6 +229,27 @@ func compare(t target, base *baseline, measured map[string]result, tolerance flo
 		}
 	}
 	return ok
+}
+
+// gate is one metric comparison of a sub-benchmark against its baseline.
+type gate struct {
+	metric    string
+	base, got float64
+}
+
+// gates lists the metric comparisons to enforce for one sub-benchmark.
+// ns/op always gates; allocs/op and B/op gate only when the baseline
+// recorded them (a zero baseline predates -benchmem and gives no
+// reference to regress from).
+func gates(b, m result) []gate {
+	gs := []gate{{metric: "ns/op", base: b.NsPerOp, got: m.NsPerOp}}
+	if b.AllocsPerOp > 0 {
+		gs = append(gs, gate{metric: "allocs/op", base: float64(b.AllocsPerOp), got: float64(m.AllocsPerOp)})
+	}
+	if b.BytesPerOp > 0 {
+		gs = append(gs, gate{metric: "B/op", base: float64(b.BytesPerOp), got: float64(m.BytesPerOp)})
+	}
+	return gs
 }
 
 func hasResult(b *baseline, name string) bool {

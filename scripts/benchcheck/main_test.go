@@ -1,0 +1,112 @@
+package main
+
+import "testing"
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: sigmund/internal/store
+cpu: Intel(R) Xeon(R)
+BenchmarkServeRouted/routed-4x2-10k-8         	       1	54256004 ns/op	10716448 B/op	  220498 allocs/op
+BenchmarkServeRouted/routed-4x2-10k-8         	       1	41000000 ns/op	10700000 B/op	  220400 allocs/op
+BenchmarkServeRouted/routed-cached-10k-8      	       1	 4924196 ns/op	 2167638 B/op	   61174 allocs/op
+BenchmarkServeRouted-8                        	       1	 1000000 ns/op
+BenchmarkOther/should-be-ignored-8            	       1	 9999999 ns/op
+PASS
+ok  	sigmund/internal/store	0.5s
+`
+
+func TestParseBenchOutputKeepsFastestRun(t *testing.T) {
+	got := parseBenchOutput(sampleOutput, "BenchmarkServeRouted")
+	r, ok := got["routed-4x2-10k"]
+	if !ok {
+		t.Fatalf("routed-4x2-10k missing: %v", got)
+	}
+	// Two runs of the same sub-benchmark: the faster one wins, and its
+	// memory columns ride along.
+	if r.NsPerOp != 41000000 || r.BytesPerOp != 10700000 || r.AllocsPerOp != 220400 {
+		t.Fatalf("fastest run not kept: %+v", r)
+	}
+	if c := got["routed-cached-10k"]; c.AllocsPerOp != 61174 || c.BytesPerOp != 2167638 {
+		t.Fatalf("memory columns misparsed: %+v", c)
+	}
+	// The bare top-level line maps to "-" and other benchmarks are ignored.
+	if _, ok := got["-"]; !ok {
+		t.Fatalf("top-level benchmark line not captured: %v", got)
+	}
+	if len(got) != 3 {
+		t.Fatalf("unexpected entries: %v", got)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkServeRouted/routed-4x2-10k-8": "BenchmarkServeRouted/routed-4x2-10k",
+		"BenchmarkServeRouted-16":               "BenchmarkServeRouted",
+		"BenchmarkNoSuffix":                     "BenchmarkNoSuffix",
+		"BenchmarkX/sub-name":                   "BenchmarkX/sub-name",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func compareOne(t *testing.T, b, m result, tolerance float64) bool {
+	t.Helper()
+	base := &baseline{Results: []result{b}}
+	return compare(target{bench: "BenchmarkX"}, base, map[string]result{m.Name: m}, tolerance)
+}
+
+func TestCompareGatesAllMetrics(t *testing.T) {
+	base := result{Name: "n", NsPerOp: 1000, BytesPerOp: 4000, AllocsPerOp: 100}
+
+	if !compareOne(t, base, result{Name: "n", NsPerOp: 1200, BytesPerOp: 4800, AllocsPerOp: 120}, 1.25) {
+		t.Error("within tolerance on every metric: want pass")
+	}
+	if compareOne(t, base, result{Name: "n", NsPerOp: 1300, BytesPerOp: 4000, AllocsPerOp: 100}, 1.25) {
+		t.Error("ns/op regression: want fail")
+	}
+	if compareOne(t, base, result{Name: "n", NsPerOp: 1000, BytesPerOp: 4000, AllocsPerOp: 130}, 1.25) {
+		t.Error("allocs/op regression: want fail")
+	}
+	if compareOne(t, base, result{Name: "n", NsPerOp: 1000, BytesPerOp: 5100, AllocsPerOp: 100}, 1.25) {
+		t.Error("B/op regression: want fail")
+	}
+	// Improvements never fail, however large.
+	if !compareOne(t, base, result{Name: "n", NsPerOp: 10, BytesPerOp: 40, AllocsPerOp: 1}, 1.25) {
+		t.Error("improvement: want pass")
+	}
+}
+
+func TestCompareSkipsUnrecordedMemoryBaselines(t *testing.T) {
+	// A baseline without memory columns (predates -benchmem) only gates
+	// ns/op: huge measured alloc counts must not fail against zero.
+	base := result{Name: "n", NsPerOp: 1000}
+	if !compareOne(t, base, result{Name: "n", NsPerOp: 1000, BytesPerOp: 1 << 30, AllocsPerOp: 1 << 20}, 1.25) {
+		t.Error("zero memory baseline must not gate memory metrics")
+	}
+}
+
+func TestCompareFailsOnMissingOrExtraSubBenchmarks(t *testing.T) {
+	base := &baseline{Results: []result{{Name: "kept", NsPerOp: 100}, {Name: "renamed", NsPerOp: 100}}}
+	measured := map[string]result{
+		"kept": {Name: "kept", NsPerOp: 100},
+		"new":  {Name: "new", NsPerOp: 100},
+	}
+	if compare(target{bench: "BenchmarkX"}, base, measured, 1.25) {
+		t.Error("baseline/measured name mismatch: want fail")
+	}
+}
+
+func TestGatesSelection(t *testing.T) {
+	full := gates(result{NsPerOp: 1, BytesPerOp: 2, AllocsPerOp: 3}, result{})
+	if len(full) != 3 {
+		t.Fatalf("full baseline should gate 3 metrics, got %d", len(full))
+	}
+	nsOnly := gates(result{NsPerOp: 1}, result{})
+	if len(nsOnly) != 1 || nsOnly[0].metric != "ns/op" {
+		t.Fatalf("memory-free baseline should gate ns/op only, got %+v", nsOnly)
+	}
+}
