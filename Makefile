@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard fuzz-smoke bench-check bench-update ci clean
+.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard chaos-sched fuzz-smoke bench-check bench-update ci clean
 
 all: ci
 
@@ -63,6 +63,14 @@ chaos-overload:
 chaos-guard:
 	$(GO) test -race -short -run 'Guard|Canary|Veto|Evaluate|Baseline' ./internal/guard/ ./internal/pipeline/ ./internal/store/
 
+# Continuous-scheduler chaos: the queue-log torn-tail/corrupt-tail
+# recovery drills, the kill-and-resume sweep (crash after every queue-log
+# record; resumed publishes byte-identical to an uninterrupted control),
+# the priority-aging starvation bound, the multi-tier staleness soak, and
+# the scheduler's crash-resume drill at the service layer.
+chaos-sched:
+	$(GO) test -race -short -run 'Scheduler|QueueLog|ServiceSched|ServiceSetTier' ./internal/sched/ .
+
 # Fuzz smoke: a few seconds per fuzz target (journal recovery, segment
 # decoding) so hostile-input regressions surface in CI without a
 # dedicated fuzz farm.
@@ -81,7 +89,7 @@ bench-check:
 bench-update:
 	$(GO) run ./scripts/benchcheck -update
 
-ci: fmt-check vet build race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard fuzz-smoke bench-check
+ci: fmt-check vet build race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard chaos-sched fuzz-smoke bench-check
 
 clean:
 	$(GO) clean ./...

@@ -59,6 +59,12 @@ func main() {
 	resume := flag.Bool("resume", true, "auto-restart a day whose coordinator crashed, resuming from its journal (with -journal)")
 	crashAfterRecord := flag.Int("crash-after-record", 0, "inject one coordinator crash after the Nth journal record, 1-based (0 = off; with -journal)")
 	crashDay := flag.Int("crash-day", 0, "which day the injected coordinator crash hits (with -crash-after-record)")
+	schedMode := flag.Bool("sched", false, "run the continuous fleet scheduler (durable per-tenant job queue, rolling publishes, freshness tiers) instead of the synchronized daily loop")
+	schedWorkers := flag.Int("sched-workers", 4, "scheduler virtual worker pool size (with -sched)")
+	schedCycles := flag.Int("sched-cycles", 2, "cycles each tenant runs before the scheduler drains (with -sched)")
+	schedCrashAfter := flag.Int("sched-crash-after", 0, "inject one scheduler crash after the Nth queue-log record, 1-based; the run resumes from the queue log (0 = off; with -sched)")
+	tierHourly := flag.Float64("tier-hourly", 0, "fraction of the fleet (largest retailers first) on the hourly freshness tier (with -sched)")
+	tierBestEffort := flag.Float64("tier-best-effort", 0, "fraction of the fleet (smallest retailers first) on the best-effort freshness tier (with -sched)")
 	flag.Parse()
 
 	cfg := sigmund.DemoConfig()
@@ -82,6 +88,10 @@ func main() {
 	cfg.Journal = *journal
 	cfg.CrashAfterRecord = *crashAfterRecord
 	cfg.CrashDay = *crashDay
+	cfg.Sched = *schedMode
+	cfg.SchedWorkers = *schedWorkers
+	cfg.SchedCycles = *schedCycles
+	cfg.SchedCrashAfter = *schedCrashAfter
 	explicit := map[string]bool{}
 	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 	if err := validateFlags(daemonFlags{
@@ -95,6 +105,12 @@ func main() {
 		guard:            *guard,
 		canaryFraction:   *canaryFraction,
 		guardMinMAPRatio: *guardMinMAPRatio,
+		sched:            *schedMode,
+		schedWorkers:     *schedWorkers,
+		schedCycles:      *schedCycles,
+		schedCrashAfter:  *schedCrashAfter,
+		tierHourly:       *tierHourly,
+		tierBestEffort:   *tierBestEffort,
 	}, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "sigmundd:", err)
 		os.Exit(2)
@@ -147,12 +163,19 @@ func main() {
 			NumRetailers: *nRetailers,
 			MinItems:     *minItems, MaxItems: *maxItems,
 			Days: *days, Seed: *seed,
+			HourlyFraction: *tierHourly, BestEffortFraction: *tierBestEffort,
 		})
 		var totalItems, totalEvents int
 		for _, r := range fleet {
 			if err := svc.AddRetailer(r.Catalog, r.Log); err != nil {
 				fmt.Fprintln(os.Stderr, "sigmundd:", err)
 				os.Exit(1)
+			}
+			if *schedMode {
+				if err := svc.SetTier(r.Catalog.Retailer, r.Tier); err != nil {
+					fmt.Fprintln(os.Stderr, "sigmundd:", err)
+					os.Exit(1)
+				}
 			}
 			totalItems += r.Catalog.NumItems()
 			totalEvents += r.Log.Len()
@@ -166,6 +189,13 @@ func main() {
 	// from the day journal rather than redoing finished work. Bounded
 	// restarts so a crash that fires on every incarnation cannot spin.
 	const maxResumes = 10
+
+	if *schedMode {
+		runSched(svc, *resume, maxResumes)
+		serveForever(svc, *addr, firstRetailer)
+		return
+	}
+
 	for day := 0; day < *days; day++ {
 		start := time.Now()
 		report, err := svc.RunDay(context.Background())
@@ -224,13 +254,60 @@ func main() {
 		fmt.Printf("  fleet mean best MAP@10: %.4f\n\n", report.BestMAP())
 	}
 
-	if *addr == "" {
+	serveForever(svc, *addr, firstRetailer)
+}
+
+// runSched drives the continuous scheduler to completion under the same
+// supervisor discipline as the day loop: an injected scheduler crash
+// (-sched-crash-after) restarts the run, which replays the durable queue
+// log instead of redoing finished jobs.
+func runSched(svc *sigmund.Service, resume bool, maxResumes int) {
+	start := time.Now()
+	report, err := svc.RunSched(context.Background())
+	for restarts := 0; err != nil && resume && sigmund.IsSchedulerCrash(err); restarts++ {
+		if restarts == maxResumes {
+			fmt.Fprintf(os.Stderr, "sigmundd: scheduler still crashing after %d resumes\n", maxResumes)
+			os.Exit(1)
+		}
+		fmt.Printf("sched: crashed (%v); restarting from queue log\n", err)
+		report, err = svc.RunSched(context.Background())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigmundd: scheduler run failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("=== sched: %.1f virtual hours in %s ===\n",
+		report.VirtualElapsed.Hours(), time.Since(start).Round(time.Millisecond))
+	if report.Resumed {
+		fmt.Printf("  resumed from queue log: %d records, %d jobs replayed\n",
+			report.RecordsReplayed, report.JobsReplayed)
+	}
+	fmt.Printf("  jobs: %d run (%d failed)  cycles: %d admitted, %d closed\n",
+		report.JobsRun, report.JobsFailed, report.CyclesAdmitted, report.CyclesClosed)
+	fmt.Printf("  publishes: %d (max gen %d)  vetoed: %d  canaried: %d\n",
+		report.Publishes, report.MaxGen, report.Vetoed, report.Canaried)
+	for _, tier := range []string{"hourly", "daily", "best-effort"} {
+		tr, ok := report.Tiers[sigmund.SchedTier(tier)]
+		if !ok || tr.Tenants == 0 {
+			continue
+		}
+		fmt.Printf("  %-11s %3d tenants  %3d publishes  staleness mean %s  p99 %s  max wait %s\n",
+			tier, tr.Tenants, tr.Publishes,
+			tr.StalenessMean().Round(time.Second), tr.StalenessP99().Round(time.Second),
+			tr.MaxDispatchWait.Round(time.Second))
+	}
+	fmt.Println()
+}
+
+// serveForever blocks on the HTTP listener when -addr is set.
+func serveForever(svc *sigmund.Service, addr string, firstRetailer sigmund.RetailerID) {
+	if addr == "" {
 		return
 	}
-	fmt.Printf("serving snapshot v%d on %s\n", svc.SnapshotVersion(), *addr)
+	fmt.Printf("serving snapshot v%d on %s\n", svc.SnapshotVersion(), addr)
 	fmt.Printf("try: curl 'http://%s/recommend?retailer=%s&context=view:0&k=5'\n",
-		*addr, firstRetailer)
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		addr, firstRetailer)
+	if err := http.ListenAndServe(addr, svc.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "sigmundd:", err)
 		os.Exit(1)
 	}

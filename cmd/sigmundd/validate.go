@@ -16,6 +16,12 @@ type daemonFlags struct {
 	guard            bool
 	canaryFraction   float64
 	guardMinMAPRatio float64
+	sched            bool
+	schedWorkers     int
+	schedCycles      int
+	schedCrashAfter  int
+	tierHourly       float64
+	tierBestEffort   float64
 }
 
 // validateFlags rejects contradictory flag combinations. set holds the
@@ -49,6 +55,40 @@ func validateFlags(f daemonFlags, set map[string]bool) error {
 				return fmt.Errorf("-%s requires -guard", name)
 			}
 		}
+	}
+	if !f.sched {
+		for _, name := range []string{"sched-workers", "sched-cycles", "sched-crash-after", "tier-hourly", "tier-best-effort"} {
+			if set[name] {
+				return fmt.Errorf("-%s requires -sched", name)
+			}
+		}
+		return nil
+	}
+	// Scheduler mode: the continuous queue replaces the synchronized daily
+	// loop, so the day-loop-only knobs are contradictions, not no-ops.
+	if set["days"] {
+		return fmt.Errorf("-days belongs to the daily loop; with -sched use -sched-cycles")
+	}
+	if f.crashAfterRecord > 0 {
+		return fmt.Errorf("-crash-after-record injects into the day journal; with -sched use -sched-crash-after")
+	}
+	if f.schedWorkers <= 0 {
+		return fmt.Errorf("-sched-workers must be positive, got %d", f.schedWorkers)
+	}
+	if f.schedCycles <= 0 {
+		return fmt.Errorf("-sched-cycles must be positive, got %d", f.schedCycles)
+	}
+	if f.schedCrashAfter < 0 {
+		return fmt.Errorf("-sched-crash-after must be non-negative, got %d", f.schedCrashAfter)
+	}
+	if f.tierHourly < 0 || f.tierHourly > 1 {
+		return fmt.Errorf("-tier-hourly must be in [0, 1], got %g", f.tierHourly)
+	}
+	if f.tierBestEffort < 0 || f.tierBestEffort > 1 {
+		return fmt.Errorf("-tier-best-effort must be in [0, 1], got %g", f.tierBestEffort)
+	}
+	if f.tierHourly+f.tierBestEffort > 1 {
+		return fmt.Errorf("-tier-hourly (%g) + -tier-best-effort (%g) must not exceed 1", f.tierHourly, f.tierBestEffort)
 	}
 	return nil
 }

@@ -65,6 +65,77 @@ func TestValidateFlags(t *testing.T) {
 			f:    daemonFlags{journal: true, replicas: 2, guard: true, canaryFraction: 0.1, guardMinMAPRatio: 0.6},
 			set:  []string{"guard", "canary-fraction", "guard-min-map-ratio"},
 		},
+		{
+			name:    "sched workers without sched",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, schedWorkers: 8},
+			set:     []string{"sched-workers"},
+			wantErr: "-sched-workers requires -sched",
+		},
+		{
+			name:    "tier fraction without sched",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, tierHourly: 0.2},
+			set:     []string{"tier-hourly"},
+			wantErr: "-tier-hourly requires -sched",
+		},
+		{
+			name:    "sched-crash-after without sched",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, schedCrashAfter: 3},
+			set:     []string{"sched-crash-after"},
+			wantErr: "-sched-crash-after requires -sched",
+		},
+		{
+			name:    "sched with explicit days",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, sched: true, schedWorkers: 4, schedCycles: 2},
+			set:     []string{"sched", "days"},
+			wantErr: "-days belongs to the daily loop",
+		},
+		{
+			name:    "sched with day-journal crash injection",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, sched: true, schedWorkers: 4, schedCycles: 2, crashAfterRecord: 5},
+			set:     []string{"sched", "crash-after-record"},
+			wantErr: "-crash-after-record injects into the day journal",
+		},
+		{
+			name:    "sched zero workers",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, sched: true, schedCycles: 2},
+			set:     []string{"sched"},
+			wantErr: "-sched-workers must be positive",
+		},
+		{
+			name:    "sched zero cycles",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, sched: true, schedWorkers: 4},
+			set:     []string{"sched"},
+			wantErr: "-sched-cycles must be positive",
+		},
+		{
+			name:    "negative sched-crash-after",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, sched: true, schedWorkers: 4, schedCycles: 2, schedCrashAfter: -1},
+			set:     []string{"sched"},
+			wantErr: "-sched-crash-after must be non-negative",
+		},
+		{
+			name:    "tier-hourly out of range",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, sched: true, schedWorkers: 4, schedCycles: 2, tierHourly: 1.2},
+			set:     []string{"sched", "tier-hourly"},
+			wantErr: "-tier-hourly must be in [0, 1]",
+		},
+		{
+			name:    "tier-best-effort out of range",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, sched: true, schedWorkers: 4, schedCycles: 2, tierBestEffort: -0.1},
+			set:     []string{"sched", "tier-best-effort"},
+			wantErr: "-tier-best-effort must be in [0, 1]",
+		},
+		{
+			name:    "tier fractions exceed fleet",
+			f:       daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, sched: true, schedWorkers: 4, schedCycles: 2, tierHourly: 0.7, tierBestEffort: 0.5},
+			set:     []string{"sched", "tier-hourly", "tier-best-effort"},
+			wantErr: "must not exceed 1",
+		},
+		{
+			name: "sched valid",
+			f:    daemonFlags{journal: true, replicas: 2, canaryFraction: 0.05, sched: true, schedWorkers: 4, schedCycles: 3, schedCrashAfter: 7, tierHourly: 0.2, tierBestEffort: 0.3},
+			set:  []string{"sched", "sched-workers", "sched-cycles", "sched-crash-after", "tier-hourly", "tier-best-effort"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -198,6 +198,13 @@ func DurationBuckets() []float64 {
 	return ExponentialBuckets(0.001, 2, 17) // 1ms .. 65.536s
 }
 
+// StalenessBuckets covers publish-to-servable staleness, which spans
+// seconds (an hourly tenant publishing on time) to more than a simulated
+// day (a starved best-effort tenant).
+func StalenessBuckets() []float64 {
+	return ExponentialBuckets(1, 2, 18) // 1s .. ~36h
+}
+
 // family is one named metric with all its labeled children.
 type family struct {
 	name    string

@@ -156,6 +156,13 @@ func recordsPath(day int, cell int) string {
 	return fmt.Sprintf("days/%d/records/cell-%d", day, cell)
 }
 
+// tenantRecordsPath holds one tenant's trained config records when the
+// continuous scheduler runs its training as a private per-tenant job
+// (the daily path shards records per cell instead).
+func tenantRecordsPath(cycle int, r catalog.RetailerID) string {
+	return fmt.Sprintf("days/%d/records/tenant-%s", cycle, r)
+}
+
 // journalPath is the day's durable journal (Options.Journal); it lives
 // under the day prefix so a GCed day takes its journal with it.
 func journalPath(day int) string {

@@ -47,19 +47,8 @@ func (p *Pipeline) runGuard(ctx context.Context, day int, admitted []catalog.Ret
 		rep := perRetailer[r]
 		report.GuardEvaluated++
 
-		// Metric-cliff injection: a bad hyper-parameter draw whose damage
-		// only offline eval can see. Applied to the selection metric the
-		// guard consumes, deterministically per tenant-day.
-		if _, ok := p.opts.Injector.ModelFault(faultPath(day, r), faults.ModelCliff); ok {
-			rep.BestMAP *= modelCliffFactor
-		}
-
-		base := guard.LoadBaseline(p.fs, r)
-		grep := guard.Evaluate(guard.Candidate{
-			MAP:         rep.BestMAP,
-			Recs:        snap.Retailers[r],
-			CatalogSize: tenants[r].Catalog.NumItems(),
-		}, base, g)
+		grep, adjMAP := p.evaluateGuard(day, r, rep.BestMAP, snap.Retailers[r], tenants[r].Catalog.NumItems())
+		rep.BestMAP = adjMAP
 
 		verdict, reason := grep.Verdict, grep.Reason
 		if dj != nil {
@@ -101,22 +90,49 @@ func (p *Pipeline) runGuard(ctx context.Context, day int, admitted []catalog.Ret
 			st.CanaryFraction = g.CanaryFraction
 			report.Canaried = append(report.Canaried, r)
 		case guard.VerdictPass:
-			// Fold the day's measurements into the baseline — but only
-			// once per day, so a crash-resume that replays this verdict
-			// does not double-fold.
-			if base == nil {
-				base = &guard.Baseline{}
-			}
-			if base.Days == 0 || base.Day < day {
-				base.Fold(grep, day, g.Alpha)
-				// Best-effort: a transiently failed save just leaves the
-				// baseline one day staler.
-				_ = guard.SaveBaseline(p.fs, r, base)
-			}
+			p.foldGuardBaseline(day, r, grep)
 		}
 	}
 	gspan.End()
 	return nil
+}
+
+// evaluateGuard is the per-tenant verdict core shared by runGuard and the
+// scheduler's guard jobs: apply any injected metric-cliff degradation to
+// the selection metric, load the tenant's trailing baseline, and run every
+// gate. It does not fold the baseline — callers journal the verdict first
+// (see foldGuardBaseline). The returned float is the cliff-adjusted MAP.
+func (p *Pipeline) evaluateGuard(day int, r catalog.RetailerID, bestMAP float64, rr *serving.RetailerRecs, catalogSize int) (guard.Report, float64) {
+	g := p.opts.Guard.Defaulted()
+	// Metric-cliff injection: a bad hyper-parameter draw whose damage
+	// only offline eval can see. Applied to the selection metric the
+	// guard consumes, deterministically per tenant-day.
+	if _, ok := p.opts.Injector.ModelFault(faultPath(day, r), faults.ModelCliff); ok {
+		bestMAP *= modelCliffFactor
+	}
+	base := guard.LoadBaseline(p.fs, r)
+	grep := guard.Evaluate(guard.Candidate{
+		MAP:         bestMAP,
+		Recs:        rr,
+		CatalogSize: catalogSize,
+	}, base, g)
+	return grep, bestMAP
+}
+
+// foldGuardBaseline folds a passing cycle's measurements into the
+// tenant's baseline — but only once per day/cycle, so a crash-resume that
+// replays the verdict does not double-fold. A transiently failed save
+// just leaves the baseline one cycle staler (best-effort).
+func (p *Pipeline) foldGuardBaseline(day int, r catalog.RetailerID, grep guard.Report) {
+	g := p.opts.Guard.Defaulted()
+	base := guard.LoadBaseline(p.fs, r)
+	if base == nil {
+		base = &guard.Baseline{}
+	}
+	if base.Days == 0 || base.Day < day {
+		base.Fold(grep, day, g.Alpha)
+		_ = guard.SaveBaseline(p.fs, r, base)
+	}
 }
 
 // guardInfo condenses a finished day's guard activity for the /statz

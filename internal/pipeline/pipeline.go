@@ -454,6 +454,7 @@ func (p *Pipeline) RunDay(ctx context.Context) (DayReport, error) {
 }
 
 func (p *Pipeline) runDay(ctx context.Context, djOut **dayJournal) (DayReport, error) {
+	dayStart := time.Now()
 	p.mu.Lock()
 	day := p.day
 	ids := append([]catalog.RetailerID(nil), p.order...)
@@ -559,46 +560,19 @@ func (p *Pipeline) runDay(ctx context.Context, djOut **dayJournal) (DayReport, e
 				continue
 			}
 		}
-		split := interactions.HoldoutSplit(t.Log, p.opts.BaseHyper.ContextLen)
-		if err := p.writeWithRetry(ctx, trainDataPath(day, r), EncodeLog(split.Train)); err != nil {
+		full, recs, err := p.stageTenantCore(ctx, day, r, t)
+		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
-				return report, fmt.Errorf("staging training data for %s: %w", r, ctxErr)
+				return report, err
 			}
 			degraded[r] = &degradation{phase: PhaseStaging, err: err, attempts: retryAttempts(err)}
 			perRetailer[r].StagingWall = time.Since(tenantStart)
 			endTenantSpan(tspan, degraded[r])
 			continue
-		}
-		if err := p.writeWithRetry(ctx, holdoutPath(day, r), EncodeHoldout(split.Holdout)); err != nil {
-			if ctxErr := ctx.Err(); ctxErr != nil {
-				return report, fmt.Errorf("staging holdout for %s: %w", r, ctxErr)
-			}
-			degraded[r] = &degradation{phase: PhaseStaging, err: err, attempts: retryAttempts(err)}
-			perRetailer[r].StagingWall = time.Since(tenantStart)
-			endTenantSpan(tspan, degraded[r])
-			continue
-		}
-
-		full := t.isNew || (p.opts.FullRestartEvery > 0 && day%p.opts.FullRestartEvery == 0) || len(p.lastRecords[r]) == 0
-		var recs []modelselect.ConfigRecord
-		if full {
-			grid := p.opts.Grid.PruneForRetailer(t.Catalog, p.opts.MinFeatureCoverage)
-			recs = modelselect.PlanFull(r, grid, p.opts.BaseHyper, trainDataPath(day, r), p.opts.FullEpochs)
-			for j := range recs {
-				recs[j].ModelPath = modelPath(day, recs[j].ModelID)
-			}
-		} else {
-			recs = modelselect.PlanIncremental(p.lastRecords[r], p.opts.TopKIncremental, p.opts.IncrementalEpochs)
-			for j := range recs {
-				recs[j].TrainDataPath = trainDataPath(day, r)
-				recs[j].WarmStartPath = recs[j].ModelPath // yesterday's model
-				recs[j].ModelPath = modelPath(day, recs[j].ModelID)
-			}
 		}
 		perRetailer[r].FullSweep = full
 		perRetailer[r].ConfigsPlaned = len(recs)
 		allRecords = append(allRecords, recs...)
-		t.isNew = false
 		if dj != nil {
 			// The staged record commits the tenant's plan only now that its
 			// training data and holdout are durable: a resume that finds
@@ -779,9 +753,11 @@ func (p *Pipeline) runDay(ctx context.Context, djOut **dayJournal) (DayReport, e
 		// the sharded store's two-phase generation swap tolerates a
 		// republish of the same generation), so a resumed day publishes
 		// unconditionally even when the crashed run already did.
+		fresh := len(snap.Retailers) // before Publish adds carried-forward tenants
 		p.server.Publish(snap)
 		report.SnapshotPushed = true
 		publishSpan.SetAttr("version", strconv.FormatInt(snap.Version, 10))
+		p.emitFreshness(time.Since(dayStart), len(ids), fresh)
 		if dj != nil && !dj.published {
 			if err := dj.append(ctx, journalRecord{Type: recPublished, Version: snap.Version}); err != nil {
 				return report, err
@@ -885,6 +861,36 @@ func endTenantSpan(s *obs.Span, d *degradation) {
 // count by result. Tenant identity deliberately never becomes a metric
 // label (unbounded cardinality) — per-tenant attribution lives in the
 // day's span tree and the DayReport.
+// emitFreshness reports the daily path's publish staleness: every fresh
+// tenant's data became servable `stale` after the day started (the whole
+// fleet publishes in one batch, so all tenants share one staleness). The
+// same histogram and /statz block carry the continuous scheduler's
+// per-tier staleness, so the two paths compare directly.
+func (p *Pipeline) emitFreshness(stale time.Duration, tenants, fresh int) {
+	if reg := p.opts.Obs.Reg(); reg != nil {
+		h := reg.Histogram("sigmund_pipeline_staleness_seconds",
+			"How far past its due time a tenant's fresh data became servable.",
+			obs.StalenessBuckets(), obs.L("path", "daily"), obs.L("tier", "daily"))
+		for i := 0; i < fresh; i++ {
+			h.Observe(stale.Seconds())
+		}
+	}
+	if sink, ok := p.server.(interface{ SetFreshnessInfo(serving.FreshnessInfo) }); ok {
+		sink.SetFreshnessInfo(serving.FreshnessInfo{
+			Path: "daily",
+			Tiers: map[string]serving.TierFreshness{
+				"daily": {
+					Tenants:              tenants,
+					Publishes:            fresh,
+					MeanStalenessSeconds: stale.Seconds(),
+					P99StalenessSeconds:  stale.Seconds(),
+					MaxStalenessSeconds:  stale.Seconds(),
+				},
+			},
+		})
+	}
+}
+
 func (p *Pipeline) emitDayMetrics(report DayReport) {
 	reg := p.opts.Obs.Reg()
 	if reg == nil {

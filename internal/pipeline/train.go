@@ -149,6 +149,16 @@ func (w *tenantWall) snapshot() map[catalog.RetailerID]time.Duration {
 }
 
 func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []modelselect.ConfigRecord, cache *coocCache, wall *tenantWall) ([]modelselect.ConfigRecord, mapreduce.Counters, error) {
+	return p.trainRecordSet(ctx, day, fmt.Sprintf("cell-%d", cell), recordsPath(day, cell), recs, cache, wall)
+}
+
+// trainRecordSet runs one training MapReduce over a set of config records
+// and persists the output records durably at persistPath. It is the body
+// shared by the daily per-cell jobs (label "cell-<n>") and the
+// scheduler's per-tenant train jobs (label "tenant-<r>"): one config per
+// map task, panic containment per config, substrate preemption seed
+// decorrelated by day and label.
+func (p *Pipeline) trainRecordSet(ctx context.Context, day int, label, persistPath string, recs []modelselect.ConfigRecord, cache *coocCache, wall *tenantWall) ([]modelselect.ConfigRecord, mapreduce.Counters, error) {
 	input := make([]mapreduce.Record, len(recs))
 	for i, rec := range recs {
 		input[i] = mapreduce.Record{Key: rec.ModelID, Value: EncodeConfigRecord(rec)}
@@ -177,14 +187,14 @@ func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []mo
 		return nil
 	})
 	spec := mapreduce.Spec{
-		Name: fmt.Sprintf("train/day-%d/cell-%d", day, cell),
+		Name: fmt.Sprintf("train/day-%d/%s", day, label),
 		// One config record per map task: a model trains on one "machine"
 		// at a time (Section IV-B2), with Hogwild threads inside.
 		NumMapTasks:    len(input),
 		NumReduceTasks: 4,
 		Workers:        p.opts.TrainWorkers,
 		Faults:         p.opts.Faults,
-		Substrate:      p.substrateFor(day, fmt.Sprintf("train/cell-%d", cell)),
+		Substrate:      p.substrateFor(day, "train/"+label),
 		MaxAttempts:    5,
 		Metrics:        p.opts.Obs.Reg(),
 	}
@@ -203,8 +213,8 @@ func (p *Pipeline) runTrainingCell(ctx context.Context, day, cell int, recs []mo
 		persist.Write(kv.Value)
 		persist.WriteByte('\n')
 	}
-	// Persist the cell's output records for inspection and recovery.
-	if err := p.writeWithRetry(ctx, recordsPath(day, cell), persist.Bytes()); err != nil {
+	// Persist the output records for inspection and recovery.
+	if err := p.writeWithRetry(ctx, persistPath, persist.Bytes()); err != nil {
 		return nil, res.Counters, err
 	}
 	return out, res.Counters, nil

@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/dfs"
+)
+
+// BenchmarkSchedulerDispatch measures the scheduler's control-plane cost:
+// the DES loop (priority selection, virtual-clock bookkeeping, estimator
+// updates) plus the per-record queue-log appends, with job execution
+// itself reduced to the fake executor's bookkeeping. Each iteration
+// drains a whole fleet — tenants x cycles x 5 jobs — over a fresh queue
+// log, so ns/op is the cost of scheduling one fleet drain and allocs/op
+// catches per-job garbage creeping into the dispatch path.
+func BenchmarkSchedulerDispatch(b *testing.B) {
+	run := func(b *testing.B, tenants, cycles, workers int) {
+		b.Helper()
+		ids := make([]catalog.RetailerID, tenants)
+		tiers := map[catalog.RetailerID]Tier{}
+		for i := range ids {
+			ids[i] = catalog.RetailerID(fmt.Sprintf("r%03d", i))
+			switch i % 3 {
+			case 0:
+				tiers[ids[i]] = TierHourly
+			case 1:
+				tiers[ids[i]] = TierBestEffort
+			}
+		}
+		wantJobs := tenants * cycles * len(kindChain)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := New(nil, Options{
+				Workers: workers, MaxCycles: cycles,
+				FS: dfs.New(), Executor: &fakeExec{},
+				Tenants: ids, Tiers: tiers,
+				VirtualCost: flatCost(10 * time.Minute),
+			})
+			rep, err := s.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.JobsRun != wantJobs {
+				b.Fatalf("ran %d jobs, want %d", rep.JobsRun, wantJobs)
+			}
+		}
+	}
+	b.Run("fleet-16x4", func(b *testing.B) { run(b, 16, 4, 4) })
+	b.Run("fleet-64x2", func(b *testing.B) { run(b, 64, 2, 8) })
+}

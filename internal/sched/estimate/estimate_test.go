@@ -1,0 +1,123 @@
+package estimate
+
+import (
+	"testing"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/pipeline"
+)
+
+func TestColdStartUsesDefaultThenFleetMedian(t *testing.T) {
+	e := New(Options{Default: 5 * time.Second})
+
+	// Empty estimator: nothing to take a median over.
+	d, src := e.Predict("cold", KindTrain)
+	if src != SourceDefault || d != 5*time.Second {
+		t.Fatalf("empty estimator: got %v from %v, want 5s from default", d, src)
+	}
+
+	// Three tenants with train history: a cold tenant gets their median.
+	e.Observe("a", KindTrain, 10*time.Second)
+	e.Observe("b", KindTrain, 20*time.Second)
+	e.Observe("c", KindTrain, 90*time.Second)
+	d, src = e.Predict("cold", KindTrain)
+	if src != SourceFleetMedian {
+		t.Fatalf("cold tenant: source = %v, want fleet-median", src)
+	}
+	if d != 20*time.Second {
+		t.Fatalf("cold tenant median = %v, want 20s", d)
+	}
+
+	// The median is per kind: train history must not leak into infer.
+	if _, src := e.Predict("cold", KindInfer); src != SourceDefault {
+		t.Fatalf("infer prediction borrowed another kind's history (source %v)", src)
+	}
+
+	// A tenant with its own history is exact, regardless of the fleet.
+	d, src = e.Predict("c", KindTrain)
+	if src != SourceExact || d != 90*time.Second {
+		t.Fatalf("warm tenant: got %v from %v, want 90s exact", d, src)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := New(Options{Alpha: 0.5})
+	e.Observe("a", KindTrain, 100*time.Millisecond)
+	for i := 0; i < 20; i++ {
+		e.Observe("a", KindTrain, 200*time.Millisecond)
+	}
+	d, _ := e.Predict("a", KindTrain)
+	if d < 190*time.Millisecond || d > 200*time.Millisecond {
+		t.Fatalf("EWMA did not converge toward the steady sample: %v", d)
+	}
+}
+
+func TestOutlierDamping(t *testing.T) {
+	e := New(Options{Alpha: 0.5, OutlierFactor: 4})
+	e.Observe("a", KindTrain, 10*time.Second)
+
+	// A wild 1000s outlier is clamped to 4x the current estimate (40s)
+	// before folding: estimate = 10 + 0.5*(40-10) = 25s, not 505s.
+	e.Observe("a", KindTrain, 1000*time.Second)
+	d, _ := e.Predict("a", KindTrain)
+	if d != 25*time.Second {
+		t.Fatalf("outlier not damped: estimate %v, want 25s", d)
+	}
+
+	// Downward outliers clamp too: 1ms is raised to 25s/4 = 6.25s,
+	// estimate = 25 + 0.5*(6.25-25) = 15.625s.
+	e.Observe("a", KindTrain, time.Millisecond)
+	d, _ = e.Predict("a", KindTrain)
+	if d != 15625*time.Millisecond {
+		t.Fatalf("downward outlier not damped: estimate %v, want 15.625s", d)
+	}
+}
+
+func TestDampingDisabled(t *testing.T) {
+	e := New(Options{Alpha: 1, OutlierFactor: -1})
+	e.Observe("a", KindTrain, time.Second)
+	e.Observe("a", KindTrain, 100*time.Second)
+	if d, _ := e.Predict("a", KindTrain); d != 100*time.Second {
+		t.Fatalf("OutlierFactor<=1 should disable damping, got %v", d)
+	}
+}
+
+func TestSeedFromDayReport(t *testing.T) {
+	e := New(Options{})
+	rep := pipeline.DayReport{
+		Retailers: []pipeline.RetailerReport{
+			{Retailer: "a", StagingWall: time.Second, TrainWall: 10 * time.Second, InferWall: 2 * time.Second},
+			{Retailer: "bad", Degraded: true, TrainWall: time.Millisecond},
+			{Retailer: "c", TrainWall: 30 * time.Second},
+		},
+	}
+	SeedFromDayReport(e, rep, 2)
+
+	if d, src := e.Predict("a", KindTrain); src != SourceExact || d != 20*time.Second {
+		t.Fatalf("seeded train wall = %v (%v), want 20s exact (scaled x2)", d, src)
+	}
+	if d, src := e.Predict("a", KindStage); src != SourceExact || d != 2*time.Second {
+		t.Fatalf("seeded stage wall = %v (%v), want 2s exact", d, src)
+	}
+	// Degraded tenants must not seed.
+	if e.Known("bad", KindTrain) {
+		t.Fatal("degraded tenant's walls were seeded")
+	}
+	// Cold tenant now draws the median of a=20s, c=60s → lower middle 20s.
+	if d, src := e.Predict("cold", KindTrain); src != SourceFleetMedian || d != 20*time.Second {
+		t.Fatalf("cold tenant after seed = %v (%v), want 20s fleet-median", d, src)
+	}
+}
+
+func TestObserveNegativeClampsToZero(t *testing.T) {
+	e := New(Options{})
+	e.Observe("a", KindTrain, -time.Second)
+	if d, _ := e.Predict("a", KindTrain); d != 0 {
+		t.Fatalf("negative sample should clamp to zero, got %v", d)
+	}
+	var unknown catalog.RetailerID = "nope"
+	if e.Known(unknown, KindTrain) {
+		t.Fatal("unknown tenant reported known")
+	}
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/inference"
+	"sigmund/internal/guard"
+	"sigmund/internal/pipeline"
+	"sigmund/internal/serving"
+)
+
+// pipelineExecutor bridges scheduler jobs onto the pipeline's per-tenant
+// stage API. Each Execute follows write-then-commit: the stage's durable
+// artifacts (staged data, trained records, recs blob) are committed to
+// the shared filesystem before it returns, so the scheduler's completion
+// record never points at work that isn't there.
+type pipelineExecutor struct {
+	p   *pipeline.Pipeline
+	pub pipeline.Publisher
+}
+
+func newPipelineExecutor(p *pipeline.Pipeline) *pipelineExecutor {
+	e := &pipelineExecutor{p: p}
+	if p != nil {
+		e.pub = p.PublisherHandle()
+	}
+	return e
+}
+
+func (e *pipelineExecutor) Execute(ctx context.Context, job *Job) (res JobResult, err error) {
+	start := time.Now()
+	defer func() { res.Wall = time.Since(start) }()
+
+	switch job.Kind {
+	case KindStage:
+		sr, serr := e.p.StageTenant(ctx, job.Cycle, job.Tenant)
+		if serr != nil {
+			return res, serr
+		}
+		res.FullSweep, res.Configs = sr.FullSweep, sr.Configs
+
+	case KindTrain:
+		tr, terr := e.p.TrainTenant(ctx, job.Cycle, job.Tenant, job.Configs)
+		if e.pub != nil {
+			e.pub.AddJobCounters(tr.Counters)
+		}
+		if terr != nil {
+			return res, terr
+		}
+		if !tr.BestOK {
+			if tr.FirstErr != "" {
+				return res, fmt.Errorf("sched: no model trained for %s: %s", job.Tenant, tr.FirstErr)
+			}
+			return res, fmt.Errorf("sched: no model trained for %s", job.Tenant)
+		}
+		res.Best, res.BestOK = tr.Best, true
+		res.BestMAP = tr.Best.Metrics.MAP
+		res.ConfigsOK = tr.ConfigsOK
+
+	case KindInfer:
+		ir, ierr := e.p.InferTenant(ctx, job.Cycle, job.Tenant, job.Best)
+		if e.pub != nil {
+			e.pub.AddJobCounters(ir.Counters)
+		}
+		if ierr != nil {
+			return res, ierr
+		}
+		res.Infer = &ir
+		res.ItemsServed = len(ir.Items)
+
+	case KindGuard:
+		if !e.p.GuardEnabled() {
+			res.Verdict = string(guard.VerdictPass)
+			return res, nil
+		}
+		inf, lerr := e.recs(job)
+		if lerr != nil {
+			return res, fmt.Errorf("sched: reloading recs for guard: %w", lerr)
+		}
+		gr, gerr := e.p.EvaluateGuardTenant(job.Cycle, job.Tenant, job.BestMAP, retailerRecs(inf))
+		if gerr != nil {
+			return res, gerr
+		}
+		res.Guard = gr
+		res.Verdict = string(gr.Report.Verdict)
+		res.Reason = gr.Report.Reason
+		if gr.Report.Verdict == guard.VerdictCanary {
+			res.CanaryFraction = gr.CanaryFraction
+		}
+		res.Infer = inf
+
+	case KindPublish:
+		res.Verdict = job.Verdict
+		if guard.Verdict(job.Verdict) == guard.VerdictVeto || e.pub == nil {
+			// Vetoed cycle: nothing to push — the rolling previous
+			// generation keeps serving (the store's equivalent of the
+			// daily path's carry-forward).
+			return res, nil
+		}
+		inf, lerr := e.recs(job)
+		if lerr != nil {
+			return res, fmt.Errorf("sched: reloading recs for publish: %w", lerr)
+		}
+		snap := serving.BuildSnapshot(job.Gen,
+			map[catalog.RetailerID][]inference.ItemRecs{job.Tenant: inf.Items},
+			map[catalog.RetailerID][]catalog.ItemID{job.Tenant: inf.Sellers})
+		snap.Rolling = true
+		if guard.Verdict(job.Verdict) == guard.VerdictCanary {
+			st := snap.Status[job.Tenant]
+			st.Canary = true
+			st.CanaryFraction = job.CanaryFraction
+		}
+		e.pub.Publish(snap)
+		res.ItemsServed = len(inf.Items)
+	}
+	return res, nil
+}
+
+// Committed applies post-journal side effects: the guard's baseline fold
+// happens only after the verdict is durable, mirroring the daily path's
+// journal-before-apply discipline.
+func (e *pipelineExecutor) Committed(job *Job, res JobResult) {
+	if job.Kind == KindGuard && e.p.GuardEnabled() {
+		e.p.FoldGuardBaseline(job.Cycle, job.Tenant, res.Verdict, res.Guard)
+	}
+}
+
+// recs returns the job's in-memory materialization, falling back to the
+// durable recs blob (the resume path: the infer stage committed before a
+// crash wiped the in-memory handoff).
+func (e *pipelineExecutor) recs(job *Job) (*pipeline.InferResult, error) {
+	if job.Infer != nil {
+		return job.Infer, nil
+	}
+	loaded, err := e.p.LoadTenantRecs(job.Cycle, job.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	return &loaded, nil
+}
+
+// retailerRecs adapts a tenant's materialization to the guard's serving
+// view (the same shape BuildSnapshot produces).
+func retailerRecs(inf *pipeline.InferResult) *serving.RetailerRecs {
+	rr := &serving.RetailerRecs{
+		Recs:       make(map[catalog.ItemID]inference.ItemRecs, len(inf.Items)),
+		TopSellers: inf.Sellers,
+	}
+	for _, ir := range inf.Items {
+		rr.Recs[ir.Item] = ir
+	}
+	return rr
+}

@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/bpr"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/pipeline"
+	"sigmund/internal/serving"
+	"sigmund/internal/synth"
+)
+
+// buildSchedPipeline attaches a real two-tenant pipeline to the given
+// filesystem and serving server, mirroring the pipeline package's own
+// chaos fixtures. The fleet is deterministic: the same seed yields
+// identical tenants, so faulted runs compare against controls and a
+// "restarted coordinator" re-registers the same fleet.
+func buildSchedPipeline(t testing.TB, fs *dfs.FS, server *serving.Server) *pipeline.Pipeline {
+	t.Helper()
+	p := pipeline.New(fs, server, pipeline.Options{
+		Grid:              modelselect.SmallGrid(),
+		BaseHyper:         bpr.DefaultHyperparams(),
+		FullEpochs:        4,
+		IncrementalEpochs: 2,
+		TopKIncremental:   2,
+		TrainWorkers:      4,
+		TrainThreads:      1,
+		Cells:             2,
+		InferTopK:         5,
+		InferWorkers:      2,
+		HeadMinEvents:     20,
+		Seed:              1,
+	})
+	fleet := synth.GenerateFleet(synth.FleetSpec{
+		NumRetailers: 2, MinItems: 40, MaxItems: 80,
+		UsersPerItem: 1.0, EventsPerUserMean: 10,
+		Days: 2, Seed: 1234,
+	})
+	for _, r := range fleet {
+		if err := p.AddRetailer(r.Catalog, r.Log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func newSchedPipeline(t testing.TB) (*pipeline.Pipeline, *dfs.FS, *serving.Server) {
+	t.Helper()
+	fs := dfs.New()
+	server := serving.NewServer()
+	return buildSchedPipeline(t, fs, server), fs, server
+}
+
+func schedOpts(inj *faults.Injector) Options {
+	return Options{
+		Workers:   2,
+		MaxCycles: 2,
+		Tiers:     map[catalog.RetailerID]Tier{"retailer-000": TierHourly},
+		Injector:  inj,
+		// Fixed virtual costs pin the dispatch order — and therefore the
+		// generation assignment — so crashed-and-resumed runs are
+		// comparable to the control byte for byte.
+		VirtualCost: func(j *Job) time.Duration { return 10 * time.Minute },
+		Seed:        7,
+	}
+}
+
+// TestSchedulerPipelineKillAndResume drives the real pipeline executor
+// through the kill-and-resume drill: a control run publishes each
+// tenant's cycles uninterrupted; crashed runs die right after a sampled
+// queue-log record commits and resume in a fresh scheduler. The final
+// published snapshot — every tenant's recommendations, status, and
+// generation — must be byte-identical to the control's.
+func TestSchedulerPipelineKillAndResume(t *testing.T) {
+	control, _, controlServer := newSchedPipeline(t)
+	controlRep, err := New(control, schedOpts(nil)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 tenants x 2 cycles: 4 admissions + 20 job completions.
+	n := controlRep.CyclesAdmitted + controlRep.JobsRun
+	if n != 24 || controlRep.Publishes != 4 {
+		t.Fatalf("control run: %d records, %d publishes, want 24/4", n, controlRep.Publishes)
+	}
+	want := controlServer.Snapshot()
+
+	// Sweep a spread of crash points (every record in full mode); each
+	// iteration runs the whole fleet's real training twice over.
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	for k := 0; k < n; k += stride {
+		inj := faults.NewInjector(1, faults.Rule{
+			Ops:          []faults.Op{faults.OpCoordinator},
+			Kind:         faults.Error,
+			PathContains: "sched/record-",
+			After:        k,
+			EveryNth:     1,
+			Times:        1,
+		})
+		p, fs, server := newSchedPipeline(t)
+		_, err := New(p, schedOpts(inj)).Run(context.Background())
+		if err == nil {
+			t.Fatalf("k=%d: run survived its crashpoint", k)
+		}
+		if !IsCrash(err) {
+			t.Fatalf("k=%d: err = %v, want an injected crash", k, err)
+		}
+
+		// A restarted coordinator: a fresh pipeline over the same
+		// filesystem and serving state (the fleet re-registers the way a
+		// restarted process reloads its tenant set), fresh scheduler,
+		// fresh estimator.
+		resumed := buildSchedPipeline(t, fs, server)
+		rep, err := New(resumed, schedOpts(nil)).Run(context.Background())
+		if err != nil {
+			t.Fatalf("k=%d: resume failed: %v", k, err)
+		}
+		if !rep.Resumed || rep.RecordsReplayed != k+1 {
+			t.Fatalf("k=%d: resumed=%v replayed=%d, want true/%d", k, rep.Resumed, rep.RecordsReplayed, k+1)
+		}
+		got := server.Snapshot()
+		if got.Version != want.Version {
+			t.Fatalf("k=%d: version %d, want %d", k, got.Version, want.Version)
+		}
+		if !reflect.DeepEqual(got.Retailers, want.Retailers) {
+			t.Fatalf("k=%d: resumed recommendations diverged from control", k)
+		}
+		if !reflect.DeepEqual(got.Status, want.Status) {
+			t.Fatalf("k=%d: resumed status diverged: %+v vs %+v", k, got.Status, want.Status)
+		}
+		if rep.Publishes != controlRep.Publishes || rep.MaxGen != controlRep.MaxGen {
+			t.Fatalf("k=%d: publishes=%d gen=%d, control %d/%d",
+				k, rep.Publishes, rep.MaxGen, controlRep.Publishes, controlRep.MaxGen)
+		}
+	}
+}
+
+// TestSchedulerPipelineRollingPublish checks the no-barrier contract on
+// the real serving path: after the first tenant's first cycle publishes,
+// the snapshot serves that tenant alone; once every cycle has closed, all
+// tenants serve and each publish only advanced its own tenant.
+func TestSchedulerPipelineRollingPublish(t *testing.T) {
+	p, _, server := newSchedPipeline(t)
+	rep, err := New(p, schedOpts(nil)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := server.Snapshot()
+	if len(snap.Retailers) != 2 {
+		t.Fatalf("final snapshot serves %d tenants, want 2", len(snap.Retailers))
+	}
+	// Rolling publishes: one generation per publish, not per fleet wave.
+	if snap.Version != int64(rep.Publishes) {
+		t.Fatalf("final version %d, want one generation per publish (%d)", snap.Version, rep.Publishes)
+	}
+	// Each tenant's status points at the generation that actually rebuilt
+	// it — with rolling publishes these differ across tenants.
+	versions := map[int64]bool{}
+	for id, st := range snap.Status {
+		if st.RecsVersion == 0 {
+			t.Fatalf("tenant %s has no materialized generation", id)
+		}
+		versions[st.RecsVersion] = true
+	}
+	if len(versions) < 2 {
+		t.Fatalf("all tenants share one RecsVersion %v; publishes were not rolling", versions)
+	}
+}

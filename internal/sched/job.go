@@ -1,0 +1,180 @@
+// Package sched is the continuous fleet scheduler: it replaces the
+// synchronized daily loop with a durable priority queue of typed
+// per-tenant jobs (stage → train → infer → guard → publish), dispatched
+// deadline- and cost-aware onto a fixed pool of virtual worker slots.
+//
+// Time is simulated: the scheduler advances a virtual clock through a
+// discrete-event loop, so freshness tiers (an hourly tenant refreshing 24x
+// as often as a daily one) are exercised in milliseconds of real time
+// while the jobs themselves execute real pipeline work. Each job's
+// virtual duration comes from the runtime estimator (an EWMA over the
+// per-tenant walls the pipeline measures) or from an injected cost
+// function in tests.
+//
+// Every state transition is journaled to a durable, CRC-framed queue log
+// (the same dfs.Journal framing the day journal uses) with
+// write-then-commit discipline: a job's artifacts are durable in the
+// shared filesystem before its completion record commits, so a crashed
+// scheduler resumes by replaying the log — committed jobs are skipped,
+// in-flight jobs re-execute idempotently, and the publish sequence comes
+// out identical to an uninterrupted run.
+package sched
+
+import (
+	"context"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/pipeline"
+)
+
+// Tier is a tenant's freshness class: how often its cycle is re-run and
+// how its jobs rank against other tenants'.
+type Tier string
+
+const (
+	// TierHourly tenants re-cycle every virtual hour (big tenants whose
+	// catalogs churn fast).
+	TierHourly Tier = "hourly"
+	// TierDaily tenants re-cycle every virtual day — the legacy RunDay
+	// cadence.
+	TierDaily Tier = "daily"
+	// TierBestEffort tenants re-cycle daily but rank below everyone else;
+	// priority aging still bounds their starvation (see
+	// Options.MaxQueueAge).
+	TierBestEffort Tier = "best-effort"
+)
+
+// rank orders tiers for dispatch tie-breaks: urgent tiers first.
+func (t Tier) rank() int {
+	switch t {
+	case TierHourly:
+		return 0
+	case TierDaily:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ValidTier reports whether s names a tier.
+func ValidTier(s string) bool {
+	switch Tier(s) {
+	case TierHourly, TierDaily, TierBestEffort:
+		return true
+	}
+	return false
+}
+
+// JobKind is one stage of a tenant's cycle. Kinds form a fixed chain;
+// completing one enqueues the next.
+type JobKind string
+
+const (
+	KindStage   JobKind = "stage"
+	KindTrain   JobKind = "train"
+	KindInfer   JobKind = "infer"
+	KindGuard   JobKind = "guard"
+	KindPublish JobKind = "publish"
+)
+
+// kindChain is the cycle's stage order.
+var kindChain = []JobKind{KindStage, KindTrain, KindInfer, KindGuard, KindPublish}
+
+// nextKind returns the successor stage (ok=false after publish).
+func nextKind(k JobKind) (JobKind, bool) {
+	for i, kk := range kindChain {
+		if kk == k && i+1 < len(kindChain) {
+			return kindChain[i+1], true
+		}
+	}
+	return "", false
+}
+
+// kindIndex returns a kind's position in the chain (publish = 4).
+func kindIndex(k JobKind) int {
+	for i, kk := range kindChain {
+		if kk == k {
+			return i
+		}
+	}
+	return len(kindChain)
+}
+
+// Job is one schedulable unit: one stage of one tenant's cycle. Payload
+// fields carry the predecessor stage's output forward; after a crash they
+// are reconstructed from the queue log and the durable artifacts instead.
+type Job struct {
+	Tenant catalog.RetailerID
+	// Cycle is the tenant's cycle counter (each admission increments it;
+	// it takes the role of "day" in every shared-filesystem path).
+	Cycle int
+	Kind  JobKind
+	Tier  Tier
+
+	// Due is the cycle's virtual due time (cycle index x tier period);
+	// the dispatch priority is slack against Due + one period.
+	Due time.Duration
+	// Ready is the virtual time the job became dispatchable (its
+	// predecessor's completion).
+	Ready time.Duration
+
+	// FullSweep / Configs: staged plan (input to train).
+	FullSweep bool
+	Configs   []modelselect.ConfigRecord
+	// Best / BestMAP: selection outcome (input to infer and guard).
+	Best    modelselect.ConfigRecord
+	BestMAP float64
+	// ItemsServed: materialization size (publish bookkeeping).
+	ItemsServed int
+	// Verdict / Reason / CanaryFraction: the guard's journaled decision
+	// (input to publish).
+	Verdict        string
+	Reason         string
+	CanaryFraction float64
+	// Gen is the global publish generation, assigned at dispatch of the
+	// publish job.
+	Gen int64
+
+	// Infer carries the cycle's materialized recommendations in memory
+	// between infer, guard, and publish. nil after a crash — executors
+	// reload the durable recs blob instead.
+	Infer *pipeline.InferResult
+}
+
+// JobResult is what executing a job produced; which fields are meaningful
+// depends on the job's kind.
+type JobResult struct {
+	// stage
+	FullSweep bool
+	Configs   []modelselect.ConfigRecord
+	// train
+	Best      modelselect.ConfigRecord
+	BestOK    bool
+	BestMAP   float64
+	ConfigsOK int
+	// infer
+	Infer       *pipeline.InferResult
+	ItemsServed int
+	// guard
+	Verdict        string
+	Reason         string
+	CanaryFraction float64
+	Guard          pipeline.GuardResult
+	// Wall is the job's measured real runtime; it feeds the estimator
+	// (scaled into virtual time).
+	Wall time.Duration
+}
+
+// Executor runs one job's real work. Execute must follow
+// write-then-commit discipline: all artifacts durable before returning,
+// so the scheduler can journal the completion afterwards. Committed is
+// called after the job's completion record is durable — side effects that
+// must not precede the journaled verdict (the guard's baseline fold) go
+// there. The final verdict passed to Committed may be the journal-replayed
+// one rather than the freshly computed one.
+type Executor interface {
+	Execute(ctx context.Context, job *Job) (JobResult, error)
+	Committed(job *Job, res JobResult)
+}

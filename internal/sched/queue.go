@@ -1,0 +1,238 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/linalg"
+	"sigmund/internal/retry"
+)
+
+// The queue log is the scheduler's durable state: every admission and
+// every job completion is one CRC-framed record (dfs.Journal — the same
+// framing, torn-tail truncation, and whole-file commit the day journal
+// uses). Two record types suffice because the job chain within a cycle is
+// fixed:
+//
+//	cycle   tenant admitted for cycle N — its stage job entered the queue
+//	done    one job completed (its artifacts already durable), with the
+//	        payload its successor needs: staged configs, the selected
+//	        config, the guard verdict, the publish generation. Failed
+//	        jobs journal done with failed=true, which closes the cycle.
+//
+// Resume is replay-by-re-walk: the scheduler's discrete-event loop is
+// deterministic given job costs, so a resumed run re-walks the same
+// schedule from virtual time zero and consults the log at every step — a
+// job whose done record is present short-circuits to the journaled
+// payload (no re-execution, no re-append, no re-publish); the first job
+// without one executes for real and appending resumes. Work in flight at
+// the crash left no record and re-executes idempotently (every stage
+// persists write-then-commit).
+const (
+	recCycle = "cycle"
+	recDone  = "done"
+)
+
+// queueRecord is the JSON payload of one queue-log record.
+type queueRecord struct {
+	Type   string             `json:"type"`
+	Tenant catalog.RetailerID `json:"tenant"`
+	Cycle  int                `json:"cycle"`
+	// VT is the virtual time of the event (admission time for cycle
+	// records, completion time for done records).
+	VT int64 `json:"vt"`
+
+	// done
+	Kind   string `json:"kind,omitempty"`
+	Failed bool   `json:"failed,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// WallNS is the job's measured real runtime; replay re-seeds the
+	// estimator from it.
+	WallNS int64 `json:"wall_ns,omitempty"`
+
+	// done(stage)
+	FullSweep bool                       `json:"full_sweep,omitempty"`
+	Configs   []modelselect.ConfigRecord `json:"configs,omitempty"`
+	// done(train)
+	Best      *modelselect.ConfigRecord `json:"best,omitempty"`
+	BestMAP   float64                   `json:"best_map,omitempty"`
+	ConfigsOK int                       `json:"configs_ok,omitempty"`
+	// done(infer)
+	ItemsServed int `json:"items_served,omitempty"`
+	// done(guard)
+	Verdict        string  `json:"verdict,omitempty"`
+	Reason         string  `json:"reason,omitempty"`
+	CanaryFraction float64 `json:"canary_fraction,omitempty"`
+	// done(publish); 0 when the cycle was vetoed (nothing pushed).
+	Gen int64 `json:"gen,omitempty"`
+}
+
+// QueuePath is where the scheduler's queue log lives on the shared
+// filesystem. It sits outside the days/ prefix so day GC never collects
+// it.
+const QueuePath = "sched/queue"
+
+// CrashError is a fleet-level queue-log failure: either an injected
+// coordinator crashpoint fired (Crash true) or a record append exhausted
+// its retry budget. The log survives, so running the scheduler again
+// resumes from it — the supervisor in cmd/sigmundd keys its auto-restart
+// on IsCrash.
+type CrashError struct {
+	Record int
+	Crash  bool
+	Err    error
+}
+
+func (e *CrashError) Error() string {
+	if e.Crash {
+		return fmt.Sprintf("sched: scheduler crashed after queue record %d: %v", e.Record, e.Err)
+	}
+	return fmt.Sprintf("sched: queue log: %v", e.Err)
+}
+
+func (e *CrashError) Unwrap() error { return e.Err }
+
+// IsCrash reports whether err is an injected scheduler crash (a
+// faults.OpCoordinator crashpoint on the queue log).
+func IsCrash(err error) bool {
+	var ce *CrashError
+	return errors.As(err, &ce) && ce.Crash
+}
+
+// crashPath is the label the queue log presents to the fault injector
+// after committing record idx: "sched/record-<idx>/". The trailing slash
+// keeps "record-1/" from substring-matching "record-10".
+func crashPath(idx int) string {
+	return fmt.Sprintf("sched/record-%d/", idx)
+}
+
+// jobKey identifies one job across the log and the live run.
+type jobKey struct {
+	tenant catalog.RetailerID
+	cycle  int
+	kind   JobKind
+}
+
+type cycleKey struct {
+	tenant catalog.RetailerID
+	cycle  int
+}
+
+// queueLog is the scheduler's live handle on the durable log plus the
+// keyed replay index built from it.
+type queueLog struct {
+	j *dfs.Journal
+
+	records int
+	resumed bool
+	// admitted / dones index the replayed records by identity — the
+	// resumed DES loop consults them instead of re-executing.
+	admitted map[cycleKey]*queueRecord
+	dones    map[jobKey]*queueRecord
+	// maxGen is the highest publish generation committed to the log.
+	maxGen   int64
+	appendsN int
+}
+
+// openQueueLog opens (or creates) the queue log at path and replays it.
+// Torn tails were already truncated by dfs.OpenJournal; a record that
+// frames cleanly but does not decode is a format bug and fails hard.
+func openQueueLog(fs *dfs.FS, path string) (*queueLog, error) {
+	j, raw, err := dfs.OpenJournal(fs, path)
+	if err != nil {
+		return nil, fmt.Errorf("sched: opening queue log: %w", err)
+	}
+	q := &queueLog{
+		j:        j,
+		admitted: map[cycleKey]*queueRecord{},
+		dones:    map[jobKey]*queueRecord{},
+	}
+	for _, payload := range raw {
+		rec := new(queueRecord)
+		if err := json.Unmarshal(payload, rec); err != nil {
+			return nil, fmt.Errorf("sched: decoding queue record: %w", err)
+		}
+		q.fold(rec)
+	}
+	q.records = len(raw)
+	q.resumed = len(raw) > 0
+	return q, nil
+}
+
+// fold indexes one record (replayed or freshly appended).
+func (q *queueLog) fold(rec *queueRecord) {
+	switch rec.Type {
+	case recCycle:
+		q.admitted[cycleKey{rec.Tenant, rec.Cycle}] = rec
+	case recDone:
+		q.dones[jobKey{rec.Tenant, rec.Cycle, JobKind(rec.Kind)}] = rec
+		if rec.Gen > q.maxGen {
+			q.maxGen = rec.Gen
+		}
+	}
+}
+
+// hasCycle reports whether a cycle's admission is already journaled.
+func (q *queueLog) hasCycle(tenant catalog.RetailerID, cycle int) bool {
+	_, ok := q.admitted[cycleKey{tenant, cycle}]
+	return ok
+}
+
+// done returns a job's journaled completion (nil if not committed).
+func (q *queueLog) done(k jobKey) *queueRecord {
+	return q.dones[k]
+}
+
+// append durably commits one record, indexes it, and then consults the
+// coordinator crashpoint keyed by the record's index. Append retries ride
+// the given policy with a deterministic jitter seed.
+func (q *queueLog) append(ctx context.Context, rec *queueRecord, pol retry.Policy, seed uint64, inj *faults.Injector) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		panic(fmt.Sprintf("sched: encoding queue record: %v", err))
+	}
+	rng := linalg.NewRNG(seed ^ uint64(q.appendsN)*0x9e3779b97f4a7c15 ^ uint64(len(payload)))
+	var idx int
+	err = retry.Do(ctx, pol, rng, func(int) error {
+		var aerr error
+		idx, aerr = q.j.Append(payload)
+		return aerr
+	})
+	if err != nil {
+		return &CrashError{Err: fmt.Errorf("appending %s record: %w", rec.Type, err)}
+	}
+	q.appendsN++
+	q.fold(rec)
+	if err := inj.Before(faults.OpCoordinator, crashPath(idx)); err != nil {
+		return &CrashError{Record: idx, Crash: true, Err: err}
+	}
+	return nil
+}
+
+// resultFromRecord reconstructs a replayed job's result from its done
+// record.
+func resultFromRecord(rec *queueRecord) JobResult {
+	res := JobResult{
+		FullSweep:      rec.FullSweep,
+		Configs:        rec.Configs,
+		BestMAP:        rec.BestMAP,
+		ConfigsOK:      rec.ConfigsOK,
+		ItemsServed:    rec.ItemsServed,
+		Verdict:        rec.Verdict,
+		Reason:         rec.Reason,
+		CanaryFraction: rec.CanaryFraction,
+		Wall:           time.Duration(rec.WallNS),
+	}
+	if rec.Best != nil {
+		res.Best = *rec.Best
+		res.BestOK = true
+	}
+	return res
+}

@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/retry"
+)
+
+// appendRec commits one record with the scheduler's default retry policy
+// and no fault injection.
+func appendRec(t *testing.T, q *queueLog, rec *queueRecord) {
+	t.Helper()
+	if err := q.append(context.Background(), rec, retry.Policy{}, 1, nil); err != nil {
+		t.Fatalf("append %+v: %v", rec, err)
+	}
+}
+
+func TestQueueLogAppendReopenReplays(t *testing.T) {
+	fs := dfs.New()
+	q, err := openQueueLog(fs, QueuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.resumed || q.records != 0 {
+		t.Fatalf("fresh log: resumed=%v records=%d", q.resumed, q.records)
+	}
+	appendRec(t, q, &queueRecord{Type: recCycle, Tenant: "r1", Cycle: 0})
+	appendRec(t, q, &queueRecord{Type: recDone, Tenant: "r1", Cycle: 0, Kind: string(KindStage), FullSweep: true, WallNS: 5e6})
+	appendRec(t, q, &queueRecord{Type: recDone, Tenant: "r1", Cycle: 0, Kind: string(KindPublish), Gen: 3})
+
+	re, err := openQueueLog(fs, QueuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.resumed || re.records != 3 {
+		t.Fatalf("reopened: resumed=%v records=%d, want true/3", re.resumed, re.records)
+	}
+	if !re.hasCycle("r1", 0) || re.hasCycle("r1", 1) {
+		t.Fatal("admission index wrong after replay")
+	}
+	d := re.done(jobKey{"r1", 0, KindStage})
+	if d == nil || !d.FullSweep || d.WallNS != 5e6 {
+		t.Fatalf("stage done record = %+v", d)
+	}
+	if re.done(jobKey{"r1", 0, KindTrain}) != nil {
+		t.Fatal("uncommitted job reported done")
+	}
+	if re.maxGen != 3 {
+		t.Fatalf("maxGen = %d, want 3", re.maxGen)
+	}
+}
+
+func TestQueueLogTornTailTruncated(t *testing.T) {
+	fs := dfs.New()
+	q, err := openQueueLog(fs, QueuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		appendRec(t, q, &queueRecord{Type: recCycle, Tenant: "r1", Cycle: c})
+	}
+
+	// A crashed writer on a real filesystem can leave a partial final
+	// frame: a header that claims more payload bytes than exist.
+	data, err := fs.Read(QueuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn [8]byte
+	binary.LittleEndian.PutUint32(torn[0:], 999)
+	binary.LittleEndian.PutUint32(torn[4:], 0xdeadbeef)
+	corrupted := append(append([]byte{}, data...), torn[:]...)
+	corrupted = append(corrupted, 'x', 'y')
+	if err := fs.Write(QueuePath, corrupted); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := openQueueLog(fs, QueuePath)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if re.records != 3 {
+		t.Fatalf("records = %d after torn tail, want the 3 clean ones", re.records)
+	}
+	// Appending rewrites from the last good record: the torn bytes are
+	// gone for every later reader.
+	appendRec(t, re, &queueRecord{Type: recCycle, Tenant: "r1", Cycle: 3})
+	re2, err := openQueueLog(fs, QueuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.records != 4 || !re2.hasCycle("r1", 3) {
+		t.Fatalf("records = %d hasCycle(3)=%v after repair append", re2.records, re2.hasCycle("r1", 3))
+	}
+}
+
+func TestQueueLogCorruptTailChecksumDropped(t *testing.T) {
+	fs := dfs.New()
+	q, err := openQueueLog(fs, QueuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec(t, q, &queueRecord{Type: recCycle, Tenant: "r1", Cycle: 0})
+	appendRec(t, q, &queueRecord{Type: recDone, Tenant: "r1", Cycle: 0, Kind: string(KindStage)})
+
+	data, err := fs.Read(QueuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte{}, data...)
+	flipped[len(flipped)-1] ^= 0xff // corrupt the last record's payload
+	if err := fs.Write(QueuePath, flipped); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := openQueueLog(fs, QueuePath)
+	if err != nil {
+		t.Fatalf("reopen after checksum corruption: %v", err)
+	}
+	if re.records != 1 {
+		t.Fatalf("records = %d, want the 1 before the corrupt suffix", re.records)
+	}
+	if re.done(jobKey{"r1", 0, KindStage}) != nil {
+		t.Fatal("corrupt done record survived replay")
+	}
+}
+
+func TestQueueLogCrashpointFires(t *testing.T) {
+	fs := dfs.New()
+	q, err := openQueueLog(fs, QueuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(1, faults.Rule{
+		Ops:          []faults.Op{faults.OpCoordinator},
+		Kind:         faults.Error,
+		PathContains: "sched/record-",
+		After:        1,
+		EveryNth:     1,
+		Times:        1,
+	})
+	pol := retry.Policy{}
+	if err := q.append(context.Background(), &queueRecord{Type: recCycle, Tenant: "r1", Cycle: 0}, pol, 1, inj); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	err = q.append(context.Background(), &queueRecord{Type: recDone, Tenant: "r1", Cycle: 0, Kind: string(KindStage)}, pol, 1, inj)
+	if err == nil {
+		t.Fatal("crashpoint did not fire")
+	}
+	if !IsCrash(err) {
+		t.Fatalf("err = %v, want an injected crash", err)
+	}
+	var ce *CrashError
+	if !errors.As(err, &ce) || ce.Record != 1 {
+		t.Fatalf("crash record = %+v, want record 1", ce)
+	}
+
+	// The crash fires after the append commits: both records survive.
+	re, err := openQueueLog(fs, QueuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.records != 2 || re.done(jobKey{"r1", 0, KindStage}) == nil {
+		t.Fatalf("records = %d after crash, want both committed", re.records)
+	}
+
+	if IsCrash(errors.New("plain")) {
+		t.Fatal("plain error classified as crash")
+	}
+	if IsCrash(&CrashError{Err: errors.New("append exhausted")}) {
+		t.Fatal("non-crash CrashError classified as crash")
+	}
+}

@@ -1,0 +1,458 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"sigmund/internal/catalog"
+	"sigmund/internal/core/modelselect"
+	"sigmund/internal/dfs"
+	"sigmund/internal/faults"
+	"sigmund/internal/guard"
+)
+
+// pubEvent is one publish the fake executor pushed.
+type pubEvent struct {
+	Tenant catalog.RetailerID
+	Cycle  int
+	Gen    int64
+}
+
+// fakeExec is a deterministic in-memory Executor: every job succeeds with
+// a fixed wall unless its key is in fail, guard verdicts come from the
+// per-tenant verdict map (default pass), and publishes are recorded.
+type fakeExec struct {
+	mu        sync.Mutex
+	executed  []jobKey
+	committed []jobKey
+	published []pubEvent
+	fail      map[jobKey]bool
+	verdict   map[catalog.RetailerID]string
+	sleep     time.Duration
+}
+
+func (f *fakeExec) Execute(ctx context.Context, job *Job) (JobResult, error) {
+	if f.sleep > 0 {
+		select {
+		case <-ctx.Done():
+			return JobResult{}, ctx.Err()
+		case <-time.After(f.sleep):
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := jobKey{job.Tenant, job.Cycle, job.Kind}
+	f.executed = append(f.executed, k)
+	res := JobResult{Wall: time.Millisecond}
+	if f.fail[k] {
+		return res, fmt.Errorf("fake: %s cycle %d %s failed", job.Tenant, job.Cycle, job.Kind)
+	}
+	switch job.Kind {
+	case KindStage:
+		res.FullSweep = job.Cycle == 0
+		res.Configs = []modelselect.ConfigRecord{{}}
+	case KindTrain:
+		res.BestOK = true
+		res.BestMAP = 0.5
+		res.ConfigsOK = 1
+	case KindInfer:
+		res.ItemsServed = 7
+	case KindGuard:
+		res.Verdict = string(guard.VerdictPass)
+		if v, ok := f.verdict[job.Tenant]; ok {
+			res.Verdict = v
+		}
+	case KindPublish:
+		if guard.Verdict(job.Verdict) != guard.VerdictVeto {
+			f.published = append(f.published, pubEvent{job.Tenant, job.Cycle, job.Gen})
+		}
+	}
+	return res, nil
+}
+
+func (f *fakeExec) Committed(job *Job, res JobResult) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.committed = append(f.committed, jobKey{job.Tenant, job.Cycle, job.Kind})
+}
+
+func (f *fakeExec) pubs() []pubEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]pubEvent(nil), f.published...)
+}
+
+func flatCost(d time.Duration) func(*Job) time.Duration {
+	return func(*Job) time.Duration { return d }
+}
+
+func TestSchedulerDrainsAllCycles(t *testing.T) {
+	exec := &fakeExec{}
+	s := New(nil, Options{
+		Workers: 2, MaxCycles: 2,
+		FS: dfs.New(), Executor: exec,
+		Tenants:     []catalog.RetailerID{"a", "b", "c"},
+		VirtualCost: flatCost(10 * time.Minute),
+	})
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CyclesAdmitted != 6 || rep.CyclesClosed != 6 {
+		t.Fatalf("cycles admitted=%d closed=%d, want 6/6", rep.CyclesAdmitted, rep.CyclesClosed)
+	}
+	if rep.JobsRun != 30 || rep.JobsFailed != 0 || rep.JobsReplayed != 0 {
+		t.Fatalf("jobs run=%d failed=%d replayed=%d, want 30/0/0", rep.JobsRun, rep.JobsFailed, rep.JobsReplayed)
+	}
+	if rep.Publishes != 6 || rep.Vetoed != 0 {
+		t.Fatalf("publishes=%d vetoed=%d, want 6/0", rep.Publishes, rep.Vetoed)
+	}
+	for _, tenant := range []catalog.RetailerID{"a", "b", "c"} {
+		if rep.Cycles[tenant] != 2 {
+			t.Fatalf("tenant %s closed %d cycles, want 2", tenant, rep.Cycles[tenant])
+		}
+	}
+	// Generations are globally unique 1..6 and strictly increasing per
+	// tenant (a tenant's later cycle publishes a later generation).
+	pubs := exec.pubs()
+	if len(pubs) != 6 || rep.MaxGen != 6 {
+		t.Fatalf("pubs=%d maxGen=%d, want 6/6", len(pubs), rep.MaxGen)
+	}
+	seen := map[int64]bool{}
+	lastGen := map[catalog.RetailerID]int64{}
+	for _, p := range pubs {
+		if p.Gen < 1 || p.Gen > 6 || seen[p.Gen] {
+			t.Fatalf("bad generation sequence: %+v", pubs)
+		}
+		seen[p.Gen] = true
+		if p.Gen <= lastGen[p.Tenant] {
+			t.Fatalf("tenant %s generations not increasing: %+v", p.Tenant, pubs)
+		}
+		lastGen[p.Tenant] = p.Gen
+	}
+	// Daily cadence: cycle 1 is due a virtual day in, so the virtual
+	// clock must have advanced past it.
+	if rep.VirtualElapsed < 24*time.Hour {
+		t.Fatalf("virtual elapsed %v, want at least a day", rep.VirtualElapsed)
+	}
+	tr := rep.Tiers[TierDaily]
+	if tr == nil || tr.Tenants != 3 || tr.Publishes != 6 || len(tr.Staleness) != 6 {
+		t.Fatalf("daily tier report = %+v", tr)
+	}
+}
+
+func TestSchedulerFailedJobClosesCycleAndSkipsSuccessors(t *testing.T) {
+	exec := &fakeExec{fail: map[jobKey]bool{{"a", 0, KindTrain}: true}}
+	s := New(nil, Options{
+		Workers: 1, MaxCycles: 1,
+		FS: dfs.New(), Executor: exec,
+		Tenants:     []catalog.RetailerID{"a", "b"},
+		VirtualCost: flatCost(time.Minute),
+	})
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsFailed != 1 || rep.CyclesClosed != 2 || rep.Publishes != 1 {
+		t.Fatalf("failed=%d closed=%d publishes=%d, want 1/2/1", rep.JobsFailed, rep.CyclesClosed, rep.Publishes)
+	}
+	for _, k := range exec.executed {
+		if k.tenant == "a" && kindIndex(k.kind) > kindIndex(KindTrain) {
+			t.Fatalf("job %+v ran after its cycle failed", k)
+		}
+	}
+	if rep.Cycles["a"] != 1 || rep.Cycles["b"] != 1 {
+		t.Fatalf("cycle counts: %+v", rep.Cycles)
+	}
+}
+
+func TestSchedulerGuardVerdictsDrivePublish(t *testing.T) {
+	exec := &fakeExec{verdict: map[catalog.RetailerID]string{
+		"a": string(guard.VerdictVeto),
+		"b": string(guard.VerdictCanary),
+	}}
+	s := New(nil, Options{
+		Workers: 2, MaxCycles: 1,
+		FS: dfs.New(), Executor: exec,
+		Tenants:     []catalog.RetailerID{"a", "b", "c"},
+		VirtualCost: flatCost(time.Minute),
+	})
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vetoed != 1 || rep.Canaried != 1 || rep.Publishes != 2 {
+		t.Fatalf("vetoed=%d canaried=%d publishes=%d, want 1/1/2", rep.Vetoed, rep.Canaried, rep.Publishes)
+	}
+	for _, p := range exec.pubs() {
+		if p.Tenant == "a" {
+			t.Fatal("vetoed tenant published")
+		}
+	}
+	// The vetoed cycle consumed no generation: two publishes, gens 1-2.
+	if rep.MaxGen != 2 {
+		t.Fatalf("maxGen = %d, want 2", rep.MaxGen)
+	}
+}
+
+// TestSchedulerStarvationBound pins the priority-aging contract: with one
+// worker fully saturated by hourly tenants, a best-effort cycle's jobs
+// lose every slack comparison — but once a job has waited MaxQueueAge it
+// jumps the queue, so its dispatch wait is bounded by MaxQueueAge plus
+// about one job's service time, never the length of the run.
+func TestSchedulerStarvationBound(t *testing.T) {
+	const maxAge = 6 * time.Hour
+	exec := &fakeExec{}
+	s := New(nil, Options{
+		Workers: 1,
+		Horizon: 24 * time.Hour,
+		Tiers: map[catalog.RetailerID]Tier{
+			"h0": TierHourly, "h1": TierHourly,
+			"be": TierBestEffort,
+		},
+		MaxQueueAge: maxAge,
+		FS:          dfs.New(), Executor: exec,
+		Tenants: []catalog.RetailerID{"h0", "h1", "be"},
+		// 6 minutes x 5 jobs = 30m per cycle: two hourly tenants keep the
+		// single worker at exactly 100% utilization, so only aging can
+		// ever get the best-effort tenant dispatched.
+		VirtualCost: flatCost(6 * time.Minute),
+	})
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles["be"] != 1 {
+		t.Fatalf("best-effort tenant closed %d cycles, want 1", rep.Cycles["be"])
+	}
+	be := rep.Tiers[TierBestEffort]
+	if be == nil || be.Publishes != 1 {
+		t.Fatalf("best-effort tier report = %+v", be)
+	}
+	// It really was starved by priority (waited into the aging regime)...
+	if be.MaxDispatchWait <= maxAge {
+		t.Fatalf("best-effort max wait %v never exceeded MaxQueueAge %v; the test applied no priority pressure", be.MaxDispatchWait, maxAge)
+	}
+	// ...but aging bounded the wait at MaxQueueAge plus ~one service time.
+	if limit := maxAge + 30*time.Minute; be.MaxDispatchWait > limit {
+		t.Fatalf("best-effort max wait %v exceeds aging bound %v", be.MaxDispatchWait, limit)
+	}
+	// The hourly tenants kept their cadence: 24 cycles each, and the
+	// best-effort insertion only ever cost them a bounded delay.
+	hr := rep.Tiers[TierHourly]
+	if hr == nil || hr.Publishes != 48 {
+		t.Fatalf("hourly tier report = %+v", hr)
+	}
+	if hr.MaxDispatchWait > 2*time.Hour {
+		t.Fatalf("hourly max wait %v, want well under the aging bound", hr.MaxDispatchWait)
+	}
+}
+
+// TestSchedulerKillAndResumeSweep is the scheduler's crash-recovery
+// proof, mirroring the day journal's sweep: for every queue-log record
+// index k of an uninterrupted control run, crash a fresh run right after
+// record k commits, resume it with a brand-new scheduler (a restarted
+// process), and require the publish sequence — tenants, cycles, and
+// generation numbers, in order — to be identical to the control's, with
+// no job ever executed twice.
+func TestSchedulerKillAndResumeSweep(t *testing.T) {
+	tenants := []catalog.RetailerID{"a", "b", "c"}
+	baseOpts := func(fs *dfs.FS, exec Executor, inj *faults.Injector) Options {
+		return Options{
+			Workers: 2, MaxCycles: 2,
+			FS: fs, Executor: exec, Injector: inj,
+			Tenants:     tenants,
+			VirtualCost: flatCost(10 * time.Minute),
+			Seed:        42,
+		}
+	}
+
+	controlExec := &fakeExec{}
+	control, err := New(nil, baseOpts(dfs.New(), controlExec, nil)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPubs := controlExec.pubs()
+	wantJobs := len(controlExec.executed)
+	// 6 cycle admissions + 30 job completions.
+	n := control.CyclesAdmitted + control.JobsRun
+	if n != 36 || len(wantPubs) != 6 {
+		t.Fatalf("control run: %d records, %d publishes, want 36/6", n, len(wantPubs))
+	}
+
+	for k := 0; k < n; k++ {
+		fs := dfs.New()
+		exec := &fakeExec{}
+		inj := faults.NewInjector(1, faults.Rule{
+			Ops:          []faults.Op{faults.OpCoordinator},
+			Kind:         faults.Error,
+			PathContains: "sched/record-",
+			After:        k,
+			EveryNth:     1,
+			Times:        1,
+		})
+		_, err := New(nil, baseOpts(fs, exec, inj)).Run(context.Background())
+		if err == nil {
+			t.Fatalf("k=%d: run survived its crashpoint", k)
+		}
+		if !IsCrash(err) {
+			t.Fatalf("k=%d: err = %v, want an injected crash", k, err)
+		}
+
+		// Resume in a fresh scheduler over the same filesystem — same
+		// fake executor so the publish log spans both incarnations.
+		rep, err := New(nil, baseOpts(fs, exec, nil)).Run(context.Background())
+		if err != nil {
+			t.Fatalf("k=%d: resume failed: %v", k, err)
+		}
+		if !rep.Resumed || rep.RecordsReplayed != k+1 {
+			t.Fatalf("k=%d: resumed=%v replayed=%d, want true/%d", k, rep.Resumed, rep.RecordsReplayed, k+1)
+		}
+
+		// Every journaled job was short-circuited, never re-executed: the
+		// cumulative execution log has no duplicates and exactly the
+		// control's job count.
+		seen := map[jobKey]bool{}
+		for _, jk := range exec.executed {
+			if seen[jk] {
+				t.Fatalf("k=%d: job %+v executed twice across crash and resume", k, jk)
+			}
+			seen[jk] = true
+		}
+		if len(exec.executed) != wantJobs {
+			t.Fatalf("k=%d: %d jobs executed across incarnations, want %d", k, len(exec.executed), wantJobs)
+		}
+		if rep.JobsRun+rep.JobsReplayed != wantJobs {
+			t.Fatalf("k=%d: run+replayed = %d, want %d", k, rep.JobsRun+rep.JobsReplayed, wantJobs)
+		}
+
+		// The publish sequence — including generation assignment — is
+		// identical to the uninterrupted run's.
+		if got := exec.pubs(); !reflect.DeepEqual(got, wantPubs) {
+			t.Fatalf("k=%d: publish sequence diverged:\n got: %+v\nwant: %+v", k, got, wantPubs)
+		}
+		if rep.CyclesClosed != control.CyclesClosed || rep.MaxGen != control.MaxGen || rep.Publishes != control.Publishes {
+			t.Fatalf("k=%d: resumed totals closed=%d gen=%d pubs=%d, control %d/%d/%d",
+				k, rep.CyclesClosed, rep.MaxGen, rep.Publishes,
+				control.CyclesClosed, control.MaxGen, control.Publishes)
+		}
+	}
+}
+
+// TestSchedulerMultiTierSoak runs a mixed fleet for two virtual days and
+// checks the freshness contract: hourly tenants' p99 staleness stays
+// under one virtual hour, and daily tenants complete every cycle the
+// horizon owes them.
+func TestSchedulerMultiTierSoak(t *testing.T) {
+	tiers := map[catalog.RetailerID]Tier{
+		"h0": TierHourly, "h1": TierHourly,
+		"d0": TierDaily, "d1": TierDaily, "d2": TierDaily, "d3": TierDaily,
+		"b0": TierBestEffort, "b1": TierBestEffort,
+	}
+	var tenants []catalog.RetailerID
+	for _, id := range []catalog.RetailerID{"h0", "h1", "d0", "d1", "d2", "d3", "b0", "b1"} {
+		tenants = append(tenants, id)
+	}
+	costs := map[JobKind]time.Duration{
+		KindStage: 2 * time.Minute, KindTrain: 8 * time.Minute,
+		KindInfer: 3 * time.Minute, KindGuard: time.Minute, KindPublish: time.Minute,
+	}
+	exec := &fakeExec{}
+	s := New(nil, Options{
+		Workers: 4,
+		Horizon: 48 * time.Hour,
+		Tiers:   tiers,
+		FS:      dfs.New(), Executor: exec,
+		Tenants:     tenants,
+		VirtualCost: func(j *Job) time.Duration { return costs[j.Kind] },
+	})
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsFailed != 0 {
+		t.Fatalf("%d jobs failed", rep.JobsFailed)
+	}
+	hr := rep.Tiers[TierHourly]
+	if hr == nil || hr.Publishes != 96 {
+		t.Fatalf("hourly tier = %+v, want 96 publishes (2 tenants x 48 cycles)", hr)
+	}
+	if p99 := hr.StalenessP99(); p99 >= time.Hour {
+		t.Fatalf("hourly staleness p99 = %v, want under one virtual hour", p99)
+	}
+	// Daily throughput: the 48h horizon owes each daily tenant exactly 2
+	// cycles (due at 0h and 24h) — all of them must have closed.
+	for _, id := range []catalog.RetailerID{"d0", "d1", "d2", "d3"} {
+		if rep.Cycles[id] != 2 {
+			t.Fatalf("daily tenant %s closed %d cycles, want 2", id, rep.Cycles[id])
+		}
+	}
+	if dr := rep.Tiers[TierDaily]; dr.Publishes != 8 {
+		t.Fatalf("daily tier publishes = %d, want 8", dr.Publishes)
+	}
+	if br := rep.Tiers[TierBestEffort]; br.Publishes != 4 {
+		t.Fatalf("best-effort tier publishes = %d, want 4", br.Publishes)
+	}
+	if rep.VirtualElapsed < 24*time.Hour {
+		t.Fatalf("virtual elapsed %v, want at least the second daily wave", rep.VirtualElapsed)
+	}
+}
+
+// TestSchedulerCloseStopsCleanly starts a long scheduler run in the
+// background, closes it mid-flight, and requires a prompt, error-free
+// join with no leaked goroutines.
+func TestSchedulerCloseStopsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	exec := &fakeExec{sleep: 20 * time.Millisecond}
+	s := New(nil, Options{
+		Workers: 2, MaxCycles: 50,
+		FS: dfs.New(), Executor: exec,
+		Tenants:     []catalog.RetailerID{"a", "b", "c", "d"},
+		VirtualCost: flatCost(time.Minute),
+	})
+	s.Start(context.Background())
+	time.Sleep(60 * time.Millisecond)
+	start := time.Now()
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v, want a prompt join", elapsed)
+	}
+	if rep.JobsRun == 0 {
+		t.Fatal("scheduler made no progress before Close")
+	}
+	if rep.JobsRun >= 50*4*5 {
+		t.Fatal("Close did not interrupt the run")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: before=%d now=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Close before Start is a no-op; a second Close is idempotent.
+	var idle Scheduler
+	if rep, err := idle.Close(); err != nil || rep.JobsRun != 0 {
+		t.Fatalf("Close on never-started scheduler: %+v, %v", rep, err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -131,6 +131,11 @@ func Parse(data []byte) (*Flat, error) {
 	prev := int64(-1)
 	for i := 0; i < f.count; i++ {
 		id := binary.LittleEndian.Uint32(f.index[i*indexStride:])
+		if id > math.MaxInt32 {
+			// Item ids are non-negative int32s; a high-bit id would turn
+			// negative in ItemAt and become unreachable through Lookup.
+			return nil, fmt.Errorf("segment: index id %d overflows item id at entry %d", id, i)
+		}
 		if int64(id) <= prev {
 			return nil, fmt.Errorf("segment: index not strictly increasing at entry %d", i)
 		}

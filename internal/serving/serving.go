@@ -102,6 +102,12 @@ type Snapshot struct {
 	// Status carries per-retailer health metadata alongside the recs.
 	// Entries may be absent for hand-built snapshots; Publish fills them.
 	Status map[catalog.RetailerID]*TenantStatus
+	// Rolling marks a partial-fleet publish (the continuous scheduler
+	// refreshing one tenant): retailers absent from this snapshot carry
+	// forward from the previous generation instead of dropping out of
+	// service. The daily pipeline publishes whole-fleet snapshots with
+	// Rolling false.
+	Rolling bool
 }
 
 // MarkDegraded flags a retailer as degraded in this snapshot. Publish uses
@@ -150,6 +156,11 @@ type Server struct {
 	// the pipeline when the guard is on; exposed as the /statz "guard"
 	// block.
 	guard atomic.Pointer[GuardInfo]
+
+	// freshness is the fleet's latest per-tier staleness summary, set by
+	// whichever scheduling path published (the daily loop or the
+	// continuous scheduler); exposed as the /statz "freshness" block.
+	freshness atomic.Pointer[FreshnessInfo]
 }
 
 // ResumeInfo is one day's crash-recovery metadata: whether the day
@@ -191,6 +202,39 @@ type GuardInfo struct {
 	Canaried []string `json:"canaried,omitempty"`
 	// VetoReasons counts vetoes by the gate that tripped.
 	VetoReasons map[string]int `json:"veto_reasons,omitempty"`
+}
+
+// TierFreshness is one freshness tier's staleness summary: how far past
+// each cycle's due time its tenants' fresh data became servable.
+type TierFreshness struct {
+	// Tenants in this tier.
+	Tenants int `json:"tenants"`
+	// Publishes completed for this tier.
+	Publishes int `json:"publishes"`
+	// MeanStalenessSeconds / P99StalenessSeconds / MaxStalenessSeconds
+	// summarize publish staleness (virtual seconds under the continuous
+	// scheduler, wall seconds under the daily loop).
+	MeanStalenessSeconds float64 `json:"mean_staleness_seconds"`
+	P99StalenessSeconds  float64 `json:"p99_staleness_seconds"`
+	MaxStalenessSeconds  float64 `json:"max_staleness_seconds"`
+	// MaxDispatchWaitSeconds is the longest a job in this tier sat ready
+	// in the queue before dispatch (continuous scheduler only).
+	MaxDispatchWaitSeconds float64 `json:"max_dispatch_wait_seconds,omitempty"`
+}
+
+// FreshnessInfo is the fleet's per-tier data-freshness summary, set by
+// whichever scheduling path drives publishes; exposed as the /statz
+// "freshness" block.
+type FreshnessInfo struct {
+	// Path names the producer: "sched" (continuous scheduler) or "daily"
+	// (the legacy synchronized loop, which is all one implicit daily
+	// tier).
+	Path string `json:"path"`
+	// VirtualHours is the scheduler's elapsed virtual time (0 on the
+	// daily path).
+	VirtualHours float64 `json:"virtual_hours,omitempty"`
+	// Tiers summarizes staleness per freshness tier.
+	Tiers map[string]TierFreshness `json:"tiers"`
 }
 
 // servingMetrics are the registry handles the server reports through
@@ -273,9 +317,25 @@ func (s *Server) GuardInfo() (GuardInfo, bool) {
 	return *p, true
 }
 
+// SetFreshnessInfo records the fleet's latest per-tier staleness summary
+// (either scheduling path calls this after publishing).
+func (s *Server) SetFreshnessInfo(info FreshnessInfo) {
+	s.freshness.Store(&info)
+}
+
+// FreshnessInfo returns the fleet's latest per-tier staleness summary.
+func (s *Server) FreshnessInfo() (FreshnessInfo, bool) {
+	p := s.freshness.Load()
+	if p == nil {
+		return FreshnessInfo{}, false
+	}
+	return *p, true
+}
+
 // StatzBlocks implements StatzExtension: a "resume" block appears once
 // the pipeline has completed a journaled day, a "guard" block once the
-// quality firewall has run.
+// quality firewall has run, a "freshness" block once either scheduling
+// path has published.
 func (s *Server) StatzBlocks() map[string]any {
 	blocks := map[string]any{}
 	if info, ok := s.ResumeInfo(); ok {
@@ -283,6 +343,9 @@ func (s *Server) StatzBlocks() map[string]any {
 	}
 	if info, ok := s.GuardInfo(); ok {
 		blocks["guard"] = info
+	}
+	if info, ok := s.FreshnessInfo(); ok {
+		blocks["freshness"] = info
 	}
 	return blocks
 }
@@ -303,6 +366,26 @@ func (s *Server) Publish(snap *Snapshot) {
 	}
 	if snap.Status == nil {
 		snap.Status = map[catalog.RetailerID]*TenantStatus{}
+	}
+	if snap.Rolling {
+		// Rolling publish: every retailer the snapshot doesn't mention
+		// keeps serving its previous generation — recs pointer shared
+		// (immutable once published), status copied so later publishes
+		// can't mutate history.
+		if prev := s.snap.Load(); prev != nil {
+			for r, rr := range prev.Retailers {
+				if snap.Retailers[r] != nil || snap.Status[r] != nil {
+					continue
+				}
+				snap.Retailers[r] = rr
+				if pst := prev.Status[r]; pst != nil {
+					cp := *pst
+					snap.Status[r] = &cp
+				} else {
+					snap.Status[r] = &TenantStatus{RecsVersion: prev.Version}
+				}
+			}
+		}
 	}
 	for r := range snap.Retailers {
 		if snap.Status[r] == nil {

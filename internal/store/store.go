@@ -353,6 +353,9 @@ type Store struct {
 	// guardInfo mirrors the pipeline's quality-firewall summary for the
 	// /statz "guard" block.
 	guardInfo atomic.Pointer[serving.GuardInfo]
+	// freshness mirrors the fleet's per-tier staleness summary for the
+	// /statz "freshness" block.
+	freshness atomic.Pointer[serving.FreshnessInfo]
 
 	m storeMetrics
 }
@@ -367,6 +370,12 @@ func (st *Store) SetResumeInfo(info serving.ResumeInfo) {
 // (the pipeline calls this when the guard is on).
 func (st *Store) SetGuardInfo(info serving.GuardInfo) {
 	st.guardInfo.Store(&info)
+}
+
+// SetFreshnessInfo records the fleet's latest per-tier staleness summary
+// (either scheduling path calls this after publishing).
+func (st *Store) SetFreshnessInfo(info serving.FreshnessInfo) {
+	st.freshness.Store(&info)
 }
 
 // storeMetrics are the sigmund_store_* registry handles. Shard indices are
@@ -696,6 +705,23 @@ func (st *Store) PublishGeneration(snap *serving.Snapshot) error {
 			Quarantined: ts.Quarantined,
 			Phase:       ts.DegradedPhase,
 		})
+	}
+	if snap.Rolling {
+		// Rolling publish: every retailer the snapshot doesn't mention
+		// keeps its previous manifest entry verbatim, so a one-tenant
+		// refresh never drops the rest of the fleet from service. Sorted
+		// so the manifest encodes deterministically.
+		var carried []catalog.RetailerID
+		for r := range st.lastSeg {
+			if snap.Retailers[r] != nil || snap.Status[r] != nil {
+				continue
+			}
+			carried = append(carried, r)
+		}
+		sort.Slice(carried, func(i, j int) bool { return carried[i] < carried[j] })
+		for _, r := range carried {
+			entries = append(entries, st.lastSeg[r])
+		}
 	}
 	st.stateMu.RUnlock()
 	man := &Manifest{Generation: gen, Entries: entries}
@@ -1387,6 +1413,9 @@ func (st *Store) StatzBlocks() map[string]any {
 			CanariesExpired  int64              `json:"canaries_expired"`
 			Canaries         []canaryStatz      `json:"canaries,omitempty"`
 		}{st.guardInfo.Load(), promoted, rolledBack, expired, cz}
+	}
+	if info := st.freshness.Load(); info != nil {
+		blocks["freshness"] = *info
 	}
 	return blocks
 }

@@ -3,6 +3,7 @@ package synth
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"sigmund/internal/catalog"
 	"sigmund/internal/interactions"
@@ -26,6 +27,15 @@ type FleetSpec struct {
 	EventsPerUserMean float64
 	Days              int
 	Seed              uint64
+	// HourlyFraction / BestEffortFraction assign freshness tiers for the
+	// continuous scheduler: the largest HourlyFraction of retailers (by
+	// catalog size) become "hourly", the smallest BestEffortFraction
+	// become "best-effort", everyone else "daily". Both default to 0 (the
+	// whole fleet daily — the legacy cadence). The tier names match
+	// internal/sched's Tier values; synth keeps plain strings so the
+	// generator stays dependency-free.
+	HourlyFraction     float64
+	BestEffortFraction float64
 }
 
 // Defaulted returns spec with zero fields replaced by usable defaults.
@@ -93,7 +103,40 @@ func GenerateFleet(spec FleetSpec) []*Retailer {
 		}
 		out[i] = GenerateRetailer(rs)
 	}
+	assignTiers(out, spec)
 	return out
+}
+
+// assignTiers stamps freshness tiers by catalog size: the biggest
+// retailers churn fastest (hourly), the smallest can wait (best-effort).
+// Ties break by ID so the assignment is deterministic.
+func assignTiers(fleet []*Retailer, spec FleetSpec) {
+	order := make([]int, len(fleet))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := fleet[order[a]], fleet[order[b]]
+		if ra.Spec.NumItems != rb.Spec.NumItems {
+			return ra.Spec.NumItems > rb.Spec.NumItems
+		}
+		return ra.Spec.ID < rb.Spec.ID
+	})
+	hourly := int(math.Ceil(spec.HourlyFraction * float64(len(fleet))))
+	bestEffort := int(math.Ceil(spec.BestEffortFraction * float64(len(fleet))))
+	if hourly+bestEffort > len(fleet) {
+		bestEffort = len(fleet) - hourly
+	}
+	for rank, idx := range order {
+		switch {
+		case rank < hourly:
+			fleet[idx].Tier = "hourly"
+		case rank >= len(fleet)-bestEffort:
+			fleet[idx].Tier = "best-effort"
+		default:
+			fleet[idx].Tier = "daily"
+		}
+	}
 }
 
 // ClickModel converts ground-truth affinity into click behaviour for the

@@ -1,10 +1,11 @@
 // Command benchcheck guards against performance regressions in CI. It runs
 // the repo's tentpole benchmarks (BenchmarkMapReduce, BenchmarkRunDay,
-// BenchmarkServeRouted) a few times with -benchtime=1x, takes the fastest
+// BenchmarkServeRouted, BenchmarkServeAdmitted, BenchmarkSchedulerDispatch)
+// a few times with -benchtime=1x, takes the fastest
 // run of each sub-benchmark (the minimum is the least noisy estimator on
 // shared CI machines), and compares ns/op, allocs/op, and B/op against the
-// committed baselines BENCH_mapreduce.json, BENCH_runday.json, and
-// BENCH_store.json. A sub-benchmark more than -tolerance times worse than
+// committed BENCH_*.json baselines named in the targets table below.
+// A sub-benchmark more than -tolerance times worse than
 // its baseline on any gated metric fails the build: ns/op catches speed
 // regressions, while allocs/op and B/op catch the quieter failure mode
 // where a refactor reintroduces per-request garbage long before it shows
@@ -48,6 +49,7 @@ var targets = []target{
 	{pkg: "./internal/pipeline", bench: "BenchmarkRunDay", baseline: "BENCH_runday.json"},
 	{pkg: "./internal/store", bench: "BenchmarkServeRouted", baseline: "BENCH_store.json"},
 	{pkg: "./internal/store", bench: "BenchmarkServeAdmitted", baseline: "BENCH_store_admit.json"},
+	{pkg: "./internal/sched", bench: "BenchmarkSchedulerDispatch", baseline: "BENCH_sched.json"},
 }
 
 // baseline mirrors the committed BENCH_*.json schema.

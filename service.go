@@ -17,6 +17,7 @@ import (
 	"sigmund/internal/obs"
 	"sigmund/internal/pipeline"
 	"sigmund/internal/preempt"
+	"sigmund/internal/sched"
 	"sigmund/internal/serving"
 	"sigmund/internal/store"
 )
@@ -129,7 +130,22 @@ type Config struct {
 	// resumes on the next RunDay call.
 	CrashAfterRecord int
 	CrashDay         int
-	Seed             uint64
+	// Sched switches from the synchronized daily loop to the continuous
+	// fleet scheduler: each tenant's cycle decomposes into typed jobs
+	// (stage → train → infer → guard → publish) on a durable priority
+	// queue, publishes roll per tenant, and freshness tiers control
+	// cadence (see RunSched / SetTier).
+	Sched bool
+	// SchedWorkers is the scheduler's virtual worker pool size (0 = 4).
+	SchedWorkers int
+	// SchedCycles is how many cycles each tenant runs before the
+	// scheduler drains (0 = 1).
+	SchedCycles int
+	// SchedCrashAfter injects one deterministic scheduler crash right
+	// after the Nth queue-log record commits (1-based; 0 disables). The
+	// next RunSched resumes from the queue log — see IsSchedulerCrash.
+	SchedCrashAfter int
+	Seed            uint64
 }
 
 // DefaultConfig returns production-style settings scaled to a single
@@ -187,6 +203,20 @@ type ResumeInfo = serving.ResumeInfo
 // under -resume.
 func IsCoordinatorCrash(err error) bool { return pipeline.IsCoordinatorCrash(err) }
 
+// SchedReport summarizes one continuous-scheduler run: virtual elapsed
+// time, per-tier staleness, publish/veto/canary counts, resume stats.
+type SchedReport = sched.Report
+
+// SchedTier names a freshness tier ("hourly", "daily", "best-effort") —
+// the key type of SchedReport.Tiers and the argument to SetTier.
+type SchedTier = sched.Tier
+
+// IsSchedulerCrash reports whether a RunSched error was an injected
+// scheduler crash (Config.SchedCrashAfter, or a faults.OpCoordinator rule
+// on the queue log). The queue log survives, so calling RunSched again
+// resumes: committed jobs replay, in-flight work re-executes.
+func IsSchedulerCrash(err error) bool { return sched.IsCrash(err) }
+
 // Service hosts many retailers and runs the daily Sigmund cycle for all of
 // them.
 type Service struct {
@@ -197,6 +227,15 @@ type Service struct {
 	store   *store.Store // non-nil iff sharded
 	pipe    *pipeline.Pipeline
 	obs     *obs.Observer
+
+	// Continuous-scheduler state (Config.Sched): tier assignments and the
+	// lazily built scheduler. One scheduler instance spans crash-resume
+	// restarts so the runtime estimator keeps what it learned.
+	cfg       Config
+	inj       *faults.Injector
+	tierMu    sync.Mutex
+	tiers     map[RetailerID]sched.Tier
+	scheduler *sched.Scheduler
 }
 
 // NewService creates a service with an in-memory shared filesystem and
@@ -274,6 +313,25 @@ func NewService(cfg Config) *Service {
 		// match OpWorker, so this is inert until such a rule is added.
 		opts.Substrate.WorkerFaults = inj.WorkerPlan()
 	}
+	if cfg.SchedCrashAfter > 0 {
+		// One deterministic scheduler crash, keyed by queue-log record
+		// index (the scheduler's analogue of CrashAfterRecord).
+		rule := faults.Rule{
+			Ops:          []faults.Op{faults.OpCoordinator},
+			Kind:         faults.Error,
+			PathContains: "sched/record-",
+			After:        cfg.SchedCrashAfter - 1,
+			EveryNth:     1,
+			Times:        1,
+		}
+		if opts.Injector != nil {
+			opts.Injector.Add(rule)
+		} else {
+			inj := faults.NewInjector(chaosSeed, rule)
+			inj.SetMetrics(observer.Reg())
+			opts.Injector = inj
+		}
+	}
 	if cfg.CrashAfterRecord > 0 {
 		// One deterministic coordinator crash, keyed by journal record
 		// index. Piggybacks on the chaos injector when present so both
@@ -307,7 +365,8 @@ func NewService(cfg Config) *Service {
 			return kill, 2 * time.Millisecond
 		}
 	}
-	svc := &Service{fs: fs, obs: observer}
+	svc := &Service{fs: fs, obs: observer, cfg: cfg, tiers: map[RetailerID]sched.Tier{}}
+	svc.inj = opts.Injector
 	var publisher pipeline.Publisher
 	if cfg.Shards > 0 {
 		// Sharded serving: the pipeline's publish phase bulk-loads segments
@@ -360,6 +419,44 @@ func (s *Service) Day() int { return s.pipe.Day() }
 // publish.
 func (s *Service) RunDay(ctx context.Context) (DayReport, error) {
 	return s.pipe.RunDay(ctx)
+}
+
+// SetTier assigns a retailer's freshness tier for the continuous
+// scheduler: "hourly", "daily", or "best-effort". Unassigned retailers
+// run daily. Must be called before the first RunSched.
+func (s *Service) SetTier(r RetailerID, tier string) error {
+	if !sched.ValidTier(tier) {
+		return fmt.Errorf("sigmund: unknown tier %q (want hourly, daily, or best-effort)", tier)
+	}
+	s.tierMu.Lock()
+	defer s.tierMu.Unlock()
+	if s.scheduler != nil {
+		return fmt.Errorf("sigmund: SetTier after the scheduler started")
+	}
+	s.tiers[r] = sched.Tier(tier)
+	return nil
+}
+
+// RunSched drives the continuous fleet scheduler to completion: every
+// tenant runs Config.SchedCycles cycles at its tier's cadence, publishing
+// per tenant as each cycle finishes. On an injected crash
+// (IsSchedulerCrash) call RunSched again — it resumes from the durable
+// queue log and the finished fleet state is identical to an uninterrupted
+// run.
+func (s *Service) RunSched(ctx context.Context) (SchedReport, error) {
+	s.tierMu.Lock()
+	if s.scheduler == nil {
+		s.scheduler = sched.New(s.pipe, sched.Options{
+			Workers:   s.cfg.SchedWorkers,
+			Tiers:     s.tiers,
+			MaxCycles: s.cfg.SchedCycles,
+			Injector:  s.inj,
+			Seed:      s.cfg.Seed,
+		})
+	}
+	sc := s.scheduler
+	s.tierMu.Unlock()
+	return sc.Run(ctx)
 }
 
 // Recommend answers a serving request from the latest published snapshot.
