@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard chaos-sched fuzz-smoke bench-check bench-update ci clean
+.PHONY: all build fmt-check vet test race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard chaos-sched chaos-integrity fuzz-smoke bench-check bench-update ci clean
 
 all: ci
 
@@ -71,11 +71,21 @@ chaos-guard:
 chaos-sched:
 	$(GO) test -race -short -run 'Scheduler|QueueLog|ServiceSched|ServiceSetTier' ./internal/sched/ .
 
-# Fuzz smoke: a few seconds per fuzz target (journal recovery, segment
-# decoding) so hostile-input regressions surface in CI without a
-# dedicated fuzz farm.
+# Storage-integrity chaos: the footer codec (round-trip, legacy, rot
+# detection on every read), deterministic BitFlip/Truncate placement, the
+# end-to-end bit-rot drill (zero corrupt responses escape; post-repair
+# fleet byte-identical to an uninjected control), scrub GC × carry-forward
+# retention, peer re-replication of deleted blobs, and the poison-free
+# previous-generation fallback.
+chaos-integrity:
+	$(GO) test -race -short -run 'Integrity|Scrub|Footer|BitFlip|Truncate|AtRest|WriteLegacy|CreateClose|ReviveHeals|PrepareWithout|CorruptionStreams|CorruptKind' ./internal/dfs/ ./internal/faults/ ./internal/store/
+
+# Fuzz smoke: a few seconds per fuzz target (journal recovery, the dfs
+# integrity footer, segment decoding) so hostile-input regressions surface
+# in CI without a dedicated fuzz farm.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzJournal -fuzztime 5s ./internal/dfs/
+	$(GO) test -run '^$$' -fuzz FuzzIntegrityFooter -fuzztime 5s ./internal/dfs/
 	$(GO) test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 5s ./internal/store/
 	$(GO) test -run '^$$' -fuzz FuzzSegmentLookup -fuzztime 5s ./internal/store/
 
@@ -89,7 +99,7 @@ bench-check:
 bench-update:
 	$(GO) run ./scripts/benchcheck -update
 
-ci: fmt-check vet build race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard chaos-sched fuzz-smoke bench-check
+ci: fmt-check vet build race chaos chaos-workers chaos-store chaos-resume chaos-overload chaos-guard chaos-sched chaos-integrity fuzz-smoke bench-check
 
 clean:
 	$(GO) clean ./...

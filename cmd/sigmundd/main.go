@@ -52,6 +52,7 @@ func main() {
 	admitBurst := flag.Int("admit-burst", 0, "admission token-bucket burst capacity (0 = quarter second of -admit-qps; with -admit-qps)")
 	autoscale := flag.Bool("autoscale", false, "autoscale per-shard replica counts from live queue depth and tail latency (with -shards)")
 	maxReplicas := flag.Int("max-replicas", 0, "per-shard replica ceiling for the autoscaler (0 = 2x -replicas; with -autoscale)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "re-verify stored blobs against their integrity footers at this period, repairing corruption from replica copies (0 = off; with -shards)")
 	guard := flag.Bool("guard", false, "enable the publish-time model-quality firewall: structural and baseline gates, veto + carry-forward, live canary with -shards")
 	canaryFraction := flag.Float64("canary-fraction", 0.05, "hash-slice of a borderline tenant's traffic routed to its fresh generation (with -guard and -shards)")
 	guardMinMAPRatio := flag.Float64("guard-min-map-ratio", 0, "veto a candidate whose MAP@10 falls below this fraction of the tenant's trailing baseline (0 = default 0.5; with -guard)")
@@ -82,6 +83,7 @@ func main() {
 	cfg.AdmitBurst = *admitBurst
 	cfg.Autoscale = *autoscale
 	cfg.MaxReplicas = *maxReplicas
+	cfg.ScrubInterval = *scrubInterval
 	cfg.Guard = *guard
 	cfg.CanaryFraction = *canaryFraction
 	cfg.GuardMinMAPRatio = *guardMinMAPRatio
@@ -102,6 +104,8 @@ func main() {
 		autoscale:        *autoscale,
 		replicas:         *replicas,
 		maxReplicas:      *maxReplicas,
+		shards:           *shards,
+		scrubInterval:    *scrubInterval,
 		guard:            *guard,
 		canaryFraction:   *canaryFraction,
 		guardMinMAPRatio: *guardMinMAPRatio,

@@ -1,6 +1,9 @@
 package main
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // daemonFlags are the parsed flag values that validateFlags cross-checks.
 // Several flags only make sense in combination; refusing a contradictory
@@ -13,6 +16,8 @@ type daemonFlags struct {
 	autoscale        bool
 	replicas         int
 	maxReplicas      int
+	shards           int
+	scrubInterval    time.Duration
 	guard            bool
 	canaryFraction   float64
 	guardMinMAPRatio float64
@@ -42,6 +47,12 @@ func validateFlags(f daemonFlags, set map[string]bool) error {
 		if f.maxReplicas < f.replicas {
 			return fmt.Errorf("-max-replicas (%d) must be at least -replicas (%d)", f.maxReplicas, f.replicas)
 		}
+	}
+	if f.scrubInterval < 0 {
+		return fmt.Errorf("-scrub-interval must be non-negative, got %v", f.scrubInterval)
+	}
+	if f.scrubInterval > 0 && f.shards <= 0 {
+		return fmt.Errorf("-scrub-interval requires -shards (the scrubber repairs from store replicas)")
 	}
 	if f.canaryFraction < 0 || f.canaryFraction >= 1 {
 		return fmt.Errorf("-canary-fraction must be in [0, 1), got %g", f.canaryFraction)

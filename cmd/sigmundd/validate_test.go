@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateFlags(t *testing.T) {
@@ -37,6 +38,20 @@ func TestValidateFlags(t *testing.T) {
 		{
 			name: "max-replicas valid",
 			f:    daemonFlags{journal: true, replicas: 2, maxReplicas: 6, autoscale: true},
+		},
+		{
+			name:    "scrub-interval without shards",
+			f:       daemonFlags{journal: true, replicas: 2, scrubInterval: time.Minute},
+			wantErr: "-scrub-interval requires -shards",
+		},
+		{
+			name:    "negative scrub-interval",
+			f:       daemonFlags{journal: true, replicas: 2, shards: 4, scrubInterval: -time.Second},
+			wantErr: "-scrub-interval must be non-negative",
+		},
+		{
+			name: "scrub-interval with shards",
+			f:    daemonFlags{journal: true, replicas: 2, shards: 4, scrubInterval: time.Minute},
 		},
 		{
 			name:    "canary fraction out of range",

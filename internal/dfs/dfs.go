@@ -43,6 +43,12 @@ type FS struct {
 
 	bytesWritten int64
 	bytesRead    int64
+
+	// Integrity accounting: reads that verified a footer, reads of
+	// footerless legacy blobs, and reads rejected with ErrCorrupt.
+	verifiedReads int64
+	legacyReads   int64
+	corruptReads  int64
 }
 
 // New returns an empty filesystem.
@@ -52,8 +58,11 @@ func New() *FS {
 
 // SetInjector installs a fault injector consulted on Write, Rename, and
 // Read (nil removes it). Error rules fail the operation with
-// ErrInjectedFailure, Latency rules delay it, Corrupt rules garble the
-// stored (write) or returned (read) payload.
+// ErrInjectedFailure, Latency rules delay it. Corrupt/BitFlip/Truncate
+// rules garble the stored (write) or returned (read) image — footer
+// included — so the damage is exactly what footer verification exists to
+// catch: a corrupted read surfaces as ErrCorrupt, not as garbled payload
+// bytes.
 func (f *FS) SetInjector(in *faults.Injector) {
 	f.inj.Store(in)
 }
@@ -80,8 +89,27 @@ func (f *FS) inject(op faults.Op, path string) error {
 	return f.inj.Load().Before(op, path)
 }
 
-// Write stores data at path atomically, replacing any existing file.
+// Write stores data at path atomically, replacing any existing file. The
+// stored image is the payload plus its integrity footer; fault-injected
+// corruption is applied to the image after the footer is computed, so
+// rot-at-write is detectable by the next verified read.
 func (f *FS) Write(path string, data []byte) error {
+	if err := f.inject(faults.OpWrite, path); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	image := AppendFooter(data)
+	image = f.inj.Load().CorruptData(faults.OpWrite, path, image)
+	f.mu.Lock()
+	f.files[path] = image
+	f.mu.Unlock()
+	atomic.AddInt64(&f.bytesWritten, int64(len(data)))
+	return nil
+}
+
+// WriteLegacy stores data at path without an integrity footer — the
+// pre-footer on-disk shape. Tests use it to model old fixtures and blobs
+// written by earlier releases; everything else should use Write.
+func (f *FS) WriteLegacy(path string, data []byte) error {
 	if err := f.inject(faults.OpWrite, path); err != nil {
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
@@ -95,7 +123,10 @@ func (f *FS) Write(path string, data []byte) error {
 	return nil
 }
 
-// Read returns a copy of the file at path.
+// Read returns a copy of the file's payload at path, verifying and
+// stripping the integrity footer. A blob whose footer fails verification
+// returns an error wrapping ErrCorrupt; a footerless legacy blob is
+// returned as-is.
 func (f *FS) Read(path string) ([]byte, error) {
 	if err := f.inject(faults.OpRead, path); err != nil {
 		return nil, fmt.Errorf("reading %s: %w", path, err)
@@ -109,8 +140,18 @@ func (f *FS) Read(path string) ([]byte, error) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	cp = f.inj.Load().CorruptData(faults.OpRead, path, cp)
-	atomic.AddInt64(&f.bytesRead, int64(len(data)))
-	return cp, nil
+	payload, verified, err := StripFooter(cp)
+	if err != nil {
+		atomic.AddInt64(&f.corruptReads, 1)
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if verified {
+		atomic.AddInt64(&f.verifiedReads, 1)
+	} else {
+		atomic.AddInt64(&f.legacyReads, 1)
+	}
+	atomic.AddInt64(&f.bytesRead, int64(len(payload)))
+	return payload, nil
 }
 
 // Open returns a reader over the file's contents at open time (snapshot
@@ -130,10 +171,11 @@ func (f *FS) Create(path string) io.WriteCloser {
 }
 
 type fileWriter struct {
-	fs   *FS
-	path string
-	buf  bytes.Buffer
-	done bool
+	fs       *FS
+	path     string
+	buf      bytes.Buffer
+	done     bool
+	closeErr error
 }
 
 func (w *fileWriter) Write(p []byte) (int, error) {
@@ -143,12 +185,16 @@ func (w *fileWriter) Write(p []byte) (int, error) {
 	return w.buf.Write(p)
 }
 
+// Close commits the buffered content. A repeated Close returns the first
+// Close's result, so a failed commit cannot be masked by a deferred
+// second Close returning nil.
 func (w *fileWriter) Close() error {
 	if w.done {
-		return nil
+		return w.closeErr
 	}
 	w.done = true
-	return w.fs.Write(w.path, w.buf.Bytes())
+	w.closeErr = w.fs.Write(w.path, w.buf.Bytes())
+	return w.closeErr
 }
 
 // Exists reports whether path holds a file.
@@ -159,13 +205,17 @@ func (f *FS) Exists(path string) bool {
 	return ok
 }
 
-// Size returns the file's length in bytes.
+// Size returns the file's payload length in bytes (excluding the
+// integrity footer, so it matches what Read returns).
 func (f *FS) Size(path string) (int64, error) {
 	f.mu.RLock()
 	data, ok := f.files[path]
 	f.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("stat %s: %w", path, ErrNotExist)
+	}
+	if payload, verified, err := StripFooter(data); err == nil && verified {
+		return int64(len(payload)), nil
 	}
 	return int64(len(data)), nil
 }
@@ -226,9 +276,19 @@ func (f *FS) DeletePrefix(prefix string) int {
 	return n
 }
 
-// Stats reports cumulative traffic counters.
+// Stats reports cumulative traffic counters (payload bytes, excluding
+// integrity footers).
 func (f *FS) Stats() (bytesWritten, bytesRead int64) {
 	return atomic.LoadInt64(&f.bytesWritten), atomic.LoadInt64(&f.bytesRead)
+}
+
+// IntegrityStats reports cumulative read-verification outcomes: reads
+// whose footer verified, reads of footerless legacy blobs, and reads
+// rejected with ErrCorrupt.
+func (f *FS) IntegrityStats() (verified, legacy, corrupt int64) {
+	return atomic.LoadInt64(&f.verifiedReads),
+		atomic.LoadInt64(&f.legacyReads),
+		atomic.LoadInt64(&f.corruptReads)
 }
 
 // NumFiles returns the number of stored files.

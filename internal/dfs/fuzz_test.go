@@ -23,6 +23,55 @@ func journalFile(payloads ...[]byte) []byte {
 	return buf
 }
 
+// FuzzIntegrityFooter feeds arbitrary bytes to StripFooter. Whatever the
+// bytes, stripping must never panic, and the three outcomes must be
+// mutually consistent: a verified strip round-trips through AppendFooter
+// byte-identically, a legacy result returns the input unchanged, and an
+// error is always the typed ErrCorrupt. Flipping any single bit of a
+// valid footered blob must never yield a verified strip of the original
+// payload.
+func FuzzIntegrityFooter(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("short"))
+	f.Add(AppendFooter(nil))
+	f.Add(AppendFooter([]byte("payload")))
+	tampered := AppendFooter([]byte("payload"))
+	tampered[0] ^= 1
+	f.Add(tampered)
+	// Footer magic with garbage length/checksum fields.
+	f.Add(append(bytes.Repeat([]byte{0xaa}, 8), []byte("SFT1\xff\xff\xff\xff\xff\xff\xff\xff\x00\x00\x00\x00")...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, verified, err := StripFooter(data)
+		switch {
+		case err != nil:
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error not ErrCorrupt: %v", err)
+			}
+		case verified:
+			if !bytes.Equal(AppendFooter(payload), data) {
+				t.Fatal("verified strip does not round-trip through AppendFooter")
+			}
+		default:
+			if !bytes.Equal(payload, data) {
+				t.Fatal("legacy strip modified the blob")
+			}
+		}
+		// Single-bit rot of a freshly footered image must always be caught
+		// (the footer is long enough that a flip inside it demotes the blob
+		// to legacy — but never to a *verified* wrong payload).
+		blob := AppendFooter(data)
+		for _, bit := range []int{0, len(blob)*8 - 1, (len(blob) * 8) / 2} {
+			flipped := bytes.Clone(blob)
+			flipped[bit/8] ^= 1 << (bit % 8)
+			p, v, _ := StripFooter(flipped)
+			if v && bytes.Equal(p, data) {
+				t.Fatalf("bit %d flip went undetected as verified original", bit)
+			}
+		}
+	})
+}
+
 // FuzzJournal feeds arbitrary bytes to OpenJournal as a pre-existing
 // journal file. Whatever the bytes, opening must not panic; when it
 // succeeds, the journal must stay appendable and a reopen must return

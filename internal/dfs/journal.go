@@ -57,7 +57,11 @@ func OpenJournal(fs *FS, path string) (*Journal, [][]byte, error) {
 		return j, nil, nil
 	}
 	if err != nil {
-		return nil, nil, err
+		// This includes ErrCorrupt: the whole-file footer did not verify,
+		// so even the "good prefix" cannot be trusted — unlike a torn tail,
+		// which only loses a suffix. Propagate so the caller re-runs the
+		// day from scratch instead of resuming from poisoned state.
+		return nil, nil, fmt.Errorf("opening journal %s: %w", path, err)
 	}
 	recs, good, err := decodeJournal(data)
 	if err != nil {

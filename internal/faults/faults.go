@@ -108,6 +108,14 @@ const (
 	// hyper-parameter draw that offline eval catches); consumed via
 	// ModelFault.
 	ModelCliff
+	// BitFlip flips a single bit at a deterministic, rule-seeded offset in
+	// the operation's payload — the classic at-rest bit-rot shape
+	// (CorruptData).
+	BitFlip
+	// Truncate cuts the operation's payload at a deterministic,
+	// rule-seeded offset — the partial-write / torn-blob shape
+	// (CorruptData).
+	Truncate
 )
 
 func (k Kind) String() string {
@@ -130,6 +138,10 @@ func (k Kind) String() string {
 		return "model-collapse"
 	case ModelCliff:
 		return "model-cliff"
+	case BitFlip:
+		return "bit-flip"
+	case Truncate:
+		return "truncate"
 	}
 	return "unknown"
 }
@@ -174,6 +186,11 @@ type ruleState struct {
 	Rule
 	matched int64
 	fired   int64
+	// rng is the rule's private stream for payload-placement draws
+	// (BitFlip/Truncate offsets), seeded from the injector seed and the
+	// rule's index at Add time so the same seed always corrupts the same
+	// byte regardless of what other rules fire. Guarded by Injector.mu.
+	rng *linalg.RNG
 }
 
 func (rs *ruleState) appliesTo(op Op, path string) bool {
@@ -197,6 +214,7 @@ func (rs *ruleState) appliesTo(op Op, path string) bool {
 // paths) the set of fired faults is independent of goroutine interleaving.
 type Injector struct {
 	mu      sync.Mutex
+	seed    uint64
 	rng     *linalg.RNG
 	rules   []*ruleState
 	metrics *obs.Registry
@@ -205,17 +223,23 @@ type Injector struct {
 // NewInjector returns an injector whose probabilistic rules draw from a
 // generator seeded with seed.
 func NewInjector(seed uint64, rules ...Rule) *Injector {
-	in := &Injector{rng: linalg.NewRNG(seed ^ 0xfa017)}
+	in := &Injector{seed: seed, rng: linalg.NewRNG(seed ^ 0xfa017)}
 	for _, r := range rules {
 		in.Add(r)
 	}
 	return in
 }
 
-// Add appends a rule.
+// Add appends a rule. The rule's placement stream is seeded from the
+// injector seed and the rule's position, so adding the same rules in the
+// same order reproduces the same corruption placement.
 func (in *Injector) Add(r Rule) {
 	in.mu.Lock()
-	in.rules = append(in.rules, &ruleState{Rule: r})
+	idx := uint64(len(in.rules))
+	in.rules = append(in.rules, &ruleState{
+		Rule: r,
+		rng:  linalg.NewRNG(in.seed ^ 0x51ab1e ^ (idx+1)*0x9e3779b97f4a7c15),
+	})
 	in.mu.Unlock()
 }
 
@@ -307,23 +331,43 @@ func (in *Injector) Before(op Op, path string) error {
 	}
 }
 
-// CorruptData passes a payload through Corrupt-kind rules: when one fires,
-// a deterministic bit pattern is XORed over a copy of the payload. The
-// caller stores or returns the result in place of the original.
+// CorruptData passes a payload through payload-corruption rules. Corrupt
+// XORs a deterministic bit pattern over a copy of the payload; BitFlip
+// flips one bit and Truncate cuts the payload short, both at offsets
+// drawn from the firing rule's private seeded stream (same seed, same
+// byte). The caller stores or returns the result in place of the
+// original.
 func (in *Injector) CorruptData(op Op, path string, data []byte) []byte {
 	if in == nil {
 		return data
 	}
-	rs := in.match(op, path, Corrupt)
+	rs := in.match(op, path, Corrupt, BitFlip, Truncate)
 	if rs == nil || len(data) == 0 {
 		return data
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	for i := 0; i < len(cp); i += 7 {
-		cp[i] ^= 0xa5
+	switch rs.Kind {
+	case BitFlip:
+		r := in.placementDraw(rs)
+		cp[r%uint64(len(cp))] ^= 1 << ((r >> 56) & 7)
+	case Truncate:
+		// Keep [0, len) bytes: at least one byte is always lost.
+		cp = cp[:in.placementDraw(rs)%uint64(len(cp))]
+	default:
+		for i := 0; i < len(cp); i += 7 {
+			cp[i] ^= 0xa5
+		}
 	}
 	return cp
+}
+
+// placementDraw advances rs's placement stream under the injector lock
+// (match returns outside it, and concurrent ops may fire the same rule).
+func (in *Injector) placementDraw(rs *ruleState) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return rs.rng.Uint64()
 }
 
 // Plan adapts the injector into a mapreduce.FaultPlan: OpMapTask and

@@ -22,6 +22,7 @@ package segment
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -33,6 +34,13 @@ import (
 
 // Magic identifies a v2 flat segment.
 const Magic = "SSG2"
+
+// ErrMalformed is wrapped by every Parse rejection. It lets callers
+// classify a structural decode failure — a blob whose integrity footer
+// was itself destroyed (truncation, a flip inside the footer magic) still
+// fails here, so errors.Is(err, ErrMalformed) marks the second layer of
+// corruption detection.
+var ErrMalformed = errors.New("segment: malformed")
 
 const (
 	headerSize  = 16
@@ -112,14 +120,14 @@ func Encode(items []inference.ItemRecs, top []catalog.ItemID) []byte {
 // — so lookups can trust the layout without per-request validation.
 func Parse(data []byte) (*Flat, error) {
 	if len(data) < headerSize || !IsFlat(data) {
-		return nil, fmt.Errorf("segment: not a flat segment (%d bytes)", len(data))
+		return nil, fmt.Errorf("%w: not a flat segment (%d bytes)", ErrMalformed, len(data))
 	}
 	count := binary.LittleEndian.Uint32(data[4:8])
 	topCount := binary.LittleEndian.Uint32(data[8:12])
 	entriesLen := binary.LittleEndian.Uint32(data[12:16])
 	need := uint64(headerSize) + indexStride*uint64(count) + uint64(entriesLen) + 4*uint64(topCount)
 	if need != uint64(len(data)) {
-		return nil, fmt.Errorf("segment: header claims %d bytes, have %d", need, len(data))
+		return nil, fmt.Errorf("%w: header claims %d bytes, have %d", ErrMalformed, need, len(data))
 	}
 	f := &Flat{
 		data:    data,
@@ -134,21 +142,21 @@ func Parse(data []byte) (*Flat, error) {
 		if id > math.MaxInt32 {
 			// Item ids are non-negative int32s; a high-bit id would turn
 			// negative in ItemAt and become unreachable through Lookup.
-			return nil, fmt.Errorf("segment: index id %d overflows item id at entry %d", id, i)
+			return nil, fmt.Errorf("%w: index id %d overflows item id at entry %d", ErrMalformed, id, i)
 		}
 		if int64(id) <= prev {
-			return nil, fmt.Errorf("segment: index not strictly increasing at entry %d", i)
+			return nil, fmt.Errorf("%w: index not strictly increasing at entry %d", ErrMalformed, i)
 		}
 		prev = int64(id)
 		off := uint64(binary.LittleEndian.Uint32(f.index[i*indexStride+4:]))
 		if off+blockHeader > uint64(len(f.entries)) {
-			return nil, fmt.Errorf("segment: item %d block header out of bounds (offset %d)", i, off)
+			return nil, fmt.Errorf("%w: item %d block header out of bounds (offset %d)", ErrMalformed, i, off)
 		}
 		vc := uint64(binary.LittleEndian.Uint32(f.entries[off:]))
 		pc := uint64(binary.LittleEndian.Uint32(f.entries[off+4:]))
 		lc := uint64(binary.LittleEndian.Uint32(f.entries[off+8:]))
 		if off+blockHeader+entryStride*(vc+pc+lc) > uint64(len(f.entries)) {
-			return nil, fmt.Errorf("segment: item %d lists overrun entries section (offset %d, %d recs)", i, off, vc+pc+lc)
+			return nil, fmt.Errorf("%w: item %d lists overrun entries section (offset %d, %d recs)", ErrMalformed, i, off, vc+pc+lc)
 		}
 	}
 	return f, nil

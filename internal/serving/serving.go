@@ -237,6 +237,30 @@ type FreshnessInfo struct {
 	Tiers map[string]TierFreshness `json:"tiers"`
 }
 
+// IntegrityInfo is the store's storage-integrity summary: what the
+// scrubber and the verified load/publish paths have detected and healed.
+// Exposed as the /statz "integrity" block.
+type IntegrityInfo struct {
+	// Scrubbed counts blobs whose integrity a scrub pass verified.
+	Scrubbed int64 `json:"scrubbed"`
+	// Corrupt counts detected corruption incidents: footer or structural
+	// verification failures, and referenced blobs found missing.
+	Corrupt int64 `json:"corrupt"`
+	// Repaired counts incidents healed — by re-read, peer
+	// re-replication, or rewrite.
+	Repaired int64 `json:"repaired"`
+	// Fallbacks counts tenant loads that served their previous
+	// generation because the fresh segment was unrepairable.
+	Fallbacks int64 `json:"integrity_fallbacks"`
+	// OrphansGCed counts unreferenced blobs the scrubber deleted.
+	OrphansGCed int64 `json:"orphans_gced"`
+	// ScrubPasses counts completed scrub passes.
+	ScrubPasses int64 `json:"scrub_passes"`
+	// Quarantined lists blob paths currently detected-corrupt and not
+	// yet repaired.
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
 // servingMetrics are the registry handles the server reports through
 // (nil no-ops when the observer carries no registry).
 type servingMetrics struct {

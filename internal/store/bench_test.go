@@ -54,6 +54,21 @@ func BenchmarkServeRouted(b *testing.B) {
 		defer st.Close()
 		run(b, st)
 	})
+	// The publish path end to end — segment encoding, integrity-footer
+	// hashing, the write-verify read-back, manifest write, and the
+	// two-phase replica load — so the at-rest integrity machinery's cost
+	// stays gated alongside the read path it protects.
+	b.Run("publish-4x2-64t", func(b *testing.B) {
+		st := New(dfs.New(), Options{Shards: 4, Replicas: 2, CacheSize: -1, HedgeAfter: time.Second})
+		defer st.Close()
+		retailers := testRetailers(64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.PublishGeneration(testSnapshot(int64(i+1), retailers...)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkServeAdmitted is BenchmarkServeRouted with the admission

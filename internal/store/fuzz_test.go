@@ -8,6 +8,7 @@ import (
 	"sigmund/internal/catalog"
 	"sigmund/internal/core/hybrid"
 	"sigmund/internal/core/inference"
+	"sigmund/internal/dfs"
 	"sigmund/internal/interactions"
 	"sigmund/internal/segment"
 	"sigmund/internal/serving"
@@ -32,6 +33,20 @@ func FuzzSegmentDecode(f *testing.F) {
 	}))
 	// A count field claiming far more items than the bytes can hold.
 	f.Add(append([]byte("SSEG"), 0xff, 0xff, 0xff, 0x7f))
+	// Footer variants: a segment with the dfs integrity footer still
+	// attached (a raw stored image that bypassed Read's strip), a footered
+	// image truncated into the footer, and one whose footer magic was
+	// flipped — the structural layer must reject all three without panic.
+	footered := dfs.AppendFooter(EncodeSegment(&serving.RetailerRecs{
+		Recs: map[catalog.ItemID]inference.ItemRecs{
+			2: {Item: 2, View: []hybrid.Scored{{Item: 3, Score: 0.7}}},
+		},
+	}))
+	f.Add(footered)
+	f.Add(footered[:len(footered)-dfs.FooterLen/2])
+	magicFlipped := bytes.Clone(footered)
+	magicFlipped[len(magicFlipped)-dfs.FooterLen] ^= 0xff
+	f.Add(magicFlipped)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rr, err := DecodeSegment(data)
@@ -82,6 +97,9 @@ func FuzzSegmentLookup(f *testing.F) {
 		Recs:       map[catalog.ItemID]inference.ItemRecs{1: {Item: 1, View: []hybrid.Scored{{Item: 0, Score: 1}}}},
 		TopSellers: []catalog.ItemID{0, 1},
 	}))
+	// A valid segment with the dfs integrity footer still attached: extra
+	// trailing bytes must fail the exact-length check, never parse.
+	f.Add(dfs.AppendFooter(valid))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fl, err := segment.Parse(data)

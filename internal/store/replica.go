@@ -185,7 +185,16 @@ func (rep *Replica) canaryServes(r catalog.RetailerID) bool {
 // entries (already filtered to this replica's shard) and stages the result.
 // The currently served generation is untouched; a failure leaves the
 // replica serving exactly what it served before.
-func (rep *Replica) prepare(fs *dfs.FS, gen int64, entries []ManifestEntry) error {
+//
+// Every segment is verified at load time — this is the only verification
+// point on the serving side, so the per-request hot path stays zero-copy
+// and checksum-free. A segment that fails verification is quarantined and
+// repaired if possible (re-read, then a peer replica's in-memory copy);
+// when repair fails, the replica keeps its own current copy of that
+// tenant — gen N−1, marked degraded with phase "integrity" — so a corrupt
+// blob degrades freshness, never correctness. res carries the store-level
+// integrity machinery; a nil res restores strict fail-the-load semantics.
+func (rep *Replica) prepare(fs *dfs.FS, gen int64, entries []ManifestEntry, res *segmentResolver) error {
 	if rep.down.Load() {
 		return errReplicaDown{rep.shard, rep.idx}
 	}
@@ -206,16 +215,28 @@ func (rep *Replica) prepare(fs *dfs.FS, gen int64, entries []ManifestEntry) erro
 		Status:    make(map[catalog.RetailerID]*serving.TenantStatus, len(entries)),
 	}
 	for _, e := range entries {
-		data, err := fs.Read(e.Segment)
+		rr, integrity, err := rep.loadEntry(fs, e, res, false)
+		ts := e.status()
 		if err != nil {
-			return fmt.Errorf("store: replica %d/%d loading %s: %w", rep.shard, rep.idx, e.Retailer, err)
-		}
-		rr, err := DecodeSegment(data)
-		if err != nil {
-			return fmt.Errorf("store: replica %d/%d loading %s: %w", rep.shard, rep.idx, e.Retailer, err)
+			if !integrity {
+				return fmt.Errorf("store: replica %d/%d loading %s: %w", rep.shard, rep.idx, e.Retailer, err)
+			}
+			// Unrepairable right now: fall back to this replica's current
+			// copy of the tenant (the previous committed generation) inside
+			// the new snapshot. The tenant serves gen N−1 — stale, marked,
+			// and correct — instead of poison or an outage.
+			prevRR, prevTS := rep.prevCopy(e.Retailer)
+			if prevRR == nil {
+				return fmt.Errorf("store: replica %d/%d loading %s (no previous copy to fall back to): %w",
+					rep.shard, rep.idx, e.Retailer, err)
+			}
+			res.st.integFallbacks.Add(1)
+			rr, ts = prevRR, prevTS
+			ts.Degraded = true
+			ts.DegradedPhase = "integrity"
 		}
 		snap.Retailers[e.Retailer] = rr
-		snap.Status[e.Retailer] = e.status()
+		snap.Status[e.Retailer] = ts
 	}
 	// Stage the canary side too — always, even empty, so committing a
 	// generation with no canaries clears any prior generation's.
@@ -228,13 +249,15 @@ func (rep *Replica) prepare(fs *dfs.FS, gen int64, entries []ManifestEntry) erro
 		if e.CanarySegment == "" {
 			continue
 		}
-		data, err := fs.Read(e.CanarySegment)
+		rr, integrity, err := rep.loadEntry(fs, e, res, true)
 		if err != nil {
-			return fmt.Errorf("store: replica %d/%d loading canary %s: %w", rep.shard, rep.idx, e.Retailer, err)
-		}
-		rr, err := DecodeSegment(data)
-		if err != nil {
-			return fmt.Errorf("store: replica %d/%d loading canary %s: %w", rep.shard, rep.idx, e.Retailer, err)
+			if !integrity {
+				return fmt.Errorf("store: replica %d/%d loading canary %s: %w", rep.shard, rep.idx, e.Retailer, err)
+			}
+			// A corrupt, unrepairable canary segment is dropped: the
+			// control arm serves the whole population (the incident is
+			// already counted and the path quarantined).
+			continue
 		}
 		canary.Retailers[e.Retailer] = rr
 		canary.Status[e.Retailer] = &serving.TenantStatus{RecsVersion: e.CanaryVersion}
@@ -244,6 +267,85 @@ func (rep *Replica) prepare(fs *dfs.FS, gen int64, entries []ManifestEntry) erro
 	rep.pendingCanary = canary
 	rep.mu.Unlock()
 	return nil
+}
+
+// loadEntry fetches one manifest entry's segment (main or canary side)
+// with verification. With a resolver, detection and the escalating repair
+// ladder run here: verified re-reads first (inside fetchVerified), then a
+// healthy peer replica's in-memory copy, which also heals the file on
+// shared storage for every future reader. Without a resolver it is a
+// plain read + decode and integrity is never reported, restoring the old
+// strict fail-the-load semantics.
+func (rep *Replica) loadEntry(fs *dfs.FS, e ManifestEntry, res *segmentResolver, canary bool) (*serving.RetailerRecs, bool, error) {
+	path := e.Segment
+	if canary {
+		path = e.CanarySegment
+	}
+	if res == nil {
+		data, err := fs.Read(path)
+		if err != nil {
+			return nil, false, err
+		}
+		rr, err := DecodeSegment(data)
+		return rr, false, err
+	}
+	rr, integrity, err := res.st.fetchVerified(path)
+	if err == nil {
+		return rr, false, nil
+	}
+	if !integrity {
+		return nil, false, err
+	}
+	if data := res.peerBytes(e, rep, canary); data != nil {
+		if rr, derr := DecodeSegment(data); derr == nil {
+			res.healFile(path, data)
+			return rr, true, nil
+		}
+	}
+	return nil, true, err
+}
+
+// segmentBytes re-encodes this replica's committed in-memory copy of one
+// manifest entry's segment, or nil when the replica does not hold exactly
+// the referenced version. This is the redundancy the repair path draws
+// on: for flat (v2) segments the encoding is the original blob bytes.
+func (rep *Replica) segmentBytes(e ManifestEntry, canary bool) []byte {
+	r, version := e.Retailer, e.RecsVersion
+	rep.mu.Lock()
+	snap := rep.mainSnap
+	if canary {
+		snap = rep.canarySnap
+		version = e.CanaryVersion
+	}
+	rep.mu.Unlock()
+	if snap == nil {
+		return nil
+	}
+	rr, ts := snap.Retailers[r], snap.Status[r]
+	if rr == nil || ts == nil || ts.RecsVersion != version {
+		return nil
+	}
+	return EncodeSegment(rr)
+}
+
+// prevCopy returns this replica's committed copy of one tenant (the
+// generation it currently serves) plus a copy of its status — the
+// fallback data for a tenant whose fresh segment is unrepairable.
+func (rep *Replica) prevCopy(r catalog.RetailerID) (*serving.RetailerRecs, *serving.TenantStatus) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.mainSnap == nil {
+		return nil, nil
+	}
+	rr := rep.mainSnap.Retailers[r]
+	if rr == nil {
+		return nil, nil
+	}
+	ts := serving.TenantStatus{}
+	if s := rep.mainSnap.Status[r]; s != nil {
+		ts = *s
+	}
+	return rr, &ts
 }
 
 // commit atomically swaps the staged generation in. Committing without a

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"time"
+
+	"sigmund/internal/dfs"
+)
+
+// The background scrubber closes the integrity loop for at-rest rot: a
+// blob can be verified at write time and at load time and still decay on
+// the shelf between publishes. Each pass re-verifies every blob the
+// committed manifest references (segments, canary segments, and the
+// manifest itself), the guard baselines, and the training checkpoints,
+// repairs what it can — segments from replica in-memory copies, the
+// manifest from the committed in-memory state, baselines and checkpoints
+// by deletion, which their loaders treat as a clean fresh start — and
+// garbage-collects orphaned blobs that are provably unreferenced.
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	// Scrubbed counts blobs whose integrity this pass verified.
+	Scrubbed int
+	// Corrupt counts corruption incidents this pass detected.
+	Corrupt int
+	// Repaired counts incidents this pass healed.
+	Repaired int
+	// OrphansGCed counts unreferenced blobs this pass deleted.
+	OrphansGCed int
+	// Unrepaired lists blob paths still quarantined after the pass.
+	Unrepaired []string
+}
+
+// noteScrubbed records one blob verified by the scrubber.
+func (st *Store) noteScrubbed() {
+	st.integScrubbed.Add(1)
+	st.m.integScrubbed.Inc()
+}
+
+// ScrubOnce runs one full scrub pass. It serializes with publishes
+// (taking the same lock), so it always sees a committed, stable
+// generation and never races a manifest swap.
+func (st *Store) ScrubOnce() ScrubReport {
+	st.pubMu.Lock()
+	defer st.pubMu.Unlock()
+
+	corruptBefore := st.integCorrupt.Load()
+	repairedBefore := st.integRepaired.Load()
+	var rep ScrubReport
+
+	st.stateMu.RLock()
+	gen, man := st.gen, st.man
+	st.stateMu.RUnlock()
+
+	referenced := map[string]bool{}
+	if man != nil {
+		// The manifest blob itself: a corrupt manifest would strand
+		// crashed-replica catch-up, and we hold the authoritative copy in
+		// memory, so repair is a straight re-encode.
+		mpath := manifestPath(gen)
+		referenced[mpath] = true
+		rep.Scrubbed++
+		st.noteScrubbed()
+		if data, err := st.fs.Read(mpath); err != nil || !bytes.Equal(data, EncodeManifest(man)) {
+			if err == nil || isIntegrityErr(err) {
+				st.noteCorrupt(mpath, errOr(err, "manifest diverged from committed state"))
+				(&segmentResolver{st: st}).healFile(mpath, EncodeManifest(man))
+			}
+		}
+
+		// Every referenced segment, including carry-forward and canary
+		// entries pointing into older generations. Repair draws on the
+		// owning shard's replica copies, which hold exactly the versions
+		// the manifest references.
+		for _, e := range man.Entries {
+			for _, canary := range []bool{false, true} {
+				path := e.Segment
+				if canary {
+					if path = e.CanarySegment; path == "" {
+						continue
+					}
+				}
+				referenced[path] = true
+				rep.Scrubbed++
+				st.noteScrubbed()
+				if _, integrity, err := st.fetchVerified(path); err == nil || !integrity {
+					continue
+				}
+				res := &segmentResolver{st: st, sh: st.shards[st.ring.Lookup(string(e.Retailer))]}
+				if data := res.peerBytes(e, nil, canary); data != nil {
+					if _, derr := DecodeSegment(data); derr == nil {
+						res.healFile(path, data)
+					}
+				}
+			}
+		}
+	}
+
+	// Guard baselines and training checkpoints have no redundant copy to
+	// repair from, but their loaders already treat a missing blob as a
+	// clean fresh start (warmup for the guard, an earlier checkpoint or a
+	// cold start for training). Deleting a corrupt one converts silent
+	// poison into that well-trodden path.
+	for _, path := range st.fs.List("guard/baselines/") {
+		rep.Scrubbed++
+		st.noteScrubbed()
+		if _, err := st.fs.Read(path); err != nil && isIntegrityErr(err) {
+			st.noteCorrupt(path, err)
+			st.fs.Delete(path)
+			st.clearQuarantine(path)
+		}
+	}
+	for _, path := range st.fs.List("") {
+		if !strings.Contains(path, "/ckpt.") || strings.HasSuffix(path, ".tmp") {
+			continue
+		}
+		rep.Scrubbed++
+		st.noteScrubbed()
+		if _, err := st.fs.Read(path); err != nil && isIntegrityErr(err) {
+			st.noteCorrupt(path, err)
+			st.fs.Delete(path)
+			st.clearQuarantine(path)
+		}
+	}
+
+	if man != nil {
+		// Orphan GC: delete only blobs that are provably unreferenced —
+		// past the retention window and named by no committed manifest
+		// entry (gcGenerations re-derives the referenced set itself).
+		removed := st.gcGenerations(gen, man)
+		rep.OrphansGCed = removed
+		st.orphansGCed.Add(int64(removed))
+
+		// A quarantined store blob the manifest no longer references is
+		// moot: nothing will ever load it, so the quarantine lifts without
+		// counting a repair.
+		for _, path := range st.QuarantinedBlobs() {
+			if strings.HasPrefix(path, "store/gen-") && !referenced[path] {
+				st.clearQuarantine(path)
+			}
+		}
+	}
+
+	st.scrubPasses.Add(1)
+	rep.Corrupt = int(st.integCorrupt.Load() - corruptBefore)
+	rep.Repaired = int(st.integRepaired.Load() - repairedBefore)
+	rep.Unrepaired = st.QuarantinedBlobs()
+	return rep
+}
+
+// errOr returns err when non-nil, else a fresh corruption error carrying
+// the given detail.
+func errOr(err error, detail string) error {
+	if err != nil {
+		return err
+	}
+	return &scrubDivergence{detail}
+}
+
+// scrubDivergence marks a blob whose stored bytes differ from the
+// committed in-memory state; it classifies as dfs.ErrCorrupt.
+type scrubDivergence struct{ detail string }
+
+func (d *scrubDivergence) Error() string { return "store: " + d.detail }
+func (d *scrubDivergence) Unwrap() error { return dfs.ErrCorrupt }
+
+// runScrubber drives periodic scrub passes until the store closes.
+func (st *Store) runScrubber(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.rootCtx.Done():
+			return
+		case <-t.C:
+			st.ScrubOnce()
+		}
+	}
+}

@@ -98,6 +98,14 @@ type Options struct {
 	// after each publish.
 	KeepGenerations int
 
+	// ScrubInterval starts the background integrity scrubber at this
+	// cadence: every pass re-verifies the blobs the committed manifest
+	// references (segments, canary segments, the manifest itself), plus
+	// guard baselines and checkpoints, repairs what it can from replica
+	// memory, and GCs provably unreferenced orphans. 0 disables the loop;
+	// ScrubOnce can still be called manually.
+	ScrubInterval time.Duration
+
 	// Obs is the observability surface (sigmund_store_* metrics). nil gets
 	// a private observer.
 	Obs *obs.Observer
@@ -357,6 +365,18 @@ type Store struct {
 	// /statz "freshness" block.
 	freshness atomic.Pointer[serving.FreshnessInfo]
 
+	// Storage-integrity subsystem (integrity.go, scrub.go): the quarantine
+	// set of blobs that failed verification and are awaiting repair, plus
+	// detection/repair counters.
+	integMu        sync.Mutex
+	quarantined    map[string]string // blob path -> first failure observed
+	integScrubbed  atomic.Int64
+	integCorrupt   atomic.Int64
+	integRepaired  atomic.Int64
+	integFallbacks atomic.Int64
+	orphansGCed    atomic.Int64
+	scrubPasses    atomic.Int64
+
 	m storeMetrics
 }
 
@@ -410,6 +430,11 @@ type storeMetrics struct {
 	scaleUps         *obs.Counter
 	scaleDowns       *obs.Counter
 
+	// Storage-integrity subsystem.
+	integScrubbed *obs.Counter
+	integCorrupt  *obs.Counter
+	integRepaired *obs.Counter
+
 	requestSeconds *obs.Histogram
 	publishSeconds *obs.Histogram
 	loadSeconds    *obs.Histogram
@@ -441,6 +466,12 @@ func newStoreMetrics(reg *obs.Registry, shards int) storeMetrics {
 			"Replica autoscaler actions, by direction.", obs.L("direction", "up")),
 		scaleDowns: reg.Counter("sigmund_store_autoscale_events_total",
 			"Replica autoscaler actions, by direction.", obs.L("direction", "down")),
+		integScrubbed: reg.Counter("sigmund_integrity_scrubbed_total",
+			"Blobs whose integrity the scrubber verified."),
+		integCorrupt: reg.Counter("sigmund_integrity_corrupt_total",
+			"Corruption incidents detected: footer or structural verification failures, and referenced blobs found missing."),
+		integRepaired: reg.Counter("sigmund_integrity_repaired_total",
+			"Corruption incidents repaired, by re-read, peer re-replication, or rewrite."),
 		publishes:  reg.Counter("sigmund_store_publishes_total", "Generations published to the store.", obs.L("outcome", "committed")),
 		rollbacks:  reg.Counter("sigmund_store_publishes_total", "Generations published to the store.", obs.L("outcome", "rolled_back")),
 		generation: reg.Gauge("sigmund_store_generation", "Last committed store generation."),
@@ -467,16 +498,17 @@ func newStoreMetrics(reg *obs.Registry, shards int) storeMetrics {
 func New(fs *dfs.FS, opts Options) *Store {
 	opts = opts.Defaulted()
 	st := &Store{
-		fs:      fs,
-		opts:    opts,
-		ring:    NewRing(opts.Shards, opts.VirtualNodes, opts.Seed),
-		lastSeg: map[catalog.RetailerID]ManifestEntry{},
-		cache:   newLRUCache(opts.CacheSize),
-		lat:     newLatencyWindow(opts.HedgePercentile, opts.HedgeMin),
-		admit:   newAdmitter(opts.AdmitQPS, opts.AdmitBurst),
-		rng:     newCheapRNG(opts.Seed ^ 0xba1a9cedb002c4e5),
-		m:       newStoreMetrics(opts.Obs.Reg(), opts.Shards),
-		fast:    opts.Faults == nil && opts.ServeDelay == 0 && opts.ReplicaConcurrency == 0,
+		fs:          fs,
+		opts:        opts,
+		ring:        NewRing(opts.Shards, opts.VirtualNodes, opts.Seed),
+		lastSeg:     map[catalog.RetailerID]ManifestEntry{},
+		quarantined: map[string]string{},
+		cache:       newLRUCache(opts.CacheSize),
+		lat:         newLatencyWindow(opts.HedgePercentile, opts.HedgeMin),
+		admit:       newAdmitter(opts.AdmitQPS, opts.AdmitBurst),
+		rng:         newCheapRNG(opts.Seed ^ 0xba1a9cedb002c4e5),
+		m:           newStoreMetrics(opts.Obs.Reg(), opts.Shards),
+		fast:        opts.Faults == nil && opts.ServeDelay == 0 && opts.ReplicaConcurrency == 0,
 	}
 	st.canaries.canaries = map[catalog.RetailerID]*canaryState{}
 	st.rootCtx, st.cancel = context.WithCancel(context.Background())
@@ -493,6 +525,13 @@ func New(fs *dfs.FS, opts Options) *Store {
 		go func() {
 			defer st.wg.Done()
 			st.scaler.run(st.rootCtx, opts.ScaleInterval)
+		}()
+	}
+	if opts.ScrubInterval > 0 {
+		st.wg.Add(1)
+		go func() {
+			defer st.wg.Done()
+			st.runScrubber(opts.ScrubInterval)
 		}()
 	}
 	st.refreshReplicaGauges()
@@ -577,7 +616,7 @@ func (st *Store) catchUp(sh *shard, rep *Replica) error {
 			return fmt.Errorf("store: catch-up manifest for shard %d: %w", sh.id, err)
 		}
 	}
-	if err := rep.prepare(st.fs, gen, st.shardEntries(man, sh.id)); err != nil {
+	if err := rep.prepare(st.fs, gen, st.shardEntries(man, sh.id), &segmentResolver{st: st, sh: sh}); err != nil {
 		return err
 	}
 	rep.commit(gen)
@@ -658,7 +697,7 @@ func (st *Store) PublishGeneration(snap *serving.Snapshot) error {
 	}
 	for _, r := range sortedRetailers(snap.Retailers) {
 		path := segmentPath(gen, r)
-		if err := st.writeWithRetry(path, EncodeSegment(snap.Retailers[r])); err != nil {
+		if err := st.writeVerified(path, EncodeSegment(snap.Retailers[r])); err != nil {
 			return rollback(fmt.Errorf("store: writing segment for %s: %w", r, err))
 		}
 		e := ManifestEntry{Retailer: r, Segment: path, RecsVersion: gen}
@@ -725,7 +764,7 @@ func (st *Store) PublishGeneration(snap *serving.Snapshot) error {
 	}
 	st.stateMu.RUnlock()
 	man := &Manifest{Generation: gen, Entries: entries}
-	if err := st.writeWithRetry(manifestPath(gen), EncodeManifest(man)); err != nil {
+	if err := st.writeVerified(manifestPath(gen), EncodeManifest(man)); err != nil {
 		return rollback(fmt.Errorf("store: writing manifest: %w", err))
 	}
 
@@ -745,7 +784,7 @@ func (st *Store) PublishGeneration(snap *serving.Snapshot) error {
 				continue
 			}
 			loadStart := time.Now()
-			if err := rep.prepare(st.fs, gen, mine); err != nil {
+			if err := rep.prepare(st.fs, gen, mine, &segmentResolver{st: st, sh: sh}); err != nil {
 				rep.abort()
 				continue
 			}
@@ -808,8 +847,12 @@ func (st *Store) PublishGeneration(snap *serving.Snapshot) error {
 }
 
 // gcGenerations deletes segment files older than the retention window that
-// the committed manifest no longer references.
-func (st *Store) gcGenerations(gen int64, man *Manifest) {
+// the committed manifest no longer references, returning how many files it
+// removed. A blob is only deleted when it is provably unreferenced: its
+// generation is past the keep window AND no committed manifest entry —
+// including carry-forward and canary entries pointing into old generations
+// — names it.
+func (st *Store) gcGenerations(gen int64, man *Manifest) int {
 	referenced := make(map[string]bool, len(man.Entries))
 	for _, e := range man.Entries {
 		referenced[e.Segment] = true
@@ -818,6 +861,7 @@ func (st *Store) gcGenerations(gen int64, man *Manifest) {
 		}
 	}
 	cutoff := gen - int64(st.opts.KeepGenerations)
+	removed := 0
 	for _, path := range st.fs.List("store/gen-") {
 		rest := strings.TrimPrefix(path, "store/gen-")
 		slash := strings.IndexByte(rest, '/')
@@ -828,8 +872,11 @@ func (st *Store) gcGenerations(gen int64, man *Manifest) {
 		if err != nil || g > cutoff || referenced[path] {
 			continue
 		}
-		st.fs.Delete(path)
+		if st.fs.Delete(path) == nil {
+			removed++
+		}
 	}
+	return removed
 }
 
 func (st *Store) writeWithRetry(path string, data []byte) error {
@@ -1417,6 +1464,7 @@ func (st *Store) StatzBlocks() map[string]any {
 	if info := st.freshness.Load(); info != nil {
 		blocks["freshness"] = *info
 	}
+	blocks["integrity"] = st.integrityInfo()
 	return blocks
 }
 

@@ -98,11 +98,32 @@ run_heavy() {
 	go test -race -short -run 'Guard|Canary|Veto|Evaluate|Baseline' \
 		./internal/guard/ ./internal/pipeline/ ./internal/store/
 
+	echo "== continuous-scheduler chaos suite"
+	# Queue-log torn-tail/corrupt-tail recovery, the kill-and-resume sweep
+	# (crash after every queue-log record; resumed publishes byte-identical
+	# to an uninterrupted control), the priority-aging starvation bound, the
+	# multi-tier staleness soak, and the service-layer crash-resume drill.
+	go test -race -short -run 'Scheduler|QueueLog|ServiceSched|ServiceSetTier' \
+		./internal/sched/ .
+
+	echo "== storage-integrity chaos suite"
+	# End-to-end bit-rot defense: the footer codec (round-trip, legacy
+	# passthrough, detection on every read), deterministic BitFlip/Truncate
+	# placement, the chaos drill (zero corrupt responses escape; the post-
+	# repair fleet is byte-identical to an uninjected control), scrub GC ×
+	# carry-forward retention, peer re-replication of deleted blobs, and the
+	# poison-free previous-generation fallback.
+	go test -race -short -run 'Integrity|Scrub|Footer|BitFlip|Truncate|AtRest|WriteLegacy|CreateClose|ReviveHeals|PrepareWithout|CorruptionStreams|CorruptKind' \
+		./internal/dfs/ ./internal/faults/ ./internal/store/
+
 	echo "== fuzz smoke"
 	# A few seconds per fuzz target: journal recovery over arbitrary bytes,
-	# segment decoding with hostile length prefixes, and flat-segment
-	# lookups served straight off parsed fuzzer-supplied bytes.
+	# the dfs integrity footer (verified/legacy/corrupt trichotomy under
+	# arbitrary and bit-flipped inputs), segment decoding with hostile
+	# length prefixes, and flat-segment lookups served straight off parsed
+	# fuzzer-supplied bytes.
 	go test -run '^$' -fuzz FuzzJournal -fuzztime 5s ./internal/dfs/
+	go test -run '^$' -fuzz FuzzIntegrityFooter -fuzztime 5s ./internal/dfs/
 	go test -run '^$' -fuzz FuzzSegmentDecode -fuzztime 5s ./internal/store/
 	go test -run '^$' -fuzz FuzzSegmentLookup -fuzztime 5s ./internal/store/
 

@@ -103,6 +103,13 @@ type Config struct {
 	Autoscale bool
 	// MaxReplicas bounds autoscaling growth per shard (0 = 2*Replicas).
 	MaxReplicas int
+	// ScrubInterval runs the store's background integrity scrubber at this
+	// period: every blob the committed manifest references (plus guard
+	// baselines and checkpoints) is re-verified against its integrity
+	// footer, corrupt blobs are repaired from replica copies, and orphans
+	// are garbage-collected. 0 disables the loop. Only meaningful with
+	// Shards > 0.
+	ScrubInterval time.Duration
 	// Guard enables the publish-time model-quality firewall: every
 	// tenant's candidate generation is validated against structural
 	// invariants (NaN scores, empty or collapsed rec lists, coverage
@@ -374,16 +381,17 @@ func NewService(cfg Config) *Service {
 		// through the router. The same injector that flakes the filesystem
 		// can crash/stall replicas (OpReplica rules).
 		svc.store = store.New(fs, store.Options{
-			Shards:      cfg.Shards,
-			Replicas:    cfg.Replicas,
-			HedgeAfter:  cfg.HedgeAfter,
-			AdmitQPS:    cfg.AdmitQPS,
-			AdmitBurst:  cfg.AdmitBurst,
-			Autoscale:   cfg.Autoscale,
-			MaxReplicas: cfg.MaxReplicas,
-			Faults:      opts.Injector,
-			Obs:         observer,
-			Seed:        cfg.Seed,
+			Shards:        cfg.Shards,
+			Replicas:      cfg.Replicas,
+			HedgeAfter:    cfg.HedgeAfter,
+			AdmitQPS:      cfg.AdmitQPS,
+			AdmitBurst:    cfg.AdmitBurst,
+			Autoscale:     cfg.Autoscale,
+			MaxReplicas:   cfg.MaxReplicas,
+			ScrubInterval: cfg.ScrubInterval,
+			Faults:        opts.Injector,
+			Obs:           observer,
+			Seed:          cfg.Seed,
 		})
 		svc.backend = svc.store
 		publisher = svc.store
